@@ -1,0 +1,103 @@
+//! Criterion benchmarks for end-to-end trace generation: ground-truth world
+//! simulation (the data substrate) and the three baseline/LSTM generators'
+//! sampling throughput.
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FlavorModel, GeneratorConfig, LifetimeModel, TrainConfig,
+};
+use cloudgen::{FeatureSpace, NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::Trace;
+
+struct Fixture {
+    train: Trace,
+    space: FeatureSpace,
+    lstm: TraceGenerator,
+    naive: NaiveGenerator,
+    simple: SimpleBatchGenerator,
+}
+
+fn fixture() -> Fixture {
+    let world = CloudWorld::new(WorldConfig::azure_like(0.6), 17);
+    let train = world.generate(3);
+    let secs = 3 * 86_400;
+    let temporal = TemporalFeaturesSpec::new(3);
+    let bins = LifetimeBins::paper_47();
+    let space = FeatureSpace::new(world.catalog().len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, secs);
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::tiny()
+    };
+    let arrivals = BatchArrivalModel::fit(
+        &train,
+        secs,
+        ArrivalTarget::Batches,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::paper_default(),
+    )
+    .unwrap();
+    let lstm = TraceGenerator {
+        arrivals,
+        flavors: FlavorModel::fit(&stream, space.clone(), cfg),
+        lifetimes: LifetimeModel::fit(&stream, space.clone(), cfg),
+        config: GeneratorConfig::default(),
+    };
+    let naive = NaiveGenerator::fit(&train, secs, space.clone()).unwrap();
+    let simple = SimpleBatchGenerator::fit(
+        &train,
+        secs,
+        space.clone(),
+        temporal,
+        DohStrategy::paper_default(),
+    )
+    .unwrap();
+    Fixture {
+        train,
+        space,
+        lstm,
+        naive,
+        simple,
+    }
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let f = fixture();
+    let catalog = f.train.catalog.clone();
+    let mut group = c.benchmark_group("generate_one_day");
+    group.sample_size(10);
+    group.bench_function("world_ground_truth", |b| {
+        let world = CloudWorld::new(WorldConfig::azure_like(0.6), 18);
+        b.iter(|| std::hint::black_box(world.generate(1)));
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(f.naive.generate(0, 288, &catalog, &mut rng))
+        });
+    });
+    group.bench_function("simple_batch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(f.simple.generate(0, 288, &catalog, &mut rng))
+        });
+    });
+    group.bench_function("lstm", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            std::hint::black_box(f.lstm.generate(0, 288, &catalog, &mut rng))
+        });
+    });
+    group.finish();
+    let _ = f.space;
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the statistical substrates: Poisson IRLS
+//! fitting (stage 1) and Kaplan–Meier estimation (lifetime baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glm::{ElasticNet, PoissonRegression};
+use linalg::Mat;
+use survival::{CensoringPolicy, KaplanMeier, LifetimeBins, Observation};
+
+fn poisson_data(rows: usize, cols: usize) -> (Mat, Vec<f64>) {
+    let x = Mat::from_fn(rows, cols, |r, c| if (r + c) % 7 == 0 { 1.0 } else { 0.0 });
+    let y: Vec<f64> = (0..rows).map(|r| ((r * 13) % 9) as f64).collect();
+    (x, y)
+}
+
+fn bench_poisson_irls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_irls");
+    group.sample_size(10);
+    // 2880 periods (10 days) x 41 temporal features is the experiment shape.
+    for &(rows, cols) in &[(2880usize, 41usize), (2880, 91)] {
+        let (x, y) = poisson_data(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(
+                        PoissonRegression::fit(&x, &y, ElasticNet::ridge(1.0), 30, 1e-7).unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_km_fit(c: &mut Criterion) {
+    let bins = LifetimeBins::paper_47();
+    let obs: Vec<Observation> = (0..100_000)
+        .map(|i| Observation {
+            bin: (i * 7) % 47,
+            censored: i % 29 == 0,
+        })
+        .collect();
+    c.bench_function("km_fit_100k_obs_47bins", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(KaplanMeier::fit(
+                &bins,
+                &obs,
+                CensoringPolicy::CensoringAware,
+                0.0,
+            ))
+        });
+    });
+}
+
+fn bench_hazard_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use survival::funcs::sample_hazard_chain;
+    let hazard: Vec<f64> = (0..47).map(|i| 0.02 + 0.01 * (i % 5) as f64).collect();
+    c.bench_function("hazard_chain_sample_47bins", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| std::hint::black_box(sample_hazard_chain(&hazard, &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_poisson_irls,
+    bench_km_fit,
+    bench_hazard_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the neural substrate: GEMM, LSTM forward and
+//! BPTT throughput at the experiment scale and near paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::Mat;
+use nn::{Lstm, LstmNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 128, 256] {
+        let a = Mat::from_fn(n, n, |r, cc| ((r * 31 + cc * 7) % 13) as f64 * 0.1);
+        let b = Mat::from_fn(n, n, |r, cc| ((r * 17 + cc * 3) % 11) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_forward_seq32");
+    for &(hidden, layers) in &[(48usize, 1usize), (200, 2)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(64, hidden, layers, &mut rng);
+        let xs: Vec<Mat> = (0..32).map(|_| Mat::filled(8, 64, 0.1)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{hidden}x{layers}")),
+            &hidden,
+            |bench, _| {
+                bench.iter(|| std::hint::black_box(lstm.forward(&xs)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lstm_bptt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm_train_step_seq32");
+    group.sample_size(10);
+    for &(hidden, layers) in &[(48usize, 1usize), (200, 2)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = LstmNetwork::new(64, hidden, layers, 16, &mut rng);
+        let xs: Vec<Mat> = (0..32).map(|_| Mat::filled(8, 64, 0.1)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{hidden}x{layers}")),
+            &hidden,
+            |bench, _| {
+                bench.iter(|| {
+                    net.zero_grad();
+                    let (logits, cache) = net.forward(&xs);
+                    let d: Vec<Mat> = logits
+                        .iter()
+                        .map(|l| Mat::filled(l.rows(), l.cols(), 0.01))
+                        .collect();
+                    std::hint::black_box(net.backward(&cache, &d));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generation_step(c: &mut Criterion) {
+    // One-step stateful inference — the inner loop of trace generation.
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = LstmNetwork::new(150, 48, 1, 47, &mut rng);
+    let x = Mat::filled(1, 150, 0.1);
+    c.bench_function("lstm_generation_step_h48", |bench| {
+        let mut state = net.zero_state(1);
+        bench.iter(|| std::hint::black_box(net.step(&x, &mut state)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_lstm_forward,
+    bench_lstm_bptt,
+    bench_generation_step
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the scheduler substrate: packing runs per
+//! placement algorithm (Fig. 10 inner loop) and reuse-distance computation
+//! (Fig. 9 inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{
+    pack_trace, reuse_distance_histogram, PackingConfig, PlacementAlgorithm, SchedulingTuple,
+};
+use synth::{CloudWorld, WorldConfig};
+use trace::Trace;
+
+fn test_trace() -> Trace {
+    CloudWorld::new(WorldConfig::azure_like(1.0), 7).generate(2)
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let trace = test_trace();
+    let mut group = c.benchmark_group("pack_trace");
+    group.sample_size(20);
+    for alg in PlacementAlgorithm::ALL {
+        let tuple = SchedulingTuple {
+            start_point: 0,
+            n_servers: 40,
+            cpu_cap: 48.0,
+            mem_cap: 128.0,
+            algorithm: alg,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{alg:?}")),
+            &tuple,
+            |bench, &tuple| {
+                bench.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    std::hint::black_box(pack_trace(
+                        &trace,
+                        tuple,
+                        PackingConfig::default(),
+                        &mut rng,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reuse(c: &mut Criterion) {
+    let trace = test_trace();
+    c.bench_function(&format!("reuse_distance_{}_jobs", trace.len()), |bench| {
+        bench.iter(|| std::hint::black_box(reuse_distance_histogram(&trace)));
+    });
+}
+
+criterion_group!(benches, bench_packing, bench_reuse);
+criterion_main!(benches);

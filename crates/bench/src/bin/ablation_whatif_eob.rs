@@ -1,0 +1,75 @@
+//! Ablation (footnote 5): what-if batch-size manipulation by scaling the
+//! EOB token probability at sampling time, without retraining.
+//!
+//! Expectation: `eob_scale > 1` shrinks mean batch size, `< 1` grows it;
+//! total batch count per period is unchanged (stage 1 controls it), so job
+//! volume moves with batch size. The paper flags an open question — whether
+//! such post-processing degrades properties like reuse distance — so the
+//! reuse L1 distance to the unscaled run is reported too.
+
+use bench::{n_samples, row, sample_traces, CloudSetup};
+use sched::reuse_distance_histogram;
+use trace::batch::organize_periods;
+
+fn main() {
+    let setup = CloudSetup::azure();
+    let mut generator = setup.fit_generator_cached();
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods().min(288);
+    let samples = n_samples().min(20);
+    let catalog = setup.world.catalog();
+
+    println!("=== What-if: EOB probability scaling (azure, {samples} samples) ===");
+    row(
+        "eob_scale",
+        &[
+            "mean batch".into(),
+            "jobs/period".into(),
+            "reuse L1 vs 1.0".into(),
+        ],
+    );
+
+    let mut baseline_reuse: Option<[f64; 7]> = None;
+    for &scale in &[1.0, 0.5, 2.0] {
+        generator.config.eob_scale = scale;
+        let traces = sample_traces(samples, 0xE0B + (scale * 10.0) as u64, |rng| {
+            generator.generate(first, n, catalog, rng)
+        });
+        let mut batch_sizes = 0.0;
+        let mut batches = 0usize;
+        let mut jobs = 0usize;
+        let mut reuse = [0.0; 7];
+        for t in &traces {
+            jobs += t.len();
+            for p in organize_periods(t) {
+                for b in &p.batches {
+                    batch_sizes += b.len() as f64;
+                    batches += 1;
+                }
+            }
+            let p = reuse_distance_histogram(t).proportions();
+            for i in 0..7 {
+                reuse[i] += p[i] / traces.len() as f64;
+            }
+        }
+        if scale == 1.0 {
+            baseline_reuse = Some(reuse);
+        }
+        let l1: f64 = baseline_reuse
+            .map(|b| (0..7).map(|i| (reuse[i] - b[i]).abs()).sum())
+            .unwrap_or(f64::NAN);
+        row(
+            &format!("{scale}"),
+            &[
+                format!("{:.2}", batch_sizes / batches.max(1) as f64),
+                format!("{:.2}", jobs as f64 / (n as f64 * samples as f64)),
+                if scale == 1.0 {
+                    "0.000 (ref)".into()
+                } else {
+                    format!("{l1:.3}")
+                },
+            ],
+        );
+    }
+    println!("note: the scale-1.0 reference row runs first.");
+}

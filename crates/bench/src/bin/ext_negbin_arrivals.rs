@@ -1,0 +1,87 @@
+//! Extension experiment: the statistical "beyond Poisson" remedy.
+//!
+//! Figure 6 shows a Poisson on individual VM arrivals underestimates
+//! variance. The paper's remedy is structural (model batches); the classic
+//! statistical remedy is a negative-binomial model with `Var = mu + alpha
+//! mu^2`. This binary fits both on individual VM arrivals and compares 90 %
+//! interval coverage — NB recovers much of the coverage, but unlike the
+//! batch model it cannot reproduce *which jobs* arrive together, so the
+//! paper's batch-based decomposition remains the right generative choice.
+
+use bench::{pct, row, CloudSetup, n_samples};
+use cloudgen::{ArrivalTarget, BatchArrivalModel};
+use eval::{coverage, PredictionBand};
+use glm::samplers::{sample_negative_binomial, sample_poisson};
+use glm::{DohStrategy, ElasticNet, NegBinRegression};
+use linalg::Mat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trace::batch::{job_counts, organize_periods};
+use trace::period::{TemporalFeaturesSpec, TemporalInfo, PERIOD_SECS};
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Extension: negative-binomial arrivals ({}) ===", setup.name);
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let periods = organize_periods(&setup.test);
+    let actual = job_counts(&periods, first + n)[first as usize..].to_vec();
+    let samples = n_samples();
+
+    // Shared design matrix over the training window (no DOH, matching the
+    // traditional per-VM baseline).
+    let temporal = TemporalFeaturesSpec::without_doh();
+    let train_periods = setup.train_window.len() / PERIOD_SECS;
+    let mut x = Mat::zeros(train_periods as usize, temporal.dim());
+    for p in 0..train_periods {
+        temporal.encode_into(TemporalInfo::of_period(p), None, x.row_mut(p as usize));
+    }
+    let y = job_counts(&organize_periods(&setup.train), train_periods);
+
+    // Poisson baseline via the arrival-model wrapper.
+    let poisson = BatchArrivalModel::fit(
+        &setup.train,
+        setup.train_window.end,
+        ArrivalTarget::Jobs,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::LastDay,
+    )
+    .expect("poisson fit");
+
+    // NB2 on the same targets.
+    let nb = NegBinRegression::fit(&x, &y, ElasticNet::ridge(1.0), 20, 1e-7).expect("nb fit");
+
+    let mut rng = StdRng::seed_from_u64(0x4E42);
+    let mut pois_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n as usize); samples];
+    let mut nb_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n as usize); samples];
+    for p in first..first + n {
+        let mut feat = vec![0.0; temporal.dim()];
+        temporal.encode_into(TemporalInfo::of_period(p), None, &mut feat);
+        let mu_p = poisson.rate(p, None);
+        let mu_nb = nb.mean(&feat);
+        for s in 0..samples {
+            pois_series[s].push(sample_poisson(mu_p, &mut rng) as f64);
+            nb_series[s].push(sample_negative_binomial(mu_nb, nb.alpha, &mut rng) as f64);
+        }
+    }
+    let pois_cov = coverage(&PredictionBand::from_samples(&pois_series, 0.05, 0.95), &actual);
+    let nb_cov = coverage(&PredictionBand::from_samples(&nb_series, 0.05, 0.95), &actual);
+
+    row("Model", &["coverage".into(), "dispersion".into()]);
+    row("Poisson", &[pct(pois_cov), "0 (fixed)".into()]);
+    row("NegBin", &[pct(nb_cov), format!("{:.3}", nb.alpha)]);
+    println!(
+        "shape check (NB recovers coverage the Poisson loses): {}",
+        if nb_cov > pois_cov + 0.05 { "PASS" } else { "DIVERGES" }
+    );
+}
+
+fn main() {
+    println!("samples per generator: {}", n_samples());
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,97 @@
+//! Extension experiment: Protean-style placement-rule caching.
+//!
+//! Hadary et al. cache placement evaluation logic per VM type; the memory
+//! footprint needed for a target hit rate is set by the workload's reuse
+//! behaviour (§6.2). This binary sweeps an LRU placement cache over actual
+//! and generated traces: traces with too little reuse (Naive) make the
+//! required cache look far larger than it really is; traces with too much
+//! reuse (SimpleBatch on the many-flavor cloud) make it look smaller.
+
+use bench::{n_samples, row, sample_traces, CloudSetup};
+use sched::{cache_hit_rate, capacity_for_hit_rate};
+use trace::Trace;
+
+const TARGET: f64 = 0.9;
+
+fn mean_hit_rates(traces: &[Trace], caps: &[usize]) -> Vec<f64> {
+    let mut out = vec![0.0; caps.len()];
+    for t in traces {
+        for (o, &c) in out.iter_mut().zip(caps) {
+            *o += cache_hit_rate(t, c) / traces.len() as f64;
+        }
+    }
+    out
+}
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Extension: placement-cache sizing ({}) ===", setup.name);
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let samples = n_samples().min(30);
+    let catalog = setup.world.catalog();
+    let k = catalog.len();
+    let caps: Vec<usize> = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 259]
+        .iter()
+        .copied()
+        .filter(|&c| c <= k.max(16))
+        .collect();
+
+    let lstm = setup.fit_generator_cached();
+    let naive = setup.fit_naive();
+    let simple = setup.fit_simple_batch();
+
+    let actual_need = capacity_for_hit_rate(&setup.test, &caps, TARGET);
+    let actual_curve: Vec<f64> = caps.iter().map(|&c| cache_hit_rate(&setup.test, c)).collect();
+
+    row(
+        "Trace",
+        &[format!("cache for {:.0}% hits", TARGET * 100.0), "hit@4".into(), "hit@16".into()],
+    );
+    let hit_at = |curve: &[f64], cap: usize| -> String {
+        caps.iter()
+            .position(|&c| c == cap)
+            .map(|i| format!("{:.1}%", curve[i] * 100.0))
+            .unwrap_or_default()
+    };
+    row(
+        "Actual",
+        &[
+            actual_need.map_or(">max".into(), |c| c.to_string()),
+            hit_at(&actual_curve, 4),
+            hit_at(&actual_curve, 16),
+        ],
+    );
+
+    for (label, which) in [("Naive", 0usize), ("SimpleBatch", 1), ("LSTM", 2)] {
+        let traces = sample_traces(samples, 0xCAC + which as u64, |rng| match which {
+            0 => naive.generate(first, n, catalog, rng),
+            1 => simple.generate(first, n, catalog, rng),
+            _ => lstm.generate(first, n, catalog, rng),
+        });
+        let curve = mean_hit_rates(&traces, &caps);
+        let need = caps
+            .iter()
+            .zip(&curve)
+            .find(|(_, &h)| h >= TARGET)
+            .map(|(&c, _)| c);
+        row(
+            label,
+            &[
+                need.map_or(">max".into(), |c| c.to_string()),
+                hit_at(&curve, 4),
+                hit_at(&curve, 16),
+            ],
+        );
+    }
+    println!("(cache sizes in flavor-rule entries; sweep capped at the catalog size)");
+}
+
+fn main() {
+    println!("samples per generator: {}", n_samples());
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

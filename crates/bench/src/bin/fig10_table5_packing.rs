@@ -1,0 +1,118 @@
+//! Figure 10 / Table 5 reproduction: packing experiments. For a fixed set
+//! of random scheduling tuples (start point, server count/shape, placement
+//! algorithm), pack each generated trace and the actual test trace until
+//! the first placement failure; report the first-failure allocation ratio
+//! (FFAR) of the limiting resource.
+//!
+//! Paper shape: Naive traces are misleadingly easy to pack (higher median
+//! FFAR, many more >0.95 runs than actual data); SimpleBatch traces are
+//! harder to pack than real ones; LSTM traces pack most similarly to the
+//! actual test data.
+
+use bench::{n_samples, row, sample_traces, CloudSetup};
+use cloudgen::generator::spread_intra_period;
+use eval::quantile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{pack_trace, PackingConfig, SchedulingTuple};
+use trace::Trace;
+
+struct Summary {
+    median: f64,
+    frac_over_95: f64,
+}
+
+fn summarize(ffars: &[f64]) -> Summary {
+    Summary {
+        median: quantile(ffars, 0.5),
+        frac_over_95: ffars.iter().filter(|&&f| f > 0.95).count() as f64 / ffars.len() as f64,
+    }
+}
+
+/// Packs trace `i` with tuple `i`; the same tuple list is reused for every
+/// generator to reduce variance (§6.2).
+fn ffars_for(traces: &[Trace], tuples: &[SchedulingTuple], seed: u64) -> Vec<f64> {
+    traces
+        .iter()
+        .zip(tuples)
+        .enumerate()
+        .map(|(i, (t, &tuple))| {
+            let mut rng = StdRng::seed_from_u64(seed + i as u64);
+            let spread = spread_intra_period(t, &mut rng);
+            let mut tuple = tuple;
+            tuple.start_point = tuple.start_point.min(spread.len().saturating_sub(1));
+            pack_trace(&spread, tuple, PackingConfig::default(), &mut rng).limiting()
+        })
+        .collect()
+}
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Figure 10 / Table 5 ({}) ===", setup.name);
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let samples = n_samples();
+    let catalog = setup.world.catalog();
+
+    // One shared tuple list (same across generators and actual data); the
+    // tuples are catalog-aware so every flavor fits an empty server.
+    let mut trng = StdRng::seed_from_u64(0xABCD);
+    let tuples: Vec<SchedulingTuple> = (0..samples)
+        .map(|_| SchedulingTuple::sample_for(catalog, setup.test.len() / 2 + 1, &mut trng))
+        .collect();
+
+    let lstm = setup.fit_generator_cached();
+    let naive = setup.fit_naive();
+    let simple = setup.fit_simple_batch();
+
+    let mut rows: Vec<(&str, Summary)> = Vec::new();
+    for (label, which) in [("Naive", 0usize), ("SimpleBatch", 1), ("LSTM", 2)] {
+        let traces = sample_traces(samples, 0xA00 + which as u64, |rng| match which {
+            0 => naive.generate(first, n, catalog, rng),
+            1 => simple.generate(first, n, catalog, rng),
+            _ => lstm.generate(first, n, catalog, rng),
+        });
+        let ffars = ffars_for(&traces, &tuples, 0xB00 + which as u64);
+        rows.push((label, summarize(&ffars)));
+    }
+    // Actual test data packed once per tuple.
+    let actual_traces: Vec<Trace> = vec![setup.test.clone(); samples];
+    let actual = summarize(&ffars_for(&actual_traces, &tuples, 0xC00));
+
+    row("Generator", &["Median".into(), ">0.95".into()]);
+    for (label, s) in &rows {
+        row(
+            label,
+            &[
+                format!("{:.1}", s.median * 100.0),
+                format!("{:.1}%", s.frac_over_95 * 100.0),
+            ],
+        );
+    }
+    row(
+        "Test data",
+        &[
+            format!("{:.1}", actual.median * 100.0),
+            format!("{:.1}%", actual.frac_over_95 * 100.0),
+        ],
+    );
+
+    let naive_s = &rows[0].1;
+    let lstm_s = &rows[2].1;
+    let lstm_gap = (lstm_s.median - actual.median).abs();
+    let naive_gap = (naive_s.median - actual.median).abs();
+    let ok = naive_s.median > actual.median && lstm_gap <= naive_gap;
+    println!(
+        "shape check (Naive packs too easily; LSTM closest to test data): {}",
+        if ok { "PASS" } else { "DIVERGES" }
+    );
+}
+
+fn main() {
+    println!("samples per generator: {}", n_samples());
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,97 @@
+//! Figures 7 & 8 reproduction: capacity planning. Total active CPUs over
+//! the test window, with 90 % prediction intervals from sampled end-to-end
+//! traces, for Naive, SimpleBatch, and the LSTM generator.
+//!
+//! Paper shape: Naive coverage ≈ 0 % (independence assumptions wildly
+//! underestimate variance), SimpleBatch much better on the flat cloud but
+//! poor on the growing cloud (whole-history statistics are stale), LSTM
+//! high on both. Jobs already running at the test start contribute their
+//! actual lifetimes to every model's series (§6.1).
+
+use bench::{n_samples, pct, row, sample_traces, CloudSetup};
+use eval::{coverage, render_band_chart, PredictionBand};
+
+fn add(series: &[f64], carry: &[f64]) -> Vec<f64> {
+    series.iter().zip(carry).map(|(a, b)| a + b).collect()
+}
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Figures 7/8 ({}) ===", setup.name);
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let carry = setup.carryover_cpus();
+    let actual = add(&setup.test_cpu_series(&setup.test), &carry);
+    let samples = n_samples();
+
+    let lstm = setup.fit_generator_cached();
+    let naive = setup.fit_naive();
+    let simple = setup.fit_simple_batch();
+    let catalog = setup.world.catalog();
+
+    let mut results: Vec<(&str, f64, PredictionBand)> = Vec::new();
+    for (label, gen) in [("Naive", 0usize), ("SimpleBatch", 1), ("LSTM", 2)] {
+        let start = std::time::Instant::now();
+        let traces = sample_traces(samples, 0x700 + gen as u64, |rng| match gen {
+            0 => naive.generate(first, n, catalog, rng),
+            1 => simple.generate(first, n, catalog, rng),
+            _ => lstm.generate(first, n, catalog, rng),
+        });
+        let series: Vec<Vec<f64>> = traces
+            .iter()
+            .map(|t| add(&setup.test_cpu_series(t), &carry))
+            .collect();
+        let band = PredictionBand::from_samples(&series, 0.05, 0.95);
+        let cov = coverage(&band, &actual);
+        eprintln!(
+            "[{label}] {samples} traces sampled in {:.1?}",
+            start.elapsed()
+        );
+        row(label, &[format!("coverage {}", pct(cov))]);
+        results.push((label, cov, band));
+    }
+
+    for (label, cov, band) in &results {
+        print!(
+            "{}",
+            render_band_chart(
+                &actual,
+                &band.lo,
+                &band.median,
+                &band.hi,
+                100,
+                10,
+                &format!(
+                    "{label}: total CPUs over test window (coverage {})",
+                    pct(*cov)
+                )
+            )
+        );
+    }
+
+    let naive_cov = results[0].1;
+    let simple_cov = results[1].1;
+    let lstm_cov = results[2].1;
+    let ok = naive_cov < 0.3 && lstm_cov > 0.5 && lstm_cov > naive_cov && {
+        // On the growing cloud, SimpleBatch should trail the LSTM.
+        setup.name != "huawei" || lstm_cov > simple_cov
+    };
+    println!(
+        "shape check (Naive near zero; LSTM high{}): {}",
+        if setup.name == "huawei" {
+            "; LSTM > SimpleBatch"
+        } else {
+            ""
+        },
+        if ok { "PASS" } else { "DIVERGES" }
+    );
+}
+
+fn main() {
+    println!("samples per generator: {}", n_samples());
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 9 reproduction: reuse-distance distributions of generated traces
+//! vs. actual test data.
+//!
+//! Paper shape: Naive traces show far less flavor reuse than actual data
+//! (too-large distances); SimpleBatch overestimates reuse on the
+//! many-flavor cloud; LSTM traces match the actual distribution best (by
+//! L1 distance between bucket proportions).
+
+use bench::{n_samples, row, sample_traces, CloudSetup};
+use eval::render_histogram;
+use sched::reuse_distance_histogram;
+use trace::Trace;
+
+const LABELS: [&str; 7] = ["0", "1", "2", "3", "4", "5", "6+"];
+
+fn mean_and_range(traces: &[Trace]) -> ([f64; 7], [f64; 7], [f64; 7]) {
+    let mut mean = [0.0; 7];
+    let mut lo = [f64::INFINITY; 7];
+    let mut hi = [f64::NEG_INFINITY; 7];
+    for t in traces {
+        let p = reuse_distance_histogram(t).proportions();
+        for i in 0..7 {
+            mean[i] += p[i] / traces.len() as f64;
+            lo[i] = lo[i].min(p[i]);
+            hi[i] = hi[i].max(p[i]);
+        }
+    }
+    (mean, lo, hi)
+}
+
+fn l1(a: &[f64; 7], b: &[f64; 7]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Figure 9 ({}) ===", setup.name);
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let samples = n_samples();
+    let catalog = setup.world.catalog();
+
+    let actual = reuse_distance_histogram(&setup.test).proportions();
+    print!(
+        "{}",
+        render_histogram(&LABELS, &actual, 40, "actual test data")
+    );
+
+    let lstm = setup.fit_generator_cached();
+    let naive = setup.fit_naive();
+    let simple = setup.fit_simple_batch();
+
+    let mut dists = Vec::new();
+    for (label, which) in [("Naive", 0usize), ("SimpleBatch", 1), ("LSTM", 2)] {
+        let traces = sample_traces(samples, 0x900 + which as u64, |rng| match which {
+            0 => naive.generate(first, n, catalog, rng),
+            1 => simple.generate(first, n, catalog, rng),
+            _ => lstm.generate(first, n, catalog, rng),
+        });
+        let (mean, lo, hi) = mean_and_range(&traces);
+        print!(
+            "{}",
+            render_histogram(
+                &LABELS,
+                &mean,
+                40,
+                &format!("{label} (mean of {samples} samples)")
+            )
+        );
+        let spread: f64 = (0..7).map(|i| hi[i] - lo[i]).sum();
+        let d = l1(&mean, &actual);
+        row(
+            label,
+            &[
+                format!("L1 vs actual {d:.3}"),
+                format!("range spread {spread:.3}"),
+            ],
+        );
+        dists.push((label, d));
+    }
+
+    let lstm_d = dists
+        .iter()
+        .find(|(l, _)| *l == "LSTM")
+        .expect("lstm row")
+        .1;
+    let best = dists.iter().all(|&(l, d)| l == "LSTM" || lstm_d <= d);
+    println!(
+        "shape check (LSTM matches actual reuse pattern best): {}",
+        if best { "PASS" } else { "DIVERGES" }
+    );
+}
+
+fn main() {
+    println!("samples per generator: {}", n_samples());
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,74 @@
+//! Diagnostic: where does the Azure capacity band sit relative to truth?
+//! (Tuning aid, not a paper experiment.)
+
+use bench::{sample_traces, CloudSetup};
+use eval::PredictionBand;
+
+fn main() {
+    let setup = CloudSetup::azure();
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+    let carry = setup.carryover_cpus();
+    let actual: Vec<f64> = setup
+        .test_cpu_series(&setup.test)
+        .iter()
+        .zip(&carry)
+        .map(|(a, b)| a + b)
+        .collect();
+
+    let lstm = setup.fit_generator_cached();
+    let traces = sample_traces(30, 0x700 + 2, |rng| {
+        lstm.generate(first, n, setup.world.catalog(), rng)
+    });
+    let series: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| {
+            setup
+                .test_cpu_series(t)
+                .iter()
+                .zip(&carry)
+                .map(|(a, b)| a + b)
+                .collect()
+        })
+        .collect();
+    let band = PredictionBand::from_samples(&series, 0.05, 0.95);
+
+    // How often is actual below lo vs above hi, and by how much?
+    let mut below = 0;
+    let mut above = 0;
+    for (i, &a) in actual.iter().enumerate() {
+        if a < band.lo[i] {
+            below += 1;
+        } else if a > band.hi[i] {
+            above += 1;
+        }
+    }
+    println!(
+        "periods: {} | actual below band: {below} | above band: {above}",
+        actual.len()
+    );
+    for &frac in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let i = ((n - 1) as f64 * frac) as usize;
+        println!(
+            "t={frac:.1}: actual {:.0}  band [{:.0}, {:.0}] med {:.0}  carry {:.0}",
+            actual[i], band.lo[i], band.hi[i], band.median[i], carry[i]
+        );
+    }
+    // Volume comparison: generated vs actual new jobs + mean lifetime.
+    let actual_jobs = setup.test.len();
+    let mean_gen_jobs: f64 =
+        traces.iter().map(|t| t.len() as f64).sum::<f64>() / traces.len() as f64;
+    println!("actual test jobs: {actual_jobs}; mean generated: {mean_gen_jobs:.0}");
+    let mean_life = |t: &trace::Trace, censor: u64| -> f64 {
+        t.jobs
+            .iter()
+            .map(|j| j.observed_duration(censor) as f64)
+            .sum::<f64>()
+            / t.len().max(1) as f64
+    };
+    println!(
+        "mean observed lifetime (h): actual {:.2} vs generated {:.2}",
+        mean_life(&setup.test, setup.test_window.censor_at) / 3600.0,
+        mean_life(&traces[0], u64::MAX / 2) / 3600.0
+    );
+}

@@ -1,0 +1,32 @@
+//! Scratch probe: can the lifetime LSTM learn a pure copy rule?
+use cloudgen::{FeatureSpace, LifetimeModel, TokenStream, TrainConfig};
+use survival::LifetimeBins;
+use trace::period::TemporalFeaturesSpec;
+use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+fn main() {
+    // Batches of 4 jobs; each batch picks a random lifetime bin (via a
+    // pseudo-random generator) and every job in the batch repeats it.
+    let bins = LifetimeBins::paper_47();
+    let mut jobs = Vec::new();
+    let mut state = 12345u64;
+    let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+    for p in 0..3000u64 {
+        let bin = (next() % 40) as usize;
+        // mid-bin duration
+        let lo = bins.lower(bin); let hi = bins.upper(bin).unwrap();
+        let dur = ((lo + hi) * 0.5) as u64 / 300 * 300 + 300;
+        for _ in 0..4 {
+            jobs.push(Job { start: p * 300, end: Some(p * 300 + dur), flavor: FlavorId(0), user: UserId(0) });
+        }
+    }
+    let trace = Trace::new(jobs, FlavorCatalog::azure16());
+    let space = FeatureSpace::new(16, bins.clone(), TemporalFeaturesSpec::new(4));
+    let train_stream = TokenStream::from_trace(&trace, &bins, u64::MAX / 2);
+    let cfg = TrainConfig { epochs: 24, hidden: 48, ..TrainConfig::default() };
+    let model = LifetimeModel::fit(&train_stream, space, cfg);
+    eprintln!("losses: first {:.4} last {:.4}", model.train_losses[0], model.train_losses.last().unwrap());
+    let eval = model.evaluate(&train_stream);
+    // in-batch jobs are 3/4 of data; copy rule should give err ~<= 0.25 (batch starts unpredictable)
+    eprintln!("1-best err {:.3} (bce {:.4})", eval.one_best_err, eval.bce.unwrap());
+}

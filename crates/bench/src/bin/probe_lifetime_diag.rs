@@ -1,0 +1,109 @@
+//! Diagnostic: split lifetime 1-best error by position-in-batch for the
+//! LSTM vs RepeatLifetime (not a paper experiment; a tuning aid).
+
+use bench::CloudSetup;
+use survival::funcs::{hazard_to_pmf, pmf_argmax};
+use survival::CensoringPolicy;
+
+fn main() {
+    let setup = CloudSetup::azure();
+    let model = &setup.fit_generator_cached().lifetimes;
+    let hazards = model.predict_hazards(&setup.test_stream);
+
+    let overall = cloudgen::LifetimeBaseline::overall_km(
+        &setup.train_stream,
+        &setup.space,
+        CensoringPolicy::CensoringAware,
+    );
+    let fallback = match &overall {
+        cloudgen::LifetimeBaseline::OverallKm { km } => pmf_argmax(&km.pmf()),
+        _ => unreachable!(),
+    };
+
+    let mut stats = [[0usize; 2]; 2]; // [is_start][errors] with counts in [is_start][1]
+    let mut repeat_stats = [[0usize; 2]; 2];
+    let mut dist_sum = 0.0;
+    let mut dist_n = 0usize;
+    for (i, step) in setup.test_stream.jobs.iter().enumerate() {
+        if step.censored {
+            continue;
+        }
+        let is_start = usize::from(step.pos_in_batch == 0);
+        let pred = pmf_argmax(&hazard_to_pmf(&hazards[i]));
+        stats[is_start][1] += 1;
+        if pred != step.bin {
+            stats[is_start][0] += 1;
+            dist_sum += (pred as f64 - step.bin as f64).abs();
+            dist_n += 1;
+        }
+        let rpred = if is_start == 1 {
+            fallback
+        } else {
+            setup.test_stream.jobs[i - 1].bin
+        };
+        repeat_stats[is_start][1] += 1;
+        if rpred != step.bin {
+            repeat_stats[is_start][0] += 1;
+        }
+    }
+    // Fine-grained in-batch split: pure copies vs divergent jobs.
+    let mut copy = [0usize; 2]; // [errors, total] among cur == prev
+    let mut diverge = [0usize; 2]; // among cur != prev
+    let mut diverge_anchor_hits = 0usize;
+    let mut anchor_bin = 0usize;
+    let mut copy_miss_bins: Vec<(usize, usize)> = Vec::new();
+    for (i, step) in setup.test_stream.jobs.iter().enumerate() {
+        if step.pos_in_batch == 0 {
+            anchor_bin = step.bin;
+            continue;
+        }
+        if step.censored {
+            continue;
+        }
+        let prev = &setup.test_stream.jobs[i - 1];
+        let pred = pmf_argmax(&hazard_to_pmf(&hazards[i]));
+        if !prev.censored && prev.bin == step.bin {
+            copy[1] += 1;
+            if pred != step.bin {
+                copy[0] += 1;
+                copy_miss_bins.push((step.bin, pred));
+            }
+        } else {
+            diverge[1] += 1;
+            if pred != step.bin {
+                diverge[0] += 1;
+            }
+            if pred == anchor_bin {
+                diverge_anchor_hits += 1;
+            }
+        }
+    }
+    println!(
+        "pure copies: LSTM err {:.1}% ({}/{}); divergent: err {:.1}% ({}/{}), predicted anchor {:.1}%",
+        100.0 * copy[0] as f64 / copy[1].max(1) as f64, copy[0], copy[1],
+        100.0 * diverge[0] as f64 / diverge[1].max(1) as f64, diverge[0], diverge[1],
+        100.0 * diverge_anchor_hits as f64 / diverge[1].max(1) as f64,
+    );
+    let mut hist = std::collections::BTreeMap::new();
+    for &(true_bin, pred) in &copy_miss_bins {
+        *hist.entry((true_bin, pred)).or_insert(0usize) += 1;
+    }
+    let mut top: Vec<_> = hist.into_iter().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top copy-miss (true_bin -> predicted): {:?}", &top[..top.len().min(10)]);
+    for (label, s) in [("in-batch", 0usize), ("batch-start", 1)] {
+        println!(
+            "{label:>12}: LSTM err {:.1}% ({}/{})  Repeat err {:.1}% ({}/{})",
+            100.0 * stats[s][0] as f64 / stats[s][1].max(1) as f64,
+            stats[s][0],
+            stats[s][1],
+            100.0 * repeat_stats[s][0] as f64 / repeat_stats[s][1].max(1) as f64,
+            repeat_stats[s][0],
+            repeat_stats[s][1],
+        );
+    }
+    println!(
+        "mean |pred - true| bin distance on LSTM errors: {:.2}",
+        dist_sum / dist_n.max(1) as f64
+    );
+}

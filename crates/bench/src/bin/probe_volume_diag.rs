@@ -1,0 +1,52 @@
+//! Diagnostic: decompose generated-volume bias into stage-1 batch counts vs
+//! stage-2 batch sizes. (Tuning aid, not a paper experiment.)
+
+use bench::{sample_traces, CloudSetup};
+use trace::batch::organize_periods;
+
+fn main() {
+    let setup = CloudSetup::azure();
+    let first = setup.test_first_period();
+    let n = setup.test_n_periods();
+
+    let actual_periods = organize_periods(&setup.test);
+    let actual_batches: usize = actual_periods.iter().map(|p| p.batches.len()).sum();
+    let actual_jobs = setup.test.len();
+
+    // Stage-1-only: expected batch count over the window, averaged over DOH.
+    let arrivals = setup.fit_arrivals();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1u64);
+    let mut sampled_batches = 0u64;
+    let reps = 30;
+    for _ in 0..reps {
+        for p in first..first + n {
+            sampled_batches += arrivals.sample_count(p, 1.0, &mut rng);
+        }
+    }
+    println!(
+        "batches over test window: actual {} | stage-1 sampled mean {:.0}",
+        actual_batches,
+        sampled_batches as f64 / reps as f64
+    );
+    println!(
+        "actual mean batch size: {:.2}",
+        actual_jobs as f64 / actual_batches.max(1) as f64
+    );
+
+    let lstm = setup.fit_generator_cached();
+    let traces = sample_traces(10, 0xD1A6, |rng| {
+        lstm.generate(first, n, setup.world.catalog(), rng)
+    });
+    let mut gen_batches = 0usize;
+    let mut gen_jobs = 0usize;
+    for t in &traces {
+        gen_jobs += t.len();
+        gen_batches += organize_periods(t).iter().map(|p| p.batches.len()).sum::<usize>();
+    }
+    println!(
+        "generated per trace: {:.0} batches, {:.0} jobs (mean size {:.2})",
+        gen_batches as f64 / traces.len() as f64,
+        gen_jobs as f64 / traces.len() as f64,
+        gen_jobs as f64 / gen_batches.max(1) as f64
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 1 reproduction: experimental dataset statistics (window sizes and
+//! VM counts for train/dev/test in both clouds).
+//!
+//! The paper's Table 1: Azure 20.8/3.5/5.7 days with 1.2M/259K/410K VMs;
+//! Huawei 274/14/17 days with 1.7M/116K/140K VMs. Ours are reduced-scale
+//! synthetic equivalents; the shape to preserve is train ≫ dev/test and the
+//! Huawei history being much longer than Azure's.
+
+use bench::{row, CloudSetup, DAY};
+use trace::ObservationWindow;
+
+fn run(setup: &CloudSetup, dev_days: u32) {
+    let dev_start = setup.train_window.end;
+    let dev_window = ObservationWindow::new(dev_start, dev_start + dev_days as u64 * DAY);
+    let dev = dev_window.apply_unshifted(&setup.history);
+    println!("\n=== Table 1 ({}) ===", setup.name);
+    row(
+        "Window",
+        &["days".into(), "VMs".into(), "censored".into()],
+    );
+    for (label, trace, window) in [
+        ("Train", &setup.train, setup.train_window),
+        ("Dev", &dev, dev_window),
+        ("Test", &setup.test, setup.test_window),
+    ] {
+        row(
+            label,
+            &[
+                format!("{:.1}", window.len() as f64 / DAY as f64),
+                trace.len().to_string(),
+                format!("{:.1}%", trace.censored_fraction() * 100.0),
+            ],
+        );
+    }
+    println!(
+        "flavors: {}; batches (train): {}",
+        setup.world.catalog().len(),
+        trace::organize_periods(&setup.train)
+            .iter()
+            .map(|p| p.batches.len())
+            .sum::<usize>()
+    );
+}
+
+fn main() {
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure(), 2);
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 2 reproduction: flavor-sequence prediction (NLL and 1-Best-Err) for
+//! Uniform, Multinomial, RepeatFlav, and the LSTM, on both clouds.
+//!
+//! Paper shape to reproduce: LSTM < RepeatFlav < Multinomial < Uniform on
+//! 1-Best-Err, and LSTM ≪ Multinomial < Uniform on NLL, in both clouds.
+
+use bench::{fmt_opt, pct, row, CloudSetup};
+use cloudgen::FlavorBaseline;
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Table 2 ({}) ===", setup.name);
+    println!(
+        "train: {} jobs / {} tokens; test: {} jobs",
+        setup.train.len(),
+        setup.train_stream.len(),
+        setup.test.len()
+    );
+
+    let k = setup.space.n_flavors;
+    let uniform = FlavorBaseline::Uniform { n_flavors: k }.evaluate(&setup.test_stream);
+    let multinomial =
+        FlavorBaseline::multinomial(&setup.train_stream, k).evaluate(&setup.test_stream);
+    let repeat = FlavorBaseline::repeat_flav(&setup.train_stream, k).evaluate(&setup.test_stream);
+
+    let model = &setup.fit_generator_cached().flavors;
+    let lstm = model.evaluate(&setup.test_stream);
+
+    row("System", &["NLL".into(), "1-Best-Err".into()]);
+    row(
+        "Uniform",
+        &[fmt_opt(uniform.nll, 3), pct(uniform.one_best_err)],
+    );
+    row(
+        "Multinomial",
+        &[fmt_opt(multinomial.nll, 3), pct(multinomial.one_best_err)],
+    );
+    row(
+        "RepeatFlav",
+        &[fmt_opt(repeat.nll, 3), pct(repeat.one_best_err)],
+    );
+    row("LSTM", &[fmt_opt(lstm.nll, 3), pct(lstm.one_best_err)]);
+
+    let nll_ok = lstm.nll.unwrap() < multinomial.nll.unwrap()
+        && multinomial.nll.unwrap() < uniform.nll.unwrap();
+    println!(
+        "shape check NLL (LSTM < Multinomial < Uniform): {}",
+        if nll_ok { "PASS" } else { "DIVERGES" }
+    );
+    let one_best_ok = lstm.one_best_err < repeat.one_best_err
+        && repeat.one_best_err < multinomial.one_best_err
+        && multinomial.one_best_err < uniform.one_best_err;
+    // See EXPERIMENTS.md: at reduced training scale the LSTM's argmax can
+    // trail the repeat heuristic while dominating the likelihood.
+    let near = lstm.one_best_err < repeat.one_best_err + 0.08
+        && lstm.one_best_err < multinomial.one_best_err;
+    println!(
+        "shape check 1-Best (LSTM < RepeatFlav < Multinomial < Uniform): {}",
+        if one_best_ok {
+            "PASS"
+        } else if near {
+            "NEAR (LSTM within a few points of RepeatFlav, far below Multinomial)"
+        } else {
+            "DIVERGES"
+        }
+    );
+}
+
+fn main() {
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 3 reproduction: lifetime prediction (BCE and 1-Best-Err) for
+//! CoinFlip, overall KM, per-flavor KM, RepeatLifetime, and the LSTM, on
+//! both clouds. Also prints the §5.3 censoring-policy ablation (drop
+//! censored VMs vs. treating censoring as termination).
+//!
+//! Paper shape: LSTM ≪ RepeatLifetime < per-flavor KM < overall KM <
+//! CoinFlip on 1-Best-Err; LSTM ≪ per-flavor KM ≤ overall KM < CoinFlip on
+//! BCE; the censored-as-terminated KM stays close to the censoring-aware KM
+//! when the censored fraction is small.
+
+use bench::{fmt_opt, pct, row, CloudSetup};
+use cloudgen::LifetimeBaseline;
+use survival::CensoringPolicy;
+
+fn run(setup: &CloudSetup) {
+    println!("\n=== Table 3 ({}) ===", setup.name);
+    println!(
+        "test jobs: {} ({:.1}% censored)",
+        setup.test.len(),
+        setup.test.censored_fraction() * 100.0
+    );
+
+    let sp = &setup.space;
+    let aware = CensoringPolicy::CensoringAware;
+    let coin = LifetimeBaseline::CoinFlip.evaluate(&setup.test_stream, sp);
+    let overall = LifetimeBaseline::overall_km(&setup.train_stream, sp, aware)
+        .evaluate(&setup.test_stream, sp);
+    let per_flavor = LifetimeBaseline::per_flavor_km(&setup.train_stream, sp, aware)
+        .evaluate(&setup.test_stream, sp);
+    let repeat = LifetimeBaseline::repeat_lifetime(&setup.train_stream, sp, aware)
+        .evaluate(&setup.test_stream, sp);
+
+    let model = &setup.fit_generator_cached().lifetimes;
+    let lstm = model.evaluate(&setup.test_stream);
+
+    row("System", &["BCE".into(), "1-Best-Err".into()]);
+    row("CoinFlip", &[fmt_opt(coin.bce, 3), pct(coin.one_best_err)]);
+    row(
+        "Overall KM",
+        &[fmt_opt(overall.bce, 3), pct(overall.one_best_err)],
+    );
+    row(
+        "Per-flavor KM",
+        &[fmt_opt(per_flavor.bce, 3), pct(per_flavor.one_best_err)],
+    );
+    row(
+        "RepeatLifetime",
+        &[fmt_opt(repeat.bce, 3), pct(repeat.one_best_err)],
+    );
+    row("LSTM", &[fmt_opt(lstm.bce, 3), pct(lstm.one_best_err)]);
+
+    let bce_ok = lstm.bce.unwrap() < per_flavor.bce.unwrap()
+        && per_flavor.bce.unwrap() <= overall.bce.unwrap() + 1e-9
+        && overall.bce.unwrap() < coin.bce.unwrap();
+    println!(
+        "shape check BCE (LSTM < per-flavor KM <= overall KM < CoinFlip): {}",
+        if bce_ok { "PASS" } else { "DIVERGES" }
+    );
+    let one_best_ok = lstm.one_best_err < repeat.one_best_err
+        && repeat.one_best_err < per_flavor.one_best_err.min(overall.one_best_err);
+    // At reduced scale the LSTM's argmax can trail the repeat heuristic by a
+    // few points even while dominating every probabilistic metric; report
+    // a near-miss distinctly (see EXPERIMENTS.md).
+    let near = lstm.one_best_err < repeat.one_best_err + 0.06
+        && lstm.one_best_err < per_flavor.one_best_err;
+    println!(
+        "shape check 1-Best (LSTM < RepeatLifetime < KM baselines): {}",
+        if one_best_ok {
+            "PASS"
+        } else if near {
+            "NEAR (LSTM within a few points of RepeatLifetime, far below KM)"
+        } else {
+            "DIVERGES"
+        }
+    );
+
+    // §5.3 censoring ablation.
+    println!("\ncensoring-policy ablation (overall KM, BCE):");
+    for (label, policy) in [
+        ("censoring-aware", CensoringPolicy::CensoringAware),
+        ("drop-censored", CensoringPolicy::DropCensored),
+        ("censored-as-term", CensoringPolicy::CensoredAsTerminated),
+    ] {
+        let eval = LifetimeBaseline::overall_km(&setup.train_stream, sp, policy)
+            .evaluate(&setup.test_stream, sp);
+        row(label, &[fmt_opt(eval.bce, 4), pct(eval.one_best_err)]);
+    }
+}
+
+fn main() {
+    if bench::run_cloud("azure") {
+        run(&CloudSetup::azure());
+    }
+    if bench::run_cloud("huawei") {
+        run(&CloudSetup::huawei());
+    }
+}

@@ -1,0 +1,488 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every binary follows the same recipe (§3–§4 of the paper, at reduced
+//! scale):
+//!
+//! 1. build a synthetic cloud world ([`synth::CloudWorld`]) standing in for
+//!    the Azure / Huawei production traces;
+//! 2. split its history into train / dev / test observation windows, each
+//!    censored at its own end;
+//! 3. train the three model stages on the train window;
+//! 4. evaluate on the test window and print the paper's table rows or
+//!    figure series.
+//!
+//! Scale knobs (environment variables, so the binaries stay reproducible by
+//! default but can be pushed toward paper scale):
+//!
+//! - `CLOUDGEN_SAMPLES`: sampled traces per generator (default 60; the paper
+//!   uses 500);
+//! - `CLOUDGEN_EPOCHS`: LSTM training epochs (default 48);
+//! - `CLOUDGEN_HIDDEN`: LSTM hidden units (default 48).
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+#[cfg(test)]
+use rand::Rng as _;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::{TemporalFeaturesSpec, PERIOD_SECS};
+use trace::{ObservationWindow, Trace};
+
+/// Seconds per day.
+pub const DAY: u64 = 86_400;
+
+/// Reads a scale knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of sampled traces per generator (paper: 500).
+pub fn n_samples() -> usize {
+    env_usize("CLOUDGEN_SAMPLES", 60)
+}
+
+/// Which clouds a binary should run (`CLOUDGEN_CLOUDS=azure|huawei|both`).
+pub fn run_cloud(name: &str) -> bool {
+    match std::env::var("CLOUDGEN_CLOUDS") {
+        Ok(v) if v == "both" || v.is_empty() => true,
+        Ok(v) => v.split(',').any(|c| c.trim() == name),
+        Err(_) => true,
+    }
+}
+
+/// A fully prepared experimental cloud: ground truth, windows, streams.
+pub struct CloudSetup {
+    /// `"azure"` or `"huawei"`.
+    pub name: &'static str,
+    /// The ground-truth world.
+    pub world: CloudWorld,
+    /// Full uncensored history.
+    pub history: Trace,
+    /// Train window (absolute timestamps, censored at its end).
+    pub train: Trace,
+    /// Test window (absolute timestamps, censored at its end).
+    pub test: Trace,
+    /// The train observation window.
+    pub train_window: ObservationWindow,
+    /// The test observation window.
+    pub test_window: ObservationWindow,
+    /// Shared feature space (bins + temporal spec).
+    pub space: FeatureSpace,
+    /// Train-window token stream.
+    pub train_stream: TokenStream,
+    /// Test-window token stream.
+    pub test_stream: TokenStream,
+}
+
+impl CloudSetup {
+    /// Builds a setup from a world config and window lengths in days.
+    ///
+    /// `extend_censor_days` keeps monitoring test VMs past the test window
+    /// before right-censoring them — §3.2's Huawei procedure (the paper
+    /// monitors two months beyond a 17-day test window).
+    pub fn build(
+        name: &'static str,
+        config: WorldConfig,
+        seed: u64,
+        train_days: u32,
+        dev_days: u32,
+        test_days: u32,
+        extend_censor_days: u32,
+    ) -> Self {
+        let world = CloudWorld::new(config, seed);
+        let total_days = train_days + dev_days + test_days;
+        let history = world.generate(total_days + extend_censor_days);
+
+        let train_window = ObservationWindow::new(0, train_days as u64 * DAY);
+        let test_start = (train_days + dev_days) as u64 * DAY;
+        let test_window = ObservationWindow::with_extended_censoring(
+            test_start,
+            total_days as u64 * DAY,
+            (total_days + extend_censor_days) as u64 * DAY,
+        );
+
+        let train = train_window.apply_unshifted(&history);
+        let test = test_window.apply_unshifted(&history);
+
+        let bins = LifetimeBins::paper_47();
+        let temporal = TemporalFeaturesSpec::new(train_days as usize);
+        let space = FeatureSpace::new(world.catalog().len(), bins.clone(), temporal);
+
+        let train_stream = TokenStream::from_trace(&train, &bins, train_window.censor_at);
+        let test_stream = TokenStream::from_trace(&test, &bins, test_window.censor_at);
+
+        Self {
+            name,
+            world,
+            history,
+            train,
+            test,
+            train_window,
+            test_window,
+            space,
+            train_stream,
+            test_stream,
+        }
+    }
+
+    /// The Azure-like experiment world (16 flavors, flat trend).
+    pub fn azure() -> Self {
+        Self::build("azure", WorldConfig::azure_like(1.2), 41, 14, 2, 3, 0)
+    }
+
+    /// The Huawei-like experiment world (many flavors, growth + level-off).
+    ///
+    /// The world's level-off day (55) falls inside the training window, so —
+    /// as in the paper — whole-history statistics overestimate the test
+    /// workload while DOH sampling tracks the recent past. Test VMs are
+    /// monitored 20 days beyond the test window before censoring (§3.2's
+    /// extended-censoring procedure, scaled down from two months).
+    pub fn huawei() -> Self {
+        Self::build("huawei", WorldConfig::huawei_like(0.45), 43, 60, 3, 6, 20)
+    }
+
+    /// First test period index.
+    pub fn test_first_period(&self) -> u64 {
+        self.test_window.start / PERIOD_SECS
+    }
+
+    /// Number of test periods.
+    pub fn test_n_periods(&self) -> u64 {
+        self.test_window.len() / PERIOD_SECS
+    }
+
+    /// The training configuration for both LSTMs (env-tunable).
+    ///
+    /// The Huawei-like world defaults to fewer epochs: its 259-flavor
+    /// one-hot inputs make each optimizer step ~7x more expensive than the
+    /// Azure-like world's, and its coarser lifetime structure (bigger
+    /// batches, stronger repeats) converges in fewer steps.
+    pub fn train_config(&self) -> TrainConfig {
+        let default_epochs = if self.name == "huawei" { 32 } else { 48 };
+        TrainConfig {
+            hidden: env_usize("CLOUDGEN_HIDDEN", 48),
+            layers: env_usize("CLOUDGEN_LAYERS", 1),
+            epochs: env_usize("CLOUDGEN_EPOCHS", default_epochs),
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Fits the stage-1 batch-arrival model (with DOH sampling).
+    pub fn fit_arrivals(&self) -> BatchArrivalModel {
+        BatchArrivalModel::fit(
+            &self.train,
+            self.train_window.end,
+            ArrivalTarget::Batches,
+            self.space.temporal,
+            // A light ridge: the survival-encoded day-of-history weights
+            // must fit each day's level so DOH sampling reproduces the real
+            // day-to-day dispersion.
+            ElasticNet::ridge(0.05),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrival fit")
+    }
+
+    /// Fits the stage-2 flavor LSTM.
+    pub fn fit_flavors(&self) -> FlavorModel {
+        FlavorModel::fit(&self.train_stream, self.space.clone(), self.train_config())
+    }
+
+    /// Fits the stage-3 lifetime LSTM.
+    pub fn fit_lifetimes(&self) -> LifetimeModel {
+        LifetimeModel::fit(&self.train_stream, self.space.clone(), self.train_config())
+    }
+
+    /// Fits the full three-stage generator.
+    pub fn fit_generator(&self) -> TraceGenerator {
+        TraceGenerator {
+            arrivals: self.fit_arrivals(),
+            flavors: self.fit_flavors(),
+            lifetimes: self.fit_lifetimes(),
+            config: GeneratorConfig::default(),
+        }
+    }
+
+    /// Fits the Naive end-to-end baseline.
+    pub fn fit_naive(&self) -> NaiveGenerator {
+        NaiveGenerator::fit(&self.train, self.train_window.end, self.space.clone())
+            .expect("naive fit")
+    }
+
+    /// Fits the SimpleBatch end-to-end baseline.
+    pub fn fit_simple_batch(&self) -> SimpleBatchGenerator {
+        SimpleBatchGenerator::fit(
+            &self.train,
+            self.train_window.end,
+            self.space.clone(),
+            self.space.temporal,
+            DohStrategy::paper_default(),
+        )
+        .expect("simple-batch fit")
+    }
+
+    /// CPU load contributed to each test period by jobs that started before
+    /// the test window (their *actual* lifetimes — held constant across all
+    /// generators, per §6.1).
+    pub fn carryover_cpus(&self) -> Vec<f64> {
+        let first = self.test_first_period();
+        let n = self.test_n_periods();
+        let mut diff = vec![0.0; n as usize + 1];
+        for job in &self.history.jobs {
+            if job.start >= self.test_window.start {
+                continue;
+            }
+            let end = match job.end {
+                Some(e) if e <= self.test_window.start => continue,
+                Some(e) => e,
+                None => u64::MAX,
+            };
+            let vcpus = self.history.catalog.get(job.flavor).vcpus;
+            let p_end = (end.div_ceil(PERIOD_SECS)).clamp(first, first + n) - first;
+            diff[0] += vcpus;
+            diff[p_end as usize] -= vcpus;
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for d in diff.iter().take(n as usize) {
+            acc += d;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Active-CPU series of a generated (or the real) test trace over the
+    /// test window, *excluding* carryover.
+    pub fn test_cpu_series(&self, t: &Trace) -> Vec<f64> {
+        let first = self.test_first_period();
+        let n = self.test_n_periods();
+        let mut diff = vec![0.0; n as usize + 1];
+        for job in &t.jobs {
+            if job.start < self.test_window.start {
+                continue;
+            }
+            let vcpus = t.catalog.get(job.flavor).vcpus;
+            let p_start = (job.start.div_ceil(PERIOD_SECS)).clamp(first, first + n) - first;
+            let p_end = match job.end {
+                Some(e) => (e.div_ceil(PERIOD_SECS)).clamp(first, first + n) - first,
+                None => n,
+            };
+            if p_start < p_end {
+                diff[p_start as usize] += vcpus;
+                diff[p_end as usize] -= vcpus;
+            }
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for d in diff.iter().take(n as usize) {
+            acc += d;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// Samples `n` traces from a generator closure, seeding each draw
+/// deterministically.
+pub fn sample_traces(
+    n: usize,
+    base_seed: u64,
+    mut generate: impl FnMut(&mut StdRng) -> Trace,
+) -> Vec<Trace> {
+    (0..n)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed_for(base_seed, i));
+            generate(&mut rng)
+        })
+        .collect()
+}
+
+/// Like [`sample_traces`], but fans the draws out across all available CPU
+/// cores with `std::thread::scope`. Produces the identical traces (same
+/// per-index seeds) regardless of thread count.
+pub fn sample_traces_parallel(
+    n: usize,
+    base_seed: u64,
+    generate: impl Fn(&mut StdRng) -> Trace + Sync,
+) -> Vec<Trace> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        let gen = generate;
+        return sample_traces(n, base_seed, move |rng| gen(rng));
+    }
+    let mut out: Vec<Option<Trace>> = (0..n).map(|_| None).collect();
+    let gen_ref = &generate;
+    std::thread::scope(|scope| {
+        for (t, chunk) in out.chunks_mut(n.div_ceil(threads)).enumerate() {
+            let first = t * n.div_ceil(threads);
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seed_for(base_seed, first + off));
+                    *slot = Some(gen_ref(&mut rng));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|t| t.expect("all slots filled")).collect()
+}
+
+fn seed_for(base_seed: u64, i: usize) -> u64 {
+    base_seed.wrapping_add(i as u64 * 0x9E37)
+}
+
+/// Pretty-prints a labelled table row.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<16}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Formats an optional metric (`N/A` when absent, as in the paper's tables).
+pub fn fmt_opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "N/A".to_string(),
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+impl CloudSetup {
+    /// Fits the three-stage generator, caching the trained weights under
+    /// `target/model-cache/` so that later reproduction binaries reuse them.
+    pub fn fit_generator_cached(&self) -> TraceGenerator {
+        let cfg = self.train_config();
+        let dir = std::path::Path::new("target/model-cache");
+        // The fingerprint covers everything that affects the trained models:
+        // world config, window layout, and training hyperparameters — so
+        // stale caches cannot silently poison results after a change.
+        let fingerprint = {
+            let desc = format!(
+                "v2|{:?}|{:?}|{:?}|{:?}",
+                self.world.config(),
+                self.train_window,
+                self.test_window,
+                cfg
+            );
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in desc.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        };
+        let path = dir.join(format!(
+            "{}-h{}-e{}-{fingerprint:016x}.json",
+            self.name, cfg.hidden, cfg.epochs
+        ));
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Ok(g) = serde_json::from_str::<TraceGenerator>(&s) {
+                eprintln!("[cache] loaded trained models from {}", path.display());
+                return g;
+            }
+        }
+        let start = std::time::Instant::now();
+        let g = self.fit_generator();
+        eprintln!(
+            "[train] three-stage generator fitted in {:.1?}",
+            start.elapsed()
+        );
+        let _ = std::fs::create_dir_all(dir);
+        if let Ok(s) = serde_json::to_string(&g) {
+            let _ = std::fs::write(&path, s);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_windows_are_consistent() {
+        let s = CloudSetup::build("azure", synth::WorldConfig::azure_like(0.3), 5, 2, 1, 1, 0);
+        assert_eq!(s.train_window.start, 0);
+        assert_eq!(s.train_window.end, 2 * DAY);
+        assert_eq!(s.test_window.start, 3 * DAY);
+        assert_eq!(s.test_first_period(), 3 * 288);
+        assert_eq!(s.test_n_periods(), 288);
+        // Train/test traces only contain jobs from their windows.
+        assert!(s.train.jobs.iter().all(|j| j.start < 2 * DAY));
+        assert!(s
+            .test
+            .jobs
+            .iter()
+            .all(|j| j.start >= 3 * DAY && j.start < 4 * DAY));
+    }
+
+    #[test]
+    fn carryover_plus_new_equals_total_active() {
+        let s = CloudSetup::build("azure", synth::WorldConfig::azure_like(0.3), 6, 2, 1, 1, 0);
+        let carry = s.carryover_cpus();
+        let new = s.test_cpu_series(&s.test);
+        // Compare against a direct computation over the full history.
+        let first = s.test_first_period();
+        let n = s.test_n_periods();
+        let direct = trace::stats::active_cpus_per_period(&s.history, first + n);
+        for (i, (&c, &w)) in carry.iter().zip(&new).enumerate() {
+            let total = c + w;
+            let want = direct[(first as usize) + i];
+            assert!(
+                (total - want).abs() < 1e-9,
+                "period {i}: carry {c} + new {w} != {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_traces_is_deterministic() {
+        let a = sample_traces(3, 7, |rng| {
+            synth::CloudWorld::new(synth::WorldConfig::azure_like(0.2), rng.gen()).generate(1)
+        });
+        let b = sample_traces(3, 7, |rng| {
+            synth::CloudWorld::new(synth::WorldConfig::azure_like(0.2), rng.gen()).generate(1)
+        });
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sampler_matches_sequential() {
+        let gen = |rng: &mut StdRng| {
+            synth::CloudWorld::new(synth::WorldConfig::azure_like(0.2), rng.gen()).generate(1)
+        };
+        let seq = sample_traces(4, 11, |rng| gen(rng));
+        let par = sample_traces_parallel(4, 11, gen);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_sampler_handles_zero_and_one() {
+        let gen = |rng: &mut StdRng| {
+            synth::CloudWorld::new(synth::WorldConfig::azure_like(0.2), rng.gen()).generate(1)
+        };
+        assert!(sample_traces_parallel(0, 1, gen).is_empty());
+        assert_eq!(sample_traces_parallel(1, 1, gen).len(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! `cloudgen` command-line entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cloudgen_cli::run(&argv) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

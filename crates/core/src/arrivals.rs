@@ -1,0 +1,262 @@
+//! Stage 1: the batch-arrival model (§2.1).
+//!
+//! An inhomogeneous Poisson regression over the period's temporal features
+//! (hour-of-day, day-of-week one-hot; day-of-history survival-encoded).
+//! When generating beyond the training window, the day-of-history feature is
+//! chosen by a [`DohStrategy`] — the paper's geometric sampling is what lets
+//! generated futures vary like the recent past.
+
+use glm::samplers::sample_poisson;
+use glm::{DohStrategy, ElasticNet, PoissonFitError, PoissonRegression};
+use linalg::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use trace::batch::{batch_counts, job_counts, organize_periods};
+use trace::period::{TemporalFeaturesSpec, TemporalInfo, PERIOD_SECS};
+use trace::Trace;
+
+/// What the regression counts per period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalTarget {
+    /// Per-user batches (the paper's stage 1).
+    Batches,
+    /// Individual jobs (the traditional baseline evaluated in §5.1/Fig. 6).
+    Jobs,
+}
+
+/// A fitted arrival model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchArrivalModel {
+    regression: PoissonRegression,
+    temporal: TemporalFeaturesSpec,
+    /// Last day index seen in training (DOH sampling anchors here).
+    last_train_day: u32,
+    doh: DohStrategy,
+    target: ArrivalTarget,
+}
+
+impl BatchArrivalModel {
+    /// Fits the arrival model on a training trace.
+    ///
+    /// `train_secs` is the training-window length (the trace's own clock
+    /// starts at 0); every period in `[0, train_secs / 300)` becomes one
+    /// regression row, including empty ones.
+    pub fn fit(
+        train: &Trace,
+        train_secs: u64,
+        target: ArrivalTarget,
+        temporal: TemporalFeaturesSpec,
+        penalty: ElasticNet,
+        doh: DohStrategy,
+    ) -> Result<Self, PoissonFitError> {
+        let n_periods = train_secs / PERIOD_SECS;
+        let periods = organize_periods(train);
+        let y = match target {
+            ArrivalTarget::Batches => batch_counts(&periods, n_periods),
+            ArrivalTarget::Jobs => job_counts(&periods, n_periods),
+        };
+        let mut x = Mat::zeros(n_periods as usize, temporal.dim());
+        for p in 0..n_periods {
+            let info = TemporalInfo::of_period(p);
+            temporal.encode_into(info, None, x.row_mut(p as usize));
+        }
+        let regression = PoissonRegression::fit(&x, &y, penalty, 30, 1e-7)?;
+        let last_train_day = TemporalInfo::of_period(n_periods.saturating_sub(1)).day_of_history;
+        Ok(Self {
+            regression,
+            temporal,
+            last_train_day,
+            doh,
+            target,
+        })
+    }
+
+    /// The Poisson rate for a period, with an optional day-of-history
+    /// override (pass the sampled DOH day when generating a future period).
+    pub fn rate(&self, period: u64, doh_override: Option<u32>) -> f64 {
+        let info = TemporalInfo::of_period(period);
+        let x = self.temporal.encode(info, doh_override);
+        self.regression.rate(&x)
+    }
+
+    /// Samples a DOH day according to the model's strategy.
+    pub fn sample_doh_day(&self, rng: &mut impl Rng) -> u32 {
+        self.doh.sample_day(self.last_train_day, rng)
+    }
+
+    /// Samples an arrival count for a period: draws a DOH day, computes the
+    /// rate, then draws from the Poisson. `scale` multiplies the rate (the
+    /// 10× stress-test knob from §6.2).
+    pub fn sample_count(&self, period: u64, scale: f64, rng: &mut impl Rng) -> u64 {
+        let day = self.sample_doh_day(rng);
+        sample_poisson(self.rate(period, Some(day)) * scale, rng)
+    }
+
+    /// Samples a count with a caller-chosen DOH day (used when one day should
+    /// drive a whole sampled trace).
+    pub fn sample_count_with_day(
+        &self,
+        period: u64,
+        day: u32,
+        scale: f64,
+        rng: &mut impl Rng,
+    ) -> u64 {
+        sample_poisson(self.rate(period, Some(day)) * scale, rng)
+    }
+
+    /// The regression target the model was fitted on.
+    pub fn target(&self) -> ArrivalTarget {
+        self.target
+    }
+
+    /// The last training day (DOH anchor).
+    pub fn last_train_day(&self) -> u32 {
+        self.last_train_day
+    }
+
+    /// The DOH strategy.
+    pub fn doh_strategy(&self) -> DohStrategy {
+        self.doh
+    }
+
+    /// Replaces the DOH strategy (for the sampled-vs-last-day ablation).
+    pub fn set_doh_strategy(&mut self, doh: DohStrategy) {
+        self.doh = doh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trace::{FlavorCatalog, FlavorId, Job, UserId};
+
+    /// A trace with a strong diurnal pattern: 6 jobs/period in hour 12, 1
+    /// job/period in hour 0, across 4 days.
+    fn diurnal_trace() -> (Trace, u64) {
+        let mut jobs = Vec::new();
+        let days = 4u64;
+        for day in 0..days {
+            for hour in [0u64, 12] {
+                for slot in 0..12 {
+                    let t = day * 86_400 + hour * 3600 + slot * 300;
+                    let n = if hour == 12 { 6 } else { 1 };
+                    for u in 0..n {
+                        jobs.push(Job {
+                            start: t,
+                            end: Some(t + 600),
+                            flavor: FlavorId(0),
+                            user: UserId(u),
+                        });
+                    }
+                }
+            }
+        }
+        jobs.sort_by_key(|j| j.start);
+        (Trace::new(jobs, FlavorCatalog::azure16()), days * 86_400)
+    }
+
+    #[test]
+    fn learns_diurnal_pattern() {
+        let (t, secs) = diurnal_trace();
+        let m = BatchArrivalModel::fit(
+            &t,
+            secs,
+            ArrivalTarget::Batches,
+            TemporalFeaturesSpec::new(4),
+            ElasticNet::ridge(0.1),
+            DohStrategy::LastDay,
+        )
+        .unwrap();
+        // Hour 12 of a training day vs hour 0: each user is one batch, so
+        // rates should approach 6 and 1.
+        let noon = m.rate(12 * 12, None);
+        let midnight = m.rate(0, None);
+        assert!(noon > 3.0 * midnight, "noon {noon} vs midnight {midnight}");
+    }
+
+    #[test]
+    fn jobs_target_counts_jobs_not_batches() {
+        // One user submitting 3 jobs per period: 1 batch but 3 jobs.
+        let mut jobs = Vec::new();
+        for p in 0..288u64 {
+            for _ in 0..3 {
+                jobs.push(Job {
+                    start: p * 300,
+                    end: Some(p * 300 + 300),
+                    flavor: FlavorId(0),
+                    user: UserId(0),
+                });
+            }
+        }
+        let t = Trace::new(jobs, FlavorCatalog::azure16());
+        let spec = TemporalFeaturesSpec::without_doh();
+        let batches = BatchArrivalModel::fit(
+            &t,
+            86_400,
+            ArrivalTarget::Batches,
+            spec,
+            ElasticNet::ridge(0.1),
+            DohStrategy::LastDay,
+        )
+        .unwrap();
+        let jobs_m = BatchArrivalModel::fit(
+            &t,
+            86_400,
+            ArrivalTarget::Jobs,
+            spec,
+            ElasticNet::ridge(0.1),
+            DohStrategy::LastDay,
+        )
+        .unwrap();
+        let rb = batches.rate(6, None);
+        let rj = jobs_m.rate(6, None);
+        assert!((rb - 1.0).abs() < 0.3, "batch rate {rb}");
+        assert!((rj - 3.0).abs() < 0.6, "job rate {rj}");
+    }
+
+    #[test]
+    fn sample_count_scales() {
+        let (t, secs) = diurnal_trace();
+        let m = BatchArrivalModel::fit(
+            &t,
+            secs,
+            ArrivalTarget::Batches,
+            TemporalFeaturesSpec::new(4),
+            ElasticNet::ridge(0.1),
+            DohStrategy::LastDay,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 2000;
+        let base: f64 = (0..n)
+            .map(|_| m.sample_count(12 * 12, 1.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let scaled: f64 = (0..n)
+            .map(|_| m.sample_count(12 * 12, 10.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(scaled > base * 7.0, "10x scaling: {base} -> {scaled}");
+    }
+
+    #[test]
+    fn last_train_day_recorded() {
+        let (t, secs) = diurnal_trace();
+        let m = BatchArrivalModel::fit(
+            &t,
+            secs,
+            ArrivalTarget::Batches,
+            TemporalFeaturesSpec::new(4),
+            ElasticNet::ridge(0.1),
+            DohStrategy::paper_default(),
+        )
+        .unwrap();
+        assert_eq!(m.last_train_day(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(m.sample_doh_day(&mut rng) <= 3);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! End-to-end generation baselines (§6): Naive and SimpleBatch.
+
+use crate::arrivals::{ArrivalTarget, BatchArrivalModel};
+use crate::features::{FeatureSpace, TokenStream};
+use crate::flavors::FlavorBaseline;
+use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
+use glm::samplers::sample_categorical;
+use glm::{DohStrategy, ElasticNet, PoissonFitError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use survival::funcs::sample_hazard_chain;
+use survival::{CensoringPolicy, Interpolation, KaplanMeier, Observation};
+use trace::batch::{batch_size_histogram, organize_periods};
+use trace::period::{period_start, TemporalFeaturesSpec};
+use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+/// Per-flavor Kaplan–Meier lifetime sampler shared by both baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KmLifetimes {
+    per_flavor: Vec<Option<KaplanMeier>>,
+    overall: KaplanMeier,
+}
+
+impl KmLifetimes {
+    fn fit(stream: &TokenStream, space: &FeatureSpace) -> Self {
+        let all: Vec<Observation> = stream
+            .jobs
+            .iter()
+            .map(|j| Observation {
+                bin: j.bin,
+                censored: j.censored,
+            })
+            .collect();
+        let overall =
+            KaplanMeier::fit_smoothed(&space.bins, &all, CensoringPolicy::CensoringAware, 0.0, 0.5);
+        let per_flavor = (0..space.n_flavors)
+            .map(|f| {
+                let obs: Vec<Observation> = stream
+                    .jobs
+                    .iter()
+                    .filter(|j| j.flavor.0 as usize == f)
+                    .map(|j| Observation {
+                        bin: j.bin,
+                        censored: j.censored,
+                    })
+                    .collect();
+                if obs.is_empty() {
+                    None
+                } else {
+                    Some(KaplanMeier::fit_smoothed(
+                        &space.bins,
+                        &obs,
+                        CensoringPolicy::CensoringAware,
+                        0.0,
+                        0.5,
+                    ))
+                }
+            })
+            .collect();
+        Self {
+            per_flavor,
+            overall,
+        }
+    }
+
+    fn sample_bin(&self, flavor: FlavorId, rng: &mut impl Rng) -> usize {
+        let km = self.per_flavor[flavor.0 as usize]
+            .as_ref()
+            .unwrap_or(&self.overall);
+        sample_hazard_chain(km.hazard(), rng)
+    }
+}
+
+/// The traditional generator (§6): Poisson on *individual* job arrivals, iid
+/// multinomial flavors, per-flavor KM lifetimes. No inter-job correlations
+/// and, following §5.1's baseline, no day-of-history features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NaiveGenerator {
+    arrivals: BatchArrivalModel,
+    flavor_probs: Vec<f64>,
+    lifetimes: KmLifetimes,
+    space: FeatureSpace,
+    /// Arrival-rate multiplier.
+    pub scale: f64,
+}
+
+impl NaiveGenerator {
+    /// Fits all three components on a training trace.
+    pub fn fit(
+        train: &Trace,
+        train_secs: u64,
+        space: FeatureSpace,
+    ) -> Result<Self, PoissonFitError> {
+        let arrivals = BatchArrivalModel::fit(
+            train,
+            train_secs,
+            ArrivalTarget::Jobs,
+            TemporalFeaturesSpec::without_doh(),
+            ElasticNet::ridge(0.05),
+            DohStrategy::LastDay,
+        )?;
+        let stream = TokenStream::from_trace(train, &space.bins, train_secs);
+        let flavor_probs =
+            FlavorBaseline::multinomial(&stream, space.n_flavors).flavor_only_probs();
+        let lifetimes = KmLifetimes::fit(&stream, &space);
+        Ok(Self {
+            arrivals,
+            flavor_probs,
+            lifetimes,
+            space,
+            scale: 1.0,
+        })
+    }
+
+    /// Generates one sampled trace over `[first_period, first_period + n)`.
+    pub fn generate(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+    ) -> Trace {
+        let mut jobs = Vec::new();
+        let mut user = 0u32;
+        for p in first_period..first_period + n_periods {
+            let n = self.arrivals.sample_count(p, self.scale, rng);
+            let start = period_start(p);
+            for _ in 0..n {
+                let flavor = FlavorId(sample_categorical(&self.flavor_probs, rng) as u16);
+                let bin = self.lifetimes.sample_bin(flavor, rng);
+                let duration = sample_quantized_duration(
+                    &self.space.bins,
+                    bin,
+                    Interpolation::Cdi,
+                    DEFAULT_TAIL_HORIZON,
+                    rng,
+                );
+                // Every job is its own "user": no batch structure at all.
+                jobs.push(Job {
+                    start,
+                    end: Some(start + duration),
+                    flavor,
+                    user: UserId(user),
+                });
+                user = user.wrapping_add(1);
+            }
+        }
+        Trace::new(jobs, catalog.clone())
+    }
+}
+
+/// The non-neural batch-aware baseline (§6): batch Poisson arrivals,
+/// empirical batch sizes, one multinomial flavor per batch, one per-flavor
+/// KM lifetime per batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimpleBatchGenerator {
+    arrivals: BatchArrivalModel,
+    /// Batch-size histogram (index i = size i + 1).
+    size_weights: Vec<f64>,
+    flavor_probs: Vec<f64>,
+    lifetimes: KmLifetimes,
+    space: FeatureSpace,
+    /// Arrival-rate multiplier.
+    pub scale: f64,
+}
+
+impl SimpleBatchGenerator {
+    /// Fits all four components on a training trace.
+    pub fn fit(
+        train: &Trace,
+        train_secs: u64,
+        space: FeatureSpace,
+        temporal: TemporalFeaturesSpec,
+        doh: DohStrategy,
+    ) -> Result<Self, PoissonFitError> {
+        let arrivals = BatchArrivalModel::fit(
+            train,
+            train_secs,
+            ArrivalTarget::Batches,
+            temporal,
+            ElasticNet::ridge(0.05),
+            doh,
+        )?;
+        let periods = organize_periods(train);
+        let size_weights: Vec<f64> = batch_size_histogram(&periods)
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        let stream = TokenStream::from_trace(train, &space.bins, train_secs);
+        let flavor_probs =
+            FlavorBaseline::multinomial(&stream, space.n_flavors).flavor_only_probs();
+        let lifetimes = KmLifetimes::fit(&stream, &space);
+        Ok(Self {
+            arrivals,
+            size_weights,
+            flavor_probs,
+            lifetimes,
+            space,
+            scale: 1.0,
+        })
+    }
+
+    /// Generates one sampled trace over `[first_period, first_period + n)`.
+    pub fn generate(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+    ) -> Trace {
+        let mut jobs = Vec::new();
+        let mut user = 0u32;
+        let doh = self.arrivals.sample_doh_day(rng);
+        for p in first_period..first_period + n_periods {
+            let n_batches = self.arrivals.sample_count_with_day(p, doh, self.scale, rng);
+            let start = period_start(p);
+            for _ in 0..n_batches {
+                let size = sample_categorical(&self.size_weights, rng) + 1;
+                let flavor = FlavorId(sample_categorical(&self.flavor_probs, rng) as u16);
+                let bin = self.lifetimes.sample_bin(flavor, rng);
+                // One lifetime for the whole batch: sample the duration once.
+                let duration = sample_quantized_duration(
+                    &self.space.bins,
+                    bin,
+                    Interpolation::Cdi,
+                    DEFAULT_TAIL_HORIZON,
+                    rng,
+                );
+                for _ in 0..size {
+                    jobs.push(Job {
+                        start,
+                        end: Some(start + duration),
+                        flavor,
+                        user: UserId(user),
+                    });
+                }
+                user = user.wrapping_add(1);
+            }
+        }
+        Trace::new(jobs, catalog.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use survival::LifetimeBins;
+
+    fn bins() -> LifetimeBins {
+        LifetimeBins::from_uppers(vec![600.0, 3600.0, 86_400.0])
+    }
+
+    fn train_trace(periods: u64) -> Trace {
+        let mut jobs = Vec::new();
+        for p in 0..periods {
+            // Two batches per period: user 0 (2 jobs flavor 1), user 1 (1 job flavor 2).
+            for (u, f, n) in [(0u32, 1u16, 2usize), (1, 2, 1)] {
+                for _ in 0..n {
+                    jobs.push(Job {
+                        start: p * 300,
+                        end: Some(p * 300 + 600 + (f as u64) * 1200),
+                        flavor: FlavorId(f),
+                        user: UserId(u),
+                    });
+                }
+            }
+        }
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    fn space(secs: u64) -> (FeatureSpace, TemporalFeaturesSpec) {
+        let temporal = TemporalFeaturesSpec::new(((secs / 86_400) + 1) as usize);
+        (FeatureSpace::new(16, bins(), temporal), temporal)
+    }
+
+    #[test]
+    fn naive_generates_singleton_users() {
+        let t = train_trace(200);
+        let (sp, _) = space(200 * 300);
+        let g = NaiveGenerator::fit(&t, 200 * 300, sp).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = g.generate(200, 50, &t.catalog, &mut rng);
+        assert!(!out.is_empty());
+        // Naive jobs each get a unique user: no multi-job batches.
+        let periods = organize_periods(&out);
+        for p in &periods {
+            for b in &p.batches {
+                assert_eq!(b.len(), 1);
+            }
+        }
+        // Rate roughly matches training (3 jobs/period).
+        let rate = out.len() as f64 / 50.0;
+        assert!(rate > 1.0 && rate < 9.0, "rate {rate}");
+    }
+
+    #[test]
+    fn simple_batch_shares_flavor_and_lifetime_within_batch() {
+        let t = train_trace(200);
+        let (sp, temporal) = space(200 * 300);
+        let g =
+            SimpleBatchGenerator::fit(&t, 200 * 300, sp, temporal, DohStrategy::LastDay).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = g.generate(200, 50, &t.catalog, &mut rng);
+        assert!(!out.is_empty());
+        let periods = organize_periods(&out);
+        let mut multi = 0;
+        for p in &periods {
+            for b in &p.batches {
+                if b.len() >= 2 {
+                    multi += 1;
+                    let f0 = out.jobs[b.jobs[0]].flavor;
+                    let e0 = out.jobs[b.jobs[0]].end;
+                    for &i in &b.jobs {
+                        assert_eq!(out.jobs[i].flavor, f0);
+                        assert_eq!(out.jobs[i].end, e0);
+                    }
+                }
+            }
+        }
+        assert!(multi > 0, "no multi-job batches generated");
+    }
+
+    #[test]
+    fn scale_multiplies_naive_volume() {
+        let t = train_trace(150);
+        let (sp, _) = space(150 * 300);
+        let mut g = NaiveGenerator::fit(&t, 150 * 300, sp).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = g.generate(150, 40, &t.catalog, &mut rng).len();
+        g.scale = 10.0;
+        let scaled = g.generate(150, 40, &t.catalog, &mut rng).len();
+        assert!(scaled as f64 > base as f64 * 5.0, "{base} -> {scaled}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let t = train_trace(100);
+        let (sp, temporal) = space(100 * 300);
+        let g =
+            SimpleBatchGenerator::fit(&t, 100 * 300, sp, temporal, DohStrategy::paper_default())
+                .unwrap();
+        let a = g.generate(100, 20, &t.catalog, &mut StdRng::seed_from_u64(5));
+        let b = g.generate(100, 20, &t.catalog, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! Feature engineering shared by the flavor and lifetime models.
+//!
+//! Both sequence models iterate over the same job stream: all jobs of a
+//! period, batch by batch, with an end-of-batch (EOB) token after each batch
+//! (§2.2). [`TokenStream`] flattens a trace into that order;
+//! [`FeatureSpace`] knows how to encode each step's input features for
+//! either model.
+
+use serde::{Deserialize, Serialize};
+use survival::LifetimeBins;
+use trace::batch::organize_periods;
+use trace::period::{TemporalFeaturesSpec, TemporalInfo};
+use trace::{FlavorId, Trace};
+
+/// One token of the flavor sequence: a flavor id, or the EOB marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlavorToken {
+    /// `0..K` is a flavor; `K` is the EOB token.
+    pub id: usize,
+    /// Period the token belongs to.
+    pub period: u64,
+}
+
+/// One job step of the lifetime sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStep {
+    /// Requested flavor.
+    pub flavor: FlavorId,
+    /// Observed lifetime bin (event bin, or censoring bin if censored).
+    pub bin: usize,
+    /// True if the job was still running at the censoring horizon.
+    pub censored: bool,
+    /// Size of the batch this job belongs to.
+    pub batch_size: usize,
+    /// Zero-based position within the batch (0 = first job after EOB).
+    pub pos_in_batch: usize,
+    /// Period the job arrived in.
+    pub period: u64,
+}
+
+/// A trace flattened into model order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenStream {
+    /// Flavor-model tokens (jobs interleaved with EOB markers).
+    pub tokens: Vec<FlavorToken>,
+    /// Lifetime-model steps (jobs only, same order).
+    pub jobs: Vec<JobStep>,
+}
+
+impl TokenStream {
+    /// Builds the stream from a trace.
+    ///
+    /// `censor_time` is the observation horizon of the trace (in the trace's
+    /// own clock): censored jobs get the bin of `censor_time - start`.
+    pub fn from_trace(trace: &Trace, bins: &LifetimeBins, censor_time: u64) -> Self {
+        let n_flavors = trace.catalog.len();
+        let periods = organize_periods(trace);
+        let mut tokens = Vec::new();
+        let mut jobs = Vec::new();
+        for p in &periods {
+            for batch in &p.batches {
+                for (pos, &idx) in batch.jobs.iter().enumerate() {
+                    let job = &trace.jobs[idx];
+                    tokens.push(FlavorToken {
+                        id: job.flavor.0 as usize,
+                        period: p.period,
+                    });
+                    let duration = job.observed_duration(censor_time);
+                    jobs.push(JobStep {
+                        flavor: job.flavor,
+                        bin: bins.bin_of(duration as f64),
+                        censored: job.is_censored(),
+                        batch_size: batch.len(),
+                        pos_in_batch: pos,
+                        period: p.period,
+                    });
+                }
+                tokens.push(FlavorToken {
+                    id: n_flavors,
+                    period: p.period,
+                });
+            }
+        }
+        Self { tokens, jobs }
+    }
+
+    /// Number of flavor tokens (jobs + EOB markers).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// Dimensions and encoders for both models' input features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpace {
+    /// Number of flavors `K` (the EOB token is id `K`).
+    pub n_flavors: usize,
+    /// Lifetime bin scheme (J bins).
+    pub bins: LifetimeBins,
+    /// Temporal feature encoding.
+    pub temporal: TemporalFeaturesSpec,
+}
+
+impl FeatureSpace {
+    /// Creates a feature space.
+    pub fn new(n_flavors: usize, bins: LifetimeBins, temporal: TemporalFeaturesSpec) -> Self {
+        Self {
+            n_flavors,
+            bins,
+            temporal,
+        }
+    }
+
+    /// Number of lifetime bins `J`.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Flavor-model input dimension: previous-token one-hot (K+1) plus
+    /// temporal features.
+    pub fn flavor_input_dim(&self) -> usize {
+        self.n_flavors + 1 + self.temporal.dim()
+    }
+
+    /// Flavor-model output dimension: K flavors + EOB.
+    pub fn flavor_output_dim(&self) -> usize {
+        self.n_flavors + 1
+    }
+
+    /// Lifetime-model input dimension: temporal + current-flavor one-hot (K)
+    /// + batch size (1) + batch position (2: start flag, log position) +
+    /// previous-lifetime survival encoding (J) + previous-termination
+    /// indicators (J).
+    ///
+    /// The two batch-position features extend the paper's §2.3.3 list:
+    /// without them, a batch boundary is invisible to the lifetime sequence
+    /// (the job stream has no EOB steps), and the network must *infer* from
+    /// recurrent state whether to trust the previous job's lifetime — which
+    /// needs far more training data than our reduced-scale setup has. The
+    /// position is always known at generation time, so the extension is
+    /// free.
+    pub fn lifetime_input_dim(&self) -> usize {
+        self.temporal.dim() + self.n_flavors + 3 + 2 * self.n_bins()
+    }
+
+    /// Encodes one flavor-model step into `out`.
+    ///
+    /// `prev_token` is the id of the previous token (`K` for EOB / sequence
+    /// start); `period`/`doh_override` drive the temporal block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Self::flavor_input_dim`] or
+    /// `prev_token > K`.
+    pub fn encode_flavor_step(
+        &self,
+        prev_token: usize,
+        period: u64,
+        doh_override: Option<u32>,
+        out: &mut [f64],
+    ) {
+        let dim = self.flavor_input_dim();
+        assert!(out.len() >= dim, "flavor feature slice too short");
+        assert!(
+            prev_token <= self.n_flavors,
+            "token {prev_token} out of range"
+        );
+        out[..dim].iter_mut().for_each(|x| *x = 0.0);
+        out[prev_token] = 1.0;
+        let info = TemporalInfo::of_period(period);
+        self.temporal
+            .encode_into(info, doh_override, &mut out[self.n_flavors + 1..dim]);
+    }
+
+    /// Encodes one lifetime-model step into `out`.
+    ///
+    /// `prev` is the previous job's observed `(bin, censored)` state, or
+    /// `None` at the start of a sequence. Per §2.3.3:
+    ///
+    /// - the previous lifetime is survival-encoded (1 for every bin `<=`
+    ///   the observed bin) — censored jobs still get survival credit up to
+    ///   their censoring bin;
+    /// - a second block marks bins where the previous job is *known to have
+    ///   terminated* (1 for bins `>=` its event bin); all zeros if the
+    ///   previous job is censored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is too short or indices are out of range.
+    pub fn encode_lifetime_step(
+        &self,
+        flavor: FlavorId,
+        batch_size: usize,
+        pos_in_batch: usize,
+        prev: Option<(usize, bool)>,
+        period: u64,
+        doh_override: Option<u32>,
+        out: &mut [f64],
+    ) {
+        let dim = self.lifetime_input_dim();
+        assert!(out.len() >= dim, "lifetime feature slice too short");
+        assert!((flavor.0 as usize) < self.n_flavors, "flavor out of range");
+        out[..dim].iter_mut().for_each(|x| *x = 0.0);
+
+        let t_dim = self.temporal.dim();
+        let info = TemporalInfo::of_period(period);
+        self.temporal
+            .encode_into(info, doh_override, &mut out[..t_dim]);
+
+        out[t_dim + flavor.0 as usize] = 1.0;
+        // Batch size, log-compressed to keep the scale near unity.
+        out[t_dim + self.n_flavors] = (1.0 + batch_size as f64).ln();
+        // Batch position: a batch-start flag plus the log position.
+        out[t_dim + self.n_flavors + 1] = if pos_in_batch == 0 { 1.0 } else { 0.0 };
+        out[t_dim + self.n_flavors + 2] = (1.0 + pos_in_batch as f64).ln();
+
+        if let Some((bin, censored)) = prev {
+            let j = self.n_bins();
+            assert!(bin < j, "previous bin out of range");
+            let surv_base = t_dim + self.n_flavors + 3;
+            for b in 0..=bin {
+                out[surv_base + b] = 1.0;
+            }
+            if !censored {
+                let term_base = surv_base + j;
+                for b in bin..j {
+                    out[term_base + b] = 1.0;
+                }
+            }
+        }
+    }
+
+    /// Builds the BCE target and mask rows for one job step (§2.3.2).
+    ///
+    /// Uncensored in bin `b`: mask covers bins `0..=b`; target is 1 at `b`.
+    /// Censored in bin `c`: mask covers bins `0..c` (survival credit only);
+    /// all targets 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slices are shorter than the bin count or `bin` is out of
+    /// range.
+    pub fn lifetime_target_mask(
+        &self,
+        bin: usize,
+        censored: bool,
+        target: &mut [f64],
+        mask: &mut [f64],
+    ) {
+        let j = self.n_bins();
+        assert!(
+            target.len() >= j && mask.len() >= j,
+            "target/mask slices too short"
+        );
+        assert!(bin < j, "bin out of range");
+        target[..j].iter_mut().for_each(|x| *x = 0.0);
+        mask[..j].iter_mut().for_each(|x| *x = 0.0);
+        if censored {
+            for b in 0..bin {
+                mask[b] = 1.0;
+            }
+        } else {
+            for b in 0..=bin {
+                mask[b] = 1.0;
+            }
+            target[bin] = 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::{FlavorCatalog, Job, UserId};
+
+    fn bins() -> LifetimeBins {
+        LifetimeBins::from_uppers(vec![600.0, 3600.0, 86_400.0])
+    }
+
+    fn space() -> FeatureSpace {
+        FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(3))
+    }
+
+    fn mk_trace() -> Trace {
+        // Period 0: user 1 batch of 2; user 2 batch of 1. Period 1: user 1.
+        let jobs = vec![
+            Job {
+                start: 0,
+                end: Some(600),
+                flavor: FlavorId(2),
+                user: UserId(1),
+            },
+            Job {
+                start: 0,
+                end: Some(1200),
+                flavor: FlavorId(2),
+                user: UserId(1),
+            },
+            Job {
+                start: 0,
+                end: None,
+                flavor: FlavorId(5),
+                user: UserId(2),
+            },
+            Job {
+                start: 300,
+                end: Some(900),
+                flavor: FlavorId(1),
+                user: UserId(1),
+            },
+        ];
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn token_stream_order_and_eob() {
+        let t = mk_trace();
+        let s = TokenStream::from_trace(&t, &bins(), 10_000);
+        // Tokens: f2, f2, EOB, f5, EOB, f1, EOB.
+        let ids: Vec<usize> = s.tokens.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 2, 16, 5, 16, 1, 16]);
+        assert_eq!(s.jobs.len(), 4);
+        assert_eq!(s.jobs[0].batch_size, 2);
+        assert_eq!(s.jobs[1].pos_in_batch, 1);
+        assert_eq!(s.jobs[2].batch_size, 1);
+        assert_eq!(s.jobs[2].pos_in_batch, 0);
+        assert_eq!(s.jobs[3].period, 1);
+    }
+
+    #[test]
+    fn censored_job_gets_censor_bin() {
+        let t = mk_trace();
+        let s = TokenStream::from_trace(&t, &bins(), 10_000);
+        // Job 2 censored at 10_000 - 0 = 10_000 s -> bin 2 ([3600, 86400)).
+        assert!(s.jobs[2].censored);
+        assert_eq!(s.jobs[2].bin, 2);
+        // Job 0: 600 s -> bin 1 ([600, 3600)).
+        assert!(!s.jobs[0].censored);
+        assert_eq!(s.jobs[0].bin, 1);
+    }
+
+    #[test]
+    fn flavor_encoding_layout() {
+        let fs = space();
+        let mut v = vec![0.0; fs.flavor_input_dim()];
+        fs.encode_flavor_step(16, 0, None, &mut v); // EOB as prev
+        assert_eq!(v[16], 1.0);
+        assert_eq!(v[..17].iter().sum::<f64>(), 1.0);
+        // Temporal block starts at 17: hour 0 set.
+        assert_eq!(v[17], 1.0);
+    }
+
+    #[test]
+    fn lifetime_encoding_prev_uncensored() {
+        let fs = space();
+        let mut v = vec![0.0; fs.lifetime_input_dim()];
+        fs.encode_lifetime_step(FlavorId(3), 4, 1, Some((1, false)), 0, None, &mut v);
+        let t = fs.temporal.dim();
+        assert_eq!(v[t + 3], 1.0); // flavor one-hot
+        assert!((v[t + 16] - 5.0f64.ln()).abs() < 1e-12); // log(1 + 4)
+        assert_eq!(v[t + 17], 0.0); // not a batch start (pos 1)
+        assert!((v[t + 18] - 2.0f64.ln()).abs() < 1e-12); // log(1 + 1)
+        let sb = t + 19;
+        // Survival encoding of bin 1: bins 0, 1 set.
+        assert_eq!(&v[sb..sb + 4], &[1.0, 1.0, 0.0, 0.0]);
+        // Termination indicators: bins >= 1 set.
+        assert_eq!(&v[sb + 4..sb + 8], &[0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn lifetime_encoding_prev_censored_has_no_termination() {
+        let fs = space();
+        let mut v = vec![0.0; fs.lifetime_input_dim()];
+        fs.encode_lifetime_step(FlavorId(0), 1, 0, Some((2, true)), 0, None, &mut v);
+        let sb = fs.temporal.dim() + 19;
+        assert_eq!(&v[sb..sb + 4], &[1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(&v[sb + 4..sb + 8], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn lifetime_encoding_no_prev_is_zero() {
+        let fs = space();
+        let mut v = vec![0.0; fs.lifetime_input_dim()];
+        fs.encode_lifetime_step(FlavorId(0), 1, 0, None, 0, None, &mut v);
+        let sb = fs.temporal.dim() + 19;
+        assert!(v[sb..sb + 8].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn target_mask_uncensored() {
+        let fs = space();
+        let mut target = vec![9.0; 4];
+        let mut mask = vec![9.0; 4];
+        fs.lifetime_target_mask(2, false, &mut target, &mut mask);
+        assert_eq!(target, vec![0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(mask, vec![1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn target_mask_censored() {
+        let fs = space();
+        let mut target = vec![9.0; 4];
+        let mut mask = vec![9.0; 4];
+        fs.lifetime_target_mask(2, true, &mut target, &mut mask);
+        assert_eq!(target, vec![0.0; 4]);
+        assert_eq!(mask, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn censored_in_bin_zero_contributes_nothing() {
+        let fs = space();
+        let mut target = vec![9.0; 4];
+        let mut mask = vec![9.0; 4];
+        fs.lifetime_target_mask(0, true, &mut target, &mut mask);
+        assert_eq!(mask, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn dims_are_consistent() {
+        let fs = space();
+        assert_eq!(fs.flavor_input_dim(), 17 + fs.temporal.dim());
+        assert_eq!(fs.flavor_output_dim(), 17);
+        assert_eq!(fs.lifetime_input_dim(), fs.temporal.dim() + 16 + 3 + 8);
+    }
+}

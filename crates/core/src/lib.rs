@@ -1,0 +1,55 @@
+//! `cloudgen` — the paper's contribution: a three-stage RNN-based generative
+//! model of cloud workload, plus every baseline it is compared against.
+//!
+//! The generative process (§2, Figure 2) runs per 5-minute period:
+//!
+//! 1. [`BatchArrivalModel`] — Poisson regression over temporal features
+//!    predicts the number of per-user *batches* arriving in the period; the
+//!    count is sampled from the resulting Poisson distribution.
+//! 2. [`FlavorModel`] — an LSTM emits the sequence of requested flavors,
+//!    one job at a time, with a special end-of-batch (EOB) token; generation
+//!    stops after the sampled number of batches.
+//! 3. [`LifetimeModel`] — a second LSTM parameterizes the discrete-time
+//!    hazard function for each job's lifetime, conditioned on the resources
+//!    from stage 2 and the (possibly censored) lifetimes of preceding jobs.
+//!
+//! [`TraceGenerator`] wires the three stages into an end-to-end sampler
+//! (§2.4), including day-of-history sampling and the arrival-scaling knob
+//! used for the 10× stress-test experiments.
+//!
+//! Baselines (§5, §6):
+//!
+//! - flavor predictors: Uniform, Multinomial, RepeatFlav ([`flavors`]);
+//! - lifetime predictors: CoinFlip, overall and per-flavor Kaplan–Meier,
+//!   RepeatLifetime ([`lifetimes`]);
+//! - end-to-end generators: Naive and SimpleBatch ([`baselines`]).
+//!
+//! Extensions and alternatives from the paper's discussion sections:
+//!
+//! - [`resources`]: the §2.2.3 factorized CPU×memory output layer;
+//! - [`single_lstm`]: the §7 single-LSTM design with end-of-period tokens
+//!   (implemented to reproduce why the paper rejected it);
+//! - [`lifetimes::LifetimeHead`]: the §2.3.1 hazard-vs-PMF head ablation;
+//! - [`flavors::FlavorModel::sample_step_scaled`]: footnote 5's what-if
+//!   EOB-probability scaling.
+
+pub mod arrivals;
+pub mod baselines;
+pub mod features;
+pub mod flavors;
+pub mod generator;
+pub mod lifetimes;
+pub mod resources;
+pub mod sampling;
+pub mod single_lstm;
+pub mod train;
+
+pub use arrivals::{ArrivalTarget, BatchArrivalModel};
+pub use baselines::{NaiveGenerator, SimpleBatchGenerator};
+pub use features::{FeatureSpace, TokenStream};
+pub use flavors::{FlavorBaseline, FlavorEval, FlavorModel};
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use lifetimes::{LifetimeBaseline, LifetimeEval, LifetimeModel};
+pub use resources::{MultiResourceModel, ResourceClasses};
+pub use single_lstm::SingleLstmModel;
+pub use train::TrainConfig;

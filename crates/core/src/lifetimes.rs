@@ -1,0 +1,666 @@
+//! Stage 3: the lifetime (hazard) model (§2.3) and its baselines (§5.3).
+//!
+//! The LSTM emits, per job, one logit per lifetime bin; each logit maps
+//! through a logistic function to the discrete hazard `h(j)`. Training uses
+//! the censoring-aware masked BCE of §2.3.2: an uncensored job in bin `b`
+//! contributes hazard terms for bins `0..=b`; a censored job contributes
+//! only the survival terms for bins before its censoring bin. This is the
+//! paper's novel *inter-case* extension of neural survival analysis: the
+//! recurrent state lets each job's hazard depend on the lifetimes of all
+//! preceding jobs.
+
+use crate::features::{FeatureSpace, JobStep, TokenStream};
+use crate::train::TrainConfig;
+use linalg::numeric::{clamp_prob, sigmoid, softmax_inplace};
+use linalg::Mat;
+use nn::loss::{masked_bce_with_logits, survival_softmax_loss};
+use nn::lstm::LstmState;
+use nn::{Adam, AdamConfig, LstmNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use survival::funcs::{hazard_to_pmf, pmf_argmax, pmf_to_hazard, sample_hazard_chain};
+use survival::{CensoringPolicy, KaplanMeier, Observation};
+
+/// Prediction metrics for lifetime models (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeEval {
+    /// Mean binary cross-entropy per unmasked output (`None` for
+    /// non-probabilistic baselines).
+    pub bce: Option<f64>,
+    /// 1-best bin error rate over uncensored jobs.
+    pub one_best_err: f64,
+    /// Uncensored jobs scored for 1-best.
+    pub scored_jobs: usize,
+}
+
+/// Output parameterization of the lifetime network (§2.3.1 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifetimeHead {
+    /// Per-bin logistic hazards with the censoring-aware masked BCE (the
+    /// paper's choice, after Kvamme & Borgan).
+    Hazard,
+    /// A softmax PMF over bins with a censoring-aware categorical loss.
+    Pmf,
+}
+
+fn default_head() -> LifetimeHead {
+    LifetimeHead::Hazard
+}
+
+/// The trained lifetime LSTM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifetimeModel {
+    net: LstmNetwork,
+    space: FeatureSpace,
+    #[serde(default = "default_head")]
+    head: LifetimeHead,
+    /// Mean training loss per epoch (for diagnostics).
+    pub train_losses: Vec<f64>,
+}
+
+/// Generation-time state: recurrent state plus the previously generated
+/// job's lifetime bin.
+#[derive(Debug, Clone)]
+pub struct LifetimeGenState {
+    state: LstmState,
+    prev: Option<(usize, bool)>,
+}
+
+impl LifetimeModel {
+    /// Trains the lifetime LSTM with the paper's hazard head.
+    pub fn fit(stream: &TokenStream, space: FeatureSpace, cfg: TrainConfig) -> Self {
+        Self::fit_with_head(stream, space, cfg, LifetimeHead::Hazard)
+    }
+
+    /// Trains with an explicit output head (hazard vs PMF ablation).
+    pub fn fit_with_head(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        head: LifetimeHead,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
+        let j = space.n_bins();
+        // The skip connection gives the "repeat the previous job's bin" rule
+        // a direct linear path from the survival/termination encodings to the
+        // hazard logits.
+        let mut net = LstmNetwork::with_skip(
+            space.lifetime_input_dim(),
+            cfg.hidden,
+            cfg.layers,
+            j,
+            &mut rng,
+        );
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            clip_norm: Some(cfg.clip_norm),
+            ..Default::default()
+        });
+
+        let n = stream.jobs.len();
+        let l = cfg.seq_len;
+        let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
+        let mut train_losses = Vec::with_capacity(cfg.epochs);
+        let dim = space.lifetime_input_dim();
+
+        for epoch in 0..cfg.epochs {
+            // Step decay: drop the learning rate at 1/2 and 3/4 of training
+            // so the softmax/hazard argmax sharpens late in training.
+            let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
+                0.1
+            } else if epoch * 2 >= cfg.epochs {
+                0.3
+            } else {
+                1.0
+            };
+            opt.config_mut().lr = cfg.lr * lr_factor;
+            chunk_starts.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_count = 0usize;
+            for mb in chunk_starts.chunks(cfg.minibatch) {
+                let b = mb.len();
+                let mut xs = Vec::with_capacity(l);
+                let mut targets = Vec::with_capacity(l);
+                let mut masks = Vec::with_capacity(l);
+                let mut events: Vec<Vec<(usize, bool)>> = Vec::with_capacity(l);
+                for t in 0..l {
+                    let mut x = Mat::zeros(b, dim);
+                    let mut target = Mat::zeros(b, j);
+                    let mut mask = Mat::zeros(b, j);
+                    let mut ev = Vec::with_capacity(b);
+                    for (row, &start) in mb.iter().enumerate() {
+                        let idx = start + t;
+                        let step = &stream.jobs[idx];
+                        let prev = idx
+                            .checked_sub(1)
+                            .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
+                        space.encode_lifetime_step(
+                            step.flavor,
+                            step.batch_size,
+                            step.pos_in_batch,
+                            prev,
+                            step.period,
+                            None,
+                            x.row_mut(row),
+                        );
+                        space.lifetime_target_mask(
+                            step.bin,
+                            step.censored,
+                            target.row_mut(row),
+                            mask.row_mut(row),
+                        );
+                        ev.push((step.bin, step.censored));
+                    }
+                    xs.push(x);
+                    targets.push(target);
+                    masks.push(mask);
+                    events.push(ev);
+                }
+
+                net.zero_grad();
+                let (logits, cache) = net.forward(&xs);
+                let mut dlogits = Vec::with_capacity(l);
+                let mut mb_count = 0usize;
+                let mut raw = Vec::with_capacity(l);
+                for (t, logit) in logits.iter().enumerate() {
+                    let (loss, count, d) = match head {
+                        LifetimeHead::Hazard => {
+                            masked_bce_with_logits(logit, &targets[t], &masks[t])
+                        }
+                        LifetimeHead::Pmf => survival_softmax_loss(logit, &events[t]),
+                    };
+                    epoch_loss += loss;
+                    mb_count += count;
+                    raw.push(d);
+                }
+                epoch_count += mb_count;
+                let scale = 1.0 / mb_count.max(1) as f64;
+                for mut d in raw {
+                    d.scale(scale);
+                    dlogits.push(d);
+                }
+                net.backward(&cache, &dlogits);
+                opt.step(&mut net.params_mut());
+            }
+            train_losses.push(epoch_loss / epoch_count.max(1) as f64);
+        }
+        Self {
+            net,
+            space,
+            head,
+            train_losses,
+        }
+    }
+
+    /// The output head this model was trained with.
+    pub fn head(&self) -> LifetimeHead {
+        self.head
+    }
+
+    /// Converts one row of raw logits to a hazard vector per the head.
+    fn logits_to_hazard(&self, row: &[f64]) -> Vec<f64> {
+        match self.head {
+            LifetimeHead::Hazard => row.iter().map(|&z| sigmoid(z)).collect(),
+            LifetimeHead::Pmf => {
+                let mut pmf = row.to_vec();
+                softmax_inplace(&mut pmf);
+                pmf_to_hazard(&pmf)
+            }
+        }
+    }
+
+    /// The feature space the model was trained with.
+    pub fn space(&self) -> &FeatureSpace {
+        &self.space
+    }
+
+    /// Teacher-forced hazard prediction for every job in a stream.
+    ///
+    /// Returns one hazard vector (length J, probabilities) per job —
+    /// the input to Table 4's survival-curve construction.
+    pub fn predict_hazards(&self, stream: &TokenStream) -> Vec<Vec<f64>> {
+        let mut state = self.net.zero_state(1);
+        let mut x = Mat::zeros(1, self.space.lifetime_input_dim());
+        let mut out = Vec::with_capacity(stream.jobs.len());
+        for (idx, step) in stream.jobs.iter().enumerate() {
+            let prev = idx
+                .checked_sub(1)
+                .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
+            self.space.encode_lifetime_step(
+                step.flavor,
+                step.batch_size,
+                step.pos_in_batch,
+                prev,
+                step.period,
+                None,
+                x.row_mut(0),
+            );
+            let logits = self.net.step(&x, &mut state);
+            out.push(self.logits_to_hazard(logits.row(0)));
+        }
+        out
+    }
+
+    /// Teacher-forced evaluation: masked BCE and 1-best bin error (§5.3).
+    pub fn evaluate(&self, stream: &TokenStream) -> LifetimeEval {
+        let hazards = self.predict_hazards(stream);
+        eval_from_hazards(&self.space, stream, |i, _| hazards[i].clone())
+    }
+
+    /// Starts a generation run.
+    pub fn begin(&self) -> LifetimeGenState {
+        LifetimeGenState {
+            state: self.net.zero_state(1),
+            prev: None,
+        }
+    }
+
+    /// Predicts the hazard for the next job and samples its lifetime bin,
+    /// re-encoding the sampled bin as the next step's "previous lifetime".
+    pub fn sample_step(
+        &self,
+        gen: &mut LifetimeGenState,
+        flavor: trace::FlavorId,
+        batch_size: usize,
+        pos_in_batch: usize,
+        period: u64,
+        doh_override: Option<u32>,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mut x = Mat::zeros(1, self.space.lifetime_input_dim());
+        self.space.encode_lifetime_step(
+            flavor,
+            batch_size,
+            pos_in_batch,
+            gen.prev,
+            period,
+            doh_override,
+            x.row_mut(0),
+        );
+        let logits = self.net.step(&x, &mut gen.state);
+        let hazard = self.logits_to_hazard(logits.row(0));
+        let bin = sample_hazard_chain(&hazard, rng);
+        gen.prev = Some((bin, false));
+        bin
+    }
+}
+
+/// Non-neural lifetime predictors from §5.3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LifetimeBaseline {
+    /// Hazard 0.5 in every bin.
+    CoinFlip,
+    /// One Kaplan–Meier hazard for all flavors pooled.
+    OverallKm {
+        /// The fitted estimator.
+        km: KaplanMeier,
+    },
+    /// A Kaplan–Meier hazard per flavor (falling back to the overall one
+    /// for flavors unseen in training).
+    PerFlavorKm {
+        /// Per-flavor estimators (index = flavor id), `None` if unseen.
+        per_flavor: Vec<Option<KaplanMeier>>,
+        /// Pooled fallback.
+        overall: KaplanMeier,
+    },
+    /// Predicts the previous job's bin; falls back to the overall KM mode at
+    /// batch starts. Non-probabilistic.
+    RepeatLifetime {
+        /// Pooled fallback for batch starts.
+        overall: KaplanMeier,
+    },
+}
+
+impl LifetimeBaseline {
+    /// Fits the overall Kaplan–Meier baseline.
+    pub fn overall_km(train: &TokenStream, space: &FeatureSpace, policy: CensoringPolicy) -> Self {
+        Self::OverallKm {
+            km: fit_km(train.jobs.iter(), space, policy),
+        }
+    }
+
+    /// Fits the per-flavor Kaplan–Meier baseline.
+    pub fn per_flavor_km(
+        train: &TokenStream,
+        space: &FeatureSpace,
+        policy: CensoringPolicy,
+    ) -> Self {
+        let overall = fit_km(train.jobs.iter(), space, policy);
+        let per_flavor = (0..space.n_flavors)
+            .map(|f| {
+                let jobs: Vec<&JobStep> = train
+                    .jobs
+                    .iter()
+                    .filter(|j| j.flavor.0 as usize == f)
+                    .collect();
+                if jobs.is_empty() {
+                    None
+                } else {
+                    Some(fit_km(jobs.into_iter(), space, policy))
+                }
+            })
+            .collect();
+        Self::PerFlavorKm {
+            per_flavor,
+            overall,
+        }
+    }
+
+    /// Fits the repeat-lifetime baseline.
+    pub fn repeat_lifetime(
+        train: &TokenStream,
+        space: &FeatureSpace,
+        policy: CensoringPolicy,
+    ) -> Self {
+        Self::RepeatLifetime {
+            overall: fit_km(train.jobs.iter(), space, policy),
+        }
+    }
+
+    /// The hazard this baseline predicts for job `i` of the stream (given
+    /// true history, matching teacher-forced evaluation). `None` for the
+    /// non-probabilistic RepeatLifetime.
+    pub fn hazard_for(&self, stream: &TokenStream, i: usize, n_bins: usize) -> Option<Vec<f64>> {
+        match self {
+            LifetimeBaseline::CoinFlip => Some(vec![0.5; n_bins]),
+            LifetimeBaseline::OverallKm { km } => Some(km.hazard().to_vec()),
+            LifetimeBaseline::PerFlavorKm {
+                per_flavor,
+                overall,
+            } => {
+                let f = stream.jobs[i].flavor.0 as usize;
+                Some(
+                    per_flavor
+                        .get(f)
+                        .and_then(|o| o.as_ref())
+                        .unwrap_or(overall)
+                        .hazard()
+                        .to_vec(),
+                )
+            }
+            LifetimeBaseline::RepeatLifetime { .. } => None,
+        }
+    }
+
+    /// Teacher-forced evaluation mirroring [`LifetimeModel::evaluate`].
+    pub fn evaluate(&self, stream: &TokenStream, space: &FeatureSpace) -> LifetimeEval {
+        match self {
+            LifetimeBaseline::RepeatLifetime { overall } => {
+                let fallback = pmf_argmax(&overall.pmf());
+                let mut errors = 0usize;
+                let mut scored = 0usize;
+                for (i, step) in stream.jobs.iter().enumerate() {
+                    if step.censored {
+                        continue;
+                    }
+                    let pred = if step.pos_in_batch == 0 {
+                        fallback
+                    } else {
+                        stream.jobs[i - 1].bin
+                    };
+                    scored += 1;
+                    if pred != step.bin {
+                        errors += 1;
+                    }
+                }
+                LifetimeEval {
+                    bce: None,
+                    one_best_err: errors as f64 / scored.max(1) as f64,
+                    scored_jobs: scored,
+                }
+            }
+            _ => eval_from_hazards(space, stream, |i, n| {
+                self.hazard_for(stream, i, n)
+                    .expect("probabilistic baseline")
+            }),
+        }
+    }
+}
+
+/// Fits a KM estimator from job steps.
+fn fit_km<'a>(
+    jobs: impl Iterator<Item = &'a JobStep>,
+    space: &FeatureSpace,
+    policy: CensoringPolicy,
+) -> KaplanMeier {
+    let obs: Vec<Observation> = jobs
+        .map(|j| Observation {
+            bin: j.bin,
+            censored: j.censored,
+        })
+        .collect();
+    // Jeffreys smoothing keeps small-sample (per-flavor) estimators from
+    // emitting 0/1 hazards that explode the log loss.
+    KaplanMeier::fit_smoothed(&space.bins, &obs, policy, 0.0, 0.5)
+}
+
+/// Shared evaluation: masked BCE over hazard probabilities plus 1-best bin
+/// error over uncensored jobs.
+fn eval_from_hazards(
+    space: &FeatureSpace,
+    stream: &TokenStream,
+    hazard_of: impl Fn(usize, usize) -> Vec<f64>,
+) -> LifetimeEval {
+    let j = space.n_bins();
+    let mut bce_sum = 0.0;
+    let mut bce_count = 0usize;
+    let mut errors = 0usize;
+    let mut scored = 0usize;
+    let eps = 1e-7;
+    for (i, step) in stream.jobs.iter().enumerate() {
+        let hazard = hazard_of(i, j);
+        // BCE over the masked outputs (§2.3.2).
+        let upto = if step.censored {
+            step.bin
+        } else {
+            step.bin + 1
+        };
+        for b in 0..upto {
+            let y = if !step.censored && b == step.bin {
+                1.0
+            } else {
+                0.0
+            };
+            let h = clamp_prob(hazard[b], eps);
+            bce_sum -= y * h.ln() + (1.0 - y) * (1.0 - h).ln();
+            bce_count += 1;
+        }
+        // 1-best over uncensored jobs.
+        if !step.censored {
+            let pmf = hazard_to_pmf(&hazard);
+            scored += 1;
+            if pmf_argmax(&pmf) != step.bin {
+                errors += 1;
+            }
+        }
+    }
+    LifetimeEval {
+        bce: Some(bce_sum / bce_count.max(1) as f64),
+        one_best_err: errors as f64 / scored.max(1) as f64,
+        scored_jobs: scored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use survival::LifetimeBins;
+    use trace::period::TemporalFeaturesSpec;
+    use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+    fn bins() -> LifetimeBins {
+        // [0, 600), [600, 3600), [3600, 86400), [86400, inf).
+        LifetimeBins::from_uppers(vec![600.0, 3600.0, 86_400.0])
+    }
+
+    fn space() -> FeatureSpace {
+        FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(2))
+    }
+
+    /// A trace where lifetime depends deterministically on flavor *and*
+    /// batches alternate lifetimes (correlation an LSTM can learn).
+    fn structured_trace(periods: u64) -> Trace {
+        let mut jobs = Vec::new();
+        for p in 0..periods {
+            // Batch of 3: flavor p%2, lifetime bin = flavor-dependent.
+            let flavor = FlavorId((p % 2) as u16);
+            let life = if p % 2 == 0 { 300 } else { 7200 }; // bin 0 vs bin 2
+            for _ in 0..3 {
+                jobs.push(Job {
+                    start: p * 300,
+                    end: Some(p * 300 + life),
+                    flavor,
+                    user: UserId(0),
+                });
+            }
+        }
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    fn stream(periods: u64) -> TokenStream {
+        TokenStream::from_trace(
+            &structured_trace(periods),
+            &bins(),
+            periods * 300 + 1_000_000,
+        )
+    }
+
+    #[test]
+    fn lstm_beats_km_baselines_on_structured_data() {
+        let train = stream(300);
+        let test = stream(80);
+        let sp = space();
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 30;
+        let model = LifetimeModel::fit(&train, sp.clone(), cfg);
+        let lstm = model.evaluate(&test);
+        let overall = LifetimeBaseline::overall_km(&train, &sp, CensoringPolicy::CensoringAware)
+            .evaluate(&test, &sp);
+        let coin = LifetimeBaseline::CoinFlip.evaluate(&test, &sp);
+        let lstm_bce = lstm.bce.unwrap();
+        assert!(
+            lstm_bce < overall.bce.unwrap(),
+            "lstm {lstm_bce} vs overall KM {:?}",
+            overall.bce
+        );
+        assert!(overall.bce.unwrap() < coin.bce.unwrap());
+        // Lifetime is deterministic given flavor here; LSTM should nail it.
+        assert!(lstm.one_best_err < 0.2, "err {}", lstm.one_best_err);
+    }
+
+    #[test]
+    fn per_flavor_km_beats_overall_when_flavors_differ() {
+        let train = stream(200);
+        let test = stream(50);
+        let sp = space();
+        let overall = LifetimeBaseline::overall_km(&train, &sp, CensoringPolicy::CensoringAware)
+            .evaluate(&test, &sp);
+        let per = LifetimeBaseline::per_flavor_km(&train, &sp, CensoringPolicy::CensoringAware)
+            .evaluate(&test, &sp);
+        assert!(per.bce.unwrap() < overall.bce.unwrap());
+        assert!(per.one_best_err <= overall.one_best_err);
+    }
+
+    #[test]
+    fn repeat_lifetime_scores_without_bce() {
+        let train = stream(100);
+        let test = stream(30);
+        let sp = space();
+        let rep = LifetimeBaseline::repeat_lifetime(&train, &sp, CensoringPolicy::CensoringAware)
+            .evaluate(&test, &sp);
+        assert!(rep.bce.is_none());
+        // Within a batch, lifetimes repeat exactly: only batch-start jobs
+        // can miss, so error <= 1/3.
+        assert!(rep.one_best_err <= 0.34 + 1e-9, "err {}", rep.one_best_err);
+    }
+
+    #[test]
+    fn coin_flip_bce_is_ln2() {
+        let test = stream(20);
+        let sp = space();
+        let eval = LifetimeBaseline::CoinFlip.evaluate(&test, &sp);
+        assert!((eval.bce.unwrap() - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let train = stream(200);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 4;
+        let model = LifetimeModel::fit(&train, space(), cfg);
+        assert!(model.train_losses.last().unwrap() < model.train_losses.first().unwrap());
+    }
+
+    #[test]
+    fn predict_hazards_returns_probabilities() {
+        let train = stream(60);
+        let model = LifetimeModel::fit(&train, space(), TrainConfig::tiny());
+        let hazards = model.predict_hazards(&train);
+        assert_eq!(hazards.len(), train.jobs.len());
+        for h in &hazards {
+            assert_eq!(h.len(), 4);
+            assert!(h.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sampling_generates_valid_bins() {
+        let train = stream(100);
+        let model = LifetimeModel::fit(&train, space(), TrainConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut gen = model.begin();
+        for i in 0..100 {
+            let bin = model.sample_step(&mut gen, FlavorId(i % 2), 3, (i % 3) as usize, 5, Some(0), &mut rng);
+            assert!(bin < 4);
+        }
+    }
+
+    #[test]
+    fn pmf_head_also_learns_structure() {
+        let train = stream(200);
+        let test = stream(60);
+        let sp = space();
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 25;
+        let pmf = LifetimeModel::fit_with_head(&train, sp.clone(), cfg, LifetimeHead::Pmf);
+        assert_eq!(pmf.head(), LifetimeHead::Pmf);
+        let eval = pmf.evaluate(&test);
+        let coin = LifetimeBaseline::CoinFlip.evaluate(&test, &sp);
+        assert!(
+            eval.bce.unwrap() < coin.bce.unwrap(),
+            "pmf head failed to learn"
+        );
+        // Hazards produced by the PMF head are still valid probabilities.
+        let hz = pmf.predict_hazards(&test);
+        assert!(hz.iter().flatten().all(|&h| (0.0..=1.0).contains(&h)));
+    }
+
+    #[test]
+    fn censored_jobs_are_excluded_from_one_best() {
+        // All jobs censored: nothing scored for 1-best.
+        let jobs = vec![
+            Job {
+                start: 0,
+                end: None,
+                flavor: FlavorId(0),
+                user: UserId(0),
+            },
+            Job {
+                start: 0,
+                end: None,
+                flavor: FlavorId(0),
+                user: UserId(0),
+            },
+        ];
+        let t = Trace::new(jobs, FlavorCatalog::azure16());
+        let s = TokenStream::from_trace(&t, &bins(), 10_000);
+        let sp = space();
+        let eval = LifetimeBaseline::CoinFlip.evaluate(&s, &sp);
+        assert_eq!(eval.scored_jobs, 0);
+        // Censored jobs still contribute survival BCE terms.
+        assert!(eval.bce.unwrap() > 0.0);
+    }
+}

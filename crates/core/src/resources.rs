@@ -1,0 +1,460 @@
+//! Beyond flavors (§2.2.3): a multi-resource LSTM output layer.
+//!
+//! Instead of one softmax over opaque flavor ids, the network factorizes a
+//! request into per-dimension classes: a softmax generates the CPU class
+//! (or EOB), then a second softmax generates the memory class *conditioned
+//! on the generated CPU* — the discretized-per-channel scheme van den Oord
+//! et al. use for RGB pixels, which the paper suggests for jobs with
+//! arbitrary resource combinations.
+//!
+//! Because flavor ↔ (CPU, memory) is a bijection in catalogs like Azure's
+//! 16-flavor set, the joint NLL `-ln p(cpu) - ln p(mem | cpu)` is directly
+//! comparable to the flavor LSTM's NLL, which is how the ablation binary
+//! scores it.
+
+use crate::features::{FeatureSpace, TokenStream};
+use crate::train::TrainConfig;
+use glm::samplers::sample_categorical;
+use linalg::numeric::{log_softmax_at, softmax_inplace};
+use linalg::Mat;
+use nn::loss::softmax_cross_entropy;
+use nn::lstm::LstmState;
+use nn::{Adam, AdamConfig, Linear, Lstm};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use trace::{FlavorCatalog, FlavorId};
+
+/// Discretized resource classes derived from a flavor catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceClasses {
+    /// Distinct vCPU values, ascending.
+    pub cpu: Vec<f64>,
+    /// Distinct memory values (GiB), ascending.
+    pub mem: Vec<f64>,
+}
+
+impl ResourceClasses {
+    /// Extracts the distinct per-dimension values from a catalog.
+    pub fn from_catalog(catalog: &FlavorCatalog) -> Self {
+        let mut cpu: Vec<f64> = catalog.iter().map(|(_, f)| f.vcpus).collect();
+        let mut mem: Vec<f64> = catalog.iter().map(|(_, f)| f.memory_gb).collect();
+        cpu.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cpu.dedup();
+        mem.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        mem.dedup();
+        Self { cpu, mem }
+    }
+
+    /// Class indices of a flavor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flavor's values are not in the class lists.
+    pub fn classes_of(&self, catalog: &FlavorCatalog, flavor: FlavorId) -> (usize, usize) {
+        let f = catalog.get(flavor);
+        let c = self
+            .cpu
+            .iter()
+            .position(|&v| v == f.vcpus)
+            .expect("cpu class");
+        let m = self
+            .mem
+            .iter()
+            .position(|&v| v == f.memory_gb)
+            .expect("mem class");
+        (c, m)
+    }
+
+    /// The flavor matching a `(cpu, mem)` class pair, if the catalog has one.
+    pub fn to_flavor(&self, catalog: &FlavorCatalog, cpu: usize, mem: usize) -> Option<FlavorId> {
+        let (cv, mv) = (self.cpu[cpu], self.mem[mem]);
+        catalog
+            .iter()
+            .find(|(_, f)| f.vcpus == cv && f.memory_gb == mv)
+            .map(|(id, _)| id)
+    }
+}
+
+/// The factorized resource model: LSTM body + CPU head + conditional
+/// memory head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiResourceModel {
+    lstm: Lstm,
+    /// CPU head over `n_cpu + 1` options (last = EOB).
+    cpu_head: Linear,
+    /// Memory head over `n_mem` options, input `[h ; onehot(cpu)]`.
+    mem_head: Linear,
+    classes: ResourceClasses,
+    space: FeatureSpace,
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f64>,
+}
+
+/// Joint evaluation metrics, comparable to [`crate::FlavorEval`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEval {
+    /// Mean joint NLL per token: `-ln p(cpu)` (+ `-ln p(mem|cpu)` for jobs).
+    pub nll: f64,
+    /// 1-best error on the joint prediction (both dimensions must match).
+    pub one_best_err: f64,
+    /// Tokens evaluated.
+    pub steps: usize,
+}
+
+impl MultiResourceModel {
+    /// Trains the factorized model on a token stream.
+    ///
+    /// Uses the same input features as the flavor LSTM (previous token
+    /// one-hot + temporal), so any difference in evaluation comes from the
+    /// output factorization only.
+    pub fn fit(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        catalog: &FlavorCatalog,
+        cfg: TrainConfig,
+    ) -> Self {
+        let classes = ResourceClasses::from_catalog(catalog);
+        let n_cpu = classes.cpu.len();
+        let n_mem = classes.mem.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3E50);
+        let mut lstm = Lstm::new(space.flavor_input_dim(), cfg.hidden, cfg.layers, &mut rng);
+        let mut cpu_head = Linear::new(cfg.hidden, n_cpu + 1, &mut rng);
+        let mut mem_head = Linear::new(cfg.hidden + n_cpu + 1, n_mem, &mut rng);
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            clip_norm: Some(cfg.clip_norm),
+            ..Default::default()
+        });
+
+        // Precompute per-token (cpu_class-or-EOB, Option<mem_class>).
+        let targets: Vec<(usize, Option<usize>)> = stream
+            .tokens
+            .iter()
+            .map(|t| {
+                if t.id == space.n_flavors {
+                    (n_cpu, None)
+                } else {
+                    let (c, m) = classes.classes_of(catalog, FlavorId(t.id as u16));
+                    (c, Some(m))
+                }
+            })
+            .collect();
+
+        let n = stream.tokens.len();
+        let l = cfg.seq_len;
+        let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
+        let mut train_losses = Vec::with_capacity(cfg.epochs);
+        let dim = space.flavor_input_dim();
+
+        for epoch in 0..cfg.epochs {
+            // Step decay: drop the learning rate at 1/2 and 3/4 of training
+            // so the softmax/hazard argmax sharpens late in training.
+            let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
+                0.1
+            } else if epoch * 2 >= cfg.epochs {
+                0.3
+            } else {
+                1.0
+            };
+            opt.config_mut().lr = cfg.lr * lr_factor;
+            chunk_starts.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_count = 0usize;
+            for mb in chunk_starts.chunks(cfg.minibatch) {
+                let b = mb.len();
+                let mut xs = Vec::with_capacity(l);
+                for t in 0..l {
+                    let mut x = Mat::zeros(b, dim);
+                    for (row, &start) in mb.iter().enumerate() {
+                        let idx = start + t;
+                        let prev = if idx == 0 {
+                            space.n_flavors
+                        } else {
+                            stream.tokens[idx - 1].id
+                        };
+                        space.encode_flavor_step(
+                            prev,
+                            stream.tokens[idx].period,
+                            None,
+                            x.row_mut(row),
+                        );
+                    }
+                    xs.push(x);
+                }
+
+                lstm.zero_grad();
+                cpu_head.zero_grad();
+                mem_head.zero_grad();
+                let (hs, cache) = lstm.forward(&xs);
+
+                let scale = 1.0 / (l * b) as f64;
+                let mut d_hidden = Vec::with_capacity(l);
+                for (t, h) in hs.iter().enumerate() {
+                    // CPU head on every row.
+                    let cpu_logits = cpu_head.forward(h);
+                    let cpu_targets: Vec<usize> =
+                        mb.iter().map(|&start| targets[start + t].0).collect();
+                    let (loss_c, n_c, mut d_cpu) = softmax_cross_entropy(&cpu_logits, &cpu_targets);
+                    epoch_loss += loss_c;
+                    epoch_count += n_c;
+                    d_cpu.scale(scale);
+                    let mut dh = cpu_head.backward(h, &d_cpu);
+
+                    // Memory head on job rows, conditioned on the true CPU.
+                    let mut mem_in = Mat::zeros(b, cfg.hidden + n_cpu + 1);
+                    let mut mem_targets = Vec::with_capacity(b);
+                    let mut mem_rows = Vec::with_capacity(b);
+                    for (row, &start) in mb.iter().enumerate() {
+                        if let (c, Some(m)) = targets[start + t] {
+                            mem_in.row_mut(row)[..cfg.hidden].copy_from_slice(h.row(row));
+                            mem_in.row_mut(row)[cfg.hidden + c] = 1.0;
+                            mem_targets.push(m);
+                            mem_rows.push(row);
+                        }
+                    }
+                    if !mem_rows.is_empty() {
+                        // Compact the participating rows.
+                        let compact =
+                            Mat::from_fn(mem_rows.len(), cfg.hidden + n_cpu + 1, |r, c| {
+                                mem_in[(mem_rows[r], c)]
+                            });
+                        let mem_logits = mem_head.forward(&compact);
+                        let (loss_m, n_m, mut d_mem) =
+                            softmax_cross_entropy(&mem_logits, &mem_targets);
+                        epoch_loss += loss_m;
+                        epoch_count += n_m;
+                        d_mem.scale(scale);
+                        let d_in = mem_head.backward(&compact, &d_mem);
+                        for (r, &row) in mem_rows.iter().enumerate() {
+                            linalg::matrix::axpy_slice(
+                                &mut dh.row_mut(row)[..cfg.hidden],
+                                1.0,
+                                &d_in.row(r)[..cfg.hidden],
+                            );
+                        }
+                    }
+                    d_hidden.push(dh);
+                }
+                lstm.backward(&cache, &d_hidden);
+                let mut params = lstm.params_mut();
+                params.extend(cpu_head.params_mut());
+                params.extend(mem_head.params_mut());
+                opt.step(&mut params);
+            }
+            train_losses.push(epoch_loss / epoch_count.max(1) as f64);
+        }
+        Self {
+            lstm,
+            cpu_head,
+            mem_head,
+            classes,
+            space,
+            train_losses,
+        }
+    }
+
+    /// The resource classes.
+    pub fn classes(&self) -> &ResourceClasses {
+        &self.classes
+    }
+
+    /// Teacher-forced joint evaluation over a test stream.
+    ///
+    /// The joint NLL of a job token is `-ln p(cpu) - ln p(mem | cpu)`; of an
+    /// EOB token, `-ln p(EOB)` — directly comparable to the flavor LSTM's
+    /// per-token NLL when flavor ↔ (cpu, mem) is a bijection.
+    pub fn evaluate(&self, stream: &TokenStream, catalog: &FlavorCatalog) -> ResourceEval {
+        let n_cpu = self.classes.cpu.len();
+        let hidden = self.lstm.hidden();
+        let mut state = self.lstm.zero_state(1);
+        let mut x = Mat::zeros(1, self.space.flavor_input_dim());
+        let mut nll = 0.0;
+        let mut errors = 0usize;
+        for (idx, tok) in stream.tokens.iter().enumerate() {
+            let prev = if idx == 0 {
+                self.space.n_flavors
+            } else {
+                stream.tokens[idx - 1].id
+            };
+            self.space
+                .encode_flavor_step(prev, tok.period, None, x.row_mut(0));
+            let h = self.lstm.step(&x, &mut state);
+            let cpu_logits = self.cpu_head.forward(&h);
+            let cpu_row = cpu_logits.row(0);
+
+            let (true_cpu, true_mem) = if tok.id == self.space.n_flavors {
+                (n_cpu, None)
+            } else {
+                let (c, m) = self.classes.classes_of(catalog, FlavorId(tok.id as u16));
+                (c, Some(m))
+            };
+            nll -= log_softmax_at(cpu_row, true_cpu);
+            let cpu_pred = argmax(cpu_row);
+            let mut correct = cpu_pred == true_cpu;
+
+            if let Some(m) = true_mem {
+                let mut mem_in = Mat::zeros(1, hidden + n_cpu + 1);
+                mem_in.row_mut(0)[..hidden].copy_from_slice(h.row(0));
+                mem_in.row_mut(0)[hidden + true_cpu] = 1.0;
+                let mem_logits = self.mem_head.forward(&mem_in);
+                nll -= log_softmax_at(mem_logits.row(0), m);
+                correct = correct && argmax(mem_logits.row(0)) == m;
+            }
+            if !correct {
+                errors += 1;
+            }
+        }
+        let n = stream.tokens.len().max(1);
+        ResourceEval {
+            nll: nll / n as f64,
+            one_best_err: errors as f64 / n as f64,
+            steps: n,
+        }
+    }
+
+    /// Samples the next token: returns `None` for EOB, or the flavor
+    /// matching the sampled `(cpu, mem)` pair (falling back to the nearest
+    /// memory class with a matching catalog entry).
+    pub fn sample_step(
+        &self,
+        state: &mut LstmState,
+        prev_token: usize,
+        period: u64,
+        doh_override: Option<u32>,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+    ) -> Option<FlavorId> {
+        let n_cpu = self.classes.cpu.len();
+        let hidden = self.lstm.hidden();
+        let mut x = Mat::zeros(1, self.space.flavor_input_dim());
+        self.space
+            .encode_flavor_step(prev_token, period, doh_override, x.row_mut(0));
+        let h = self.lstm.step(&x, state);
+        let mut cpu_probs = self.cpu_head.forward(&h).row(0).to_vec();
+        softmax_inplace(&mut cpu_probs);
+        let cpu = sample_categorical(&cpu_probs, rng);
+        if cpu == n_cpu {
+            return None; // EOB
+        }
+        let mut mem_in = Mat::zeros(1, hidden + n_cpu + 1);
+        mem_in.row_mut(0)[..hidden].copy_from_slice(h.row(0));
+        mem_in.row_mut(0)[hidden + cpu] = 1.0;
+        let mut mem_probs = self.mem_head.forward(&mem_in).row(0).to_vec();
+        softmax_inplace(&mut mem_probs);
+        let mem = sample_categorical(&mem_probs, rng);
+        self.classes.to_flavor(catalog, cpu, mem).or_else(|| {
+            // Nearest memory class with a valid flavor for this CPU.
+            (0..self.classes.mem.len())
+                .min_by_key(|&m| {
+                    if self.classes.to_flavor(catalog, cpu, m).is_some() {
+                        (self.classes.mem[m] - self.classes.mem[mem]).abs() as u64
+                    } else {
+                        u64::MAX
+                    }
+                })
+                .and_then(|m| self.classes.to_flavor(catalog, cpu, m))
+        })
+    }
+
+    /// Zero state for generation.
+    pub fn zero_state(&self) -> LstmState {
+        self.lstm.zero_state(1)
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use survival::LifetimeBins;
+    use trace::period::TemporalFeaturesSpec;
+    use trace::{Job, Trace, UserId};
+
+    fn bins() -> LifetimeBins {
+        LifetimeBins::from_uppers(vec![600.0, 3600.0])
+    }
+
+    fn space() -> FeatureSpace {
+        FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(2))
+    }
+
+    fn repetitive_trace(periods: u64) -> Trace {
+        let mut jobs = Vec::new();
+        for p in 0..periods {
+            let flavor = FlavorId((p % 4) as u16 * 4); // distinct CPU classes
+            for _ in 0..3 {
+                jobs.push(Job {
+                    start: p * 300,
+                    end: Some(p * 300 + 600),
+                    flavor,
+                    user: UserId(0),
+                });
+            }
+        }
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn classes_cover_azure16() {
+        let catalog = FlavorCatalog::azure16();
+        let classes = ResourceClasses::from_catalog(&catalog);
+        assert_eq!(classes.cpu.len(), 4);
+        // azure16 memory values overlap across CPU sizes; count distinct.
+        assert!(classes.mem.len() >= 4);
+        for id in catalog.ids() {
+            let (c, m) = classes.classes_of(&catalog, id);
+            assert_eq!(classes.to_flavor(&catalog, c, m), Some(id));
+        }
+    }
+
+    #[test]
+    fn training_learns_structure() {
+        let catalog = FlavorCatalog::azure16();
+        let train = TokenStream::from_trace(&repetitive_trace(300), &bins(), 1_000_000);
+        let test = TokenStream::from_trace(&repetitive_trace(80), &bins(), 1_000_000);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 25;
+        let model = MultiResourceModel::fit(&train, space(), &catalog, cfg);
+        let eval = model.evaluate(&test, &catalog);
+        // Uniform joint NLL would be ln(5) + ~ln(7) per job; structure should
+        // push it far below ln(5).
+        assert!(eval.nll < 5.0f64.ln(), "nll {}", eval.nll);
+        assert!(model.train_losses.last().unwrap() < model.train_losses.first().unwrap());
+    }
+
+    #[test]
+    fn sampling_yields_valid_flavors_and_eobs() {
+        let catalog = FlavorCatalog::azure16();
+        let train = TokenStream::from_trace(&repetitive_trace(120), &bins(), 1_000_000);
+        let model = MultiResourceModel::fit(&train, space(), &catalog, TrainConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut state = model.zero_state();
+        let mut prev = 16usize;
+        let mut eobs = 0;
+        for _ in 0..200 {
+            match model.sample_step(&mut state, prev, 3, Some(0), &catalog, &mut rng) {
+                Some(f) => {
+                    assert!((f.0 as usize) < catalog.len());
+                    prev = f.0 as usize;
+                }
+                None => {
+                    eobs += 1;
+                    prev = 16;
+                }
+            }
+        }
+        assert!(eobs > 0, "never emitted EOB");
+    }
+}

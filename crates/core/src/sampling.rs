@@ -1,0 +1,91 @@
+//! Conversion of sampled lifetime bins to concrete job records (§2.4).
+
+use rand::Rng;
+use survival::interp::sample_duration_in_bin;
+use survival::{Interpolation, LifetimeBins};
+use trace::period::PERIOD_SECS;
+
+/// Default effective upper edge for the open final bin when converting bins
+/// to durations: 40 days (the final bin starts at 20 days; uncensored
+/// lifetimes virtually never exceed 20 days in either cloud, §4.2).
+pub const DEFAULT_TAIL_HORIZON: f64 = 40.0 * 86_400.0;
+
+/// Samples a concrete duration (seconds, quantized to 5-minute periods,
+/// minimum one period) for a lifetime bin.
+///
+/// Under CDI the duration is uniform within the bin; under Stepped it is the
+/// bin's upper boundary (§2.4, Table 4).
+pub fn sample_quantized_duration(
+    bins: &LifetimeBins,
+    bin: usize,
+    interp: Interpolation,
+    tail_horizon: f64,
+    rng: &mut impl Rng,
+) -> u64 {
+    let d = sample_duration_in_bin(bins, bin, interp, tail_horizon, rng);
+    let periods = (d / PERIOD_SECS as f64).round() as u64;
+    periods.max(1) * PERIOD_SECS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn durations_quantized_and_positive() {
+        let bins = LifetimeBins::paper_47();
+        let mut rng = StdRng::seed_from_u64(1);
+        for bin in [0, 5, 20, 46] {
+            for _ in 0..50 {
+                let d = sample_quantized_duration(
+                    &bins,
+                    bin,
+                    Interpolation::Cdi,
+                    DEFAULT_TAIL_HORIZON,
+                    &mut rng,
+                );
+                assert!(d >= PERIOD_SECS);
+                assert_eq!(d % PERIOD_SECS, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn durations_track_bin_scale() {
+        let bins = LifetimeBins::paper_47();
+        let mut rng = StdRng::seed_from_u64(2);
+        let avg = |bin: usize, rng: &mut StdRng| -> f64 {
+            (0..200)
+                .map(|_| {
+                    sample_quantized_duration(
+                        &bins,
+                        bin,
+                        Interpolation::Cdi,
+                        DEFAULT_TAIL_HORIZON,
+                        rng,
+                    ) as f64
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let short = avg(0, &mut rng);
+        let long = avg(40, &mut rng);
+        assert!(long > short * 10.0, "{short} vs {long}");
+    }
+
+    #[test]
+    fn stepped_gives_bin_upper_boundary() {
+        let bins = LifetimeBins::paper_47();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = sample_quantized_duration(
+            &bins,
+            0,
+            Interpolation::Stepped,
+            DEFAULT_TAIL_HORIZON,
+            &mut rng,
+        );
+        assert_eq!(d, PERIOD_SECS); // first bin's upper edge is 5 min
+    }
+}

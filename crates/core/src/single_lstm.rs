@@ -1,0 +1,330 @@
+//! The single-LSTM alternative the paper considered and rejected (§7).
+//!
+//! Instead of a separate Poisson stage for batch counts, one LSTM controls
+//! everything through its token stream: flavors, end-of-batch (EOB) tokens,
+//! and end-of-period (EOP) tokens. The paper reports that generated volume
+//! was "exquisitely sensitive to the timely sampling of these EOP tokens"
+//! and kept the explicit arrival stage; this module exists to reproduce that
+//! comparison (see the `ablation_single_lstm` binary).
+//!
+//! Durations still come from the stage-3 lifetime model — the paper notes
+//! that even the single-LSTM design generates flavors and durations
+//! sequentially.
+
+use crate::features::FeatureSpace;
+use crate::train::TrainConfig;
+use glm::samplers::sample_categorical;
+use linalg::numeric::softmax_inplace;
+use linalg::Mat;
+use nn::loss::softmax_cross_entropy;
+use nn::{Adam, AdamConfig, LstmNetwork};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use trace::batch::organize_periods;
+use trace::period::TemporalInfo;
+use trace::{FlavorId, Trace};
+
+/// One token: flavor id in `0..K`, EOB = `K`, EOP = `K + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodToken {
+    /// Token id.
+    pub id: usize,
+    /// Period the token belongs to.
+    pub period: u64,
+}
+
+/// Flattens a trace into a single-LSTM stream: per period, the jobs of each
+/// batch followed by EOB, then one EOP — including bare EOPs for empty
+/// periods within `[first_period, first_period + n_periods)`.
+pub fn period_token_stream(
+    trace: &Trace,
+    first_period: u64,
+    n_periods: u64,
+) -> Vec<PeriodToken> {
+    let k = trace.catalog.len();
+    let periods = organize_periods(trace);
+    let mut by_period = std::collections::HashMap::new();
+    for p in &periods {
+        by_period.insert(p.period, p);
+    }
+    let mut tokens = Vec::new();
+    for period in first_period..first_period + n_periods {
+        if let Some(pj) = by_period.get(&period) {
+            for batch in &pj.batches {
+                for &idx in &batch.jobs {
+                    tokens.push(PeriodToken {
+                        id: trace.jobs[idx].flavor.0 as usize,
+                        period,
+                    });
+                }
+                tokens.push(PeriodToken { id: k, period });
+            }
+        }
+        tokens.push(PeriodToken { id: k + 1, period });
+    }
+    tokens
+}
+
+/// The single-LSTM workload model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleLstmModel {
+    net: LstmNetwork,
+    space: FeatureSpace,
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f64>,
+}
+
+/// One generated period's worth of flavors, grouped into batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedPeriod {
+    /// Batches of flavors.
+    pub batches: Vec<Vec<FlavorId>>,
+}
+
+impl SingleLstmModel {
+    /// Token-space size: `K` flavors + EOB + EOP.
+    fn vocab(&self) -> usize {
+        self.space.n_flavors + 2
+    }
+
+    fn input_dim(space: &FeatureSpace) -> usize {
+        // Previous-token one-hot over K + 2 options, plus temporal features.
+        space.n_flavors + 2 + space.temporal.dim()
+    }
+
+    fn encode(space: &FeatureSpace, prev: usize, period: u64, out: &mut [f64]) {
+        let vocab = space.n_flavors + 2;
+        out.iter_mut().for_each(|x| *x = 0.0);
+        out[prev] = 1.0;
+        let info = TemporalInfo::of_period(period);
+        space.temporal.encode_into(info, None, &mut out[vocab..]);
+    }
+
+    /// Trains on a period-token stream.
+    pub fn fit(tokens: &[PeriodToken], space: FeatureSpace, cfg: TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE0F);
+        let vocab = space.n_flavors + 2;
+        let dim = Self::input_dim(&space);
+        let mut net = LstmNetwork::with_skip(dim, cfg.hidden, cfg.layers, vocab, &mut rng);
+        let mut opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            clip_norm: Some(cfg.clip_norm),
+            ..Default::default()
+        });
+
+        let n = tokens.len();
+        let l = cfg.seq_len;
+        let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
+        let mut train_losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
+                0.1
+            } else if epoch * 2 >= cfg.epochs {
+                0.3
+            } else {
+                1.0
+            };
+            opt.config_mut().lr = cfg.lr * lr_factor;
+            chunk_starts.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_count = 0usize;
+            for mb in chunk_starts.chunks(cfg.minibatch) {
+                let b = mb.len();
+                let mut xs = Vec::with_capacity(l);
+                let mut targets = Vec::with_capacity(l);
+                for t in 0..l {
+                    let mut x = Mat::zeros(b, dim);
+                    let mut tgt = Vec::with_capacity(b);
+                    for (row, &start) in mb.iter().enumerate() {
+                        let idx = start + t;
+                        let prev = if idx == 0 { vocab - 1 } else { tokens[idx - 1].id };
+                        Self::encode(&space, prev, tokens[idx].period, x.row_mut(row));
+                        tgt.push(tokens[idx].id);
+                    }
+                    xs.push(x);
+                    targets.push(tgt);
+                }
+                net.zero_grad();
+                let (logits, cache) = net.forward(&xs);
+                let scale = 1.0 / (l * b) as f64;
+                let mut dlogits = Vec::with_capacity(l);
+                for (t, logit) in logits.iter().enumerate() {
+                    let (loss, count, mut d) = softmax_cross_entropy(logit, &targets[t]);
+                    epoch_loss += loss;
+                    epoch_count += count;
+                    d.scale(scale);
+                    dlogits.push(d);
+                }
+                net.backward(&cache, &dlogits);
+                opt.step(&mut net.params_mut());
+            }
+            train_losses.push(epoch_loss / epoch_count.max(1) as f64);
+        }
+        Self { net, space, train_losses }
+    }
+
+    /// Generates periods `[first_period, first_period + n_periods)`.
+    ///
+    /// The EOP token advances the clock; `max_jobs_per_period` guards
+    /// against an LSTM that fails to emit EOP in time (the §7 failure mode
+    /// this model exists to demonstrate). `eop_scale` multiplies the EOP
+    /// probability — the post-processing knob the paper's footnote 5
+    /// mentions for what-if control of the single-LSTM design.
+    pub fn generate(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        max_jobs_per_period: usize,
+        eop_scale: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<GeneratedPeriod> {
+        let k = self.space.n_flavors;
+        let vocab = self.vocab();
+        let mut state = self.net.zero_state(1);
+        let mut prev = vocab - 1; // start as if an EOP just occurred
+        let mut x = Mat::zeros(1, Self::input_dim(&self.space));
+        let mut out = Vec::with_capacity(n_periods as usize);
+        for period in first_period..first_period + n_periods {
+            let mut batches: Vec<Vec<FlavorId>> = vec![Vec::new()];
+            let mut jobs = 0usize;
+            loop {
+                Self::encode(&self.space, prev, period, x.row_mut(0));
+                let logits = self.net.step(&x, &mut state);
+                let mut probs = logits.row(0).to_vec();
+                softmax_inplace(&mut probs);
+                probs[vocab - 1] *= eop_scale;
+                let tok = sample_categorical(&probs, rng);
+                prev = tok;
+                if tok == vocab - 1 {
+                    break; // EOP
+                } else if tok == k {
+                    if !batches.last().expect("non-empty").is_empty() {
+                        batches.push(Vec::new());
+                    }
+                } else {
+                    batches.last_mut().expect("non-empty").push(FlavorId(tok as u16));
+                    jobs += 1;
+                    if jobs >= max_jobs_per_period {
+                        // Runaway period: force the EOP.
+                        prev = vocab - 1;
+                        break;
+                    }
+                }
+            }
+            if batches.last().map_or(false, Vec::is_empty) {
+                batches.pop();
+            }
+            out.push(GeneratedPeriod { batches });
+        }
+        out
+    }
+
+    /// Teacher-forced mean NLL per token over a stream.
+    pub fn nll(&self, tokens: &[PeriodToken]) -> f64 {
+        let vocab = self.vocab();
+        let mut state = self.net.zero_state(1);
+        let mut x = Mat::zeros(1, Self::input_dim(&self.space));
+        let mut nll = 0.0;
+        for (idx, tok) in tokens.iter().enumerate() {
+            let prev = if idx == 0 { vocab - 1 } else { tokens[idx - 1].id };
+            Self::encode(&self.space, prev, tok.period, x.row_mut(0));
+            let logits = self.net.step(&x, &mut state);
+            nll -= linalg::numeric::log_softmax_at(logits.row(0), tok.id);
+        }
+        nll / tokens.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use survival::LifetimeBins;
+    use trace::period::TemporalFeaturesSpec;
+    use trace::{FlavorCatalog, Job, UserId};
+
+    fn bins() -> LifetimeBins {
+        LifetimeBins::from_uppers(vec![600.0, 3600.0])
+    }
+
+    fn mk_trace(periods: u64) -> Trace {
+        let mut jobs = Vec::new();
+        for p in 0..periods {
+            // Every second period has one 2-job batch.
+            if p % 2 == 0 {
+                for _ in 0..2 {
+                    jobs.push(Job {
+                        start: p * 300,
+                        end: Some(p * 300 + 600),
+                        flavor: FlavorId((p % 3) as u16),
+                        user: UserId(0),
+                    });
+                }
+            }
+        }
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn stream_includes_empty_period_eops() {
+        let t = mk_trace(6);
+        let s = period_token_stream(&t, 0, 6);
+        // Periods 0,2,4: f f EOB EOP; periods 1,3,5: EOP.
+        let eops = s.iter().filter(|t| t.id == 17).count();
+        assert_eq!(eops, 6);
+        let ids: Vec<usize> = s.iter().take(5).map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 0, 16, 17, 17]);
+    }
+
+    #[test]
+    fn training_and_generation_round_trip() {
+        let t = mk_trace(400);
+        let stream = period_token_stream(&t, 0, 400);
+        let space = FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(2));
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 20;
+        let model = SingleLstmModel::fit(&stream, space, cfg);
+        assert!(model.train_losses.last().unwrap() < model.train_losses.first().unwrap());
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let periods = model.generate(400, 50, 500, 1.0, &mut rng);
+        assert_eq!(periods.len(), 50);
+        let jobs: usize = periods
+            .iter()
+            .map(|p| p.batches.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        // Training data has 1 job/period on average; volume should be in the
+        // right ballpark (the EOP-sensitivity the paper warns about shows up
+        // at scale, not necessarily on toy data).
+        assert!(jobs > 5 && jobs < 500, "{jobs} jobs");
+    }
+
+    #[test]
+    fn nll_improves_with_training() {
+        let t = mk_trace(300);
+        let stream = period_token_stream(&t, 0, 300);
+        let space = FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(2));
+        let short = SingleLstmModel::fit(&stream, space.clone(), TrainConfig::tiny());
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 20;
+        let long = SingleLstmModel::fit(&stream, space, cfg);
+        assert!(long.nll(&stream) < short.nll(&stream));
+    }
+
+    #[test]
+    fn runaway_cap_forces_eop() {
+        let t = mk_trace(100);
+        let stream = period_token_stream(&t, 0, 100);
+        let space = FeatureSpace::new(16, bins(), TemporalFeaturesSpec::new(2));
+        let model = SingleLstmModel::fit(&stream, space, TrainConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(4);
+        // eop_scale 0 would loop forever without the cap.
+        let periods = model.generate(100, 3, 25, 0.0, &mut rng);
+        for p in &periods {
+            let jobs: usize = p.batches.iter().map(Vec::len).sum();
+            assert!(jobs <= 25);
+        }
+    }
+}

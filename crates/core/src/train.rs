@@ -1,0 +1,102 @@
+//! Shared training configuration for the two LSTM stages.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for LSTM training.
+///
+/// The paper's configuration (§4.2) is 2 layers × 200 hidden units, trained
+/// on minibatches of 50 sequences of length 5000. The crate default is
+/// scaled down so the reproduction experiments train on a CPU in minutes;
+/// [`TrainConfig::paper_scale`] restores the published values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden units per LSTM layer.
+    pub hidden: usize,
+    /// Number of LSTM layers.
+    pub layers: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// Global gradient-norm clip.
+    pub clip_norm: f64,
+    /// Training epochs (passes over the token stream).
+    pub epochs: usize,
+    /// Sequence length per training chunk (BPTT span).
+    pub seq_len: usize,
+    /// Sequences per minibatch.
+    pub minibatch: usize,
+    /// RNG seed for weight init and data shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            layers: 1,
+            lr: 3e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+            epochs: 24,
+            seq_len: 64,
+            minibatch: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's published scale (§4.2). Training at this scale on a CPU
+    /// is slow; it exists so the configuration is one call away.
+    pub fn paper_scale() -> Self {
+        Self {
+            hidden: 200,
+            layers: 2,
+            lr: 1e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+            epochs: 10,
+            seq_len: 5000,
+            minibatch: 50,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A very small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: 16,
+            layers: 1,
+            lr: 5e-3,
+            weight_decay: 0.0,
+            clip_norm: 5.0,
+            epochs: 2,
+            seq_len: 32,
+            minibatch: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_published_numbers() {
+        let c = TrainConfig::paper_scale();
+        assert_eq!(c.hidden, 200);
+        assert_eq!(c.layers, 2);
+        assert_eq!(c.seq_len, 5000);
+        assert_eq!(c.minibatch, 50);
+    }
+
+    #[test]
+    fn default_is_smaller_than_paper() {
+        let d = TrainConfig::default();
+        let p = TrainConfig::paper_scale();
+        assert!(d.hidden < p.hidden);
+        assert!(d.seq_len < p.seq_len);
+    }
+}

@@ -1,0 +1,165 @@
+//! Prediction intervals over sampled traces and their coverage of truth.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical quantile (linear interpolation between order statistics).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A per-index prediction band computed across sampled series.
+///
+/// # Examples
+///
+/// ```
+/// use eval::{coverage, PredictionBand};
+/// let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+/// let band = PredictionBand::from_samples(&samples, 0.05, 0.95);
+/// assert!(band.lo[0] < band.median[0] && band.median[0] < band.hi[0]);
+/// assert_eq!(coverage(&band, &[50.0]), 1.0);
+/// assert_eq!(coverage(&band, &[1000.0]), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionBand {
+    /// Lower envelope (e.g. the 5th percentile).
+    pub lo: Vec<f64>,
+    /// Median.
+    pub median: Vec<f64>,
+    /// Upper envelope (e.g. the 95th percentile).
+    pub hi: Vec<f64>,
+}
+
+impl PredictionBand {
+    /// Builds a band from sampled series (each the same length).
+    ///
+    /// `lo_q`/`hi_q` are the envelope quantiles: `(0.05, 0.95)` gives the
+    /// paper's 90 % prediction interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the series lengths differ.
+    pub fn from_samples(samples: &[Vec<f64>], lo_q: f64, hi_q: f64) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == n), "ragged sample series");
+        let mut lo = Vec::with_capacity(n);
+        let mut median = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        let mut column = vec![0.0; samples.len()];
+        for i in 0..n {
+            for (c, s) in column.iter_mut().zip(samples) {
+                *c = s[i];
+            }
+            lo.push(quantile(&column, lo_q));
+            median.push(quantile(&column, 0.5));
+            hi.push(quantile(&column, hi_q));
+        }
+        Self { lo, median, hi }
+    }
+
+    /// Band width at index `i`.
+    pub fn width(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Series length.
+    pub fn len(&self) -> usize {
+        self.median.len()
+    }
+
+    /// True if the band covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.median.is_empty()
+    }
+}
+
+/// Fraction of `actual` values falling inside the band (inclusive).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the series is empty.
+pub fn coverage(band: &PredictionBand, actual: &[f64]) -> f64 {
+    assert_eq!(band.len(), actual.len(), "band/actual length mismatch");
+    assert!(!actual.is_empty(), "empty series");
+    let inside = actual
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| v >= band.lo[i] - 1e-12 && v <= band.hi[i] + 1e-12)
+        .count();
+    inside as f64 / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_known_data() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.25), 2.0);
+        // Interpolation between order statistics.
+        assert!((quantile(&v, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn band_orders_envelopes() {
+        let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 100.0 - i as f64]).collect();
+        let band = PredictionBand::from_samples(&samples, 0.05, 0.95);
+        assert_eq!(band.len(), 2);
+        for i in 0..2 {
+            assert!(band.lo[i] <= band.median[i]);
+            assert!(band.median[i] <= band.hi[i]);
+        }
+    }
+
+    #[test]
+    fn coverage_full_and_partial() {
+        let band = PredictionBand {
+            lo: vec![0.0, 0.0, 0.0],
+            median: vec![5.0, 5.0, 5.0],
+            hi: vec![10.0, 10.0, 10.0],
+        };
+        assert_eq!(coverage(&band, &[5.0, 0.0, 10.0]), 1.0);
+        assert!((coverage(&band, &[5.0, -1.0, 11.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_from_identical_samples_is_degenerate() {
+        let samples = vec![vec![2.0, 4.0]; 10];
+        let band = PredictionBand::from_samples(&samples, 0.05, 0.95);
+        assert_eq!(band.lo, band.hi);
+        assert_eq!(coverage(&band, &[2.0, 4.0]), 1.0);
+        assert_eq!(coverage(&band, &[2.1, 4.0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_samples_panic() {
+        let _ = PredictionBand::from_samples(&[vec![1.0], vec![1.0, 2.0]], 0.05, 0.95);
+    }
+}

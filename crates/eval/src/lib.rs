@@ -1,0 +1,14 @@
+//! Evaluation utilities shared by the reproduction experiments.
+//!
+//! - [`intervals`]: quantiles, per-period prediction bands over sampled
+//!   traces, and interval-coverage of true series (the metric behind
+//!   Figures 4–8).
+//! - [`render`]: plain-text rendering of series, bands, and histograms so
+//!   every "figure" binary can print something a human can eyeball in a
+//!   terminal.
+
+pub mod intervals;
+pub mod render;
+
+pub use intervals::{coverage, quantile, PredictionBand};
+pub use render::{render_band_chart, render_histogram, render_series};

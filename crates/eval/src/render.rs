@@ -1,0 +1,170 @@
+//! Plain-text chart rendering for the figure-reproduction binaries.
+
+/// Renders one series as an ASCII line chart (`height` rows, one column per
+/// down-sampled point, at most `width` columns).
+pub fn render_series(values: &[f64], width: usize, height: usize, label: &str) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return format!("{label}: (empty)\n");
+    }
+    let points = downsample(values, width);
+    let (min, max) = min_max(&points);
+    let span = (max - min).max(1e-12);
+    let mut rows = vec![vec![b' '; points.len()]; height];
+    for (c, &v) in points.iter().enumerate() {
+        let r = ((v - min) / span * (height - 1) as f64).round() as usize;
+        rows[height - 1 - r][c] = b'*';
+    }
+    let mut out = format!("{label}  [min {min:.1}, max {max:.1}]\n");
+    for row in rows {
+        out.push_str("  |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(points.len()));
+    out.push('\n');
+    out
+}
+
+/// Renders an actual series against a prediction band: `.` band, `-` median,
+/// `o` actual inside the band, `X` actual outside.
+pub fn render_band_chart(
+    actual: &[f64],
+    lo: &[f64],
+    median: &[f64],
+    hi: &[f64],
+    width: usize,
+    height: usize,
+    label: &str,
+) -> String {
+    assert!(
+        actual.len() == lo.len() && lo.len() == median.len() && median.len() == hi.len(),
+        "series length mismatch"
+    );
+    if actual.is_empty() || width == 0 || height == 0 {
+        return format!("{label}: (empty)\n");
+    }
+    let a = downsample(actual, width);
+    let l = downsample(lo, width);
+    let m = downsample(median, width);
+    let h = downsample(hi, width);
+    let all: Vec<f64> = a.iter().chain(&l).chain(&h).cloned().collect();
+    let (min, max) = min_max(&all);
+    let span = (max - min).max(1e-12);
+    let n = a.len();
+    let row_of = |v: f64| -> usize {
+        let r = ((v - min) / span * (height - 1) as f64).round() as usize;
+        height - 1 - r.min(height - 1)
+    };
+    let mut rows = vec![vec![b' '; n]; height];
+    for c in 0..n {
+        let (rl, rh) = (row_of(l[c]), row_of(h[c]));
+        let (top, bot) = (rh.min(rl), rh.max(rl));
+        for row in rows.iter_mut().take(bot + 1).skip(top) {
+            row[c] = b'.';
+        }
+        rows[row_of(m[c])][c] = b'-';
+        let ra = row_of(a[c]);
+        rows[ra][c] = if a[c] >= l[c] - 1e-12 && a[c] <= h[c] + 1e-12 {
+            b'o'
+        } else {
+            b'X'
+        };
+    }
+    let mut out = format!(
+        "{label}  [min {min:.1}, max {max:.1}]  (o=covered, X=missed, .=90% band, -=median)\n"
+    );
+    for row in rows {
+        out.push_str("  |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(n));
+    out.push('\n');
+    out
+}
+
+/// Renders labelled proportions as a horizontal bar chart.
+pub fn render_histogram(labels: &[&str], values: &[f64], width: usize, title: &str) -> String {
+    assert_eq!(labels.len(), values.len(), "label/value length mismatch");
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let mut out = format!("{title}\n");
+    for (lab, &v) in labels.iter().zip(values) {
+        let bars = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {lab:>6} | {:<w$} {v:.3}\n",
+            "#".repeat(bars),
+            w = width
+        ));
+    }
+    out
+}
+
+/// Averages `values` down to at most `width` points.
+fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_all_rows() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let s = render_series(&v, 40, 8, "sine");
+        assert!(s.starts_with("sine"));
+        assert_eq!(s.lines().count(), 10); // label + 8 rows + axis
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn band_chart_marks_coverage() {
+        let actual = vec![5.0, 50.0];
+        let lo = vec![0.0, 0.0];
+        let median = vec![5.0, 5.0];
+        let hi = vec![10.0, 10.0];
+        let s = render_band_chart(&actual, &lo, &median, &hi, 10, 6, "test");
+        assert!(s.contains('o'), "{s}");
+        assert!(s.contains('X'), "{s}");
+    }
+
+    #[test]
+    fn histogram_scales_bars() {
+        let s = render_histogram(&["a", "b"], &[1.0, 0.5], 10, "hist");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].matches('#').count() > lines[2].matches('#').count());
+    }
+
+    #[test]
+    fn downsample_shrinks_to_width() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let d = downsample(&v, 50);
+        assert!(d.len() <= 50);
+        assert!(d[0] < d[d.len() - 1]);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        assert!(render_series(&[], 10, 5, "x").contains("empty"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for prediction intervals and coverage.
+
+use eval::{coverage, quantile, PredictionBand};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in proptest::collection::vec(-1e6..1e6f64, 1..60),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&values, lo) <= quantile(&values, hi) + 1e-9);
+    }
+
+    #[test]
+    fn quantile_within_data_range(
+        values in proptest::collection::vec(-1e3..1e3f64, 1..50),
+        q in 0.0..=1.0f64,
+    ) {
+        let v = quantile(&values, q);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn band_envelopes_are_ordered(
+        flat in proptest::collection::vec(-100.0..100.0f64, 10..120),
+    ) {
+        // Reshape into 5 series of equal length.
+        let len = flat.len() / 5;
+        prop_assume!(len >= 1);
+        let samples: Vec<Vec<f64>> =
+            (0..5).map(|i| flat[i * len..(i + 1) * len].to_vec()).collect();
+        let band = PredictionBand::from_samples(&samples, 0.05, 0.95);
+        for i in 0..len {
+            prop_assert!(band.lo[i] <= band.median[i] + 1e-12);
+            prop_assert!(band.median[i] <= band.hi[i] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_series_has_full_coverage(
+        flat in proptest::collection::vec(-50.0..50.0f64, 12..60),
+    ) {
+        let len = flat.len() / 3;
+        prop_assume!(len >= 1);
+        let samples: Vec<Vec<f64>> =
+            (0..3).map(|i| flat[i * len..(i + 1) * len].to_vec()).collect();
+        let band = PredictionBand::from_samples(&samples, 0.0, 1.0);
+        // With the full 0..1 envelope, every sample series is covered.
+        for s in &samples {
+            prop_assert!((coverage(&band, s) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coverage_is_a_fraction(
+        actual in proptest::collection::vec(-100.0..100.0f64, 1..40),
+    ) {
+        let n = actual.len();
+        let band = PredictionBand {
+            lo: vec![-10.0; n],
+            median: vec![0.0; n],
+            hi: vec![10.0; n],
+        };
+        let c = coverage(&band, &actual);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}

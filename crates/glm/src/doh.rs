@@ -1,0 +1,88 @@
+//! Day-of-history (DOH) sampling strategies (§2.1.2).
+//!
+//! When generating periods beyond the training window, the DOH feature must
+//! be set to *some* training day. The paper explores (1) pinning it to the
+//! last training day and (2) sampling a day `k` days before the last one
+//! with `k ~ Geometric(p)` — the latter makes generated futures vary "in a
+//! manner similar to the past" and is the paper's default (with `p = 1/7`).
+
+use crate::samplers::sample_geometric;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Strategy for choosing the day-of-history feature at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DohStrategy {
+    /// Always encode the last day of the training history.
+    LastDay,
+    /// Sample `k ~ Geometric(p)` and encode `last_day - k` (clamped to 0).
+    GeometricBack {
+        /// Geometric success probability (the paper tunes this to `1/7`).
+        p: f64,
+    },
+}
+
+impl DohStrategy {
+    /// The paper's default: geometric with expected look-back of 6 days.
+    pub fn paper_default() -> Self {
+        DohStrategy::GeometricBack { p: 1.0 / 7.0 }
+    }
+
+    /// Chooses a day given the last training day index.
+    pub fn sample_day(&self, last_day: u32, rng: &mut impl Rng) -> u32 {
+        match *self {
+            DohStrategy::LastDay => last_day,
+            DohStrategy::GeometricBack { p } => {
+                let k = sample_geometric(p, rng);
+                last_day.saturating_sub(k.min(u32::MAX as u64) as u32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn last_day_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(DohStrategy::LastDay.sample_day(20, &mut rng), 20);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_lookback_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = DohStrategy::paper_default();
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| strat.sample_day(1000, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Expected lookback (1-p)/p = 6 days.
+        assert!((mean - 994.0).abs() < 0.2, "mean day {mean}");
+    }
+
+    #[test]
+    fn clamps_at_day_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = DohStrategy::GeometricBack { p: 0.01 }; // long lookbacks
+        for _ in 0..200 {
+            let d = strat.sample_day(2, &mut rng);
+            assert!(d <= 2);
+        }
+    }
+
+    #[test]
+    fn sampled_days_never_exceed_last() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = DohStrategy::paper_default();
+        for _ in 0..1000 {
+            assert!(strat.sample_day(30, &mut rng) <= 30);
+        }
+    }
+}

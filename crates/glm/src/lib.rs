@@ -1,0 +1,25 @@
+//! Generalized-linear-model substrate: Poisson regression and the discrete
+//! samplers the generative pipeline needs.
+//!
+//! The paper's stage-1 arrival model (§2.1) is an inhomogeneous Poisson
+//! regression: the number of batch arrivals in a period is Poisson with rate
+//! `exp(w · x)`, where `x` encodes the period's temporal features. This
+//! crate provides:
+//!
+//! - [`PoissonRegression`]: IRLS fitting with elastic-net regularization
+//!   (ridge folded into the weighted normal equations; L1 applied as a
+//!   proximal soft-threshold step), matching the statsmodels GLM the paper
+//!   used plus the elastic-net penalty it describes.
+//! - [`samplers`]: exact Poisson, geometric, and categorical samplers (the
+//!   sanctioned crate set does not include `rand_distr`).
+//! - [`DohStrategy`]: the day-of-history sampling rule of §2.1.2 — encode
+//!   the last training day, or sample a day geometrically back from it.
+
+pub mod doh;
+pub mod negbin;
+pub mod poisson;
+pub mod samplers;
+
+pub use doh::DohStrategy;
+pub use negbin::NegBinRegression;
+pub use poisson::{ElasticNet, PoissonFitError, PoissonRegression};

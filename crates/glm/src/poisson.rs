@@ -1,0 +1,374 @@
+//! Poisson regression fit by iteratively re-weighted least squares.
+//!
+//! Model: `y_p ~ Poisson(mu_p)`, `mu_p = exp(w · x_p + b)`. The loss is the
+//! negative log-likelihood `Σ_p mu_p − y_p log(mu_p)` (dropping the
+//! `log(y!)` constant, as in the paper) plus an elastic-net penalty on `w`
+//! (the intercept `b` is never penalized).
+
+use linalg::{Cholesky, Mat};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Elastic-net penalty: `alpha * (l1_ratio * |w|_1 + (1 - l1_ratio)/2 * |w|_2^2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticNet {
+    /// Overall penalty weight.
+    pub alpha: f64,
+    /// Mix between L1 (`1.0`) and L2 (`0.0`).
+    pub l1_ratio: f64,
+}
+
+impl ElasticNet {
+    /// No regularization.
+    pub fn none() -> Self {
+        Self {
+            alpha: 0.0,
+            l1_ratio: 0.0,
+        }
+    }
+
+    /// Pure ridge with weight `alpha`.
+    pub fn ridge(alpha: f64) -> Self {
+        Self {
+            alpha,
+            l1_ratio: 0.0,
+        }
+    }
+
+    /// Penalty value for a weight vector.
+    pub fn penalty(&self, w: &[f64]) -> f64 {
+        let l1: f64 = w.iter().map(|x| x.abs()).sum();
+        let l2: f64 = w.iter().map(|x| x * x).sum();
+        self.alpha * (self.l1_ratio * l1 + 0.5 * (1.0 - self.l1_ratio) * l2)
+    }
+}
+
+/// Error from [`PoissonRegression::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoissonFitError {
+    /// Design matrix and target length disagree.
+    ShapeMismatch {
+        /// Rows in the design matrix.
+        rows: usize,
+        /// Entries in the target vector.
+        targets: usize,
+    },
+    /// A target count was negative or non-finite.
+    InvalidTarget {
+        /// Index of the offending target.
+        index: usize,
+    },
+    /// IRLS failed to produce a solvable system (degenerate design).
+    Singular,
+}
+
+impl fmt::Display for PoissonFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoissonFitError::ShapeMismatch { rows, targets } => {
+                write!(f, "poisson fit: {rows} rows vs {targets} targets")
+            }
+            PoissonFitError::InvalidTarget { index } => {
+                write!(f, "poisson fit: invalid target at index {index}")
+            }
+            PoissonFitError::Singular => write!(f, "poisson fit: singular IRLS system"),
+        }
+    }
+}
+
+impl std::error::Error for PoissonFitError {}
+
+/// A fitted Poisson regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoissonRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl PoissonRegression {
+    /// Fits by IRLS with an elastic-net penalty.
+    ///
+    /// Each IRLS iteration solves the ridge-regularized weighted normal
+    /// equations via Cholesky, then applies a proximal soft-threshold step
+    /// for the L1 part. `max_iter` iterations at most; stops early when the
+    /// coefficient change drops below `tol` (infinity norm).
+    ///
+    /// Predicted rates are clamped to `[1e-10, 1e10]` inside the algorithm
+    /// for numerical safety.
+    pub fn fit(
+        x: &Mat,
+        y: &[f64],
+        penalty: ElasticNet,
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<Self, PoissonFitError> {
+        let (n, d) = x.shape();
+        if y.len() != n {
+            return Err(PoissonFitError::ShapeMismatch {
+                rows: n,
+                targets: y.len(),
+            });
+        }
+        for (i, &v) in y.iter().enumerate() {
+            if v < 0.0 || !v.is_finite() {
+                return Err(PoissonFitError::InvalidTarget { index: i });
+            }
+        }
+
+        // Augment with an intercept column at the end (unpenalized).
+        let dim = d + 1;
+        let mut w = vec![0.0; dim];
+        // Warm-start the intercept at log(mean(y)).
+        let mean_y = (y.iter().sum::<f64>() / n.max(1) as f64).max(1e-4);
+        w[d] = mean_y.ln();
+
+        let ridge = penalty.alpha * (1.0 - penalty.l1_ratio);
+        let l1 = penalty.alpha * penalty.l1_ratio;
+
+        for _ in 0..max_iter {
+            // mu_i = exp(eta_i), eta = X w + b.
+            let mut eta = vec![0.0; n];
+            for i in 0..n {
+                let row = x.row(i);
+                let mut e = w[d];
+                for (j, &v) in row.iter().enumerate() {
+                    e += w[j] * v;
+                }
+                eta[i] = e;
+            }
+            let mu: Vec<f64> = eta.iter().map(|&e| e.exp().clamp(1e-10, 1e10)).collect();
+
+            // Working response z_i = eta_i + (y_i - mu_i) / mu_i, weight mu_i.
+            // Normal equations: (X~^T W X~ + ridge I') w = X~^T W z, where X~
+            // includes the intercept column and I' skips the intercept.
+            let mut a = Mat::zeros(dim, dim);
+            let mut b = vec![0.0; dim];
+            for i in 0..n {
+                let wi = mu[i];
+                let zi = eta[i] + (y[i] - mu[i]) / mu[i];
+                let row = x.row(i);
+                for j in 0..dim {
+                    let xj = if j == d { 1.0 } else { row[j] };
+                    if xj == 0.0 {
+                        continue;
+                    }
+                    b[j] += wi * xj * zi;
+                    for k in j..dim {
+                        let xk = if k == d { 1.0 } else { row[k] };
+                        if xk != 0.0 {
+                            a[(j, k)] += wi * xj * xk;
+                        }
+                    }
+                }
+            }
+            // Mirror the upper triangle and add ridge (not on intercept).
+            for j in 0..dim {
+                for k in (j + 1)..dim {
+                    a[(k, j)] = a[(j, k)];
+                }
+            }
+            for j in 0..d {
+                a[(j, j)] += ridge.max(1e-8);
+            }
+            a[(d, d)] += 1e-8;
+
+            let chol = Cholesky::factor(&a).map_err(|_| PoissonFitError::Singular)?;
+            let mut w_new = chol.solve(&b);
+
+            // Proximal step for the L1 part (soft threshold, scaled by the
+            // corresponding curvature diagonal; intercept untouched).
+            if l1 > 0.0 {
+                for (j, wj) in w_new.iter_mut().enumerate().take(d) {
+                    let scale = a[(j, j)].max(1e-8);
+                    let thresh = l1 / scale;
+                    *wj = if *wj > thresh {
+                        *wj - thresh
+                    } else if *wj < -thresh {
+                        *wj + thresh
+                    } else {
+                        0.0
+                    };
+                }
+            }
+
+            let delta = w
+                .iter()
+                .zip(&w_new)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            w = w_new;
+            if delta < tol {
+                break;
+            }
+        }
+
+        let intercept = w[d];
+        w.truncate(d);
+        Ok(Self {
+            weights: w,
+            intercept,
+        })
+    }
+
+    /// Predicted rate `mu = exp(w · x + b)` for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != weights.len()`.
+    pub fn rate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature length mismatch");
+        let eta: f64 = self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        eta.exp()
+    }
+
+    /// Mean negative log-likelihood (per observation, dropping `log(y!)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn nll(&self, x: &Mat, y: &[f64]) -> f64 {
+        assert_eq!(x.rows(), y.len(), "shape mismatch");
+        let mut total = 0.0;
+        for i in 0..x.rows() {
+            let mu = self.rate(x.row(i)).max(1e-10);
+            total += mu - y[i] * mu.ln();
+        }
+        total / y.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a dataset where y ~ Poisson(exp(1.0 + 0.5 x1 - 0.25 x2)),
+    /// using deterministic quasi-random draws.
+    fn synthetic(n: usize) -> (Mat, Vec<f64>) {
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as f64 / u64::MAX as f64
+        };
+        let x = Mat::from_fn(n, 2, |_, _| next() * 2.0 - 1.0);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let mu = (1.0 + 0.5 * x[(i, 0)] - 0.25 * x[(i, 1)]).exp();
+            // Deterministic Poisson draw via inversion.
+            let u = next();
+            let mut k = 0u64;
+            let mut p = (-mu).exp();
+            let mut cdf = p;
+            while u > cdf && k < 1000 {
+                k += 1;
+                p *= mu / k as f64;
+                cdf += p;
+            }
+            y.push(k as f64);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_known_coefficients() {
+        let (x, y) = synthetic(5000);
+        let m = PoissonRegression::fit(&x, &y, ElasticNet::none(), 50, 1e-8).unwrap();
+        assert!((m.intercept - 1.0).abs() < 0.1, "intercept {}", m.intercept);
+        assert!((m.weights[0] - 0.5).abs() < 0.1, "w0 {}", m.weights[0]);
+        assert!((m.weights[1] + 0.25).abs() < 0.1, "w1 {}", m.weights[1]);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let (x, y) = synthetic(2000);
+        let free = PoissonRegression::fit(&x, &y, ElasticNet::none(), 50, 1e-8).unwrap();
+        let ridged = PoissonRegression::fit(&x, &y, ElasticNet::ridge(1000.0), 50, 1e-8).unwrap();
+        let norm = |m: &PoissonRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&ridged) < norm(&free));
+    }
+
+    #[test]
+    fn l1_produces_exact_zeros_on_noise_features() {
+        // Add pure-noise columns; strong L1 should zero at least one.
+        let (x0, y) = synthetic(2000);
+        let mut state = 7u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as f64 / u64::MAX as f64
+        };
+        let x = Mat::from_fn(x0.rows(), 5, |r, c| {
+            if c < 2 {
+                x0[(r, c)]
+            } else {
+                next() * 2.0 - 1.0
+            }
+        });
+        let m = PoissonRegression::fit(
+            &x,
+            &y,
+            ElasticNet {
+                alpha: 50.0,
+                l1_ratio: 1.0,
+            },
+            100,
+            1e-10,
+        )
+        .unwrap();
+        let zeroed = m.weights[2..].iter().filter(|w| **w == 0.0).count();
+        assert!(zeroed >= 1, "weights: {:?}", m.weights);
+    }
+
+    #[test]
+    fn nll_lower_for_true_model() {
+        let (x, y) = synthetic(2000);
+        let fitted = PoissonRegression::fit(&x, &y, ElasticNet::none(), 50, 1e-8).unwrap();
+        let bad = PoissonRegression {
+            weights: vec![0.0, 0.0],
+            intercept: 5.0,
+        };
+        assert!(fitted.nll(&x, &y) < bad.nll(&x, &y));
+    }
+
+    #[test]
+    fn intercept_only_matches_mean() {
+        // With no informative features, rate should approach mean(y).
+        let x = Mat::zeros(100, 1);
+        let y: Vec<f64> = (0..100).map(|i| (i % 5) as f64).collect(); // mean 2.0
+        let m = PoissonRegression::fit(&x, &y, ElasticNet::none(), 50, 1e-10).unwrap();
+        assert!(
+            (m.rate(&[0.0]) - 2.0).abs() < 1e-6,
+            "rate {}",
+            m.rate(&[0.0])
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let x = Mat::zeros(3, 1);
+        let err = PoissonRegression::fit(&x, &[1.0], ElasticNet::none(), 5, 1e-6).unwrap_err();
+        assert!(matches!(err, PoissonFitError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_targets() {
+        let x = Mat::zeros(2, 1);
+        let err =
+            PoissonRegression::fit(&x, &[1.0, -2.0], ElasticNet::none(), 5, 1e-6).unwrap_err();
+        assert_eq!(err, PoissonFitError::InvalidTarget { index: 1 });
+    }
+
+    #[test]
+    fn penalty_value() {
+        let p = ElasticNet {
+            alpha: 2.0,
+            l1_ratio: 0.5,
+        };
+        // 2 * (0.5 * 3 + 0.25 * 5) = 2 * 2.75 = 5.5 for w = [1, -2].
+        assert!((p.penalty(&[1.0, -2.0]) - 5.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact discrete samplers (Poisson, geometric, categorical).
+//!
+//! Implemented here because the sanctioned dependency set includes `rand`
+//! but not `rand_distr`.
+
+use rand::Rng;
+
+/// Samples from `Poisson(mu)`.
+///
+/// Uses Knuth's product-of-uniforms method for small rates and a recursive
+/// split (`Poisson(mu) = Poisson(mu/2) + Poisson(mu/2)`) for large rates,
+/// which stays exact while bounding the work per draw at `O(30 log(mu))`.
+///
+/// Non-positive or non-finite rates yield 0.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mean = (0..1000).map(|_| glm::samplers::sample_poisson(4.0, &mut rng) as f64)
+///     .sum::<f64>() / 1000.0;
+/// assert!((mean - 4.0).abs() < 0.5);
+/// ```
+pub fn sample_poisson(mu: f64, rng: &mut impl Rng) -> u64 {
+    if !(mu > 0.0) || !mu.is_finite() {
+        return 0;
+    }
+    if mu > 30.0 {
+        let half = mu / 2.0;
+        return sample_poisson(half, rng) + sample_poisson(half, rng);
+    }
+    // Knuth: count multiplications of uniforms until the product < e^-mu.
+    let l = (-mu).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Safety valve against pathological RNGs.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples from the geometric distribution counting failures before the
+/// first success: `P(K = k) = (1-p)^k p` for `k = 0, 1, 2, …`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+pub fn sample_geometric(p: f64, rng: &mut impl Rng) -> u64 {
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "geometric p must be in (0, 1], got {p}"
+    );
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative/non-finite value, or
+/// sums to zero.
+pub fn sample_categorical(weights: &[f64], rng: &mut impl Rng) -> usize {
+    assert!(!weights.is_empty(), "empty weights");
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w >= 0.0 && w.is_finite(), "weight {i} invalid: {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "weights sum to zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples from `Gamma(shape, scale)` via Marsaglia–Tsang.
+///
+/// For `shape < 1`, uses the boost `Gamma(a) = Gamma(a + 1) * U^(1/a)`.
+///
+/// # Panics
+///
+/// Panics unless both parameters are positive and finite.
+pub fn sample_gamma(shape: f64, scale: f64, rng: &mut impl Rng) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+    assert!(scale > 0.0 && scale.is_finite(), "gamma scale must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(shape + 1.0, scale, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let x = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Samples from a negative binomial with mean `mu` and dispersion `alpha`
+/// (`Var = mu + alpha * mu^2`), via the Gamma–Poisson mixture.
+///
+/// `alpha <= 0` degenerates to a plain Poisson draw.
+pub fn sample_negative_binomial(mu: f64, alpha: f64, rng: &mut impl Rng) -> u64 {
+    if !(mu > 0.0) || !mu.is_finite() {
+        return 0;
+    }
+    if alpha <= 1e-12 {
+        return sample_poisson(mu, rng);
+    }
+    let shape = 1.0 / alpha;
+    let lambda = sample_gamma(shape, alpha * mu, rng);
+    sample_poisson(lambda, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &mu in &[0.5, 3.0, 25.0, 120.0] {
+            let n = 50_000;
+            let samples: Vec<f64> = (0..n)
+                .map(|_| sample_poisson(mu, &mut rng) as f64)
+                .collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let se = (mu / n as f64).sqrt();
+            assert!((mean - mu).abs() < 6.0 * se + 0.02, "mu={mu}: mean={mean}");
+            assert!((var - mu).abs() < mu * 0.1 + 0.05, "mu={mu}: var={var}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_for_invalid_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        assert_eq!(sample_poisson(-3.0, &mut rng), 0);
+        assert_eq!(sample_poisson(f64::NAN, &mut rng), 0);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let p = 1.0 / 7.0; // expected failures = (1-p)/p = 6
+        let n = 100_000;
+        let mean = (0..n)
+            .map(|_| sample_geometric(p, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 6.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_geometric(1.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let w = [1.0, 3.0, 6.0];
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&w, &mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            assert!((c as f64 / n as f64 - expect).abs() < 0.01, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..1000 {
+            assert_ne!(sample_categorical(&[1.0, 0.0, 1.0], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for &(shape, scale) in &[(0.5, 2.0), (2.0, 1.5), (9.0, 0.3)] {
+            let n = 60_000;
+            let samples: Vec<f64> =
+                (0..n).map(|_| sample_gamma(shape, scale, &mut rng)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let (em, ev) = (shape * scale, shape * scale * scale);
+            assert!((mean - em).abs() < em * 0.05, "shape {shape}: mean {mean} vs {em}");
+            assert!((var - ev).abs() < ev * 0.15, "shape {shape}: var {var} vs {ev}");
+        }
+    }
+
+    #[test]
+    fn negative_binomial_is_overdispersed() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (mu, alpha) = (5.0, 0.5);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_negative_binomial(mu, alpha, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let ev = mu + alpha * mu * mu; // 17.5
+        assert!((mean - mu).abs() < 0.15, "mean {mean}");
+        assert!((var - ev).abs() < ev * 0.1, "var {var} vs {ev}");
+    }
+
+    #[test]
+    fn negative_binomial_zero_alpha_is_poisson_like() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_negative_binomial(4.0, 0.0, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var - mean).abs() < 0.3, "var {var} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn categorical_all_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sample_categorical(&[0.0, 0.0], &mut rng);
+    }
+}

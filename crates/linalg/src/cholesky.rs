@@ -1,0 +1,208 @@
+//! Cholesky factorization and SPD linear solves.
+//!
+//! Used by the Poisson-regression IRLS fitter in the `glm` crate, where each
+//! iteration solves `(X^T W X + lambda I) beta = X^T W z` — a symmetric
+//! positive-definite system.
+
+use crate::matrix::Mat;
+use std::fmt;
+
+/// Error returned when a matrix is not symmetric positive-definite (to
+/// working precision), or is not square.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// Matrix is not square.
+    NotSquare {
+        /// Observed row count.
+        rows: usize,
+        /// Observed column count.
+        cols: usize,
+    },
+    /// A non-positive pivot was encountered at the given index; the matrix is
+    /// not positive-definite to working precision.
+    NotPositiveDefinite {
+        /// Pivot index at which factorization failed.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CholeskyError::NotSquare { rows, cols } => {
+                write!(f, "cholesky: matrix is {rows}x{cols}, not square")
+            }
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "cholesky: non-positive pivot at index {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the caller is responsible for
+    /// `a` being (numerically) symmetric.
+    pub fn factor(a: &Mat) -> Result<Self, CholeskyError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(CholeskyError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Below-diagonal entries of column j.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solves `A x = b` given the factorization of `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "solve rhs length mismatch");
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Log-determinant of `A` (twice the log-determinant of `L`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Convenience: solves `A x = b` for SPD `A` in one call.
+pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+    Ok(Cholesky::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_from_seed(n: usize, seed: u64) -> Mat {
+        // Build B with deterministic pseudo-random entries, return B B^T + n I.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = Mat::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul_t(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_identity() {
+        let chol = Cholesky::factor(&Mat::identity(4)).unwrap();
+        assert_eq!(chol.l(), &Mat::identity(4));
+        assert!((chol.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for seed in 1..6u64 {
+            let n = 6;
+            let a = spd_from_seed(n, seed);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+                .collect();
+            let x = solve_spd(&a, &b).unwrap();
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "seed {seed}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_from_seed(5, 42);
+        let chol = Cholesky::factor(&a).unwrap();
+        let rec = chol.l().matmul_t(chol.l());
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let err = Cholesky::factor(&Mat::zeros(2, 3)).unwrap_err();
+        assert_eq!(err, CholeskyError::NotSquare { rows: 2, cols: 3 });
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert!(matches!(err, CholeskyError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // diag(2, 3, 4): log det = ln(24).
+        let a = Mat::from_fn(3, 3, |r, c| if r == c { (r + 2) as f64 } else { 0.0 });
+        let chol = Cholesky::factor(&a).unwrap();
+        assert!((chol.log_det() - 24.0f64.ln()).abs() < 1e-12);
+    }
+}

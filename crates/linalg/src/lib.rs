@@ -1,0 +1,26 @@
+//! Dense linear-algebra substrate for the `cloudgen` workspace.
+//!
+//! Provides a small, dependency-free set of building blocks used by the
+//! neural-network ([`nn`]) and GLM ([`glm`]) crates:
+//!
+//! - [`Mat`]: a row-major dense `f64` matrix with the BLAS-like kernels the
+//!   LSTM forward/backward passes need (GEMM in all transpose combinations,
+//!   rank-1 updates, row views).
+//! - [`cholesky`]: Cholesky factorization and SPD solves, used by the
+//!   iteratively-reweighted-least-squares fitter for Poisson regression.
+//! - [`numeric`]: numerically-stable scalar helpers (sigmoid, log-sum-exp,
+//!   softmax, BCE-with-logits).
+//!
+//! The crate is deliberately minimal: everything is `f64`, row-major, and
+//! bounds-checked in debug builds. It is fast enough to train the
+//! reduced-scale LSTMs used by the reproduction experiments on a CPU.
+//!
+//! [`nn`]: ../nn/index.html
+//! [`glm`]: ../glm/index.html
+
+pub mod cholesky;
+pub mod matrix;
+pub mod numeric;
+
+pub use cholesky::{solve_spd, Cholesky, CholeskyError};
+pub use matrix::Mat;

@@ -1,0 +1,259 @@
+//! Numerically-stable scalar and slice helpers shared by the model crates.
+
+/// Logistic sigmoid, stable for large-magnitude inputs.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically-stable `ln(1 + exp(x))` (softplus).
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Stable log-sum-exp over a slice.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// In-place softmax over a slice (stable).
+///
+/// Leaves an empty slice untouched.
+pub fn softmax_inplace(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Log-softmax of one element: `xs[i] - log_sum_exp(xs)`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of bounds.
+pub fn log_softmax_at(xs: &[f64], i: usize) -> f64 {
+    xs[i] - log_sum_exp(xs)
+}
+
+/// Binary-cross-entropy with logits for a single output.
+///
+/// Computes `-[y * ln(sigmoid(z)) + (1-y) * ln(1 - sigmoid(z))]` in a stable
+/// form: `max(z, 0) - z*y + ln(1 + exp(-|z|))`.
+#[inline]
+pub fn bce_with_logits(z: f64, y: f64) -> f64 {
+    z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()
+}
+
+/// Hyperbolic tangent (thin wrapper so call sites read uniformly).
+#[inline]
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh given the *output* value `t = tanh(x)`.
+#[inline]
+pub fn dtanh_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Derivative of sigmoid given the *output* value `s = sigmoid(x)`.
+#[inline]
+pub fn dsigmoid_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Clamps a probability into the open interval `(eps, 1-eps)` to avoid
+/// infinities when taking logs.
+#[inline]
+pub fn clamp_prob(p: f64, eps: f64) -> f64 {
+    p.clamp(eps, 1.0 - eps)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~1e-13 for positive arguments; uses the reflection formula
+/// for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics for non-positive integer arguments (poles of the gamma function).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        assert!(
+            x != x.floor() || x > 0.0,
+            "ln_gamma pole at non-positive integer {x}"
+        );
+        // Reflection: Γ(x) Γ(1-x) = π / sin(πx).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().abs().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn softplus_matches_naive_in_safe_range() {
+        for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let naive = (1.0f64 + f64::exp(x)).ln();
+            assert!((softplus(x) - naive).abs() < 1e-12);
+        }
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) > 0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let v = [1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = [1.0, 2.0, 3.0];
+        softmax_inplace(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [101.0, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bce_matches_naive() {
+        for &z in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+            for &y in &[0.0, 1.0] {
+                let p = sigmoid(z);
+                let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+                assert!((bce_with_logits(z, y) - naive).abs() < 1e-10, "z={z} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn bce_stable_at_extremes() {
+        assert!(bce_with_logits(1000.0, 1.0).abs() < 1e-12);
+        assert!((bce_with_logits(1000.0, 0.0) - 1000.0).abs() < 1e-9);
+        assert!(bce_with_logits(-1000.0, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_derivatives() {
+        let t = tanh(0.7);
+        assert!((dtanh_from_output(t) - (1.0 - t * t)).abs() < 1e-15);
+        let s = sigmoid(0.3);
+        assert!((dsigmoid_from_output(s) - s * (1.0 - s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_prob_bounds() {
+        assert_eq!(clamp_prob(-0.1, 1e-9), 1e-9);
+        assert_eq!(clamp_prob(2.0, 1e-9), 1.0 - 1e-9);
+        assert_eq!(clamp_prob(0.5, 1e-9), 0.5);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
+                "n = {n}"
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-12);
+        // Γ(3/2) = sqrt(π)/2.
+        let expect = 0.5 * std::f64::consts::PI.ln() - 2.0f64.ln();
+        assert!((ln_gamma(1.5) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // ln Γ(x+1) = ln x + ln Γ(x).
+        for &x in &[0.7, 1.3, 2.9, 10.4, 55.5] {
+            assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_at_matches_softmax() {
+        let xs = [0.2, -1.0, 3.0];
+        let mut sm = xs;
+        softmax_inplace(&mut sm);
+        for i in 0..3 {
+            assert!((log_softmax_at(&xs, i) - sm[i].ln()).abs() < 1e-12);
+        }
+    }
+}

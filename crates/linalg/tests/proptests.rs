@@ -1,0 +1,115 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use linalg::numeric::{bce_with_logits, log_sum_exp, sigmoid, softmax_inplace};
+use linalg::{solve_spd, Cholesky, Mat};
+use proptest::prelude::*;
+
+fn small_val() -> impl Strategy<Value = f64> {
+    (-10.0..10.0f64)
+}
+
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(small_val(), rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(
+        a in mat_strategy(3, 4),
+        b in mat_strategy(4, 2),
+        c in mat_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in mat_strategy(3, 3),
+        b in mat_strategy(3, 3),
+        c in mat_strategy(3, 3),
+    ) {
+        let mut bc = b.clone();
+        bc.axpy(1.0, &c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.axpy(1.0, &a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(a in mat_strategy(3, 4), b in mat_strategy(4, 2)) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(a in mat_strategy(4, 3), b in mat_strategy(4, 5)) {
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(b_entries in proptest::collection::vec(-3.0..3.0f64, 16), rhs in proptest::collection::vec(-3.0..3.0f64, 4)) {
+        let b = Mat::from_vec(4, 4, b_entries);
+        // A = B B^T + 4 I is SPD.
+        let mut a = b.matmul_t(&b);
+        for i in 0..4 {
+            a[(i, i)] += 4.0;
+        }
+        let x = solve_spd(&a, &rhs).unwrap();
+        // Verify A x == rhs.
+        for i in 0..4 {
+            let ax: f64 = (0..4).map(|j| a[(i, j)] * x[j]).sum();
+            prop_assert!((ax - rhs[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_log_det_positive_for_dominant(d in proptest::collection::vec(0.5..4.0f64, 5)) {
+        let n = d.len();
+        let a = Mat::from_fn(n, n, |r, c| if r == c { 1.0 + d[r] } else { 0.0 });
+        let chol = Cholesky::factor(&a).unwrap();
+        let expected: f64 = d.iter().map(|&x| (1.0 + x).ln()).sum();
+        prop_assert!((chol.log_det() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_in_unit_interval(x in -1e6..1e6f64) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0..50.0f64, 1..20)) {
+        let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= m - 1e-12);
+        prop_assert!(lse <= m + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut xs in proptest::collection::vec(-30.0..30.0f64, 1..12)) {
+        softmax_inplace(&mut xs);
+        prop_assert!((xs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(xs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn bce_nonnegative(z in -100.0..100.0f64, y in 0.0..=1.0f64) {
+        prop_assert!(bce_with_logits(z, y) >= -1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Weight initialization helpers.
+
+use linalg::Mat;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `rows x cols` weight matrix.
+///
+/// Entries are drawn from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`,
+/// where `fan_in = rows` and `fan_out = cols` (weights are applied as
+/// `x · W`, so rows are the input dimension).
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Mat {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Uniform initialization in `(-scale, scale)`.
+pub fn uniform(rows: usize, cols: usize, scale: f64, rng: &mut impl Rng) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+}
+
+/// LSTM bias initialization: zeros except the forget-gate block, which is set
+/// to `forget_bias` (conventionally 1.0 to encourage remembering early in
+/// training).
+///
+/// The bias layout is `[input, forget, cell, output]`, each of size `hidden`.
+pub fn lstm_bias(hidden: usize, forget_bias: f64) -> Mat {
+    Mat::from_fn(1, 4 * hidden, |_, c| {
+        if (hidden..2 * hidden).contains(&c) {
+            forget_bias
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not degenerate: at least two distinct values.
+        assert!(w.as_slice().iter().any(|&x| x != w.as_slice()[0]));
+    }
+
+    #[test]
+    fn lstm_bias_layout() {
+        let b = lstm_bias(3, 1.0);
+        assert_eq!(b.shape(), (1, 12));
+        let s = b.as_slice();
+        assert!(s[0..3].iter().all(|&x| x == 0.0));
+        assert!(s[3..6].iter().all(|&x| x == 1.0));
+        assert!(s[6..12].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn uniform_within_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = uniform(5, 5, 0.1, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= 0.1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w1 = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(11));
+        let w2 = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(11));
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Neural-network substrate for the `cloudgen` workspace.
+//!
+//! Implements, from scratch and without an autodiff framework, everything the
+//! paper's two sequence models need:
+//!
+//! - [`Linear`]: a fully-connected layer with explicit backward pass.
+//! - [`Lstm`]: a multi-layer LSTM with full backpropagation-through-time
+//!   (BPTT); forward passes cache activations, and a stateful [`LstmState`]
+//!   supports one-step-at-a-time generation.
+//! - [`LstmNetwork`]: LSTM stack + linear output head, the shape used by both
+//!   the flavor model and the lifetime (hazard) model.
+//! - [`Adam`]: the Adam optimizer with decoupled weight decay and global-norm
+//!   gradient clipping.
+//! - [`loss`]: softmax cross-entropy (multinomial NLL) and masked
+//!   BCE-with-logits (the censoring-aware hazard loss).
+//! - [`gradcheck`]: a finite-difference gradient checker used by the test
+//!   suite to validate every hand-derived backward pass.
+//!
+//! All gradients were derived by hand; the property-test suite verifies them
+//! against central finite differences on random inputs.
+
+pub mod adam;
+pub mod gradcheck;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod lstm;
+pub mod network;
+pub mod param;
+pub mod rnn;
+
+pub use adam::{Adam, AdamConfig};
+pub use linear::Linear;
+pub use lstm::{Lstm, LstmState};
+pub use network::LstmNetwork;
+pub use param::Param;
+pub use rnn::{Rnn, RnnNetwork, RnnState};

@@ -1,0 +1,133 @@
+//! Fully-connected (affine) layer with explicit backward pass.
+
+use crate::init::xavier_uniform;
+use crate::param::Param;
+use linalg::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer computing `y = x · W + b`.
+///
+/// `x` is `(batch, in_dim)`, `W` is `(in_dim, out_dim)`, `b` is
+/// `(1, out_dim)`, and `y` is `(batch, out_dim)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `(in_dim, out_dim)`.
+    pub w: Param,
+    /// Bias row vector, `(1, out_dim)`.
+    pub b: Param,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(xavier_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Mat::zeros(1, out_dim)),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass: `y = x · W + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Mat) -> Mat {
+        let mut y = x.matmul(&self.w.value);
+        y.add_row_broadcast(self.b.value.row(0));
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// Accumulates `dW += x^T dy` and `db += colsum(dy)`, and returns
+    /// `dx = dy · W^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `x`, `dy`, and the layer dimensions.
+    pub fn backward(&mut self, x: &Mat, dy: &Mat) -> Mat {
+        assert_eq!(x.rows(), dy.rows(), "linear backward batch mismatch");
+        self.w.grad.axpy(1.0, &x.t_matmul(dy));
+        let db = dy.col_sums();
+        linalg::matrix::axpy_slice(self.b.grad.row_mut(0), 1.0, &db);
+        dy.matmul_t(&self.w.value)
+    }
+
+    /// The layer's parameters in stable order (`w`, then `b`).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Resets accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        layer.w.value = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        layer.b.value = Mat::from_rows(&[&[0.5, -0.5]]);
+        let x = Mat::from_rows(&[&[1.0, 1.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_accumulates_grads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = Mat::from_fn(4, 3, |r, c| (r + c) as f64 * 0.1);
+        let dy = Mat::filled(4, 2, 1.0);
+        let dx = layer.backward(&x, &dy);
+        assert_eq!(dx.shape(), (4, 3));
+        // db = column sums of dy = [4, 4].
+        assert_eq!(layer.b.grad.as_slice(), &[4.0, 4.0]);
+        // dW = x^T dy.
+        let expected = x.t_matmul(&dy);
+        assert_eq!(layer.w.grad, expected);
+        // Accumulation: calling again doubles.
+        let _ = layer.backward(&x, &dy);
+        assert_eq!(layer.b.grad.as_slice(), &[8.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Mat::filled(1, 2, 1.0);
+        let dy = Mat::filled(1, 2, 1.0);
+        let _ = layer.backward(&x, &dy);
+        layer.zero_grad();
+        assert!(layer.w.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(layer.b.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn dims_reported() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new(7, 3, &mut rng);
+        assert_eq!(layer.in_dim(), 7);
+        assert_eq!(layer.out_dim(), 3);
+    }
+}

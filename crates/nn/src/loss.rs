@@ -1,0 +1,272 @@
+//! Loss functions with analytic gradients.
+//!
+//! Both losses return `(total_loss, contributing_count, dlogits)` so the
+//! training loop can normalize and feed the gradient straight into the
+//! network's backward pass. Gradients correspond to the *summed* loss; divide
+//! by the count (or scale `dlogits`) for a mean loss.
+
+use linalg::numeric::{bce_with_logits, log_sum_exp, sigmoid};
+use linalg::Mat;
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `(batch, classes)`; `targets[r]` is the class index of row
+/// `r`. Returns the summed negative log-likelihood, the number of rows, and
+/// `dlogits = softmax(logits) - onehot(targets)`.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target index is out of
+/// range.
+pub fn softmax_cross_entropy(logits: &Mat, targets: &[usize]) -> (f64, usize, Mat) {
+    assert_eq!(targets.len(), logits.rows(), "target count mismatch");
+    let classes = logits.cols();
+    let mut loss = 0.0;
+    let mut dlogits = Mat::zeros(logits.rows(), classes);
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < classes, "target {t} out of range ({classes} classes)");
+        let row = logits.row(r);
+        let lse = log_sum_exp(row);
+        loss += lse - row[t];
+        let drow = dlogits.row_mut(r);
+        for (c, d) in drow.iter_mut().enumerate() {
+            *d = (row[c] - lse).exp();
+        }
+        drow[t] -= 1.0;
+    }
+    (loss, targets.len(), dlogits)
+}
+
+/// Masked binary cross-entropy with logits.
+///
+/// This is the censoring-aware hazard loss from the paper (§2.3.2): each
+/// output is an independent Bernoulli logit, and `mask` zeroes out outputs
+/// that do not factor into the likelihood (bins after the observed event, and
+/// the event bin itself for censored jobs).
+///
+/// All of `logits`, `targets`, `mask` are `(batch, bins)`. Returns the summed
+/// masked BCE, the number of unmasked outputs, and
+/// `dlogits = mask ⊙ (sigmoid(logits) - targets)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn masked_bce_with_logits(logits: &Mat, targets: &Mat, mask: &Mat) -> (f64, usize, Mat) {
+    assert_eq!(logits.shape(), targets.shape(), "targets shape mismatch");
+    assert_eq!(logits.shape(), mask.shape(), "mask shape mismatch");
+    let mut loss = 0.0;
+    let mut count = 0usize;
+    let mut dlogits = Mat::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let zr = logits.row(r);
+        let yr = targets.row(r);
+        let mr = mask.row(r);
+        let dr = dlogits.row_mut(r);
+        for c in 0..zr.len() {
+            let m = mr[c];
+            if m == 0.0 {
+                continue;
+            }
+            loss += m * bce_with_logits(zr[c], yr[c]);
+            dr[c] = m * (sigmoid(zr[c]) - yr[c]);
+            count += 1;
+        }
+    }
+    (loss, count, dlogits)
+}
+
+/// Censoring-aware categorical (PMF) loss over lifetime bins.
+///
+/// This is the alternative output parameterization discussed in §2.3.1 /
+/// Kvamme & Borgan: the network emits one logit per bin and the softmax is
+/// the lifetime PMF. Per row `r`, `events[r] = (bin, censored)`:
+///
+/// - uncensored: standard cross-entropy on the event bin;
+/// - censored at bin `c`: the likelihood is the total mass of bins `>= c`
+///   (the job is known to survive past the bins before `c`), so the loss is
+///   `-ln(Σ_{j>=c} softmax(z)_j)`.
+///
+/// Returns `(summed_loss, rows, dlogits)`.
+///
+/// # Panics
+///
+/// Panics if `events.len() != logits.rows()` or a bin is out of range.
+pub fn survival_softmax_loss(logits: &Mat, events: &[(usize, bool)]) -> (f64, usize, Mat) {
+    assert_eq!(events.len(), logits.rows(), "event count mismatch");
+    let bins = logits.cols();
+    let mut loss = 0.0;
+    let mut dlogits = Mat::zeros(logits.rows(), bins);
+    for (r, &(bin, censored)) in events.iter().enumerate() {
+        assert!(bin < bins, "bin {bin} out of range ({bins} bins)");
+        let row = logits.row(r);
+        let lse = log_sum_exp(row);
+        if !censored {
+            loss += lse - row[bin];
+            let drow = dlogits.row_mut(r);
+            for (c, d) in drow.iter_mut().enumerate() {
+                *d = (row[c] - lse).exp();
+            }
+            drow[bin] -= 1.0;
+        } else {
+            // q = sum of tail mass; loss = -ln q = lse - lse_tail.
+            let lse_tail = log_sum_exp(&row[bin..]);
+            loss += lse - lse_tail;
+            let drow = dlogits.row_mut(r);
+            for (c, d) in drow.iter_mut().enumerate() {
+                let p = (row[c] - lse).exp();
+                let tail = if c >= bin {
+                    (row[c] - lse_tail).exp()
+                } else {
+                    0.0
+                };
+                *d = p - tail;
+            }
+        }
+    }
+    (loss, events.len(), dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xent_uniform_logits() {
+        // All-zero logits over K classes: loss per row is ln(K).
+        let logits = Mat::zeros(3, 4);
+        let (loss, n, d) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert_eq!(n, 3);
+        assert!((loss - 3.0 * 4.0f64.ln()).abs() < 1e-12);
+        // Gradient rows sum to zero (softmax sums to 1, minus one-hot).
+        for r in 0..3 {
+            assert!(d.row(r).iter().sum::<f64>().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn xent_confident_correct_is_small() {
+        let mut logits = Mat::zeros(1, 3);
+        logits[(0, 1)] = 50.0;
+        let (loss, _, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-12);
+    }
+
+    #[test]
+    fn xent_gradient_matches_finite_difference() {
+        let logits = Mat::from_rows(&[&[0.3, -1.2, 0.8], &[2.0, 0.1, -0.4]]);
+        let targets = [2usize, 0];
+        let (_, _, d) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                let mut lm = logits.clone();
+                lp[(r, c)] += eps;
+                lm[(r, c)] -= eps;
+                let (fp, _, _) = softmax_cross_entropy(&lp, &targets);
+                let (fm, _, _) = softmax_cross_entropy(&lm, &targets);
+                let num = (fp - fm) / (2.0 * eps);
+                assert!((num - d[(r, c)]).abs() < 1e-6, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn bce_all_masked_is_zero() {
+        let logits = Mat::filled(2, 3, 1.0);
+        let targets = Mat::zeros(2, 3);
+        let mask = Mat::zeros(2, 3);
+        let (loss, n, d) = masked_bce_with_logits(&logits, &targets, &mask);
+        assert_eq!(loss, 0.0);
+        assert_eq!(n, 0);
+        assert!(d.max_abs() == 0.0);
+    }
+
+    #[test]
+    fn bce_known_value() {
+        // z = 0 => p = 0.5 => loss = ln 2 per unmasked output.
+        let logits = Mat::zeros(1, 4);
+        let targets = Mat::from_rows(&[&[1.0, 0.0, 1.0, 0.0]]);
+        let mask = Mat::from_rows(&[&[1.0, 1.0, 0.0, 0.0]]);
+        let (loss, n, _) = masked_bce_with_logits(&logits, &targets, &mask);
+        assert_eq!(n, 2);
+        assert!((loss - 2.0 * 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Mat::from_rows(&[&[0.5, -0.7, 1.3], &[-2.0, 0.2, 0.9]]);
+        let targets = Mat::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let mask = Mat::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]]);
+        let (_, _, d) = masked_bce_with_logits(&logits, &targets, &mask);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                let mut lm = logits.clone();
+                lp[(r, c)] += eps;
+                lm[(r, c)] -= eps;
+                let (fp, _, _) = masked_bce_with_logits(&lp, &targets, &mask);
+                let (fm, _, _) = masked_bce_with_logits(&lm, &targets, &mask);
+                let num = (fp - fm) / (2.0 * eps);
+                assert!((num - d[(r, c)]).abs() < 1e-6, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target count mismatch")]
+    fn xent_target_count_mismatch_panics() {
+        let _ = softmax_cross_entropy(&Mat::zeros(2, 2), &[0]);
+    }
+
+    #[test]
+    fn survival_softmax_uncensored_matches_xent() {
+        let logits = Mat::from_rows(&[&[0.4, -0.2, 1.1]]);
+        let (l1, _, d1) = survival_softmax_loss(&logits, &[(2, false)]);
+        let (l2, _, d2) = softmax_cross_entropy(&logits, &[2]);
+        assert!((l1 - l2).abs() < 1e-12);
+        for (a, b) in d1.as_slice().iter().zip(d2.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survival_softmax_censored_at_zero_is_free() {
+        // Censored at bin 0: every outcome is consistent, loss = -ln(1) = 0.
+        let logits = Mat::from_rows(&[&[0.3, -1.0, 0.7]]);
+        let (l, _, d) = survival_softmax_loss(&logits, &[(0, true)]);
+        assert!(l.abs() < 1e-12);
+        assert!(d.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_softmax_censored_gradient_matches_finite_difference() {
+        let logits = Mat::from_rows(&[&[0.5, -0.7, 1.3, 0.1], &[-2.0, 0.2, 0.9, 0.4]]);
+        let events = [(2usize, true), (1usize, false)];
+        let (_, _, d) = survival_softmax_loss(&logits, &events);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut lp = logits.clone();
+                let mut lm = logits.clone();
+                lp[(r, c)] += eps;
+                lm[(r, c)] -= eps;
+                let (fp, _, _) = survival_softmax_loss(&lp, &events);
+                let (fm, _, _) = survival_softmax_loss(&lm, &events);
+                let num = (fp - fm) / (2.0 * eps);
+                assert!((num - d[(r, c)]).abs() < 1e-6, "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn survival_softmax_censored_loss_decreases_with_tail_mass() {
+        // More logit mass in the tail (bins >= censor bin) = lower loss.
+        let low_tail = Mat::from_rows(&[&[3.0, 0.0, 0.0]]);
+        let high_tail = Mat::from_rows(&[&[0.0, 0.0, 3.0]]);
+        let (l_low, _, _) = survival_softmax_loss(&low_tail, &[(1, true)]);
+        let (l_high, _, _) = survival_softmax_loss(&high_tail, &[(1, true)]);
+        assert!(l_high < l_low);
+    }
+}

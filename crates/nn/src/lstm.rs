@@ -1,0 +1,450 @@
+//! Multi-layer LSTM with hand-derived backpropagation-through-time.
+//!
+//! Gate layout in all `4H`-wide matrices is `[input, forget, cell, output]`.
+//! The forward pass over a sequence caches every intermediate activation so
+//! [`Lstm::backward`] can run full BPTT; the stateful [`LstmState`] path
+//! supports one-job-at-a-time sampling during trace generation.
+
+use crate::init::{lstm_bias, xavier_uniform};
+use crate::param::Param;
+use linalg::numeric::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+use linalg::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One LSTM layer's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmLayer {
+    /// Input-to-hidden weights, `(in_dim, 4*hidden)`.
+    pub w_ih: Param,
+    /// Hidden-to-hidden weights, `(hidden, 4*hidden)`.
+    pub w_hh: Param,
+    /// Bias, `(1, 4*hidden)`.
+    pub b: Param,
+    hidden: usize,
+}
+
+/// Cached activations for one layer at one time step.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// Layer input at this step, `(batch, in_dim)`.
+    x: Mat,
+    /// Previous hidden state, `(batch, hidden)`.
+    h_prev: Mat,
+    /// Previous cell state, `(batch, hidden)`.
+    c_prev: Mat,
+    /// Gate activations `[i, f, g, o]` packed as `(batch, 4*hidden)`.
+    gates: Mat,
+    /// New cell state, `(batch, hidden)`.
+    c: Mat,
+    /// `tanh(c)`, `(batch, hidden)`.
+    tc: Mat,
+}
+
+/// Forward-pass cache for a whole sequence (all layers, all steps).
+#[derive(Debug)]
+pub struct LstmCache {
+    // caches[layer][t]
+    caches: Vec<Vec<StepCache>>,
+    batch: usize,
+}
+
+/// Recurrent state for stateful (generation-time) stepping.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Per-layer hidden states, each `(batch, hidden)`.
+    pub h: Vec<Mat>,
+    /// Per-layer cell states, each `(batch, hidden)`.
+    pub c: Vec<Mat>,
+}
+
+impl LstmLayer {
+    fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w_ih: Param::new(xavier_uniform(in_dim, 4 * hidden, rng)),
+            w_hh: Param::new(xavier_uniform(hidden, 4 * hidden, rng)),
+            b: Param::new(lstm_bias(hidden, 1.0)),
+            hidden,
+        }
+    }
+
+    /// One forward step; returns `(h, cache)`.
+    fn step(&self, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, StepCache) {
+        let hidden = self.hidden;
+        let batch = x.rows();
+        // Pre-activations: x·W_ih + h_prev·W_hh + b.
+        let mut z = x.matmul(&self.w_ih.value);
+        linalg::matrix::gemm_acc(&mut z, h_prev, &self.w_hh.value, 1.0);
+        z.add_row_broadcast(self.b.value.row(0));
+
+        // Apply gate nonlinearities in place: sigmoid on i/f/o, tanh on g.
+        let mut gates = z;
+        for r in 0..batch {
+            let row = gates.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                let block = c / hidden;
+                *v = if block == 2 { v.tanh() } else { sigmoid(*v) };
+            }
+        }
+
+        let mut c = Mat::zeros(batch, hidden);
+        let mut tc = Mat::zeros(batch, hidden);
+        let mut h = Mat::zeros(batch, hidden);
+        for r in 0..batch {
+            let g_row = gates.row(r);
+            for j in 0..hidden {
+                let i = g_row[j];
+                let f = g_row[hidden + j];
+                let g = g_row[2 * hidden + j];
+                let o = g_row[3 * hidden + j];
+                let cv = f * c_prev[(r, j)] + i * g;
+                let t = cv.tanh();
+                c[(r, j)] = cv;
+                tc[(r, j)] = t;
+                h[(r, j)] = o * t;
+            }
+        }
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            gates,
+            c: c.clone(),
+            tc,
+        };
+        (h, cache)
+    }
+
+    /// One backward step.
+    ///
+    /// `dh` is the gradient arriving at this step's hidden output (from the
+    /// layer above and/or the next time step); `dc` is the running cell-state
+    /// gradient from the next time step. Returns `(dx, dh_prev, dc_prev)` and
+    /// accumulates parameter gradients.
+    fn step_backward(&mut self, cache: &StepCache, dh: &Mat, dc_in: &Mat) -> (Mat, Mat, Mat) {
+        let hidden = self.hidden;
+        let batch = dh.rows();
+        let mut dz = Mat::zeros(batch, 4 * hidden);
+        let mut dc_prev = Mat::zeros(batch, hidden);
+        for r in 0..batch {
+            let g_row = cache.gates.row(r);
+            for j in 0..hidden {
+                let i = g_row[j];
+                let f = g_row[hidden + j];
+                let g = g_row[2 * hidden + j];
+                let o = g_row[3 * hidden + j];
+                let tc = cache.tc[(r, j)];
+                let dhv = dh[(r, j)];
+
+                // h = o * tanh(c).
+                let d_o = dhv * tc;
+                let mut dc = dc_in[(r, j)] + dhv * o * dtanh_from_output(tc);
+
+                // c = f * c_prev + i * g.
+                let d_f = dc * cache.c_prev[(r, j)];
+                let d_i = dc * g;
+                let d_g = dc * i;
+                dc *= f;
+                dc_prev[(r, j)] = dc;
+
+                dz[(r, j)] = d_i * dsigmoid_from_output(i);
+                dz[(r, hidden + j)] = d_f * dsigmoid_from_output(f);
+                dz[(r, 2 * hidden + j)] = d_g * dtanh_from_output(g);
+                dz[(r, 3 * hidden + j)] = d_o * dsigmoid_from_output(o);
+            }
+        }
+
+        // Parameter gradients.
+        self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(&dz));
+        self.w_hh.grad.axpy(1.0, &cache.h_prev.t_matmul(&dz));
+        let db = dz.col_sums();
+        linalg::matrix::axpy_slice(self.b.grad.row_mut(0), 1.0, &db);
+
+        // Input gradients.
+        let dx = dz.matmul_t(&self.w_ih.value);
+        let dh_prev = dz.matmul_t(&self.w_hh.value);
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+/// A stack of LSTM layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    layers: Vec<LstmLayer>,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates a stack of `num_layers` LSTM layers.
+    ///
+    /// The first layer maps `input_dim -> hidden`; subsequent layers map
+    /// `hidden -> hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0` or `hidden == 0`.
+    pub fn new(input_dim: usize, hidden: usize, num_layers: usize, rng: &mut impl Rng) -> Self {
+        assert!(num_layers > 0, "need at least one layer");
+        assert!(hidden > 0, "hidden size must be positive");
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let in_dim = if l == 0 { input_dim } else { hidden };
+            layers.push(LstmLayer::new(in_dim, hidden, rng));
+        }
+        Self {
+            layers,
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden size of each layer.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Zero-initialized recurrent state for a given batch size.
+    pub fn zero_state(&self, batch: usize) -> LstmState {
+        LstmState {
+            h: self
+                .layers
+                .iter()
+                .map(|_| Mat::zeros(batch, self.hidden))
+                .collect(),
+            c: self
+                .layers
+                .iter()
+                .map(|_| Mat::zeros(batch, self.hidden))
+                .collect(),
+        }
+    }
+
+    /// Forward pass over a sequence starting from the zero state.
+    ///
+    /// `xs[t]` is the `(batch, input_dim)` input at step `t`. Returns the
+    /// top-layer hidden state at each step plus the BPTT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any step's input has the wrong width or inconsistent batch.
+    pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, LstmCache) {
+        let batch = xs.first().map_or(0, Mat::rows);
+        let mut caches: Vec<Vec<StepCache>> = self.layers.iter().map(|_| Vec::new()).collect();
+        let mut state = self.zero_state(batch);
+        let mut outputs = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "input width mismatch");
+            assert_eq!(x.rows(), batch, "inconsistent batch size");
+            let mut layer_in = x.clone();
+            for (l, layer) in self.layers.iter().enumerate() {
+                let (h, cache) = layer.step(&layer_in, &state.h[l], &state.c[l]);
+                state.c[l] = cache.c.clone();
+                state.h[l] = h.clone();
+                caches[l].push(cache);
+                layer_in = h;
+            }
+            outputs.push(layer_in);
+        }
+        (outputs, LstmCache { caches, batch })
+    }
+
+    /// One stateful forward step (generation path, no cache).
+    ///
+    /// Updates `state` in place and returns the top-layer hidden output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim` or the state batch mismatches.
+    pub fn step(&self, x: &Mat, state: &mut LstmState) -> Mat {
+        assert_eq!(x.cols(), self.input_dim, "input width mismatch");
+        let mut layer_in = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (h, cache) = layer.step(&layer_in, &state.h[l], &state.c[l]);
+            state.c[l] = cache.c;
+            state.h[l] = h.clone();
+            layer_in = h;
+        }
+        layer_in
+    }
+
+    /// Full BPTT backward pass.
+    ///
+    /// `d_outputs[t]` is the loss gradient w.r.t. the top-layer hidden output
+    /// at step `t`. Accumulates parameter gradients and returns the gradient
+    /// w.r.t. each step's input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_outputs.len()` does not match the cached sequence length.
+    pub fn backward(&mut self, cache: &LstmCache, d_outputs: &[Mat]) -> Vec<Mat> {
+        let steps = cache.caches.first().map_or(0, Vec::len);
+        assert_eq!(d_outputs.len(), steps, "gradient/sequence length mismatch");
+        let batch = cache.batch;
+
+        // dh arriving at each step of the current layer from the layer above.
+        let mut dh_above: Vec<Mat> = d_outputs.to_vec();
+
+        // Process layers top-down; within a layer, steps in reverse.
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let mut dh_next = Mat::zeros(batch, layer.hidden);
+            let mut dc_next = Mat::zeros(batch, layer.hidden);
+            let mut dx_seq: Vec<Mat> = vec![Mat::zeros(0, 0); steps];
+            for t in (0..steps).rev() {
+                let mut dh = dh_above[t].clone();
+                dh.axpy(1.0, &dh_next);
+                let (dx, dh_prev, dc_prev) =
+                    layer.step_backward(&cache.caches[l][t], &dh, &dc_next);
+                dh_next = dh_prev;
+                dc_next = dc_prev;
+                dx_seq[t] = dx;
+            }
+            dh_above = dx_seq;
+        }
+        dh_above
+    }
+
+    /// All parameters in stable order (layer 0 first; `w_ih`, `w_hh`, `b`).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| [&mut l.w_ih, &mut l.w_hh, &mut l.b])
+            .collect()
+    }
+
+    /// Resets all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.w_ih.zero_grad();
+            l.w_hh.zero_grad();
+            l.b.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let lstm = Lstm::new(5, 8, 2, &mut rng(1));
+        let xs: Vec<Mat> = (0..4).map(|_| Mat::filled(3, 5, 0.1)).collect();
+        let (out, _) = lstm.forward(&xs);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|h| h.shape() == (3, 8)));
+    }
+
+    #[test]
+    fn stateful_step_matches_forward() {
+        let lstm = Lstm::new(4, 6, 2, &mut rng(2));
+        let xs: Vec<Mat> = (0..5)
+            .map(|t| Mat::from_fn(2, 4, |r, c| ((t + r + c) as f64 * 0.17).sin()))
+            .collect();
+        let (out, _) = lstm.forward(&xs);
+        let mut state = lstm.zero_state(2);
+        for (t, x) in xs.iter().enumerate() {
+            let h = lstm.step(x, &mut state);
+            for (a, b) in h.as_slice().iter().zip(out[t].as_slice()) {
+                assert!((a - b).abs() < 1e-12, "step {t} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_bounded_by_tanh_sigmoid() {
+        // |h| = |o * tanh(c)| <= 1 always.
+        let lstm = Lstm::new(3, 4, 1, &mut rng(3));
+        let xs: Vec<Mat> = (0..20).map(|_| Mat::filled(1, 3, 100.0)).collect();
+        let (out, _) = lstm.forward(&xs);
+        assert!(out.iter().all(|h| h.max_abs() <= 1.0));
+    }
+
+    #[test]
+    fn state_carries_information() {
+        // Same input at two consecutive steps must generally yield different
+        // outputs because the state evolved.
+        let lstm = Lstm::new(2, 4, 1, &mut rng(4));
+        let x = Mat::filled(1, 2, 0.5);
+        let (out, _) = lstm.forward(&[x.clone(), x]);
+        let diff: f64 = out[0]
+            .as_slice()
+            .iter()
+            .zip(out[1].as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-9, "state had no effect");
+    }
+
+    #[test]
+    fn backward_produces_input_grads() {
+        let mut lstm = Lstm::new(3, 4, 2, &mut rng(5));
+        let xs: Vec<Mat> = (0..3).map(|_| Mat::filled(2, 3, 0.2)).collect();
+        let (out, cache) = lstm.forward(&xs);
+        let d_out: Vec<Mat> = out
+            .iter()
+            .map(|h| Mat::filled(h.rows(), h.cols(), 1.0))
+            .collect();
+        let dxs = lstm.backward(&cache, &d_out);
+        assert_eq!(dxs.len(), 3);
+        assert!(dxs.iter().all(|d| d.shape() == (2, 3)));
+        // Gradients should be nonzero somewhere.
+        assert!(dxs.iter().any(|d| d.max_abs() > 0.0));
+        // Parameter grads accumulated.
+        assert!(lstm.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut lstm = Lstm::new(2, 3, 2, &mut rng(6));
+        let xs: Vec<Mat> = (0..2).map(|_| Mat::filled(1, 2, 0.3)).collect();
+        let (out, cache) = lstm.forward(&xs);
+        let d_out: Vec<Mat> = out.iter().map(|h| Mat::filled(1, 3, 1.0)).collect();
+        let _ = lstm.backward(&cache, &d_out);
+        lstm.zero_grad();
+        assert!(lstm.params_mut().iter().all(|p| p.grad.max_abs() == 0.0));
+    }
+
+    #[test]
+    fn param_count_and_order() {
+        let mut lstm = Lstm::new(3, 4, 2, &mut rng(7));
+        let params = lstm.params_mut();
+        assert_eq!(params.len(), 6);
+        // Layer 0: w_ih (3 x 16), w_hh (4 x 16), b (1 x 16).
+        assert_eq!(params[0].value.shape(), (3, 16));
+        assert_eq!(params[1].value.shape(), (4, 16));
+        assert_eq!(params[2].value.shape(), (1, 16));
+        // Layer 1 input is the hidden size.
+        assert_eq!(params[3].value.shape(), (4, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let lstm = Lstm::new(3, 4, 1, &mut rng(8));
+        let _ = lstm.forward(&[Mat::zeros(1, 5)]);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let lstm = Lstm::new(2, 3, 1, &mut rng(9));
+        let b = &lstm.layers[0].b.value;
+        assert!(b.as_slice()[3..6].iter().all(|&x| x == 1.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Trainable parameter: a value matrix paired with its gradient accumulator.
+
+use linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter tensor with its accumulated gradient.
+///
+/// Layers expose their parameters as `&mut Param` lists in a stable order;
+/// the optimizer keys its per-parameter state by position in that list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Mat,
+    /// Accumulated gradient (same shape as `value`).
+    #[serde(skip, default = "default_grad")]
+    pub grad: Mat,
+}
+
+// Serde needs a default for the skipped gradient; the empty placeholder is
+// re-allocated to the right shape by `zero_grad` on first use.
+fn default_grad() -> Mat {
+    Mat::zeros(0, 0)
+}
+
+impl Param {
+    /// Creates a parameter from an initial value, with a zeroed gradient.
+    pub fn new(value: Mat) -> Self {
+        let grad = Mat::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient accumulator to zero (allocating it if the param
+    /// was just deserialized and carries an empty placeholder gradient).
+    pub fn zero_grad(&mut self) {
+        if self.grad.shape() != self.value.shape() {
+            self.grad = Mat::zeros(self.value.rows(), self.value.cols());
+        } else {
+            self.grad.fill_zero();
+        }
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+
+    /// True if the parameter holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Mat::filled(2, 3, 1.5));
+        assert_eq!(p.grad.shape(), (2, 3));
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Mat::zeros(2, 2));
+        p.grad = Mat::filled(2, 2, 3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_reallocates_after_shape_mismatch() {
+        let mut p = Param::new(Mat::zeros(2, 2));
+        p.grad = Mat::zeros(0, 0); // simulate deserialized placeholder
+        p.zero_grad();
+        assert_eq!(p.grad.shape(), (2, 2));
+    }
+}

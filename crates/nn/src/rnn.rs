@@ -1,0 +1,428 @@
+//! Vanilla (tanh) RNN — the architecture ablation baseline.
+//!
+//! The paper picks LSTMs as the "simplest network that can reliably model
+//! long-term dependencies" (§7); this plain recurrent network exists so that
+//! choice can be ablated. API mirrors [`crate::Lstm`].
+
+use crate::init::xavier_uniform;
+use crate::linear::Linear;
+use crate::param::Param;
+use linalg::numeric::dtanh_from_output;
+use linalg::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One vanilla RNN layer: `h_t = tanh(x W_ih + h_{t-1} W_hh + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnLayer {
+    /// Input-to-hidden weights, `(in_dim, hidden)`.
+    pub w_ih: Param,
+    /// Hidden-to-hidden weights, `(hidden, hidden)`.
+    pub w_hh: Param,
+    /// Bias, `(1, hidden)`.
+    pub b: Param,
+    hidden: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Mat,
+    h_prev: Mat,
+    h: Mat,
+}
+
+/// Forward cache for BPTT.
+#[derive(Debug)]
+pub struct RnnCache {
+    caches: Vec<Vec<StepCache>>,
+    batch: usize,
+}
+
+/// Recurrent state (per-layer hidden vectors).
+#[derive(Debug, Clone)]
+pub struct RnnState {
+    /// Hidden state per layer, each `(batch, hidden)`.
+    pub h: Vec<Mat>,
+}
+
+impl RnnLayer {
+    fn new(in_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            w_ih: Param::new(xavier_uniform(in_dim, hidden, rng)),
+            w_hh: Param::new(xavier_uniform(hidden, hidden, rng)),
+            b: Param::new(Mat::zeros(1, hidden)),
+            hidden,
+        }
+    }
+
+    fn step(&self, x: &Mat, h_prev: &Mat) -> (Mat, StepCache) {
+        let mut z = x.matmul(&self.w_ih.value);
+        linalg::matrix::gemm_acc(&mut z, h_prev, &self.w_hh.value, 1.0);
+        z.add_row_broadcast(self.b.value.row(0));
+        z.map_inplace(f64::tanh);
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            h: z.clone(),
+        };
+        (z, cache)
+    }
+
+    fn step_backward(&mut self, cache: &StepCache, dh: &Mat) -> (Mat, Mat) {
+        // dz = dh ⊙ (1 - h^2).
+        let mut dz = dh.clone();
+        for (d, &h) in dz.as_mut_slice().iter_mut().zip(cache.h.as_slice()) {
+            *d *= dtanh_from_output(h);
+        }
+        self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(&dz));
+        self.w_hh.grad.axpy(1.0, &cache.h_prev.t_matmul(&dz));
+        let db = dz.col_sums();
+        linalg::matrix::axpy_slice(self.b.grad.row_mut(0), 1.0, &db);
+        let dx = dz.matmul_t(&self.w_ih.value);
+        let dh_prev = dz.matmul_t(&self.w_hh.value);
+        (dx, dh_prev)
+    }
+}
+
+/// A stack of vanilla RNN layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rnn {
+    layers: Vec<RnnLayer>,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl Rnn {
+    /// Creates a stack (first layer `input_dim -> hidden`, rest
+    /// `hidden -> hidden`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0` or `hidden == 0`.
+    pub fn new(input_dim: usize, hidden: usize, num_layers: usize, rng: &mut impl Rng) -> Self {
+        assert!(num_layers > 0, "need at least one layer");
+        assert!(hidden > 0, "hidden size must be positive");
+        let layers = (0..num_layers)
+            .map(|l| RnnLayer::new(if l == 0 { input_dim } else { hidden }, hidden, rng))
+            .collect();
+        Self {
+            layers,
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// Zero state for a batch size.
+    pub fn zero_state(&self, batch: usize) -> RnnState {
+        RnnState {
+            h: self
+                .layers
+                .iter()
+                .map(|_| Mat::zeros(batch, self.hidden))
+                .collect(),
+        }
+    }
+
+    /// Forward over a sequence from the zero state; returns top hidden
+    /// states and the BPTT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, RnnCache) {
+        let batch = xs.first().map_or(0, Mat::rows);
+        let mut caches: Vec<Vec<StepCache>> = self.layers.iter().map(|_| Vec::new()).collect();
+        let mut state = self.zero_state(batch);
+        let mut outputs = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.cols(), self.input_dim, "input width mismatch");
+            let mut layer_in = x.clone();
+            for (l, layer) in self.layers.iter().enumerate() {
+                let (h, cache) = layer.step(&layer_in, &state.h[l]);
+                state.h[l] = h.clone();
+                caches[l].push(cache);
+                layer_in = h;
+            }
+            outputs.push(layer_in);
+        }
+        (outputs, RnnCache { caches, batch })
+    }
+
+    /// One stateful step (generation path).
+    pub fn step(&self, x: &Mat, state: &mut RnnState) -> Mat {
+        let mut layer_in = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (h, _) = layer.step(&layer_in, &state.h[l]);
+            state.h[l] = h.clone();
+            layer_in = h;
+        }
+        layer_in
+    }
+
+    /// Full BPTT given per-step output gradients; returns input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequence-length mismatch.
+    pub fn backward(&mut self, cache: &RnnCache, d_outputs: &[Mat]) -> Vec<Mat> {
+        let steps = cache.caches.first().map_or(0, Vec::len);
+        assert_eq!(d_outputs.len(), steps, "gradient/sequence length mismatch");
+        let batch = cache.batch;
+        let mut dh_above: Vec<Mat> = d_outputs.to_vec();
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let mut dh_next = Mat::zeros(batch, layer.hidden);
+            let mut dx_seq: Vec<Mat> = vec![Mat::zeros(0, 0); steps];
+            for t in (0..steps).rev() {
+                let mut dh = dh_above[t].clone();
+                dh.axpy(1.0, &dh_next);
+                let (dx, dh_prev) = layer.step_backward(&cache.caches[l][t], &dh);
+                dh_next = dh_prev;
+                dx_seq[t] = dx;
+            }
+            dh_above = dx_seq;
+        }
+        dh_above
+    }
+
+    /// Parameters in stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| [&mut l.w_ih, &mut l.w_hh, &mut l.b])
+            .collect()
+    }
+
+    /// Resets gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.w_ih.zero_grad();
+            l.w_hh.zero_grad();
+            l.b.zero_grad();
+        }
+    }
+}
+
+/// Vanilla RNN + linear head (+ optional skip), mirroring
+/// [`crate::LstmNetwork`] for apples-to-apples architecture ablations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnNetwork {
+    /// Recurrent body.
+    pub rnn: Rnn,
+    /// Output head.
+    pub head: Linear,
+    /// Optional input→output skip connection.
+    pub skip: Option<Linear>,
+}
+
+/// Forward cache for [`RnnNetwork`].
+pub struct RnnNetworkCache {
+    cache: RnnCache,
+    hidden_outputs: Vec<Mat>,
+    inputs: Vec<Mat>,
+}
+
+impl RnnNetwork {
+    /// Creates a network with a skip connection (matching
+    /// `LstmNetwork::with_skip`).
+    pub fn with_skip(
+        input_dim: usize,
+        hidden: usize,
+        layers: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            rnn: Rnn::new(input_dim, hidden, layers, rng),
+            head: Linear::new(hidden, out_dim, rng),
+            skip: Some(Linear::new(input_dim, out_dim, rng)),
+        }
+    }
+
+    /// Forward over a sequence; returns per-step logits and the cache.
+    pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, RnnNetworkCache) {
+        let (hidden_outputs, cache) = self.rnn.forward(xs);
+        let logits = hidden_outputs
+            .iter()
+            .zip(xs)
+            .map(|(h, x)| {
+                let mut y = self.head.forward(h);
+                if let Some(skip) = &self.skip {
+                    y.axpy(1.0, &skip.forward(x));
+                }
+                y
+            })
+            .collect();
+        (
+            logits,
+            RnnNetworkCache {
+                cache,
+                hidden_outputs,
+                inputs: xs.to_vec(),
+            },
+        )
+    }
+
+    /// Backward given per-step logit gradients.
+    pub fn backward(&mut self, cache: &RnnNetworkCache, d_logits: &[Mat]) -> Vec<Mat> {
+        let d_hidden: Vec<Mat> = cache
+            .hidden_outputs
+            .iter()
+            .zip(d_logits)
+            .map(|(h, dy)| self.head.backward(h, dy))
+            .collect();
+        let mut dxs = self.rnn.backward(&cache.cache, &d_hidden);
+        if let Some(skip) = &mut self.skip {
+            for ((x, dy), dx) in cache.inputs.iter().zip(d_logits).zip(dxs.iter_mut()) {
+                dx.axpy(1.0, &skip.backward(x, dy));
+            }
+        }
+        dxs
+    }
+
+    /// One stateful generation step.
+    pub fn step(&self, x: &Mat, state: &mut RnnState) -> Mat {
+        let h = self.rnn.step(x, state);
+        let mut y = self.head.forward(&h);
+        if let Some(skip) = &self.skip {
+            y.axpy(1.0, &skip.forward(x));
+        }
+        y
+    }
+
+    /// Zero state.
+    pub fn zero_state(&self, batch: usize) -> RnnState {
+        self.rnn.zero_state(batch)
+    }
+
+    /// Parameters in stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.rnn.params_mut();
+        ps.extend(self.head.params_mut());
+        if let Some(skip) = &mut self.skip {
+            ps.extend(skip.params_mut());
+        }
+        ps
+    }
+
+    /// Resets gradients.
+    pub fn zero_grad(&mut self) {
+        self.rnn.zero_grad();
+        self.head.zero_grad();
+        if let Some(skip) = &mut self.skip {
+            skip.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let rnn = Rnn::new(4, 6, 2, &mut StdRng::seed_from_u64(1));
+        let xs: Vec<Mat> = (0..5).map(|_| Mat::filled(3, 4, 0.3)).collect();
+        let (out, _) = rnn.forward(&xs);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|h| h.shape() == (3, 6)));
+        assert!(out.iter().all(|h| h.max_abs() <= 1.0)); // tanh bound
+    }
+
+    #[test]
+    fn stateful_step_matches_forward() {
+        let rnn = Rnn::new(3, 4, 2, &mut StdRng::seed_from_u64(2));
+        let xs: Vec<Mat> = (0..4)
+            .map(|t| Mat::from_fn(1, 3, |_, c| ((t + c) as f64 * 0.37).sin()))
+            .collect();
+        let (out, _) = rnn.forward(&xs);
+        let mut state = rnn.zero_state(1);
+        for (t, x) in xs.iter().enumerate() {
+            let h = rnn.step(x, &mut state);
+            for (a, b) in h.as_slice().iter().zip(out[t].as_slice()) {
+                assert!((a - b).abs() < 1e-12, "step {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_gradients_match_finite_difference() {
+        use crate::gradcheck::check_model_gradients;
+        use crate::loss::softmax_cross_entropy;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = RnnNetwork::with_skip(3, 3, 2, 4, &mut rng);
+        let xs: Vec<Mat> = (0..3)
+            .map(|t| Mat::from_fn(2, 3, |r, c| ((t * 5 + r * 3 + c) as f64 * 0.29).sin()))
+            .collect();
+        let targets: Vec<Vec<usize>> = (0..3).map(|t| vec![t % 4, (t + 1) % 4]).collect();
+
+        let xs2 = xs.clone();
+        let t2 = targets.clone();
+        let mism = check_model_gradients(
+            &mut net,
+            |n| n.params_mut(),
+            move |n| {
+                let (logits, _) = n.forward(&xs2);
+                logits
+                    .iter()
+                    .zip(&t2)
+                    .map(|(l, t)| softmax_cross_entropy(l, t).0)
+                    .sum()
+            },
+            move |n| {
+                n.zero_grad();
+                let (logits, cache) = n.forward(&xs);
+                let d: Vec<Mat> = logits
+                    .iter()
+                    .zip(&targets)
+                    .map(|(l, t)| softmax_cross_entropy(l, t).2)
+                    .collect();
+                let _ = n.backward(&cache, &d);
+            },
+            1e-6,
+            1e-5,
+        );
+        assert!(mism.is_empty(), "rnn mismatches: {:?}", &mism[..mism.len().min(5)]);
+    }
+
+    #[test]
+    fn learns_a_simple_pattern() {
+        use crate::adam::{Adam, AdamConfig};
+        use crate::loss::softmax_cross_entropy;
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 3;
+        let mut net = RnnNetwork::with_skip(k, 12, 1, k, &mut rng);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.02,
+            ..Default::default()
+        });
+        let seq: Vec<usize> = (0..30).map(|t| t % k).collect();
+        let xs: Vec<Mat> = seq
+            .iter()
+            .map(|&c| Mat::from_fn(1, k, |_, j| if j == c { 1.0 } else { 0.0 }))
+            .collect();
+        let targets: Vec<usize> = seq.iter().skip(1).cloned().collect();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..120 {
+            net.zero_grad();
+            let (logits, cache) = net.forward(&xs[..xs.len() - 1]);
+            let mut total = 0.0;
+            let mut d = Vec::new();
+            for (t, l) in logits.iter().enumerate() {
+                let (loss, _, mut g) = softmax_cross_entropy(l, &targets[t..=t]);
+                total += loss;
+                g.scale(1.0 / logits.len() as f64);
+                d.push(g);
+            }
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+            net.backward(&cache, &d);
+            opt.step(&mut net.params_mut());
+        }
+        assert!(last < first * 0.2, "loss {first} -> {last}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Finite-difference validation of every hand-derived backward pass.
+//!
+//! These tests are the ground truth for the whole NN substrate: if the LSTM
+//! BPTT or the loss gradients were wrong, model training upstream would fail
+//! silently. Networks are kept tiny so the O(#params) checker stays fast.
+
+use linalg::Mat;
+use nn::gradcheck::check_model_gradients;
+use nn::loss::{masked_bce_with_logits, softmax_cross_entropy};
+use nn::{Linear, Lstm, LstmNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn inputs(steps: usize, batch: usize, dim: usize, rng: &mut impl Rng) -> Vec<Mat> {
+    (0..steps)
+        .map(|_| Mat::from_fn(batch, dim, |_, _| rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+#[test]
+fn linear_gradients_match_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut layer = Linear::new(3, 2, &mut rng);
+    let x = Mat::from_fn(4, 3, |_, _| rng.gen_range(-1.0..1.0));
+    let targets = vec![0usize, 1, 0, 1];
+
+    let x2 = x.clone();
+    let t2 = targets.clone();
+    let mism = check_model_gradients(
+        &mut layer,
+        |l| l.params_mut(),
+        move |l| {
+            let y = l.forward(&x2);
+            let (loss, _, _) = softmax_cross_entropy(&y, &t2);
+            loss
+        },
+        move |l| {
+            l.zero_grad();
+            let y = l.forward(&x);
+            let (_, _, d) = softmax_cross_entropy(&y, &targets);
+            let _ = l.backward(&x, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(mism.is_empty(), "linear mismatches: {mism:?}");
+}
+
+#[test]
+fn lstm_single_layer_bptt_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut lstm = Lstm::new(2, 3, 1, &mut rng);
+    let xs = inputs(4, 2, 2, &mut rng);
+
+    // Loss: sum of squares of all hidden outputs (simple, smooth).
+    let loss_fn = |lstm: &Lstm, xs: &[Mat]| -> f64 {
+        let (out, _) = lstm.forward(xs);
+        out.iter()
+            .map(|h| h.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            * 0.5
+    };
+
+    let xs2 = xs.clone();
+    let mism = check_model_gradients(
+        &mut lstm,
+        |l| l.params_mut(),
+        move |l| loss_fn(l, &xs2),
+        move |l| {
+            l.zero_grad();
+            let (out, cache) = l.forward(&xs);
+            // d(0.5 * sum h^2)/dh = h.
+            let d: Vec<Mat> = out.clone();
+            let _ = l.backward(&cache, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(
+        mism.is_empty(),
+        "lstm mismatches ({}): {:?}",
+        mism.len(),
+        &mism[..mism.len().min(5)]
+    );
+}
+
+#[test]
+fn lstm_two_layer_bptt_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut lstm = Lstm::new(2, 2, 2, &mut rng);
+    let xs = inputs(3, 1, 2, &mut rng);
+
+    let loss_fn = |lstm: &Lstm, xs: &[Mat]| -> f64 {
+        let (out, _) = lstm.forward(xs);
+        out.iter().map(|h| h.sum()).sum()
+    };
+
+    let xs2 = xs.clone();
+    let mism = check_model_gradients(
+        &mut lstm,
+        |l| l.params_mut(),
+        move |l| loss_fn(l, &xs2),
+        move |l| {
+            l.zero_grad();
+            let (out, cache) = l.forward(&xs);
+            let d: Vec<Mat> = out
+                .iter()
+                .map(|h| Mat::filled(h.rows(), h.cols(), 1.0))
+                .collect();
+            let _ = l.backward(&cache, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(
+        mism.is_empty(),
+        "2-layer mismatches ({}): {:?}",
+        mism.len(),
+        &mism[..mism.len().min(5)]
+    );
+}
+
+#[test]
+fn network_with_softmax_loss_matches_finite_difference() {
+    // End-to-end: LSTM + head + softmax cross-entropy — exactly the flavor
+    // model's training configuration.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut net = LstmNetwork::new(3, 3, 2, 4, &mut rng);
+    let xs = inputs(4, 2, 3, &mut rng);
+    let targets: Vec<Vec<usize>> = (0..4).map(|t| vec![t % 4, (t + 1) % 4]).collect();
+
+    let loss_fn = |net: &LstmNetwork, xs: &[Mat], targets: &[Vec<usize>]| -> f64 {
+        let (logits, _) = net.forward(xs);
+        logits
+            .iter()
+            .zip(targets)
+            .map(|(l, t)| softmax_cross_entropy(l, t).0)
+            .sum()
+    };
+
+    let xs2 = xs.clone();
+    let t2 = targets.clone();
+    let mism = check_model_gradients(
+        &mut net,
+        |n| n.params_mut(),
+        move |n| loss_fn(n, &xs2, &t2),
+        move |n| {
+            n.zero_grad();
+            let (logits, cache) = n.forward(&xs);
+            let d: Vec<Mat> = logits
+                .iter()
+                .zip(&targets)
+                .map(|(l, t)| softmax_cross_entropy(l, t).2)
+                .collect();
+            let _ = n.backward(&cache, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(
+        mism.is_empty(),
+        "network mismatches ({}): {:?}",
+        mism.len(),
+        &mism[..mism.len().min(5)]
+    );
+}
+
+#[test]
+fn network_with_skip_connection_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut net = LstmNetwork::with_skip(3, 3, 1, 4, &mut rng);
+    let xs = inputs(3, 2, 3, &mut rng);
+    let targets: Vec<Vec<usize>> = (0..3).map(|t| vec![t % 4, (t + 2) % 4]).collect();
+
+    let xs2 = xs.clone();
+    let t2 = targets.clone();
+    let mism = check_model_gradients(
+        &mut net,
+        |n| n.params_mut(),
+        move |n| {
+            let (logits, _) = n.forward(&xs2);
+            logits
+                .iter()
+                .zip(&t2)
+                .map(|(l, t)| softmax_cross_entropy(l, t).0)
+                .sum()
+        },
+        move |n| {
+            n.zero_grad();
+            let (logits, cache) = n.forward(&xs);
+            let d: Vec<Mat> = logits
+                .iter()
+                .zip(&targets)
+                .map(|(l, t)| softmax_cross_entropy(l, t).2)
+                .collect();
+            let _ = n.backward(&cache, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(
+        mism.is_empty(),
+        "skip-network mismatches ({}): {:?}",
+        mism.len(),
+        &mism[..mism.len().min(5)]
+    );
+}
+
+#[test]
+fn network_with_masked_bce_matches_finite_difference() {
+    // End-to-end: LSTM + head + masked BCE — exactly the lifetime (hazard)
+    // model's training configuration, including censoring-style masks.
+    let mut rng = StdRng::seed_from_u64(14);
+    let bins = 4;
+    let mut net = LstmNetwork::new(2, 3, 1, bins, &mut rng);
+    let xs = inputs(3, 2, 2, &mut rng);
+    // Hazard-style targets: one event bin per row; mask covers bins up to the
+    // event (uncensored) or stops early (censored).
+    let targets: Vec<Mat> = (0..3)
+        .map(|t| Mat::from_fn(2, bins, |r, c| if c == (t + r) % bins { 1.0 } else { 0.0 }))
+        .collect();
+    let masks: Vec<Mat> = (0..3)
+        .map(|t| Mat::from_fn(2, bins, |r, c| if c <= (t + r) % bins { 1.0 } else { 0.0 }))
+        .collect();
+
+    let loss_fn = |net: &LstmNetwork, xs: &[Mat], ts: &[Mat], ms: &[Mat]| -> f64 {
+        let (logits, _) = net.forward(xs);
+        logits
+            .iter()
+            .zip(ts.iter().zip(ms))
+            .map(|(l, (t, m))| masked_bce_with_logits(l, t, m).0)
+            .sum()
+    };
+
+    let xs2 = xs.clone();
+    let t2 = targets.clone();
+    let m2 = masks.clone();
+    let mism = check_model_gradients(
+        &mut net,
+        |n| n.params_mut(),
+        move |n| loss_fn(n, &xs2, &t2, &m2),
+        move |n| {
+            n.zero_grad();
+            let (logits, cache) = n.forward(&xs);
+            let d: Vec<Mat> = logits
+                .iter()
+                .zip(targets.iter().zip(&masks))
+                .map(|(l, (t, m))| masked_bce_with_logits(l, t, m).2)
+                .collect();
+            let _ = n.backward(&cache, &d);
+        },
+        1e-6,
+        1e-5,
+    );
+    assert!(
+        mism.is_empty(),
+        "hazard-net mismatches ({}): {:?}",
+        mism.len(),
+        &mism[..mism.len().min(5)]
+    );
+}

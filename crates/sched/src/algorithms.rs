@@ -1,0 +1,161 @@
+//! Placement algorithms (§6.2's four packing policies).
+
+use crate::server::Server;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The placement algorithms compared in the paper's packing experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementAlgorithm {
+    /// Uniformly random feasible server.
+    Random,
+    /// The feasible server with the highest combined utilization (packs
+    /// tightly; the classic "busiest fit").
+    BusiestFit,
+    /// The feasible server whose *remaining capacity* vector is most
+    /// cosine-aligned with the demand vector (Grandl et al.'s
+    /// multi-resource alignment heuristic).
+    CosineSimilarity,
+    /// The feasible server minimizing the post-placement perpendicular
+    /// distance of its utilization point from the balanced-use diagonal
+    /// (the delta perp-distance rule from Fundy).
+    DeltaPerpDistance,
+}
+
+impl PlacementAlgorithm {
+    /// All four algorithms, for experiment sweeps.
+    pub const ALL: [PlacementAlgorithm; 4] = [
+        PlacementAlgorithm::Random,
+        PlacementAlgorithm::BusiestFit,
+        PlacementAlgorithm::CosineSimilarity,
+        PlacementAlgorithm::DeltaPerpDistance,
+    ];
+
+    /// Chooses a server for a `(cpu, mem)` demand, or `None` if nothing
+    /// fits (a scheduling failure).
+    pub fn choose(
+        &self,
+        servers: &[Server],
+        cpu: f64,
+        mem: f64,
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        let feasible: Vec<usize> = (0..servers.len())
+            .filter(|&i| servers[i].fits(cpu, mem))
+            .collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        match self {
+            PlacementAlgorithm::Random => Some(feasible[rng.gen_range(0..feasible.len())]),
+            PlacementAlgorithm::BusiestFit => feasible.into_iter().max_by(|&a, &b| {
+                let ua = servers[a].cpu_util() + servers[a].mem_util();
+                let ub = servers[b].cpu_util() + servers[b].mem_util();
+                ua.partial_cmp(&ub).expect("utilizations are finite")
+            }),
+            PlacementAlgorithm::CosineSimilarity => feasible.into_iter().max_by(|&a, &b| {
+                let ca = cosine(cpu, mem, servers[a].cpu_free(), servers[a].mem_free());
+                let cb = cosine(cpu, mem, servers[b].cpu_free(), servers[b].mem_free());
+                ca.partial_cmp(&cb).expect("cosines are finite")
+            }),
+            PlacementAlgorithm::DeltaPerpDistance => feasible.into_iter().min_by(|&a, &b| {
+                let da = perp_after(&servers[a], cpu, mem);
+                let db = perp_after(&servers[b], cpu, mem);
+                da.partial_cmp(&db).expect("distances are finite")
+            }),
+        }
+    }
+}
+
+/// Cosine similarity between the demand and free-capacity vectors.
+fn cosine(d_cpu: f64, d_mem: f64, f_cpu: f64, f_mem: f64) -> f64 {
+    let dot = d_cpu * f_cpu + d_mem * f_mem;
+    let nd = (d_cpu * d_cpu + d_mem * d_mem).sqrt();
+    let nf = (f_cpu * f_cpu + f_mem * f_mem).sqrt();
+    if nd == 0.0 || nf == 0.0 {
+        0.0
+    } else {
+        dot / (nd * nf)
+    }
+}
+
+/// Perpendicular distance of the utilization point from the `u_cpu = u_mem`
+/// diagonal after hypothetically placing the demand.
+fn perp_after(s: &Server, cpu: f64, mem: f64) -> f64 {
+    let u_cpu = (s.cpu_used + cpu) / s.cpu_cap;
+    let u_mem = (s.mem_used + mem) / s.mem_cap;
+    (u_cpu - u_mem).abs() / std::f64::consts::SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn returns_none_when_nothing_fits() {
+        let servers = vec![Server::new(2.0, 2.0)];
+        for alg in PlacementAlgorithm::ALL {
+            assert_eq!(alg.choose(&servers, 4.0, 1.0, &mut rng()), None);
+        }
+    }
+
+    #[test]
+    fn busiest_fit_prefers_fuller_server() {
+        let mut a = Server::new(8.0, 8.0);
+        a.place(6.0, 6.0);
+        let b = Server::new(8.0, 8.0);
+        let servers = vec![a, b];
+        assert_eq!(
+            PlacementAlgorithm::BusiestFit.choose(&servers, 1.0, 1.0, &mut rng()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn cosine_prefers_aligned_capacity() {
+        // Demand is CPU-heavy; server 0 has CPU-heavy free capacity.
+        let mut a = Server::new(16.0, 16.0);
+        a.place(0.0, 12.0); // free: (16, 4) — CPU heavy
+        let mut b = Server::new(16.0, 16.0);
+        b.place(12.0, 0.0); // free: (4, 16) — memory heavy
+        let servers = vec![a, b];
+        assert_eq!(
+            PlacementAlgorithm::CosineSimilarity.choose(&servers, 4.0, 1.0, &mut rng()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn perp_distance_balances_dimensions() {
+        // Server 0 is CPU-loaded; placing a memory-heavy VM there balances it.
+        let mut a = Server::new(16.0, 16.0);
+        a.place(8.0, 0.0);
+        let mut b = Server::new(16.0, 16.0);
+        b.place(0.0, 8.0); // memory-loaded: adding more memory unbalances
+        let servers = vec![a, b];
+        assert_eq!(
+            PlacementAlgorithm::DeltaPerpDistance.choose(&servers, 0.0 + 1.0, 8.0, &mut rng()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn random_only_chooses_feasible() {
+        let mut full = Server::new(2.0, 2.0);
+        full.place(2.0, 2.0);
+        let servers = vec![full, Server::new(8.0, 8.0)];
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(
+                PlacementAlgorithm::Random.choose(&servers, 1.0, 1.0, &mut r),
+                Some(1)
+            );
+        }
+    }
+}

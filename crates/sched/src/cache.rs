@@ -1,0 +1,180 @@
+//! Placement-rule caching (the Protean design motif behind §6.2's reuse
+//! distance).
+//!
+//! Protean caches placement evaluation logic per VM type and reuses it
+//! across requests; the cache's hit rate — and therefore the memory
+//! footprint needed for a target hit rate — is governed by the workload's
+//! reuse-distance distribution. This module simulates an LRU cache of
+//! placement rules keyed by flavor, so generated traces can be judged by
+//! whether they predict the cache behaviour of real traces.
+
+use trace::Trace;
+
+/// An LRU cache of placement rules keyed by flavor id.
+#[derive(Debug, Clone)]
+pub struct PlacementCache {
+    capacity: usize,
+    /// Most-recently-used first.
+    entries: Vec<u16>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlacementCache {
+    /// Creates an empty cache holding up to `capacity` flavor rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Processes one request; returns true on a cache hit.
+    pub fn access(&mut self, flavor: u16) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&f| f == flavor) {
+            // Move to front (most recently used).
+            self.entries.remove(pos);
+            self.entries.insert(0, flavor);
+            self.hits += 1;
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, flavor);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that required a fresh placement evaluation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Hit rate of an LRU placement cache of the given capacity over a trace's
+/// request sequence.
+pub fn cache_hit_rate(trace: &Trace, capacity: usize) -> f64 {
+    let mut cache = PlacementCache::new(capacity);
+    for job in &trace.jobs {
+        cache.access(job.flavor.0);
+    }
+    cache.hit_rate()
+}
+
+/// Hit rates for a sweep of cache capacities.
+pub fn hit_rate_curve(trace: &Trace, capacities: &[usize]) -> Vec<f64> {
+    capacities.iter().map(|&c| cache_hit_rate(trace, c)).collect()
+}
+
+/// The smallest capacity from `capacities` reaching `target` hit rate, if
+/// any (capacities are tried in the given order).
+pub fn capacity_for_hit_rate(trace: &Trace, capacities: &[usize], target: f64) -> Option<usize> {
+    capacities
+        .iter()
+        .copied()
+        .find(|&c| cache_hit_rate(trace, c) >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::{FlavorCatalog, FlavorId, Job, UserId};
+
+    fn trace_of(flavors: &[u16]) -> Trace {
+        let jobs = flavors
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Job {
+                start: i as u64,
+                end: None,
+                flavor: FlavorId(f),
+                user: UserId(0),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn repeated_flavor_always_hits_after_first() {
+        let t = trace_of(&[3; 100]);
+        let rate = cache_hit_rate(&t, 1);
+        assert!((rate - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_flavors_beyond_capacity_always_miss() {
+        // Cycle through 4 flavors with capacity 2: LRU always evicts the one
+        // coming next.
+        let seq: Vec<u16> = (0..40).map(|i| (i % 4) as u16).collect();
+        let t = trace_of(&seq);
+        assert_eq!(cache_hit_rate(&t, 2), 0.0);
+        // Capacity 4 holds them all: only the 4 cold misses.
+        assert!((cache_hit_rate(&t, 4) - 36.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_capacity() {
+        let seq: Vec<u16> = (0..200).map(|i| ((i * 7 + i / 13) % 9) as u16).collect();
+        let t = trace_of(&seq);
+        let caps = [1, 2, 4, 8, 16];
+        let curve = hit_rate_curve(&t, &caps);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "curve {curve:?}");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = PlacementCache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 now MRU
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn capacity_for_target() {
+        let seq: Vec<u16> = (0..100).map(|i| (i % 3) as u16).collect();
+        let t = trace_of(&seq);
+        // With capacity 3 almost every access hits.
+        assert_eq!(capacity_for_hit_rate(&t, &[1, 2, 3, 4], 0.9), Some(3));
+        assert_eq!(capacity_for_hit_rate(&t, &[1], 0.9), None);
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let mut c = PlacementCache::new(4);
+        for f in [0u16, 0, 1, 0] {
+            c.access(f);
+        }
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! VM-scheduler substrate for the §6.2 workload-scheduling experiments.
+//!
+//! The paper evaluates generated traces by how faithfully they reproduce two
+//! properties that drive scheduler design:
+//!
+//! - **reuse distance** ([`reuse`]): for each request of flavor `v`, the
+//!   number of unique flavors requested since the last request of `v` —
+//!   small distances motivate Protean-style caching of placement decisions;
+//! - **packing fragmentation** ([`packing`]): the first-failure allocation
+//!   ratio (FFAR) achieved when packing the trace onto simulated servers
+//!   with one of four placement algorithms ([`algorithms`]): random
+//!   placement, busiest-fit, cosine similarity, and delta perp-distance.
+
+pub mod algorithms;
+pub mod cache;
+pub mod packing;
+pub mod reuse;
+pub mod server;
+
+pub use algorithms::PlacementAlgorithm;
+pub use cache::{cache_hit_rate, capacity_for_hit_rate, hit_rate_curve, PlacementCache};
+pub use packing::{pack_trace, FfarResult, PackingConfig, SchedulingTuple};
+pub use reuse::{reuse_distance_histogram, ReuseHistogram};
+pub use server::Server;

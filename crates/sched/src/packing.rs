@@ -1,0 +1,314 @@
+//! Packing simulation and the first-failure allocation ratio (FFAR).
+//!
+//! Following §6.2: pick a scheduling tuple (start point, server count,
+//! server capacities, placement algorithm), pack the trace's arrivals (and
+//! optionally departures) onto the servers in event order, and measure the
+//! proportion of allocated capacity at the first placement failure.
+
+use crate::algorithms::PlacementAlgorithm;
+use crate::server::Server;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use trace::Trace;
+
+/// One randomly sampled packing experiment (§6.2's "scheduling tuple").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingTuple {
+    /// Index of the first arrival to pack.
+    pub start_point: usize,
+    /// Number of servers.
+    pub n_servers: usize,
+    /// Per-server CPU capacity.
+    pub cpu_cap: f64,
+    /// Per-server memory capacity.
+    pub mem_cap: f64,
+    /// Placement algorithm.
+    pub algorithm: PlacementAlgorithm,
+}
+
+impl SchedulingTuple {
+    /// Samples a tuple from the ranges used by the experiments.
+    ///
+    /// The capacity ranges are chosen (per the paper) so CPU and memory are
+    /// each the limiting resource in roughly half of packings: memory-per-
+    /// core between 2 and 6 GiB against a workload mix averaging ~4.
+    pub fn sample(max_start: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            start_point: if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_start)
+            },
+            n_servers: rng.gen_range(20..=60),
+            cpu_cap: [32.0, 48.0, 64.0][rng.gen_range(0..3)],
+            mem_cap: [64.0, 128.0, 192.0, 256.0][rng.gen_range(0..4)],
+            algorithm: PlacementAlgorithm::ALL[rng.gen_range(0..4)],
+        }
+    }
+
+    /// Samples a tuple whose servers can host every flavor of `catalog`
+    /// (capacities are multiples of the largest per-dimension demand).
+    ///
+    /// Without this, a catalog whose largest flavor exceeds the server
+    /// capacity makes every packing fail at its first such request,
+    /// collapsing the FFAR distribution.
+    pub fn sample_for(
+        catalog: &trace::FlavorCatalog,
+        max_start: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let max_cpu = catalog.iter().map(|(_, f)| f.vcpus).fold(1.0f64, f64::max);
+        let max_mem = catalog
+            .iter()
+            .map(|(_, f)| f.memory_gb)
+            .fold(1.0f64, f64::max);
+        Self {
+            start_point: if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_start)
+            },
+            n_servers: rng.gen_range(20..=60),
+            cpu_cap: max_cpu * [4.0, 6.0, 8.0][rng.gen_range(0..3)],
+            mem_cap: max_mem * [1.25, 2.0, 3.0, 4.0][rng.gen_range(0..4)],
+            algorithm: PlacementAlgorithm::ALL[rng.gen_range(0..4)],
+        }
+    }
+}
+
+/// Outcome of one packing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FfarResult {
+    /// CPU allocation ratio at first failure.
+    pub cpu_ffar: f64,
+    /// Memory allocation ratio at first failure.
+    pub mem_ffar: f64,
+    /// Jobs successfully placed before the failure.
+    pub placed: usize,
+    /// True if the whole trace was packed without failure (FFAR is then the
+    /// final allocation ratio, a lower bound).
+    pub exhausted: bool,
+}
+
+impl FfarResult {
+    /// FFAR of the limiting resource (the more-allocated one at failure).
+    pub fn limiting(&self) -> f64 {
+        self.cpu_ffar.max(self.mem_ffar)
+    }
+}
+
+/// Configuration for a packing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackingConfig {
+    /// Process departures (freeing capacity) as well as arrivals.
+    pub with_departures: bool,
+}
+
+impl Default for PackingConfig {
+    fn default() -> Self {
+        Self {
+            with_departures: true,
+        }
+    }
+}
+
+/// Packs a trace per one scheduling tuple and reports the FFAR.
+///
+/// Events are processed in time order starting at arrival `start_point`
+/// (departures of placed jobs interleave naturally). The run ends at the
+/// first arrival that no server can host, or when arrivals are exhausted.
+pub fn pack_trace(
+    trace: &Trace,
+    tuple: SchedulingTuple,
+    config: PackingConfig,
+    rng: &mut impl Rng,
+) -> FfarResult {
+    let mut servers: Vec<Server> = (0..tuple.n_servers)
+        .map(|_| Server::new(tuple.cpu_cap, tuple.mem_cap))
+        .collect();
+
+    // Pending departures: (end_time, server, cpu, mem), kept as a min-heap.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut departures: BinaryHeap<Reverse<(u64, usize, u64, u64)>> = BinaryHeap::new();
+
+    let mut placed = 0usize;
+    let mut failed = false;
+    for job in trace.jobs.iter().skip(tuple.start_point) {
+        // Release everything that departed before this arrival.
+        if config.with_departures {
+            while let Some(&Reverse((end, server, cpu_m, mem_m))) = departures.peek() {
+                if end > job.start {
+                    break;
+                }
+                departures.pop();
+                servers[server].release(cpu_m as f64 / 1e6, mem_m as f64 / 1e6);
+            }
+        }
+        let flavor = trace.catalog.get(job.flavor);
+        match tuple
+            .algorithm
+            .choose(&servers, flavor.vcpus, flavor.memory_gb, rng)
+        {
+            Some(i) => {
+                servers[i].place(flavor.vcpus, flavor.memory_gb);
+                placed += 1;
+                if config.with_departures {
+                    if let Some(end) = job.end {
+                        // Store resources as fixed-point µ-units so the heap
+                        // key is fully ordered.
+                        departures.push(Reverse((
+                            end,
+                            i,
+                            (flavor.vcpus * 1e6) as u64,
+                            (flavor.memory_gb * 1e6) as u64,
+                        )));
+                    }
+                }
+            }
+            None => {
+                failed = true;
+                break;
+            }
+        }
+    }
+
+    let total_cpu: f64 = servers.iter().map(|s| s.cpu_cap).sum();
+    let total_mem: f64 = servers.iter().map(|s| s.mem_cap).sum();
+    let used_cpu: f64 = servers.iter().map(|s| s.cpu_used).sum();
+    let used_mem: f64 = servers.iter().map(|s| s.mem_used).sum();
+    FfarResult {
+        cpu_ffar: used_cpu / total_cpu,
+        mem_ffar: used_mem / total_mem,
+        placed,
+        exhausted: !failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trace::{FlavorCatalog, FlavorId, Job, UserId};
+
+    /// A trace of identical 1-vCPU/0.75-GiB jobs (azure16 flavor 0).
+    fn uniform_trace(n: usize, lifetime: u64) -> Trace {
+        let jobs = (0..n)
+            .map(|i| Job {
+                start: (i as u64) * 300,
+                end: Some((i as u64) * 300 + lifetime),
+                flavor: FlavorId(0),
+                user: UserId(0),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    fn tuple(n_servers: usize, alg: PlacementAlgorithm) -> SchedulingTuple {
+        SchedulingTuple {
+            start_point: 0,
+            n_servers,
+            cpu_cap: 4.0,
+            mem_cap: 16.0,
+            algorithm: alg,
+        }
+    }
+
+    #[test]
+    fn homogeneous_jobs_fill_to_cpu_limit() {
+        // 1 server x 4 vCPU; 1-vCPU jobs that never depart: 4 fit, 5th fails.
+        let t = uniform_trace(10, 1_000_000_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = pack_trace(
+            &t,
+            tuple(1, PlacementAlgorithm::BusiestFit),
+            PackingConfig {
+                with_departures: false,
+            },
+            &mut rng,
+        );
+        assert!(!r.exhausted);
+        assert_eq!(r.placed, 4);
+        assert!((r.cpu_ffar - 1.0).abs() < 1e-9);
+        assert!(r.mem_ffar < 0.5);
+        assert_eq!(r.limiting(), r.cpu_ffar);
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        // Short-lived jobs: with departures everything packs.
+        let t = uniform_trace(50, 300);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = pack_trace(
+            &t,
+            tuple(1, PlacementAlgorithm::BusiestFit),
+            PackingConfig {
+                with_departures: true,
+            },
+            &mut rng,
+        );
+        assert!(r.exhausted, "placed {} of 50", r.placed);
+        assert_eq!(r.placed, 50);
+    }
+
+    #[test]
+    fn more_servers_pack_more() {
+        let t = uniform_trace(100, 1_000_000_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = pack_trace(
+            &t,
+            tuple(2, PlacementAlgorithm::Random),
+            PackingConfig {
+                with_departures: false,
+            },
+            &mut rng,
+        );
+        let large = pack_trace(
+            &t,
+            tuple(10, PlacementAlgorithm::Random),
+            PackingConfig {
+                with_departures: false,
+            },
+            &mut rng,
+        );
+        assert!(large.placed > small.placed);
+    }
+
+    #[test]
+    fn start_point_skips_prefix() {
+        let t = uniform_trace(10, 1_000_000_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tu = tuple(100, PlacementAlgorithm::Random);
+        tu.start_point = 7;
+        let r = pack_trace(&t, tu, PackingConfig::default(), &mut rng);
+        assert_eq!(r.placed, 3);
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn catalog_aware_tuples_fit_every_flavor() {
+        use trace::FlavorCatalog;
+        let mut rng = StdRng::seed_from_u64(9);
+        for catalog in [FlavorCatalog::azure16(), FlavorCatalog::synthetic(259)] {
+            for _ in 0..50 {
+                let t = SchedulingTuple::sample_for(&catalog, 100, &mut rng);
+                for (_, f) in catalog.iter() {
+                    assert!(t.cpu_cap >= f.vcpus, "{} < {}", t.cpu_cap, f.vcpus);
+                    assert!(t.mem_cap >= f.memory_gb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_tuples_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let t = SchedulingTuple::sample(1000, &mut rng);
+            assert!(t.start_point < 1000);
+            assert!((20..=60).contains(&t.n_servers));
+            assert!(t.cpu_cap >= 32.0 && t.mem_cap >= 64.0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Reuse distance (§6.2, after Hadary et al.'s Protean).
+//!
+//! For each request of VM type `v`, the reuse distance is the number of
+//! *unique* VM types requested since the last request of `v`. A
+//! concentration of small distances justifies caching placement decisions.
+
+use serde::{Deserialize, Serialize};
+use trace::Trace;
+
+/// Histogram of reuse distances with buckets `0, 1, 2, 3, 4, 5, 6+`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    /// Counts for distances 0..=5; index 6 is the `6+` bucket.
+    pub counts: [u64; 7],
+    /// Requests scored (first occurrences of a flavor are skipped).
+    pub total: u64,
+}
+
+impl ReuseHistogram {
+    /// Bucket proportions (sums to 1 when `total > 0`).
+    pub fn proportions(&self) -> [f64; 7] {
+        let mut out = [0.0; 7];
+        if self.total > 0 {
+            for (o, &c) in out.iter_mut().zip(&self.counts) {
+                *o = c as f64 / self.total as f64;
+            }
+        }
+        out
+    }
+
+    /// Mean reuse distance, counting the `6+` bucket as 6 (a lower bound).
+    pub fn mean_clamped(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().zip(0u64..).map(|(&c, d)| c * d).sum();
+        sum as f64 / self.total as f64
+    }
+}
+
+/// Computes the reuse-distance histogram over a trace's request order.
+pub fn reuse_distance_histogram(trace: &Trace) -> ReuseHistogram {
+    let k = trace.catalog.len();
+    // For each flavor, the set of unique flavors seen since its last request,
+    // tracked as a bitset over flavors for O(K/64) merges.
+    let words = k.div_ceil(64);
+    let mut since: Vec<Vec<u64>> = vec![vec![0u64; words]; k];
+    let mut seen: Vec<bool> = vec![false; k];
+    let mut counts = [0u64; 7];
+    let mut total = 0u64;
+
+    for job in &trace.jobs {
+        let f = job.flavor.0 as usize;
+        if seen[f] {
+            let distance: u32 = since[f].iter().map(|w| w.count_ones()).sum();
+            let bucket = (distance as usize).min(6);
+            counts[bucket] += 1;
+            total += 1;
+        }
+        seen[f] = true;
+        // Reset f's tracker; add f to every other flavor's tracker.
+        since[f].iter_mut().for_each(|w| *w = 0);
+        let (word, bit) = (f / 64, f % 64);
+        for (g, tracker) in since.iter_mut().enumerate() {
+            if g != f {
+                tracker[word] |= 1u64 << bit;
+            }
+        }
+    }
+    ReuseHistogram { counts, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::{FlavorCatalog, FlavorId, Job, UserId};
+
+    fn trace_of(flavors: &[u16]) -> Trace {
+        let jobs = flavors
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| Job {
+                start: i as u64,
+                end: None,
+                flavor: FlavorId(f),
+                user: UserId(0),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn repeats_have_distance_zero() {
+        let h = reuse_distance_histogram(&trace_of(&[3, 3, 3, 3]));
+        assert_eq!(h.total, 3);
+        assert_eq!(h.counts[0], 3);
+        assert_eq!(h.mean_clamped(), 0.0);
+    }
+
+    #[test]
+    fn unique_flavors_between_repeats_counted() {
+        // 1 ... 2 3 ... 1: distance for the second 1 is 2 (saw {2, 3}).
+        let h = reuse_distance_histogram(&trace_of(&[1, 2, 3, 1]));
+        // Scored: second 1 -> distance 2. (2 and 3 are first occurrences.)
+        assert_eq!(h.total, 1);
+        assert_eq!(h.counts[2], 1);
+    }
+
+    #[test]
+    fn duplicates_between_repeats_count_once() {
+        // 1 2 2 2 1: unique types since last 1 = {2} -> distance 1.
+        let h = reuse_distance_histogram(&trace_of(&[1, 2, 2, 2, 1]));
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[0], 2); // the repeated 2s
+    }
+
+    #[test]
+    fn first_occurrences_not_scored() {
+        let h = reuse_distance_histogram(&trace_of(&[0, 1, 2, 3, 4]));
+        assert_eq!(h.total, 0);
+        assert_eq!(h.proportions(), [0.0; 7]);
+    }
+
+    #[test]
+    fn large_distances_clamp_to_six_plus() {
+        // 0, then 7 other flavors, then 0 again: distance 7 -> bucket 6+.
+        let seq: Vec<u16> = vec![0, 1, 2, 3, 4, 5, 6, 7, 0];
+        let h = reuse_distance_histogram(&trace_of(&seq));
+        assert_eq!(h.counts[6], 1);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let h = reuse_distance_histogram(&trace_of(&[1, 2, 1, 3, 2, 1, 4, 4, 1]));
+        let s: f64 = h.proportions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulated servers.
+
+use serde::{Deserialize, Serialize};
+
+/// One physical server with CPU and memory capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    /// CPU capacity (vCPUs).
+    pub cpu_cap: f64,
+    /// Memory capacity (GiB).
+    pub mem_cap: f64,
+    /// CPU currently allocated.
+    pub cpu_used: f64,
+    /// Memory currently allocated.
+    pub mem_used: f64,
+}
+
+impl Server {
+    /// An empty server with the given capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is non-positive.
+    pub fn new(cpu_cap: f64, mem_cap: f64) -> Self {
+        assert!(
+            cpu_cap > 0.0 && mem_cap > 0.0,
+            "capacities must be positive"
+        );
+        Self {
+            cpu_cap,
+            mem_cap,
+            cpu_used: 0.0,
+            mem_used: 0.0,
+        }
+    }
+
+    /// True if a `(cpu, mem)` demand fits in the remaining capacity.
+    pub fn fits(&self, cpu: f64, mem: f64) -> bool {
+        self.cpu_used + cpu <= self.cpu_cap + 1e-9 && self.mem_used + mem <= self.mem_cap + 1e-9
+    }
+
+    /// Allocates a demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the demand does not fit.
+    pub fn place(&mut self, cpu: f64, mem: f64) {
+        debug_assert!(self.fits(cpu, mem), "placing into a full server");
+        self.cpu_used += cpu;
+        self.mem_used += mem;
+    }
+
+    /// Releases a previously placed demand.
+    pub fn release(&mut self, cpu: f64, mem: f64) {
+        self.cpu_used = (self.cpu_used - cpu).max(0.0);
+        self.mem_used = (self.mem_used - mem).max(0.0);
+    }
+
+    /// CPU utilization in `[0, 1]`.
+    pub fn cpu_util(&self) -> f64 {
+        self.cpu_used / self.cpu_cap
+    }
+
+    /// Memory utilization in `[0, 1]`.
+    pub fn mem_util(&self) -> f64 {
+        self.mem_used / self.mem_cap
+    }
+
+    /// Remaining CPU.
+    pub fn cpu_free(&self) -> f64 {
+        (self.cpu_cap - self.cpu_used).max(0.0)
+    }
+
+    /// Remaining memory.
+    pub fn mem_free(&self) -> f64 {
+        (self.mem_cap - self.mem_used).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_place() {
+        let mut s = Server::new(8.0, 32.0);
+        assert!(s.fits(8.0, 32.0));
+        s.place(4.0, 16.0);
+        assert!(s.fits(4.0, 16.0));
+        assert!(!s.fits(4.1, 1.0));
+        assert!(!s.fits(1.0, 16.1));
+        assert_eq!(s.cpu_util(), 0.5);
+        assert_eq!(s.mem_util(), 0.5);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut s = Server::new(4.0, 8.0);
+        s.place(4.0, 8.0);
+        assert!(!s.fits(0.1, 0.1));
+        s.release(4.0, 8.0);
+        assert!(s.fits(4.0, 8.0));
+        assert_eq!(s.cpu_used, 0.0);
+    }
+
+    #[test]
+    fn release_clamps_at_zero() {
+        let mut s = Server::new(4.0, 8.0);
+        s.release(1.0, 1.0);
+        assert_eq!(s.cpu_used, 0.0);
+        assert_eq!(s.mem_used, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Server::new(0.0, 8.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the scheduler substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{
+    pack_trace, reuse_distance_histogram, PackingConfig, PlacementAlgorithm, SchedulingTuple,
+    Server,
+};
+use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+fn trace_from(flavors: Vec<u16>, lifetimes: Vec<u64>) -> Trace {
+    let jobs = flavors
+        .iter()
+        .zip(lifetimes.iter().cycle())
+        .enumerate()
+        .map(|(i, (&f, &l))| Job {
+            start: (i as u64) * 60,
+            end: Some((i as u64) * 60 + l.max(1)),
+            flavor: FlavorId(f % 16),
+            user: UserId((i % 7) as u32),
+        })
+        .collect();
+    Trace::new(jobs, FlavorCatalog::azure16())
+}
+
+proptest! {
+    #[test]
+    fn ffar_is_a_valid_ratio(
+        flavors in proptest::collection::vec(0u16..16, 1..120),
+        lifetimes in proptest::collection::vec(60u64..100_000, 1..20),
+        alg_idx in 0usize..4,
+        n_servers in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let trace = trace_from(flavors, lifetimes);
+        let tuple = SchedulingTuple {
+            start_point: 0,
+            n_servers,
+            cpu_cap: 16.0,
+            mem_cap: 64.0,
+            algorithm: PlacementAlgorithm::ALL[alg_idx],
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = pack_trace(&trace, tuple, PackingConfig::default(), &mut rng);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.cpu_ffar));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.mem_ffar));
+        prop_assert!(r.placed <= trace.len());
+        prop_assert!(r.limiting() >= r.cpu_ffar.max(r.mem_ffar) - 1e-12);
+    }
+
+    #[test]
+    fn packing_without_departures_places_no_more_than_with(
+        flavors in proptest::collection::vec(0u16..16, 5..80),
+        seed in 0u64..50,
+    ) {
+        // Short-lived jobs: departures can only help.
+        let trace = trace_from(flavors, vec![120]);
+        let tuple = SchedulingTuple {
+            start_point: 0,
+            n_servers: 2,
+            cpu_cap: 8.0,
+            mem_cap: 16.0,
+            algorithm: PlacementAlgorithm::BusiestFit,
+        };
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let with = pack_trace(&trace, tuple, PackingConfig { with_departures: true }, &mut rng1);
+        let without =
+            pack_trace(&trace, tuple, PackingConfig { with_departures: false }, &mut rng2);
+        prop_assert!(with.placed >= without.placed);
+    }
+
+    #[test]
+    fn reuse_histogram_is_consistent(
+        flavors in proptest::collection::vec(0u16..16, 0..200),
+    ) {
+        let n = flavors.len();
+        let trace = trace_from(flavors.clone(), vec![600]);
+        let h = reuse_distance_histogram(&trace);
+        // Total scored = total jobs - distinct flavors (first occurrences).
+        let distinct = {
+            let mut f = flavors.iter().map(|x| x % 16).collect::<Vec<_>>();
+            f.sort_unstable();
+            f.dedup();
+            f.len()
+        };
+        prop_assert_eq!(h.total as usize, n - distinct);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.total);
+        if h.total > 0 {
+            let s: f64 = h.proportions().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn server_placement_respects_capacity(
+        demands in proptest::collection::vec((0.1..4.0f64, 0.1..8.0f64), 1..50),
+    ) {
+        let mut s = Server::new(16.0, 32.0);
+        for (cpu, mem) in demands {
+            if s.fits(cpu, mem) {
+                s.place(cpu, mem);
+            }
+            prop_assert!(s.cpu_used <= s.cpu_cap + 1e-6);
+            prop_assert!(s.mem_used <= s.mem_cap + 1e-6);
+        }
+    }
+}

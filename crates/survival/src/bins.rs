@@ -1,0 +1,321 @@
+//! Lifetime bin schemes.
+//!
+//! Time is measured in **seconds** throughout the workspace. A bin scheme is
+//! a sorted list of boundaries `b_1 < b_2 < … < b_{J-1}`; bin `j` (0-based)
+//! covers `[b_j, b_{j+1})` with `b_0 = 0`, and the final bin `J-1` is open
+//! (`[b_{J-1}, ∞)`).
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per minute.
+pub const MINUTE: f64 = 60.0;
+/// Seconds per hour.
+pub const HOUR: f64 = 3600.0;
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+
+/// A discrete lifetime-bin scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeBins {
+    // Upper boundaries of every bin except the final open one; sorted,
+    // strictly increasing, all positive.
+    uppers: Vec<f64>,
+}
+
+impl LifetimeBins {
+    /// Creates a scheme from the upper boundaries of all closed bins.
+    ///
+    /// With `uppers = [a, b, c]` the bins are `[0,a), [a,b), [b,c), [c,∞)` —
+    /// i.e. `uppers.len() + 1` bins in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uppers` is empty, non-increasing, or contains
+    /// non-positive/non-finite values.
+    pub fn from_uppers(uppers: Vec<f64>) -> Self {
+        assert!(!uppers.is_empty(), "need at least one boundary");
+        assert!(
+            uppers[0] > 0.0 && uppers[0].is_finite(),
+            "boundaries must be positive/finite"
+        );
+        for w in uppers.windows(2) {
+            assert!(
+                w[0] < w[1] && w[1].is_finite(),
+                "boundaries must be strictly increasing"
+            );
+        }
+        Self { uppers }
+    }
+
+    /// The paper's 47-bin scheme (§2.3.1).
+    ///
+    /// The paper describes "5-minute intervals up to 1-hour, 1-hour intervals
+    /// up to 10-hours, daily intervals up to 10 days, and a final bin
+    /// boundary for greater than 20 days", totalling 47 bins. The exact
+    /// intermediate boundaries are not published; this reading fills the gaps
+    /// so the counts come out to exactly 47:
+    ///
+    /// - 12 five-minute bins: `[0, 1h)`
+    /// - 9 hourly bins: `[1h, 10h)`
+    /// - 14 hourly bins: `[10h, 24h)`
+    /// - 9 daily bins: `[1d, 10d)`
+    /// - 2 five-day bins: `[10d, 20d)`
+    /// - 1 open bin: `[20d, ∞)`
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let bins = survival::LifetimeBins::paper_47();
+    /// assert_eq!(bins.len(), 47);
+    /// assert_eq!(bins.bin_of(90.0), 0);        // 90 s -> first 5-minute bin
+    /// assert_eq!(bins.bin_of(2.5 * 3600.0), 13); // 2.5 h -> an hourly bin
+    /// assert_eq!(bins.bin_of(30.0 * 86_400.0), 46); // 30 d -> the open bin
+    /// ```
+    pub fn paper_47() -> Self {
+        let mut uppers = Vec::with_capacity(46);
+        for m in 1..=12 {
+            uppers.push(m as f64 * 5.0 * MINUTE);
+        }
+        for h in 2..=24 {
+            uppers.push(h as f64 * HOUR);
+        }
+        for d in 2..=10 {
+            uppers.push(d as f64 * DAY);
+        }
+        uppers.push(15.0 * DAY);
+        uppers.push(20.0 * DAY);
+        let bins = Self::from_uppers(uppers);
+        debug_assert_eq!(bins.len(), 47);
+        bins
+    }
+
+    /// A fine 495-bin scheme for the Table 4 discretization ablation.
+    ///
+    /// Log-spaced boundaries from 1 minute to 20 days. Bin count (including
+    /// the final open bin) is exactly 495.
+    pub fn fine_495() -> Self {
+        Self::log_spaced(495, MINUTE, 20.0 * DAY)
+    }
+
+    /// `n`-bin scheme with log-spaced boundaries from `first_upper` to
+    /// `last_upper` (the final bin `[last_upper, ∞)` is open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the bounds are not positive and increasing.
+    pub fn log_spaced(n: usize, first_upper: f64, last_upper: f64) -> Self {
+        assert!(n >= 2, "need at least two bins");
+        assert!(first_upper > 0.0 && last_upper > first_upper, "bad bounds");
+        let k = n - 1; // number of closed-bin boundaries
+        let lf = first_upper.ln();
+        let ll = last_upper.ln();
+        let uppers: Vec<f64> = (0..k)
+            .map(|i| {
+                let frac = if k == 1 {
+                    0.0
+                } else {
+                    i as f64 / (k - 1) as f64
+                };
+                (lf + frac * (ll - lf)).exp()
+            })
+            .collect();
+        Self::from_uppers(uppers)
+    }
+
+    /// Quantile-based boundaries (Kvamme & Borgan's proposal): places
+    /// `n - 1` boundaries at evenly-spaced quantiles of observed durations.
+    ///
+    /// Duplicate quantiles (heavy ties) are collapsed, so the resulting
+    /// scheme may have fewer than `n` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations` is empty or `n < 2`.
+    pub fn from_quantiles(durations: &[f64], n: usize) -> Self {
+        assert!(!durations.is_empty(), "no durations");
+        assert!(n >= 2, "need at least two bins");
+        let mut sorted: Vec<f64> = durations.iter().cloned().filter(|d| *d > 0.0).collect();
+        assert!(!sorted.is_empty(), "no positive durations");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mut uppers = Vec::new();
+        for i in 1..n {
+            let q = i as f64 / n as f64;
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            let v = sorted[idx];
+            if uppers.last().map_or(true, |&last| v > last) {
+                uppers.push(v);
+            }
+        }
+        if uppers.is_empty() {
+            uppers.push(*sorted.last().expect("non-empty by assertion"));
+        }
+        Self::from_uppers(uppers)
+    }
+
+    /// Total number of bins, including the final open bin.
+    pub fn len(&self) -> usize {
+        self.uppers.len() + 1
+    }
+
+    /// Always false (a scheme has at least two bins).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the final (open) bin.
+    pub fn final_bin(&self) -> usize {
+        self.uppers.len()
+    }
+
+    /// Maps a duration in seconds to its bin index.
+    ///
+    /// Negative durations are clamped into bin 0.
+    pub fn bin_of(&self, duration: f64) -> usize {
+        if duration < self.uppers[0] {
+            return 0;
+        }
+        // partition_point returns count of uppers <= duration.
+        self.uppers.partition_point(|&u| u <= duration)
+    }
+
+    /// Lower boundary of bin `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()`.
+    pub fn lower(&self, j: usize) -> f64 {
+        assert!(j < self.len(), "bin {j} out of range");
+        if j == 0 {
+            0.0
+        } else {
+            self.uppers[j - 1]
+        }
+    }
+
+    /// Upper boundary of bin `j` (`None` for the final open bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()`.
+    pub fn upper(&self, j: usize) -> Option<f64> {
+        assert!(j < self.len(), "bin {j} out of range");
+        self.uppers.get(j).copied()
+    }
+
+    /// Width of bin `j` (`None` for the final open bin).
+    pub fn width(&self, j: usize) -> Option<f64> {
+        self.upper(j).map(|u| u - self.lower(j))
+    }
+
+    /// Midpoint of bin `j`; the final open bin uses `tail_horizon` as its
+    /// effective upper edge.
+    pub fn midpoint(&self, j: usize, tail_horizon: f64) -> f64 {
+        let lo = self.lower(j);
+        let hi = self.upper(j).unwrap_or(tail_horizon.max(lo));
+        0.5 * (lo + hi)
+    }
+
+    /// All closed-bin upper boundaries.
+    pub fn uppers(&self) -> &[f64] {
+        &self.uppers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_has_47_bins() {
+        let b = LifetimeBins::paper_47();
+        assert_eq!(b.len(), 47);
+        assert_eq!(b.final_bin(), 46);
+        assert_eq!(b.lower(46), 20.0 * DAY);
+        assert_eq!(b.upper(46), None);
+    }
+
+    #[test]
+    fn paper_scheme_boundary_structure() {
+        let b = LifetimeBins::paper_47();
+        // First 12 bins are 5 minutes wide.
+        for j in 0..12 {
+            assert_eq!(b.width(j), Some(5.0 * MINUTE), "bin {j}");
+        }
+        // Bins 12..35 are hourly.
+        for j in 12..35 {
+            assert_eq!(b.width(j), Some(HOUR), "bin {j}");
+        }
+        // Bins 35..44 are daily.
+        for j in 35..44 {
+            assert_eq!(b.width(j), Some(DAY), "bin {j}");
+        }
+        // Bins 44, 45 are 5 days wide.
+        assert_eq!(b.width(44), Some(5.0 * DAY));
+        assert_eq!(b.width(45), Some(5.0 * DAY));
+    }
+
+    #[test]
+    fn bin_of_maps_boundaries_half_open() {
+        let b = LifetimeBins::paper_47();
+        assert_eq!(b.bin_of(0.0), 0);
+        assert_eq!(b.bin_of(299.9), 0);
+        assert_eq!(b.bin_of(300.0), 1); // [5min, 10min)
+        assert_eq!(b.bin_of(HOUR - 0.1), 11);
+        assert_eq!(b.bin_of(HOUR), 12);
+        assert_eq!(b.bin_of(25.0 * HOUR), 35); // second day
+        assert_eq!(b.bin_of(20.0 * DAY), 46);
+        assert_eq!(b.bin_of(400.0 * DAY), 46);
+        assert_eq!(b.bin_of(-5.0), 0);
+    }
+
+    #[test]
+    fn bin_of_round_trips_with_bounds() {
+        let b = LifetimeBins::paper_47();
+        for j in 0..b.len() {
+            let lo = b.lower(j);
+            assert_eq!(b.bin_of(lo), j, "lower bound of bin {j}");
+            if let Some(hi) = b.upper(j) {
+                assert_eq!(b.bin_of(hi - 1e-6), j, "just below upper of bin {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fine_495_has_495_bins() {
+        let b = LifetimeBins::fine_495();
+        assert_eq!(b.len(), 495);
+        assert!(b.uppers().windows(2).all(|w| w[0] < w[1]));
+        assert!((b.uppers()[0] - MINUTE).abs() < 1e-9);
+        assert!((b.uppers().last().unwrap() - 20.0 * DAY).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_bins_follow_data() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64 * 60.0).collect();
+        let b = LifetimeBins::from_quantiles(&data, 4);
+        assert_eq!(b.len(), 4);
+        // Roughly quartiles of the data.
+        assert!(b.uppers()[0] > 20.0 * 60.0 && b.uppers()[0] < 30.0 * 60.0);
+        assert!(b.uppers()[2] > 70.0 * 60.0 && b.uppers()[2] < 80.0 * 60.0);
+    }
+
+    #[test]
+    fn quantile_bins_collapse_ties() {
+        let data = vec![10.0; 50];
+        let b = LifetimeBins::from_quantiles(&data, 5);
+        assert_eq!(b.len(), 2); // all quantiles tie at 10.0
+    }
+
+    #[test]
+    fn midpoint_handles_open_bin() {
+        let b = LifetimeBins::from_uppers(vec![10.0, 20.0]);
+        assert_eq!(b.midpoint(0, 100.0), 5.0);
+        assert_eq!(b.midpoint(2, 100.0), 60.0); // (20 + 100) / 2
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_boundaries() {
+        let _ = LifetimeBins::from_uppers(vec![10.0, 5.0]);
+    }
+}

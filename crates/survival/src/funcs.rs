@@ -1,0 +1,224 @@
+//! Conversions between the discrete hazard, PMF, and survival functions.
+//!
+//! For bins `j = 0 … J-1` (0-based; the paper's §2.3.1 uses 1-based):
+//!
+//! - PMF `f(j)`: probability the lifetime falls in bin `j`.
+//! - Survival `S(j)`: probability the lifetime falls in any bin `i > j`.
+//! - Hazard `h(j)`: probability the lifetime falls in bin `j` given it did
+//!   not fall in any bin `i < j`.
+//!
+//! The identities used throughout: `f(j) = h(j) · Π_{i<j} (1 − h(i))` and
+//! `S(j) = Π_{i≤j} (1 − h(i))`.
+
+use rand::Rng;
+
+/// Converts a hazard function to the PMF over bins.
+///
+/// If the hazards do not exhaust all probability mass (i.e. survival past the
+/// final bin is positive), the leftover mass is assigned to the final bin so
+/// the result is a proper distribution — matching how samples from the hazard
+/// chain are clamped into the final bin.
+///
+/// # Examples
+///
+/// ```
+/// let pmf = survival::hazard_to_pmf(&[0.5, 0.5, 0.5]);
+/// assert!((pmf[0] - 0.5).abs() < 1e-12);
+/// assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `hazard` is empty or any value is outside `[0, 1]`.
+pub fn hazard_to_pmf(hazard: &[f64]) -> Vec<f64> {
+    assert!(!hazard.is_empty(), "empty hazard");
+    let mut pmf = Vec::with_capacity(hazard.len());
+    let mut surv = 1.0;
+    for (&h, j) in hazard.iter().zip(0..) {
+        assert!((0.0..=1.0).contains(&h), "hazard[{j}] = {h} outside [0,1]");
+        pmf.push(surv * h);
+        surv *= 1.0 - h;
+    }
+    // Fold residual survival mass into the final bin.
+    *pmf.last_mut().expect("non-empty") += surv;
+    pmf
+}
+
+/// Converts a hazard function to the survival function `S(j)` (probability of
+/// surviving *past* bin `j`).
+///
+/// # Panics
+///
+/// Panics if `hazard` is empty or any value is outside `[0, 1]`.
+pub fn hazard_to_survival(hazard: &[f64]) -> Vec<f64> {
+    assert!(!hazard.is_empty(), "empty hazard");
+    let mut out = Vec::with_capacity(hazard.len());
+    let mut surv = 1.0;
+    for (&h, j) in hazard.iter().zip(0..) {
+        assert!((0.0..=1.0).contains(&h), "hazard[{j}] = {h} outside [0,1]");
+        surv *= 1.0 - h;
+        out.push(surv);
+    }
+    out
+}
+
+/// Converts a PMF over bins to the hazard function.
+///
+/// Bins with no remaining probability mass get hazard 1.0 (the event must
+/// have happened by then).
+///
+/// # Panics
+///
+/// Panics if `pmf` is empty, has negative entries, or sums to more than
+/// `1 + 1e-9`.
+pub fn pmf_to_hazard(pmf: &[f64]) -> Vec<f64> {
+    assert!(!pmf.is_empty(), "empty pmf");
+    let total: f64 = pmf.iter().sum();
+    assert!(total <= 1.0 + 1e-9, "pmf sums to {total} > 1");
+    let mut hazard = Vec::with_capacity(pmf.len());
+    let mut remaining = 1.0;
+    for (&p, j) in pmf.iter().zip(0..) {
+        assert!(p >= 0.0, "pmf[{j}] negative");
+        if remaining <= 1e-15 {
+            hazard.push(1.0);
+        } else {
+            hazard.push((p / remaining).clamp(0.0, 1.0));
+        }
+        remaining -= p;
+    }
+    hazard
+}
+
+/// Samples a bin index by walking the hazard chain: at each bin, the event
+/// fires with probability `h(j)`. If the chain survives every bin, the final
+/// bin is returned (the final bin of a lifetime scheme is open-ended).
+///
+/// # Panics
+///
+/// Panics if `hazard` is empty.
+pub fn sample_hazard_chain(hazard: &[f64], rng: &mut impl Rng) -> usize {
+    assert!(!hazard.is_empty(), "empty hazard");
+    for (j, &h) in hazard.iter().enumerate() {
+        if rng.gen::<f64>() < h {
+            return j;
+        }
+    }
+    hazard.len() - 1
+}
+
+/// Expected bin index under the PMF (used as a cheap point prediction).
+pub fn pmf_mean_bin(pmf: &[f64]) -> f64 {
+    pmf.iter().zip(0..).map(|(&p, j)| p * j as f64).sum()
+}
+
+/// Index of the maximum-probability bin (ties break to the lowest index).
+///
+/// # Panics
+///
+/// Panics if `pmf` is empty.
+pub fn pmf_argmax(pmf: &[f64]) -> usize {
+    assert!(!pmf.is_empty(), "empty pmf");
+    let mut best = 0;
+    for (j, &p) in pmf.iter().enumerate() {
+        if p > pmf[best] {
+            best = j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_hazard_gives_geometric_pmf() {
+        let h = vec![0.5; 4];
+        let pmf = hazard_to_pmf(&h);
+        assert!((pmf[0] - 0.5).abs() < 1e-12);
+        assert!((pmf[1] - 0.25).abs() < 1e-12);
+        assert!((pmf[2] - 0.125).abs() < 1e-12);
+        // Final bin absorbs the residual: 0.0625 + 0.0625.
+        assert!((pmf[3] - 0.125).abs() < 1e-12);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_is_monotone_decreasing() {
+        let h = vec![0.1, 0.3, 0.2, 0.6];
+        let s = hazard_to_survival(&h);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+        assert!((s[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_hazard_roundtrip() {
+        let pmf = vec![0.2, 0.3, 0.1, 0.4];
+        let h = pmf_to_hazard(&pmf);
+        let back = hazard_to_pmf(&h);
+        for (a, b) in pmf.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hazard_pmf_roundtrip() {
+        let h = vec![0.25, 0.5, 0.75, 1.0];
+        let pmf = hazard_to_pmf(&h);
+        let back = pmf_to_hazard(&pmf);
+        for (a, b) in h.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exhausted_pmf_gets_hazard_one() {
+        let pmf = vec![1.0, 0.0, 0.0];
+        let h = pmf_to_hazard(&pmf);
+        assert_eq!(h, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sampling_matches_pmf_frequencies() {
+        let h = vec![0.3, 0.5, 0.2, 0.9];
+        let pmf = hazard_to_pmf(&h);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let mut counts = vec![0usize; h.len()];
+        for _ in 0..n {
+            counts[sample_hazard_chain(&h, &mut rng)] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - pmf[j]).abs() < 0.01,
+                "bin {j}: {freq} vs {}",
+                pmf[j]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_hazard_chain_lands_in_final_bin() {
+        let h = vec![0.0; 5];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_hazard_chain(&h, &mut rng), 4);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        let pmf = vec![0.1, 0.6, 0.3];
+        assert_eq!(pmf_argmax(&pmf), 1);
+        assert!((pmf_mean_bin(&pmf) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_invalid_hazard() {
+        let _ = hazard_to_pmf(&[0.5, 1.5]);
+    }
+}

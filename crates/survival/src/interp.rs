@@ -1,0 +1,228 @@
+//! Reconstruction of a continuous survival function from discrete bins.
+//!
+//! Two interpolation schemes from Kvamme & Borgan, as used in the paper's
+//! §2.4 and Table 4:
+//!
+//! - **CDI** (continuous-density interpolation): terminations are assumed to
+//!   be spread evenly within each bin, so the survival function decreases
+//!   linearly across the bin.
+//! - **Stepped**: all terminations happen exactly at bin boundaries, so the
+//!   survival function is a right-continuous step function.
+
+use crate::bins::LifetimeBins;
+use crate::funcs::hazard_to_survival;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Interpolation scheme for mapping discrete bins back to continuous time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interpolation {
+    /// Continuous-density interpolation: uniform within-bin density.
+    Cdi,
+    /// Step function: terminations at bin upper boundaries.
+    Stepped,
+}
+
+/// A continuous survival function reconstructed from a discrete hazard.
+#[derive(Debug, Clone)]
+pub struct ContinuousSurvival {
+    bins: LifetimeBins,
+    /// `S(j)` = probability of surviving past bin `j`.
+    survival: Vec<f64>,
+    interp: Interpolation,
+    /// Effective upper edge of the final open bin (for CDI within it).
+    tail_horizon: f64,
+}
+
+impl ContinuousSurvival {
+    /// Builds a continuous survival function from a discrete hazard.
+    ///
+    /// `tail_horizon` bounds the final open bin when interpolating within it;
+    /// it must exceed the final bin's lower boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hazard.len() != bins.len()` or the horizon is inside the
+    /// closed bins.
+    pub fn from_hazard(
+        bins: &LifetimeBins,
+        hazard: &[f64],
+        interp: Interpolation,
+        tail_horizon: f64,
+    ) -> Self {
+        assert_eq!(hazard.len(), bins.len(), "hazard length mismatch");
+        assert!(
+            tail_horizon > bins.lower(bins.final_bin()),
+            "tail horizon must exceed the final bin's lower edge"
+        );
+        Self {
+            bins: bins.clone(),
+            survival: hazard_to_survival(hazard),
+            interp,
+            tail_horizon,
+        }
+    }
+
+    /// Evaluates `S(t)`: the probability the lifetime exceeds `t` seconds.
+    ///
+    /// `S(0) = 1`; beyond the tail horizon the function is 0 under CDI and
+    /// equal to the terminal survival under Stepped (a step function never
+    /// interpolates the open bin; any residual mass stays forever, matching
+    /// the "termination at boundary" convention which has no final boundary).
+    pub fn eval(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 1.0;
+        }
+        let j = self.bins.bin_of(t);
+        let s_prev = if j == 0 { 1.0 } else { self.survival[j - 1] };
+        let s_j = self.survival[j];
+        match self.interp {
+            Interpolation::Stepped => s_prev,
+            Interpolation::Cdi => {
+                let lo = self.bins.lower(j);
+                let hi = self.bins.upper(j).unwrap_or(self.tail_horizon);
+                // In the open bin, CDI spreads *all* remaining mass to 0 by
+                // the horizon.
+                let s_end = if j == self.bins.final_bin() { 0.0 } else { s_j };
+                if t >= hi {
+                    // Only reachable in the open bin, past the tail horizon.
+                    return s_end;
+                }
+                let frac = (t - lo) / (hi - lo);
+                s_prev + frac * (s_end - s_prev)
+            }
+        }
+    }
+
+    /// The discrete survival values `S(j)` the function interpolates.
+    pub fn discrete(&self) -> &[f64] {
+        &self.survival
+    }
+
+    /// The bin scheme.
+    pub fn bins(&self) -> &LifetimeBins {
+        &self.bins
+    }
+}
+
+/// Samples a continuous duration for a lifetime that fell into `bin`.
+///
+/// Under CDI the duration is uniform within the bin (the final open bin is
+/// bounded by `tail_horizon`); under Stepped it is the bin's upper boundary
+/// (the tail horizon for the open bin).
+///
+/// # Panics
+///
+/// Panics if `bin` is out of range for `bins`.
+pub fn sample_duration_in_bin(
+    bins: &LifetimeBins,
+    bin: usize,
+    interp: Interpolation,
+    tail_horizon: f64,
+    rng: &mut impl Rng,
+) -> f64 {
+    let lo = bins.lower(bin);
+    let hi = bins
+        .upper(bin)
+        .unwrap_or_else(|| tail_horizon.max(lo + 1.0));
+    match interp {
+        Interpolation::Cdi => rng.gen_range(lo..hi),
+        Interpolation::Stepped => hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> (LifetimeBins, Vec<f64>) {
+        // Bins [0,10), [10,20), [20,inf); hazards 0.5, 0.5, 1.0.
+        (
+            LifetimeBins::from_uppers(vec![10.0, 20.0]),
+            vec![0.5, 0.5, 1.0],
+        )
+    }
+
+    #[test]
+    fn cdi_is_linear_within_bins() {
+        let (bins, h) = simple();
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Cdi, 40.0);
+        assert!((s.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.eval(5.0) - 0.75).abs() < 1e-12); // halfway to S(0)=0.5
+        assert!((s.eval(10.0) - 0.5).abs() < 1e-12);
+        assert!((s.eval(15.0) - 0.375).abs() < 1e-12);
+        assert!((s.eval(20.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdi_open_bin_drains_to_zero_at_horizon() {
+        let (bins, mut h) = simple();
+        h[2] = 0.5; // leave residual mass in the tail
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Cdi, 40.0);
+        assert!((s.eval(20.0) - 0.25).abs() < 1e-12);
+        assert!((s.eval(30.0) - 0.125).abs() < 1e-12);
+        assert!(s.eval(40.0).abs() < 0.125 + 1e-12);
+        assert!(s.eval(100.0) <= 0.125 + 1e-12);
+    }
+
+    #[test]
+    fn stepped_is_constant_within_bins() {
+        let (bins, h) = simple();
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Stepped, 40.0);
+        assert!((s.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.eval(9.99) - 1.0).abs() < 1e-12);
+        assert!((s.eval(10.0) - 0.5).abs() < 1e-12);
+        assert!((s.eval(19.9) - 0.5).abs() < 1e-12);
+        assert!((s.eval(20.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_monotone_under_both_interpolations() {
+        let (bins, h) = simple();
+        for interp in [Interpolation::Cdi, Interpolation::Stepped] {
+            let s = ContinuousSurvival::from_hazard(&bins, &h, interp, 40.0);
+            let mut prev = f64::INFINITY;
+            for i in 0..100 {
+                let v = s.eval(i as f64 * 0.5);
+                assert!(v <= prev + 1e-12, "{interp:?} at {i}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn negative_time_survives() {
+        let (bins, h) = simple();
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Cdi, 40.0);
+        assert_eq!(s.eval(-3.0), 1.0);
+    }
+
+    #[test]
+    fn sampled_durations_stay_in_bin() {
+        let bins = LifetimeBins::from_uppers(vec![10.0, 20.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let d = sample_duration_in_bin(&bins, 1, Interpolation::Cdi, 100.0, &mut rng);
+            assert!((10.0..20.0).contains(&d));
+        }
+        // Final open bin bounded by horizon.
+        for _ in 0..200 {
+            let d = sample_duration_in_bin(&bins, 2, Interpolation::Cdi, 100.0, &mut rng);
+            assert!((20.0..100.0).contains(&d));
+        }
+        // Stepped: exactly the boundary.
+        assert_eq!(
+            sample_duration_in_bin(&bins, 0, Interpolation::Stepped, 100.0, &mut rng),
+            10.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hazard length mismatch")]
+    fn mismatched_hazard_panics() {
+        let bins = LifetimeBins::from_uppers(vec![10.0]);
+        let _ = ContinuousSurvival::from_hazard(&bins, &[0.5, 0.5, 0.5], Interpolation::Cdi, 40.0);
+    }
+}

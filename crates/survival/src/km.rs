@@ -1,0 +1,284 @@
+//! Discrete Kaplan–Meier estimation of the hazard function.
+//!
+//! The Kaplan–Meier estimator counts, per bin, the number of events `d_j`
+//! and the number of individuals at risk `n_j` entering the bin, and
+//! estimates the hazard as `h(j) = d_j / n_j`. Censored individuals
+//! contribute to the risk sets of the bins they are known to have survived,
+//! but never to an event count — exactly the "credit for surviving" the
+//! paper's lifetime loss gives censored jobs.
+
+use crate::bins::LifetimeBins;
+use crate::funcs::{hazard_to_pmf, hazard_to_survival};
+use serde::{Deserialize, Serialize};
+
+/// One lifetime observation: a bin index plus censoring status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Bin of the event (uncensored) or of the censoring time (censored).
+    pub bin: usize,
+    /// True if the individual was still alive at the end of observation.
+    pub censored: bool,
+}
+
+impl Observation {
+    /// An observed termination in `bin`.
+    pub fn event(bin: usize) -> Self {
+        Self {
+            bin,
+            censored: false,
+        }
+    }
+
+    /// A right-censored observation at `bin`.
+    pub fn censored(bin: usize) -> Self {
+        Self {
+            bin,
+            censored: true,
+        }
+    }
+}
+
+/// How censored observations are treated (the §5.3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CensoringPolicy {
+    /// Vanilla Kaplan–Meier: censored individuals leave the risk set at
+    /// their censoring bin without an event.
+    CensoringAware,
+    /// Discard censored observations entirely (the biased approach common in
+    /// systems papers).
+    DropCensored,
+    /// Treat the censoring time as a termination.
+    CensoredAsTerminated,
+}
+
+/// A fitted discrete Kaplan–Meier hazard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    hazard: Vec<f64>,
+    events: Vec<f64>,
+    at_risk: Vec<f64>,
+    policy: CensoringPolicy,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator over `bins.len()` bins from observations.
+    ///
+    /// Bins beyond the observation horizon (no survivors, no events) get a
+    /// hazard equal to `fallback_hazard` — the caller chooses what the model
+    /// should believe where there is no data (0.0 keeps mass in the final
+    /// open bin; a small positive value forces eventual termination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation's bin index is out of range.
+    pub fn fit(
+        bins: &LifetimeBins,
+        observations: &[Observation],
+        policy: CensoringPolicy,
+        fallback_hazard: f64,
+    ) -> Self {
+        Self::fit_smoothed(bins, observations, policy, fallback_hazard, 0.0)
+    }
+
+    /// Like [`Self::fit`], but with an additive pseudo-count `alpha` on the
+    /// per-bin event/survival counts (`h = (d + alpha) / (n + 2 alpha)`).
+    ///
+    /// Vanilla Kaplan–Meier (`alpha = 0`) produces hazards of exactly 0 or 1
+    /// in bins with few at-risk individuals, which is catastrophic under log
+    /// loss; a Jeffreys-style `alpha = 0.5` keeps small-sample estimators
+    /// (e.g. per-flavor KM on rare flavors) well-behaved.
+    pub fn fit_smoothed(
+        bins: &LifetimeBins,
+        observations: &[Observation],
+        policy: CensoringPolicy,
+        fallback_hazard: f64,
+        alpha: f64,
+    ) -> Self {
+        let j = bins.len();
+        let mut events: Vec<f64> = vec![0.0; j];
+        let mut exits: Vec<f64> = vec![0.0; j]; // individuals leaving the risk set in bin (event or censor)
+        let mut total = 0.0f64;
+        for obs in observations {
+            assert!(
+                obs.bin < j,
+                "observation bin {} out of range ({j} bins)",
+                obs.bin
+            );
+            let (bin, is_event) = match (policy, obs.censored) {
+                (CensoringPolicy::DropCensored, true) => continue,
+                (CensoringPolicy::CensoredAsTerminated, true) => (obs.bin, true),
+                (_, censored) => (obs.bin, !censored),
+            };
+            total += 1.0;
+            exits[bin] += 1.0;
+            if is_event {
+                events[bin] += 1.0;
+            }
+        }
+
+        let mut hazard = Vec::with_capacity(j);
+        let mut at_risk_vec = Vec::with_capacity(j);
+        let mut at_risk = total;
+        for b in 0..j {
+            at_risk_vec.push(at_risk);
+            if at_risk > 0.0 {
+                hazard.push(((events[b] + alpha) / (at_risk + 2.0 * alpha)).clamp(0.0, 1.0));
+            } else {
+                hazard.push(fallback_hazard.clamp(0.0, 1.0));
+            }
+            at_risk -= exits[b];
+        }
+        Self {
+            hazard,
+            events,
+            at_risk: at_risk_vec,
+            policy,
+        }
+    }
+
+    /// The estimated hazard per bin.
+    pub fn hazard(&self) -> &[f64] {
+        &self.hazard
+    }
+
+    /// The PMF implied by the hazard.
+    pub fn pmf(&self) -> Vec<f64> {
+        hazard_to_pmf(&self.hazard)
+    }
+
+    /// The survival function implied by the hazard.
+    pub fn survival(&self) -> Vec<f64> {
+        hazard_to_survival(&self.hazard)
+    }
+
+    /// Event counts per bin (after applying the censoring policy).
+    pub fn events(&self) -> &[f64] {
+        &self.events
+    }
+
+    /// Risk-set size entering each bin.
+    pub fn at_risk(&self) -> &[f64] {
+        &self.at_risk
+    }
+
+    /// The censoring policy used to fit.
+    pub fn policy(&self) -> CensoringPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_bins() -> LifetimeBins {
+        LifetimeBins::from_uppers(vec![10.0, 20.0])
+    }
+
+    #[test]
+    fn no_censoring_matches_empirical() {
+        let bins = three_bins();
+        // 4 events in bin 0, 4 in bin 1, 2 in bin 2 out of 10.
+        let mut obs = vec![Observation::event(0); 4];
+        obs.extend(vec![Observation::event(1); 4]);
+        obs.extend(vec![Observation::event(2); 2]);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        assert!((km.hazard()[0] - 0.4).abs() < 1e-12);
+        assert!((km.hazard()[1] - 4.0 / 6.0).abs() < 1e-12);
+        assert!((km.hazard()[2] - 1.0).abs() < 1e-12);
+        let pmf = km.pmf();
+        assert!((pmf[0] - 0.4).abs() < 1e-12);
+        assert!((pmf[1] - 0.4).abs() < 1e-12);
+        assert!((pmf[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censored_contribute_survival_only() {
+        let bins = three_bins();
+        // 1 event in bin 0; 1 censored in bin 1; 1 event in bin 2.
+        let obs = vec![
+            Observation::event(0),
+            Observation::censored(1),
+            Observation::event(2),
+        ];
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        // Bin 0: 1 event / 3 at risk.
+        assert!((km.hazard()[0] - 1.0 / 3.0).abs() < 1e-12);
+        // Bin 1: 0 events / 2 at risk (censored one still at risk in bin 1).
+        assert!((km.hazard()[1] - 0.0).abs() < 1e-12);
+        // Bin 2: 1 event / 1 at risk (censored one left the risk set).
+        assert!((km.hazard()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_censored_biases_down_risk() {
+        let bins = three_bins();
+        let obs = vec![
+            Observation::event(0),
+            Observation::censored(2),
+            Observation::censored(2),
+            Observation::censored(2),
+        ];
+        let aware = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let drop = KaplanMeier::fit(&bins, &obs, CensoringPolicy::DropCensored, 0.0);
+        // Aware: h(0) = 1/4; dropping censored: h(0) = 1/1 = 1.0 — biased up.
+        assert!((aware.hazard()[0] - 0.25).abs() < 1e-12);
+        assert!((drop.hazard()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censored_as_terminated_adds_events() {
+        let bins = three_bins();
+        let obs = vec![Observation::censored(1), Observation::event(1)];
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoredAsTerminated, 0.0);
+        assert!((km.hazard()[1] - 1.0).abs() < 1e-12);
+        assert_eq!(km.events()[1], 2.0);
+    }
+
+    #[test]
+    fn fallback_hazard_fills_unobserved_bins() {
+        let bins = LifetimeBins::from_uppers(vec![10.0, 20.0, 30.0]);
+        let obs = vec![Observation::event(0)];
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.25);
+        // After the only individual exits in bin 0, later bins use fallback.
+        assert_eq!(km.hazard()[1], 0.25);
+        assert_eq!(km.hazard()[2], 0.25);
+    }
+
+    #[test]
+    fn survival_never_increases() {
+        let bins = LifetimeBins::from_uppers(vec![1.0, 2.0, 3.0, 4.0]);
+        let obs: Vec<Observation> = (0..5)
+            .flat_map(|b| std::iter::repeat(Observation::event(b % 5)).take(3 - (b % 3)))
+            .collect();
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let s = km.survival();
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn at_risk_decreases_by_exits() {
+        let bins = three_bins();
+        let obs = vec![
+            Observation::event(0),
+            Observation::event(0),
+            Observation::censored(1),
+        ];
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        assert_eq!(km.at_risk(), &[3.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bin_panics() {
+        let bins = three_bins();
+        let _ = KaplanMeier::fit(
+            &bins,
+            &[Observation::event(7)],
+            CensoringPolicy::CensoringAware,
+            0.0,
+        );
+    }
+}

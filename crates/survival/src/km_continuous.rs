@@ -1,0 +1,137 @@
+//! Continuous-time Kaplan–Meier (product-limit) estimator.
+//!
+//! Table 4 compares discretized estimators against Kaplan–Meier applied
+//! directly in continuous time: the survival function steps down at each
+//! observed event time by the factor `1 - d_i / n_i`.
+
+use serde::{Deserialize, Serialize};
+
+/// A continuous-time Kaplan–Meier survival curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousKm {
+    /// Distinct event times, ascending.
+    times: Vec<f64>,
+    /// Survival value immediately *after* each event time.
+    survival: Vec<f64>,
+}
+
+impl ContinuousKm {
+    /// Fits from `(duration, censored)` observations.
+    ///
+    /// Censored observations leave the risk set at their censoring time
+    /// without an event. Returns a curve with `S(0) = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative or non-finite.
+    pub fn fit(observations: &[(f64, bool)]) -> Self {
+        for &(d, _) in observations {
+            assert!(d >= 0.0 && d.is_finite(), "invalid duration {d}");
+        }
+        // Sort by time; at equal times process events before censorings
+        // (the standard convention).
+        let mut obs: Vec<(f64, bool)> = observations.to_vec();
+        obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+
+        let mut times = Vec::new();
+        let mut survival = Vec::new();
+        let mut s = 1.0;
+        let mut at_risk = obs.len() as f64;
+        let mut i = 0;
+        while i < obs.len() {
+            let t = obs[i].0;
+            let mut events = 0.0;
+            let mut exits = 0.0;
+            while i < obs.len() && obs[i].0 == t {
+                exits += 1.0;
+                if !obs[i].1 {
+                    events += 1.0;
+                }
+                i += 1;
+            }
+            if events > 0.0 && at_risk > 0.0 {
+                s *= 1.0 - events / at_risk;
+                times.push(t);
+                survival.push(s);
+            }
+            at_risk -= exits;
+        }
+        Self { times, survival }
+    }
+
+    /// Evaluates `S(t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 1.0;
+        }
+        // Number of event times <= t.
+        let k = self.times.partition_point(|&x| x <= t);
+        if k == 0 {
+            1.0
+        } else {
+            self.survival[k - 1]
+        }
+    }
+
+    /// The distinct event times.
+    pub fn event_times(&self) -> &[f64] {
+        &self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_censoring_matches_empirical() {
+        // Events at 1, 2, 3, 4: S drops by 1/4 of risk set each time.
+        let obs = vec![(1.0, false), (2.0, false), (3.0, false), (4.0, false)];
+        let km = ContinuousKm::fit(&obs);
+        assert_eq!(km.eval(0.5), 1.0);
+        assert!((km.eval(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.eval(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.eval(4.0) - 0.0).abs() < 1e-12);
+        assert!((km.eval(100.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censoring_reduces_risk_without_event() {
+        // Event at 1 (n=3), censor at 2, event at 3 (n=1).
+        let obs = vec![(1.0, false), (2.0, true), (3.0, false)];
+        let km = ContinuousKm::fit(&obs);
+        assert!((km.eval(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        // Between 2 and 3: unchanged (censoring is not an event).
+        assert!((km.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        // After 3: multiplied by (1 - 1/1) = 0.
+        assert!((km.eval(3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_events_handled() {
+        let obs = vec![(2.0, false), (2.0, false), (2.0, true), (5.0, false)];
+        let km = ContinuousKm::fit(&obs);
+        // At t=2: 2 events out of 4 at risk -> S = 0.5.
+        assert!((km.eval(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_censored_never_drops() {
+        let obs = vec![(1.0, true), (2.0, true)];
+        let km = ContinuousKm::fit(&obs);
+        assert_eq!(km.eval(10.0), 1.0);
+        assert!(km.event_times().is_empty());
+    }
+
+    #[test]
+    fn survival_is_monotone() {
+        let obs: Vec<(f64, bool)> = (1..50).map(|i| (i as f64 * 0.7, i % 3 == 0)).collect();
+        let km = ContinuousKm::fit(&obs);
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let v = km.eval(i as f64 * 0.5);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+}

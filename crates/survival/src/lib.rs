@@ -1,0 +1,31 @@
+//! Discrete-time survival-analysis substrate.
+//!
+//! The paper's lifetime model (§2.3) works on a discretized time axis: job
+//! lifetimes fall into bins, and models parameterize the **hazard function**
+//! over those bins. This crate provides:
+//!
+//! - [`LifetimeBins`]: bin schemes, including the paper's 47-bin layout
+//!   (5-minute bins to 1 h, hourly to 10 h, then coarser out to an open
+//!   final bin starting at 20 days) and log-spaced alternatives for the
+//!   Table 4 discretization ablation.
+//! - [`funcs`]: conversions between the hazard, PMF, and survival functions,
+//!   and hazard-chain sampling.
+//! - [`KaplanMeier`]: the censoring-aware discrete Kaplan–Meier estimator,
+//!   plus the two ablation variants discussed in §5.3 (drop-censored and
+//!   censored-as-terminated).
+//! - [`interp`]: continuous-density interpolation (CDI) and stepped
+//!   reconstruction of a continuous survival function from discrete bins.
+//! - [`metrics`]: the continuous-domain Survival-MSE evaluation of §5.3.
+
+pub mod bins;
+pub mod funcs;
+pub mod interp;
+pub mod km;
+pub mod km_continuous;
+pub mod metrics;
+
+pub use bins::LifetimeBins;
+pub use funcs::{hazard_to_pmf, hazard_to_survival, pmf_to_hazard, sample_hazard_chain};
+pub use interp::Interpolation;
+pub use km::{CensoringPolicy, KaplanMeier, Observation};
+pub use km_continuous::ContinuousKm;

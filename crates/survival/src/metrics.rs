@@ -1,0 +1,169 @@
+//! Continuous-domain evaluation of survival predictions (Survival-MSE).
+//!
+//! Following Kvamme & Borgan (and the paper's Table 4), a predicted survival
+//! curve `S(t)` for a job with true lifetime `t*` is scored against the
+//! job's *true* survival function — the indicator `1{t < t*}` — by the mean
+//! squared error over a grid of evaluation times. For right-censored jobs
+//! only times up to the censoring point are scored (beyond it the true
+//! status is unknown).
+
+use crate::interp::ContinuousSurvival;
+
+/// A per-job ground truth for continuous evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TrueLifetime {
+    /// Observed duration in seconds (event time, or censoring time).
+    pub duration: f64,
+    /// Whether the duration is a censoring time rather than an event.
+    pub censored: bool,
+}
+
+/// Mean squared error between a predicted survival curve and the true
+/// indicator survival of one job, over the provided evaluation grid.
+///
+/// Returns `(sum_squared_error, points_scored)`; censored jobs are scored
+/// only at grid points `t <= duration`. Returns `(0.0, 0)` if no grid point
+/// qualifies.
+pub fn survival_mse_one(
+    pred: &ContinuousSurvival,
+    truth: TrueLifetime,
+    grid: &[f64],
+) -> (f64, usize) {
+    let mut sse = 0.0;
+    let mut n = 0usize;
+    for &t in grid {
+        if truth.censored && t > truth.duration {
+            continue;
+        }
+        let true_s = if t < truth.duration { 1.0 } else { 0.0 };
+        let d = pred.eval(t) - true_s;
+        sse += d * d;
+        n += 1;
+    }
+    (sse, n)
+}
+
+/// Aggregates [`survival_mse_one`] over many jobs, returning the mean squared
+/// error across all scored grid points.
+///
+/// # Panics
+///
+/// Panics if `preds.len() != truths.len()`.
+pub fn survival_mse(preds: &[ContinuousSurvival], truths: &[TrueLifetime], grid: &[f64]) -> f64 {
+    assert_eq!(preds.len(), truths.len(), "prediction/truth count mismatch");
+    let mut sse = 0.0;
+    let mut n = 0usize;
+    for (p, &t) in preds.iter().zip(truths) {
+        let (s, c) = survival_mse_one(p, t, grid);
+        sse += s;
+        n += c;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sse / n as f64
+    }
+}
+
+/// Builds an evaluation grid: `points` times spaced evenly on `[0, horizon]`.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `horizon <= 0`.
+pub fn uniform_grid(horizon: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two grid points");
+    assert!(horizon > 0.0, "horizon must be positive");
+    (0..points)
+        .map(|i| horizon * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::LifetimeBins;
+    use crate::interp::Interpolation;
+
+    fn perfect_step_pred(t_star: f64) -> ContinuousSurvival {
+        // A bin boundary exactly at t_star with hazard 1 there makes the
+        // stepped survival the exact indicator.
+        let bins = LifetimeBins::from_uppers(vec![t_star, t_star * 2.0]);
+        ContinuousSurvival::from_hazard(
+            &bins,
+            &[1.0, 0.0, 0.0],
+            Interpolation::Stepped,
+            t_star * 4.0,
+        )
+    }
+
+    #[test]
+    fn perfect_prediction_scores_zero() {
+        let pred = perfect_step_pred(10.0);
+        let truth = TrueLifetime {
+            duration: 10.0,
+            censored: false,
+        };
+        let grid = uniform_grid(30.0, 31);
+        let (sse, n) = survival_mse_one(&pred, truth, &grid);
+        assert_eq!(n, 31);
+        assert!(sse < 1e-20, "sse = {sse}");
+    }
+
+    #[test]
+    fn wrong_prediction_scores_positive() {
+        let pred = perfect_step_pred(10.0);
+        let truth = TrueLifetime {
+            duration: 20.0,
+            censored: false,
+        };
+        let grid = uniform_grid(30.0, 31);
+        let (sse, _) = survival_mse_one(&pred, truth, &grid);
+        assert!(sse > 1.0);
+    }
+
+    #[test]
+    fn censored_jobs_scored_only_before_censor_time() {
+        let pred = perfect_step_pred(10.0);
+        let truth = TrueLifetime {
+            duration: 15.0,
+            censored: true,
+        };
+        let grid = uniform_grid(30.0, 31); // step 1.0
+        let (_, n) = survival_mse_one(&pred, truth, &grid);
+        assert_eq!(n, 16); // t = 0..=15
+    }
+
+    #[test]
+    fn aggregate_averages_over_jobs_and_grid() {
+        let preds = vec![perfect_step_pred(10.0), perfect_step_pred(10.0)];
+        let truths = vec![
+            TrueLifetime {
+                duration: 10.0,
+                censored: false,
+            },
+            TrueLifetime {
+                duration: 10.0,
+                censored: false,
+            },
+        ];
+        let grid = uniform_grid(30.0, 4);
+        assert!(survival_mse(&preds, &truths, &grid) < 1e-20);
+    }
+
+    #[test]
+    fn empty_grid_contribution_is_zero() {
+        let pred = perfect_step_pred(10.0);
+        let truth = TrueLifetime {
+            duration: -1.0,
+            censored: true,
+        };
+        let (sse, n) = survival_mse_one(&pred, truth, &[5.0, 10.0]);
+        assert_eq!((sse, n), (0.0, 0));
+    }
+
+    #[test]
+    fn uniform_grid_spacing() {
+        let g = uniform_grid(10.0, 6);
+        assert_eq!(g, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+}

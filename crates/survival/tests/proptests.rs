@@ -1,0 +1,110 @@
+//! Property-based tests for the survival substrate.
+
+use proptest::prelude::*;
+use survival::bins::LifetimeBins;
+use survival::funcs::{hazard_to_pmf, hazard_to_survival, pmf_to_hazard, sample_hazard_chain};
+use survival::interp::{ContinuousSurvival, Interpolation};
+use survival::km::{CensoringPolicy, KaplanMeier, Observation};
+
+fn hazard_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..=1.0f64, 2..20)
+}
+
+proptest! {
+    #[test]
+    fn pmf_from_hazard_is_distribution(h in hazard_strategy()) {
+        let pmf = hazard_to_pmf(&h);
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(pmf.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn survival_from_hazard_is_monotone(h in hazard_strategy()) {
+        let s = hazard_to_survival(&h);
+        prop_assert!(s[0] <= 1.0 + 1e-12);
+        for w in s.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hazard_pmf_roundtrip(h in proptest::collection::vec(0.01..=0.99f64, 2..15)) {
+        let pmf = hazard_to_pmf(&h);
+        let h2 = pmf_to_hazard(&pmf);
+        // The final bin absorbs residual mass, so compare all but the last.
+        for (a, b) in h.iter().zip(&h2).take(h.len() - 1) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sampled_bins_in_range(h in hazard_strategy(), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = sample_hazard_chain(&h, &mut rng);
+        prop_assert!(b < h.len());
+    }
+
+    #[test]
+    fn bin_of_is_consistent_with_bounds(
+        uppers in proptest::collection::vec(1.0..1e6f64, 1..20),
+        t in 0.0..2e6f64,
+    ) {
+        let mut u = uppers;
+        u.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        u.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let bins = LifetimeBins::from_uppers(u);
+        let j = bins.bin_of(t);
+        prop_assert!(t >= bins.lower(j) || j == 0);
+        if let Some(hi) = bins.upper(j) {
+            prop_assert!(t < hi);
+        }
+    }
+
+    #[test]
+    fn km_hazard_in_unit_interval(
+        events in proptest::collection::vec(0usize..5, 1..50),
+        censored in proptest::collection::vec(any::<bool>(), 1..50),
+    ) {
+        let bins = LifetimeBins::from_uppers(vec![1.0, 2.0, 3.0, 4.0]);
+        let obs: Vec<Observation> = events
+            .iter()
+            .zip(censored.iter().cycle())
+            .map(|(&b, &c)| Observation { bin: b, censored: c })
+            .collect();
+        for policy in [
+            CensoringPolicy::CensoringAware,
+            CensoringPolicy::DropCensored,
+            CensoringPolicy::CensoredAsTerminated,
+        ] {
+            let km = KaplanMeier::fit(&bins, &obs, policy, 0.0);
+            prop_assert!(km.hazard().iter().all(|&h| (0.0..=1.0).contains(&h)));
+        }
+    }
+
+    #[test]
+    fn cdi_survival_bounded_and_monotone(h in proptest::collection::vec(0.0..=1.0f64, 3..10)) {
+        let uppers: Vec<f64> = (1..h.len()).map(|i| i as f64 * 10.0).collect();
+        let bins = LifetimeBins::from_uppers(uppers);
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Cdi, h.len() as f64 * 20.0);
+        let mut prev = 1.0 + 1e-12;
+        for i in 0..200 {
+            let v = s.eval(i as f64);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            prop_assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn stepped_matches_discrete_at_boundaries(h in proptest::collection::vec(0.0..=1.0f64, 3..8)) {
+        let uppers: Vec<f64> = (1..h.len()).map(|i| i as f64 * 5.0).collect();
+        let bins = LifetimeBins::from_uppers(uppers.clone());
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Stepped, 1e4);
+        let disc = hazard_to_survival(&h);
+        // Just after boundary j the stepped value equals S(j).
+        for (j, &u) in uppers.iter().enumerate() {
+            prop_assert!((s.eval(u + 1e-9) - disc[j]).abs() < 1e-9);
+        }
+    }
+}

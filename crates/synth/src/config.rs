@@ -1,0 +1,282 @@
+//! Configuration of the synthetic cloud world.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload-level trend over days.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendSpec {
+    /// Multiplicative growth per day, e.g. `0.01` for +1 %/day.
+    pub growth_per_day: f64,
+    /// Day after which growth stops (workload levels off); `None` grows
+    /// forever.
+    pub levels_off_at_day: Option<u32>,
+}
+
+impl TrendSpec {
+    /// No trend.
+    pub fn flat() -> Self {
+        Self {
+            growth_per_day: 0.0,
+            levels_off_at_day: None,
+        }
+    }
+
+    /// The arrival-rate multiplier for a given day of history.
+    pub fn factor(&self, day: u32) -> f64 {
+        let effective = match self.levels_off_at_day {
+            Some(cap) => day.min(cap),
+            None => day,
+        };
+        (1.0 + self.growth_per_day).powi(effective as i32)
+    }
+}
+
+/// The lifetime regimes batches draw from.
+///
+/// Each regime is a typical duration scale in seconds; jobs in a batch take
+/// the batch's regime scale times a log-normal jitter. Mixture weights are
+/// flavor-dependent (see [`WorldConfig::regime_weights`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeRegimes {
+    /// Scales in seconds, shortest to longest.
+    pub scales: [f64; 4],
+    /// Log-normal sigma of per-job jitter around the regime scale.
+    pub jitter_sigma: f64,
+}
+
+impl Default for LifetimeRegimes {
+    fn default() -> Self {
+        Self {
+            // ~10 min, ~2 h, ~1 d, ~12 d.
+            scales: [600.0, 7_200.0, 86_400.0, 1_036_800.0],
+            jitter_sigma: 0.45,
+        }
+    }
+}
+
+/// Full configuration of a synthetic cloud world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of flavors in the catalog.
+    pub n_flavors: usize,
+    /// Number of users in the population.
+    pub n_users: usize,
+    /// Baseline mean batches per 5-minute period (before modulation).
+    pub base_batch_rate: f64,
+    /// Relative amplitude of the hour-of-day cycle (0 = none).
+    pub hod_amplitude: f64,
+    /// Weekend arrival multiplier (e.g. 0.6 = 40 % fewer on weekends).
+    pub weekend_factor: f64,
+    /// Long-run workload trend.
+    pub trend: TrendSpec,
+    /// Geometric parameter for batch size (`size = 1 + Geometric(p)`).
+    pub batch_size_p: f64,
+    /// Probability a batch uses its user's characteristic size instead of a
+    /// fresh geometric draw. Real users resubmit the same job counts; this
+    /// is what makes end-of-batch timing learnable from context.
+    pub size_fidelity: f64,
+    /// Probability a batch is a "burst" whose size is multiplied ~10x.
+    pub burst_prob: f64,
+    /// Zipf exponent for global flavor popularity.
+    pub flavor_zipf: f64,
+    /// Zipf exponent for user activity.
+    pub user_zipf: f64,
+    /// Probability a batch uses the user's primary flavor (vs. a secondary).
+    pub user_flavor_focus: f64,
+    /// Probability a job repeats the previous job's flavor within a batch.
+    pub within_batch_repeat: f64,
+    /// Probability a batch keeps the same lifetime regime as the user's
+    /// previous batch (regime persistence across batches).
+    pub regime_persistence: f64,
+    /// Probability the next batch comes from the same user as the previous
+    /// one (bursty user sessions): users submit runs of related batches, so
+    /// consecutive batches in the arrival sequence correlate — the
+    /// cross-batch momentum the paper's Figure 1 shows.
+    pub user_session_persistence: f64,
+    /// Probability a job's lifetime exactly repeats its batch's anchor
+    /// lifetime. Real batch VMs are created and deleted together, so
+    /// within-batch lifetimes are near-identical.
+    pub lifetime_repeat: f64,
+    /// Probability a batch's anchor lifetime reuses the user's
+    /// characteristic duration for the regime (users rerun the same
+    /// workloads with the same durations) instead of a fresh draw.
+    pub anchor_fidelity: f64,
+    /// Log-normal sigma of a per-day arrival-level factor (day-to-day level
+    /// shifts beyond seasonality; this is what day-of-history features and
+    /// DOH sampling exist to capture).
+    pub daily_noise_sigma: f64,
+    /// Lifetime regime scales and jitter.
+    pub regimes: LifetimeRegimes,
+}
+
+impl WorldConfig {
+    /// Azure-like preset: 16 flavors, strong diurnal pattern, no trend.
+    ///
+    /// `scale` multiplies the arrival rate; `1.0` gives on the order of a
+    /// thousand jobs per day — big enough for every correlation to be
+    /// measurable, small enough for CPU-only training.
+    pub fn azure_like(scale: f64) -> Self {
+        Self {
+            n_flavors: 16,
+            n_users: 400,
+            base_batch_rate: 2.0 * scale,
+            hod_amplitude: 0.45,
+            weekend_factor: 0.65,
+            trend: TrendSpec::flat(),
+            batch_size_p: 0.45,
+            size_fidelity: 0.85,
+            burst_prob: 0.02,
+            flavor_zipf: 1.1,
+            user_zipf: 1.05,
+            user_flavor_focus: 0.85,
+            within_batch_repeat: 0.92,
+            regime_persistence: 0.45,
+            user_session_persistence: 0.5,
+            lifetime_repeat: 0.9,
+            anchor_fidelity: 0.7,
+            daily_noise_sigma: 0.3,
+            regimes: LifetimeRegimes::default(),
+        }
+    }
+
+    /// Huawei-like preset: many flavors, lower rate, strong growth that
+    /// levels off (the §6.1 change-point), weaker diurnal pattern.
+    pub fn huawei_like(scale: f64) -> Self {
+        Self {
+            n_flavors: 259,
+            n_users: 700,
+            base_batch_rate: 0.8 * scale,
+            hod_amplitude: 0.3,
+            weekend_factor: 0.8,
+            trend: TrendSpec {
+                growth_per_day: 0.012,
+                levels_off_at_day: Some(55),
+            },
+            batch_size_p: 0.35,
+            size_fidelity: 0.9,
+            burst_prob: 0.03,
+            flavor_zipf: 1.25,
+            user_zipf: 1.1,
+            user_flavor_focus: 0.88,
+            within_batch_repeat: 0.95,
+            regime_persistence: 0.5,
+            user_session_persistence: 0.55,
+            lifetime_repeat: 0.92,
+            anchor_fidelity: 0.75,
+            daily_noise_sigma: 0.12,
+            regimes: LifetimeRegimes {
+                // Huawei VMs skew longer-lived.
+                scales: [900.0, 14_400.0, 172_800.0, 1_296_000.0],
+                jitter_sigma: 0.4,
+            },
+        }
+    }
+
+    /// Hour-of-day arrival multiplier: a raised cosine peaking mid-day.
+    pub fn hod_factor(&self, hour: u8) -> f64 {
+        let phase = (hour as f64 - 14.0) / 24.0 * std::f64::consts::TAU;
+        1.0 + self.hod_amplitude * phase.cos()
+    }
+
+    /// Day-of-week arrival multiplier (days 5, 6 are the weekend).
+    pub fn dow_factor(&self, dow: u8) -> f64 {
+        if dow >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Regime mixture weights for a flavor.
+    ///
+    /// Two planted effects make the per-flavor Kaplan–Meier beat the pooled
+    /// one: small flavors skew ephemeral/short while large flavors skew
+    /// medium/long, and each flavor additionally has an idiosyncratic
+    /// preferred regime (real flavors exist *because* specific workloads —
+    /// with specific lifetime profiles — request them).
+    pub fn regime_weights(&self, flavor_id: u16, vcpus: f64) -> [f64; 4] {
+        let size = (vcpus.log2() / 3.0).clamp(0.0, 1.0); // 1 vCPU -> 0, 8+ -> 1
+        let mut w = [
+            0.55 * (1.0 - size) + 0.04,
+            0.30 * (1.0 - size) + 0.06,
+            0.10 + 0.35 * size,
+            0.05 + 0.45 * size,
+        ];
+        // Idiosyncratic tilt: deterministic per flavor.
+        let preferred = (flavor_id as usize).wrapping_mul(2654435761) % 4;
+        w[preferred] *= 6.0;
+        let total: f64 = w.iter().sum();
+        w.iter_mut().for_each(|x| *x /= total);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trend_is_one() {
+        let t = TrendSpec::flat();
+        assert_eq!(t.factor(0), 1.0);
+        assert_eq!(t.factor(100), 1.0);
+    }
+
+    #[test]
+    fn growth_levels_off() {
+        let t = TrendSpec {
+            growth_per_day: 0.01,
+            levels_off_at_day: Some(10),
+        };
+        assert!(t.factor(5) < t.factor(10));
+        assert_eq!(t.factor(10), t.factor(50));
+        assert!((t.factor(10) - 1.01f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hod_peaks_midday() {
+        let c = WorldConfig::azure_like(1.0);
+        assert!(c.hod_factor(14) > c.hod_factor(2));
+        assert!((c.hod_factor(14) - (1.0 + c.hod_amplitude)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_reduces_arrivals() {
+        let c = WorldConfig::azure_like(1.0);
+        assert!(c.dow_factor(6) < c.dow_factor(2));
+    }
+
+    #[test]
+    fn regime_weights_shift_with_size() {
+        let c = WorldConfig::azure_like(1.0);
+        // Average over flavor ids to isolate the size effect from the
+        // idiosyncratic tilt.
+        let avg = |vcpus: f64| -> [f64; 4] {
+            let mut acc = [0.0; 4];
+            for f in 0..16u16 {
+                let w = c.regime_weights(f, vcpus);
+                for i in 0..4 {
+                    acc[i] += w[i] / 16.0;
+                }
+            }
+            acc
+        };
+        let small = avg(1.0);
+        let large = avg(64.0);
+        // Small flavors: more ephemeral. Large: more long-lived.
+        assert!(small[0] > large[0]);
+        assert!(large[3] > small[3]);
+        // Weights are positive.
+        assert!(small.iter().chain(large.iter()).all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn presets_are_plausible() {
+        let a = WorldConfig::azure_like(1.0);
+        let h = WorldConfig::huawei_like(1.0);
+        assert_eq!(a.n_flavors, 16);
+        assert_eq!(h.n_flavors, 259);
+        assert!(h.base_batch_rate < a.base_batch_rate);
+        assert!(h.trend.growth_per_day > 0.0);
+    }
+}

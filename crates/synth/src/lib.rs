@@ -1,0 +1,35 @@
+//! Synthetic cloud-provider world: the data substrate.
+//!
+//! The paper trains and evaluates on two proprietary production traces
+//! (Microsoft Azure and Huawei Cloud). Neither is available here, so this
+//! crate implements a *ground-truth simulator* that plants exactly the
+//! correlational structures the paper documents in those traces:
+//!
+//! - **user-specific batches**: jobs arrive in per-user bursts within
+//!   5-minute periods, with heavy-tailed batch sizes;
+//! - **flavor momentum**: jobs within a batch overwhelmingly share a flavor,
+//!   and users have stable flavor preferences across batches (this is the
+//!   "reuse distance" structure Protean exploits);
+//! - **correlated lifetimes**: each batch draws a lifetime *regime*
+//!   (ephemeral / short / medium / long), flavors bias the regime mixture,
+//!   and job lifetimes scatter around the regime scale — so neighbouring
+//!   jobs have similar lifetimes, exactly the inter-case correlation the
+//!   paper's lifetime LSTM is built to capture;
+//! - **seasonality and trend**: hour-of-day and day-of-week modulation of
+//!   the batch arrival rate, plus a configurable growth trend with a
+//!   level-off change-point (the Huawei-like preset grows then flattens,
+//!   which is what makes whole-history baselines stale in §6.1);
+//! - **censoring**: generated jobs carry true end times; observation windows
+//!   (from the `trace` crate) apply left/right censoring exactly as §3
+//!   describes.
+//!
+//! Presets: [`WorldConfig::azure_like`] (16 flavors, 30-day history, higher
+//! arrival rates) and [`WorldConfig::huawei_like`] (many flavors, lower
+//! rates, long history, growth + level-off). Both take a `scale` knob so the
+//! reproduction binaries can run at laptop scale.
+
+pub mod config;
+pub mod world;
+
+pub use config::{LifetimeRegimes, TrendSpec, WorldConfig};
+pub use world::CloudWorld;

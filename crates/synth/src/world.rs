@@ -1,0 +1,391 @@
+//! The ground-truth workload generator.
+
+use crate::config::WorldConfig;
+use glm::samplers::{sample_categorical, sample_geometric, sample_poisson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trace::period::{TemporalInfo, PERIOD_SECS};
+use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+/// A user's stable behavioural profile.
+#[derive(Debug, Clone)]
+struct UserProfile {
+    primary: FlavorId,
+    secondary: Vec<FlavorId>,
+    /// Characteristic batch size (users tend to resubmit the same counts).
+    pref_size: u64,
+    /// Characteristic per-regime lifetime multiplier (users rerun the same
+    /// workloads with the same durations).
+    pref_jitter: [f64; 4],
+    /// Regime of this user's previous batch (for persistence).
+    last_regime: Option<usize>,
+}
+
+/// A synthetic cloud provider: holds the configuration and generates
+/// ground-truth traces with planted inter-job correlations.
+#[derive(Debug, Clone)]
+pub struct CloudWorld {
+    config: WorldConfig,
+    catalog: FlavorCatalog,
+    user_weights: Vec<f64>,
+    flavor_weights: Vec<f64>,
+    seed: u64,
+}
+
+impl CloudWorld {
+    /// Creates a world from a configuration and a seed.
+    ///
+    /// The seed fixes both the static structure (user preferences) and the
+    /// generated trace, so a `(config, seed)` pair is fully reproducible.
+    pub fn new(config: WorldConfig, seed: u64) -> Self {
+        let catalog = if config.n_flavors == 16 {
+            FlavorCatalog::azure16()
+        } else {
+            FlavorCatalog::synthetic(config.n_flavors)
+        };
+        let flavor_weights: Vec<f64> = (1..=config.n_flavors)
+            .map(|i| 1.0 / (i as f64).powf(config.flavor_zipf))
+            .collect();
+        let user_weights: Vec<f64> = (1..=config.n_users)
+            .map(|i| 1.0 / (i as f64).powf(config.user_zipf))
+            .collect();
+        Self {
+            config,
+            catalog,
+            user_weights,
+            flavor_weights,
+            seed,
+        }
+    }
+
+    /// The world's flavor catalog.
+    pub fn catalog(&self) -> &FlavorCatalog {
+        &self.catalog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Generates the ground-truth trace covering `[0, days)` days.
+    ///
+    /// Every job has a known true end time; apply an
+    /// [`trace::ObservationWindow`] to censor it the way a real collection
+    /// window would.
+    pub fn generate(&self, days: u32) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut users = self.build_users(&mut rng);
+        let periods_per_day = 86_400 / PERIOD_SECS;
+        let n_periods = days as u64 * periods_per_day;
+
+        // Per-day level factors: persistent day-to-day shifts beyond the
+        // seasonal pattern (drawn once per day from a log-normal).
+        let day_factors: Vec<f64> = (0..days)
+            .map(|_| (self.config.daily_noise_sigma * sample_standard_normal(&mut rng)).exp())
+            .collect();
+
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut last_user: Option<usize> = None;
+        for p in 0..n_periods {
+            let info = TemporalInfo::of_period(p);
+            let rate = self.config.base_batch_rate
+                * self.config.hod_factor(info.hour_of_day)
+                * self.config.dow_factor(info.day_of_week)
+                * self.config.trend.factor(info.day_of_history)
+                * day_factors[info.day_of_history as usize];
+            let n_batches = sample_poisson(rate, &mut rng);
+            let t = p * PERIOD_SECS;
+            for _ in 0..n_batches {
+                // Bursty sessions: often the same user as the previous batch.
+                let user_idx = match last_user {
+                    Some(u) if rng.gen::<f64>() < self.config.user_session_persistence => u,
+                    _ => sample_categorical(&self.user_weights, &mut rng),
+                };
+                last_user = Some(user_idx);
+                self.generate_batch(t, user_idx, &mut users, &mut jobs, &mut rng);
+            }
+        }
+        Trace::new(jobs, self.catalog.clone())
+    }
+
+    fn build_users(&self, rng: &mut StdRng) -> Vec<UserProfile> {
+        (0..self.config.n_users)
+            .map(|_| {
+                let primary = FlavorId(sample_categorical(&self.flavor_weights, rng) as u16);
+                let n_secondary = 1 + rng.gen_range(0..3);
+                let secondary = (0..n_secondary)
+                    .map(|_| FlavorId(sample_categorical(&self.flavor_weights, rng) as u16))
+                    .collect();
+                let pref_size = 1 + sample_geometric(self.config.batch_size_p, rng);
+                let pref_jitter = [(); 4].map(|_| {
+                    (self.config.regimes.jitter_sigma * sample_standard_normal(rng)).exp()
+                });
+                UserProfile {
+                    primary,
+                    secondary,
+                    pref_size,
+                    pref_jitter,
+                    last_regime: None,
+                }
+            })
+            .collect()
+    }
+
+    fn generate_batch(
+        &self,
+        t: u64,
+        user_idx: usize,
+        users: &mut [UserProfile],
+        jobs: &mut Vec<Job>,
+        rng: &mut StdRng,
+    ) {
+        let cfg = &self.config;
+        // Batch size: usually the user's characteristic size, sometimes a
+        // fresh geometric draw, with occasional bursts.
+        let mut size = if rng.gen::<f64>() < cfg.size_fidelity {
+            users[user_idx].pref_size
+        } else {
+            1 + sample_geometric(cfg.batch_size_p, rng)
+        };
+        if rng.gen::<f64>() < cfg.burst_prob {
+            size = (size * rng.gen_range(5..15)).min(200);
+        }
+
+        // Batch flavor anchor: the user's primary (usually) or a secondary.
+        let user = &users[user_idx];
+        let anchor = if rng.gen::<f64>() < cfg.user_flavor_focus || user.secondary.is_empty() {
+            user.primary
+        } else {
+            user.secondary[rng.gen_range(0..user.secondary.len())]
+        };
+
+        // Batch lifetime regime: persist the user's previous regime with
+        // probability `regime_persistence`, else draw from the flavor's
+        // regime mixture.
+        let regime = match users[user_idx].last_regime {
+            Some(r) if rng.gen::<f64>() < cfg.regime_persistence => r,
+            _ => {
+                let weights = cfg.regime_weights(anchor.0, self.catalog.get(anchor).vcpus);
+                sample_categorical(&weights, rng)
+            }
+        };
+        users[user_idx].last_regime = Some(regime);
+
+        // Batch anchor lifetime: VMs created together are usually deleted
+        // together, so most jobs repeat this exact duration — and users
+        // usually rerun workloads with their characteristic duration.
+        let scale = cfg.regimes.scales[regime];
+        let anchor_jitter = if rng.gen::<f64>() < cfg.anchor_fidelity {
+            users[user_idx].pref_jitter[regime]
+        } else {
+            (cfg.regimes.jitter_sigma * sample_standard_normal(rng)).exp()
+        };
+        let anchor_lifetime = quantize_lifetime(scale * anchor_jitter);
+
+        let mut prev_flavor = anchor;
+        for _ in 0..size {
+            // Flavor momentum within the batch.
+            let flavor = if rng.gen::<f64>() < cfg.within_batch_repeat {
+                prev_flavor
+            } else if rng.gen::<f64>() < 0.5 {
+                anchor
+            } else {
+                FlavorId(sample_categorical(&self.flavor_weights, rng) as u16)
+            };
+            prev_flavor = flavor;
+
+            let lifetime = if rng.gen::<f64>() < cfg.lifetime_repeat {
+                anchor_lifetime
+            } else {
+                let jitter = (cfg.regimes.jitter_sigma * sample_standard_normal(rng)).exp();
+                quantize_lifetime(scale * jitter)
+            };
+            jobs.push(Job {
+                start: t,
+                end: Some(t + lifetime),
+                flavor,
+                user: UserId(user_idx as u32),
+            });
+        }
+    }
+}
+
+/// Quantizes a lifetime in seconds to 5-minute periods (minimum one period,
+/// as in the Azure trace).
+fn quantize_lifetime(secs: f64) -> u64 {
+    ((secs / PERIOD_SECS as f64).round() as u64).max(1) * PERIOD_SECS
+}
+
+/// Standard normal sample via Box–Muller (avoids a `rand_distr` dependency).
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::batch::organize_periods;
+    use trace::stats::arrivals_per_period;
+    use trace::ObservationWindow;
+
+    fn small_world() -> CloudWorld {
+        CloudWorld::new(WorldConfig::azure_like(1.0), 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = small_world();
+        let a = w.generate(2);
+        let b = w.generate(2);
+        assert_eq!(a, b);
+        let c = CloudWorld::new(WorldConfig::azure_like(1.0), 8).generate(2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn produces_reasonable_volume() {
+        let t = small_world().generate(3);
+        // ~2 batches/period * ~2 jobs/batch * 288 periods/day * 3 days.
+        assert!(t.len() > 1000, "only {} jobs", t.len());
+        assert!(t.len() < 50_000, "{} jobs", t.len());
+    }
+
+    #[test]
+    fn jobs_are_sorted_and_quantized() {
+        let t = small_world().generate(2);
+        for j in &t.jobs {
+            assert_eq!(j.start % PERIOD_SECS, 0);
+            let e = j.end.expect("ground truth has ends");
+            assert_eq!(e % PERIOD_SECS, 0);
+            assert!(e > j.start);
+        }
+    }
+
+    #[test]
+    fn flavor_momentum_is_planted() {
+        // Consecutive jobs by the same user in the same period share flavors
+        // far more often than global flavor frequency would predict.
+        let t = small_world().generate(5);
+        let periods = organize_periods(&t);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for p in &periods {
+            for b in &p.batches {
+                for w in b.jobs.windows(2) {
+                    total += 1;
+                    if t.jobs[w[0]].flavor == t.jobs[w[1]].flavor {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 100, "not enough multi-job batches: {total}");
+        let rate = same as f64 / total as f64;
+        assert!(rate > 0.8, "within-batch repeat rate {rate}");
+    }
+
+    #[test]
+    fn lifetimes_are_correlated_within_batches() {
+        // Log-lifetime variance within batches must be far below global.
+        let t = small_world().generate(5);
+        let periods = organize_periods(&t);
+        let logs: Vec<f64> = t
+            .jobs
+            .iter()
+            .map(|j| ((j.end.unwrap() - j.start) as f64).ln())
+            .collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let global_var =
+            logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+
+        let mut within = 0.0;
+        let mut n = 0usize;
+        for p in &periods {
+            for b in p.batches.iter().filter(|b| b.len() >= 2) {
+                let ls: Vec<f64> = b.jobs.iter().map(|&i| logs[i]).collect();
+                let m = ls.iter().sum::<f64>() / ls.len() as f64;
+                within += ls.iter().map(|l| (l - m) * (l - m)).sum::<f64>();
+                n += ls.len();
+            }
+        }
+        let within_var = within / n as f64;
+        assert!(
+            within_var < global_var * 0.5,
+            "within {within_var} vs global {global_var}"
+        );
+    }
+
+    #[test]
+    fn seasonality_is_planted() {
+        let t = small_world().generate(7);
+        let arrivals = arrivals_per_period(&t, 7 * 288);
+        // Compare 2pm-hour arrivals to 2am-hour arrivals across weekdays.
+        let mut peak = 0.0;
+        let mut trough = 0.0;
+        for day in 0..7 {
+            for slot in 0..12 {
+                peak += arrivals[(day * 288 + 14 * 12 + slot) as usize];
+                trough += arrivals[(day * 288 + 2 * 12 + slot) as usize];
+            }
+        }
+        assert!(peak > trough * 1.3, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn huawei_preset_grows_then_levels() {
+        let w = CloudWorld::new(WorldConfig::huawei_like(2.0), 11);
+        let t = w.generate(70);
+        let arrivals = arrivals_per_period(&t, 70 * 288);
+        let week_sum = |start_day: u64| -> f64 {
+            arrivals[(start_day * 288) as usize..((start_day + 7) * 288) as usize]
+                .iter()
+                .sum()
+        };
+        let early = week_sum(0);
+        let mid = week_sum(40);
+        let late = week_sum(60);
+        assert!(mid > early * 1.2, "no growth: {early} -> {mid}");
+        // After level-off at day 55, growth stops (allow 15% noise).
+        assert!((late / mid) < 1.3, "still growing: {mid} -> {late}");
+    }
+
+    #[test]
+    fn censoring_after_window_application() {
+        let t = small_world().generate(10);
+        let w = ObservationWindow::new(0, 5 * 86_400);
+        let censored = w.apply(&t);
+        let frac = censored.censored_fraction();
+        // Some long-lived VMs must run past a 5-day window, but most VMs are
+        // short-lived.
+        assert!(frac > 0.005, "censored fraction {frac}");
+        assert!(frac < 0.5, "censored fraction {frac}");
+    }
+
+    #[test]
+    fn big_flavors_live_longer() {
+        let t = CloudWorld::new(WorldConfig::azure_like(2.0), 3).generate(7);
+        let mut small_sum = 0.0;
+        let mut small_n = 0.0;
+        let mut big_sum = 0.0;
+        let mut big_n = 0.0;
+        for j in &t.jobs {
+            let f = t.catalog.get(j.flavor);
+            let life = (j.end.unwrap() - j.start) as f64;
+            if f.vcpus <= 1.0 {
+                small_sum += life;
+                small_n += 1.0;
+            } else if f.vcpus >= 8.0 {
+                big_sum += life;
+                big_n += 1.0;
+            }
+        }
+        assert!(small_n > 50.0 && big_n > 50.0, "{small_n} vs {big_n}");
+        assert!(
+            big_sum / big_n > small_sum / small_n,
+            "big flavors should outlive small ones"
+        );
+    }
+}

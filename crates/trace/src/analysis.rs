@@ -1,0 +1,260 @@
+//! Trace analysis: summary statistics and trace-to-trace comparison.
+//!
+//! These are the quantities workload papers report when characterizing a
+//! trace (arrival rates, batch structure, lifetime quantiles, flavor
+//! concentration) plus simple divergences for judging whether a generated
+//! trace resembles a reference one.
+
+use crate::batch::{batch_size_histogram, organize_periods};
+use crate::job::Trace;
+use crate::stats::flavor_histogram;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total jobs.
+    pub jobs: usize,
+    /// Total batches.
+    pub batches: usize,
+    /// Periods containing at least one arrival.
+    pub active_periods: usize,
+    /// Mean jobs per active period.
+    pub jobs_per_active_period: f64,
+    /// Mean batch size.
+    pub mean_batch_size: f64,
+    /// Largest batch.
+    pub max_batch_size: usize,
+    /// Fraction of censored jobs.
+    pub censored_fraction: f64,
+    /// Observed-lifetime quantiles in seconds `(p25, p50, p90, p99)`,
+    /// censored durations included at their censoring time.
+    pub lifetime_quantiles: (f64, f64, f64, f64),
+    /// Shannon entropy of the flavor distribution, in bits.
+    pub flavor_entropy_bits: f64,
+    /// Fraction of requests going to the single most popular flavor.
+    pub top_flavor_share: f64,
+}
+
+/// Computes a [`TraceSummary`]; `censor_time` is the observation horizon
+/// used for censored jobs' durations.
+pub fn summarize(trace: &Trace, censor_time: u64) -> TraceSummary {
+    let periods = organize_periods(trace);
+    let batches: usize = periods.iter().map(|p| p.batches.len()).sum();
+    let sizes = batch_size_histogram(&periods);
+    let max_batch_size = sizes.len();
+    let total_batch_jobs: u64 =
+        sizes.iter().zip(1u64..).map(|(&c, s)| c * s).sum();
+
+    let mut durations: Vec<f64> = trace
+        .jobs
+        .iter()
+        .map(|j| j.observed_duration(censor_time) as f64)
+        .collect();
+    durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| -> f64 {
+        if durations.is_empty() {
+            0.0
+        } else {
+            durations[((durations.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+
+    let hist = flavor_histogram(trace);
+    let total: u64 = hist.iter().sum();
+    let mut entropy = 0.0;
+    let mut top = 0u64;
+    for &c in &hist {
+        top = top.max(c);
+        if c > 0 && total > 0 {
+            let p = c as f64 / total as f64;
+            entropy -= p * p.log2();
+        }
+    }
+
+    TraceSummary {
+        jobs: trace.len(),
+        batches,
+        active_periods: periods.len(),
+        jobs_per_active_period: trace.len() as f64 / periods.len().max(1) as f64,
+        mean_batch_size: total_batch_jobs as f64 / batches.max(1) as f64,
+        max_batch_size,
+        censored_fraction: trace.censored_fraction(),
+        lifetime_quantiles: (q(0.25), q(0.5), q(0.9), q(0.99)),
+        flavor_entropy_bits: entropy,
+        top_flavor_share: if total == 0 { 0.0 } else { top as f64 / total as f64 },
+    }
+}
+
+/// Divergences between a generated trace and a reference trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceDivergence {
+    /// L1 distance between normalized flavor histograms (0 = identical,
+    /// 2 = disjoint).
+    pub flavor_l1: f64,
+    /// L1 distance between normalized batch-size histograms.
+    pub batch_size_l1: f64,
+    /// Relative difference in arrival volume per period.
+    pub volume_rel_err: f64,
+}
+
+/// Compares a candidate trace against a reference over the same horizon (in
+/// periods).
+pub fn compare(reference: &Trace, candidate: &Trace, n_periods: u64) -> TraceDivergence {
+    let flavor_l1 = normalized_l1(
+        &flavor_histogram(reference),
+        &flavor_histogram(candidate),
+    );
+    let ref_sizes = batch_size_histogram(&organize_periods(reference));
+    let cand_sizes = batch_size_histogram(&organize_periods(candidate));
+    let batch_size_l1 = normalized_l1(&ref_sizes, &cand_sizes);
+    let ref_vol = reference.len() as f64 / n_periods.max(1) as f64;
+    let cand_vol = candidate.len() as f64 / n_periods.max(1) as f64;
+    let volume_rel_err = if ref_vol == 0.0 {
+        0.0
+    } else {
+        (cand_vol - ref_vol).abs() / ref_vol
+    };
+    TraceDivergence {
+        flavor_l1,
+        batch_size_l1,
+        volume_rel_err,
+    }
+}
+
+/// L1 distance between two count vectors after normalizing each to sum 1
+/// (shorter vectors are zero-padded).
+fn normalized_l1(a: &[u64], b: &[u64]) -> f64 {
+    let sa: u64 = a.iter().sum();
+    let sb: u64 = b.iter().sum();
+    if sa == 0 || sb == 0 {
+        return if sa == sb { 0.0 } else { 2.0 };
+    }
+    let n = a.len().max(b.len());
+    (0..n)
+        .map(|i| {
+            let pa = a.get(i).copied().unwrap_or(0) as f64 / sa as f64;
+            let pb = b.get(i).copied().unwrap_or(0) as f64 / sb as f64;
+            (pa - pb).abs()
+        })
+        .sum()
+}
+
+/// Mean inter-arrival gap in seconds between consecutive jobs (0 for fewer
+/// than two jobs). Quantized traces measure this at period granularity.
+pub fn mean_interarrival_secs(trace: &Trace) -> f64 {
+    if trace.len() < 2 {
+        return 0.0;
+    }
+    let span = trace.jobs.last().expect("non-empty").start - trace.jobs[0].start;
+    span as f64 / (trace.len() - 1) as f64
+}
+
+/// Fraction of consecutive job pairs sharing a flavor — the raw momentum
+/// signal behind Figure 1.
+pub fn consecutive_flavor_repeat_rate(trace: &Trace) -> f64 {
+    if trace.len() < 2 {
+        return 0.0;
+    }
+    let same = trace
+        .jobs
+        .windows(2)
+        .filter(|w| w[0].flavor == w[1].flavor)
+        .count();
+    same as f64 / (trace.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorCatalog, FlavorId};
+    use crate::job::{Job, UserId};
+
+    fn mk_trace(entries: Vec<(u64, u16, u32, Option<u64>)>) -> Trace {
+        let jobs = entries
+            .into_iter()
+            .map(|(s, f, u, e)| Job {
+                start: s,
+                end: e,
+                flavor: FlavorId(f),
+                user: UserId(u),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn summary_of_simple_trace() {
+        // Period 0: user 0 batch of 2, user 1 batch of 1. Period 1: user 0.
+        let t = mk_trace(vec![
+            (0, 1, 0, Some(600)),
+            (0, 1, 0, Some(600)),
+            (10, 2, 1, Some(1200)),
+            (300, 1, 0, None),
+        ]);
+        let s = summarize(&t, 3600);
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.active_periods, 2);
+        assert_eq!(s.max_batch_size, 2);
+        assert!((s.mean_batch_size - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.censored_fraction - 0.25).abs() < 1e-12);
+        // Top flavor (1) has 3 of 4 requests.
+        assert!((s.top_flavor_share - 0.75).abs() < 1e-12);
+        assert!(s.flavor_entropy_bits > 0.0);
+    }
+
+    #[test]
+    fn lifetime_quantiles_ordered() {
+        let t = mk_trace(
+            (0..100)
+                .map(|i| (i * 300, 0u16, i as u32, Some(i * 300 + (i + 1) * 60)))
+                .collect(),
+        );
+        let s = summarize(&t, u64::MAX / 2);
+        let (q25, q50, q90, q99) = s.lifetime_quantiles;
+        assert!(q25 <= q50 && q50 <= q90 && q90 <= q99);
+        assert!(q25 > 0.0);
+    }
+
+    #[test]
+    fn identical_traces_have_zero_divergence() {
+        let t = mk_trace(vec![(0, 1, 0, Some(600)), (0, 1, 0, Some(600))]);
+        let d = compare(&t, &t.clone(), 10);
+        assert_eq!(d.flavor_l1, 0.0);
+        assert_eq!(d.batch_size_l1, 0.0);
+        assert_eq!(d.volume_rel_err, 0.0);
+    }
+
+    #[test]
+    fn disjoint_flavors_have_max_divergence() {
+        let a = mk_trace(vec![(0, 1, 0, None)]);
+        let b = mk_trace(vec![(0, 2, 0, None)]);
+        let d = compare(&a, &b, 1);
+        assert!((d.flavor_l1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_rate_detects_repeats() {
+        let high = mk_trace(vec![(0, 1, 0, None), (1, 1, 0, None), (2, 1, 0, None)]);
+        let low = mk_trace(vec![(0, 1, 0, None), (1, 2, 0, None), (2, 3, 0, None)]);
+        assert!(consecutive_flavor_repeat_rate(&high) > consecutive_flavor_repeat_rate(&low));
+        assert_eq!(consecutive_flavor_repeat_rate(&high), 1.0);
+    }
+
+    #[test]
+    fn interarrival_mean() {
+        let t = mk_trace(vec![(0, 0, 0, None), (300, 0, 0, None), (600, 0, 0, None)]);
+        assert!((mean_interarrival_secs(&t) - 300.0).abs() < 1e-12);
+        let single = mk_trace(vec![(0, 0, 0, None)]);
+        assert_eq!(mean_interarrival_secs(&single), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new(vec![], FlavorCatalog::azure16());
+        let s = summarize(&t, 100);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.batches, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Grouping jobs into per-user, per-period batches.
+//!
+//! The paper defines a *batch* as the set of jobs from the same user within
+//! the same 5-minute period (§2). Within a batch, jobs are ordered by
+//! arrival; batches within a period are ordered by the arrival of their
+//! first job. The batch is the unit the arrival model counts, and batch
+//! boundaries become EOB tokens in the sequence models.
+
+use crate::job::{Trace, UserId};
+use crate::period::period_of;
+use serde::{Deserialize, Serialize};
+
+/// One batch: a user's job submissions within one period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// The submitting user.
+    pub user: UserId,
+    /// Indices into the trace's job list, in arrival order.
+    pub jobs: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the batch holds no jobs (never produced by
+    /// [`organize_periods`]).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// All batches within one period.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodJobs {
+    /// Period index (timestamp / 300 s).
+    pub period: u64,
+    /// Batches in order of their first job's arrival.
+    pub batches: Vec<Batch>,
+}
+
+impl PeriodJobs {
+    /// Total jobs across all batches.
+    pub fn job_count(&self) -> usize {
+        self.batches.iter().map(Batch::len).sum()
+    }
+}
+
+/// Organizes a trace into periods of batches.
+///
+/// Only periods containing at least one arrival are returned (in ascending
+/// period order). Within a period, a user's jobs form one batch even if
+/// interleaved with other users' arrivals; job order within the batch and
+/// batch order within the period both follow arrival order, matching the
+/// paper's training-data organization.
+pub fn organize_periods(trace: &Trace) -> Vec<PeriodJobs> {
+    let mut result: Vec<PeriodJobs> = Vec::new();
+    for (idx, job) in trace.jobs.iter().enumerate() {
+        let p = period_of(job.start);
+        if result.last().map_or(true, |last| last.period != p) {
+            result.push(PeriodJobs {
+                period: p,
+                batches: Vec::new(),
+            });
+        }
+        let period = result.last_mut().expect("just pushed");
+        match period.batches.iter_mut().find(|b| b.user == job.user) {
+            Some(batch) => batch.jobs.push(idx),
+            None => period.batches.push(Batch {
+                user: job.user,
+                jobs: vec![idx],
+            }),
+        }
+    }
+    result
+}
+
+/// Number of batches per period over a dense period range `[0, n_periods)`.
+///
+/// Periods with no arrivals get 0. Useful as the regression target for the
+/// batch-arrival model.
+pub fn batch_counts(periods: &[PeriodJobs], n_periods: u64) -> Vec<f64> {
+    let mut counts = vec![0.0; n_periods as usize];
+    for p in periods {
+        if p.period < n_periods {
+            counts[p.period as usize] = p.batches.len() as f64;
+        }
+    }
+    counts
+}
+
+/// Number of individual job arrivals per period over `[0, n_periods)`.
+pub fn job_counts(periods: &[PeriodJobs], n_periods: u64) -> Vec<f64> {
+    let mut counts = vec![0.0; n_periods as usize];
+    for p in periods {
+        if p.period < n_periods {
+            counts[p.period as usize] = p.job_count() as f64;
+        }
+    }
+    counts
+}
+
+/// The empirical distribution of batch sizes (used by the SimpleBatch
+/// baseline). Index `i` holds the count of batches of size `i + 1`.
+pub fn batch_size_histogram(periods: &[PeriodJobs]) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for p in periods {
+        for b in &p.batches {
+            let size = b.len();
+            if hist.len() < size {
+                hist.resize(size, 0);
+            }
+            hist[size - 1] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorCatalog, FlavorId};
+    use crate::job::Job;
+
+    fn mk_trace(entries: Vec<(u64, u32)>) -> Trace {
+        let jobs = entries
+            .into_iter()
+            .map(|(s, u)| Job {
+                start: s,
+                end: None,
+                flavor: FlavorId(0),
+                user: UserId(u),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn groups_by_user_within_period() {
+        // Period 0: user 1 (x2 interleaved), user 2. Period 2: user 1.
+        let t = mk_trace(vec![(0, 1), (10, 2), (20, 1), (700, 1)]);
+        let periods = organize_periods(&t);
+        assert_eq!(periods.len(), 2);
+        assert_eq!(periods[0].period, 0);
+        assert_eq!(periods[0].batches.len(), 2);
+        // Batch order: user 1 first (arrived first), with jobs 0 and 2.
+        assert_eq!(periods[0].batches[0].user, UserId(1));
+        assert_eq!(periods[0].batches[0].jobs, vec![0, 2]);
+        assert_eq!(periods[0].batches[1].user, UserId(2));
+        assert_eq!(periods[1].period, 2);
+        assert_eq!(periods[1].batches[0].jobs, vec![3]);
+    }
+
+    #[test]
+    fn same_user_in_different_periods_is_different_batches() {
+        let t = mk_trace(vec![(0, 1), (300, 1)]);
+        let periods = organize_periods(&t);
+        assert_eq!(periods.len(), 2);
+        assert_eq!(periods[0].batches.len(), 1);
+        assert_eq!(periods[1].batches.len(), 1);
+    }
+
+    #[test]
+    fn counts_are_dense() {
+        let t = mk_trace(vec![(0, 1), (10, 2), (700, 1)]);
+        let periods = organize_periods(&t);
+        assert_eq!(batch_counts(&periods, 4), vec![2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(job_counts(&periods, 4), vec![2.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn histogram_of_batch_sizes() {
+        let t = mk_trace(vec![(0, 1), (1, 1), (2, 1), (3, 2), (300, 3), (301, 3)]);
+        let periods = organize_periods(&t);
+        // Sizes: 3 (user 1), 1 (user 2), 2 (user 3).
+        assert_eq!(batch_size_histogram(&periods), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_trace_gives_no_periods() {
+        let t = Trace::new(vec![], FlavorCatalog::azure16());
+        assert!(organize_periods(&t).is_empty());
+    }
+
+    #[test]
+    fn job_count_sums_batches() {
+        let t = mk_trace(vec![(0, 1), (1, 2), (2, 1)]);
+        let periods = organize_periods(&t);
+        assert_eq!(periods[0].job_count(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! VM flavors: the discrete resource bundles requests are drawn from.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a flavor within a [`FlavorCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlavorId(pub u16);
+
+/// A VM flavor: a named CPU/memory bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flavor {
+    /// Human-readable name, e.g. `"c4m16"`.
+    pub name: String,
+    /// Virtual CPU count.
+    pub vcpus: f64,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+}
+
+/// An ordered catalog of flavors; `FlavorId(i)` indexes into it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlavorCatalog {
+    flavors: Vec<Flavor>,
+}
+
+impl FlavorCatalog {
+    /// Creates a catalog from a flavor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flavors` is empty or longer than `u16::MAX`.
+    pub fn new(flavors: Vec<Flavor>) -> Self {
+        assert!(!flavors.is_empty(), "empty catalog");
+        assert!(flavors.len() <= u16::MAX as usize, "too many flavors");
+        Self { flavors }
+    }
+
+    /// An Azure-like catalog: 16 CPU/memory combinations (the Azure public
+    /// trace has 16 distinct flavors).
+    ///
+    /// vCPUs in {1, 2, 4, 8} crossed with memory-per-core ratios in
+    /// {0.75, 1.75, 3.5, 7} GiB.
+    pub fn azure16() -> Self {
+        let mut flavors = Vec::with_capacity(16);
+        for &vcpus in &[1.0, 2.0, 4.0, 8.0] {
+            for &per_core in &[0.75, 1.75, 3.5, 7.0] {
+                let memory_gb = vcpus * per_core;
+                flavors.push(Flavor {
+                    name: format!("c{}m{}", vcpus as u32, memory_gb),
+                    vcpus,
+                    memory_gb,
+                });
+            }
+        }
+        Self::new(flavors)
+    }
+
+    /// A large synthetic catalog with `n` flavors (the Huawei Cloud data has
+    /// 259), spanning vCPU counts, several memory ratios, and hardware
+    /// generations (generations reuse shapes with distinct identities, as
+    /// multiple server generations do in real clouds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u16::MAX`.
+    pub fn synthetic(n: usize) -> Self {
+        assert!(n > 0, "need at least one flavor");
+        let vcpu_options = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let ratio_options = [1.0, 2.0, 4.0, 8.0];
+        let mut flavors = Vec::with_capacity(n);
+        let mut gen = 1usize;
+        'outer: loop {
+            for &vcpus in &vcpu_options {
+                for &ratio in &ratio_options {
+                    if flavors.len() >= n {
+                        break 'outer;
+                    }
+                    let memory_gb = vcpus * ratio;
+                    flavors.push(Flavor {
+                        name: format!("g{gen}c{}m{}", vcpus as u32, memory_gb as u32),
+                        vcpus,
+                        memory_gb,
+                    });
+                }
+            }
+            gen += 1;
+        }
+        Self::new(flavors)
+    }
+
+    /// Number of flavors.
+    pub fn len(&self) -> usize {
+        self.flavors.len()
+    }
+
+    /// Always false (catalogs are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a flavor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: FlavorId) -> &Flavor {
+        &self.flavors[id.0 as usize]
+    }
+
+    /// Iterates over `(FlavorId, &Flavor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FlavorId, &Flavor)> {
+        self.flavors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FlavorId(i as u16), f))
+    }
+
+    /// All valid flavor ids.
+    pub fn ids(&self) -> impl Iterator<Item = FlavorId> {
+        (0..self.flavors.len() as u16).map(FlavorId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azure16_has_16_distinct_flavors() {
+        let c = FlavorCatalog::azure16();
+        assert_eq!(c.len(), 16);
+        let mut names: Vec<&str> = c.iter().map(|(_, f)| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn synthetic_hits_exact_count() {
+        for n in [1, 28, 259, 300] {
+            let c = FlavorCatalog::synthetic(n);
+            assert_eq!(c.len(), n);
+        }
+    }
+
+    #[test]
+    fn synthetic_generations_have_unique_names() {
+        let c = FlavorCatalog::synthetic(259);
+        let mut names: Vec<&str> = c.iter().map(|(_, f)| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 259);
+    }
+
+    #[test]
+    fn get_and_ids_round_trip() {
+        let c = FlavorCatalog::azure16();
+        for id in c.ids() {
+            let f = c.get(id);
+            assert!(f.vcpus > 0.0 && f.memory_gb > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty catalog")]
+    fn empty_catalog_panics() {
+        let _ = FlavorCatalog::new(vec![]);
+    }
+}

@@ -1,0 +1,187 @@
+//! CSV-style serialization of traces.
+//!
+//! Format (one job per line, header included):
+//!
+//! ```text
+//! start,end,flavor,user
+//! 300,900,3,17
+//! 300,,5,17
+//! ```
+//!
+//! An empty `end` field marks a censored job. Flavor catalogs are stored
+//! separately (JSON via serde) since many traces share one catalog.
+
+use crate::flavor::{FlavorCatalog, FlavorId};
+use crate::job::{Job, Trace, UserId};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error raised while parsing a trace CSV.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse (line {line}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace's jobs as CSV.
+pub fn write_csv(trace: &Trace, w: &mut impl Write) -> Result<(), TraceIoError> {
+    writeln!(w, "start,end,flavor,user")?;
+    for j in &trace.jobs {
+        match j.end {
+            Some(e) => writeln!(w, "{},{},{},{}", j.start, e, j.flavor.0, j.user.0)?,
+            None => writeln!(w, "{},,{},{}", j.start, j.flavor.0, j.user.0)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads jobs from CSV and attaches the given catalog.
+pub fn read_csv(r: impl Read, catalog: FlavorCatalog) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut jobs = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line.trim() != "start,end,flavor,user" {
+                return Err(TraceIoError::Parse {
+                    line: lineno,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(TraceIoError::Parse {
+                line: lineno,
+                message: format!("expected 4 fields, got {}", parts.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, TraceIoError> {
+            s.trim().parse().map_err(|e| TraceIoError::Parse {
+                line: lineno,
+                message: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let start = parse_u64(parts[0], "start")?;
+        let end = if parts[1].trim().is_empty() {
+            None
+        } else {
+            Some(parse_u64(parts[1], "end")?)
+        };
+        let flavor = parse_u64(parts[2], "flavor")? as u16;
+        if (flavor as usize) >= catalog.len() {
+            return Err(TraceIoError::Parse {
+                line: lineno,
+                message: format!("flavor {flavor} out of range ({} flavors)", catalog.len()),
+            });
+        }
+        let user = parse_u64(parts[3], "user")? as u32;
+        jobs.push(Job {
+            start,
+            end,
+            flavor: FlavorId(flavor),
+            user: UserId(user),
+        });
+    }
+    Ok(Trace::new(jobs, catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let jobs = vec![
+            Job {
+                start: 0,
+                end: Some(600),
+                flavor: FlavorId(1),
+                user: UserId(4),
+            },
+            Job {
+                start: 300,
+                end: None,
+                flavor: FlavorId(0),
+                user: UserId(9),
+            },
+        ];
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let t2 = read_csv(buf.as_slice(), t.catalog.clone()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn censored_end_is_empty_field() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("300,,0,9"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv("nope\n".as_bytes(), FlavorCatalog::azure16()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_field_count() {
+        let data = "start,end,flavor,user\n1,2,3\n";
+        let err = read_csv(data.as_bytes(), FlavorCatalog::azure16()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_flavor() {
+        let data = "start,end,flavor,user\n1,2,99,0\n";
+        let err = read_csv(data.as_bytes(), FlavorCatalog::azure16()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("flavor 99 out of range"), "{msg}");
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = "start,end,flavor,user\n1,2,0,0\n\n";
+        let t = read_csv(data.as_bytes(), FlavorCatalog::azure16()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

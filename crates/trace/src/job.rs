@@ -1,0 +1,177 @@
+//! Job records and whole traces.
+
+use crate::flavor::{FlavorCatalog, FlavorId};
+use serde::{Deserialize, Serialize};
+
+/// Anonymized user identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// One job (VM) record in a trace.
+///
+/// Timestamps are seconds since the trace epoch, quantized to 5-minute
+/// periods. `end` is `None` for jobs still running at collection time
+/// (right-censored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Start timestamp (seconds since trace epoch).
+    pub start: u64,
+    /// End timestamp, or `None` if right-censored.
+    pub end: Option<u64>,
+    /// Requested flavor.
+    pub flavor: FlavorId,
+    /// Submitting user.
+    pub user: UserId,
+}
+
+impl Job {
+    /// Observed duration: time from start to end, or to `censor_time` for a
+    /// censored job.
+    ///
+    /// Returns 0 if the reference time precedes the start.
+    pub fn observed_duration(&self, censor_time: u64) -> u64 {
+        let end = self.end.unwrap_or(censor_time);
+        end.saturating_sub(self.start)
+    }
+
+    /// True if the job has no recorded end.
+    pub fn is_censored(&self) -> bool {
+        self.end.is_none()
+    }
+
+    /// True if the job is running at time `t` (started, not yet ended).
+    pub fn active_at(&self, t: u64) -> bool {
+        self.start <= t && self.end.map_or(true, |e| e > t)
+    }
+}
+
+/// A workload trace: an ordered list of jobs plus the flavor catalog.
+///
+/// Job order is meaningful: within a 5-minute period it reflects the actual
+/// arrival order (as in the Azure V1 `vmtable.csv`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Jobs in arrival order.
+    pub jobs: Vec<Job>,
+    /// The flavor catalog jobs reference.
+    pub catalog: FlavorCatalog,
+}
+
+impl Trace {
+    /// Creates a trace, validating that jobs are sorted by start time and
+    /// reference valid flavors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs are out of order, any end precedes its start, or a
+    /// flavor id is out of range.
+    pub fn new(jobs: Vec<Job>, catalog: FlavorCatalog) -> Self {
+        for w in jobs.windows(2) {
+            assert!(w[0].start <= w[1].start, "jobs not sorted by start time");
+        }
+        for (i, j) in jobs.iter().enumerate() {
+            assert!(
+                (j.flavor.0 as usize) < catalog.len(),
+                "job {i} has invalid flavor"
+            );
+            if let Some(e) = j.end {
+                assert!(e >= j.start, "job {i} ends before it starts");
+            }
+        }
+        Self { jobs, catalog }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Timestamp of the last job start (0 for an empty trace).
+    pub fn last_start(&self) -> u64 {
+        self.jobs.last().map_or(0, |j| j.start)
+    }
+
+    /// Fraction of jobs that are censored.
+    pub fn censored_fraction(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().filter(|j| j.is_censored()).count() as f64 / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> FlavorCatalog {
+        FlavorCatalog::azure16()
+    }
+
+    fn job(start: u64, end: Option<u64>) -> Job {
+        Job {
+            start,
+            end,
+            flavor: FlavorId(0),
+            user: UserId(1),
+        }
+    }
+
+    #[test]
+    fn observed_duration_event_and_censored() {
+        let done = job(300, Some(900));
+        assert_eq!(done.observed_duration(10_000), 600);
+        let running = job(300, None);
+        assert_eq!(running.observed_duration(1500), 1200);
+        assert!(!done.is_censored());
+        assert!(running.is_censored());
+    }
+
+    #[test]
+    fn active_at_boundaries() {
+        let j = job(300, Some(900));
+        assert!(!j.active_at(299));
+        assert!(j.active_at(300));
+        assert!(j.active_at(899));
+        assert!(!j.active_at(900));
+        let censored = job(300, None);
+        assert!(censored.active_at(1_000_000));
+    }
+
+    #[test]
+    fn trace_validates_order() {
+        let t = Trace::new(vec![job(0, Some(300)), job(300, None)], catalog());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last_start(), 300);
+        assert!((t.censored_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn trace_rejects_unsorted() {
+        let _ = Trace::new(vec![job(600, None), job(300, None)], catalog());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn trace_rejects_negative_duration() {
+        let _ = Trace::new(vec![job(600, Some(300))], catalog());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flavor")]
+    fn trace_rejects_bad_flavor() {
+        let bad = Job {
+            start: 0,
+            end: None,
+            flavor: FlavorId(999),
+            user: UserId(0),
+        };
+        let _ = Trace::new(vec![bad], catalog());
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload-trace data model for the `cloudgen` workspace.
+//!
+//! Mirrors the structure of the Azure/Huawei VM traces the paper trains on
+//! (§2, §3): a trace is a list of jobs, each with a start time, an optional
+//! end time (absent for jobs still running when the trace was collected), a
+//! requested flavor, and an anonymized user id. Time is in seconds and job
+//! timestamps are quantized to 5-minute periods.
+//!
+//! - [`Flavor`] / [`FlavorCatalog`]: the discrete resource bundles VMs are
+//!   drawn from.
+//! - [`Job`] / [`Trace`]: the raw demand records.
+//! - [`period`]: 5-minute periods and the temporal features (hour-of-day,
+//!   day-of-week, day-of-history) used by every model stage.
+//! - [`window`]: observation windows and the left/right censoring rules of
+//!   §3 (drop jobs running at window start; right-censor at window end).
+//! - [`batch`]: grouping of jobs into per-user, per-period batches — the unit
+//!   the arrival model counts and the sequence models iterate over.
+//! - [`stats`]: trace statistics used by evaluation (arrival counts, active
+//!   CPU time series, flavor histograms, batch-size distributions).
+//! - [`io`]: a simple CSV serialization of traces.
+
+pub mod analysis;
+pub mod batch;
+pub mod flavor;
+pub mod io;
+pub mod job;
+pub mod period;
+pub mod stats;
+pub mod window;
+
+pub use analysis::{compare, summarize, TraceDivergence, TraceSummary};
+pub use batch::{organize_periods, Batch, PeriodJobs};
+pub use flavor::{Flavor, FlavorCatalog, FlavorId};
+pub use job::{Job, Trace, UserId};
+pub use period::{TemporalFeaturesSpec, TemporalInfo, PERIOD_SECS};
+pub use window::ObservationWindow;

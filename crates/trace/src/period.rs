@@ -1,0 +1,220 @@
+//! Five-minute periods and temporal features.
+//!
+//! All three model stages condition on coarse temporal information about the
+//! period being generated (§2.1.2): hour-of-day and day-of-week (one-hot
+//! encoded) plus day-of-history (survival-encoded). This module computes
+//! those features and packs them into feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per generation period (5 minutes).
+pub const PERIOD_SECS: u64 = 300;
+
+/// Seconds per day.
+pub const DAY_SECS: u64 = 86_400;
+
+/// Periods per day.
+pub const PERIODS_PER_DAY: u64 = DAY_SECS / PERIOD_SECS;
+
+/// Index of the period containing timestamp `t`.
+pub fn period_of(t: u64) -> u64 {
+    t / PERIOD_SECS
+}
+
+/// Start timestamp of period `p`.
+pub fn period_start(p: u64) -> u64 {
+    p * PERIOD_SECS
+}
+
+/// Temporal information about one period.
+///
+/// The epoch (timestamp 0) is treated as hour 0 of day-of-week 0 of
+/// day-of-history 0; the Azure trace does not publish its real-world
+/// offset, and the paper notes the mapping offset is arbitrary for modeling
+/// seasonality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalInfo {
+    /// Hour of day, `0..24`.
+    pub hour_of_day: u8,
+    /// Day of week, `0..7`.
+    pub day_of_week: u8,
+    /// Day since the start of the trace history, `0..`.
+    pub day_of_history: u32,
+}
+
+impl TemporalInfo {
+    /// Computes temporal info for period index `p`.
+    pub fn of_period(p: u64) -> Self {
+        let t = period_start(p);
+        let day = t / DAY_SECS;
+        Self {
+            hour_of_day: ((t % DAY_SECS) / 3600) as u8,
+            day_of_week: (day % 7) as u8,
+            day_of_history: day as u32,
+        }
+    }
+}
+
+/// Specification for encoding [`TemporalInfo`] into a feature vector.
+///
+/// Layout: 24 one-hot hour-of-day features, 7 one-hot day-of-week features,
+/// then `history_days` survival-encoded day-of-history features (element `d`
+/// is 1 iff `day_of_history >= d`). The survival encoding lets a linear
+/// model express arbitrary piecewise-constant trends and change-points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalFeaturesSpec {
+    /// Number of day-of-history features (the training history length).
+    pub history_days: usize,
+    /// Whether to include the day-of-history block at all.
+    pub use_doh: bool,
+}
+
+impl TemporalFeaturesSpec {
+    /// A spec covering `history_days` days with DOH features enabled.
+    pub fn new(history_days: usize) -> Self {
+        Self {
+            history_days,
+            use_doh: true,
+        }
+    }
+
+    /// A spec with day-of-history features disabled (the ablation in §6.1).
+    pub fn without_doh() -> Self {
+        Self {
+            history_days: 0,
+            use_doh: false,
+        }
+    }
+
+    /// Total feature dimension.
+    pub fn dim(&self) -> usize {
+        24 + 7 + if self.use_doh { self.history_days } else { 0 }
+    }
+
+    /// Encodes temporal info into `out[offset..offset + dim()]`.
+    ///
+    /// `doh_override` substitutes the encoded day-of-history (used when
+    /// sampling DOH days at generation time, §2.1.2). Days beyond
+    /// `history_days - 1` are clamped to the last day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is too short.
+    pub fn encode_into(&self, info: TemporalInfo, doh_override: Option<u32>, out: &mut [f64]) {
+        let dim = self.dim();
+        assert!(
+            out.len() >= dim,
+            "feature slice too short: {} < {dim}",
+            out.len()
+        );
+        out[..dim].iter_mut().for_each(|x| *x = 0.0);
+        out[info.hour_of_day as usize % 24] = 1.0;
+        out[24 + info.day_of_week as usize % 7] = 1.0;
+        if self.use_doh && self.history_days > 0 {
+            let day = doh_override.unwrap_or(info.day_of_history) as usize;
+            let day = day.min(self.history_days - 1);
+            for d in 0..=day {
+                out[31 + d] = 1.0;
+            }
+        }
+    }
+
+    /// Convenience: encodes into a fresh vector.
+    pub fn encode(&self, info: TemporalInfo, doh_override: Option<u32>) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim()];
+        self.encode_into(info, doh_override, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_math() {
+        assert_eq!(period_of(0), 0);
+        assert_eq!(period_of(299), 0);
+        assert_eq!(period_of(300), 1);
+        assert_eq!(period_start(2), 600);
+        assert_eq!(PERIODS_PER_DAY, 288);
+    }
+
+    #[test]
+    fn temporal_info_rolls_over() {
+        let p0 = TemporalInfo::of_period(0);
+        assert_eq!(
+            (p0.hour_of_day, p0.day_of_week, p0.day_of_history),
+            (0, 0, 0)
+        );
+        // 25 hours in: hour 1 of day 1.
+        let p = TemporalInfo::of_period(25 * 12);
+        assert_eq!((p.hour_of_day, p.day_of_week, p.day_of_history), (1, 1, 1));
+        // Day 7 wraps the week.
+        let p = TemporalInfo::of_period(7 * PERIODS_PER_DAY);
+        assert_eq!(p.day_of_week, 0);
+        assert_eq!(p.day_of_history, 7);
+    }
+
+    #[test]
+    fn encoding_layout() {
+        let spec = TemporalFeaturesSpec::new(5);
+        assert_eq!(spec.dim(), 24 + 7 + 5);
+        let info = TemporalInfo {
+            hour_of_day: 3,
+            day_of_week: 2,
+            day_of_history: 2,
+        };
+        let v = spec.encode(info, None);
+        assert_eq!(v[3], 1.0);
+        assert_eq!(v.iter().take(24).sum::<f64>(), 1.0);
+        assert_eq!(v[24 + 2], 1.0);
+        assert_eq!(v[24..31].iter().sum::<f64>(), 1.0);
+        // Survival encoding: days 0, 1, 2 set.
+        assert_eq!(&v[31..36], &[1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn doh_override_and_clamp() {
+        let spec = TemporalFeaturesSpec::new(3);
+        let info = TemporalInfo {
+            hour_of_day: 0,
+            day_of_week: 0,
+            day_of_history: 0,
+        };
+        let v = spec.encode(info, Some(1));
+        assert_eq!(&v[31..34], &[1.0, 1.0, 0.0]);
+        // Beyond history clamps to the last day.
+        let v = spec.encode(info, Some(99));
+        assert_eq!(&v[31..34], &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn without_doh_has_no_history_block() {
+        let spec = TemporalFeaturesSpec::without_doh();
+        assert_eq!(spec.dim(), 31);
+        let info = TemporalInfo {
+            hour_of_day: 23,
+            day_of_week: 6,
+            day_of_history: 100,
+        };
+        let v = spec.encode(info, None);
+        assert_eq!(v.len(), 31);
+        assert_eq!(v[23], 1.0);
+        assert_eq!(v[30], 1.0);
+    }
+
+    #[test]
+    fn encode_into_clears_previous_content() {
+        let spec = TemporalFeaturesSpec::new(2);
+        let mut buf = vec![9.0; spec.dim() + 3];
+        let info = TemporalInfo {
+            hour_of_day: 0,
+            day_of_week: 0,
+            day_of_history: 0,
+        };
+        spec.encode_into(info, None, &mut buf);
+        assert_eq!(buf[1], 0.0); // cleared
+        assert_eq!(buf[spec.dim()], 9.0); // beyond dim untouched
+    }
+}

@@ -1,0 +1,151 @@
+//! Trace statistics used by evaluation and the use-case experiments.
+
+use crate::job::Trace;
+use crate::period::{period_of, PERIOD_SECS};
+
+/// Total requested CPUs active at the start of each period in
+/// `[0, n_periods)`.
+///
+/// A job contributes its flavor's vCPUs to every period whose start time
+/// falls within `[job.start, job.end)`; censored jobs contribute until the
+/// end of the range. Implemented as a difference array, so cost is
+/// `O(jobs + periods)`.
+pub fn active_cpus_per_period(trace: &Trace, n_periods: u64) -> Vec<f64> {
+    let mut diff = vec![0.0; n_periods as usize + 1];
+    for job in &trace.jobs {
+        let vcpus = trace.catalog.get(job.flavor).vcpus;
+        // First period whose start is >= job.start.
+        let p_start = job.start.div_ceil(PERIOD_SECS).min(n_periods);
+        let p_end = match job.end {
+            // First period whose start is >= job.end (job inactive there).
+            Some(e) => e.div_ceil(PERIOD_SECS).min(n_periods),
+            None => n_periods,
+        };
+        if p_start < p_end {
+            diff[p_start as usize] += vcpus;
+            diff[p_end as usize] -= vcpus;
+        }
+    }
+    let mut out = Vec::with_capacity(n_periods as usize);
+    let mut acc = 0.0;
+    for d in diff.iter().take(n_periods as usize) {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+/// Histogram of flavor usage: `counts[f]` is the number of jobs requesting
+/// flavor `f`.
+pub fn flavor_histogram(trace: &Trace) -> Vec<u64> {
+    let mut counts = vec![0u64; trace.catalog.len()];
+    for job in &trace.jobs {
+        counts[job.flavor.0 as usize] += 1;
+    }
+    counts
+}
+
+/// Job arrivals per period over `[0, n_periods)`.
+pub fn arrivals_per_period(trace: &Trace, n_periods: u64) -> Vec<f64> {
+    let mut counts = vec![0.0; n_periods as usize];
+    for job in &trace.jobs {
+        let p = period_of(job.start);
+        if p < n_periods {
+            counts[p as usize] += 1.0;
+        }
+    }
+    counts
+}
+
+/// Total core-hours consumed within `[0, horizon)` seconds.
+///
+/// Censored jobs are counted up to the horizon.
+pub fn total_core_hours(trace: &Trace, horizon: u64) -> f64 {
+    let mut total = 0.0;
+    for job in &trace.jobs {
+        let start = job.start.min(horizon);
+        let end = job.end.unwrap_or(horizon).min(horizon);
+        if end > start {
+            total += trace.catalog.get(job.flavor).vcpus * (end - start) as f64 / 3600.0;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorCatalog, FlavorId};
+    use crate::job::{Job, UserId};
+
+    fn catalog() -> FlavorCatalog {
+        FlavorCatalog::azure16() // flavor 0 has 1 vCPU
+    }
+
+    fn job(start: u64, end: Option<u64>, flavor: u16) -> Job {
+        Job {
+            start,
+            end,
+            flavor: FlavorId(flavor),
+            user: UserId(0),
+        }
+    }
+
+    #[test]
+    fn active_cpus_simple() {
+        // Flavor 0 = 1 vCPU. One job active periods 1..3 ([300, 900)).
+        let t = Trace::new(vec![job(300, Some(900), 0)], catalog());
+        assert_eq!(active_cpus_per_period(&t, 4), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn active_cpus_censored_runs_forever() {
+        let t = Trace::new(vec![job(0, None, 0)], catalog());
+        assert_eq!(active_cpus_per_period(&t, 3), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn active_cpus_mid_period_start_counts_next_period() {
+        // Starts at 100 (inside period 0 but after its start snapshot at 0).
+        let t = Trace::new(vec![job(100, None, 0)], catalog());
+        assert_eq!(active_cpus_per_period(&t, 2), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn active_cpus_overlapping_jobs_sum() {
+        let t = Trace::new(
+            vec![job(0, Some(600), 0), job(300, Some(900), 0)],
+            catalog(),
+        );
+        assert_eq!(active_cpus_per_period(&t, 3), vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn flavor_histogram_counts() {
+        let t = Trace::new(
+            vec![job(0, None, 0), job(1, None, 3), job(2, None, 3)],
+            catalog(),
+        );
+        let h = flavor_histogram(&t);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[3], 2);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn arrivals_per_period_counts() {
+        let t = Trace::new(
+            vec![job(0, None, 0), job(10, None, 0), job(310, None, 0)],
+            catalog(),
+        );
+        assert_eq!(arrivals_per_period(&t, 3), vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn core_hours_accounts_horizon() {
+        // 1 vCPU for 7200 s = 2 core-hours; censored counted to horizon.
+        let t = Trace::new(vec![job(0, Some(7200), 0), job(0, None, 0)], catalog());
+        let ch = total_core_hours(&t, 7200);
+        assert!((ch - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Observation windows and censoring.
+//!
+//! Following §3 of the paper: each experimental window (train / dev / test)
+//! is treated as a distinct observation window. Jobs already running at the
+//! window start are discarded (avoiding survivorship bias); jobs still
+//! running at the window end are right-censored there. Optionally the
+//! censoring point can extend past the window end (the Huawei test window is
+//! censored two months after its end).
+
+use crate::job::{Job, Trace};
+use serde::{Deserialize, Serialize};
+
+/// A half-open observation window `[start, end)` with a censoring horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservationWindow {
+    /// Window start (inclusive), seconds.
+    pub start: u64,
+    /// Window end (exclusive), seconds. Jobs must *start* before this.
+    pub end: u64,
+    /// Censoring horizon: lifetimes are observed up to this time. Usually
+    /// equal to `end`, but may be later (extended monitoring).
+    pub censor_at: u64,
+}
+
+impl ObservationWindow {
+    /// A window censored at its own end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end > start, "window end must exceed start");
+        Self {
+            start,
+            end,
+            censor_at: end,
+        }
+    }
+
+    /// A window with extended monitoring: lifetimes observed until
+    /// `censor_at >= end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` or `censor_at < end`.
+    pub fn with_extended_censoring(start: u64, end: u64, censor_at: u64) -> Self {
+        assert!(end > start, "window end must exceed start");
+        assert!(censor_at >= end, "censor horizon before window end");
+        Self {
+            start,
+            end,
+            censor_at,
+        }
+    }
+
+    /// Window length in seconds.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True only for zero-length windows (disallowed by constructors).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Applies the window to a trace:
+    ///
+    /// 1. keeps only jobs with `start` within `[start, end)` — jobs running
+    ///    at window start (i.e., started earlier) are discarded;
+    /// 2. right-censors any job whose end is unknown or after `censor_at`
+    ///    (its `end` becomes `None`);
+    /// 3. shifts timestamps so the window start becomes 0.
+    ///
+    /// The result is the trace exactly as a model training on this window
+    /// would see it.
+    pub fn apply(&self, trace: &Trace) -> Trace {
+        let jobs: Vec<Job> = trace
+            .jobs
+            .iter()
+            .filter(|j| j.start >= self.start && j.start < self.end)
+            .map(|j| {
+                let end = match j.end {
+                    Some(e) if e <= self.censor_at => Some(e - self.start),
+                    _ => None,
+                };
+                Job {
+                    start: j.start - self.start,
+                    end,
+                    flavor: j.flavor,
+                    user: j.user,
+                }
+            })
+            .collect();
+        Trace::new(jobs, trace.catalog.clone())
+    }
+
+    /// Like [`Self::apply`], but keeps absolute timestamps (no shift).
+    pub fn apply_unshifted(&self, trace: &Trace) -> Trace {
+        let jobs: Vec<Job> = trace
+            .jobs
+            .iter()
+            .filter(|j| j.start >= self.start && j.start < self.end)
+            .map(|j| {
+                let end = match j.end {
+                    Some(e) if e <= self.censor_at => Some(e),
+                    _ => None,
+                };
+                Job { end, ..*j }
+            })
+            .collect();
+        Trace::new(jobs, trace.catalog.clone())
+    }
+}
+
+/// Splits a history of `total` seconds into train/dev/test windows of the
+/// given lengths (in seconds), back to back starting at 0.
+///
+/// # Panics
+///
+/// Panics if the lengths exceed `total`.
+pub fn split_windows(
+    total: u64,
+    train: u64,
+    dev: u64,
+    test: u64,
+) -> (ObservationWindow, ObservationWindow, ObservationWindow) {
+    assert!(train + dev + test <= total, "splits exceed history length");
+    let w_train = ObservationWindow::new(0, train);
+    let w_dev = ObservationWindow::new(train, train + dev);
+    let w_test = ObservationWindow::new(train + dev, train + dev + test);
+    (w_train, w_dev, w_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorCatalog, FlavorId};
+    use crate::job::UserId;
+
+    fn mk_trace(jobs: Vec<(u64, Option<u64>)>) -> Trace {
+        let jobs = jobs
+            .into_iter()
+            .map(|(s, e)| Job {
+                start: s,
+                end: e,
+                flavor: FlavorId(0),
+                user: UserId(0),
+            })
+            .collect();
+        Trace::new(jobs, FlavorCatalog::azure16())
+    }
+
+    #[test]
+    fn drops_jobs_running_at_window_start() {
+        let t = mk_trace(vec![(0, Some(2000)), (500, Some(800)), (900, None)]);
+        let w = ObservationWindow::new(300, 1200);
+        let out = w.apply(&t);
+        assert_eq!(out.len(), 2); // job starting at 0 dropped
+        assert_eq!(out.jobs[0].start, 200); // shifted by 300
+    }
+
+    #[test]
+    fn censors_at_window_end() {
+        let t = mk_trace(vec![(100, Some(500)), (200, Some(5000)), (300, None)]);
+        let w = ObservationWindow::new(0, 1000);
+        let out = w.apply(&t);
+        assert_eq!(out.jobs[0].end, Some(500));
+        assert_eq!(out.jobs[1].end, None); // ended after censor horizon
+        assert_eq!(out.jobs[2].end, None);
+    }
+
+    #[test]
+    fn extended_censoring_keeps_later_ends() {
+        let t = mk_trace(vec![(100, Some(5000)), (200, Some(9000))]);
+        let w = ObservationWindow::with_extended_censoring(0, 1000, 6000);
+        let out = w.apply(&t);
+        assert_eq!(out.jobs[0].end, Some(5000)); // within extended horizon
+        assert_eq!(out.jobs[1].end, None); // beyond it
+    }
+
+    #[test]
+    fn unshifted_keeps_absolute_times() {
+        let t = mk_trace(vec![(500, Some(800))]);
+        let w = ObservationWindow::new(300, 1200);
+        let out = w.apply_unshifted(&t);
+        assert_eq!(out.jobs[0].start, 500);
+        assert_eq!(out.jobs[0].end, Some(800));
+    }
+
+    #[test]
+    fn split_windows_are_contiguous() {
+        let (tr, dv, te) = split_windows(1000, 600, 200, 200);
+        assert_eq!((tr.start, tr.end), (0, 600));
+        assert_eq!((dv.start, dv.end), (600, 800));
+        assert_eq!((te.start, te.end), (800, 1000));
+        assert_eq!(tr.censor_at, 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed history")]
+    fn split_overflow_panics() {
+        let _ = split_windows(100, 60, 30, 30);
+    }
+
+    #[test]
+    fn window_boundaries_half_open() {
+        let t = mk_trace(vec![(299, None), (300, None), (599, None), (600, None)]);
+        let w = ObservationWindow::new(300, 600);
+        let out = w.apply(&t);
+        assert_eq!(out.len(), 2); // 300 and 599 kept
+    }
+}

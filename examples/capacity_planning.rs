@@ -1,0 +1,128 @@
+//! Capacity planning (paper §6.1): compute a probability distribution over
+//! future total CPU demand by repeatedly sampling traces, and answer a
+//! provisioning question — "how many vCPUs cover 95 % of scenarios next
+//! week?".
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    TokenStream, TraceGenerator, TrainConfig,
+};
+use eval::{quantile, render_band_chart, PredictionBand};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::{TemporalFeaturesSpec, PERIOD_SECS};
+use trace::{ObservationWindow, Trace};
+
+const TRAIN_DAYS: u64 = 6;
+const FUTURE_DAYS: u64 = 2;
+const SAMPLES: usize = 40;
+
+fn cpu_series(t: &Trace, first_period: u64, n_periods: u64) -> Vec<f64> {
+    let mut diff = vec![0.0; n_periods as usize + 1];
+    for j in &t.jobs {
+        let v = t.catalog.get(j.flavor).vcpus;
+        let ps = (j.start.div_ceil(PERIOD_SECS)).clamp(first_period, first_period + n_periods)
+            - first_period;
+        let pe = match j.end {
+            Some(e) => {
+                (e.div_ceil(PERIOD_SECS)).clamp(first_period, first_period + n_periods)
+                    - first_period
+            }
+            None => n_periods,
+        };
+        if ps < pe {
+            diff[ps as usize] += v;
+            diff[pe as usize] -= v;
+        }
+    }
+    let mut out = Vec::with_capacity(n_periods as usize);
+    let mut acc = 0.0;
+    for d in diff.iter().take(n_periods as usize) {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+fn main() {
+    let world = CloudWorld::new(WorldConfig::azure_like(0.5), 11);
+    let history = world.generate(TRAIN_DAYS as u32);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    println!("training capacity model on {} jobs", train.len());
+
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let generator = TraceGenerator {
+        arrivals: BatchArrivalModel::fit(
+            &train,
+            window.end,
+            ArrivalTarget::Batches,
+            temporal,
+            ElasticNet::ridge(1.0),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrival model"),
+        flavors: FlavorModel::fit(
+            &stream,
+            space.clone(),
+            TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        ),
+        lifetimes: LifetimeModel::fit(
+            &stream,
+            space,
+            TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        ),
+        config: GeneratorConfig::default(),
+    };
+
+    // Sample futures and build the demand distribution.
+    let first = TRAIN_DAYS * 288;
+    let n = FUTURE_DAYS * 288;
+    println!("sampling {SAMPLES} future scenarios over {FUTURE_DAYS} days…");
+    let series: Vec<Vec<f64>> = (0..SAMPLES)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+            let t = generator.generate(first, n, world.catalog(), &mut rng);
+            cpu_series(&t, first, n)
+        })
+        .collect();
+    let band = PredictionBand::from_samples(&series, 0.05, 0.95);
+    print!(
+        "{}",
+        render_band_chart(
+            &band.median.clone(),
+            &band.lo,
+            &band.median,
+            &band.hi,
+            96,
+            10,
+            "projected new-VM CPU demand (median drawn as actual)"
+        )
+    );
+
+    // Provisioning question: capacity covering 95% of peak-demand scenarios.
+    let peaks: Vec<f64> = series
+        .iter()
+        .map(|s| s.iter().cloned().fold(0.0, f64::max))
+        .collect();
+    let p95 = quantile(&peaks, 0.95);
+    let p50 = quantile(&peaks, 0.50);
+    println!("peak new-VM demand: median {p50:.0} vCPUs, 95th percentile {p95:.0} vCPUs");
+    println!("provision >= {p95:.0} vCPUs (plus carryover) to cover 95% of scenarios");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: train the three-stage generator on a synthetic cloud trace
+//! and sample a day of future workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::stats::flavor_histogram;
+use trace::ObservationWindow;
+
+fn main() {
+    // 1. A synthetic cloud stands in for a real provider trace. Any trace
+    //    with (start, end, flavor, user) records works the same way.
+    let world = CloudWorld::new(WorldConfig::azure_like(0.5), 7);
+    let history = world.generate(6);
+    let train_window = ObservationWindow::new(0, 5 * 86_400);
+    let train = train_window.apply_unshifted(&history);
+    println!("training on {} jobs over 5 days", train.len());
+
+    // 2. Shared feature space: the paper's 47 lifetime bins plus one-hot
+    //    hour-of-day/day-of-week and survival-encoded day-of-history.
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(5);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, train_window.censor_at);
+
+    // 3. Fit the three stages.
+    let arrivals = BatchArrivalModel::fit(
+        &train,
+        train_window.end,
+        ArrivalTarget::Batches,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::paper_default(),
+    )
+    .expect("arrival model");
+    let cfg = TrainConfig {
+        epochs: 6,
+        ..TrainConfig::default()
+    };
+    let flavors = FlavorModel::fit(&stream, space.clone(), cfg);
+    let lifetimes = LifetimeModel::fit(&stream, space, cfg);
+    let generator = TraceGenerator {
+        arrivals,
+        flavors,
+        lifetimes,
+        config: GeneratorConfig::default(),
+    };
+
+    // 4. Sample one day of future workload (periods are 5 minutes).
+    let mut rng = StdRng::seed_from_u64(42);
+    let first_period = 6 * 288; // the day after the history ends
+    let generated = generator.generate(first_period, 288, world.catalog(), &mut rng);
+    println!("generated {} jobs for the next day", generated.len());
+
+    // 5. Inspect the output.
+    let hist = flavor_histogram(&generated);
+    let top = hist
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("non-empty");
+    println!(
+        "most requested flavor: {} ({} requests)",
+        generated.catalog.get(trace::FlavorId(top.0 as u16)).name,
+        top.1
+    );
+    let mean_life: f64 = generated
+        .jobs
+        .iter()
+        .map(|j| (j.end.expect("generated jobs have ends") - j.start) as f64)
+        .sum::<f64>()
+        / generated.len().max(1) as f64;
+    println!("mean sampled lifetime: {:.1} hours", mean_life / 3600.0);
+}

@@ -1,0 +1,88 @@
+//! Survival-analysis tour: fit Kaplan–Meier estimators on a censored VM
+//! trace, compare censoring policies, and reconstruct continuous survival
+//! curves with CDI vs stepped interpolation (paper §2.3, §5.3).
+//!
+//! ```sh
+//! cargo run --release --example survival_curves
+//! ```
+
+use survival::interp::ContinuousSurvival;
+use survival::{
+    CensoringPolicy, ContinuousKm, Interpolation, KaplanMeier, LifetimeBins, Observation,
+};
+use synth::{CloudWorld, WorldConfig};
+use trace::ObservationWindow;
+
+fn main() {
+    // A censored trace: 4 days observed out of a world where some VMs live
+    // for weeks.
+    let world = CloudWorld::new(WorldConfig::azure_like(0.6), 31);
+    let history = world.generate(8);
+    let window = ObservationWindow::new(0, 4 * 86_400);
+    let observed = window.apply(&history);
+    println!(
+        "{} VMs observed, {:.1}% censored at the 4-day horizon",
+        observed.len(),
+        observed.censored_fraction() * 100.0
+    );
+
+    let bins = LifetimeBins::paper_47();
+    let obs: Vec<Observation> = observed
+        .jobs
+        .iter()
+        .map(|j| Observation {
+            bin: bins.bin_of(j.observed_duration(window.censor_at) as f64),
+            censored: j.is_censored(),
+        })
+        .collect();
+
+    println!("\nmedian-survival estimate under each censoring policy:");
+    for policy in [
+        CensoringPolicy::CensoringAware,
+        CensoringPolicy::DropCensored,
+        CensoringPolicy::CensoredAsTerminated,
+    ] {
+        let km = KaplanMeier::fit(&bins, &obs, policy, 0.0);
+        let surv = km.survival();
+        let median_bin = surv.iter().position(|&s| s < 0.5).unwrap_or(surv.len() - 1);
+        println!(
+            "  {policy:?}: median lifetime in bin {median_bin} (~{:.1} h)",
+            bins.midpoint(median_bin, 40.0 * 86_400.0) / 3600.0
+        );
+    }
+
+    // Continuous reconstruction: evaluate S(t) at a few horizons.
+    let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+    let cdi =
+        ContinuousSurvival::from_hazard(&bins, km.hazard(), Interpolation::Cdi, 40.0 * 86_400.0);
+    let stepped = ContinuousSurvival::from_hazard(
+        &bins,
+        km.hazard(),
+        Interpolation::Stepped,
+        40.0 * 86_400.0,
+    );
+    let exact = ContinuousKm::fit(
+        &observed
+            .jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.observed_duration(window.censor_at) as f64,
+                    j.is_censored(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\nP(lifetime > t):   CDI   Stepped  Continuous-KM");
+    for hours in [0.25, 1.0, 6.0, 24.0, 72.0] {
+        let t = hours * 3600.0;
+        println!(
+            "  t = {hours:>5.2} h   {:>6.3}  {:>6.3}   {:>6.3}",
+            cdi.eval(t),
+            stepped.eval(t),
+            exact.eval(t)
+        );
+    }
+    println!("\nCDI interpolates within bins; Stepped holds until each bin boundary;");
+    println!("the continuous product-limit estimator is the bin-free reference.");
+}

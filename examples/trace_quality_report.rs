@@ -1,0 +1,102 @@
+//! Trace quality report: train the generator, sample a synthetic future,
+//! and score it against held-out real data with the analysis toolkit —
+//! plus a what-if run with scaled batch sizes (paper footnote 5).
+//!
+//! ```sh
+//! cargo run --release --example trace_quality_report
+//! ```
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::analysis::{compare, consecutive_flavor_repeat_rate, summarize};
+use trace::period::TemporalFeaturesSpec;
+use trace::ObservationWindow;
+
+fn main() {
+    // A 6-day world: train on 5 days, hold out the 6th.
+    let world = CloudWorld::new(WorldConfig::azure_like(0.5), 77);
+    let history = world.generate(6);
+    let train_w = ObservationWindow::new(0, 5 * 86_400);
+    let test_w = ObservationWindow::new(5 * 86_400, 6 * 86_400);
+    let train = train_w.apply_unshifted(&history);
+    let held_out = test_w.apply_unshifted(&history);
+
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(5);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, train_w.censor_at);
+    let cfg = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
+    let mut generator = TraceGenerator {
+        arrivals: BatchArrivalModel::fit(
+            &train,
+            train_w.end,
+            ArrivalTarget::Batches,
+            temporal,
+            ElasticNet::ridge(1.0),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrival model"),
+        flavors: FlavorModel::fit(&stream, space.clone(), cfg),
+        lifetimes: LifetimeModel::fit(&stream, space, cfg),
+        config: GeneratorConfig::default(),
+    };
+
+    let first = 5 * 288;
+    let mut rng = StdRng::seed_from_u64(1);
+    let generated = generator.generate(first, 288, world.catalog(), &mut rng);
+
+    // Summaries side by side.
+    let real = summarize(&held_out, test_w.censor_at);
+    let synth = summarize(&generated, u64::MAX / 2);
+    println!("{:<28} {:>12} {:>12}", "metric", "held-out", "generated");
+    println!("{:<28} {:>12} {:>12}", "jobs", real.jobs, synth.jobs);
+    println!("{:<28} {:>12} {:>12}", "batches", real.batches, synth.batches);
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "mean batch size", real.mean_batch_size, synth.mean_batch_size
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "flavor entropy (bits)", real.flavor_entropy_bits, synth.flavor_entropy_bits
+    );
+    println!(
+        "{:<28} {:>11.1}h {:>11.1}h",
+        "median lifetime",
+        real.lifetime_quantiles.1 / 3600.0,
+        synth.lifetime_quantiles.1 / 3600.0
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "flavor momentum",
+        consecutive_flavor_repeat_rate(&held_out),
+        consecutive_flavor_repeat_rate(&generated)
+    );
+
+    let d = compare(&held_out, &generated, 288);
+    println!(
+        "\ndivergence vs held-out: flavor L1 {:.3}, batch-size L1 {:.3}, volume err {:.1}%",
+        d.flavor_l1,
+        d.batch_size_l1,
+        d.volume_rel_err * 100.0
+    );
+
+    // What-if: simulate a world where users submit half-sized batches
+    // (footnote 5: scale the EOB probability instead of retraining).
+    generator.config.eob_scale = 2.0;
+    let whatif = generator.generate(first, 288, world.catalog(), &mut rng);
+    let w = summarize(&whatif, u64::MAX / 2);
+    println!(
+        "\nwhat-if (eob_scale=2): mean batch size {:.2} (was {:.2}), jobs {}",
+        w.mean_batch_size, synth.mean_batch_size, w.jobs
+    );
+}

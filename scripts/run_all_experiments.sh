@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction plus the ablations and
+# extensions, teeing each into results/<name>.txt. Trained models are
+# cached under target/model-cache/, so the first binary pays the training
+# cost per cloud.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(
+  table1_datasets
+  table2_flavors
+  table3_lifetimes
+  table4_survival_mse
+  fig1_visualization
+  fig4_5_batch_arrivals
+  fig6_vm_arrivals
+  fig7_8_capacity
+  fig9_reuse
+  fig10_table5_packing
+  ablation_hazard_vs_pmf
+  ablation_whatif_eob
+  ablation_multiresource
+  ablation_single_lstm
+  ablation_rnn_vs_lstm
+  ext_placement_cache
+  ext_negbin_arrivals
+)
+for b in "${BINS[@]}"; do
+  echo "=== running $b ==="
+  cargo run --release -p bench --bin "$b" 2>&1 | tee "results/$b.txt"
+done

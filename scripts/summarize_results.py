@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Extracts the headline lines from results/*.txt for EXPERIMENTS.md."""
+import pathlib, re, sys
+
+keep = re.compile(
+    r"^(===|System|Uniform|Multinomial|RepeatFlav|LSTM|CoinFlip|Overall KM|"
+    r"Per-flavor KM|RepeatLifetime|KM |Naive|SimpleBatch|Test data|Generator|"
+    r"DOH|VM Poisson|NegBin|Poisson|shape check|median volume|Actual|"
+    r"Three-stage|Single-LSTM|Head|Hazard|Pmf|Model|CPUxMem|eob_scale|Trace|"
+    r"censoring-|pure copies|top copy|\s+in-batch|\s+batch-start|coverage|"
+    r"[0-9.]+\s)")
+for f in sorted(pathlib.Path("results").glob("*.txt")):
+    print(f"\n########## {f.name} ##########")
+    for line in f.read_text().splitlines():
+        if "warning" in line or line.startswith(("   Compiling", "    Finished", "     Running", "   |", "  -->", "   = ")):
+            continue
+        if keep.match(line):
+            print(line)

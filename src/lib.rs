@@ -1,0 +1,15 @@
+//! Umbrella crate for the `cloudgen` workspace.
+//!
+//! This package exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. It re-exports the public crates
+//! of the workspace so examples can use a single dependency.
+
+pub use cloudgen;
+pub use eval;
+pub use glm;
+pub use linalg;
+pub use nn;
+pub use sched;
+pub use survival;
+pub use synth;
+pub use trace;

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full pipeline from synthetic world to
+//! generated trace, exercised exactly the way the reproduction binaries and
+//! a downstream user would.
+
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{pack_trace, reuse_distance_histogram, PackingConfig, SchedulingTuple};
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::batch::organize_periods;
+use trace::period::TemporalFeaturesSpec;
+use trace::{ObservationWindow, Trace};
+
+const TRAIN_DAYS: u64 = 4;
+
+struct Pipeline {
+    world: CloudWorld,
+    train: Trace,
+    space: FeatureSpace,
+    generator: TraceGenerator,
+}
+
+fn build_pipeline() -> Pipeline {
+    let world = CloudWorld::new(WorldConfig::azure_like(0.5), 99);
+    let history = world.generate(TRAIN_DAYS as u32 + 1);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let cfg = TrainConfig {
+        epochs: 40,
+        hidden: 32,
+        ..TrainConfig::default()
+    };
+    let generator = TraceGenerator {
+        arrivals: BatchArrivalModel::fit(
+            &train,
+            window.end,
+            ArrivalTarget::Batches,
+            temporal,
+            ElasticNet::ridge(1.0),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrivals"),
+        flavors: FlavorModel::fit(&stream, space.clone(), cfg),
+        lifetimes: LifetimeModel::fit(&stream, space.clone(), cfg),
+        config: GeneratorConfig::default(),
+    };
+    Pipeline {
+        world,
+        train,
+        space,
+        generator,
+    }
+}
+
+#[test]
+fn full_pipeline_generates_schedulable_traces() {
+    let p = build_pipeline();
+    let first = TRAIN_DAYS * 288;
+    let mut rng = StdRng::seed_from_u64(1);
+    let generated = p.generator.generate(first, 96, p.world.catalog(), &mut rng);
+    assert!(!generated.is_empty(), "generated nothing");
+
+    // Generated traces must be structurally valid workload: batched,
+    // flavor-consistent, positive lifetimes.
+    let periods = organize_periods(&generated);
+    assert!(!periods.is_empty());
+    for job in &generated.jobs {
+        assert!(job.end.expect("generated jobs have ends") > job.start);
+        assert!((job.flavor.0 as usize) < p.space.n_flavors);
+    }
+
+    // And they must be consumable by the scheduler substrate end to end.
+    let tuple = SchedulingTuple {
+        start_point: 0,
+        n_servers: 25,
+        cpu_cap: 48.0,
+        mem_cap: 128.0,
+        algorithm: sched::PlacementAlgorithm::DeltaPerpDistance,
+    };
+    let result = pack_trace(&generated, tuple, PackingConfig::default(), &mut rng);
+    assert!(result.placed > 0, "nothing placed");
+    let hist = reuse_distance_histogram(&generated);
+    assert!(hist.total > 0, "no reuse distances scored");
+}
+
+#[test]
+fn generated_traces_preserve_batch_structure() {
+    let p = build_pipeline();
+    let first = TRAIN_DAYS * 288;
+    let mut rng = StdRng::seed_from_u64(2);
+    let generated = p
+        .generator
+        .generate(first, 192, p.world.catalog(), &mut rng);
+    let periods = organize_periods(&generated);
+
+    // Some batches should hold multiple jobs…
+    let multi: usize = periods
+        .iter()
+        .flat_map(|p| &p.batches)
+        .filter(|b| b.len() >= 2)
+        .count();
+    assert!(multi > 0, "no multi-job batches generated");
+
+    // …and within-batch flavor repetition should dominate (the training
+    // world plants ~0.9 repeat probability; the model must reproduce it
+    // qualitatively, not as iid flavors).
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for per in &periods {
+        for b in &per.batches {
+            for w in b.jobs.windows(2) {
+                total += 1;
+                if generated.jobs[w[0]].flavor == generated.jobs[w[1]].flavor {
+                    same += 1;
+                }
+            }
+        }
+    }
+    if total >= 20 {
+        let rate = same as f64 / total as f64;
+        assert!(rate > 0.4, "within-batch repeat rate too low: {rate}");
+    }
+}
+
+#[test]
+fn all_three_generators_cover_the_same_interface() {
+    let p = build_pipeline();
+    let naive = NaiveGenerator::fit(&p.train, TRAIN_DAYS * 86_400, p.space.clone()).unwrap();
+    let simple = SimpleBatchGenerator::fit(
+        &p.train,
+        TRAIN_DAYS * 86_400,
+        p.space.clone(),
+        p.space.temporal,
+        DohStrategy::paper_default(),
+    )
+    .unwrap();
+    let first = TRAIN_DAYS * 288;
+    let mut rng = StdRng::seed_from_u64(3);
+    for t in [
+        naive.generate(first, 48, p.world.catalog(), &mut rng),
+        simple.generate(first, 48, p.world.catalog(), &mut rng),
+        p.generator.generate(first, 48, p.world.catalog(), &mut rng),
+    ] {
+        for job in &t.jobs {
+            assert!(job.start >= first * 300);
+            assert!(job.end.unwrap_or(u64::MAX) > job.start);
+        }
+    }
+}
+
+#[test]
+fn trace_roundtrips_through_csv() {
+    let p = build_pipeline();
+    let mut rng = StdRng::seed_from_u64(4);
+    let generated = p
+        .generator
+        .generate(TRAIN_DAYS * 288, 24, p.world.catalog(), &mut rng);
+    let mut buf = Vec::new();
+    trace::io::write_csv(&generated, &mut buf).unwrap();
+    let back = trace::io::read_csv(buf.as_slice(), generated.catalog.clone()).unwrap();
+    assert_eq!(generated, back);
+}
+
+#[test]
+fn generator_roundtrips_through_json() {
+    let p = build_pipeline();
+    let json = serde_json::to_string(&p.generator).expect("serialize");
+    let restored: TraceGenerator = serde_json::from_str(&json).expect("deserialize");
+    let first = TRAIN_DAYS * 288;
+    let a = p
+        .generator
+        .generate(first, 24, p.world.catalog(), &mut StdRng::seed_from_u64(5));
+    let b = restored.generate(first, 24, p.world.catalog(), &mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b, "restored generator diverged");
+}

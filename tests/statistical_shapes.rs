@@ -1,0 +1,103 @@
+//! Cross-crate statistical integration tests: the planted correlations in
+//! the synthetic world must be recovered by the models — these are
+//! miniature versions of the paper's headline claims, cheap enough for CI.
+
+use cloudgen::{
+    FeatureSpace, FlavorBaseline, FlavorModel, LifetimeBaseline, LifetimeModel, TokenStream,
+    TrainConfig,
+};
+use survival::{CensoringPolicy, LifetimeBins};
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::ObservationWindow;
+
+fn setup() -> (FeatureSpace, TokenStream, TokenStream) {
+    let world = CloudWorld::new(WorldConfig::azure_like(0.6), 7);
+    let history = world.generate(5);
+    let train_w = ObservationWindow::new(0, 4 * 86_400);
+    let test_w = ObservationWindow::new(4 * 86_400, 5 * 86_400);
+    let train = train_w.apply_unshifted(&history);
+    let test = test_w.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let space = FeatureSpace::new(
+        train.catalog.len(),
+        bins.clone(),
+        TemporalFeaturesSpec::new(4),
+    );
+    let train_stream = TokenStream::from_trace(&train, &bins, train_w.censor_at);
+    let test_stream = TokenStream::from_trace(&test, &bins, test_w.censor_at);
+    (space, train_stream, test_stream)
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 10,
+        hidden: 32,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn flavor_lstm_beats_multinomial_on_planted_momentum() {
+    let (space, train, test) = setup();
+    let lstm = FlavorModel::fit(&train, space.clone(), cfg()).evaluate(&test);
+    let multinomial = FlavorBaseline::multinomial(&train, space.n_flavors).evaluate(&test);
+    assert!(
+        lstm.nll.unwrap() < multinomial.nll.unwrap() * 0.9,
+        "LSTM {:?} vs multinomial {:?}",
+        lstm.nll,
+        multinomial.nll
+    );
+}
+
+#[test]
+fn lifetime_lstm_beats_kaplan_meier_on_planted_correlation() {
+    let (space, train, test) = setup();
+    let lstm = LifetimeModel::fit(&train, space.clone(), cfg()).evaluate(&test);
+    let km = LifetimeBaseline::overall_km(&train, &space, CensoringPolicy::CensoringAware)
+        .evaluate(&test, &space);
+    assert!(
+        lstm.bce.unwrap() < km.bce.unwrap(),
+        "LSTM {:?} vs KM {:?}",
+        lstm.bce,
+        km.bce
+    );
+    assert!(
+        lstm.one_best_err < km.one_best_err,
+        "LSTM {} vs KM {}",
+        lstm.one_best_err,
+        km.one_best_err
+    );
+}
+
+#[test]
+fn per_flavor_km_beats_overall_km_on_planted_flavor_effect() {
+    let (space, train, test) = setup();
+    let overall = LifetimeBaseline::overall_km(&train, &space, CensoringPolicy::CensoringAware)
+        .evaluate(&test, &space);
+    let per = LifetimeBaseline::per_flavor_km(&train, &space, CensoringPolicy::CensoringAware)
+        .evaluate(&test, &space);
+    assert!(
+        per.bce.unwrap() <= overall.bce.unwrap() * 1.02,
+        "per-flavor {:?} vs overall {:?}",
+        per.bce,
+        overall.bce
+    );
+}
+
+#[test]
+fn repeat_lifetime_is_strong_when_batches_share_lifetimes() {
+    let (space, train, test) = setup();
+    let repeat = LifetimeBaseline::repeat_lifetime(&train, &space, CensoringPolicy::CensoringAware)
+        .evaluate(&test, &space);
+    let overall = LifetimeBaseline::overall_km(&train, &space, CensoringPolicy::CensoringAware)
+        .evaluate(&test, &space);
+    // The world plants exact within-batch lifetime repetition, so the
+    // repeat heuristic must beat any constant predictor on 1-best error.
+    assert!(
+        repeat.one_best_err < overall.one_best_err,
+        "repeat {} vs overall {}",
+        repeat.one_best_err,
+        overall.one_best_err
+    );
+}
