@@ -18,11 +18,13 @@ use cloudgen::{
     TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
+use obsv::{Event, JsonlRecorder, MemoryRecorder, Recorder, RunReport, SpanTimer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 use survival::LifetimeBins;
 use synth::{CloudWorld, WorldConfig};
 use trace::period::{TemporalFeaturesSpec, PERIOD_SECS};
@@ -56,7 +58,8 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `--key value` pairs.
+    /// Parses `--key value` pairs; a `--switch` followed by another option
+    /// (or nothing) is a boolean flag, stored as `"true"`.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut map = BTreeMap::new();
         let mut i = 0;
@@ -64,11 +67,16 @@ impl Args {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| CliError(format!("expected --flag, got {:?}", argv[i])))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
-            map.insert(key.to_string(), value.clone());
-            i += 2;
+            match argv.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    map.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                _ => {
+                    map.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            }
         }
         Ok(Self { map })
     }
@@ -86,6 +94,11 @@ impl Args {
         self.map.get(key).map(String::as_str)
     }
 
+    /// True if the boolean switch `--key` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Optional numeric argument with default.
     pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.map.get(key) {
@@ -95,6 +108,48 @@ impl Args {
                 .map_err(|_| CliError(format!("--{key}: cannot parse {v:?}"))),
         }
     }
+}
+
+/// Tees telemetry into an in-memory buffer (backing `--report`) and,
+/// optionally, a JSONL file (backing `--telemetry`).
+struct CliSink<'a> {
+    mem: &'a MemoryRecorder,
+    jsonl: Option<&'a JsonlRecorder>,
+}
+
+impl Recorder for CliSink<'_> {
+    fn record(&self, event: Event) {
+        if let Some(j) = self.jsonl {
+            j.record(event.clone());
+        }
+        self.mem.record(event);
+    }
+}
+
+/// Opens the `--telemetry` sink if requested. `append` controls whether an
+/// existing file is extended (generate) or truncated (train).
+fn open_telemetry(args: &Args, append: bool) -> Result<Option<JsonlRecorder>, CliError> {
+    match args.opt("telemetry") {
+        None => Ok(None),
+        Some(path) => {
+            let rec = if append {
+                JsonlRecorder::append(path)?
+            } else {
+                JsonlRecorder::create(path)?
+            };
+            Ok(Some(rec))
+        }
+    }
+}
+
+/// Appends the `--report` table to a command's output when requested.
+fn maybe_report(args: &Args, mem: &MemoryRecorder, mut msg: String) -> String {
+    if args.flag("report") {
+        let report = RunReport::from_events(&mem.events());
+        msg.push_str("\n\n");
+        msg.push_str(&report.render_table());
+    }
+    msg
 }
 
 /// A saved model bundle: generator weights plus the catalog it expects.
@@ -109,8 +164,9 @@ pub struct ModelBundle {
 }
 
 /// `train --trace t.csv --catalog c.json --out model.json [--epochs N]
-/// [--hidden N] [--horizon secs]`
+/// [--hidden N] [--horizon secs] [--telemetry run.jsonl] [--report]`
 pub fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let started = Instant::now();
     let trace_path = args.req("trace")?;
     let out = args.req("out")?;
     let catalog = load_catalog(args)?;
@@ -133,18 +189,29 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
         ..TrainConfig::default()
     };
 
+    let mem = MemoryRecorder::new();
+    let jsonl = open_telemetry(args, false)?;
+    let rec = CliSink {
+        mem: &mem,
+        jsonl: jsonl.as_ref(),
+    };
+
+    let arrivals_span = SpanTimer::start("arrivals_fit");
+    let arrivals = BatchArrivalModel::fit(
+        &train,
+        horizon,
+        ArrivalTarget::Batches,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::paper_default(),
+    )
+    .map_err(|e| CliError(format!("arrival fit: {e}")))?;
+    arrivals_span.finish(&rec);
+
     let generator = TraceGenerator {
-        arrivals: BatchArrivalModel::fit(
-            &train,
-            horizon,
-            ArrivalTarget::Batches,
-            temporal,
-            ElasticNet::ridge(1.0),
-            DohStrategy::paper_default(),
-        )
-        .map_err(|e| CliError(format!("arrival fit: {e}")))?,
-        flavors: FlavorModel::fit(&stream, space.clone(), cfg),
-        lifetimes: LifetimeModel::fit(&stream, space, cfg),
+        arrivals,
+        flavors: FlavorModel::fit_recorded(&stream, space.clone(), cfg, &rec),
+        lifetimes: LifetimeModel::fit_recorded(&stream, space, cfg, &rec),
         config: GeneratorConfig::default(),
     };
     let bundle = ModelBundle {
@@ -154,16 +221,25 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     };
     let json = serde_json::to_string(&bundle).map_err(|e| CliError(format!("serialize: {e}")))?;
     std::fs::write(out, json)?;
-    Ok(format!(
-        "trained on {} jobs ({} days); model saved to {out}",
+    let mut msg = format!(
+        "trained on {} jobs ({} days) in {} ms; model saved to {out}",
         train.len(),
-        days
-    ))
+        days,
+        started.elapsed().as_millis()
+    );
+    if let Some(j) = &jsonl {
+        msg.push_str(&format!("\ntelemetry: {}", j.path().display()));
+    }
+    Ok(maybe_report(args, &mem, msg))
 }
 
 /// `generate --model model.json --periods N --out trace.csv [--seed S]
-/// [--scale X] [--eob-scale X]`
+/// [--scale X] [--eob-scale X] [--telemetry run.jsonl] [--report]`
+///
+/// `--telemetry` appends, so pointing it at the file `train` wrote yields
+/// one JSONL covering the whole train-then-generate run.
 pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let started = Instant::now();
     let model_path = args.req("model")?;
     let out = args.req("out")?;
     let n_periods: u64 = args.num("periods", 288)?;
@@ -173,21 +249,36 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     bundle.generator.config.scale = args.num("scale", 1.0)?;
     bundle.generator.config.eob_scale = args.num("eob-scale", 1.0)?;
 
+    let mem = MemoryRecorder::new();
+    let jsonl = open_telemetry(args, true)?;
+    let rec = CliSink {
+        mem: &mem,
+        jsonl: jsonl.as_ref(),
+    };
+
     let first_period = bundle.horizon.div_ceil(PERIOD_SECS);
     let mut rng = StdRng::seed_from_u64(args.num("seed", 7u64)?);
-    let generated =
-        bundle
-            .generator
-            .generate(first_period, n_periods, &bundle.catalog, &mut rng);
+    let generated = bundle.generator.generate_recorded(
+        first_period,
+        n_periods,
+        &bundle.catalog,
+        &mut rng,
+        &rec,
+    );
     let mut file = std::fs::File::create(out)?;
     trace::io::write_csv(&generated, &mut file)
         .map_err(|e| CliError(format!("writing {out}: {e}")))?;
-    Ok(format!(
-        "generated {} jobs over {} periods starting at period {}; written to {out}",
+    let mut msg = format!(
+        "generated {} jobs over {} periods starting at period {} in {} ms; written to {out}",
         generated.len(),
         n_periods,
-        first_period
-    ))
+        first_period,
+        started.elapsed().as_millis()
+    );
+    if let Some(j) = &jsonl {
+        msg.push_str(&format!("\ntelemetry: {}", j.path().display()));
+    }
+    Ok(maybe_report(args, &mem, msg))
 }
 
 /// `summarize --trace t.csv --catalog c.json [--horizon secs]`
@@ -244,6 +335,18 @@ pub fn cmd_demo_trace(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `report run.jsonl [--json]` — aggregate a telemetry file into a run
+/// report (text table, or JSON with `--json`).
+pub fn cmd_report(path: &str, as_json: bool) -> Result<String, CliError> {
+    let events = obsv::read_jsonl(path)?;
+    let report = RunReport::from_events(&events);
+    if as_json {
+        Ok(report.to_json())
+    } else {
+        Ok(report.render_table())
+    }
+}
+
 fn load_catalog(args: &Args) -> Result<FlavorCatalog, CliError> {
     match args.opt("catalog") {
         Some(path) => {
@@ -259,6 +362,28 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| CliError(usage().into()))?;
+    if cmd == "report" {
+        // `report` is the one subcommand taking a positional argument (the
+        // telemetry file); `--file path` works too.
+        let (path, args) = match rest.split_first() {
+            Some((p, more)) if !p.starts_with("--") => (p.clone(), Args::parse(more)?),
+            _ => {
+                let args = Args::parse(rest)?;
+                let p = args
+                    .opt("file")
+                    .ok_or_else(|| {
+                        CliError(
+                            "report needs a telemetry file: `report run.jsonl` \
+                             or `report --file run.jsonl`"
+                                .into(),
+                        )
+                    })?
+                    .to_string();
+                (p, args)
+            }
+        };
+        return cmd_report(&path, args.flag("json"));
+    }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "train" => cmd_train(&args),
@@ -279,8 +404,17 @@ USAGE:
   cloudgen summarize  --trace t.csv [--catalog c.json] [--horizon secs]
   cloudgen train      --trace t.csv --out model.json [--catalog c.json]
                       [--epochs N] [--hidden N] [--horizon secs]
+                      [--telemetry run.jsonl] [--report]
   cloudgen generate   --model model.json --out future.csv [--periods N]
                       [--seed S] [--scale X] [--eob-scale X]
+                      [--telemetry run.jsonl] [--report]
+  cloudgen report     run.jsonl [--json]
+
+`--telemetry` streams per-epoch training events (loss, pre-clip gradient
+norms, wall time) and per-day generation throughput to a JSONL file;
+train truncates the file, generate appends, so pointing both at one path
+yields a single run log. `--report` prints an aggregated run report after
+the command; `report` rebuilds that report from a saved JSONL file.
 
 Trace CSV format: header `start,end,flavor,user`; seconds since epoch,
 empty end = still running (censored)."
@@ -306,9 +440,21 @@ mod tests {
     #[test]
     fn args_reject_bad_forms() {
         assert!(Args::parse(&argv(&["trace", "t.csv"])).is_err());
-        assert!(Args::parse(&argv(&["--trace"])).is_err());
         let a = Args::parse(&argv(&["--epochs", "abc"])).unwrap();
         assert!(a.num("epochs", 0usize).is_err());
+    }
+
+    #[test]
+    fn args_boolean_flags() {
+        // A valueless `--switch` (trailing, or followed by another option)
+        // parses as a boolean flag.
+        let a = Args::parse(&argv(&["--report", "--trace", "t.csv"])).unwrap();
+        assert!(a.flag("report"));
+        assert!(!a.flag("json"));
+        assert_eq!(a.req("trace").unwrap(), "t.csv");
+        let a = Args::parse(&argv(&["--trace", "t.csv", "--report"])).unwrap();
+        assert!(a.flag("report"));
+        assert_eq!(a.req("trace").unwrap(), "t.csv");
     }
 
     #[test]
@@ -349,6 +495,84 @@ mod tests {
         let t = trace::io::read_csv(f, catalog).unwrap();
         // Trace may be empty for an unlucky tiny model, but must parse.
         let _ = t.len();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_workflow_end_to_end() {
+        let dir =
+            std::env::temp_dir().join(format!("cloudgen-telemetry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.csv");
+        let model_path = dir.join("m.json");
+        let out_path = dir.join("future.csv");
+        let jsonl_path = dir.join("run.jsonl");
+        let tp = trace_path.to_str().unwrap();
+        let jl = jsonl_path.to_str().unwrap();
+
+        run(&argv(&["demo-trace", "--out", tp, "--days", "2", "--seed", "5"])).unwrap();
+
+        // train with telemetry + inline report.
+        let msg = run(&argv(&[
+            "train", "--trace", tp, "--out", model_path.to_str().unwrap(),
+            "--epochs", "2", "--hidden", "12", "--telemetry", jl, "--report",
+        ]))
+        .unwrap();
+        assert!(msg.contains(" ms;"), "{msg}");
+        assert!(msg.contains("run report"), "{msg}");
+        assert!(msg.contains("p95-ms"), "{msg}");
+
+        // Two stages x two epochs, each carrying the pre-clip grad norm.
+        let raw = std::fs::read_to_string(jl).unwrap();
+        assert!(raw.lines().all(|l| l.contains("\"type\"")), "{raw}");
+        let events = obsv::read_jsonl(jl).unwrap();
+        let epochs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Epoch(ep) => Some(ep),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs.len(), 4, "{epochs:?}");
+        assert_eq!(epochs.iter().filter(|e| e.stage == "flavor").count(), 2);
+        assert_eq!(epochs.iter().filter(|e| e.stage == "lifetime").count(), 2);
+        assert!(epochs.iter().all(|e| e.grad_norm_pre_clip > 0.0), "{epochs:?}");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Span(s) if s.name == "arrivals_fit")));
+
+        // generate appends throughput events to the same file.
+        run(&argv(&[
+            "generate", "--model", model_path.to_str().unwrap(),
+            "--out", out_path.to_str().unwrap(), "--periods", "48",
+            "--telemetry", jl,
+        ]))
+        .unwrap();
+        let events = obsv::read_jsonl(jl).unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::Gen(_))),
+            "{events:?}"
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::Epoch(_)))
+                .count(),
+            4
+        );
+
+        // report reconstructs both sections from the file.
+        let table = run(&argv(&["report", jl])).unwrap();
+        assert!(table.contains("flavor"), "{table}");
+        assert!(table.contains("lifetime"), "{table}");
+        assert!(table.contains("p95-ms"), "{table}");
+        assert!(table.contains("generation"), "{table}");
+        let json = run(&argv(&["report", jl, "--json"])).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed.get("stages").is_some(), "{json}");
+        // --file spelling works too.
+        let table2 = run(&argv(&["report", "--file", jl])).unwrap();
+        assert_eq!(table, table2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

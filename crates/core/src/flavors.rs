@@ -13,10 +13,12 @@ use linalg::Mat;
 use nn::loss::softmax_cross_entropy;
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork};
+use obsv::{EpochEvent, Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Prediction metrics for flavor models (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +55,19 @@ impl FlavorModel {
     /// stacks `cfg.minibatch` chunks and starts from the zero state (§4.2).
     /// A trailing partial chunk is dropped.
     pub fn fit(stream: &TokenStream, space: FeatureSpace, cfg: TrainConfig) -> Self {
+        Self::fit_recorded(stream, space, cfg, &NullRecorder)
+    }
+
+    /// [`FlavorModel::fit`] with telemetry: emits one [`EpochEvent`]
+    /// (stage `"flavor"`) per epoch, carrying the mean loss, the pre-clip
+    /// gradient norms from [`Adam::step`], the learning-rate factor, and
+    /// wall-clock timing.
+    pub fn fit_recorded(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        rec: &dyn Recorder,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // The skip connection gives the "repeat the previous flavor" rule a
         // direct linear path from the input one-hot to the output logits.
@@ -88,8 +103,12 @@ impl FlavorModel {
             };
             opt.config_mut().lr = cfg.lr * lr_factor;
             chunk_starts.shuffle(&mut rng);
+            let epoch_start = Instant::now();
             let mut epoch_loss = 0.0;
             let mut epoch_count = 0usize;
+            let mut norm_sum = 0.0;
+            let mut norm_max = 0.0f64;
+            let mut opt_steps = 0usize;
             for mb in chunk_starts.chunks(cfg.minibatch) {
                 let b = mb.len();
                 // Build inputs and targets: step t of chunk c is token
@@ -126,9 +145,23 @@ impl FlavorModel {
                     dlogits.push(d);
                 }
                 net.backward(&cache, &dlogits);
-                opt.step(&mut net.params_mut());
+                let norm = opt.step(&mut net.params_mut());
+                norm_sum += norm;
+                norm_max = norm_max.max(norm);
+                opt_steps += 1;
             }
-            train_losses.push(epoch_loss / epoch_count.max(1) as f64);
+            let mean_loss = epoch_loss / epoch_count.max(1) as f64;
+            train_losses.push(mean_loss);
+            rec.record(Event::Epoch(EpochEvent {
+                stage: "flavor".into(),
+                epoch,
+                mean_loss,
+                grad_norm_pre_clip: norm_sum / opt_steps.max(1) as f64,
+                grad_norm_pre_clip_max: norm_max,
+                lr_factor,
+                tokens: epoch_count,
+                wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            }));
         }
         Self {
             net,
@@ -423,6 +456,32 @@ mod tests {
         let first = model.train_losses.first().unwrap();
         let last = model.train_losses.last().unwrap();
         assert!(last < first, "losses: {:?}", model.train_losses);
+    }
+
+    #[test]
+    fn fit_recorded_emits_one_epoch_event_per_epoch() {
+        let train = stream(300);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 5;
+        let rec = obsv::MemoryRecorder::new();
+        let model = FlavorModel::fit_recorded(&train, space(), cfg, &rec);
+        let epochs = rec.epochs();
+        assert_eq!(epochs.len(), cfg.epochs);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.stage, "flavor");
+            assert_eq!(e.epoch, i);
+            assert!(e.mean_loss.is_finite());
+            assert!(e.grad_norm_pre_clip > 0.0, "grad norm not surfaced");
+            assert!(e.grad_norm_pre_clip_max >= e.grad_norm_pre_clip - 1e-12);
+            assert!(e.tokens > 0);
+            assert!(e.wall_ms >= 0.0);
+        }
+        // Events mirror the loss trajectory, which must not increase
+        // first-to-last on this structured stream.
+        for (l, e) in model.train_losses.iter().zip(&epochs) {
+            assert!((l - e.mean_loss).abs() < 1e-12);
+        }
+        assert!(epochs.last().unwrap().mean_loss <= epochs.first().unwrap().mean_loss);
     }
 
     #[test]

@@ -4,10 +4,12 @@ use crate::arrivals::BatchArrivalModel;
 use crate::flavors::FlavorModel;
 use crate::lifetimes::LifetimeModel;
 use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
+use obsv::{Event, GenEvent, NullRecorder, Recorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use survival::Interpolation;
-use trace::period::{period_start, PERIOD_SECS};
+use trace::period::{period_start, PERIODS_PER_DAY, PERIOD_SECS};
 use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
 
 /// Knobs for end-to-end generation.
@@ -71,6 +73,20 @@ impl TraceGenerator {
         catalog: &FlavorCatalog,
         rng: &mut impl Rng,
     ) -> Trace {
+        self.generate_recorded(first_period, n_periods, catalog, rng, &NullRecorder)
+    }
+
+    /// [`TraceGenerator::generate`] with telemetry: emits one
+    /// [`GenEvent`] per simulated day covered, carrying batches/jobs
+    /// emitted, flavor tokens sampled, and wall-clock throughput.
+    pub fn generate_recorded(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Trace {
         let k = self.flavors.space().n_flavors;
         assert_eq!(k, catalog.len(), "catalog size mismatch");
         let bins = &self.lifetimes.space().bins;
@@ -80,8 +96,14 @@ impl TraceGenerator {
         let mut lifetime_state = self.lifetimes.begin();
         let mut jobs: Vec<Job> = Vec::new();
         let mut next_user = 0u32;
+        let mut day = DayStats::new(first_period / PERIODS_PER_DAY);
 
         for p in first_period..first_period + n_periods {
+            let d = p / PERIODS_PER_DAY;
+            if d != day.day {
+                day.roll(rec, d);
+            }
+            day.periods += 1;
             let doh = if self.config.doh_per_trace {
                 trace_doh
             } else {
@@ -114,6 +136,7 @@ impl TraceGenerator {
                     self.config.eob_scale,
                     rng,
                 );
+                day.tokens += 1;
                 if tok == k {
                     // EOB: close the current batch if non-empty; empty
                     // batches are re-rolled (a batch has >= 1 job by
@@ -141,7 +164,9 @@ impl TraceGenerator {
 
             // Stage 3: lifetimes over the full resource sequence.
             let start = period_start(p);
+            day.batches += batches.len() as u64;
             for batch in &batches {
+                day.jobs += batch.len() as u64;
                 let user = UserId(next_user);
                 next_user = next_user.wrapping_add(1);
                 for (pos, &flavor) in batch.iter().enumerate() {
@@ -170,6 +195,7 @@ impl TraceGenerator {
                 }
             }
         }
+        day.flush(rec);
         Trace::new(jobs, catalog.clone())
     }
 
@@ -195,6 +221,57 @@ impl TraceGenerator {
             })
             .collect();
         Trace::new(jobs, t.catalog)
+    }
+}
+
+/// Per-simulated-day accounting behind [`GenEvent`] telemetry.
+struct DayStats {
+    day: u64,
+    started: Instant,
+    periods: u64,
+    batches: u64,
+    jobs: u64,
+    tokens: u64,
+}
+
+impl DayStats {
+    fn new(day: u64) -> Self {
+        Self {
+            day,
+            started: Instant::now(),
+            periods: 0,
+            batches: 0,
+            jobs: 0,
+            tokens: 0,
+        }
+    }
+
+    /// Emits the accumulated day (no event for an empty accumulator).
+    fn flush(&self, rec: &dyn Recorder) {
+        if self.periods == 0 {
+            return;
+        }
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        let secs = wall_ms / 1000.0;
+        rec.record(Event::Gen(GenEvent {
+            day: self.day,
+            periods: self.periods,
+            batches: self.batches,
+            jobs: self.jobs,
+            tokens: self.tokens,
+            wall_ms,
+            tokens_per_sec: if secs > 0.0 {
+                self.tokens as f64 / secs
+            } else {
+                0.0
+            },
+        }));
+    }
+
+    /// Flushes the current day and starts accumulating `day`.
+    fn roll(&mut self, rec: &dyn Recorder, day: u64) {
+        self.flush(rec);
+        *self = Self::new(day);
     }
 }
 
@@ -368,6 +445,34 @@ mod tests {
         for w in spread.jobs.windows(2) {
             assert!(w[0].start <= w[1].start);
         }
+    }
+
+    #[test]
+    fn generate_recorded_emits_per_day_throughput() {
+        let (g, catalog) = build_generator(300);
+        let rec = obsv::MemoryRecorder::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        // 300 periods starting mid-day: spans days 1 and 2 (288/day).
+        let t = g.generate_recorded(300, 300, &catalog, &mut rng, &rec);
+        let gen_events: Vec<obsv::GenEvent> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                obsv::Event::Gen(ev) => Some(ev),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gen_events.len(), 2, "{gen_events:?}");
+        assert_eq!(gen_events[0].day, 1);
+        assert_eq!(gen_events[1].day, 2);
+        assert_eq!(gen_events.iter().map(|e| e.periods).sum::<u64>(), 300);
+        let jobs: u64 = gen_events.iter().map(|e| e.jobs).sum();
+        assert_eq!(jobs, t.len() as u64);
+        // Every job costs at least one flavor token; EOBs add more.
+        let tokens: u64 = gen_events.iter().map(|e| e.tokens).sum();
+        assert!(tokens >= jobs);
+        let batches: u64 = gen_events.iter().map(|e| e.batches).sum();
+        assert!(batches > 0);
     }
 
     #[test]

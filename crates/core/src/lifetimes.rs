@@ -16,10 +16,12 @@ use linalg::Mat;
 use nn::loss::{masked_bce_with_logits, survival_softmax_loss};
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork};
+use obsv::{EpochEvent, Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use survival::funcs::{hazard_to_pmf, pmf_argmax, pmf_to_hazard, sample_hazard_chain};
 use survival::{CensoringPolicy, KaplanMeier, Observation};
 
@@ -74,12 +76,37 @@ impl LifetimeModel {
         Self::fit_with_head(stream, space, cfg, LifetimeHead::Hazard)
     }
 
+    /// [`LifetimeModel::fit`] with telemetry: emits one [`EpochEvent`]
+    /// (stage `"lifetime"`) per epoch, carrying the mean loss, the
+    /// pre-clip gradient norms from [`Adam::step`], the learning-rate
+    /// factor, and wall-clock timing.
+    pub fn fit_recorded(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        rec: &dyn Recorder,
+    ) -> Self {
+        Self::fit_with_head_recorded(stream, space, cfg, LifetimeHead::Hazard, rec)
+    }
+
     /// Trains with an explicit output head (hazard vs PMF ablation).
     pub fn fit_with_head(
         stream: &TokenStream,
         space: FeatureSpace,
         cfg: TrainConfig,
         head: LifetimeHead,
+    ) -> Self {
+        Self::fit_with_head_recorded(stream, space, cfg, head, &NullRecorder)
+    }
+
+    /// [`LifetimeModel::fit_with_head`] with telemetry (see
+    /// [`LifetimeModel::fit_recorded`]).
+    pub fn fit_with_head_recorded(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        head: LifetimeHead,
+        rec: &dyn Recorder,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
         let j = space.n_bins();
@@ -118,8 +145,12 @@ impl LifetimeModel {
             };
             opt.config_mut().lr = cfg.lr * lr_factor;
             chunk_starts.shuffle(&mut rng);
+            let epoch_start = Instant::now();
             let mut epoch_loss = 0.0;
             let mut epoch_count = 0usize;
+            let mut norm_sum = 0.0;
+            let mut norm_max = 0.0f64;
+            let mut opt_steps = 0usize;
             for mb in chunk_starts.chunks(cfg.minibatch) {
                 let b = mb.len();
                 let mut xs = Vec::with_capacity(l);
@@ -183,9 +214,23 @@ impl LifetimeModel {
                     dlogits.push(d);
                 }
                 net.backward(&cache, &dlogits);
-                opt.step(&mut net.params_mut());
+                let norm = opt.step(&mut net.params_mut());
+                norm_sum += norm;
+                norm_max = norm_max.max(norm);
+                opt_steps += 1;
             }
-            train_losses.push(epoch_loss / epoch_count.max(1) as f64);
+            let mean_loss = epoch_loss / epoch_count.max(1) as f64;
+            train_losses.push(mean_loss);
+            rec.record(Event::Epoch(EpochEvent {
+                stage: "lifetime".into(),
+                epoch,
+                mean_loss,
+                grad_norm_pre_clip: norm_sum / opt_steps.max(1) as f64,
+                grad_norm_pre_clip_max: norm_max,
+                lr_factor,
+                tokens: epoch_count,
+                wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            }));
         }
         Self {
             net,
@@ -592,6 +637,28 @@ mod tests {
         cfg.epochs = 4;
         let model = LifetimeModel::fit(&train, space(), cfg);
         assert!(model.train_losses.last().unwrap() < model.train_losses.first().unwrap());
+    }
+
+    #[test]
+    fn fit_recorded_emits_one_epoch_event_per_epoch() {
+        let train = stream(200);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 4;
+        let rec = obsv::MemoryRecorder::new();
+        let model = LifetimeModel::fit_recorded(&train, space(), cfg, &rec);
+        let epochs = rec.epochs();
+        assert_eq!(epochs.len(), cfg.epochs);
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.stage, "lifetime");
+            assert_eq!(e.epoch, i);
+            assert!(e.grad_norm_pre_clip > 0.0);
+            assert!(e.grad_norm_pre_clip_max >= e.grad_norm_pre_clip - 1e-12);
+            assert!(e.tokens > 0);
+        }
+        for (l, e) in model.train_losses.iter().zip(&epochs) {
+            assert!((l - e.mean_loss).abs() < 1e-12);
+        }
+        assert!(epochs.last().unwrap().mean_loss <= epochs.first().unwrap().mean_loss);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct Adam {
     t: u64,
     m: Vec<Mat>,
     v: Vec<Mat>,
+    last_norm: Option<f64>,
 }
 
 impl Adam {
@@ -55,6 +56,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            last_norm: None,
         }
     }
 
@@ -71,6 +73,13 @@ impl Adam {
     /// Number of update steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Pre-clip global gradient norm of the most recent step (`None`
+    /// before the first step). Training loops surface this per-epoch as
+    /// `grad_norm_pre_clip` telemetry.
+    pub fn last_grad_norm(&self) -> Option<f64> {
+        self.last_norm
     }
 
     /// Applies one Adam update to `params`, consuming their gradients.
@@ -98,6 +107,7 @@ impl Adam {
             sq_sum += p.grad.as_slice().iter().map(|g| g * g).sum::<f64>();
         }
         let norm = sq_sum.sqrt();
+        self.last_norm = Some(norm);
         let scale = match self.cfg.clip_norm {
             Some(c) if norm > c && norm > 0.0 => c / norm,
             _ => 1.0,
@@ -192,6 +202,17 @@ mod tests {
         opt.step(&mut [&mut p]);
         assert!(p.value[(0, 0)] < 1.0);
         assert!(p.value[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn last_grad_norm_tracks_latest_step() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Adam::new(AdamConfig::default());
+        assert_eq!(opt.last_grad_norm(), None);
+        p.grad[(0, 0)] = 3.0;
+        let n = opt.step(&mut [&mut p]);
+        assert_eq!(opt.last_grad_norm(), Some(n));
+        assert!((n - 3.0).abs() < 1e-12);
     }
 
     #[test]

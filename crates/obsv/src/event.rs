@@ -1,0 +1,148 @@
+//! Typed telemetry events.
+//!
+//! Every event is a flat struct of plain scalars so a JSONL sink stays one
+//! self-describing object per line (`{"type": "Epoch", "stage": ...}`), and
+//! downstream tooling (the `report` subcommand, notebooks, `jq`) can consume
+//! it without a schema registry.
+
+use serde::{Deserialize, Serialize};
+
+/// One training epoch of an LSTM stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochEvent {
+    /// Which model emitted this (`"flavor"` or `"lifetime"`).
+    pub stage: String,
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's targets.
+    pub mean_loss: f64,
+    /// Mean pre-clip global gradient norm over the epoch's Adam steps.
+    pub grad_norm_pre_clip: f64,
+    /// Max pre-clip global gradient norm over the epoch's Adam steps.
+    pub grad_norm_pre_clip_max: f64,
+    /// Learning-rate multiplier applied this epoch (step decay).
+    pub lr_factor: f64,
+    /// Target tokens (flavor steps / masked hazard outputs) processed.
+    pub tokens: usize,
+    /// Wall-clock time spent in the epoch, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Generation throughput over one simulated day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenEvent {
+    /// Simulated day index (period * 300 s / 86 400 s).
+    pub day: u64,
+    /// Periods generated within the day.
+    pub periods: u64,
+    /// Batches emitted.
+    pub batches: u64,
+    /// Jobs emitted.
+    pub jobs: u64,
+    /// Flavor-LSTM tokens sampled (jobs + EOB tokens, including re-rolls).
+    pub tokens: u64,
+    /// Wall-clock time spent generating the day, milliseconds.
+    pub wall_ms: f64,
+    /// Sampling throughput, tokens per wall-clock second.
+    pub tokens_per_sec: f64,
+}
+
+/// Scheduler-substrate counters from one packing run or cache sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// Jobs successfully placed on a server.
+    pub placements: u64,
+    /// Placement failures (first-failure stops a packing run).
+    pub rejections: u64,
+    /// FFAR packing runs evaluated.
+    pub ffar_evals: u64,
+    /// Placement-cache hits.
+    pub cache_hits: u64,
+    /// Placement-cache misses.
+    pub cache_misses: u64,
+}
+
+/// A named monotonic counter increment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEvent {
+    /// Counter name.
+    pub name: String,
+    /// Increment since the counter's last flush.
+    pub delta: u64,
+}
+
+/// A named point-in-time measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEvent {
+    /// Gauge name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// A completed wall-clock span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Elapsed wall-clock time, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The closed set of telemetry events a [`crate::Recorder`] accepts.
+///
+/// Serialized internally tagged so each JSONL line carries its own `type`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum Event {
+    /// Per-epoch training diagnostics.
+    Epoch(EpochEvent),
+    /// Per-simulated-day generation throughput.
+    Gen(GenEvent),
+    /// Scheduler placement/cache counters.
+    Sched(SchedEvent),
+    /// Counter increment.
+    Counter(CounterEvent),
+    /// Gauge sample.
+    Gauge(GaugeEvent),
+    /// Completed timer span.
+    Span(SpanEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_tag_with_type() {
+        let e = Event::Sched(SchedEvent {
+            placements: 3,
+            rejections: 1,
+            ffar_evals: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"Sched\""), "{json}");
+        assert!(json.contains("\"placements\":3"), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn epoch_event_round_trips() {
+        let e = Event::Epoch(EpochEvent {
+            stage: "flavor".into(),
+            epoch: 4,
+            mean_loss: 0.25,
+            grad_norm_pre_clip: 1.5,
+            grad_norm_pre_clip_max: 3.0,
+            lr_factor: 0.3,
+            tokens: 1024,
+            wall_ms: 12.5,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,37 @@
+//! `obsv` — the workspace's telemetry substrate.
+//!
+//! Training an RNN workload generator, sampling futures from it, and
+//! replaying them through the scheduler substrate are all pipelines whose
+//! health is invisible from their return values alone: a loss vector says
+//! nothing about gradient explosions the clip silently absorbed, and a
+//! generated trace says nothing about tokens-per-second. This crate gives
+//! every layer one shared, dependency-light vocabulary for reporting what
+//! happened:
+//!
+//! - [`Event`] — the closed set of typed telemetry events
+//!   ([`EpochEvent`], [`GenEvent`], [`SchedEvent`], counters, gauges,
+//!   spans);
+//! - [`Recorder`] — the sink trait, with [`NullRecorder`] (off),
+//!   [`MemoryRecorder`] (tests, in-process reports), and [`JsonlRecorder`]
+//!   (one JSON object per line on disk, error-tolerant);
+//! - [`Counter`], [`Gauge`], [`SpanTimer`], [`Histogram`] — measurement
+//!   primitives (monotonic `Instant`-based timing, fixed-bucket quantiles);
+//! - [`RunReport`] — aggregates an event stream into per-stage loss
+//!   trajectories, epoch wall-time quantiles, generation throughput, and
+//!   scheduler counters, rendered as JSON or an aligned table.
+//!
+//! Hot paths take `&dyn Recorder`; passing `&NullRecorder` keeps the cost
+//! to one virtual call per *epoch* (not per step), so telemetry-off runs
+//! pay nothing measurable.
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use event::{
+    CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, SchedEvent, SpanEvent,
+};
+pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer};
+pub use recorder::{read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use report::{GenSummary, RunReport, SchedSummary, SpanSummary, StageSummary};

@@ -1,0 +1,387 @@
+//! Measurement primitives: counters, gauges, span timers, histograms.
+
+use crate::event::{CounterEvent, Event, GaugeEvent, SpanEvent};
+use crate::recorder::Recorder;
+use std::time::Instant;
+
+/// A named monotonic counter.
+///
+/// Increment locally (no recorder in the hot path); [`Counter::flush`]
+/// emits the delta accumulated since the previous flush.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    name: String,
+    total: u64,
+    emitted: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            total: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.total += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Current total.
+    pub fn value(&self) -> u64 {
+        self.total
+    }
+
+    /// Emits the increment since the last flush (no event if unchanged).
+    pub fn flush(&mut self, rec: &dyn Recorder) {
+        let delta = self.total - self.emitted;
+        if delta > 0 {
+            rec.record(Event::Counter(CounterEvent {
+                name: self.name.clone(),
+                delta,
+            }));
+            self.emitted = self.total;
+        }
+    }
+}
+
+/// A named point-in-time value.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    name: String,
+    value: f64,
+}
+
+impl Gauge {
+    /// Creates a gauge at 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: 0.0,
+        }
+    }
+
+    /// Sets the current value.
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Emits the current value.
+    pub fn emit(&self, rec: &dyn Recorder) {
+        rec.record(Event::Gauge(GaugeEvent {
+            name: self.name.clone(),
+            value: self.value,
+        }));
+    }
+}
+
+/// A wall-clock span backed by a monotonic [`Instant`].
+#[derive(Debug, Clone)]
+pub struct SpanTimer {
+    name: String,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed so far (monotonic: never decreases).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Stops the span, emits a [`SpanEvent`], and returns the elapsed
+    /// milliseconds.
+    pub fn finish(self, rec: &dyn Recorder) -> f64 {
+        let wall_ms = self.elapsed_ms();
+        rec.record(Event::Span(SpanEvent {
+            name: self.name,
+            wall_ms,
+        }));
+        wall_ms
+    }
+}
+
+/// A fixed-bucket histogram with quantile queries.
+///
+/// Buckets are `(prev_upper, upper]` for each configured finite upper edge,
+/// plus one open overflow bucket. Quantiles interpolate linearly within the
+/// owning bucket, clamped to the observed min/max, so a histogram of `n`
+/// uniform values over `k` buckets answers quantiles with at most one
+/// bucket-width of error.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    uppers: Vec<f64>,
+    /// `uppers.len() + 1` buckets; the last is the open overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given finite bucket upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uppers` is empty or not strictly increasing.
+    pub fn new(uppers: Vec<f64>) -> Self {
+        assert!(!uppers.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            uppers.windows(2).all(|w| w[0] < w[1]),
+            "bucket edges must be strictly increasing"
+        );
+        let n = uppers.len() + 1;
+        Self {
+            uppers,
+            counts: vec![0; n],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `n` equal-width buckets spanning `[lo, hi]` (plus the overflow
+    /// bucket above `hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && lo < hi, "invalid linear histogram spec");
+        let width = (hi - lo) / n as f64;
+        Self::new((1..=n).map(|i| lo + width * i as f64).collect())
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        let b = self.uppers.partition_point(|&u| u < v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded observations,
+    /// interpolated within the owning bucket. Returns 0 for an empty
+    /// histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Rank in 1..=total of the order statistic we want.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = if b == 0 { self.min } else { self.uppers[b - 1] };
+                let hi = if b < self.uppers.len() {
+                    self.uppers[b]
+                } else {
+                    self.max
+                };
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                if hi <= lo {
+                    return lo;
+                }
+                let frac = (target - cum) as f64 / c as f64;
+                return lo + frac * (hi - lo);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Exact linearly-interpolated quantile of an already-sorted slice
+/// (0 for an empty slice). Used by run reports, where the full sample fits
+/// in memory; use [`Histogram`] for streaming data.
+pub fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn counter_flushes_deltas() {
+        let rec = MemoryRecorder::new();
+        let mut c = Counter::new("placements");
+        c.flush(&rec); // nothing yet: no event
+        assert!(rec.is_empty());
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        c.flush(&rec);
+        c.add(2);
+        c.flush(&rec);
+        let deltas: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter(c) => Some(c.delta),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deltas, vec![5, 2]);
+    }
+
+    #[test]
+    fn gauge_emits_current_value() {
+        let rec = MemoryRecorder::new();
+        let mut g = Gauge::new("lr");
+        g.set(0.003);
+        g.emit(&rec);
+        match &rec.events()[0] {
+            Event::Gauge(ev) => {
+                assert_eq!(ev.name, "lr");
+                assert!((ev.value - 0.003).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_timer_is_monotone() {
+        let rec = MemoryRecorder::new();
+        let span = SpanTimer::start("work");
+        let a = span.elapsed_ms();
+        // Burn a little time so the second reading strictly advances on
+        // any realistic clock resolution.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        assert!(acc != 1, "keep the loop");
+        let b = span.elapsed_ms();
+        assert!(a >= 0.0);
+        assert!(b >= a, "elapsed went backwards: {a} -> {b}");
+        let total = span.finish(&rec);
+        assert!(total >= b);
+        match &rec.events()[0] {
+            Event::Span(ev) => assert!((ev.wall_ms - total).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_data() {
+        let mut h = Histogram::linear(0.0, 100.0, 10);
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert!((h.p50() - 50.0).abs() < 1e-9, "p50 {}", h.p50());
+        assert!((h.p95() - 95.0).abs() < 1e-9, "p95 {}", h.p95());
+        assert!((h.p99() - 99.0).abs() < 1e-9, "p99 {}", h.p99());
+    }
+
+    #[test]
+    fn histogram_handles_point_mass_and_overflow() {
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        for _ in 0..5 {
+            h.record(15.0);
+        }
+        // All mass in one bucket collapses interpolation to the point.
+        assert!((h.p50() - 15.0).abs() < 1e-9);
+        assert!((h.p99() - 15.0).abs() < 1e-9);
+        // Overflow values land in the open bucket, bounded by the max.
+        h.record(1000.0);
+        assert!(h.quantile(1.0) <= 1000.0 + 1e-9);
+        assert!(h.quantile(1.0) > 20.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_quantile(&xs, 0.0), 1.0);
+        assert_eq!(exact_quantile(&xs, 1.0), 4.0);
+        assert!((exact_quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(exact_quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Event sinks: where telemetry goes.
+//!
+//! Recorders take `&self` so one recorder can be shared across the call
+//! graph as a `&dyn Recorder`; implementations that accumulate state use
+//! interior mutability. Recording must never fail loudly: a sink that loses
+//! its backing store degrades to a no-op rather than panicking mid-training.
+
+use crate::event::{Event, EpochEvent};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A telemetry sink.
+pub trait Recorder {
+    /// Accepts one event. Implementations must not panic.
+    fn record(&self, event: Event);
+}
+
+/// Discards every event (the default when telemetry is off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers events in memory, for tests and in-process report building.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every event recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        unpoison(self.events.lock()).clone()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        unpoison(self.events.lock()).len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The epoch events recorded so far, in order.
+    pub fn epochs(&self) -> Vec<EpochEvent> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Epoch(ev) => Some(ev),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        unpoison(self.events.lock()).push(event);
+    }
+}
+
+/// Writes one JSON object per line to a file.
+///
+/// Each event is flushed as it is recorded (events are low-rate — per epoch
+/// or per simulated day — so durability beats buffering). Any I/O or
+/// serialization error permanently degrades the recorder to
+/// [`NullRecorder`] behavior: the error is reported to stderr once and
+/// every later `record` is a no-op. A full disk must not kill a training
+/// run that was going to succeed anyway.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    path: PathBuf,
+    writer: Mutex<Option<BufWriter<File>>>,
+    warned: AtomicBool,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) a JSONL sink at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path.as_ref())?;
+        Ok(Self::from_file(path.as_ref(), file))
+    }
+
+    /// Opens `path` for appending (creating it if missing), so a
+    /// `generate` run can extend the telemetry of the `train` run that
+    /// produced its model.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path.as_ref())?;
+        Ok(Self::from_file(path.as_ref(), file))
+    }
+
+    fn from_file(path: &Path, file: File) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            writer: Mutex::new(Some(BufWriter::new(file))),
+            warned: AtomicBool::new(false),
+        }
+    }
+
+    /// The path this recorder writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True once an error has degraded this recorder to a no-op.
+    pub fn is_degraded(&self) -> bool {
+        unpoison(self.writer.lock()).is_none()
+    }
+
+    /// Flushes buffered output (also done on every record and on drop).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match unpoison(self.writer.lock()).as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn warn_once(&self, what: &str) {
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: telemetry to {} disabled: {what}; continuing without it",
+                self.path.display()
+            );
+        }
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: Event) {
+        let mut guard = unpoison(self.writer.lock());
+        let Some(writer) = guard.as_mut() else {
+            return;
+        };
+        let line = match serde_json::to_string(&event) {
+            Ok(line) => line,
+            Err(e) => {
+                *guard = None;
+                drop(guard);
+                self.warn_once(&format!("serialization failed: {e}"));
+                return;
+            }
+        };
+        let wrote = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if let Err(e) = wrote {
+            *guard = None;
+            drop(guard);
+            self.warn_once(&format!("write failed: {e}"));
+        }
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// Parses a JSONL telemetry file back into events.
+///
+/// Blank and unparseable lines are skipped (a crashed run may leave a torn
+/// final line; forward-compatible readers should not choke on events they
+/// do not know).
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GaugeEvent, GenEvent, SpanEvent};
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("obsv-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Epoch(EpochEvent {
+                stage: "flavor".into(),
+                epoch: 0,
+                mean_loss: 2.5,
+                grad_norm_pre_clip: 4.0,
+                grad_norm_pre_clip_max: 9.0,
+                lr_factor: 1.0,
+                tokens: 640,
+                wall_ms: 10.0,
+            }),
+            Event::Gen(GenEvent {
+                day: 6,
+                periods: 288,
+                batches: 40,
+                jobs: 120,
+                tokens: 170,
+                wall_ms: 25.0,
+                tokens_per_sec: 6800.0,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "lr".into(),
+                value: 3e-3,
+            }),
+            Event::Span(SpanEvent {
+                name: "arrivals_fit".into(),
+                wall_ms: 1.25,
+            }),
+        ]
+    }
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let r = NullRecorder;
+        for e in sample_events() {
+            r.record(e);
+        }
+    }
+
+    #[test]
+    fn memory_recorder_preserves_order() {
+        let r = MemoryRecorder::new();
+        assert!(r.is_empty());
+        for e in sample_events() {
+            r.record(e);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.events(), sample_events());
+        let epochs = r.epochs();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].stage, "flavor");
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let path = temp_path("roundtrip.jsonl");
+        {
+            let r = JsonlRecorder::create(&path).unwrap();
+            for e in sample_events() {
+                r.record(e);
+            }
+            assert!(!r.is_degraded());
+        }
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, sample_events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_append_extends_existing_file() {
+        let path = temp_path("append.jsonl");
+        let events = sample_events();
+        {
+            let r = JsonlRecorder::create(&path).unwrap();
+            r.record(events[0].clone());
+        }
+        {
+            let r = JsonlRecorder::append(&path).unwrap();
+            r.record(events[1].clone());
+        }
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, events[..2].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_skips_torn_and_blank_lines() {
+        let path = temp_path("torn.jsonl");
+        let good = serde_json::to_string(&sample_events()[0]).unwrap();
+        std::fs::write(&path, format!("{good}\n\n{{\"type\":\"Epo")).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn jsonl_degrades_instead_of_panicking_on_write_error() {
+        // /dev/full reports ENOSPC on write: the recorder must warn and
+        // degrade, not panic, and later records must be no-ops.
+        let Ok(r) = JsonlRecorder::create("/dev/full") else {
+            return; // environment without /dev/full
+        };
+        for e in sample_events() {
+            r.record(e);
+        }
+        assert!(r.is_degraded());
+        assert!(r.flush().is_ok());
+    }
+}

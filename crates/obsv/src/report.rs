@@ -1,0 +1,488 @@
+//! Run reports: aggregate a stream of events into per-stage training
+//! summaries, generation throughput, and scheduler counters, rendered as
+//! JSON or an aligned text table.
+
+use crate::event::Event;
+use crate::metrics::exact_quantile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Training summary for one model stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (`"flavor"`, `"lifetime"`).
+    pub stage: String,
+    /// Epochs recorded.
+    pub epochs: usize,
+    /// Mean loss of the first epoch.
+    pub first_loss: f64,
+    /// Mean loss of the last epoch.
+    pub last_loss: f64,
+    /// Mean pre-clip gradient norm across epochs.
+    pub grad_norm_mean: f64,
+    /// Max pre-clip gradient norm across epochs.
+    pub grad_norm_max: f64,
+    /// Total target tokens processed.
+    pub tokens: usize,
+    /// Total wall-clock training time, milliseconds.
+    pub wall_ms_total: f64,
+    /// Median epoch wall time, milliseconds.
+    pub wall_ms_p50: f64,
+    /// 95th-percentile epoch wall time, milliseconds.
+    pub wall_ms_p95: f64,
+    /// 99th-percentile epoch wall time, milliseconds.
+    pub wall_ms_p99: f64,
+}
+
+/// Generation throughput summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenSummary {
+    /// Simulated days covered by generation events.
+    pub days: u64,
+    /// Periods generated.
+    pub periods: u64,
+    /// Batches emitted.
+    pub batches: u64,
+    /// Jobs emitted.
+    pub jobs: u64,
+    /// Flavor tokens sampled.
+    pub tokens: u64,
+    /// Total generation wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Tokens per wall-clock second.
+    pub tokens_per_sec: f64,
+}
+
+/// Scheduler-substrate summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedSummary {
+    /// Jobs placed.
+    pub placements: u64,
+    /// Placement failures.
+    pub rejections: u64,
+    /// FFAR packing runs.
+    pub ffar_evals: u64,
+    /// Placement-cache hits.
+    pub cache_hits: u64,
+    /// Placement-cache misses.
+    pub cache_misses: u64,
+    /// Cache hit rate (0 if no accesses).
+    pub cache_hit_rate: f64,
+}
+
+/// Aggregate of one named span across its occurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpanSummary {
+    /// Occurrences.
+    pub count: u64,
+    /// Total milliseconds.
+    pub total_ms: f64,
+    /// Longest single occurrence, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Everything a telemetry stream says about one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-stage training summaries (sorted by stage name).
+    pub stages: Vec<StageSummary>,
+    /// Generation throughput, if the run generated traces.
+    pub generation: Option<GenSummary>,
+    /// Scheduler counters, if the run exercised the scheduler substrate.
+    pub scheduling: Option<SchedSummary>,
+    /// Named counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Named gauges (last value wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Named span aggregates.
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+impl RunReport {
+    /// Builds a report from an event stream (any order, any mix).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut by_stage: BTreeMap<String, Vec<&crate::event::EpochEvent>> = BTreeMap::new();
+        let mut gen: Option<GenSummary> = None;
+        let mut sched: Option<SchedSummary> = None;
+        let mut gen_days: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut spans: BTreeMap<String, SpanSummary> = BTreeMap::new();
+
+        for event in events {
+            match event {
+                Event::Epoch(e) => by_stage.entry(e.stage.clone()).or_default().push(e),
+                Event::Gen(e) => {
+                    let g = gen.get_or_insert(GenSummary {
+                        days: 0,
+                        periods: 0,
+                        batches: 0,
+                        jobs: 0,
+                        tokens: 0,
+                        wall_ms: 0.0,
+                        jobs_per_sec: 0.0,
+                        tokens_per_sec: 0.0,
+                    });
+                    gen_days.insert(e.day);
+                    g.periods += e.periods;
+                    g.batches += e.batches;
+                    g.jobs += e.jobs;
+                    g.tokens += e.tokens;
+                    g.wall_ms += e.wall_ms;
+                }
+                Event::Sched(e) => {
+                    let s = sched.get_or_insert(SchedSummary {
+                        placements: 0,
+                        rejections: 0,
+                        ffar_evals: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_hit_rate: 0.0,
+                    });
+                    s.placements += e.placements;
+                    s.rejections += e.rejections;
+                    s.ffar_evals += e.ffar_evals;
+                    s.cache_hits += e.cache_hits;
+                    s.cache_misses += e.cache_misses;
+                }
+                Event::Counter(e) => *counters.entry(e.name.clone()).or_insert(0) += e.delta,
+                Event::Gauge(e) => {
+                    gauges.insert(e.name.clone(), e.value);
+                }
+                Event::Span(e) => {
+                    let s = spans.entry(e.name.clone()).or_insert(SpanSummary {
+                        count: 0,
+                        total_ms: 0.0,
+                        max_ms: 0.0,
+                    });
+                    s.count += 1;
+                    s.total_ms += e.wall_ms;
+                    s.max_ms = s.max_ms.max(e.wall_ms);
+                }
+            }
+        }
+
+        if let Some(g) = gen.as_mut() {
+            g.days = gen_days.len() as u64;
+            let secs = g.wall_ms / 1000.0;
+            if secs > 0.0 {
+                g.jobs_per_sec = g.jobs as f64 / secs;
+                g.tokens_per_sec = g.tokens as f64 / secs;
+            }
+        }
+        if let Some(s) = sched.as_mut() {
+            let accesses = s.cache_hits + s.cache_misses;
+            if accesses > 0 {
+                s.cache_hit_rate = s.cache_hits as f64 / accesses as f64;
+            }
+        }
+
+        let stages = by_stage
+            .into_iter()
+            .map(|(stage, epochs)| {
+                let mut walls: Vec<f64> = epochs.iter().map(|e| e.wall_ms).collect();
+                walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+                let n = epochs.len();
+                StageSummary {
+                    stage,
+                    epochs: n,
+                    first_loss: epochs.first().map_or(0.0, |e| e.mean_loss),
+                    last_loss: epochs.last().map_or(0.0, |e| e.mean_loss),
+                    grad_norm_mean: epochs.iter().map(|e| e.grad_norm_pre_clip).sum::<f64>()
+                        / n.max(1) as f64,
+                    grad_norm_max: epochs
+                        .iter()
+                        .map(|e| e.grad_norm_pre_clip_max)
+                        .fold(0.0, f64::max),
+                    tokens: epochs.iter().map(|e| e.tokens).sum(),
+                    wall_ms_total: walls.iter().sum(),
+                    wall_ms_p50: exact_quantile(&walls, 0.50),
+                    wall_ms_p95: exact_quantile(&walls, 0.95),
+                    wall_ms_p99: exact_quantile(&walls, 0.99),
+                }
+            })
+            .collect();
+
+        Self {
+            stages,
+            generation: gen,
+            scheduling: sched,
+            counters,
+            gauges,
+            spans,
+        }
+    }
+
+    /// True if the event stream contributed nothing reportable.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+            && self.generation.is_none()
+            && self.scheduling.is_none()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// The report as an aligned text table (also what `Display` prints).
+    pub fn render_table(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "run report");
+        let _ = writeln!(out, "==========");
+
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "\ntraining");
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} {:>11} {:>11} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10}",
+                "stage",
+                "epochs",
+                "first-loss",
+                "last-loss",
+                "grad-mean",
+                "grad-max",
+                "p50-ms",
+                "p95-ms",
+                "p99-ms",
+                "tokens"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>6} {:>11.4} {:>11.4} {:>10.3} {:>10.3} {:>9.1} {:>9.1} {:>9.1} {:>10}",
+                    s.stage,
+                    s.epochs,
+                    s.first_loss,
+                    s.last_loss,
+                    s.grad_norm_mean,
+                    s.grad_norm_max,
+                    s.wall_ms_p50,
+                    s.wall_ms_p95,
+                    s.wall_ms_p99,
+                    s.tokens
+                );
+            }
+        }
+
+        if let Some(g) = &self.generation {
+            let _ = writeln!(out, "\ngeneration");
+            let _ = writeln!(
+                out,
+                "  days {}  periods {}  batches {}  jobs {}  tokens {}",
+                g.days, g.periods, g.batches, g.jobs, g.tokens
+            );
+            let _ = writeln!(
+                out,
+                "  wall {:.1} ms  jobs/s {:.1}  tokens/s {:.1}",
+                g.wall_ms, g.jobs_per_sec, g.tokens_per_sec
+            );
+        }
+
+        if let Some(s) = &self.scheduling {
+            let _ = writeln!(out, "\nscheduling");
+            let _ = writeln!(
+                out,
+                "  placements {}  rejections {}  ffar-evals {}",
+                s.placements, s.rejections, s.ffar_evals
+            );
+            let _ = writeln!(
+                out,
+                "  cache {}/{} hits ({:.1}%)",
+                s.cache_hits,
+                s.cache_hits + s.cache_misses,
+                s.cache_hit_rate * 100.0
+            );
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<24} {v:>12}");
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<24} {v:>12.4}");
+            }
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspans");
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>6} {:>12} {:>12}",
+                "name", "count", "total-ms", "max-ms"
+            );
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>6} {:>12.1} {:>12.1}",
+                    name, s.count, s.total_ms, s.max_ms
+                );
+            }
+        }
+
+        if self.is_empty() {
+            let _ = writeln!(out, "\n(no telemetry events)");
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{
+        CounterEvent, EpochEvent, GaugeEvent, GenEvent, SchedEvent, SpanEvent,
+    };
+
+    fn epoch(stage: &str, epoch: usize, loss: f64, wall: f64) -> Event {
+        Event::Epoch(EpochEvent {
+            stage: stage.into(),
+            epoch,
+            mean_loss: loss,
+            grad_norm_pre_clip: 2.0,
+            grad_norm_pre_clip_max: 5.0,
+            lr_factor: 1.0,
+            tokens: 100,
+            wall_ms: wall,
+        })
+    }
+
+    #[test]
+    fn aggregates_stages_in_order() {
+        let events = vec![
+            epoch("lifetime", 0, 1.0, 10.0),
+            epoch("flavor", 0, 3.0, 20.0),
+            epoch("flavor", 1, 2.0, 40.0),
+            epoch("lifetime", 1, 0.5, 30.0),
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].stage, "flavor");
+        assert_eq!(r.stages[0].epochs, 2);
+        assert!((r.stages[0].first_loss - 3.0).abs() < 1e-12);
+        assert!((r.stages[0].last_loss - 2.0).abs() < 1e-12);
+        assert!((r.stages[0].wall_ms_total - 60.0).abs() < 1e-12);
+        assert!((r.stages[0].wall_ms_p50 - 30.0).abs() < 1e-12);
+        assert_eq!(r.stages[0].tokens, 200);
+        assert!((r.stages[0].grad_norm_max - 5.0).abs() < 1e-12);
+        assert_eq!(r.stages[1].stage, "lifetime");
+        assert!(r.generation.is_none());
+        assert!(r.scheduling.is_none());
+    }
+
+    #[test]
+    fn aggregates_generation_and_scheduling() {
+        let events = vec![
+            Event::Gen(GenEvent {
+                day: 6,
+                periods: 288,
+                batches: 10,
+                jobs: 30,
+                tokens: 45,
+                wall_ms: 500.0,
+                tokens_per_sec: 90.0,
+            }),
+            Event::Gen(GenEvent {
+                day: 7,
+                periods: 288,
+                batches: 20,
+                jobs: 70,
+                tokens: 105,
+                wall_ms: 500.0,
+                tokens_per_sec: 210.0,
+            }),
+            Event::Sched(SchedEvent {
+                placements: 40,
+                rejections: 1,
+                ffar_evals: 1,
+                cache_hits: 30,
+                cache_misses: 10,
+            }),
+        ];
+        let r = RunReport::from_events(&events);
+        let g = r.generation.unwrap();
+        assert_eq!(g.days, 2);
+        assert_eq!(g.jobs, 100);
+        assert_eq!(g.tokens, 150);
+        assert!((g.jobs_per_sec - 100.0).abs() < 1e-9);
+        assert!((g.tokens_per_sec - 150.0).abs() < 1e-9);
+        let s = r.scheduling.unwrap();
+        assert_eq!(s.placements, 40);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_counters_gauges_spans() {
+        let events = vec![
+            Event::Counter(CounterEvent {
+                name: "evals".into(),
+                delta: 3,
+            }),
+            Event::Counter(CounterEvent {
+                name: "evals".into(),
+                delta: 2,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "lr".into(),
+                value: 1.0,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "lr".into(),
+                value: 0.1,
+            }),
+            Event::Span(SpanEvent {
+                name: "fit".into(),
+                wall_ms: 5.0,
+            }),
+            Event::Span(SpanEvent {
+                name: "fit".into(),
+                wall_ms: 7.0,
+            }),
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(r.counters["evals"], 5);
+        assert!((r.gauges["lr"] - 0.1).abs() < 1e-12);
+        let s = &r.spans["fit"];
+        assert_eq!(s.count, 2);
+        assert!((s.total_ms - 12.0).abs() < 1e-12);
+        assert!((s.max_ms - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders_table_and_json() {
+        let events = vec![epoch("flavor", 0, 3.0, 20.0), epoch("flavor", 1, 2.0, 40.0)];
+        let r = RunReport::from_events(&events);
+        let table = r.render_table();
+        assert!(table.contains("run report"), "{table}");
+        assert!(table.contains("flavor"), "{table}");
+        assert!(table.contains("p95-ms"), "{table}");
+        let json = r.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let r = RunReport::from_events(&[]);
+        assert!(r.is_empty());
+        assert!(r.render_table().contains("no telemetry events"));
+    }
+}

@@ -8,6 +8,7 @@
 //! placement rules keyed by flavor, so generated traces can be judged by
 //! whether they predict the cache behaviour of real traces.
 
+use obsv::{Event, NullRecorder, Recorder, SchedEvent};
 use trace::Trace;
 
 /// An LRU cache of placement rules keyed by flavor id.
@@ -78,10 +79,23 @@ impl PlacementCache {
 /// Hit rate of an LRU placement cache of the given capacity over a trace's
 /// request sequence.
 pub fn cache_hit_rate(trace: &Trace, capacity: usize) -> f64 {
+    cache_hit_rate_recorded(trace, capacity, &NullRecorder)
+}
+
+/// [`cache_hit_rate`] with telemetry: emits one [`SchedEvent`] carrying
+/// the sweep's hit/miss counts.
+pub fn cache_hit_rate_recorded(trace: &Trace, capacity: usize, rec: &dyn Recorder) -> f64 {
     let mut cache = PlacementCache::new(capacity);
     for job in &trace.jobs {
         cache.access(job.flavor.0);
     }
+    rec.record(Event::Sched(SchedEvent {
+        placements: 0,
+        rejections: 0,
+        ffar_evals: 0,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    }));
     cache.hit_rate()
 }
 
@@ -165,6 +179,22 @@ mod tests {
         // With capacity 3 almost every access hits.
         assert_eq!(capacity_for_hit_rate(&t, &[1, 2, 3, 4], 0.9), Some(3));
         assert_eq!(capacity_for_hit_rate(&t, &[1], 0.9), None);
+    }
+
+    #[test]
+    fn recorded_sweep_emits_hit_and_miss_counts() {
+        let t = trace_of(&[0, 0, 1, 0]);
+        let rec = obsv::MemoryRecorder::new();
+        let rate = cache_hit_rate_recorded(&t, 4, &rec);
+        assert!((rate - 0.5).abs() < 1e-12);
+        match &rec.events()[..] {
+            [obsv::Event::Sched(e)] => {
+                assert_eq!(e.cache_hits, 2);
+                assert_eq!(e.cache_misses, 2);
+                assert_eq!(e.placements, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub mod reuse;
 pub mod server;
 
 pub use algorithms::PlacementAlgorithm;
-pub use cache::{cache_hit_rate, capacity_for_hit_rate, hit_rate_curve, PlacementCache};
-pub use packing::{pack_trace, FfarResult, PackingConfig, SchedulingTuple};
+pub use cache::{
+    cache_hit_rate, cache_hit_rate_recorded, capacity_for_hit_rate, hit_rate_curve,
+    PlacementCache,
+};
+pub use packing::{
+    pack_trace, pack_trace_recorded, FfarResult, PackingConfig, SchedulingTuple,
+};
 pub use reuse::{reuse_distance_histogram, ReuseHistogram};
 pub use server::Server;

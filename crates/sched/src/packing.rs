@@ -7,6 +7,7 @@
 
 use crate::algorithms::PlacementAlgorithm;
 use crate::server::Server;
+use obsv::{Event, NullRecorder, Recorder, SchedEvent};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use trace::Trace;
@@ -123,6 +124,19 @@ pub fn pack_trace(
     config: PackingConfig,
     rng: &mut impl Rng,
 ) -> FfarResult {
+    pack_trace_recorded(trace, tuple, config, rng, &NullRecorder)
+}
+
+/// [`pack_trace`] with telemetry: emits one [`SchedEvent`] per run,
+/// counting placements, the rejection that ended the run (if any), and the
+/// FFAR evaluation itself.
+pub fn pack_trace_recorded(
+    trace: &Trace,
+    tuple: SchedulingTuple,
+    config: PackingConfig,
+    rng: &mut impl Rng,
+    rec: &dyn Recorder,
+) -> FfarResult {
     let mut servers: Vec<Server> = (0..tuple.n_servers)
         .map(|_| Server::new(tuple.cpu_cap, tuple.mem_cap))
         .collect();
@@ -172,6 +186,14 @@ pub fn pack_trace(
             }
         }
     }
+
+    rec.record(Event::Sched(SchedEvent {
+        placements: placed as u64,
+        rejections: failed as u64,
+        ffar_evals: 1,
+        cache_hits: 0,
+        cache_misses: 0,
+    }));
 
     let total_cpu: f64 = servers.iter().map(|s| s.cpu_cap).sum();
     let total_mem: f64 = servers.iter().map(|s| s.mem_cap).sum();
@@ -284,6 +306,32 @@ mod tests {
         let r = pack_trace(&t, tu, PackingConfig::default(), &mut rng);
         assert_eq!(r.placed, 3);
         assert!(r.exhausted);
+    }
+
+    #[test]
+    fn recorded_packing_emits_sched_event() {
+        let t = uniform_trace(10, 1_000_000_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rec = obsv::MemoryRecorder::new();
+        let r = pack_trace_recorded(
+            &t,
+            tuple(1, PlacementAlgorithm::BusiestFit),
+            PackingConfig {
+                with_departures: false,
+            },
+            &mut rng,
+            &rec,
+        );
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            obsv::Event::Sched(e) => {
+                assert_eq!(e.placements, r.placed as u64);
+                assert_eq!(e.rejections, 1);
+                assert_eq!(e.ffar_evals, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use cloudgen::{
     TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
+use obsv::{MemoryRecorder, RunReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use survival::LifetimeBins;
@@ -34,7 +35,9 @@ fn main() {
     let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
     let stream = TokenStream::from_trace(&train, &bins, train_window.censor_at);
 
-    // 3. Fit the three stages.
+    // 3. Fit the three stages, recording per-epoch telemetry (swap in a
+    //    JsonlRecorder to stream the same events to a file instead).
+    let telemetry = MemoryRecorder::new();
     let arrivals = BatchArrivalModel::fit(
         &train,
         train_window.end,
@@ -48,8 +51,8 @@ fn main() {
         epochs: 6,
         ..TrainConfig::default()
     };
-    let flavors = FlavorModel::fit(&stream, space.clone(), cfg);
-    let lifetimes = LifetimeModel::fit(&stream, space, cfg);
+    let flavors = FlavorModel::fit_recorded(&stream, space.clone(), cfg, &telemetry);
+    let lifetimes = LifetimeModel::fit_recorded(&stream, space, cfg, &telemetry);
     let generator = TraceGenerator {
         arrivals,
         flavors,
@@ -60,7 +63,8 @@ fn main() {
     // 4. Sample one day of future workload (periods are 5 minutes).
     let mut rng = StdRng::seed_from_u64(42);
     let first_period = 6 * 288; // the day after the history ends
-    let generated = generator.generate(first_period, 288, world.catalog(), &mut rng);
+    let generated =
+        generator.generate_recorded(first_period, 288, world.catalog(), &mut rng, &telemetry);
     println!("generated {} jobs for the next day", generated.len());
 
     // 5. Inspect the output.
@@ -82,4 +86,9 @@ fn main() {
         .sum::<f64>()
         / generated.len().max(1) as f64;
     println!("mean sampled lifetime: {:.1} hours", mean_life / 3600.0);
+
+    // 6. The recorded events aggregate into a run report: per-stage loss
+    //    trajectory, gradient norms, epoch wall-time quantiles, and
+    //    generation throughput.
+    println!("\n{}", RunReport::from_events(&telemetry.events()));
 }
