@@ -52,6 +52,7 @@ fn main() {
                 reuse[i] += p[i] / traces.len() as f64;
             }
         }
+        // lint:allow(float-eq): scale takes exact literal values from the ablation list
         if scale == 1.0 {
             baseline_reuse = Some(reuse);
         }
@@ -63,7 +64,8 @@ fn main() {
             &[
                 format!("{:.2}", batch_sizes / batches.max(1) as f64),
                 format!("{:.2}", jobs as f64 / (n as f64 * samples as f64)),
-                if scale == 1.0 {
+                // lint:allow(float-eq): scale takes exact literal values from the ablation list
+        if scale == 1.0 {
                     "0.000 (ref)".into()
                 } else {
                     format!("{l1:.3}")

@@ -38,6 +38,7 @@ fn km_hazard(train: &Trace, censor_at: u64, bins: &LifetimeBins) -> Vec<f64> {
         })
         .collect();
     KaplanMeier::fit(bins, &obs, CensoringPolicy::CensoringAware, 0.0)
+        .expect("bins in range")
         .hazard()
         .to_vec()
 }
@@ -119,7 +120,7 @@ fn main() {
             )
         })
         .collect();
-    let km_cont = ContinuousKm::fit(&obs);
+    let km_cont = ContinuousKm::fit(&obs).expect("durations are finite");
     let mse_cont = mse_continuous_km(&km_cont, &truths, &grid);
     row(
         "KM",

@@ -19,6 +19,8 @@
 //! - `CLOUDGEN_EPOCHS`: LSTM training epochs (default 48);
 //! - `CLOUDGEN_HIDDEN`: LSTM hidden units (default 48).
 
+#![forbid(unsafe_code)]
+
 use cloudgen::{
     ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
     NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,

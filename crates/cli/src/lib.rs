@@ -13,6 +13,8 @@
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
 //! sanctioned dependency set.
 
+#![forbid(unsafe_code)]
+
 use cloudgen::{
     ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
     TokenStream, TraceGenerator, TrainConfig,

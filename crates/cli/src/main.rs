@@ -1,5 +1,7 @@
 //! `cloudgen` command-line entry point.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match cloudgen_cli::run(&argv) {

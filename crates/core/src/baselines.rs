@@ -32,7 +32,9 @@ impl KmLifetimes {
             })
             .collect();
         let overall =
-            KaplanMeier::fit_smoothed(&space.bins, &all, CensoringPolicy::CensoringAware, 0.0, 0.5);
+            KaplanMeier::fit_smoothed(&space.bins, &all, CensoringPolicy::CensoringAware, 0.0, 0.5)
+                // lint:allow(no-panic): observation bins come from space.bins binning, in range by construction
+                .expect("observation bins from FeatureSpace are in range");
         let per_flavor = (0..space.n_flavors)
             .map(|f| {
                 let obs: Vec<Observation> = stream
@@ -47,13 +49,17 @@ impl KmLifetimes {
                 if obs.is_empty() {
                     None
                 } else {
-                    Some(KaplanMeier::fit_smoothed(
-                        &space.bins,
-                        &obs,
-                        CensoringPolicy::CensoringAware,
-                        0.0,
-                        0.5,
-                    ))
+                    Some(
+                        KaplanMeier::fit_smoothed(
+                            &space.bins,
+                            &obs,
+                            CensoringPolicy::CensoringAware,
+                            0.0,
+                            0.5,
+                        )
+                        // lint:allow(no-panic): observation bins come from space.bins binning, in range by construction
+                        .expect("observation bins from FeatureSpace are in range"),
+                    )
                 }
             })
             .collect();

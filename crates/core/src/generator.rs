@@ -141,6 +141,7 @@ impl TraceGenerator {
                     // EOB: close the current batch if non-empty; empty
                     // batches are re-rolled (a batch has >= 1 job by
                     // definition).
+                    // lint:allow(no-panic): batches starts with one Vec and is never drained
                     if !batches.last().expect("non-empty").is_empty() {
                         eobs += 1;
                         if eobs < n_batches {
@@ -150,6 +151,7 @@ impl TraceGenerator {
                 } else {
                     batches
                         .last_mut()
+                        // lint:allow(no-panic): batches starts with one Vec and is never drained
                         .expect("non-empty")
                         .push(FlavorId(tok as u16));
                     emitted += 1;

@@ -33,6 +33,8 @@
 //! - [`flavors::FlavorModel::sample_step_scaled`]: footnote 5's what-if
 //!   EOB-probability scaling.
 
+#![forbid(unsafe_code)]
+
 pub mod arrivals;
 pub mod baselines;
 pub mod features;

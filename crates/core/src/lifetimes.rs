@@ -459,6 +459,7 @@ impl LifetimeBaseline {
             }
             _ => eval_from_hazards(space, stream, |i, n| {
                 self.hazard_for(stream, i, n)
+                    // lint:allow(no-panic): match arm excludes OneBest, every other baseline is probabilistic
                     .expect("probabilistic baseline")
             }),
         }
@@ -480,6 +481,8 @@ fn fit_km<'a>(
     // Jeffreys smoothing keeps small-sample (per-flavor) estimators from
     // emitting 0/1 hazards that explode the log loss.
     KaplanMeier::fit_smoothed(&space.bins, &obs, policy, 0.0, 0.5)
+        // lint:allow(no-panic): observation bins come from space.bins binning, in range by construction
+        .expect("observation bins from FeatureSpace are in range")
 }
 
 /// Shared evaluation: masked BCE over hazard probabilities plus 1-best bin

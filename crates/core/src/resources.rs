@@ -40,9 +40,9 @@ impl ResourceClasses {
     pub fn from_catalog(catalog: &FlavorCatalog) -> Self {
         let mut cpu: Vec<f64> = catalog.iter().map(|(_, f)| f.vcpus).collect();
         let mut mem: Vec<f64> = catalog.iter().map(|(_, f)| f.memory_gb).collect();
-        cpu.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cpu.sort_by(f64::total_cmp);
         cpu.dedup();
-        mem.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        mem.sort_by(f64::total_cmp);
         mem.dedup();
         Self { cpu, mem }
     }
@@ -58,11 +58,13 @@ impl ResourceClasses {
             .cpu
             .iter()
             .position(|&v| v == f.vcpus)
+            // lint:allow(no-panic): documented panic; class lists were built from this catalog
             .expect("cpu class");
         let m = self
             .mem
             .iter()
             .position(|&v| v == f.memory_gb)
+            // lint:allow(no-panic): documented panic; class lists were built from this catalog
             .expect("mem class");
         (c, m)
     }

@@ -23,6 +23,7 @@ pub fn sample_quantized_duration(
     rng: &mut impl Rng,
 ) -> u64 {
     let d = sample_duration_in_bin(bins, bin, interp, tail_horizon, rng);
+    // lint:allow(lossy-cast): sampled duration is finite and non-negative by construction
     let periods = (d / PERIOD_SECS as f64).round() as u64;
     periods.max(1) * PERIOD_SECS
 }

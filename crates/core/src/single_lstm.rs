@@ -201,10 +201,12 @@ impl SingleLstmModel {
                 if tok == vocab - 1 {
                     break; // EOP
                 } else if tok == k {
+                    // lint:allow(no-panic): batches starts with one Vec and is never drained
                     if !batches.last().expect("non-empty").is_empty() {
                         batches.push(Vec::new());
                     }
                 } else {
+                    // lint:allow(no-panic): batches starts with one Vec and is never drained
                     batches.last_mut().expect("non-empty").push(FlavorId(tok as u16));
                     jobs += 1;
                     if jobs >= max_jobs_per_period {

@@ -11,9 +11,11 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
+    // lint:allow(lossy-cast): pos is finite and within [0, len-1] since q was validated
     let lo = pos.floor() as usize;
+    // lint:allow(lossy-cast): pos is finite and within [0, len-1] since q was validated
     let hi = pos.ceil() as usize;
     if lo == hi {
         sorted[lo]

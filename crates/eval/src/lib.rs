@@ -7,6 +7,8 @@
 //!   every "figure" binary can print something a human can eyeball in a
 //!   terminal.
 
+#![forbid(unsafe_code)]
+
 pub mod intervals;
 pub mod render;
 

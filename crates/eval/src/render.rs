@@ -11,12 +11,14 @@ pub fn render_series(values: &[f64], width: usize, height: usize, label: &str) -
     let span = (max - min).max(1e-12);
     let mut rows = vec![vec![b' '; points.len()]; height];
     for (c, &v) in points.iter().enumerate() {
+        // lint:allow(lossy-cast): ratio is in [0, 1] by min/max normalization with span floor
         let r = ((v - min) / span * (height - 1) as f64).round() as usize;
         rows[height - 1 - r][c] = b'*';
     }
     let mut out = format!("{label}  [min {min:.1}, max {max:.1}]\n");
     for row in rows {
         out.push_str("  |");
+        // lint:allow(no-panic): rows hold only ASCII bytes written above
         out.push_str(std::str::from_utf8(&row).expect("ascii"));
         out.push('\n');
     }
@@ -53,6 +55,7 @@ pub fn render_band_chart(
     let span = (max - min).max(1e-12);
     let n = a.len();
     let row_of = |v: f64| -> usize {
+        // lint:allow(lossy-cast): ratio is in [0, 1] by min/max normalization with span floor
         let r = ((v - min) / span * (height - 1) as f64).round() as usize;
         height - 1 - r.min(height - 1)
     };
@@ -76,6 +79,7 @@ pub fn render_band_chart(
     );
     for row in rows {
         out.push_str("  |");
+        // lint:allow(no-panic): rows hold only ASCII bytes written above
         out.push_str(std::str::from_utf8(&row).expect("ascii"));
         out.push('\n');
     }
@@ -91,6 +95,7 @@ pub fn render_histogram(labels: &[&str], values: &[f64], width: usize, title: &s
     let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
     let mut out = format!("{title}\n");
     for (lab, &v) in labels.iter().zip(values) {
+        // lint:allow(lossy-cast): ratio is in [0, 1] since max is the slice maximum with a floor
         let bars = ((v / max) * width as f64).round() as usize;
         out.push_str(&format!(
             "  {lab:>6} | {:<w$} {v:.3}\n",

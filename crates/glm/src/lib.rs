@@ -15,6 +15,8 @@
 //! - [`DohStrategy`]: the day-of-history sampling rule of §2.1.2 — encode
 //!   the last training day, or sample a day geometrically back from it.
 
+#![forbid(unsafe_code)]
+
 pub mod doh;
 pub mod negbin;
 pub mod poisson;

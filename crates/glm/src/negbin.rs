@@ -57,12 +57,14 @@ impl NegBinRegression {
                 let zi = eta + (y[i] - mu) / mu;
                 for j in 0..dim {
                     let xj = if j == d { 1.0 } else { row[j] };
+                    // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
                     if xj == 0.0 {
                         continue;
                     }
                     b[j] += wi * xj * zi;
                     for k in j..dim {
                         let xk = if k == d { 1.0 } else { row[k] };
+                        // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
                         if xk != 0.0 {
                             a[(j, k)] += wi * xj * xk;
                         }
@@ -79,7 +81,7 @@ impl NegBinRegression {
             }
             a[(d, d)] += 1e-8;
             let chol = Cholesky::factor(&a).map_err(|_| PoissonFitError::Singular)?;
-            let sol = chol.solve(&b);
+            let sol = chol.solve(&b).map_err(|_| PoissonFitError::Singular)?;
 
             let delta = weights
                 .iter()

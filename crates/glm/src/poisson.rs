@@ -151,12 +151,14 @@ impl PoissonRegression {
                 let row = x.row(i);
                 for j in 0..dim {
                     let xj = if j == d { 1.0 } else { row[j] };
+                    // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
                     if xj == 0.0 {
                         continue;
                     }
                     b[j] += wi * xj * zi;
                     for k in j..dim {
                         let xk = if k == d { 1.0 } else { row[k] };
+                        // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
                         if xk != 0.0 {
                             a[(j, k)] += wi * xj * xk;
                         }
@@ -175,7 +177,7 @@ impl PoissonRegression {
             a[(d, d)] += 1e-8;
 
             let chol = Cholesky::factor(&a).map_err(|_| PoissonFitError::Singular)?;
-            let mut w_new = chol.solve(&b);
+            let mut w_new = chol.solve(&b).map_err(|_| PoissonFitError::Singular)?;
 
             // Proximal step for the L1 part (soft threshold, scaled by the
             // corresponding curvature diagonal; intercept untouched).

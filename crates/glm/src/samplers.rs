@@ -62,6 +62,7 @@ pub fn sample_geometric(p: f64, rng: &mut impl Rng) -> u64 {
         return 0;
     }
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    // lint:allow(lossy-cast): u in [MIN_POSITIVE, 1) and p in (0, 1) make the ratio finite and non-negative
     (u.ln() / (1.0 - p).ln()).floor() as u64
 }
 

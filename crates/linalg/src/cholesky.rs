@@ -24,6 +24,14 @@ pub enum CholeskyError {
         /// Pivot index at which factorization failed.
         pivot: usize,
     },
+    /// The right-hand side passed to [`Cholesky::solve`] does not match the
+    /// matrix dimension.
+    RhsLength {
+        /// Observed right-hand-side length.
+        got: usize,
+        /// Matrix dimension.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for CholeskyError {
@@ -34,6 +42,9 @@ impl fmt::Display for CholeskyError {
             }
             CholeskyError::NotPositiveDefinite { pivot } => {
                 write!(f, "cholesky: non-positive pivot at index {pivot}")
+            }
+            CholeskyError::RhsLength { got, expected } => {
+                write!(f, "cholesky: rhs has length {got}, matrix is {expected}x{expected}")
             }
         }
     }
@@ -91,12 +102,18 @@ impl Cholesky {
 
     /// Solves `A x = b` given the factorization of `A`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `b.len()` does not match the matrix dimension.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    /// Returns [`CholeskyError::RhsLength`] if `b.len()` does not match the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
         let n = self.l.rows();
-        assert_eq!(b.len(), n, "solve rhs length mismatch");
+        if b.len() != n {
+            return Err(CholeskyError::RhsLength {
+                got: b.len(),
+                expected: n,
+            });
+        }
         // Forward substitution: L y = b.
         let mut y = vec![0.0; n];
         for i in 0..n {
@@ -115,7 +132,7 @@ impl Cholesky {
             }
             x[i] = s / self.l[(i, i)];
         }
-        x
+        Ok(x)
     }
 
     /// Log-determinant of `A` (twice the log-determinant of `L`).
@@ -126,7 +143,7 @@ impl Cholesky {
 
 /// Convenience: solves `A x = b` for SPD `A` in one call.
 pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
-    Ok(Cholesky::factor(a)?.solve(b))
+    Cholesky::factor(a)?.solve(b)
 }
 
 #[cfg(test)]
@@ -196,6 +213,13 @@ mod tests {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
         let err = Cholesky::factor(&a).unwrap_err();
         assert!(matches!(err, CholeskyError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn rejects_rhs_length_mismatch() {
+        let chol = Cholesky::factor(&Mat::identity(3)).unwrap();
+        let err = chol.solve(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, CholeskyError::RhsLength { got: 2, expected: 3 });
     }
 
     #[test]

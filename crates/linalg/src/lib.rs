@@ -18,6 +18,8 @@
 //! [`nn`]: ../nn/index.html
 //! [`glm`]: ../glm/index.html
 
+#![forbid(unsafe_code)]
+
 pub mod cholesky;
 pub mod matrix;
 pub mod numeric;

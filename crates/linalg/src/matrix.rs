@@ -235,6 +235,7 @@ impl Mat {
             let a_row = self.row(k);
             let b_row = other.row(k);
             for (i, &a) in a_row.iter().enumerate() {
+                // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
                 if a == 0.0 {
                     continue;
                 }
@@ -402,6 +403,7 @@ pub fn gemm_acc(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
         let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
         for (k, &aik) in a_row.iter().enumerate() {
             let f = alpha * aik;
+            // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
             if f == 0.0 {
                 continue;
             }

@@ -96,6 +96,38 @@ pub fn clamp_prob(p: f64, eps: f64) -> f64 {
     p.clamp(eps, 1.0 - eps)
 }
 
+/// Returns `true` when every element of `xs` is finite (no NaN, no ±inf).
+#[inline]
+pub fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
+/// Index and value of the first non-finite element of `xs`, if any.
+pub fn first_non_finite(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}
+
+/// Debug-build assertion that every element of a slice is finite.
+///
+/// `debug_assert_finite!(slice, "context")` panics in debug builds when the
+/// slice contains a NaN or infinity, naming the first offending index and
+/// value. Release builds compile the check away entirely, so it can sit on
+/// hot paths (LSTM forward/backward, optimizer steps) at zero cost.
+#[macro_export]
+macro_rules! debug_assert_finite {
+    ($xs:expr, $what:expr) => {
+        if cfg!(debug_assertions) {
+            if let Some((i, v)) = $crate::numeric::first_non_finite($xs) {
+                // lint:allow(no-panic): debug-only numeric tripwire; release builds compile this out
+                panic!("non-finite value {v} at index {i} in {}", $what);
+            }
+        }
+    };
+}
+
 /// Natural log of the gamma function (Lanczos approximation, g = 7).
 ///
 /// Accurate to ~1e-13 for positive arguments; uses the reflection formula
@@ -245,6 +277,31 @@ mod tests {
         for &x in &[0.7, 1.3, 2.9, 10.4, 55.5] {
             assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-9, "x = {x}");
         }
+    }
+
+    #[test]
+    fn all_finite_and_first_non_finite() {
+        assert!(all_finite(&[0.0, -1.5, 1e300]));
+        assert!(all_finite(&[]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+        let got = first_non_finite(&[1.0, f64::INFINITY, f64::NAN]);
+        assert_eq!(got, Some((1, f64::INFINITY)));
+        let (i, v) = first_non_finite(&[f64::NAN]).expect("nan found");
+        assert_eq!(i, 0);
+        assert!(v.is_nan());
+    }
+
+    #[test]
+    fn debug_assert_finite_passes_on_finite() {
+        crate::debug_assert_finite!(&[1.0, 2.0, 3.0], "test slice");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn debug_assert_finite_panics_on_nan() {
+        crate::debug_assert_finite!(&[0.0, f64::NAN], "test slice");
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! workspace lint rules, with exact handling of the places where naive
+//! regex-style scanning goes wrong — comments (line, nested block), string
+//! literals (plain, raw, byte, C), char literals vs. lifetimes, and numeric
+//! literals.
+//!
+//! The lexer deliberately does not build a syntax tree. Every rule in
+//! [`crate::rules`] is a pattern over the token stream, which keeps the
+//! whole pass dependency-free and fast enough to run on every `check.sh`
+//! invocation.
+//!
+//! Inline suppressions are collected during lexing: a line comment of the
+//! form `// lint:allow(rule-id, other-rule): reason` suppresses the named
+//! rules on its own line and on the following line. The reason string is
+//! mandatory; [`Allow::reason`] being empty is reported as a violation by
+//! the scanner rather than silently honored.
+
+/// Token classification. Coarse on purpose: rules match identifier text and
+/// punctuation shapes, not grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `pub`, `fn`, ...).
+    Ident,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Integer literal (any base, with or without suffix).
+    Int,
+    /// Float literal (`0.5`, `1e-3`, `2f64`, ...).
+    Float,
+    /// String literal of any flavor (plain, raw, byte, C). Content opaque.
+    Str,
+    /// Char or byte-char literal. Content opaque.
+    Char,
+    /// Punctuation; multi-character operators in [`COMPOUND_OPS`] are fused.
+    Punct,
+}
+
+/// Multi-character operators the lexer fuses into one [`TokKind::Punct`]
+/// token. Order matters: longest match first within each leading byte.
+pub const COMPOUND_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "+=", "-=", "*=", "/=",
+];
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Str`] and [`TokKind::Char`] this is the
+    /// empty string: rules must never match on literal contents.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// A parsed `lint:allow` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment appears on (suppresses this line and the next).
+    pub line: u32,
+    /// Rule ids named inside the parentheses.
+    pub rules: Vec<String>,
+    /// Reason text after the closing `): `. Empty when the author omitted it.
+    pub reason: String,
+}
+
+/// Output of [`lex`]: the token stream plus side tables.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Suppression comments in source order.
+    pub allows: Vec<Allow>,
+    /// Set when the source ends inside an unterminated string or block
+    /// comment; rules still run on what was lexed.
+    pub truncated: bool,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a plain (escape-aware) string or char body after the opening
+    /// quote. Returns false if the input ended first.
+    fn eat_escaped_until(&mut self, quote: u8) -> bool {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                _ if b == quote => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Consumes a raw string body after `r` / `br` / `cr`, starting at the
+    /// `#`s or the opening quote. Returns false if unterminated.
+    fn eat_raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` raw identifier path: nothing string-like to consume.
+            return true;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => return false,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return true;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// True if the identifier just lexed, when immediately followed by a quote
+/// or `#"`, is a string-literal prefix (`r`, `b`, `br`, `c`, `cr`, `rb` is
+/// not valid Rust and is not treated as one).
+fn is_string_prefix(ident: &str) -> bool {
+    matches!(ident, "r" | "b" | "br" | "c" | "cr")
+}
+
+/// Parses a suppression directive out of a line comment body, if present.
+/// The directive must be the first thing in the comment (after the `//`
+/// markers and whitespace): a suppression is a directive, not prose, so a
+/// sentence that merely *mentions* the syntax never fires.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let body = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    let rest = body.strip_prefix("lint:allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = &rest[close + 1..];
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Allow {
+        line,
+        rules,
+        reason,
+    })
+}
+
+/// Lexes one source file.
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOutput::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                // Line comment (incl. doc comments). Capture text for
+                // lint:allow parsing.
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = std::str::from_utf8(&cur.bytes[start..cur.pos]).unwrap_or("");
+                if let Some(allow) = parse_allow(text, line) {
+                    out.allows.push(allow);
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                // Block comment, nested.
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                loop {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => {
+                            out.truncated = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            b'"' => {
+                cur.bump();
+                if !cur.eat_escaped_until(b'"') {
+                    out.truncated = true;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal.
+                cur.bump();
+                match cur.peek(0) {
+                    Some(b'\\') => {
+                        // Escaped char literal.
+                        if !cur.eat_escaped_until(b'\'') {
+                            out.truncated = true;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line,
+                            col,
+                        });
+                    }
+                    Some(c) if is_ident_start(c) && cur.peek(1) != Some(b'\'') => {
+                        // Lifetime: 'ident not closed by a quote.
+                        let start = cur.pos;
+                        cur.eat_while(is_ident_continue);
+                        let text =
+                            std::str::from_utf8(&cur.bytes[start..cur.pos]).unwrap_or("");
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: text.to_string(),
+                            line,
+                            col,
+                        });
+                    }
+                    Some(_) => {
+                        // 'x' char literal (any single non-escape char).
+                        cur.bump();
+                        if cur.peek(0) == Some(b'\'') {
+                            cur.bump();
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line,
+                            col,
+                        });
+                    }
+                    None => {
+                        out.truncated = true;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = cur.pos;
+                let mut kind = TokKind::Int;
+                let radix_prefixed = b == b'0'
+                    && matches!(cur.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+                if radix_prefixed {
+                    cur.bump();
+                    cur.bump();
+                    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+                } else {
+                    cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+                    // Fraction: `.` followed by a digit, or a bare trailing
+                    // `.` not starting `..` / a method call / a field access.
+                    if cur.peek(0) == Some(b'.') {
+                        match cur.peek(1) {
+                            Some(d) if d.is_ascii_digit() => {
+                                kind = TokKind::Float;
+                                cur.bump();
+                                cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+                            }
+                            Some(d) if d == b'.' || is_ident_start(d) => {}
+                            _ => {
+                                kind = TokKind::Float;
+                                cur.bump();
+                            }
+                        }
+                    }
+                    // Exponent.
+                    if matches!(cur.peek(0), Some(b'e' | b'E')) {
+                        let sign = matches!(cur.peek(1), Some(b'+' | b'-'));
+                        let digit_at = if sign { 2 } else { 1 };
+                        if matches!(cur.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+                            kind = TokKind::Float;
+                            cur.bump();
+                            if sign {
+                                cur.bump();
+                            }
+                            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+                        }
+                    }
+                    // Suffix (`f64` forces float, `u32` etc. stay int).
+                    if matches!(cur.peek(0), Some(c) if is_ident_start(c)) {
+                        let sstart = cur.pos;
+                        cur.eat_while(is_ident_continue);
+                        let suffix =
+                            std::str::from_utf8(&cur.bytes[sstart..cur.pos]).unwrap_or("");
+                        if suffix == "f32" || suffix == "f64" {
+                            kind = TokKind::Float;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&cur.bytes[start..cur.pos]).unwrap_or("");
+                out.toks.push(Tok {
+                    kind,
+                    text: text.to_string(),
+                    line,
+                    col,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                cur.eat_while(is_ident_continue);
+                let text = std::str::from_utf8(&cur.bytes[start..cur.pos])
+                    .unwrap_or("")
+                    .to_string();
+                // String-literal prefixes: r"..." br#"..."# b"..." c"..."
+                // and raw identifiers r#ident.
+                let next = cur.peek(0);
+                if is_string_prefix(&text) && matches!(next, Some(b'"' | b'#')) {
+                    let raw = text != "b" && text != "c";
+                    if raw {
+                        if !cur.eat_raw_string() {
+                            out.truncated = true;
+                        }
+                        // `r#ident`: eat_raw_string consumed the hashes but
+                        // found no quote; lex the identifier it prefixes.
+                        if matches!(cur.peek(0), Some(c2) if is_ident_start(c2)) {
+                            let istart = cur.pos;
+                            cur.eat_while(is_ident_continue);
+                            let itext = std::str::from_utf8(&cur.bytes[istart..cur.pos])
+                                .unwrap_or("")
+                                .to_string();
+                            out.toks.push(Tok {
+                                kind: TokKind::Ident,
+                                text: itext,
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                    } else {
+                        // b"..." / c"..." with escapes.
+                        cur.bump(); // opening quote
+                        if !cur.eat_escaped_until(b'"') {
+                            out.truncated = true;
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                } else if text == "b" && next == Some(b'\'') {
+                    // Byte char b'x'.
+                    cur.bump();
+                    if cur.peek(0) == Some(b'\\') {
+                        if !cur.eat_escaped_until(b'\'') {
+                            out.truncated = true;
+                        }
+                    } else {
+                        cur.bump();
+                        if cur.peek(0) == Some(b'\'') {
+                            cur.bump();
+                        }
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ => {
+                // Punctuation: longest compound operator first.
+                let two = [b, cur.peek(1).unwrap_or(0)];
+                let compound = COMPOUND_OPS
+                    .iter()
+                    .find(|op| op.as_bytes() == two.as_slice());
+                let text = if let Some(op) = compound {
+                    cur.bump();
+                    cur.bump();
+                    (*op).to_string()
+                } else {
+                    cur.bump();
+                    (b as char).to_string()
+                };
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert!(idents("// unwrap() thread_rng()\n/* panic!() */").is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ unwrap */ real"), vec!["real"]);
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = kinds(r#"let s = "thread_rng() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || (t != "thread_rng")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside unwrap()"#; after"##;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(idents(r##"b"unwrap" c"panic" br#"todo"# x"##), vec!["x"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("r#fn r#unwrap"), vec!["fn", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str; let c = 'x'; let n = '\\n'; 'b'");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 1);
+        assert_eq!(lifetimes[0].1, "a");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        assert_eq!(idents(r"let q = '\''; done"), vec!["let", "q", "done"]);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("1 2.5 1e-3 0.0 1_000 7f64 3f32 0x1e5 1..2 1.max(2)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["2.5", "1e-3", "0.0", "7f64", "3f32"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Int)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(ints, vec!["1", "1_000", "0x1e5", "1", "2", "1", "2"]);
+    }
+
+    #[test]
+    fn trailing_dot_float() {
+        let toks = kinds("let x = 1.;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Float && t == "1."));
+    }
+
+    #[test]
+    fn compound_operators_fuse() {
+        let puncts: Vec<String> = lex("a == b != c -> d :: e")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b").toks;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn allow_comment_parses() {
+        let out = lex("x // lint:allow(no-panic, float-eq): invariant holds\ny");
+        assert_eq!(out.allows.len(), 1);
+        let a = &out.allows[0];
+        assert_eq!(a.line, 1);
+        assert_eq!(a.rules, vec!["no-panic", "float-eq"]);
+        assert_eq!(a.reason, "invariant holds");
+    }
+
+    #[test]
+    fn allow_without_reason_has_empty_reason() {
+        let out = lex("// lint:allow(no-panic)\n");
+        assert_eq!(out.allows.len(), 1);
+        assert!(out.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn allow_inside_string_is_not_parsed() {
+        let out = lex(r#"let s = "// lint:allow(no-panic): nope";"#);
+        assert!(out.allows.is_empty());
+    }
+
+    #[test]
+    fn unterminated_string_sets_truncated() {
+        assert!(lex("let s = \"oops").truncated);
+    }
+}

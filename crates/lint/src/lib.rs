@@ -1,0 +1,30 @@
+//! `cloudgen-lint`: a workspace static-analysis pass enforcing determinism,
+//! panic-freedom, and numeric hygiene across the cloudgen crates.
+//!
+//! The reproduction's correctness claims — bit-identical traces from a
+//! seed, library code that degrades into typed errors instead of panics,
+//! numerics that survive NaN/rounding — are properties `cargo test` cannot
+//! enforce by itself. This crate enforces them at the source level with a
+//! hand-rolled, comment/string-aware Rust lexer ([`lexer`]) and a small set
+//! of token-pattern rules ([`rules`]); [`scan`] decides which rules apply
+//! where, and [`report`] renders text or JSON for humans and CI.
+//!
+//! The linter is deliberately dependency-free (it links only `obsv`, for
+//! telemetry emission from the binary): it must keep working in offline
+//! build environments and must never be the slowest step of
+//! `scripts/check.sh`.
+//!
+//! Suppressions are inline and auditable: `// lint:allow(rule-id): reason`
+//! silences the named rules on its own line and the next, and an allow
+//! without a reason is itself a violation.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{render_json, render_text, rule_counts};
+pub use rules::{Violation, RULES};
+pub use scan::{classify, scan_source, scan_workspace, FileClass, FileViolation, ScanReport};

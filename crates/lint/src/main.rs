@@ -1,0 +1,115 @@
+//! Command-line entry point for the workspace linter.
+//!
+//! ```text
+//! cloudgen-lint [--root PATH] [--json] [--telemetry FILE]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cloudgen_lint::{render_json, render_text, rule_counts, scan_workspace};
+use obsv::{Event, JsonlRecorder, LintEvent, Recorder};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    telemetry: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: cloudgen-lint [--root PATH] [--json] [--telemetry FILE]\n\
+\n\
+Scans the workspace's .rs files for determinism, panic-freedom, and numeric\n\
+hygiene violations. Exits 0 when clean, 1 on violations, 2 on usage errors.\n\
+\n\
+  --root PATH        workspace root to scan (default: current directory)\n\
+  --json             emit the report as JSON instead of text\n\
+  --telemetry FILE   append a Lint event to a JSONL telemetry file\n";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        telemetry: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root requires a path".to_string())?,
+                );
+            }
+            "--telemetry" => {
+                args.telemetry = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--telemetry requires a file path".to_string())?,
+                ));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cloudgen-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.root.is_dir() {
+        eprintln!("cloudgen-lint: root `{}` is not a directory", args.root.display());
+        return ExitCode::from(2);
+    }
+
+    let start = Instant::now();
+    let report = scan_workspace(&args.root);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    if let Some(path) = &args.telemetry {
+        match JsonlRecorder::append(path) {
+            Ok(recorder) => {
+                recorder.record(Event::Lint(LintEvent {
+                    files: report.files as u64,
+                    violations: report.violations.len() as u64,
+                    suppressed: report.suppressed as u64,
+                    rules_hit: rule_counts(&report).len() as u64,
+                    wall_ms,
+                }));
+                if let Err(e) = recorder.flush() {
+                    eprintln!("cloudgen-lint: telemetry flush failed: {e}");
+                }
+            }
+            Err(e) => eprintln!(
+                "cloudgen-lint: cannot open telemetry file `{}`: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    if args.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,170 @@
+//! Rendering a [`ScanReport`] as human-readable text or JSON.
+//!
+//! JSON output is hand-rolled (the linter deliberately has no heavyweight
+//! dependencies) with full string escaping, so editor/CI integrations can
+//! consume `cloudgen-lint --json` without surprises.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::RULES;
+use crate::scan::ScanReport;
+
+/// Per-rule violation counts in [`RULES`] order, skipping zero rules.
+pub fn rule_counts(report: &ScanReport) -> Vec<(&'static str, usize)> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for fv in &report.violations {
+        *counts.entry(fv.violation.rule).or_insert(0) += 1;
+    }
+    RULES
+        .iter()
+        .filter_map(|(id, _)| counts.get(id).map(|&n| (*id, n)))
+        .collect()
+}
+
+/// Renders the `path:line:col: error[rule]: message` listing plus a
+/// per-rule summary block.
+pub fn render_text(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for fv in &report.violations {
+        let v = &fv.violation;
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: error[{}]: {}",
+            fv.path, v.line, v.col, v.rule, v.message
+        );
+    }
+    if !report.violations.is_empty() {
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "cloudgen-lint: {} file(s) scanned, {} violation(s), {} suppressed",
+        report.files,
+        report.violations.len(),
+        report.suppressed
+    );
+    for (rule, n) in rule_counts(report) {
+        let _ = writeln!(out, "  {rule}: {n}");
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a JSON document:
+///
+/// ```json
+/// {
+///   "files": 42,
+///   "violations": [{"path": "...", "line": 1, "col": 1, "rule": "...", "message": "..."}],
+///   "suppressed": 3,
+///   "counts": {"no-panic": 2}
+/// }
+/// ```
+pub fn render_json(report: &ScanReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files\": {},", report.files);
+    out.push_str("  \"violations\": [");
+    for (i, fv) in report.violations.iter().enumerate() {
+        let v = &fv.violation;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&fv.path),
+            v.line,
+            v.col,
+            json_escape(v.rule),
+            json_escape(&v.message)
+        );
+    }
+    if report.violations.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    let _ = writeln!(out, "  \"suppressed\": {},", report.suppressed);
+    out.push_str("  \"counts\": {");
+    let counts = rule_counts(report);
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", json_escape(rule), n);
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+    use crate::scan::FileViolation;
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            files: 2,
+            violations: vec![FileViolation {
+                path: "crates/nn/src/x.rs".to_string(),
+                violation: Violation {
+                    rule: "no-panic",
+                    line: 3,
+                    col: 7,
+                    message: "`.unwrap()` panics; say \"why\"".to_string(),
+                },
+            }],
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn text_has_location_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/nn/src/x.rs:3:7: error[no-panic]:"));
+        assert!(text.contains("2 file(s) scanned, 1 violation(s), 1 suppressed"));
+        assert!(text.contains("no-panic: 1"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let json = render_json(&sample());
+        assert!(json.contains("\\\"why\\\""));
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        assert!(json.contains("\"suppressed\": 1"));
+    }
+
+    #[test]
+    fn json_empty_report() {
+        let json = render_json(&ScanReport::default());
+        assert!(json.contains("\"violations\": [],"));
+        assert!(json.contains("\"counts\": {}"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(json_escape("a\nb\t\"c\\"), "a\\nb\\t\\\"c\\\\");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

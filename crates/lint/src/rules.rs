@@ -1,0 +1,375 @@
+//! The lint rules.
+//!
+//! Every rule is a pattern over the token stream produced by
+//! [`crate::lexer`]; none of them parse Rust properly, and each one's
+//! documentation states the approximation it makes. The rules encode the
+//! reproduction's numerics policy:
+//!
+//! | id | scope | requirement |
+//! |----|-------|-------------|
+//! | `ambient-rng` (R1) | library crates, non-test | no `thread_rng()`, `SystemTime::now()`, `rand::random()`, or `from_entropy()`; randomness and wall-clock time must flow in from explicit seeds/arguments |
+//! | `no-panic` (R2) | library crates, non-test | no `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!` |
+//! | `float-eq` (R3) | all crates, non-test | no `==`/`!=` with a float literal (or `NAN`/`INFINITY` constant) operand |
+//! | `lossy-cast` (R4) | library crates, non-test | no `<float literal> as <int>` and no `.floor()/.ceil()/.round()/.trunc() as <int>` without an annotation |
+//! | `forbid-unsafe` (R5) | every crate root | `#![forbid(unsafe_code)]` present |
+//! | `fallible-entry` (R6) | `nn`, `glm`, `survival`, non-test | `pub fn fit*/train*/solve*/factor*` returns a `Result` |
+//!
+//! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
+//! or the preceding line (see [`crate::scan`]).
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::{FileClass, FileCtx};
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`no-panic`, ...).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Rule ids with one-line descriptions, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "ambient-rng",
+        "ambient randomness or wall-clock time in library code (R1)",
+    ),
+    (
+        "no-panic",
+        "panicking call in non-test library code (R2)",
+    ),
+    ("float-eq", "naked float equality comparison (R3)"),
+    ("lossy-cast", "unannotated lossy float-to-int cast (R4)"),
+    (
+        "forbid-unsafe",
+        "crate root missing #![forbid(unsafe_code)] (R5)",
+    ),
+    (
+        "fallible-entry",
+        "fallible numeric entry point does not return Result (R6)",
+    ),
+    (
+        "allow-missing-reason",
+        "lint:allow suppression without a reason string",
+    ),
+];
+
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Zero-argument `f64` methods whose result is routinely truncated into an
+/// index; casting them without an annotation is what R4 flags.
+const FLOAT_TRUNC_METHODS: &[&str] = &["floor", "ceil", "round", "trunc"];
+
+/// Crates whose public numeric entry points must return `Result` (R6).
+const RESULT_ENTRY_CRATES: &[&str] = &["nn", "glm", "survival"];
+
+/// Function-name prefixes R6 treats as fallible numeric entry points.
+const FALLIBLE_PREFIXES: &[&str] = &["fit", "train", "solve", "factor"];
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn violation(rule: &'static str, t: &Tok, message: String) -> Violation {
+    Violation {
+        rule,
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// R1: `thread_rng` / `SystemTime::now` / `rand::random` / `from_entropy`
+/// in non-test library code. Token-level: flags the identifiers wherever
+/// they appear outside strings/comments, so even a re-export would be
+/// caught.
+pub fn ambient_rng(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ident(t, "thread_rng") || ident(t, "from_entropy") {
+            out.push(violation(
+                "ambient-rng",
+                t,
+                format!(
+                    "`{}` seeds from the environment; thread an explicit seeded RNG instead",
+                    t.text
+                ),
+            ));
+        } else if ident(t, "SystemTime")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "::"))
+            && matches!(toks.get(i + 2), Some(n) if ident(n, "now"))
+        {
+            out.push(violation(
+                "ambient-rng",
+                t,
+                "`SystemTime::now()` makes output depend on wall-clock time; take the timestamp \
+                 as an argument"
+                    .to_string(),
+            ));
+        } else if ident(t, "rand")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "::"))
+            && matches!(toks.get(i + 2), Some(n) if ident(n, "random"))
+        {
+            out.push(violation(
+                "ambient-rng",
+                t,
+                "`rand::random()` uses the ambient thread RNG; thread an explicit seeded RNG"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// R2: `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` in
+/// non-test library code. Method matches require a preceding `.` so local
+/// functions named `unwrap` (there are none) would not be flagged, and a
+/// following `(` so fields/paths are ignored.
+pub fn no_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && punct(&toks[i - 1], ".")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "("));
+        let macro_call = matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "!"));
+        if method {
+            out.push(violation(
+                "no-panic",
+                t,
+                format!(
+                    "`.{}()` panics; return a typed error or annotate the invariant",
+                    t.text
+                ),
+            ));
+        } else if macro_call {
+            out.push(violation(
+                "no-panic",
+                t,
+                format!("`{}!` in library code; return a typed error instead", t.text),
+            ));
+        }
+    }
+}
+
+/// R3: `==` or `!=` with a float literal (or `NAN`/`INFINITY` constant) on
+/// either side, outside test code. Token-level approximation: comparisons
+/// between two float *variables* are invisible to this rule — the rule
+/// exists to catch the literal-tolerance idiom (`x == 0.3`) that breaks
+/// under rounding.
+pub fn float_eq(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || !(punct(t, "==") || punct(t, "!=")) {
+            continue;
+        }
+        let float_operand = |n: Option<&Tok>| {
+            n.is_some_and(|n| {
+                n.kind == TokKind::Float
+                    || (n.kind == TokKind::Ident && (n.text == "NAN" || n.text == "INFINITY"))
+            })
+        };
+        // Next token, or the constant after `f64::`-style paths.
+        let rhs = toks.get(i + 1);
+        let rhs_const = if rhs.is_some_and(|n| n.kind == TokKind::Ident)
+            && matches!(toks.get(i + 2), Some(n) if punct(n, "::"))
+        {
+            toks.get(i + 3)
+        } else {
+            rhs
+        };
+        let lhs = i.checked_sub(1).and_then(|j| toks.get(j));
+        if float_operand(lhs) || float_operand(rhs) || float_operand(rhs_const) {
+            out.push(violation(
+                "float-eq",
+                t,
+                format!(
+                    "float `{}` comparison; use a tolerance, `total_cmp`, or annotate why \
+                     exactness is sound",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R4: lossy float-to-int casts in non-test library code. Two shapes:
+/// `<float literal> as <int>` and `.floor()/.ceil()/.round()/.trunc() as
+/// <int>` (the canonical binning idiom — `as` silently maps NaN to 0 and
+/// saturates infinities, so each such site must be annotated with the
+/// reason it is safe).
+pub fn lossy_cast(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || !ident(t, "as") {
+            continue;
+        }
+        let to_int = matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Ident
+            && INT_TYPES.contains(&n.text.as_str()));
+        if !to_int {
+            continue;
+        }
+        let prev = match i.checked_sub(1).and_then(|j| toks.get(j)) {
+            Some(p) => p,
+            None => continue,
+        };
+        if prev.kind == TokKind::Float {
+            out.push(violation(
+                "lossy-cast",
+                t,
+                format!("float literal cast `{} as {}`", prev.text, toks[i + 1].text),
+            ));
+            continue;
+        }
+        // `.method() as int` with a known truncating float method.
+        if punct(prev, ")") && i >= 4 {
+            let open = &toks[i - 2];
+            let name = &toks[i - 3];
+            let dot = &toks[i - 4];
+            if punct(open, "(")
+                && punct(dot, ".")
+                && name.kind == TokKind::Ident
+                && FLOAT_TRUNC_METHODS.contains(&name.text.as_str())
+            {
+                out.push(violation(
+                    "lossy-cast",
+                    t,
+                    format!(
+                        "`.{}() as {}` silently maps NaN to 0; annotate why the value is finite \
+                         or use a checked conversion",
+                        name.text,
+                        toks[i + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R5: crate roots (`src/lib.rs`, `src/main.rs`) must carry
+/// `#![forbid(unsafe_code)]`. Matched as the token sequence `forbid (
+/// unsafe_code )` anywhere in the file, which is exactly as strong as the
+/// attribute itself (an outer `#[forbid]` on the first item would also
+/// satisfy the tokens, but not survive `cargo build` semantics any
+/// differently for a whole-crate lint).
+pub fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    let toks = &ctx.toks;
+    let found = toks.iter().enumerate().any(|(i, t)| {
+        ident(t, "forbid")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "("))
+            && matches!(toks.get(i + 2), Some(n) if ident(n, "unsafe_code"))
+            && matches!(toks.get(i + 3), Some(n) if punct(n, ")"))
+    });
+    if !found {
+        out.push(Violation {
+            rule: "forbid-unsafe",
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// R6: in the numeric crates (`nn`, `glm`, `survival`), a `pub fn` whose
+/// name starts with `fit`/`train`/`solve`/`factor` must mention `Result` in
+/// its signature. These are the entry points that can fail on valid-typed
+/// but numerically-degenerate input; panicking there poisons every caller.
+/// `pub(crate)` helpers are exempt (the `pub` must be directly followed by
+/// `fn`).
+pub fn fallible_entry(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let FileClass::Lib { krate } = &ctx.class else {
+        return;
+    };
+    if !RESULT_ENTRY_CRATES.contains(&krate.as_str()) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || !ident(&toks[i], "pub") {
+            continue;
+        }
+        let (Some(fn_tok), Some(name)) = (toks.get(i + 1), toks.get(i + 2)) else {
+            continue;
+        };
+        if !ident(fn_tok, "fn") || name.kind != TokKind::Ident {
+            continue;
+        }
+        let matches_prefix = FALLIBLE_PREFIXES.iter().any(|p| {
+            name.text == *p || name.text.starts_with(&format!("{p}_"))
+        });
+        if !matches_prefix {
+            continue;
+        }
+        // Scan the signature up to the body `{` (or `;` for trait decls) at
+        // paren/bracket depth 0, looking for `Result`.
+        let mut depth = 0i32;
+        let mut returns_result = false;
+        for t in toks.iter().skip(i + 3) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident && t.text.contains("Result") {
+                returns_result = true;
+                break;
+            }
+        }
+        if !returns_result {
+            out.push(violation(
+                "fallible-entry",
+                name,
+                format!(
+                    "`pub fn {}` in crate `{krate}` is a fallible numeric entry point and must \
+                     return a Result",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs every rule against one file.
+pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    ambient_rng(ctx, &mut out);
+    no_panic(ctx, &mut out);
+    float_eq(ctx, &mut out);
+    lossy_cast(ctx, &mut out);
+    forbid_unsafe(ctx, &mut out);
+    fallible_entry(ctx, &mut out);
+    out
+}

@@ -1,0 +1,539 @@
+//! Workspace walking, file classification, `#[cfg(test)]` region detection,
+//! and suppression handling.
+//!
+//! The scanner decides *where* each rule applies; the rules in
+//! [`crate::rules`] decide *what* to flag. Classification is path-based:
+//!
+//! * `crates/<name>/src/**` → library or binary-tool code depending on the
+//!   crate (`cli`, `bench`, and `lint` itself are tools; everything else is
+//!   a library crate), except `crates/<name>/src/bin/**` which is always
+//!   tool code.
+//! * `crates/<name>/{tests,benches,examples}/**`, top-level `tests/` and
+//!   `examples/` → test/example code (only `float-eq` still applies, and it
+//!   is disabled there too since assertions legitimately compare exact
+//!   constants).
+//! * the umbrella `src/**` → library code.
+//!
+//! Inside library files, `#[cfg(test)] mod ... { ... }` regions are located
+//! with a token-level attribute scan plus brace matching, and rules treat
+//! tokens inside them as test code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Allow, Tok, TokKind};
+use crate::rules::{self, Violation};
+
+/// Crates under `crates/` that are command-line tools rather than library
+/// code: R1/R2/R4 do not apply to them (a CLI may panic on bad input and
+/// read the clock), though R3/R5 still do.
+const TOOL_CRATES: &[&str] = &["cli", "bench", "lint"];
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code in the named crate; all rules apply.
+    Lib {
+        /// Crate directory name (`nn`, `glm`, ...; `suite` for the umbrella
+        /// `src/`).
+        krate: String,
+    },
+    /// Binary/tool code; only `float-eq` and `forbid-unsafe` apply.
+    Bin {
+        /// Crate directory name.
+        krate: String,
+    },
+    /// Integration tests, benches, and examples; no rules apply.
+    TestOrExample,
+}
+
+/// One file's tokens plus everything the rules need to scope themselves.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Classification (see [`FileClass`]).
+    pub class: FileClass,
+    /// True for `src/lib.rs` / `src/main.rs` crate roots (R5 scope).
+    pub is_crate_root: bool,
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Parallel to `toks`: true when the token sits inside a
+    /// `#[cfg(test)]`-gated region or the whole file is test code.
+    pub in_test: Vec<bool>,
+    /// Suppression comments.
+    pub allows: Vec<Allow>,
+}
+
+/// A violation bound to the file it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileViolation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+/// Result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Files scanned.
+    pub files: usize,
+    /// Violations that survived suppression, in path/line order.
+    pub violations: Vec<FileViolation>,
+    /// Violations silenced by a `lint:allow` with a reason.
+    pub suppressed: usize,
+}
+
+/// Classifies a workspace-relative path. Returns `None` for files the
+/// scanner should skip entirely.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, "src", rest @ ..] => {
+            if rest.first() == Some(&"bin") || TOOL_CRATES.contains(krate) {
+                Some(FileClass::Bin {
+                    krate: (*krate).to_string(),
+                })
+            } else {
+                Some(FileClass::Lib {
+                    krate: (*krate).to_string(),
+                })
+            }
+        }
+        ["crates", _, "tests" | "benches" | "examples", ..] => Some(FileClass::TestOrExample),
+        ["src", ..] => Some(FileClass::Lib {
+            krate: "suite".to_string(),
+        }),
+        ["tests" | "examples", ..] => Some(FileClass::TestOrExample),
+        _ => None,
+    }
+}
+
+/// True when the path is a crate root that R5 requires to carry
+/// `#![forbid(unsafe_code)]`: `lib.rs` or `main.rs` directly under a `src/`
+/// directory (not `src/bin/*` helper binaries).
+pub fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    matches!(
+        parts.as_slice(),
+        ["crates", _, "src", "lib.rs" | "main.rs"] | ["src", "lib.rs" | "main.rs"]
+    )
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+/// Marks tokens inside `#[cfg(test)]`- or `#[test]`-gated items. The scan
+/// looks for a `#[...]` attribute whose bracket group contains the idents
+/// `cfg` + `test` or a bare `test`, then marks everything up to the end of
+/// the following item: the matching `}` of the first `{` opened at
+/// bracket/paren depth zero, or a terminating `;` before any brace.
+pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // Outer attribute start: `#` `[` (not `#![...]` inner attributes).
+        if !(punct(&toks[i], "#")
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "[")))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        // `#[cfg(test)]` and bare `#[test]` both gate; both contain the
+        // ident `test` somewhere in the bracket group. `#[cfg(not(test))]`
+        // would too — acceptable over-marking, since rules only *skip*
+        // gated regions.
+        let mut gated = false;
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if punct(t, "[") {
+                depth += 1;
+            } else if punct(t, "]") {
+                depth -= 1;
+            } else if ident(t, "test") {
+                gated = true;
+            }
+            j += 1;
+        }
+        if !gated {
+            i = j;
+            continue;
+        }
+        // Mark from the attribute through the end of the gated item. Other
+        // attributes between this one and the item are covered by the same
+        // sweep.
+        let start = i;
+        let mut k = j;
+        let mut brace_depth = 0i32;
+        let mut entered = false;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        brace_depth += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        brace_depth -= 1;
+                        if entered && brace_depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    ";" if !entered && brace_depth == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for flag in in_test.iter_mut().take(k).skip(start) {
+            *flag = true;
+        }
+        i = k;
+    }
+    in_test
+}
+
+/// Lexes and contextualizes one file's source.
+pub fn build_ctx(path: String, class: FileClass, src: &str) -> FileCtx {
+    let lexer::LexOutput { toks, allows, .. } = lexer::lex(src);
+    let all_test = matches!(class, FileClass::TestOrExample);
+    let in_test = if all_test {
+        vec![true; toks.len()]
+    } else {
+        test_regions(&toks)
+    };
+    let is_root = is_crate_root(&path);
+    FileCtx {
+        path,
+        class,
+        is_crate_root: is_root,
+        toks,
+        in_test,
+        allows,
+    }
+}
+
+/// Applies `lint:allow` suppressions to raw violations. A suppression
+/// covers its own line and the following line for the rules it names; a
+/// suppression without a reason does not suppress anything and instead
+/// yields an `allow-missing-reason` violation.
+pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usize) {
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for v in raw {
+        let covered = ctx.allows.iter().any(|a| {
+            !a.reason.is_empty()
+                && (a.line == v.line || a.line + 1 == v.line)
+                && a.rules.iter().any(|r| r == v.rule)
+        });
+        if covered {
+            suppressed += 1;
+        } else {
+            out.push(v);
+        }
+    }
+    for a in &ctx.allows {
+        if a.reason.is_empty() {
+            out.push(Violation {
+                rule: "allow-missing-reason",
+                line: a.line,
+                col: 1,
+                message: "lint:allow must carry a reason: `// lint:allow(rule): why this is sound`"
+                    .to_string(),
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.line, v.col));
+    (out, suppressed)
+}
+
+/// Scans one file's source text (exposed for tests).
+pub fn scan_source(path: String, class: FileClass, src: &str) -> (Vec<Violation>, usize) {
+    let ctx = build_ctx(path, class, src);
+    let raw = rules::run_all(&ctx);
+    apply_allows(&ctx, raw)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "results" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Walks the workspace rooted at `root` and runs every rule on every
+/// classified `.rs` file.
+pub fn scan_workspace(root: &Path) -> ScanReport {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    let mut report = ScanReport::default();
+    for file in files {
+        let rel: String = match file.strip_prefix(root) {
+            Ok(p) => p
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/"),
+            Err(_) => continue,
+        };
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let Ok(src) = fs::read_to_string(&file) else {
+            continue;
+        };
+        report.files += 1;
+        let (violations, suppressed) = scan_source(rel.clone(), class, &src);
+        report.suppressed += suppressed;
+        report
+            .violations
+            .extend(violations.into_iter().map(|violation| FileViolation {
+                path: rel.clone(),
+                violation,
+            }));
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.violation.line, a.violation.col)
+            .cmp(&(&b.path, b.violation.line, b.violation.col)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> (Vec<Violation>, usize) {
+        scan_source(
+            "crates/nn/src/x.rs".to_string(),
+            FileClass::Lib {
+                krate: "nn".to_string(),
+            },
+            src,
+        )
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(
+            classify("crates/nn/src/lstm.rs"),
+            Some(FileClass::Lib {
+                krate: "nn".into()
+            })
+        );
+        assert_eq!(
+            classify("crates/cli/src/main.rs"),
+            Some(FileClass::Bin {
+                krate: "cli".into()
+            })
+        );
+        assert_eq!(
+            classify("crates/glm/src/bin/tool.rs"),
+            Some(FileClass::Bin {
+                krate: "glm".into()
+            })
+        );
+        assert_eq!(
+            classify("crates/nn/tests/t.rs"),
+            Some(FileClass::TestOrExample)
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(FileClass::Lib {
+                krate: "suite".into()
+            })
+        );
+        assert_eq!(classify("examples/e.rs"), Some(FileClass::TestOrExample));
+        assert_eq!(classify("build.rs"), None);
+        assert_eq!(classify("crates/nn/Cargo.toml"), None);
+    }
+
+    #[test]
+    fn crate_roots() {
+        assert!(is_crate_root("crates/nn/src/lib.rs"));
+        assert!(is_crate_root("crates/cli/src/main.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/nn/src/lstm.rs"));
+        assert!(!is_crate_root("crates/bench/src/bin/tool.rs"));
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib() {
+        let (v, _) = lib("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert!(v.iter().any(|v| v.rule == "no-panic"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_ok_in_cfg_test_mod() {
+        let src = r#"
+            fn f() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_after_test_mod_still_flagged() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+            fn g(x: Option<u8>) -> u8 { x.unwrap() }
+        "#;
+        let (v, _) = lib(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic): invariant, len checked above\n    x.unwrap()\n}\n";
+        let (v, suppressed) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_violation() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic)\n    x.unwrap()\n}\n";
+        let (v, suppressed) = lib(src);
+        assert_eq!(suppressed, 0);
+        assert!(v.iter().any(|v| v.rule == "allow-missing-reason"), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == "no-panic"), "{v:?}");
+    }
+
+    #[test]
+    fn allow_wrong_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(float-eq): not the right rule\n    x.unwrap()\n}\n";
+        let (v, _) = lib(src);
+        assert!(v.iter().any(|v| v.rule == "no-panic"), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_rng_in_lib() {
+        let (v, _) = lib("fn f() { let mut rng = thread_rng(); }");
+        assert!(v.iter().any(|v| v.rule == "ambient-rng"), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_rng_not_flagged_in_bin() {
+        let (v, _) = scan_source(
+            "crates/cli/src/main.rs".to_string(),
+            FileClass::Bin {
+                krate: "cli".to_string(),
+            },
+            "#![forbid(unsafe_code)]\nfn main() { let t = SystemTime::now(); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        let (v, _) = lib("fn f(x: f64) -> bool { x == 0.3 }");
+        assert!(v.iter().any(|v| v.rule == "float-eq"), "{v:?}");
+    }
+
+    #[test]
+    fn int_eq_not_flagged() {
+        let (v, _) = lib("fn f(x: u8) -> bool { x == 3 }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lossy_cast_flagged() {
+        let (v, _) = lib("fn f(x: f64) -> usize { x.floor() as usize }");
+        assert!(v.iter().any(|v| v.rule == "lossy-cast"), "{v:?}");
+    }
+
+    #[test]
+    fn int_as_cast_not_flagged() {
+        let (v, _) = lib("fn f(x: u8) -> usize { x as usize }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let (v, _) = scan_source(
+            "crates/nn/src/lib.rs".to_string(),
+            FileClass::Lib {
+                krate: "nn".to_string(),
+            },
+            "pub mod lstm;\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "forbid-unsafe"), "{v:?}");
+        let (v, _) = scan_source(
+            "crates/nn/src/lib.rs".to_string(),
+            FileClass::Lib {
+                krate: "nn".to_string(),
+            },
+            "#![forbid(unsafe_code)]\npub mod lstm;\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fallible_entry_requires_result() {
+        let (v, _) = lib("pub fn fit(x: &[f64]) -> Model { Model }");
+        assert!(v.iter().any(|v| v.rule == "fallible-entry"), "{v:?}");
+        let (v, _) = lib("pub fn fit(x: &[f64]) -> Result<Model, Error> { Ok(Model) }");
+        assert!(v.is_empty(), "{v:?}");
+        // pub(crate) helpers are exempt.
+        let (v, _) = lib("pub(crate) fn fit_inner(x: &[f64]) -> Model { Model }");
+        assert!(v.is_empty(), "{v:?}");
+        // Non-entry crates are exempt.
+        let (v, _) = scan_source(
+            "crates/trace/src/x.rs".to_string(),
+            FileClass::Lib {
+                krate: "trace".to_string(),
+            },
+            "pub fn fit(x: &[f64]) -> Model { Model }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            // x.unwrap() in a comment
+            /* thread_rng() in a block comment */
+            fn f() -> &'static str { "x.unwrap(); thread_rng(); 1.0 == 2.0" }
+        "#;
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

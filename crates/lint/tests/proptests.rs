@@ -1,0 +1,154 @@
+//! Property-based tests for the lint lexer and rules.
+//!
+//! The load-bearing invariant of the hand-rolled lexer is that *literal and
+//! comment contents are invisible to the rules*: a string containing
+//! `"unwrap()"` or a comment discussing `panic!` must never produce a
+//! violation. These properties hammer that invariant with arbitrary and
+//! adversarial contents.
+
+use cloudgen_lint::{scan_source, FileClass};
+use proptest::prelude::*;
+
+/// Escapes arbitrary text into a valid Rust string-literal body.
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A library-crate context where every rule is active.
+fn lib_class() -> FileClass {
+    FileClass::Lib {
+        krate: "nn".to_string(),
+    }
+}
+
+/// Wraps a string-literal body in an otherwise-clean library file.
+fn file_with_string(body: &str) -> String {
+    format!(
+        "//! Fixture.\n#![forbid(unsafe_code)]\npub fn f() -> usize {{\n    let s = \"{body}\";\n    s.len()\n}}\n"
+    )
+}
+
+/// Wraps a line-comment body in an otherwise-clean library file. The
+/// `note:` prefix keeps randomly generated text from forming a
+/// `lint:allow(...)` directive.
+fn file_with_line_comment(body: &str) -> String {
+    format!(
+        "//! Fixture.\n#![forbid(unsafe_code)]\n// note: {body}\npub fn f() -> usize {{\n    1\n}}\n"
+    )
+}
+
+/// Wraps a block-comment body in an otherwise-clean library file.
+fn file_with_block_comment(body: &str) -> String {
+    format!(
+        "//! Fixture.\n#![forbid(unsafe_code)]\n/* note: {body} */\npub fn f() -> usize {{\n    1\n}}\n"
+    )
+}
+
+/// Snippets that would each be a violation as code, but must be inert as
+/// literal or comment content.
+fn dangerous_snippet() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        ".unwrap()".to_string(),
+        ".expect(\"boom\")".to_string(),
+        "panic!(\"no\")".to_string(),
+        "todo!()".to_string(),
+        "unimplemented!()".to_string(),
+        "thread_rng()".to_string(),
+        "SystemTime::now()".to_string(),
+        "a == 0.0".to_string(),
+        "b != 1.5".to_string(),
+        "2.5 as u64".to_string(),
+        "x.floor() as i32".to_string(),
+        "x.round() as usize".to_string(),
+    ])
+}
+
+/// Concatenation of several dangerous snippets with arbitrary glue.
+fn dangerous_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec((dangerous_snippet(), "[ a-z]{0,6}"), 1..5).prop_map(|parts| {
+        parts
+            .into_iter()
+            .map(|(snip, glue)| format!("{snip}{glue}"))
+            .collect::<String>()
+    })
+}
+
+/// Strips sequences the fixture wrappers cannot contain: block-comment
+/// delimiters (which would change nesting) and newlines (which would end a
+/// line comment).
+fn comment_safe(s: &str) -> String {
+    s.replace("*/", "* /")
+        .replace("/*", "/ *")
+        .replace(['\n', '\r'], " ")
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_string_contents_are_inert(content in ".{0,60}") {
+        let src = file_with_string(&escape_str(&content));
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn dangerous_string_contents_are_inert(content in dangerous_text()) {
+        let src = file_with_string(&escape_str(&content));
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn arbitrary_line_comment_contents_are_inert(content in "[^\r\n]{0,60}") {
+        let src = file_with_line_comment(&content);
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn dangerous_line_comment_contents_are_inert(content in dangerous_text()) {
+        let src = file_with_line_comment(&comment_safe(&content));
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn dangerous_block_comment_contents_are_inert(content in dangerous_text()) {
+        let src = file_with_block_comment(&comment_safe(&content));
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn raw_string_contents_are_inert(content in "[a-z .()!=]{0,40}") {
+        // Raw strings take the content verbatim; the char class avoids `"#`.
+        let src = format!(
+            "//! Fixture.\n#![forbid(unsafe_code)]\npub fn f() -> usize {{\n    let s = r#\"{content}\"#;\n    s.len()\n}}\n"
+        );
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert!(violations.is_empty(), "{violations:?} in {src:?}");
+    }
+
+    #[test]
+    fn seeded_violation_is_always_caught(pad in "[a-z ]{0,20}") {
+        // Sanity inverse: the same dangerous token OUTSIDE a literal fires
+        // regardless of surrounding prose.
+        let src = format!(
+            "//! Fixture.\n#![forbid(unsafe_code)]\n// {pad}\npub fn f(v: Vec<u32>) -> u32 {{\n    v.first().copied().unwrap()\n}}\n"
+        );
+        let (violations, _) = scan_source("crates/nn/src/x.rs".to_string(), lib_class(), &src);
+        prop_assert_eq!(violations.len(), 1, "{:?}", violations);
+        prop_assert_eq!(violations[0].rule, "no-panic");
+    }
+}

@@ -107,6 +107,7 @@ impl Adam {
             sq_sum += p.grad.as_slice().iter().map(|g| g * g).sum::<f64>();
         }
         let norm = sq_sum.sqrt();
+        linalg::debug_assert_finite!(&[norm], "adam pre-clip gradient norm");
         self.last_norm = Some(norm);
         let scale = match self.cfg.clip_norm {
             Some(c) if norm > c && norm > 0.0 => c / norm,
@@ -139,6 +140,7 @@ impl Adam {
                 upd += self.cfg.weight_decay * w[j];
                 w[j] -= self.cfg.lr * upd;
             }
+            linalg::debug_assert_finite!(w, "adam updated weights");
         }
         norm
     }
@@ -223,6 +225,19 @@ mod tests {
         opt.step(&mut [&mut p]);
         opt.step(&mut [&mut p]);
         assert_eq!(opt.steps(), 2);
+    }
+
+    /// Debug builds trip the finite-value tripwire when a NaN gradient is
+    /// seeded: the pre-clip norm is already NaN, so the step panics before
+    /// poisoning the optimizer moments.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn seeded_nan_gradient_trips_step_tripwire() {
+        let mut p = quadratic_param(0.0);
+        p.grad[(0, 0)] = f64::NAN;
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut [&mut p]);
     }
 
     #[test]

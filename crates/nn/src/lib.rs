@@ -19,6 +19,8 @@
 //! All gradients were derived by hand; the property-test suite verifies them
 //! against central finite differences on random inputs.
 
+#![forbid(unsafe_code)]
+
 pub mod adam;
 pub mod gradcheck;
 pub mod init;

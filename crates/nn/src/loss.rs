@@ -64,6 +64,7 @@ pub fn masked_bce_with_logits(logits: &Mat, targets: &Mat, mask: &Mat) -> (f64, 
         let dr = dlogits.row_mut(r);
         for c in 0..zr.len() {
             let m = mr[c];
+            // lint:allow(float-eq): mask entries are written as exactly 0.0 or 1.0
             if m == 0.0 {
                 continue;
             }

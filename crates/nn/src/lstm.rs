@@ -254,6 +254,7 @@ impl Lstm {
                 caches[l].push(cache);
                 layer_in = h;
             }
+            linalg::debug_assert_finite!(layer_in.as_slice(), "lstm forward hidden output");
             outputs.push(layer_in);
         }
         (outputs, LstmCache { caches, batch })
@@ -310,6 +311,9 @@ impl Lstm {
                 dx_seq[t] = dx;
             }
             dh_above = dx_seq;
+        }
+        for dx in &dh_above {
+            linalg::debug_assert_finite!(dx.as_slice(), "lstm backward input gradient");
         }
         dh_above
     }
@@ -439,6 +443,31 @@ mod tests {
     fn wrong_input_width_panics() {
         let lstm = Lstm::new(3, 4, 1, &mut rng(8));
         let _ = lstm.forward(&[Mat::zeros(1, 5)]);
+    }
+
+    /// Debug builds trip the finite-value tripwire when a NaN is seeded into
+    /// the input: the forward pass propagates it into the hidden state and
+    /// `debug_assert_finite!` names the poisoned output.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn seeded_nan_input_trips_forward_tripwire() {
+        let lstm = Lstm::new(3, 4, 1, &mut rng(11));
+        let mut x = Mat::filled(1, 3, 0.2);
+        x[(0, 1)] = f64::NAN;
+        let _ = lstm.forward(&[x]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn seeded_nan_gradient_trips_backward_tripwire() {
+        let mut lstm = Lstm::new(3, 4, 1, &mut rng(12));
+        let xs = [Mat::filled(2, 3, 0.2)];
+        let (out, cache) = lstm.forward(&xs);
+        let mut d_out = Mat::filled(out[0].rows(), out[0].cols(), 1.0);
+        d_out[(0, 0)] = f64::NAN;
+        let _ = lstm.backward(&cache, &[d_out]);
     }
 
     #[test]

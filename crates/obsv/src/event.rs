@@ -89,6 +89,21 @@ pub struct SpanEvent {
     pub wall_ms: f64,
 }
 
+/// One `cloudgen-lint` run over the workspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintEvent {
+    /// `.rs` files scanned.
+    pub files: u64,
+    /// Violations that survived suppression.
+    pub violations: u64,
+    /// Violations silenced by an annotated `lint:allow`.
+    pub suppressed: u64,
+    /// Distinct rules with at least one violation.
+    pub rules_hit: u64,
+    /// Wall-clock time for the scan, milliseconds.
+    pub wall_ms: f64,
+}
+
 /// The closed set of telemetry events a [`crate::Recorder`] accepts.
 ///
 /// Serialized internally tagged so each JSONL line carries its own `type`.
@@ -107,6 +122,8 @@ pub enum Event {
     Gauge(GaugeEvent),
     /// Completed timer span.
     Span(SpanEvent),
+    /// Static-analysis (`cloudgen-lint`) run summary.
+    Lint(LintEvent),
 }
 
 #[cfg(test)]
@@ -125,6 +142,22 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"type\":\"Sched\""), "{json}");
         assert!(json.contains("\"placements\":3"), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn lint_event_round_trips() {
+        let e = Event::Lint(LintEvent {
+            files: 110,
+            violations: 2,
+            suppressed: 41,
+            rules_hit: 1,
+            wall_ms: 8.25,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"Lint\""), "{json}");
+        assert!(json.contains("\"suppressed\":41"), "{json}");
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

@@ -24,13 +24,15 @@
 //! to one virtual call per *epoch* (not per step), so telemetry-off runs
 //! pay nothing measurable.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 
 pub use event::{
-    CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, SchedEvent, SpanEvent,
+    CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, LintEvent, SchedEvent, SpanEvent,
 };
 pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer};
 pub use recorder::{read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};

@@ -211,6 +211,7 @@ impl Histogram {
             return 0.0;
         }
         // Rank in 1..=total of the order statistic we want.
+        // lint:allow(lossy-cast): q is validated in [0, 1], so the product is finite and non-negative
         let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut cum = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
@@ -262,7 +263,9 @@ pub fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let pos = q * (sorted.len() - 1) as f64;
+    // lint:allow(lossy-cast): pos is finite and within [0, len-1] since q was validated
     let lo = pos.floor() as usize;
+    // lint:allow(lossy-cast): pos is finite and within [0, len-1] since q was validated
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac

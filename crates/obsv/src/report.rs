@@ -2,7 +2,7 @@
 //! summaries, generation throughput, and scheduler counters, rendered as
 //! JSON or an aligned text table.
 
-use crate::event::Event;
+use crate::event::{Event, LintEvent};
 use crate::metrics::exact_quantile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -99,6 +99,8 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, f64>,
     /// Named span aggregates.
     pub spans: BTreeMap<String, SpanSummary>,
+    /// Most recent static-analysis run, if the stream recorded one.
+    pub lint: Option<LintEvent>,
 }
 
 impl RunReport {
@@ -111,6 +113,7 @@ impl RunReport {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
         let mut spans: BTreeMap<String, SpanSummary> = BTreeMap::new();
+        let mut lint: Option<LintEvent> = None;
 
         for event in events {
             match event {
@@ -162,6 +165,7 @@ impl RunReport {
                     s.total_ms += e.wall_ms;
                     s.max_ms = s.max_ms.max(e.wall_ms);
                 }
+                Event::Lint(e) => lint = Some(e.clone()),
             }
         }
 
@@ -184,7 +188,7 @@ impl RunReport {
             .into_iter()
             .map(|(stage, epochs)| {
                 let mut walls: Vec<f64> = epochs.iter().map(|e| e.wall_ms).collect();
-                walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+                walls.sort_by(f64::total_cmp);
                 let n = epochs.len();
                 StageSummary {
                     stage,
@@ -213,6 +217,7 @@ impl RunReport {
             counters,
             gauges,
             spans,
+            lint,
         }
     }
 
@@ -224,6 +229,7 @@ impl RunReport {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.spans.is_empty()
+            && self.lint.is_none()
     }
 
     /// The report as pretty-printed JSON.
@@ -330,6 +336,15 @@ impl RunReport {
                     name, s.count, s.total_ms, s.max_ms
                 );
             }
+        }
+
+        if let Some(l) = &self.lint {
+            let _ = writeln!(out, "\nstatic analysis");
+            let _ = writeln!(
+                out,
+                "  files {}  violations {}  suppressed {}  rules-hit {}  wall {:.1} ms",
+                l.files, l.violations, l.suppressed, l.rules_hit, l.wall_ms
+            );
         }
 
         if self.is_empty() {
@@ -476,6 +491,26 @@ mod tests {
         assert!(table.contains("p95-ms"), "{table}");
         let json = r.to_json();
         let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn lint_event_surfaces_in_report() {
+        let events = vec![Event::Lint(crate::event::LintEvent {
+            files: 110,
+            violations: 0,
+            suppressed: 41,
+            rules_hit: 0,
+            wall_ms: 6.5,
+        })];
+        let r = RunReport::from_events(&events);
+        assert!(!r.is_empty());
+        let lint = r.lint.as_ref().expect("lint section");
+        assert_eq!(lint.files, 110);
+        let table = r.render_table();
+        assert!(table.contains("static analysis"), "{table}");
+        assert!(table.contains("suppressed 41"), "{table}");
+        let back: RunReport = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(back, r);
     }
 

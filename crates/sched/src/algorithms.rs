@@ -51,17 +51,17 @@ impl PlacementAlgorithm {
             PlacementAlgorithm::BusiestFit => feasible.into_iter().max_by(|&a, &b| {
                 let ua = servers[a].cpu_util() + servers[a].mem_util();
                 let ub = servers[b].cpu_util() + servers[b].mem_util();
-                ua.partial_cmp(&ub).expect("utilizations are finite")
+                ua.total_cmp(&ub)
             }),
             PlacementAlgorithm::CosineSimilarity => feasible.into_iter().max_by(|&a, &b| {
                 let ca = cosine(cpu, mem, servers[a].cpu_free(), servers[a].mem_free());
                 let cb = cosine(cpu, mem, servers[b].cpu_free(), servers[b].mem_free());
-                ca.partial_cmp(&cb).expect("cosines are finite")
+                ca.total_cmp(&cb)
             }),
             PlacementAlgorithm::DeltaPerpDistance => feasible.into_iter().min_by(|&a, &b| {
                 let da = perp_after(&servers[a], cpu, mem);
                 let db = perp_after(&servers[b], cpu, mem);
-                da.partial_cmp(&db).expect("distances are finite")
+                da.total_cmp(&db)
             }),
         }
     }
@@ -72,6 +72,7 @@ fn cosine(d_cpu: f64, d_mem: f64, f_cpu: f64, f_mem: f64) -> f64 {
     let dot = d_cpu * f_cpu + d_mem * f_mem;
     let nd = (d_cpu * d_cpu + d_mem * d_mem).sqrt();
     let nf = (f_cpu * f_cpu + f_mem * f_mem).sqrt();
+    // lint:allow(float-eq): exact-zero norm guard before division; zero norms are exact
     if nd == 0.0 || nf == 0.0 {
         0.0
     } else {

@@ -11,6 +11,8 @@
 //!   with one of four placement algorithms ([`algorithms`]): random
 //!   placement, busiest-fit, cosine similarity, and delta perp-distance.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod cache;
 pub mod packing;

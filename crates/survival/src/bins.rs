@@ -136,10 +136,11 @@ impl LifetimeBins {
         assert!(n >= 2, "need at least two bins");
         let mut sorted: Vec<f64> = durations.iter().cloned().filter(|d| *d > 0.0).collect();
         assert!(!sorted.is_empty(), "no positive durations");
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        sorted.sort_by(f64::total_cmp);
         let mut uppers = Vec::new();
         for i in 1..n {
             let q = i as f64 / n as f64;
+            // lint:allow(lossy-cast): q in (0, 1) and len >= 1 keep the product finite and in range
             let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
             let v = sorted[idx];
             if uppers.last().map_or(true, |&last| v > last) {
@@ -147,6 +148,7 @@ impl LifetimeBins {
             }
         }
         if uppers.is_empty() {
+            // lint:allow(no-panic): sorted is non-empty, asserted at function entry
             uppers.push(*sorted.last().expect("non-empty by assertion"));
         }
         Self::from_uppers(uppers)

@@ -40,6 +40,7 @@ pub fn hazard_to_pmf(hazard: &[f64]) -> Vec<f64> {
         surv *= 1.0 - h;
     }
     // Fold residual survival mass into the final bin.
+    // lint:allow(no-panic): pmf has one entry per hazard bin and hazards are non-empty here
     *pmf.last_mut().expect("non-empty") += surv;
     pmf
 }

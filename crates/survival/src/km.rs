@@ -11,6 +11,38 @@ use crate::bins::LifetimeBins;
 use crate::funcs::{hazard_to_pmf, hazard_to_survival};
 use serde::{Deserialize, Serialize};
 
+/// Invalid observations rejected by the Kaplan–Meier estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KmError {
+    /// An observation's bin index is outside the bin scheme.
+    BinOutOfRange {
+        /// The offending bin index.
+        bin: usize,
+        /// Number of bins in the scheme.
+        bins: usize,
+    },
+    /// A continuous duration was negative, NaN, or infinite.
+    InvalidDuration {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for KmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BinOutOfRange { bin, bins } => {
+                write!(f, "observation bin {bin} out of range ({bins} bins)")
+            }
+            Self::InvalidDuration { value } => {
+                write!(f, "invalid duration {value}: must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KmError {}
+
 /// One lifetime observation: a bin index plus censoring status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Observation {
@@ -68,15 +100,16 @@ impl KaplanMeier {
     /// should believe where there is no data (0.0 keeps mass in the final
     /// open bin; a small positive value forces eventual termination).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any observation's bin index is out of range.
+    /// Returns [`KmError::BinOutOfRange`] if any observation's bin index is
+    /// out of range.
     pub fn fit(
         bins: &LifetimeBins,
         observations: &[Observation],
         policy: CensoringPolicy,
         fallback_hazard: f64,
-    ) -> Self {
+    ) -> Result<Self, KmError> {
         Self::fit_smoothed(bins, observations, policy, fallback_hazard, 0.0)
     }
 
@@ -87,23 +120,29 @@ impl KaplanMeier {
     /// in bins with few at-risk individuals, which is catastrophic under log
     /// loss; a Jeffreys-style `alpha = 0.5` keeps small-sample estimators
     /// (e.g. per-flavor KM on rare flavors) well-behaved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmError::BinOutOfRange`] if any observation's bin index is
+    /// out of range.
     pub fn fit_smoothed(
         bins: &LifetimeBins,
         observations: &[Observation],
         policy: CensoringPolicy,
         fallback_hazard: f64,
         alpha: f64,
-    ) -> Self {
+    ) -> Result<Self, KmError> {
         let j = bins.len();
         let mut events: Vec<f64> = vec![0.0; j];
         let mut exits: Vec<f64> = vec![0.0; j]; // individuals leaving the risk set in bin (event or censor)
         let mut total = 0.0f64;
         for obs in observations {
-            assert!(
-                obs.bin < j,
-                "observation bin {} out of range ({j} bins)",
-                obs.bin
-            );
+            if obs.bin >= j {
+                return Err(KmError::BinOutOfRange {
+                    bin: obs.bin,
+                    bins: j,
+                });
+            }
             let (bin, is_event) = match (policy, obs.censored) {
                 (CensoringPolicy::DropCensored, true) => continue,
                 (CensoringPolicy::CensoredAsTerminated, true) => (obs.bin, true),
@@ -128,12 +167,12 @@ impl KaplanMeier {
             }
             at_risk -= exits[b];
         }
-        Self {
+        Ok(Self {
             hazard,
             events,
             at_risk: at_risk_vec,
             policy,
-        }
+        })
     }
 
     /// The estimated hazard per bin.
@@ -182,7 +221,7 @@ mod tests {
         let mut obs = vec![Observation::event(0); 4];
         obs.extend(vec![Observation::event(1); 4]);
         obs.extend(vec![Observation::event(2); 2]);
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0).expect("fit");
         assert!((km.hazard()[0] - 0.4).abs() < 1e-12);
         assert!((km.hazard()[1] - 4.0 / 6.0).abs() < 1e-12);
         assert!((km.hazard()[2] - 1.0).abs() < 1e-12);
@@ -201,7 +240,7 @@ mod tests {
             Observation::censored(1),
             Observation::event(2),
         ];
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0).expect("fit");
         // Bin 0: 1 event / 3 at risk.
         assert!((km.hazard()[0] - 1.0 / 3.0).abs() < 1e-12);
         // Bin 1: 0 events / 2 at risk (censored one still at risk in bin 1).
@@ -219,8 +258,8 @@ mod tests {
             Observation::censored(2),
             Observation::censored(2),
         ];
-        let aware = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
-        let drop = KaplanMeier::fit(&bins, &obs, CensoringPolicy::DropCensored, 0.0);
+        let aware = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0).expect("fit");
+        let drop = KaplanMeier::fit(&bins, &obs, CensoringPolicy::DropCensored, 0.0).expect("fit");
         // Aware: h(0) = 1/4; dropping censored: h(0) = 1/1 = 1.0 — biased up.
         assert!((aware.hazard()[0] - 0.25).abs() < 1e-12);
         assert!((drop.hazard()[0] - 1.0).abs() < 1e-12);
@@ -230,7 +269,7 @@ mod tests {
     fn censored_as_terminated_adds_events() {
         let bins = three_bins();
         let obs = vec![Observation::censored(1), Observation::event(1)];
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoredAsTerminated, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoredAsTerminated, 0.0).expect("fit");
         assert!((km.hazard()[1] - 1.0).abs() < 1e-12);
         assert_eq!(km.events()[1], 2.0);
     }
@@ -239,7 +278,7 @@ mod tests {
     fn fallback_hazard_fills_unobserved_bins() {
         let bins = LifetimeBins::from_uppers(vec![10.0, 20.0, 30.0]);
         let obs = vec![Observation::event(0)];
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.25);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.25).expect("fit");
         // After the only individual exits in bin 0, later bins use fallback.
         assert_eq!(km.hazard()[1], 0.25);
         assert_eq!(km.hazard()[2], 0.25);
@@ -251,7 +290,7 @@ mod tests {
         let obs: Vec<Observation> = (0..5)
             .flat_map(|b| std::iter::repeat(Observation::event(b % 5)).take(3 - (b % 3)))
             .collect();
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0).expect("fit");
         let s = km.survival();
         for w in s.windows(2) {
             assert!(w[1] <= w[0] + 1e-15);
@@ -266,19 +305,21 @@ mod tests {
             Observation::event(0),
             Observation::censored(1),
         ];
-        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0).expect("fit");
         assert_eq!(km.at_risk(), &[3.0, 1.0, 0.0]);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_bin_panics() {
+    fn out_of_range_bin_is_error() {
         let bins = three_bins();
-        let _ = KaplanMeier::fit(
+        let err = KaplanMeier::fit(
             &bins,
             &[Observation::event(7)],
             CensoringPolicy::CensoringAware,
             0.0,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, KmError::BinOutOfRange { bin: 7, bins: 3 });
+        assert!(err.to_string().contains("out of range"));
     }
 }

@@ -4,6 +4,7 @@
 //! directly in continuous time: the survival function steps down at each
 //! observed event time by the factor `1 - d_i / n_i`.
 
+use crate::km::KmError;
 use serde::{Deserialize, Serialize};
 
 /// A continuous-time Kaplan–Meier survival curve.
@@ -21,17 +22,21 @@ impl ContinuousKm {
     /// Censored observations leave the risk set at their censoring time
     /// without an event. Returns a curve with `S(0) = 1`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any duration is negative or non-finite.
-    pub fn fit(observations: &[(f64, bool)]) -> Self {
+    /// Returns [`KmError::InvalidDuration`] if any duration is negative or
+    /// non-finite.
+    pub fn fit(observations: &[(f64, bool)]) -> Result<Self, KmError> {
         for &(d, _) in observations {
-            assert!(d >= 0.0 && d.is_finite(), "invalid duration {d}");
+            if !(d >= 0.0 && d.is_finite()) {
+                return Err(KmError::InvalidDuration { value: d });
+            }
         }
         // Sort by time; at equal times process events before censorings
-        // (the standard convention).
+        // (the standard convention). Durations are validated finite above,
+        // so total_cmp agrees with the usual order.
         let mut obs: Vec<(f64, bool)> = observations.to_vec();
-        obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        obs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         let mut times = Vec::new();
         let mut survival = Vec::new();
@@ -56,7 +61,7 @@ impl ContinuousKm {
             }
             at_risk -= exits;
         }
-        Self { times, survival }
+        Ok(Self { times, survival })
     }
 
     /// Evaluates `S(t)`.
@@ -87,7 +92,7 @@ mod tests {
     fn no_censoring_matches_empirical() {
         // Events at 1, 2, 3, 4: S drops by 1/4 of risk set each time.
         let obs = vec![(1.0, false), (2.0, false), (3.0, false), (4.0, false)];
-        let km = ContinuousKm::fit(&obs);
+        let km = ContinuousKm::fit(&obs).expect("fit");
         assert_eq!(km.eval(0.5), 1.0);
         assert!((km.eval(1.0) - 0.75).abs() < 1e-12);
         assert!((km.eval(2.5) - 0.5).abs() < 1e-12);
@@ -99,7 +104,7 @@ mod tests {
     fn censoring_reduces_risk_without_event() {
         // Event at 1 (n=3), censor at 2, event at 3 (n=1).
         let obs = vec![(1.0, false), (2.0, true), (3.0, false)];
-        let km = ContinuousKm::fit(&obs);
+        let km = ContinuousKm::fit(&obs).expect("fit");
         assert!((km.eval(1.5) - 2.0 / 3.0).abs() < 1e-12);
         // Between 2 and 3: unchanged (censoring is not an event).
         assert!((km.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
@@ -110,7 +115,7 @@ mod tests {
     #[test]
     fn tied_events_handled() {
         let obs = vec![(2.0, false), (2.0, false), (2.0, true), (5.0, false)];
-        let km = ContinuousKm::fit(&obs);
+        let km = ContinuousKm::fit(&obs).expect("fit");
         // At t=2: 2 events out of 4 at risk -> S = 0.5.
         assert!((km.eval(2.0) - 0.5).abs() < 1e-12);
     }
@@ -118,15 +123,24 @@ mod tests {
     #[test]
     fn all_censored_never_drops() {
         let obs = vec![(1.0, true), (2.0, true)];
-        let km = ContinuousKm::fit(&obs);
+        let km = ContinuousKm::fit(&obs).expect("fit");
         assert_eq!(km.eval(10.0), 1.0);
         assert!(km.event_times().is_empty());
     }
 
     #[test]
+    fn negative_and_nan_durations_are_errors() {
+        assert_eq!(
+            ContinuousKm::fit(&[(-1.0, false)]).unwrap_err(),
+            KmError::InvalidDuration { value: -1.0 }
+        );
+        assert!(ContinuousKm::fit(&[(f64::NAN, false)]).is_err());
+    }
+
+    #[test]
     fn survival_is_monotone() {
         let obs: Vec<(f64, bool)> = (1..50).map(|i| (i as f64 * 0.7, i % 3 == 0)).collect();
-        let km = ContinuousKm::fit(&obs);
+        let km = ContinuousKm::fit(&obs).expect("fit");
         let mut prev = 1.0;
         for i in 0..100 {
             let v = km.eval(i as f64 * 0.5);

@@ -17,6 +17,8 @@
 //!   reconstruction of a continuous survival function from discrete bins.
 //! - [`metrics`]: the continuous-domain Survival-MSE evaluation of §5.3.
 
+#![forbid(unsafe_code)]
+
 pub mod bins;
 pub mod funcs;
 pub mod interp;
@@ -27,5 +29,5 @@ pub mod metrics;
 pub use bins::LifetimeBins;
 pub use funcs::{hazard_to_pmf, hazard_to_survival, pmf_to_hazard, sample_hazard_chain};
 pub use interp::Interpolation;
-pub use km::{CensoringPolicy, KaplanMeier, Observation};
+pub use km::{CensoringPolicy, KaplanMeier, KmError, Observation};
 pub use km_continuous::ContinuousKm;

@@ -77,7 +77,7 @@ proptest! {
             CensoringPolicy::DropCensored,
             CensoringPolicy::CensoredAsTerminated,
         ] {
-            let km = KaplanMeier::fit(&bins, &obs, policy, 0.0);
+            let km = KaplanMeier::fit(&bins, &obs, policy, 0.0).expect("bins in range");
             prop_assert!(km.hazard().iter().all(|&h| (0.0..=1.0).contains(&h)));
         }
     }

@@ -28,6 +28,8 @@
 //! rates, long history, growth + level-off). Both take a `scale` knob so the
 //! reproduction binaries can run at laptop scale.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod world;
 

@@ -214,6 +214,7 @@ impl CloudWorld {
 /// Quantizes a lifetime in seconds to 5-minute periods (minimum one period,
 /// as in the Azure trace).
 fn quantize_lifetime(secs: f64) -> u64 {
+    // lint:allow(lossy-cast): sampled lifetimes are finite and positive by construction
     ((secs / PERIOD_SECS as f64).round() as u64).max(1) * PERIOD_SECS
 }
 

@@ -51,11 +51,12 @@ pub fn summarize(trace: &Trace, censor_time: u64) -> TraceSummary {
         .iter()
         .map(|j| j.observed_duration(censor_time) as f64)
         .collect();
-    durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    durations.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         if durations.is_empty() {
             0.0
         } else {
+            // lint:allow(lossy-cast): p is a fixed quantile in [0, 1]; the product is finite and in range
             durations[((durations.len() - 1) as f64 * p).round() as usize]
         }
     };
@@ -110,6 +111,7 @@ pub fn compare(reference: &Trace, candidate: &Trace, n_periods: u64) -> TraceDiv
     let batch_size_l1 = normalized_l1(&ref_sizes, &cand_sizes);
     let ref_vol = reference.len() as f64 / n_periods.max(1) as f64;
     let cand_vol = candidate.len() as f64 / n_periods.max(1) as f64;
+    // lint:allow(float-eq): exact-zero guard before division; an empty reference is exactly 0.0
     let volume_rel_err = if ref_vol == 0.0 {
         0.0
     } else {
@@ -146,6 +148,7 @@ pub fn mean_interarrival_secs(trace: &Trace) -> f64 {
     if trace.len() < 2 {
         return 0.0;
     }
+    // lint:allow(no-panic): guarded by the len() < 2 early return above
     let span = trace.jobs.last().expect("non-empty").start - trace.jobs[0].start;
     span as f64 / (trace.len() - 1) as f64
 }

@@ -65,6 +65,7 @@ pub fn organize_periods(trace: &Trace) -> Vec<PeriodJobs> {
                 batches: Vec::new(),
             });
         }
+        // lint:allow(no-panic): the branch above pushes when result is empty
         let period = result.last_mut().expect("just pushed");
         match period.batches.iter_mut().find(|b| b.user == job.user) {
             Some(batch) => batch.jobs.push(idx),

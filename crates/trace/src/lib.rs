@@ -19,6 +19,8 @@
 //!   CPU time series, flavor histograms, batch-size distributions).
 //! - [`io`]: a simple CSV serialization of traces.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod batch;
 pub mod flavor;

@@ -42,7 +42,7 @@ fn main() {
         CensoringPolicy::DropCensored,
         CensoringPolicy::CensoredAsTerminated,
     ] {
-        let km = KaplanMeier::fit(&bins, &obs, policy, 0.0);
+        let km = KaplanMeier::fit(&bins, &obs, policy, 0.0).expect("bins in range");
         let surv = km.survival();
         let median_bin = surv.iter().position(|&s| s < 0.5).unwrap_or(surv.len() - 1);
         println!(
@@ -52,7 +52,8 @@ fn main() {
     }
 
     // Continuous reconstruction: evaluate S(t) at a few horizons.
-    let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0);
+    let km = KaplanMeier::fit(&bins, &obs, CensoringPolicy::CensoringAware, 0.0)
+        .expect("bins in range");
     let cdi =
         ContinuousSurvival::from_hazard(&bins, km.hazard(), Interpolation::Cdi, 40.0 * 86_400.0);
     let stepped = ContinuousSurvival::from_hazard(
@@ -72,7 +73,8 @@ fn main() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
+    .expect("durations are finite");
     println!("\nP(lifetime > t):   CDI   Stepped  Continuous-KM");
     for hours in [0.25, 1.0, 6.0, 24.0, 72.0] {
         let t = hours * 3600.0;

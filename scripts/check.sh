@@ -12,4 +12,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "ok: build + tests + clippy all green"
+echo "==> cloudgen-lint"
+cargo run --release -p cloudgen-lint
+
+echo "ok: build + tests + clippy + cloudgen-lint all green"

@@ -4,6 +4,8 @@
 //! cross-crate integration tests in `tests/`. It re-exports the public crates
 //! of the workspace so examples can use a single dependency.
 
+#![forbid(unsafe_code)]
+
 pub use cloudgen;
 pub use eval;
 pub use glm;
