@@ -46,6 +46,7 @@ fn fixture() -> Fixture {
     .unwrap();
     let lstm = TraceGenerator {
         arrivals,
+        fallback: Some(cloudgen::GenFallback::fit(&stream, &space)),
         flavors: FlavorModel::fit(&stream, space.clone(), cfg),
         lifetimes: LifetimeModel::fit(&stream, space.clone(), cfg),
         config: GeneratorConfig::default(),

@@ -85,7 +85,8 @@ fn main() {
                 dl.push(d);
             }
             net.backward(&cache, &dl);
-            opt.step(&mut net.params_mut());
+            opt.step(&mut net.params_mut())
+                .expect("finite gradients in ablation benchmark");
         }
     }
     eprintln!("[train] vanilla RNN fitted in {:.1?}", start.elapsed());

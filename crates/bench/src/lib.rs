@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use rand::rngs::StdRng;
@@ -210,6 +210,7 @@ impl CloudSetup {
             flavors: self.fit_flavors(),
             lifetimes: self.fit_lifetimes(),
             config: GeneratorConfig::default(),
+            fallback: Some(GenFallback::fit(&self.train_stream, &self.space)),
         }
     }
 

@@ -16,16 +16,18 @@
 #![forbid(unsafe_code)]
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use obsv::{Event, JsonlRecorder, MemoryRecorder, Recorder, RunReport, SpanTimer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use resilience::{fit_flavor_resilient, fit_lifetime_resilient, FaultPlan, ResilienceConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use survival::LifetimeBins;
 use synth::{CloudWorld, WorldConfig};
@@ -165,8 +167,26 @@ pub struct ModelBundle {
     pub horizon: u64,
 }
 
+/// True when `dir` already holds checkpoint files from a previous run.
+fn has_checkpoints(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        })
+        .unwrap_or(false)
+}
+
 /// `train --trace t.csv --catalog c.json --out model.json [--epochs N]
-/// [--hidden N] [--horizon secs] [--telemetry run.jsonl] [--report]`
+/// [--hidden N] [--horizon secs] [--checkpoint-dir d] [--checkpoint-every N]
+/// [--max-retries N] [--resume] [--telemetry run.jsonl] [--report]`
+///
+/// With `--checkpoint-dir`, both LSTM stages run under the resilience
+/// runtime: training state is checkpointed atomically every
+/// `--checkpoint-every` epochs, divergent epochs are rolled back and
+/// retried at a halved learning rate (up to `--max-retries` times), and a
+/// killed run can be continued bit-for-bit with `--resume`.
 pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     let started = Instant::now();
     let trace_path = args.req("trace")?;
@@ -210,10 +230,56 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     .map_err(|e| CliError(format!("arrival fit: {e}")))?;
     arrivals_span.finish(&rec);
 
+    let checkpoint_dir = args.opt("checkpoint-dir").map(PathBuf::from);
+    let mut resilience_note = String::new();
+    let (flavors, lifetimes) = match &checkpoint_dir {
+        Some(dir) => {
+            if has_checkpoints(dir) && !args.flag("resume") {
+                return Err(CliError(format!(
+                    "{} already holds checkpoints from a previous run; \
+                     pass --resume to continue it, or point --checkpoint-dir \
+                     at a fresh directory",
+                    dir.display()
+                )));
+            }
+            let rcfg = ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: args.num("checkpoint-every", 1)?,
+                max_retries: args.num("max-retries", 3)?,
+                ..ResilienceConfig::default()
+            };
+            let fl = fit_flavor_resilient(&stream, &space, cfg, &rcfg, &mut FaultPlan::none(), &rec)
+                .map_err(|e| {
+                    CliError(format!("flavor training failed: {e}; re-run with --resume to continue from the last checkpoint"))
+                })?;
+            let lt = fit_lifetime_resilient(&stream, &space, cfg, &rcfg, &mut FaultPlan::none(), &rec)
+                .map_err(|e| {
+                    CliError(format!("lifetime training failed: {e}; re-run with --resume to continue from the last checkpoint"))
+                })?;
+            for (stage, o) in [("flavor", (fl.resumed_from, fl.rollbacks, fl.checkpoints_saved)),
+                               ("lifetime", (lt.resumed_from, lt.rollbacks, lt.checkpoints_saved))] {
+                let (resumed, rollbacks, saved) = o;
+                resilience_note.push_str(&format!(
+                    "\n{stage}: {} checkpoints saved, {rollbacks} rollbacks{}",
+                    saved,
+                    match resumed {
+                        Some(e) => format!(", resumed from epoch {e}"),
+                        None => String::new(),
+                    }
+                ));
+            }
+            (fl.model, lt.model)
+        }
+        None => (
+            FlavorModel::fit_recorded(&stream, space.clone(), cfg, &rec),
+            LifetimeModel::fit_recorded(&stream, space.clone(), cfg, &rec),
+        ),
+    };
     let generator = TraceGenerator {
         arrivals,
-        flavors: FlavorModel::fit_recorded(&stream, space.clone(), cfg, &rec),
-        lifetimes: LifetimeModel::fit_recorded(&stream, space, cfg, &rec),
+        fallback: Some(GenFallback::fit(&stream, &space)),
+        flavors,
+        lifetimes,
         config: GeneratorConfig::default(),
     };
     let bundle = ModelBundle {
@@ -224,7 +290,7 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
     let json = serde_json::to_string(&bundle).map_err(|e| CliError(format!("serialize: {e}")))?;
     std::fs::write(out, json)?;
     let mut msg = format!(
-        "trained on {} jobs ({} days) in {} ms; model saved to {out}",
+        "trained on {} jobs ({} days) in {} ms; model saved to {out}{resilience_note}",
         train.len(),
         days,
         started.elapsed().as_millis()
@@ -236,10 +302,14 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
 }
 
 /// `generate --model model.json --periods N --out trace.csv [--seed S]
-/// [--scale X] [--eob-scale X] [--telemetry run.jsonl] [--report]`
+/// [--scale X] [--eob-scale X] [--max-fallback N] [--telemetry run.jsonl]
+/// [--report]`
 ///
 /// `--telemetry` appends, so pointing it at the file `train` wrote yields
-/// one JSONL covering the whole train-then-generate run.
+/// one JSONL covering the whole train-then-generate run. When an LSTM
+/// emits non-finite output, the affected batch falls back to the model's
+/// independence baselines; `--max-fallback` bounds how many batches may
+/// degrade that way before the run fails outright.
 pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let started = Instant::now();
     let model_path = args.req("model")?;
@@ -250,6 +320,8 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         serde_json::from_str(&json).map_err(|e| CliError(format!("loading model: {e}")))?;
     bundle.generator.config.scale = args.num("scale", 1.0)?;
     bundle.generator.config.eob_scale = args.num("eob-scale", 1.0)?;
+    bundle.generator.config.max_fallback_batches =
+        args.num("max-fallback", bundle.generator.config.max_fallback_batches)?;
 
     let mem = MemoryRecorder::new();
     let jsonl = open_telemetry(args, true)?;
@@ -260,13 +332,10 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
 
     let first_period = bundle.horizon.div_ceil(PERIOD_SECS);
     let mut rng = StdRng::seed_from_u64(args.num("seed", 7u64)?);
-    let generated = bundle.generator.generate_recorded(
-        first_period,
-        n_periods,
-        &bundle.catalog,
-        &mut rng,
-        &rec,
-    );
+    let generated = bundle
+        .generator
+        .try_generate_recorded(first_period, n_periods, &bundle.catalog, &mut rng, &rec)
+        .map_err(|e| CliError(format!("generation failed: {e}")))?;
     let mut file = std::fs::File::create(out)?;
     trace::io::write_csv(&generated, &mut file)
         .map_err(|e| CliError(format!("writing {out}: {e}")))?;
@@ -406,9 +475,12 @@ USAGE:
   cloudgen summarize  --trace t.csv [--catalog c.json] [--horizon secs]
   cloudgen train      --trace t.csv --out model.json [--catalog c.json]
                       [--epochs N] [--hidden N] [--horizon secs]
+                      [--checkpoint-dir d] [--checkpoint-every N]
+                      [--max-retries N] [--resume]
                       [--telemetry run.jsonl] [--report]
   cloudgen generate   --model model.json --out future.csv [--periods N]
                       [--seed S] [--scale X] [--eob-scale X]
+                      [--max-fallback N]
                       [--telemetry run.jsonl] [--report]
   cloudgen report     run.jsonl [--json]
 
@@ -417,6 +489,15 @@ norms, wall time) and per-day generation throughput to a JSONL file;
 train truncates the file, generate appends, so pointing both at one path
 yields a single run log. `--report` prints an aggregated run report after
 the command; `report` rebuilds that report from a saved JSONL file.
+
+`--checkpoint-dir` turns on the fault-tolerant training runtime: LSTM
+training state (weights, Adam moments, RNG position, epoch cursor) is
+checkpointed atomically every `--checkpoint-every` epochs (default 1),
+divergent epochs roll back and retry at a halved learning rate (up to
+`--max-retries` times, default 3), and an interrupted run continues
+bit-for-bit with `--resume`. `--max-fallback` bounds how many generated
+batches may degrade to the independence baselines when an LSTM emits
+non-finite output (default 1000).
 
 Trace CSV format: header `start,end,flavor,user`; seconds since epoch,
 empty end = still running (censored)."
@@ -457,6 +538,45 @@ mod tests {
         let a = Args::parse(&argv(&["--trace", "t.csv", "--report"])).unwrap();
         assert!(a.flag("report"));
         assert_eq!(a.req("trace").unwrap(), "t.csv");
+    }
+
+    #[test]
+    fn train_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("cloudgen-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.csv");
+        let model_path = dir.join("m.json");
+        let ckpt_dir = dir.join("ckpts");
+        let tp = trace_path.to_str().unwrap();
+        let mp = model_path.to_str().unwrap();
+        let cd = ckpt_dir.to_str().unwrap();
+
+        run(&argv(&["demo-trace", "--out", tp, "--days", "2", "--seed", "3"])).unwrap();
+        let msg = run(&argv(&[
+            "train", "--trace", tp, "--out", mp, "--epochs", "1", "--hidden", "12",
+            "--checkpoint-dir", cd,
+        ]))
+        .unwrap();
+        assert!(msg.contains("checkpoints saved"), "{msg}");
+
+        // Re-running against a populated checkpoint directory without
+        // --resume must refuse rather than silently reuse old state.
+        let err = run(&argv(&[
+            "train", "--trace", tp, "--out", mp, "--epochs", "1", "--hidden", "12",
+            "--checkpoint-dir", cd,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        // With --resume the finished run loads its final checkpoint.
+        let msg = run(&argv(&[
+            "train", "--trace", tp, "--out", mp, "--epochs", "1", "--hidden", "12",
+            "--checkpoint-dir", cd, "--resume",
+        ]))
+        .unwrap();
+        assert!(msg.contains("resumed from epoch 1"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

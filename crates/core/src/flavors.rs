@@ -6,19 +6,31 @@
 //! forcing: the observed previous token is the input for the next step.
 
 use crate::features::{FeatureSpace, TokenStream};
-use crate::train::TrainConfig;
+use crate::train::{EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks};
 use glm::samplers::sample_categorical;
 use linalg::numeric::{log_softmax_at, softmax_inplace};
 use linalg::Mat;
 use nn::loss::softmax_cross_entropy;
 use nn::lstm::LstmState;
-use nn::{Adam, AdamConfig, LstmNetwork};
+use nn::{Adam, AdamConfig, LstmNetwork, StepError};
 use obsv::{EpochEvent, Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Step-decay learning-rate factor: 1.0 for the first half of training,
+/// 0.3 until 3/4, then 0.1, so the softmax/hazard argmax sharpens late.
+pub(crate) fn lr_factor(epoch: usize, epochs: usize) -> f64 {
+    if epoch * 4 >= epochs * 3 {
+        0.1
+    } else if epoch * 2 >= epochs {
+        0.3
+    } else {
+        1.0
+    }
+}
 
 /// Prediction metrics for flavor models (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,110 +81,26 @@ impl FlavorModel {
         rec: &dyn Recorder,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        // The skip connection gives the "repeat the previous flavor" rule a
-        // direct linear path from the input one-hot to the output logits.
-        let mut net = LstmNetwork::with_skip(
-            space.flavor_input_dim(),
-            cfg.hidden,
-            cfg.layers,
-            space.flavor_output_dim(),
-            &mut rng,
-        );
-        let mut opt = Adam::new(AdamConfig {
-            lr: cfg.lr,
-            weight_decay: cfg.weight_decay,
-            clip_norm: Some(cfg.clip_norm),
-            ..Default::default()
-        });
-
-        let n = stream.tokens.len();
-        let l = cfg.seq_len;
-        let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
-        let mut train_losses = Vec::with_capacity(cfg.epochs);
-
-        let dim = space.flavor_input_dim();
-        for epoch in 0..cfg.epochs {
-            // Step decay: drop the learning rate at 1/2 and 3/4 of training
-            // so the softmax/hazard argmax sharpens late in training.
-            let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
-                0.1
-            } else if epoch * 2 >= cfg.epochs {
-                0.3
-            } else {
-                1.0
-            };
-            opt.config_mut().lr = cfg.lr * lr_factor;
-            chunk_starts.shuffle(&mut rng);
-            let epoch_start = Instant::now();
-            let mut epoch_loss = 0.0;
-            let mut epoch_count = 0usize;
-            let mut norm_sum = 0.0;
-            let mut norm_max = 0.0f64;
-            let mut opt_steps = 0usize;
-            for mb in chunk_starts.chunks(cfg.minibatch) {
-                let b = mb.len();
-                // Build inputs and targets: step t of chunk c is token
-                // start_c + t, with the previous token as input.
-                let mut xs: Vec<Mat> = Vec::with_capacity(l);
-                let mut targets: Vec<Vec<usize>> = Vec::with_capacity(l);
-                for t in 0..l {
-                    let mut x = Mat::zeros(b, dim);
-                    let mut tgt = Vec::with_capacity(b);
-                    for (row, &start) in mb.iter().enumerate() {
-                        let idx = start + t;
-                        let prev = if idx == 0 {
-                            space.n_flavors
-                        } else {
-                            stream.tokens[idx - 1].id
-                        };
-                        let period = stream.tokens[idx].period;
-                        space.encode_flavor_step(prev, period, None, x.row_mut(row));
-                        tgt.push(stream.tokens[idx].id);
-                    }
-                    xs.push(x);
-                    targets.push(tgt);
-                }
-
-                net.zero_grad();
-                let (logits, cache) = net.forward(&xs);
-                let scale = 1.0 / (l * b) as f64;
-                let mut dlogits = Vec::with_capacity(l);
-                for (t, logit) in logits.iter().enumerate() {
-                    let (loss, count, mut d) = softmax_cross_entropy(logit, &targets[t]);
-                    epoch_loss += loss;
-                    epoch_count += count;
-                    d.scale(scale);
-                    dlogits.push(d);
-                }
-                net.backward(&cache, &dlogits);
-                let norm = opt.step(&mut net.params_mut());
-                norm_sum += norm;
-                norm_max = norm_max.max(norm);
-                opt_steps += 1;
-            }
-            let mean_loss = epoch_loss / epoch_count.max(1) as f64;
-            train_losses.push(mean_loss);
-            rec.record(Event::Epoch(EpochEvent {
-                stage: "flavor".into(),
-                epoch,
-                mean_loss,
-                grad_norm_pre_clip: norm_sum / opt_steps.max(1) as f64,
-                grad_norm_pre_clip_max: norm_max,
-                lr_factor,
-                tokens: epoch_count,
-                wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
-            }));
+        let mut trainer = FlavorTrainer::new(stream, space, cfg, &mut rng);
+        for _ in 0..cfg.epochs {
+            // NoHooks never aborts, so the outcome is always Ok; losses and
+            // telemetry accumulate inside the trainer either way.
+            let _ = trainer.run_epoch(stream, 1.0, &mut rng, rec, &mut NoHooks);
         }
-        Self {
-            net,
-            space,
-            train_losses,
-        }
+        trainer.into_model()
     }
 
     /// The feature space the model was trained with.
     pub fn space(&self) -> &FeatureSpace {
         &self.space
+    }
+
+    /// Mutable access to the underlying network — exists so the
+    /// fault-injection harness can corrupt a trained model in tests; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn net_mut(&mut self) -> &mut LstmNetwork {
+        &mut self.net
     }
 
     /// Teacher-forced evaluation over a test stream: per-step NLL and 1-best
@@ -257,6 +185,256 @@ impl FlavorModel {
         let tok = sample_categorical(&probs, rng);
         gen.prev = tok;
         tok
+    }
+
+    /// [`Self::sample_step_scaled`] with divergence detection: returns
+    /// `None` instead of sampling when the network emits a non-finite
+    /// logit (a diverged or corrupted model). On `None` the recurrent
+    /// state in `gen` has already absorbed the bad step — callers that
+    /// fall back to a baseline should restart it with [`Self::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eob_scale` is negative or non-finite (same contract as
+    /// [`Self::sample_step_scaled`]).
+    pub fn try_sample_step_scaled(
+        &self,
+        gen: &mut FlavorGenState,
+        period: u64,
+        doh_override: Option<u32>,
+        eob_scale: f64,
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        assert!(
+            eob_scale >= 0.0 && eob_scale.is_finite(),
+            "invalid eob scale {eob_scale}"
+        );
+        let mut x = Mat::zeros(1, self.space.flavor_input_dim());
+        self.space
+            .encode_flavor_step(gen.prev, period, doh_override, x.row_mut(0));
+        let logits = self.net.step(&x, &mut gen.state);
+        let row = logits.row(0);
+        if row.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut probs = row.to_vec();
+        softmax_inplace(&mut probs);
+        probs[self.space.n_flavors] *= eob_scale;
+        let tok = sample_categorical(&probs, rng);
+        gen.prev = tok;
+        Some(tok)
+    }
+}
+
+/// Epoch-granular trainer for the flavor LSTM.
+///
+/// Owns everything one epoch needs — network, optimizer moments, the
+/// shuffled chunk order, and the loss history — and is serializable as a
+/// unit, so the resilience runtime can checkpoint it between epochs, roll it
+/// back after divergence, and resume a killed run bit-for-bit (the RNG is
+/// external and checkpointed alongside by the caller).
+///
+/// [`FlavorModel::fit_recorded`] is a thin loop over this type; training
+/// behavior (shuffle order, learning-rate schedule, update math) is
+/// identical whether or not the resilience layer is involved.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlavorTrainer {
+    net: LstmNetwork,
+    opt: Adam,
+    space: FeatureSpace,
+    cfg: TrainConfig,
+    chunk_starts: Vec<usize>,
+    train_losses: Vec<f64>,
+}
+
+impl FlavorTrainer {
+    /// Initializes network weights from `rng` and the chunk order from the
+    /// stream (the same construction [`FlavorModel::fit`] uses).
+    pub fn new(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        // The skip connection gives the "repeat the previous flavor" rule a
+        // direct linear path from the input one-hot to the output logits.
+        let net = LstmNetwork::with_skip(
+            space.flavor_input_dim(),
+            cfg.hidden,
+            cfg.layers,
+            space.flavor_output_dim(),
+            rng,
+        );
+        let opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            clip_norm: Some(cfg.clip_norm),
+            ..Default::default()
+        });
+        let n = stream.tokens.len();
+        let l = cfg.seq_len;
+        let chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
+        Self {
+            net,
+            opt,
+            space,
+            cfg,
+            chunk_starts,
+            train_losses: Vec::new(),
+        }
+    }
+
+    /// Epochs completed so far — the resume cursor.
+    pub fn epochs_done(&self) -> usize {
+        self.train_losses.len()
+    }
+
+    /// The configuration this trainer was built with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Mean loss per completed epoch.
+    pub fn losses(&self) -> &[f64] {
+        &self.train_losses
+    }
+
+    /// Runs the next epoch (`epochs_done()`), shuffling the chunk order
+    /// with `rng`, scaling the scheduled learning rate by `lr_scale`
+    /// (the guard's divergence response; 1.0 = nominal), and emitting one
+    /// [`EpochEvent`] on completion.
+    ///
+    /// A non-finite gradient does not fail the epoch: the optimizer skips
+    /// the step ([`StepError`] semantics), the skip is counted, and
+    /// `hooks.post_step` sees `skipped = true` so a guard can decide
+    /// whether to abort.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainAbort`] returned by `hooks.post_step`;
+    /// the epoch is then not counted (no loss recorded, no event emitted),
+    /// but the network/optimizer have already consumed the aborted epoch's
+    /// partial updates — callers that retry must restore a snapshot taken
+    /// before the call.
+    pub fn run_epoch(
+        &mut self,
+        stream: &TokenStream,
+        lr_scale: f64,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<EpochOutcome, TrainAbort> {
+        let epoch = self.train_losses.len();
+        let lr_factor = lr_factor(epoch, self.cfg.epochs);
+        self.opt.config_mut().lr = self.cfg.lr * lr_factor * lr_scale;
+        self.chunk_starts.shuffle(rng);
+        let order = self.chunk_starts.clone();
+        let l = self.cfg.seq_len;
+        let dim = self.space.flavor_input_dim();
+        let epoch_start = Instant::now();
+        let mut epoch_loss = 0.0;
+        let mut epoch_count = 0usize;
+        let mut norm_sum = 0.0;
+        let mut norm_max = 0.0f64;
+        let mut opt_steps = 0usize;
+        let mut skipped_steps = 0usize;
+        for (step, mb) in order.chunks(self.cfg.minibatch).enumerate() {
+            let b = mb.len();
+            // Build inputs and targets: step t of chunk c is token
+            // start_c + t, with the previous token as input.
+            let mut xs: Vec<Mat> = Vec::with_capacity(l);
+            let mut targets: Vec<Vec<usize>> = Vec::with_capacity(l);
+            for t in 0..l {
+                let mut x = Mat::zeros(b, dim);
+                let mut tgt = Vec::with_capacity(b);
+                for (row, &start) in mb.iter().enumerate() {
+                    let idx = start + t;
+                    let prev = if idx == 0 {
+                        self.space.n_flavors
+                    } else {
+                        stream.tokens[idx - 1].id
+                    };
+                    let period = stream.tokens[idx].period;
+                    self.space
+                        .encode_flavor_step(prev, period, None, x.row_mut(row));
+                    tgt.push(stream.tokens[idx].id);
+                }
+                xs.push(x);
+                targets.push(tgt);
+            }
+
+            self.net.zero_grad();
+            let (logits, cache) = self.net.forward(&xs);
+            let scale = 1.0 / (l * b) as f64;
+            let mut mb_loss = 0.0;
+            let mut mb_count = 0usize;
+            let mut dlogits = Vec::with_capacity(l);
+            for (t, logit) in logits.iter().enumerate() {
+                let (loss, count, mut d) = softmax_cross_entropy(logit, &targets[t]);
+                mb_loss += loss;
+                mb_count += count;
+                d.scale(scale);
+                dlogits.push(d);
+            }
+            epoch_loss += mb_loss;
+            epoch_count += mb_count;
+            self.net.backward(&cache, &dlogits);
+
+            let ctx = StepCtx {
+                stage: "flavor",
+                epoch,
+                step,
+            };
+            let mut params = self.net.params_mut();
+            hooks.pre_step(&ctx, &mut params);
+            let (grad_norm, skipped) = match self.opt.step(&mut params) {
+                Ok(norm) => (norm, false),
+                Err(StepError::NonFiniteGradient { norm }) => (norm, true),
+            };
+            drop(params);
+            opt_steps += 1;
+            if skipped {
+                skipped_steps += 1;
+            } else {
+                norm_sum += grad_norm;
+                norm_max = norm_max.max(grad_norm);
+            }
+            hooks.post_step(
+                &ctx,
+                &StepStats {
+                    loss: mb_loss / mb_count.max(1) as f64,
+                    grad_norm,
+                    skipped,
+                },
+            )?;
+        }
+        let mean_loss = epoch_loss / epoch_count.max(1) as f64;
+        self.train_losses.push(mean_loss);
+        rec.record(Event::Epoch(EpochEvent {
+            stage: "flavor".into(),
+            epoch,
+            mean_loss,
+            grad_norm_pre_clip: norm_sum / opt_steps.saturating_sub(skipped_steps).max(1) as f64,
+            grad_norm_pre_clip_max: norm_max,
+            lr_factor,
+            tokens: epoch_count,
+            wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            skipped_steps,
+        }));
+        Ok(EpochOutcome {
+            mean_loss,
+            steps: opt_steps,
+            skipped_steps,
+        })
+    }
+
+    /// Finalizes training into a [`FlavorModel`].
+    pub fn into_model(self) -> FlavorModel {
+        FlavorModel {
+            net: self.net,
+            space: self.space,
+            train_losses: self.train_losses,
+        }
     }
 }
 

@@ -1,14 +1,22 @@
-//! The end-to-end three-stage trace generator (§2.4).
+//! The end-to-end three-stage trace generator (§2.4), with graceful
+//! degradation: when an LSTM emits non-finite output mid-generation, the
+//! generator substitutes the independence baselines of §6 for the affected
+//! batch instead of producing NaN-poisoned samples — logged, counted, and
+//! bounded by [`GeneratorConfig::max_fallback_batches`].
 
 use crate::arrivals::BatchArrivalModel;
-use crate::flavors::FlavorModel;
+use crate::features::{FeatureSpace, TokenStream};
+use crate::flavors::{FlavorBaseline, FlavorModel};
 use crate::lifetimes::LifetimeModel;
 use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
-use obsv::{Event, GenEvent, NullRecorder, Recorder};
+use glm::samplers::sample_categorical;
+use obsv::{CounterEvent, Event, GenEvent, NullRecorder, Recorder};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Instant;
-use survival::Interpolation;
+use survival::funcs::sample_hazard_chain;
+use survival::{CensoringPolicy, Interpolation, KaplanMeier, Observation};
 use trace::period::{period_start, PERIODS_PER_DAY, PERIOD_SECS};
 use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
 
@@ -30,6 +38,18 @@ pub struct GeneratorConfig {
     /// What-if multiplier on the EOB token probability (footnote 5):
     /// `> 1` shrinks batches, `< 1` grows them. `1.0` is faithful sampling.
     pub eob_scale: f64,
+    /// Budget for baseline-fallback batches in [`TraceGenerator::
+    /// try_generate_recorded`]: once this many batches have been produced
+    /// by the fallback (because an LSTM emitted non-finite output), the
+    /// run fails with [`GenerateError::FallbackBudgetExhausted`] rather
+    /// than quietly degenerating into a pure baseline trace. Defaults so
+    /// bundles serialized before this knob existed still load.
+    #[serde(default = "default_max_fallback_batches")]
+    pub max_fallback_batches: usize,
+}
+
+fn default_max_fallback_batches() -> usize {
+    1_000
 }
 
 impl Default for GeneratorConfig {
@@ -41,7 +61,119 @@ impl Default for GeneratorConfig {
             doh_per_trace: true,
             max_jobs_per_period: 20_000,
             eob_scale: 1.0,
+            max_fallback_batches: default_max_fallback_batches(),
         }
+    }
+}
+
+/// Why a bounded generation run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The baseline fallback produced more batches than
+    /// [`GeneratorConfig::max_fallback_batches`] allows — the LSTMs are too
+    /// unhealthy for the output to still count as a model sample.
+    FallbackBudgetExhausted {
+        /// The exhausted budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::FallbackBudgetExhausted { budget } => write!(
+                f,
+                "baseline fallback exceeded its budget of {budget} batches; \
+                 the sequence models are emitting non-finite output"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Independence-baseline samplers (§6 style) the generator degrades to,
+/// per batch, when an LSTM emits non-finite output: an empirical
+/// batch-size histogram, iid multinomial flavors, and an overall
+/// Kaplan–Meier lifetime hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenFallback {
+    /// Multinomial over flavors (length K, EOB excluded).
+    flavor_probs: Vec<f64>,
+    /// Batch-size histogram weights (index = size; index 0 unused).
+    batch_size_weights: Vec<f64>,
+    /// Overall KM hazard per lifetime bin.
+    lifetime_hazard: Vec<f64>,
+}
+
+impl GenFallback {
+    /// Fits the three baseline components from a training stream — the
+    /// same estimators the §6 SimpleBatch baseline uses.
+    pub fn fit(stream: &TokenStream, space: &FeatureSpace) -> Self {
+        let flavor_probs =
+            FlavorBaseline::multinomial(stream, space.n_flavors).flavor_only_probs();
+        // Batch sizes with add-one smoothing on size 1 so the histogram is
+        // never empty/degenerate.
+        let max_size = stream
+            .jobs
+            .iter()
+            .map(|j| j.batch_size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut batch_size_weights = vec![0.0; max_size + 1];
+        batch_size_weights[1] = 1.0;
+        for j in &stream.jobs {
+            if j.pos_in_batch == 0 {
+                batch_size_weights[j.batch_size] += 1.0;
+            }
+        }
+        let obs: Vec<Observation> = stream
+            .jobs
+            .iter()
+            .map(|j| Observation {
+                bin: j.bin,
+                censored: j.censored,
+            })
+            .collect();
+        let lifetime_hazard = KaplanMeier::fit_smoothed(
+            &space.bins,
+            &obs,
+            CensoringPolicy::CensoringAware,
+            0.0,
+            0.5,
+        )
+        // lint:allow(no-panic): observation bins come from space.bins binning, in range by construction
+        .expect("observation bins from FeatureSpace are in range")
+        .hazard()
+        .to_vec();
+        Self {
+            flavor_probs,
+            batch_size_weights,
+            lifetime_hazard,
+        }
+    }
+
+    /// A last-resort fallback when no training stream is available:
+    /// uniform flavors, single-job batches, coin-flip hazards.
+    pub fn uniform(n_flavors: usize, n_bins: usize) -> Self {
+        Self {
+            flavor_probs: vec![1.0 / n_flavors.max(1) as f64; n_flavors.max(1)],
+            batch_size_weights: vec![0.0, 1.0],
+            lifetime_hazard: vec![0.5; n_bins.max(1)],
+        }
+    }
+
+    fn sample_flavor(&self, rng: &mut impl Rng) -> FlavorId {
+        FlavorId(sample_categorical(&self.flavor_probs, rng) as u16)
+    }
+
+    fn sample_batch_size(&self, rng: &mut impl Rng) -> usize {
+        sample_categorical(&self.batch_size_weights, rng).max(1)
+    }
+
+    fn sample_bin(&self, rng: &mut impl Rng) -> usize {
+        sample_hazard_chain(&self.lifetime_hazard, rng)
     }
 }
 
@@ -56,6 +188,12 @@ pub struct TraceGenerator {
     pub lifetimes: LifetimeModel,
     /// Generation knobs.
     pub config: GeneratorConfig,
+    /// Baseline samplers substituted per batch when an LSTM emits
+    /// non-finite output. `None` disables degradation: a sick model then
+    /// produces whatever the infallible samplers produce (pre-existing
+    /// behavior). Fit one with [`GenFallback::fit`].
+    #[serde(default)]
+    pub fallback: Option<GenFallback>,
 }
 
 impl TraceGenerator {
@@ -79,6 +217,10 @@ impl TraceGenerator {
     /// [`TraceGenerator::generate`] with telemetry: emits one
     /// [`GenEvent`] per simulated day covered, carrying batches/jobs
     /// emitted, flavor tokens sampled, and wall-clock throughput.
+    ///
+    /// Degradation is unbounded here (the budget is effectively infinite);
+    /// use [`TraceGenerator::try_generate_recorded`] to enforce
+    /// [`GeneratorConfig::max_fallback_batches`].
     pub fn generate_recorded(
         &self,
         first_period: u64,
@@ -87,9 +229,64 @@ impl TraceGenerator {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Trace {
+        match self.generate_impl(first_period, n_periods, catalog, rng, rec, usize::MAX) {
+            Ok(t) => t,
+            // lint:allow(no-panic): the only error is budget exhaustion, impossible at usize::MAX
+            Err(e) => unreachable!("unbounded generation cannot fail: {e}"),
+        }
+    }
+
+    /// [`TraceGenerator::generate_recorded`] with the degradation budget
+    /// enforced: at most [`GeneratorConfig::max_fallback_batches`] batches
+    /// may come from the baseline fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::FallbackBudgetExhausted`] when the LSTMs emit
+    /// non-finite output so often that the budget runs out — the trace so
+    /// far is discarded because it would no longer be a model sample.
+    pub fn try_generate_recorded(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+    ) -> Result<Trace, GenerateError> {
+        self.generate_impl(
+            first_period,
+            n_periods,
+            catalog,
+            rng,
+            rec,
+            self.config.max_fallback_batches,
+        )
+    }
+
+    fn generate_impl(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+        budget: usize,
+    ) -> Result<Trace, GenerateError> {
         let k = self.flavors.space().n_flavors;
         assert_eq!(k, catalog.len(), "catalog size mismatch");
         let bins = &self.lifetimes.space().bins;
+        // Degradation always has samplers available: a fitted fallback when
+        // the bundle carries one, the uniform emergency baseline otherwise.
+        let emergency;
+        let fb = match &self.fallback {
+            Some(f) => f,
+            None => {
+                emergency = GenFallback::uniform(k, bins.len());
+                &emergency
+            }
+        };
+        let mut fallback_batches = 0usize;
+        let mut fallback_jobs = 0u64;
 
         let trace_doh = self.arrivals.sample_doh_day(rng);
         let mut flavor_state = self.flavors.begin();
@@ -129,13 +326,46 @@ impl TraceGenerator {
                 if steps_left == 0 {
                     break;
                 }
-                let tok = self.flavors.sample_step_scaled(
+                let sampled = self.flavors.try_sample_step_scaled(
                     &mut flavor_state,
                     p,
                     Some(doh),
                     self.config.eob_scale,
                     rng,
                 );
+                let tok = match sampled {
+                    Some(tok) => tok,
+                    None => {
+                        // Flavor LSTM emitted non-finite logits: close the
+                        // in-progress batch (its jobs are model output),
+                        // finish the period's remaining batches from the
+                        // baseline, and reset the poisoned LSTM state.
+                        match batches.last() {
+                            Some(last) if last.is_empty() => {
+                                batches.pop();
+                            }
+                            Some(_) => eobs += 1,
+                            None => {}
+                        }
+                        while eobs < n_batches && emitted < self.config.max_jobs_per_period {
+                            if fallback_batches >= budget {
+                                return Err(GenerateError::FallbackBudgetExhausted { budget });
+                            }
+                            fallback_batches += 1;
+                            let size = fb
+                                .sample_batch_size(rng)
+                                .min(self.config.max_jobs_per_period - emitted);
+                            let batch: Vec<FlavorId> =
+                                (0..size).map(|_| fb.sample_flavor(rng)).collect();
+                            emitted += batch.len();
+                            fallback_jobs += batch.len() as u64;
+                            batches.push(batch);
+                            eobs += 1;
+                        }
+                        flavor_state = self.flavors.begin();
+                        break;
+                    }
+                };
                 day.tokens += 1;
                 if tok == k {
                     // EOB: close the current batch if non-empty; empty
@@ -171,16 +401,39 @@ impl TraceGenerator {
                 day.jobs += batch.len() as u64;
                 let user = UserId(next_user);
                 next_user = next_user.wrapping_add(1);
+                // Once the lifetime LSTM degrades mid-batch, the rest of the
+                // batch stays on the baseline hazard (one fallback batch).
+                let mut batch_degraded = false;
                 for (pos, &flavor) in batch.iter().enumerate() {
-                    let bin = self.lifetimes.sample_step(
-                        &mut lifetime_state,
-                        flavor,
-                        batch.len(),
-                        pos,
-                        p,
-                        Some(doh),
-                        rng,
-                    );
+                    let bin = if batch_degraded {
+                        fallback_jobs += 1;
+                        fb.sample_bin(rng)
+                    } else {
+                        let sampled = self.lifetimes.try_sample_step(
+                            &mut lifetime_state,
+                            flavor,
+                            batch.len(),
+                            pos,
+                            p,
+                            Some(doh),
+                            rng,
+                        );
+                        match sampled {
+                            Some(bin) => bin,
+                            None => {
+                                if fallback_batches >= budget {
+                                    return Err(GenerateError::FallbackBudgetExhausted {
+                                        budget,
+                                    });
+                                }
+                                fallback_batches += 1;
+                                batch_degraded = true;
+                                lifetime_state = self.lifetimes.begin();
+                                fallback_jobs += 1;
+                                fb.sample_bin(rng)
+                            }
+                        }
+                    };
                     let duration = sample_quantized_duration(
                         bins,
                         bin,
@@ -198,7 +451,17 @@ impl TraceGenerator {
             }
         }
         day.flush(rec);
-        Trace::new(jobs, catalog.clone())
+        if fallback_batches > 0 {
+            rec.record(Event::Counter(CounterEvent {
+                name: "gen.fallback_batches".to_string(),
+                delta: fallback_batches as u64,
+            }));
+            rec.record(Event::Counter(CounterEvent {
+                name: "gen.fallback_jobs".to_string(),
+                delta: fallback_jobs,
+            }));
+        }
+        Ok(Trace::new(jobs, catalog.clone()))
     }
 
     /// Generates a trace and right-censors it at the end of the generated
@@ -369,9 +632,21 @@ mod tests {
                 flavors,
                 lifetimes,
                 config: GeneratorConfig::default(),
+                fallback: Some(GenFallback::fit(
+                    &stream,
+                    &FeatureSpace::new(16, bins(), temporal),
+                )),
             },
             catalog,
         )
+    }
+
+    /// Poisons every weight of a network so its outputs are NaN, forcing
+    /// the degradation path.
+    fn poison(net: &mut nn::LstmNetwork) {
+        for p in net.params_mut() {
+            p.value.map_inplace(|_| f64::NAN);
+        }
     }
 
     #[test]
@@ -483,5 +758,101 @@ mod tests {
         let a = g.generate(150, 30, &catalog, &mut StdRng::seed_from_u64(9));
         let b = g.generate(150, 30, &catalog, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    fn fallback_counters(rec: &obsv::MemoryRecorder) -> (u64, u64) {
+        let mut batches = 0;
+        let mut jobs = 0;
+        for e in rec.events() {
+            if let obsv::Event::Counter(c) = e {
+                match c.name.as_str() {
+                    "gen.fallback_batches" => batches += c.delta,
+                    "gen.fallback_jobs" => jobs += c.delta,
+                    _ => {}
+                }
+            }
+        }
+        (batches, jobs)
+    }
+
+    #[test]
+    fn poisoned_flavor_lstm_degrades_to_baseline_not_garbage() {
+        let (mut g, catalog) = build_generator(200);
+        poison(g.flavors.net_mut());
+        let rec = obsv::MemoryRecorder::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = g.generate_recorded(200, 30, &catalog, &mut rng, &rec);
+        assert!(!t.is_empty(), "fallback produced nothing");
+        for j in &t.jobs {
+            assert!(usize::from(j.flavor.0) < catalog.len());
+            assert!(j.end.unwrap() > j.start);
+        }
+        let (batches, jobs) = fallback_counters(&rec);
+        assert!(batches > 0, "no fallback batches counted");
+        assert_eq!(jobs, t.len() as u64, "all jobs should come from fallback");
+    }
+
+    #[test]
+    fn poisoned_lifetime_lstm_degrades_per_batch() {
+        let (mut g, catalog) = build_generator(200);
+        poison(g.lifetimes.net_mut());
+        let rec = obsv::MemoryRecorder::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = g.generate_recorded(200, 30, &catalog, &mut rng, &rec);
+        assert!(!t.is_empty());
+        for j in &t.jobs {
+            assert!(j.end.unwrap() > j.start, "fallback lifetime invalid");
+        }
+        let (batches, jobs) = fallback_counters(&rec);
+        assert!(batches > 0 && jobs > 0);
+    }
+
+    #[test]
+    fn healthy_model_never_touches_fallback() {
+        let (g, catalog) = build_generator(200);
+        let rec = obsv::MemoryRecorder::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let _ = g.generate_recorded(200, 30, &catalog, &mut rng, &rec);
+        assert_eq!(fallback_counters(&rec), (0, 0));
+    }
+
+    #[test]
+    fn fallback_budget_is_enforced() {
+        let (mut g, catalog) = build_generator(200);
+        poison(g.flavors.net_mut());
+        g.config.max_fallback_batches = 1;
+        let mut rng = StdRng::seed_from_u64(13);
+        let err = g
+            .try_generate_recorded(200, 30, &catalog, &mut rng, &NullRecorder)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::FallbackBudgetExhausted { budget: 1 });
+    }
+
+    #[test]
+    fn try_generate_matches_generate_within_budget() {
+        let (g, catalog) = build_generator(150);
+        let a = g.generate(150, 20, &catalog, &mut StdRng::seed_from_u64(14));
+        let b = g
+            .try_generate_recorded(
+                150,
+                20,
+                &catalog,
+                &mut StdRng::seed_from_u64(14),
+                &NullRecorder,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_fallback_covers_missing_fit() {
+        let (mut g, catalog) = build_generator(150);
+        g.fallback = None;
+        poison(g.flavors.net_mut());
+        let mut rng = StdRng::seed_from_u64(15);
+        let t = g.generate(150, 10, &catalog, &mut rng);
+        for j in &t.jobs {
+            assert!(usize::from(j.flavor.0) < catalog.len());
+        }
     }
 }

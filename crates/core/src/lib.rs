@@ -49,9 +49,11 @@ pub mod train;
 pub use arrivals::{ArrivalTarget, BatchArrivalModel};
 pub use baselines::{NaiveGenerator, SimpleBatchGenerator};
 pub use features::{FeatureSpace, TokenStream};
-pub use flavors::{FlavorBaseline, FlavorEval, FlavorModel};
-pub use generator::{GeneratorConfig, TraceGenerator};
-pub use lifetimes::{LifetimeBaseline, LifetimeEval, LifetimeModel};
+pub use flavors::{FlavorBaseline, FlavorEval, FlavorModel, FlavorTrainer};
+pub use generator::{GenFallback, GenerateError, GeneratorConfig, TraceGenerator};
+pub use lifetimes::{LifetimeBaseline, LifetimeEval, LifetimeModel, LifetimeTrainer};
 pub use resources::{MultiResourceModel, ResourceClasses};
 pub use single_lstm::SingleLstmModel;
-pub use train::TrainConfig;
+pub use train::{
+    EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks,
+};

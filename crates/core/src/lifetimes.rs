@@ -10,12 +10,13 @@
 //! preceding jobs.
 
 use crate::features::{FeatureSpace, JobStep, TokenStream};
-use crate::train::TrainConfig;
+use crate::flavors::lr_factor;
+use crate::train::{EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks};
 use linalg::numeric::{clamp_prob, sigmoid, softmax_inplace};
 use linalg::Mat;
 use nn::loss::{masked_bce_with_logits, survival_softmax_loss};
 use nn::lstm::LstmState;
-use nn::{Adam, AdamConfig, LstmNetwork};
+use nn::{Adam, AdamConfig, LstmNetwork, StepError};
 use obsv::{EpochEvent, Event, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -109,135 +110,13 @@ impl LifetimeModel {
         rec: &dyn Recorder,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
-        let j = space.n_bins();
-        // The skip connection gives the "repeat the previous job's bin" rule
-        // a direct linear path from the survival/termination encodings to the
-        // hazard logits.
-        let mut net = LstmNetwork::with_skip(
-            space.lifetime_input_dim(),
-            cfg.hidden,
-            cfg.layers,
-            j,
-            &mut rng,
-        );
-        let mut opt = Adam::new(AdamConfig {
-            lr: cfg.lr,
-            weight_decay: cfg.weight_decay,
-            clip_norm: Some(cfg.clip_norm),
-            ..Default::default()
-        });
-
-        let n = stream.jobs.len();
-        let l = cfg.seq_len;
-        let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
-        let mut train_losses = Vec::with_capacity(cfg.epochs);
-        let dim = space.lifetime_input_dim();
-
-        for epoch in 0..cfg.epochs {
-            // Step decay: drop the learning rate at 1/2 and 3/4 of training
-            // so the softmax/hazard argmax sharpens late in training.
-            let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
-                0.1
-            } else if epoch * 2 >= cfg.epochs {
-                0.3
-            } else {
-                1.0
-            };
-            opt.config_mut().lr = cfg.lr * lr_factor;
-            chunk_starts.shuffle(&mut rng);
-            let epoch_start = Instant::now();
-            let mut epoch_loss = 0.0;
-            let mut epoch_count = 0usize;
-            let mut norm_sum = 0.0;
-            let mut norm_max = 0.0f64;
-            let mut opt_steps = 0usize;
-            for mb in chunk_starts.chunks(cfg.minibatch) {
-                let b = mb.len();
-                let mut xs = Vec::with_capacity(l);
-                let mut targets = Vec::with_capacity(l);
-                let mut masks = Vec::with_capacity(l);
-                let mut events: Vec<Vec<(usize, bool)>> = Vec::with_capacity(l);
-                for t in 0..l {
-                    let mut x = Mat::zeros(b, dim);
-                    let mut target = Mat::zeros(b, j);
-                    let mut mask = Mat::zeros(b, j);
-                    let mut ev = Vec::with_capacity(b);
-                    for (row, &start) in mb.iter().enumerate() {
-                        let idx = start + t;
-                        let step = &stream.jobs[idx];
-                        let prev = idx
-                            .checked_sub(1)
-                            .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
-                        space.encode_lifetime_step(
-                            step.flavor,
-                            step.batch_size,
-                            step.pos_in_batch,
-                            prev,
-                            step.period,
-                            None,
-                            x.row_mut(row),
-                        );
-                        space.lifetime_target_mask(
-                            step.bin,
-                            step.censored,
-                            target.row_mut(row),
-                            mask.row_mut(row),
-                        );
-                        ev.push((step.bin, step.censored));
-                    }
-                    xs.push(x);
-                    targets.push(target);
-                    masks.push(mask);
-                    events.push(ev);
-                }
-
-                net.zero_grad();
-                let (logits, cache) = net.forward(&xs);
-                let mut dlogits = Vec::with_capacity(l);
-                let mut mb_count = 0usize;
-                let mut raw = Vec::with_capacity(l);
-                for (t, logit) in logits.iter().enumerate() {
-                    let (loss, count, d) = match head {
-                        LifetimeHead::Hazard => {
-                            masked_bce_with_logits(logit, &targets[t], &masks[t])
-                        }
-                        LifetimeHead::Pmf => survival_softmax_loss(logit, &events[t]),
-                    };
-                    epoch_loss += loss;
-                    mb_count += count;
-                    raw.push(d);
-                }
-                epoch_count += mb_count;
-                let scale = 1.0 / mb_count.max(1) as f64;
-                for mut d in raw {
-                    d.scale(scale);
-                    dlogits.push(d);
-                }
-                net.backward(&cache, &dlogits);
-                let norm = opt.step(&mut net.params_mut());
-                norm_sum += norm;
-                norm_max = norm_max.max(norm);
-                opt_steps += 1;
-            }
-            let mean_loss = epoch_loss / epoch_count.max(1) as f64;
-            train_losses.push(mean_loss);
-            rec.record(Event::Epoch(EpochEvent {
-                stage: "lifetime".into(),
-                epoch,
-                mean_loss,
-                grad_norm_pre_clip: norm_sum / opt_steps.max(1) as f64,
-                grad_norm_pre_clip_max: norm_max,
-                lr_factor,
-                tokens: epoch_count,
-                wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
-            }));
+        let mut trainer = LifetimeTrainer::new(stream, space, cfg, head, &mut rng);
+        for _ in 0..cfg.epochs {
+            // NoHooks never aborts, so the outcome is always Ok; losses and
+            // telemetry accumulate inside the trainer either way.
+            let _ = trainer.run_epoch(stream, 1.0, &mut rng, rec, &mut NoHooks);
         }
-        Self {
-            net,
-            space,
-            head,
-            train_losses,
-        }
+        trainer.into_model()
     }
 
     /// The output head this model was trained with.
@@ -260,6 +139,14 @@ impl LifetimeModel {
     /// The feature space the model was trained with.
     pub fn space(&self) -> &FeatureSpace {
         &self.space
+    }
+
+    /// Mutable access to the underlying network — exists so the
+    /// fault-injection harness can corrupt a trained model in tests; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn net_mut(&mut self) -> &mut LstmNetwork {
+        &mut self.net
     }
 
     /// Teacher-forced hazard prediction for every job in a stream.
@@ -330,6 +217,264 @@ impl LifetimeModel {
         let bin = sample_hazard_chain(&hazard, rng);
         gen.prev = Some((bin, false));
         bin
+    }
+
+    /// [`Self::sample_step`] with divergence detection: returns `None`
+    /// instead of sampling when the network emits a hazard that is not a
+    /// finite probability (a diverged or corrupted model). On `None` the
+    /// recurrent state in `gen` has already absorbed the bad step —
+    /// callers that fall back to a baseline should restart it with
+    /// [`Self::begin`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_sample_step(
+        &self,
+        gen: &mut LifetimeGenState,
+        flavor: trace::FlavorId,
+        batch_size: usize,
+        pos_in_batch: usize,
+        period: u64,
+        doh_override: Option<u32>,
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        let mut x = Mat::zeros(1, self.space.lifetime_input_dim());
+        self.space.encode_lifetime_step(
+            flavor,
+            batch_size,
+            pos_in_batch,
+            gen.prev,
+            period,
+            doh_override,
+            x.row_mut(0),
+        );
+        let logits = self.net.step(&x, &mut gen.state);
+        let hazard = self.logits_to_hazard(logits.row(0));
+        if hazard.iter().any(|h| !h.is_finite() || !(0.0..=1.0).contains(h)) {
+            return None;
+        }
+        let bin = sample_hazard_chain(&hazard, rng);
+        gen.prev = Some((bin, false));
+        Some(bin)
+    }
+}
+
+/// Epoch-granular trainer for the lifetime LSTM — the [`LifetimeModel`]
+/// counterpart of [`crate::flavors::FlavorTrainer`], with the same
+/// checkpoint/rollback contract: serializable between epochs, identical
+/// math to the plain `fit` path, `run_epoch` advances the `epochs_done`
+/// cursor only on success.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LifetimeTrainer {
+    net: LstmNetwork,
+    opt: Adam,
+    space: FeatureSpace,
+    cfg: TrainConfig,
+    head: LifetimeHead,
+    chunk_starts: Vec<usize>,
+    train_losses: Vec<f64>,
+}
+
+impl LifetimeTrainer {
+    /// Initializes network weights from `rng` and the chunk order from the
+    /// stream (the same construction [`LifetimeModel::fit_with_head`] uses).
+    pub fn new(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        head: LifetimeHead,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let j = space.n_bins();
+        // The skip connection gives the "repeat the previous job's bin" rule
+        // a direct linear path from the survival/termination encodings to the
+        // hazard logits.
+        let net = LstmNetwork::with_skip(space.lifetime_input_dim(), cfg.hidden, cfg.layers, j, rng);
+        let opt = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            clip_norm: Some(cfg.clip_norm),
+            ..Default::default()
+        });
+        let n = stream.jobs.len();
+        let l = cfg.seq_len;
+        let chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
+        Self {
+            net,
+            opt,
+            space,
+            cfg,
+            head,
+            chunk_starts,
+            train_losses: Vec::new(),
+        }
+    }
+
+    /// Epochs completed so far — the resume cursor.
+    pub fn epochs_done(&self) -> usize {
+        self.train_losses.len()
+    }
+
+    /// The configuration this trainer was built with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Mean loss per completed epoch.
+    pub fn losses(&self) -> &[f64] {
+        &self.train_losses
+    }
+
+    /// Runs the next epoch; see [`crate::flavors::FlavorTrainer::run_epoch`]
+    /// for the shared contract (lr scaling, skip-step accounting, abort
+    /// semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainAbort`] from `hooks.post_step`; the
+    /// aborted epoch is not counted, but partial updates have already been
+    /// applied — retrying callers must restore a pre-epoch snapshot.
+    pub fn run_epoch(
+        &mut self,
+        stream: &TokenStream,
+        lr_scale: f64,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<EpochOutcome, TrainAbort> {
+        let epoch = self.train_losses.len();
+        let lr_factor = lr_factor(epoch, self.cfg.epochs);
+        self.opt.config_mut().lr = self.cfg.lr * lr_factor * lr_scale;
+        self.chunk_starts.shuffle(rng);
+        let order = self.chunk_starts.clone();
+        let l = self.cfg.seq_len;
+        let j = self.space.n_bins();
+        let dim = self.space.lifetime_input_dim();
+        let epoch_start = Instant::now();
+        let mut epoch_loss = 0.0;
+        let mut epoch_count = 0usize;
+        let mut norm_sum = 0.0;
+        let mut norm_max = 0.0f64;
+        let mut opt_steps = 0usize;
+        let mut skipped_steps = 0usize;
+        for (step_idx, mb) in order.chunks(self.cfg.minibatch).enumerate() {
+            let b = mb.len();
+            let mut xs = Vec::with_capacity(l);
+            let mut targets = Vec::with_capacity(l);
+            let mut masks = Vec::with_capacity(l);
+            let mut events: Vec<Vec<(usize, bool)>> = Vec::with_capacity(l);
+            for t in 0..l {
+                let mut x = Mat::zeros(b, dim);
+                let mut target = Mat::zeros(b, j);
+                let mut mask = Mat::zeros(b, j);
+                let mut ev = Vec::with_capacity(b);
+                for (row, &start) in mb.iter().enumerate() {
+                    let idx = start + t;
+                    let step = &stream.jobs[idx];
+                    let prev = idx
+                        .checked_sub(1)
+                        .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
+                    self.space.encode_lifetime_step(
+                        step.flavor,
+                        step.batch_size,
+                        step.pos_in_batch,
+                        prev,
+                        step.period,
+                        None,
+                        x.row_mut(row),
+                    );
+                    self.space.lifetime_target_mask(
+                        step.bin,
+                        step.censored,
+                        target.row_mut(row),
+                        mask.row_mut(row),
+                    );
+                    ev.push((step.bin, step.censored));
+                }
+                xs.push(x);
+                targets.push(target);
+                masks.push(mask);
+                events.push(ev);
+            }
+
+            self.net.zero_grad();
+            let (logits, cache) = self.net.forward(&xs);
+            let mut dlogits = Vec::with_capacity(l);
+            let mut mb_loss = 0.0;
+            let mut mb_count = 0usize;
+            let mut raw = Vec::with_capacity(l);
+            for (t, logit) in logits.iter().enumerate() {
+                let (loss, count, d) = match self.head {
+                    LifetimeHead::Hazard => masked_bce_with_logits(logit, &targets[t], &masks[t]),
+                    LifetimeHead::Pmf => survival_softmax_loss(logit, &events[t]),
+                };
+                mb_loss += loss;
+                mb_count += count;
+                raw.push(d);
+            }
+            epoch_loss += mb_loss;
+            epoch_count += mb_count;
+            let scale = 1.0 / mb_count.max(1) as f64;
+            for mut d in raw {
+                d.scale(scale);
+                dlogits.push(d);
+            }
+            self.net.backward(&cache, &dlogits);
+
+            let ctx = StepCtx {
+                stage: "lifetime",
+                epoch,
+                step: step_idx,
+            };
+            let mut params = self.net.params_mut();
+            hooks.pre_step(&ctx, &mut params);
+            let (grad_norm, skipped) = match self.opt.step(&mut params) {
+                Ok(norm) => (norm, false),
+                Err(StepError::NonFiniteGradient { norm }) => (norm, true),
+            };
+            drop(params);
+            opt_steps += 1;
+            if skipped {
+                skipped_steps += 1;
+            } else {
+                norm_sum += grad_norm;
+                norm_max = norm_max.max(grad_norm);
+            }
+            hooks.post_step(
+                &ctx,
+                &StepStats {
+                    loss: mb_loss / mb_count.max(1) as f64,
+                    grad_norm,
+                    skipped,
+                },
+            )?;
+        }
+        let mean_loss = epoch_loss / epoch_count.max(1) as f64;
+        self.train_losses.push(mean_loss);
+        rec.record(Event::Epoch(EpochEvent {
+            stage: "lifetime".into(),
+            epoch,
+            mean_loss,
+            grad_norm_pre_clip: norm_sum / opt_steps.saturating_sub(skipped_steps).max(1) as f64,
+            grad_norm_pre_clip_max: norm_max,
+            lr_factor,
+            tokens: epoch_count,
+            wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            skipped_steps,
+        }));
+        Ok(EpochOutcome {
+            mean_loss,
+            steps: opt_steps,
+            skipped_steps,
+        })
+    }
+
+    /// Finalizes training into a [`LifetimeModel`].
+    pub fn into_model(self) -> LifetimeModel {
+        LifetimeModel {
+            net: self.net,
+            space: self.space,
+            head: self.head,
+            train_losses: self.train_losses,
+        }
     }
 }
 

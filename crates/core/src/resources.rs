@@ -244,7 +244,9 @@ impl MultiResourceModel {
                 let mut params = lstm.params_mut();
                 params.extend(cpu_head.params_mut());
                 params.extend(mem_head.params_mut());
-                opt.step(&mut params);
+                // Skip-step semantics: a non-finite gradient leaves the
+                // weights untouched and training simply moves on.
+                let _ = opt.step(&mut params);
             }
             train_losses.push(epoch_loss / epoch_count.max(1) as f64);
         }

@@ -159,7 +159,9 @@ impl SingleLstmModel {
                     dlogits.push(d);
                 }
                 net.backward(&cache, &dlogits);
-                opt.step(&mut net.params_mut());
+                // Skip-step semantics: a non-finite gradient leaves the
+                // weights untouched and training simply moves on.
+                let _ = opt.step(&mut net.params_mut());
             }
             train_losses.push(epoch_loss / epoch_count.max(1) as f64);
         }

@@ -1,6 +1,18 @@
-//! Shared training configuration for the two LSTM stages.
+//! Shared training configuration and epoch-loop plumbing for the two LSTM
+//! stages.
+//!
+//! Besides [`TrainConfig`], this module defines the hook protocol the
+//! resilience layer uses to observe and steer training without the trainers
+//! knowing about checkpoints or fault injection: [`TrainHooks`] sees every
+//! optimizer step (and may mutate gradients before it, which is how the
+//! fault-injection harness plants NaNs) and can abort the epoch with a
+//! [`TrainAbort`] — non-fatal aborts model divergence (the guard rolls back
+//! and retries), fatal aborts model a killed process (the run stops and must
+//! be resumed from a checkpoint).
 
+use nn::Param;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Hyperparameters for LSTM training.
 ///
@@ -78,6 +90,88 @@ impl TrainConfig {
         }
     }
 }
+
+/// Position of one optimizer step within a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepCtx {
+    /// Which model is training (`"flavor"` or `"lifetime"`).
+    pub stage: &'static str,
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Zero-based minibatch index within the epoch.
+    pub step: usize,
+}
+
+/// What one optimizer step did, as seen by [`TrainHooks::post_step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Mean loss of the minibatch (may be non-finite when diverging).
+    pub loss: f64,
+    /// Pre-clip global gradient norm (may be non-finite).
+    pub grad_norm: f64,
+    /// True when the optimizer rejected the step (non-finite gradient) and
+    /// left the weights untouched.
+    pub skipped: bool,
+}
+
+/// A hook-requested end to the current epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainAbort {
+    /// `true` simulates/reflects a killed process: the whole fit stops and
+    /// only a checkpoint can continue it. `false` means "this epoch went
+    /// wrong": the resilience runtime rolls back to the epoch's starting
+    /// state and retries.
+    pub fatal: bool,
+    /// Human-readable cause, propagated into guard telemetry.
+    pub reason: String,
+}
+
+impl fmt::Display for TrainAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.fatal { "fatal" } else { "retryable" };
+        write!(f, "{kind} training abort: {}", self.reason)
+    }
+}
+
+impl std::error::Error for TrainAbort {}
+
+/// Summary of one completed epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochOutcome {
+    /// Mean loss over the epoch's targets.
+    pub mean_loss: f64,
+    /// Optimizer steps taken (including skipped ones).
+    pub steps: usize,
+    /// Steps the optimizer rejected for non-finite gradients.
+    pub skipped_steps: usize,
+}
+
+/// Observation/intervention points inside a training epoch.
+///
+/// The default implementations do nothing, so ordinary training pays only a
+/// virtual call per minibatch.
+pub trait TrainHooks {
+    /// Runs right before `Adam::step`, with the gradients already computed.
+    /// Mutating `params[i].grad` here is how the fault-injection harness
+    /// plants NaN gradients on a scheduled step.
+    fn pre_step(&mut self, _ctx: &StepCtx, _params: &mut [&mut Param]) {}
+
+    /// Runs right after `Adam::step` with the step's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returning a [`TrainAbort`] ends the epoch immediately: the trainer
+    /// propagates it without recording the epoch as complete.
+    fn post_step(&mut self, _ctx: &StepCtx, _stats: &StepStats) -> Result<(), TrainAbort> {
+        Ok(())
+    }
+}
+
+/// The no-op hook set used by plain (non-resilient) training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl TrainHooks for NoHooks {}
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,7 @@
 //! | `float-eq` (R3) | all crates, non-test | no `==`/`!=` with a float literal (or `NAN`/`INFINITY` constant) operand |
 //! | `lossy-cast` (R4) | library crates, non-test | no `<float literal> as <int>` and no `.floor()/.ceil()/.round()/.trunc() as <int>` without an annotation |
 //! | `forbid-unsafe` (R5) | every crate root | `#![forbid(unsafe_code)]` present |
-//! | `fallible-entry` (R6) | `nn`, `glm`, `survival`, non-test | `pub fn fit*/train*/solve*/factor*` returns a `Result` |
+//! | `fallible-entry` (R6) | `nn`, `glm`, `survival`, `resilience`, non-test | `pub fn fit*/train*/solve*/factor*/checkpoint*/resume*` returns a `Result` |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
 //! or the preceding line (see [`crate::scan`]).
@@ -68,10 +68,14 @@ const INT_TYPES: &[&str] = &[
 const FLOAT_TRUNC_METHODS: &[&str] = &["floor", "ceil", "round", "trunc"];
 
 /// Crates whose public numeric entry points must return `Result` (R6).
-const RESULT_ENTRY_CRATES: &[&str] = &["nn", "glm", "survival"];
+/// `resilience` is included because its whole contract is recovering from
+/// failure — a checkpoint or resume path that panics defeats the crate.
+const RESULT_ENTRY_CRATES: &[&str] = &["nn", "glm", "survival", "resilience"];
 
 /// Function-name prefixes R6 treats as fallible numeric entry points.
-const FALLIBLE_PREFIXES: &[&str] = &["fit", "train", "solve", "factor"];
+/// `checkpoint`/`resume` cover the fault-tolerance surface: both touch the
+/// filesystem and partially-written state, so they can always fail.
+const FALLIBLE_PREFIXES: &[&str] = &["fit", "train", "solve", "factor", "checkpoint", "resume"];
 
 fn ident(t: &Tok, text: &str) -> bool {
     t.kind == TokKind::Ident && t.text == text
@@ -299,10 +303,13 @@ pub fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
-/// R6: in the numeric crates (`nn`, `glm`, `survival`), a `pub fn` whose
-/// name starts with `fit`/`train`/`solve`/`factor` must mention `Result` in
-/// its signature. These are the entry points that can fail on valid-typed
-/// but numerically-degenerate input; panicking there poisons every caller.
+/// R6: in the numeric and fault-tolerance crates (`nn`, `glm`, `survival`,
+/// `resilience`), a `pub fn` whose name starts with
+/// `fit`/`train`/`solve`/`factor`/`checkpoint`/`resume` must mention
+/// `Result` in its signature. These are the entry points that can fail on
+/// valid-typed but numerically-degenerate input (or, for the
+/// checkpoint/resume family, on torn files and mismatched state);
+/// panicking there poisons every caller.
 /// `pub(crate)` helpers are exempt (the `pub` must be directly followed by
 /// `fn`).
 pub fn fallible_entry(ctx: &FileCtx, out: &mut Vec<Violation>) {

@@ -527,6 +527,29 @@ mod tests {
     }
 
     #[test]
+    fn fallible_entry_covers_checkpoint_resume_in_resilience() {
+        let src = |body: &str| {
+            scan_source(
+                "crates/resilience/src/x.rs".to_string(),
+                FileClass::Lib {
+                    krate: "resilience".to_string(),
+                },
+                body,
+            )
+        };
+        let (v, _) = src("pub fn checkpoint_now(s: &State) -> PathBuf { todo() }");
+        assert!(v.iter().any(|v| v.rule == "fallible-entry"), "{v:?}");
+        let (v, _) = src("pub fn resume_from(dir: &Path) -> State { todo() }");
+        assert!(v.iter().any(|v| v.rule == "fallible-entry"), "{v:?}");
+        let (v, _) = src("pub fn checkpoint_now(s: &State) -> Result<PathBuf, E> { todo() }");
+        assert!(v.is_empty(), "{v:?}");
+        // `resumed`/`checkpoints` (plain words sharing letters, not the
+        // `prefix_` shape) are not entry points.
+        let (v, _) = src("pub fn resumed_epochs(s: &State) -> usize { 0 }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn strings_and_comments_never_fire() {
         let src = r#"
             // x.unwrap() in a comment

@@ -3,6 +3,7 @@
 use crate::param::Param;
 use linalg::Mat;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Adam hyperparameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -34,17 +35,50 @@ impl Default for AdamConfig {
     }
 }
 
+/// A rejected optimizer step.
+///
+/// The step is skipped *whole*: weights, moments, and the step counter are
+/// all left exactly as they were, so a caller can zero the gradients and
+/// continue training from the same state (or hand the error to a guard that
+/// rolls back / lowers the learning rate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepError {
+    /// The pre-clip global gradient norm was NaN or infinite. Clipping
+    /// cannot repair a non-finite norm (`c / norm` is 0 or NaN), so updating
+    /// would poison the Adam moments for every later step.
+    NonFiniteGradient {
+        /// The offending pre-clip norm (NaN or infinity).
+        norm: f64,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NonFiniteGradient { norm } => {
+                write!(f, "non-finite pre-clip gradient norm {norm}; step skipped")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
 /// Adam optimizer state.
 ///
 /// Per-parameter first/second moment estimates are keyed by position in the
 /// parameter list, which must therefore be stable across `step` calls (each
 /// layer's `params_mut` guarantees this).
-#[derive(Debug, Clone)]
+///
+/// Serializable so a training run can checkpoint its optimizer alongside the
+/// network weights and resume bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     cfg: AdamConfig,
     t: u64,
     m: Vec<Mat>,
     v: Vec<Mat>,
+    #[serde(default)]
     last_norm: Option<f64>,
 }
 
@@ -70,14 +104,15 @@ impl Adam {
         &mut self.cfg
     }
 
-    /// Number of update steps taken so far.
+    /// Number of update steps taken so far (skipped steps do not count).
     pub fn steps(&self) -> u64 {
         self.t
     }
 
-    /// Pre-clip global gradient norm of the most recent step (`None`
-    /// before the first step). Training loops surface this per-epoch as
-    /// `grad_norm_pre_clip` telemetry.
+    /// Pre-clip global gradient norm of the most recent `step` call (`None`
+    /// before the first call). Recorded even when the step was skipped, so
+    /// guards can inspect the offending norm. Training loops surface this
+    /// per-epoch as `grad_norm_pre_clip` telemetry.
     pub fn last_grad_norm(&self) -> Option<f64> {
         self.last_norm
     }
@@ -88,10 +123,18 @@ impl Adam {
     /// Gradients are *not* zeroed; call `zero_grad` on the layers before the
     /// next backward pass.
     ///
+    /// # Errors
+    ///
+    /// If the pre-clip gradient norm is NaN or infinite the step is skipped
+    /// in its entirety — weights, moments, and the step counter are
+    /// untouched — and [`StepError::NonFiniteGradient`] is returned. Release
+    /// builds therefore never fold NaN gradients into the moment estimates;
+    /// the caller decides whether to drop the minibatch or roll back.
+    ///
     /// # Panics
     ///
     /// Panics if the parameter list length or shapes change between calls.
-    pub fn step(&mut self, params: &mut [&mut Param]) -> f64 {
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<f64, StepError> {
         // Lazily initialize moments.
         if self.m.is_empty() {
             for p in params.iter() {
@@ -107,8 +150,10 @@ impl Adam {
             sq_sum += p.grad.as_slice().iter().map(|g| g * g).sum::<f64>();
         }
         let norm = sq_sum.sqrt();
-        linalg::debug_assert_finite!(&[norm], "adam pre-clip gradient norm");
         self.last_norm = Some(norm);
+        if !norm.is_finite() {
+            return Err(StepError::NonFiniteGradient { norm });
+        }
         let scale = match self.cfg.clip_norm {
             Some(c) if norm > c && norm > 0.0 => c / norm,
             _ => 1.0,
@@ -142,7 +187,7 @@ impl Adam {
             }
             linalg::debug_assert_finite!(w, "adam updated weights");
         }
-        norm
+        Ok(norm)
     }
 }
 
@@ -166,7 +211,7 @@ mod tests {
             p.zero_grad();
             let x = p.value[(0, 0)];
             p.grad[(0, 0)] = 2.0 * (x - 3.0);
-            opt.step(&mut [&mut p]);
+            opt.step(&mut [&mut p]).unwrap();
         }
         assert!(
             (p.value[(0, 0)] - 3.0).abs() < 1e-2,
@@ -184,7 +229,7 @@ mod tests {
             clip_norm: Some(1.0),
             ..Default::default()
         });
-        let norm = opt.step(&mut [&mut p]);
+        let norm = opt.step(&mut [&mut p]).unwrap();
         assert!(norm > 1e8);
         // After clipping, |update| <= lr / (sqrt(vhat)+eps) * mhat stays ~lr.
         assert!(p.value[(0, 0)].abs() < 0.2);
@@ -201,7 +246,7 @@ mod tests {
         });
         // Zero gradient: only decay acts.
         p.zero_grad();
-        opt.step(&mut [&mut p]);
+        opt.step(&mut [&mut p]).unwrap();
         assert!(p.value[(0, 0)] < 1.0);
         assert!(p.value[(0, 0)] > 0.0);
     }
@@ -212,7 +257,7 @@ mod tests {
         let mut opt = Adam::new(AdamConfig::default());
         assert_eq!(opt.last_grad_norm(), None);
         p.grad[(0, 0)] = 3.0;
-        let n = opt.step(&mut [&mut p]);
+        let n = opt.step(&mut [&mut p]).unwrap();
         assert_eq!(opt.last_grad_norm(), Some(n));
         assert!((n - 3.0).abs() < 1e-12);
     }
@@ -222,22 +267,82 @@ mod tests {
         let mut p = quadratic_param(0.0);
         let mut opt = Adam::new(AdamConfig::default());
         assert_eq!(opt.steps(), 0);
-        opt.step(&mut [&mut p]);
-        opt.step(&mut [&mut p]);
+        opt.step(&mut [&mut p]).unwrap();
+        opt.step(&mut [&mut p]).unwrap();
         assert_eq!(opt.steps(), 2);
     }
 
-    /// Debug builds trip the finite-value tripwire when a NaN gradient is
-    /// seeded: the pre-clip norm is already NaN, so the step panics before
-    /// poisoning the optimizer moments.
-    #[cfg(debug_assertions)]
+    /// A NaN gradient must reject the step wholesale: typed error out,
+    /// weights / moments / step counter untouched, so training can continue
+    /// (or roll back) from exactly the pre-step state — in release builds
+    /// too, not just under debug assertions.
     #[test]
-    #[should_panic(expected = "non-finite value")]
-    fn seeded_nan_gradient_trips_step_tripwire() {
-        let mut p = quadratic_param(0.0);
-        p.grad[(0, 0)] = f64::NAN;
+    fn nan_gradient_skips_step_with_typed_error() {
+        let mut p = quadratic_param(1.5);
         let mut opt = Adam::new(AdamConfig::default());
-        opt.step(&mut [&mut p]);
+        // One healthy step to populate moments.
+        p.grad[(0, 0)] = 0.5;
+        opt.step(&mut [&mut p]).unwrap();
+        let w_before = p.value[(0, 0)];
+        let t_before = opt.steps();
+
+        p.zero_grad();
+        p.grad[(0, 0)] = f64::NAN;
+        let err = opt.step(&mut [&mut p]).unwrap_err();
+        match err {
+            StepError::NonFiniteGradient { norm } => assert!(norm.is_nan()),
+        }
+        assert_eq!(p.value[(0, 0)], w_before, "weights must be untouched");
+        assert_eq!(opt.steps(), t_before, "skipped step must not count");
+        assert!(opt.last_grad_norm().unwrap().is_nan());
+
+        // The optimizer remains usable: the next finite step succeeds.
+        p.zero_grad();
+        p.grad[(0, 0)] = 0.5;
+        opt.step(&mut [&mut p]).unwrap();
+        assert_eq!(opt.steps(), t_before + 1);
+    }
+
+    #[test]
+    fn infinite_gradient_also_skips() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Adam::new(AdamConfig::default());
+        p.grad[(0, 0)] = f64::INFINITY;
+        let err = opt.step(&mut [&mut p]).unwrap_err();
+        assert!(matches!(err, StepError::NonFiniteGradient { .. }));
+        assert_eq!(p.value[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_resumes_identically() {
+        // Two optimizers stepped in lockstep stay identical when one is
+        // serialized and deserialized mid-run.
+        let mut p1 = quadratic_param(0.0);
+        let mut p2 = quadratic_param(0.0);
+        let mut o1 = Adam::new(AdamConfig {
+            lr: 0.05,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            for (p, o) in [(&mut p1, &mut o1)] {
+                p.zero_grad();
+                p.grad[(0, 0)] = 2.0 * (p.value[(0, 0)] - 3.0);
+                o.step(&mut [&mut *p]).unwrap();
+            }
+        }
+        let json = serde_json::to_string(&o1).unwrap();
+        let mut o2: Adam = serde_json::from_str(&json).unwrap();
+        p2.value[(0, 0)] = p1.value[(0, 0)];
+        for _ in 0..5 {
+            p1.zero_grad();
+            p1.grad[(0, 0)] = 2.0 * (p1.value[(0, 0)] - 3.0);
+            o1.step(&mut [&mut p1]).unwrap();
+            p2.zero_grad();
+            p2.grad[(0, 0)] = 2.0 * (p2.value[(0, 0)] - 3.0);
+            o2.step(&mut [&mut p2]).unwrap();
+        }
+        assert_eq!(p1.value[(0, 0)].to_bits(), p2.value[(0, 0)].to_bits());
+        assert_eq!(o1.steps(), o2.steps());
     }
 
     #[test]
@@ -246,7 +351,7 @@ mod tests {
         let mut a = quadratic_param(0.0);
         let mut b = quadratic_param(0.0);
         let mut opt = Adam::new(AdamConfig::default());
-        opt.step(&mut [&mut a]);
-        opt.step(&mut [&mut a, &mut b]);
+        let _ = opt.step(&mut [&mut a]);
+        let _ = opt.step(&mut [&mut a, &mut b]);
     }
 }

@@ -1,0 +1,229 @@
+//! Versioned, checksummed JSON envelope for persisted model state.
+//!
+//! Raw `serde_json` round-trips silently accept truncated files (a torn write
+//! can still be a prefix that parses) and have no notion of schema drift. The
+//! envelope closes both holes: every persisted artifact is wrapped as
+//!
+//! ```json
+//! {"schema_version":1,"kind":"network","crc32":305419896,"payload":"<json>"}
+//! ```
+//!
+//! where `crc32` covers the `payload` string byte-for-byte. Decoding verifies
+//! version, kind, and checksum before handing the payload to the caller, and
+//! reports failures as a typed [`CodecError`] so fault-tolerant readers (the
+//! checkpoint store) can distinguish "corrupt, try the previous file" from
+//! "programmer error".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Current envelope schema version. Bump when the envelope layout (not the
+/// payload) changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Why an envelope failed to decode.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The file is not a well-formed envelope (bad JSON or missing fields) —
+    /// typical of truncated writes.
+    Malformed(serde_json::Error),
+    /// The envelope was written by an incompatible schema version.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The envelope holds a different kind of artifact than requested
+    /// (e.g., an optimizer checkpoint where a network was expected).
+    KindMismatch {
+        /// Kind found in the file.
+        found: String,
+        /// Kind the caller asked for.
+        expected: String,
+    },
+    /// The payload checksum does not match — the file was corrupted after
+    /// being written.
+    ChecksumMismatch {
+        /// CRC32 recorded in the envelope.
+        recorded: u32,
+        /// CRC32 computed over the payload as read.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Malformed(e) => write!(f, "malformed envelope: {e}"),
+            CodecError::SchemaVersion { found, expected } => {
+                write!(f, "schema version {found} (expected {expected})")
+            }
+            CodecError::KindMismatch { found, expected } => {
+                write!(f, "artifact kind {found:?} (expected {expected:?})")
+            }
+            CodecError::ChecksumMismatch { recorded, computed } => write!(
+                f,
+                "checksum mismatch: recorded {recorded:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for CodecError {
+    fn from(e: serde_json::Error) -> Self {
+        CodecError::Malformed(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    schema_version: u32,
+    kind: String,
+    crc32: u32,
+    payload: String,
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over `bytes`.
+///
+/// Bitwise (no lookup table): checkpoint payloads are small enough that the
+/// ~8 shifts per byte are noise next to JSON serialization.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Wraps an already-serialized `payload` in a versioned, checksummed
+/// envelope tagged with `kind`.
+pub fn encode_envelope(kind: &str, payload: &str) -> String {
+    let env = Envelope {
+        schema_version: SCHEMA_VERSION,
+        kind: kind.to_string(),
+        crc32: crc32(payload.as_bytes()),
+        payload: payload.to_string(),
+    };
+    // lint:allow(no-panic): serializing a struct of strings/ints cannot fail.
+    serde_json::to_string(&env).expect("envelope serialization is infallible")
+}
+
+/// Unwraps an envelope, verifying schema version, artifact kind, and payload
+/// checksum, and returns the inner payload string.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first verification failure:
+/// malformed JSON, version mismatch, kind mismatch, or checksum mismatch.
+pub fn decode_envelope(kind: &str, s: &str) -> Result<String, CodecError> {
+    let env: Envelope = serde_json::from_str(s)?;
+    if env.schema_version != SCHEMA_VERSION {
+        return Err(CodecError::SchemaVersion {
+            found: env.schema_version,
+            expected: SCHEMA_VERSION,
+        });
+    }
+    if env.kind != kind {
+        return Err(CodecError::KindMismatch {
+            found: env.kind,
+            expected: kind.to_string(),
+        });
+    }
+    let computed = crc32(env.payload.as_bytes());
+    if computed != env.crc32 {
+        return Err(CodecError::ChecksumMismatch {
+            recorded: env.crc32,
+            computed,
+        });
+    }
+    Ok(env.payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        let payload = r#"{"weights":[1.0,2.0]}"#;
+        let env = encode_envelope("network", payload);
+        assert_eq!(decode_envelope("network", &env).unwrap(), payload);
+    }
+
+    #[test]
+    fn truncated_envelope_is_malformed() {
+        let env = encode_envelope("network", "{}");
+        let torn = &env[..env.len() / 2];
+        assert!(matches!(
+            decode_envelope("network", torn),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let env = encode_envelope("optimizer", "{}");
+        match decode_envelope("network", &env) {
+            Err(CodecError::KindMismatch { found, expected }) => {
+                assert_eq!(found, "optimizer");
+                assert_eq!(expected, "network");
+            }
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let env = encode_envelope("network", "{}")
+            .replace("\"schema_version\":1", "\"schema_version\":999");
+        assert!(matches!(
+            decode_envelope("network", &env),
+            Err(CodecError::SchemaVersion {
+                found: 999,
+                expected: SCHEMA_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let env = encode_envelope("network", r#"{"w":100}"#);
+        let tampered = env.replace(r#"{\"w\":100}"#, r#"{\"w\":101}"#);
+        assert_ne!(env, tampered, "tamper replacement must hit");
+        assert!(matches!(
+            decode_envelope("network", &tampered),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::ChecksumMismatch {
+            recorded: 1,
+            computed: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("checksum"), "{msg}");
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adam;
+pub mod codec;
 pub mod gradcheck;
 pub mod init;
 pub mod linear;
@@ -31,7 +32,8 @@ pub mod network;
 pub mod param;
 pub mod rnn;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, StepError};
+pub use codec::CodecError;
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmState};
 pub use network::LstmNetwork;

@@ -1,6 +1,7 @@
 //! LSTM stack plus linear output head — the architecture shared by the
 //! flavor model and the lifetime (hazard) model.
 
+use crate::codec::{self, CodecError};
 use crate::linear::Linear;
 use crate::lstm::{Lstm, LstmCache, LstmState};
 use crate::param::Param;
@@ -163,14 +164,33 @@ impl LstmNetwork {
         }
     }
 
-    /// Serializes the network weights to JSON.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    /// Artifact kind tag used in the persistence envelope.
+    const ENVELOPE_KIND: &'static str = "lstm-network";
+
+    /// Serializes the network weights to a versioned, checksummed JSON
+    /// envelope (see [`crate::codec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] if the weights fail to serialize
+    /// (never happens for finite matrices).
+    pub fn to_json(&self) -> Result<String, CodecError> {
+        let payload = serde_json::to_string(self)?;
+        Ok(codec::encode_envelope(Self::ENVELOPE_KIND, &payload))
     }
 
-    /// Deserializes a network from JSON produced by [`Self::to_json`].
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    /// Deserializes a network from JSON produced by [`Self::to_json`],
+    /// rejecting truncated, tampered, wrong-kind, or wrong-schema-version
+    /// files with a typed [`CodecError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first envelope verification failure, or
+    /// [`CodecError::Malformed`] if the verified payload does not parse as a
+    /// network.
+    pub fn from_json(s: &str) -> Result<Self, CodecError> {
+        let payload = codec::decode_envelope(Self::ENVELOPE_KIND, s)?;
+        Ok(serde_json::from_str(&payload)?)
     }
 }
 
@@ -255,7 +275,7 @@ mod tests {
             }
             last = mean;
             net.backward(&cache, &dlogits);
-            opt.step(&mut net.params_mut());
+            opt.step(&mut net.params_mut()).unwrap();
         }
         let first = first.unwrap();
         assert!(last < first * 0.2, "loss did not drop: {first} -> {last}");
@@ -300,5 +320,27 @@ mod tests {
                 assert!((p - q).abs() < 1e-15);
             }
         }
+    }
+
+    #[test]
+    fn json_is_enveloped_with_version_and_checksum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = LstmNetwork::new(2, 3, 1, 2, &mut rng);
+        let json = net.to_json().unwrap();
+        assert!(json.contains("\"schema_version\":1"), "{json}");
+        assert!(json.contains("\"crc32\":"), "{json}");
+        assert!(json.contains("\"kind\":\"lstm-network\""), "{json}");
+    }
+
+    #[test]
+    fn truncated_json_is_rejected_typed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = LstmNetwork::new(2, 3, 1, 2, &mut rng);
+        let json = net.to_json().unwrap();
+        let torn = &json[..json.len() - 40];
+        assert!(matches!(
+            LstmNetwork::from_json(torn),
+            Err(CodecError::Malformed(_))
+        ));
     }
 }

@@ -421,7 +421,7 @@ mod tests {
             }
             last = total;
             net.backward(&cache, &d);
-            opt.step(&mut net.params_mut());
+            opt.step(&mut net.params_mut()).unwrap();
         }
         assert!(last < first * 0.2, "loss {first} -> {last}");
     }

@@ -26,6 +26,10 @@ pub struct EpochEvent {
     pub tokens: usize,
     /// Wall-clock time spent in the epoch, milliseconds.
     pub wall_ms: f64,
+    /// Optimizer steps skipped because the gradient norm was non-finite
+    /// (the `nn::StepError` skip-step path).
+    #[serde(default)]
+    pub skipped_steps: usize,
 }
 
 /// Generation throughput over one simulated day.
@@ -104,6 +108,54 @@ pub struct LintEvent {
     pub wall_ms: f64,
 }
 
+/// A divergence-guard intervention during training.
+///
+/// Emitted by the resilience layer's `TrainGuard` whenever it observes or
+/// reacts to instability: a non-finite loss, a gradient-norm spike, a
+/// skipped optimizer step, a rollback to the last good state, a
+/// learning-rate halving, or retry-budget exhaustion.
+///
+/// Loss and gradient-norm fields are `Option` because the values that trip
+/// a guard are frequently NaN/Inf, which JSON cannot represent as numbers
+/// (`serde_json` would write `null` and fail the round-trip on a plain
+/// `f64`); `None` here means "not applicable", while a non-finite trigger is
+/// described in `detail`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardEvent {
+    /// Which model was training (`"flavor"` or `"lifetime"`).
+    pub stage: String,
+    /// Zero-based epoch index the intervention happened in.
+    pub epoch: usize,
+    /// What the guard did: `"nan-loss"`, `"grad-spike"`, `"step-skipped"`,
+    /// `"rollback"`, `"lr-halved"`, or `"retry-exhausted"`.
+    pub action: String,
+    /// Human-readable context (threshold values, file names, etc.).
+    pub detail: String,
+    /// Pre-clip gradient norm at the trigger, when finite.
+    pub grad_norm: Option<f64>,
+    /// Step or epoch loss at the trigger, when finite.
+    pub loss: Option<f64>,
+    /// Retry attempt number for this epoch (0 on the first try).
+    pub attempt: u32,
+    /// Learning-rate scale in effect after the intervention (1.0 = nominal).
+    pub lr_scale: f64,
+}
+
+/// One checkpoint-store operation (save, load, or corrupt-file skip).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointEvent {
+    /// Which model the checkpoint belongs to (`"flavor"` or `"lifetime"`).
+    pub stage: String,
+    /// Epoch cursor recorded in the checkpoint (next epoch to run).
+    pub epoch: usize,
+    /// Operation: `"save"`, `"load"`, or `"skip-corrupt"`.
+    pub kind: String,
+    /// Size of the checkpoint file in bytes (0 when unknown).
+    pub bytes: u64,
+    /// Wall-clock time for the operation, milliseconds.
+    pub wall_ms: f64,
+}
+
 /// The closed set of telemetry events a [`crate::Recorder`] accepts.
 ///
 /// Serialized internally tagged so each JSONL line carries its own `type`.
@@ -124,6 +176,10 @@ pub enum Event {
     Span(SpanEvent),
     /// Static-analysis (`cloudgen-lint`) run summary.
     Lint(LintEvent),
+    /// Divergence-guard intervention.
+    Guard(GuardEvent),
+    /// Checkpoint store operation.
+    Checkpoint(CheckpointEvent),
 }
 
 #[cfg(test)]
@@ -173,8 +229,57 @@ mod tests {
             lr_factor: 0.3,
             tokens: 1024,
             wall_ms: 12.5,
+            skipped_steps: 0,
         });
         let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn epoch_event_without_skipped_steps_defaults_to_zero() {
+        // JSONL files written before the resilience layer lack the field.
+        let json = r#"{"type":"Epoch","stage":"flavor","epoch":0,
+            "mean_loss":1.0,"grad_norm_pre_clip":1.0,
+            "grad_norm_pre_clip_max":2.0,"lr_factor":1.0,
+            "tokens":10,"wall_ms":1.0}"#;
+        let e: Event = serde_json::from_str(json).unwrap();
+        match e {
+            Event::Epoch(ep) => assert_eq!(ep.skipped_steps, 0),
+            other => panic!("expected Epoch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_event_round_trips_with_none_fields() {
+        let e = Event::Guard(GuardEvent {
+            stage: "flavor".into(),
+            epoch: 3,
+            action: "rollback".into(),
+            detail: "loss became non-finite at step 17".into(),
+            grad_norm: None,
+            loss: None,
+            attempt: 1,
+            lr_scale: 0.5,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"Guard\""), "{json}");
+        assert!(json.contains("\"action\":\"rollback\""), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn checkpoint_event_round_trips() {
+        let e = Event::Checkpoint(CheckpointEvent {
+            stage: "lifetime".into(),
+            epoch: 5,
+            kind: "save".into(),
+            bytes: 4096,
+            wall_ms: 2.25,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"Checkpoint\""), "{json}");
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

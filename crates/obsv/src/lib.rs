@@ -32,8 +32,11 @@ pub mod recorder;
 pub mod report;
 
 pub use event::{
-    CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, LintEvent, SchedEvent, SpanEvent,
+    CheckpointEvent, CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, GuardEvent, LintEvent,
+    SchedEvent, SpanEvent,
 };
 pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer};
 pub use recorder::{read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
-pub use report::{GenSummary, RunReport, SchedSummary, SpanSummary, StageSummary};
+pub use report::{
+    GenSummary, ResilienceSummary, RunReport, SchedSummary, SpanSummary, StageSummary,
+};

@@ -5,7 +5,7 @@
 //! interior mutability. Recording must never fail loudly: a sink that loses
 //! its backing store degrades to a no-op rather than panicking mid-training.
 
-use crate::event::{Event, EpochEvent};
+use crate::event::{Event, EpochEvent, GuardEvent};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -65,6 +65,17 @@ impl MemoryRecorder {
             .into_iter()
             .filter_map(|e| match e {
                 Event::Epoch(ev) => Some(ev),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The guard events recorded so far, in order.
+    pub fn guards(&self) -> Vec<GuardEvent> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Guard(ev) => Some(ev),
                 _ => None,
             })
             .collect()
@@ -213,6 +224,7 @@ mod tests {
                 lr_factor: 1.0,
                 tokens: 640,
                 wall_ms: 10.0,
+                skipped_steps: 0,
             }),
             Event::Gen(GenEvent {
                 day: 6,

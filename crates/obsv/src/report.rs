@@ -2,7 +2,7 @@
 //! summaries, generation throughput, and scheduler counters, rendered as
 //! JSON or an aligned text table.
 
-use crate::event::{Event, LintEvent};
+use crate::event::{Event, GuardEvent, LintEvent};
 use crate::metrics::exact_quantile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -84,6 +84,29 @@ pub struct SpanSummary {
     pub max_ms: f64,
 }
 
+/// Resilience summary: guard interventions and checkpoint operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResilienceSummary {
+    /// Guard interventions by action (`"rollback"`, `"lr-halved"`, …).
+    pub guard_actions: BTreeMap<String, u64>,
+    /// Total guard interventions.
+    pub guard_total: u64,
+    /// Checkpoint operations by kind (`"save"`, `"load"`, `"skip-corrupt"`).
+    pub checkpoint_ops: BTreeMap<String, u64>,
+    /// Total bytes written by `"save"` operations.
+    pub checkpoint_bytes_saved: u64,
+    /// The last few guard events verbatim, most recent last (capped so the
+    /// report stays small on pathological runs).
+    pub recent_guards: Vec<GuardEvent>,
+}
+
+impl ResilienceSummary {
+    /// True when the run had no guard or checkpoint activity.
+    pub fn is_empty(&self) -> bool {
+        self.guard_actions.is_empty() && self.checkpoint_ops.is_empty()
+    }
+}
+
 /// Everything a telemetry stream says about one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -101,6 +124,10 @@ pub struct RunReport {
     pub spans: BTreeMap<String, SpanSummary>,
     /// Most recent static-analysis run, if the stream recorded one.
     pub lint: Option<LintEvent>,
+    /// Guard/checkpoint activity, if the run used the resilience layer.
+    /// Defaults so reports serialized before this field existed still load.
+    #[serde(default)]
+    pub resilience: Option<ResilienceSummary>,
 }
 
 impl RunReport {
@@ -114,6 +141,9 @@ impl RunReport {
         let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
         let mut spans: BTreeMap<String, SpanSummary> = BTreeMap::new();
         let mut lint: Option<LintEvent> = None;
+        let mut resilience: Option<ResilienceSummary> = None;
+        /// Verbatim guard events kept in `recent_guards`.
+        const RECENT_GUARDS_CAP: usize = 16;
 
         for event in events {
             match event {
@@ -166,6 +196,22 @@ impl RunReport {
                     s.max_ms = s.max_ms.max(e.wall_ms);
                 }
                 Event::Lint(e) => lint = Some(e.clone()),
+                Event::Guard(e) => {
+                    let r = resilience.get_or_insert_with(ResilienceSummary::default);
+                    *r.guard_actions.entry(e.action.clone()).or_insert(0) += 1;
+                    r.guard_total += 1;
+                    if r.recent_guards.len() == RECENT_GUARDS_CAP {
+                        r.recent_guards.remove(0);
+                    }
+                    r.recent_guards.push(e.clone());
+                }
+                Event::Checkpoint(e) => {
+                    let r = resilience.get_or_insert_with(ResilienceSummary::default);
+                    *r.checkpoint_ops.entry(e.kind.clone()).or_insert(0) += 1;
+                    if e.kind == "save" {
+                        r.checkpoint_bytes_saved += e.bytes;
+                    }
+                }
             }
         }
 
@@ -218,6 +264,7 @@ impl RunReport {
             gauges,
             spans,
             lint,
+            resilience,
         }
     }
 
@@ -230,6 +277,7 @@ impl RunReport {
             && self.gauges.is_empty()
             && self.spans.is_empty()
             && self.lint.is_none()
+            && self.resilience.is_none()
     }
 
     /// The report as pretty-printed JSON.
@@ -338,6 +386,43 @@ impl RunReport {
             }
         }
 
+        if let Some(r) = &self.resilience {
+            let _ = writeln!(out, "\nresilience");
+            if !r.guard_actions.is_empty() {
+                let actions: Vec<String> = r
+                    .guard_actions
+                    .iter()
+                    .map(|(k, v)| format!("{k} {v}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  guard events {} ({})",
+                    r.guard_total,
+                    actions.join(", ")
+                );
+            }
+            if !r.checkpoint_ops.is_empty() {
+                let ops: Vec<String> = r
+                    .checkpoint_ops
+                    .iter()
+                    .map(|(k, v)| format!("{k} {v}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  checkpoints {} ({} bytes saved)",
+                    ops.join(", "),
+                    r.checkpoint_bytes_saved
+                );
+            }
+            for g in &r.recent_guards {
+                let _ = writeln!(
+                    out,
+                    "  [{} e{} try{}] {}: {}",
+                    g.stage, g.epoch, g.attempt, g.action, g.detail
+                );
+            }
+        }
+
         if let Some(l) = &self.lint {
             let _ = writeln!(out, "\nstatic analysis");
             let _ = writeln!(
@@ -377,6 +462,7 @@ mod tests {
             lr_factor: 1.0,
             tokens: 100,
             wall_ms: wall,
+            skipped_steps: 0,
         })
     }
 
@@ -512,6 +598,81 @@ mod tests {
         assert!(table.contains("suppressed 41"), "{table}");
         let back: RunReport = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn guard_and_checkpoint_events_surface_in_report() {
+        use crate::event::{CheckpointEvent, GuardEvent};
+        let guard = |action: &str, attempt: u32| {
+            Event::Guard(GuardEvent {
+                stage: "flavor".into(),
+                epoch: 2,
+                action: action.into(),
+                detail: "test".into(),
+                grad_norm: Some(9.0),
+                loss: None,
+                attempt,
+                lr_scale: 0.5,
+            })
+        };
+        let ckpt = |kind: &str, bytes: u64| {
+            Event::Checkpoint(CheckpointEvent {
+                stage: "flavor".into(),
+                epoch: 2,
+                kind: kind.into(),
+                bytes,
+                wall_ms: 1.0,
+            })
+        };
+        let events = vec![
+            ckpt("save", 100),
+            ckpt("save", 150),
+            guard("grad-spike", 0),
+            guard("rollback", 0),
+            guard("lr-halved", 0),
+            ckpt("skip-corrupt", 0),
+            ckpt("load", 150),
+        ];
+        let r = RunReport::from_events(&events);
+        assert!(!r.is_empty());
+        let res = r.resilience.as_ref().expect("resilience section");
+        assert_eq!(res.guard_total, 3);
+        assert_eq!(res.guard_actions["rollback"], 1);
+        assert_eq!(res.checkpoint_ops["save"], 2);
+        assert_eq!(res.checkpoint_ops["skip-corrupt"], 1);
+        assert_eq!(res.checkpoint_bytes_saved, 250);
+        assert_eq!(res.recent_guards.len(), 3);
+        let table = r.render_table();
+        assert!(table.contains("resilience"), "{table}");
+        assert!(table.contains("rollback"), "{table}");
+        assert!(table.contains("250 bytes saved"), "{table}");
+        let back: RunReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn recent_guards_are_capped() {
+        use crate::event::GuardEvent;
+        let events: Vec<Event> = (0..40)
+            .map(|i| {
+                Event::Guard(GuardEvent {
+                    stage: "flavor".into(),
+                    epoch: i,
+                    action: "step-skipped".into(),
+                    detail: String::new(),
+                    grad_norm: None,
+                    loss: None,
+                    attempt: 0,
+                    lr_scale: 1.0,
+                })
+            })
+            .collect();
+        let r = RunReport::from_events(&events);
+        let res = r.resilience.unwrap();
+        assert_eq!(res.guard_total, 40);
+        assert_eq!(res.recent_guards.len(), 16);
+        // Most recent kept: the last event's epoch survives.
+        assert_eq!(res.recent_guards.last().unwrap().epoch, 39);
     }
 
     #[test]

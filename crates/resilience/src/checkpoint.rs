@@ -1,0 +1,241 @@
+//! Atomic, versioned training checkpoints.
+//!
+//! A checkpoint captures everything `fit` needs to continue bit-for-bit
+//! after a process death: the serializable trainer (network weights, Adam
+//! moments, epoch cursor, cumulative shuffle order), the
+//! [`CkptRng`] stream position, and the guard's current learning-rate
+//! scale. On disk each checkpoint is one file, written to a temporary
+//! name in the same directory and atomically renamed into place, and
+//! wrapped in the `nn::codec` envelope (schema version + CRC-32), so a
+//! truncated or bit-rotted file is *detected* rather than loaded —
+//! [`CheckpointStore::load_latest`] skips corrupt files and falls back to
+//! the newest intact one.
+
+use crate::rng::CkptRng;
+use nn::codec::{self, CodecError};
+use obsv::{CheckpointEvent, Event, Recorder};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Envelope kind tag for checkpoint files.
+pub const CHECKPOINT_KIND: &str = "train-checkpoint";
+
+const CHECKPOINT_EXT: &str = "ckpt";
+
+/// One resumable training state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint<T> {
+    /// Which stage this belongs to (`"flavor"` or `"lifetime"`).
+    pub stage: String,
+    /// Epochs completed when the checkpoint was taken.
+    pub epoch: usize,
+    /// The guard's learning-rate scale at checkpoint time (halved on each
+    /// divergence rollback; 1.0 when training has been healthy).
+    pub lr_scale: f64,
+    /// The serializable trainer: weights, optimizer moments, loss history.
+    pub trainer: T,
+    /// RNG stream position.
+    pub rng: CkptRng,
+}
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (permissions, disk full, missing directory).
+    Io(io::Error),
+    /// The file exists but its envelope is invalid (truncated, checksum
+    /// mismatch, wrong schema version or kind).
+    Codec(CodecError),
+    /// The envelope was intact but the payload did not parse as a
+    /// checkpoint.
+    Payload(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Codec(e) => write!(f, "checkpoint envelope: {e}"),
+            CheckpointError::Payload(e) => write!(f, "checkpoint payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Codec(e)
+    }
+}
+
+/// A directory of checkpoints for one training stage.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    stage: &'static str,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) `dir` as the checkpoint directory for
+    /// `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error if the directory cannot be created.
+    pub fn create(dir: &Path, stage: &'static str) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            stage,
+        })
+    }
+
+    /// The file a checkpoint at `epoch` lives at.
+    pub fn path_for(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("{}-{epoch:05}.{CHECKPOINT_EXT}", self.stage))
+    }
+
+    /// Serializes and atomically persists `ck`: the envelope is written to
+    /// a temporary file in the same directory, flushed, then renamed over
+    /// the final name — a crash mid-write leaves at worst a stray `.tmp`
+    /// file, never a half-written checkpoint under the real name.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or filesystem failures; the final path is untouched
+    /// on error.
+    pub fn save<T: Serialize>(
+        &self,
+        ck: &Checkpoint<T>,
+        rec: &dyn Recorder,
+    ) -> Result<PathBuf, CheckpointError> {
+        let started = Instant::now();
+        let payload =
+            serde_json::to_string(ck).map_err(|e| CheckpointError::Payload(e.to_string()))?;
+        let enveloped = codec::encode_envelope(CHECKPOINT_KIND, &payload);
+        let final_path = self.path_for(ck.epoch);
+        let tmp_path = self
+            .dir
+            .join(format!("{}-{:05}.tmp", self.stage, ck.epoch));
+        fs::write(&tmp_path, &enveloped)?;
+        // Rename is atomic within a filesystem; the tmp file lives in the
+        // same directory precisely so this never crosses a mount.
+        fs::rename(&tmp_path, &final_path)?;
+        rec.record(Event::Checkpoint(CheckpointEvent {
+            stage: self.stage.to_string(),
+            epoch: ck.epoch,
+            kind: "save".to_string(),
+            bytes: enveloped.len() as u64,
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        }));
+        Ok(final_path)
+    }
+
+    /// Epochs that have a checkpoint file present, ascending. Unparseable
+    /// filenames are ignored (they are not ours).
+    pub fn epochs(&self) -> Result<Vec<usize>, CheckpointError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&format!("{}-", self.stage)) else {
+                continue;
+            };
+            let Some(num) = rest.strip_suffix(&format!(".{CHECKPOINT_EXT}")) else {
+                continue;
+            };
+            if let Ok(epoch) = num.parse::<usize>() {
+                out.push(epoch);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Loads the newest *intact* checkpoint, or `None` if the directory
+    /// holds no usable one.
+    ///
+    /// Corrupt files (truncated, checksum mismatch, stale schema) are
+    /// skipped with a `skip-corrupt` [`CheckpointEvent`] and the scan
+    /// falls back to the next-newest file — a damaged latest checkpoint
+    /// costs the run one checkpoint interval, not the whole history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from listing the directory; per-file
+    /// decode failures are handled by skipping, not returned.
+    pub fn load_latest<T: DeserializeOwned>(
+        &self,
+        rec: &dyn Recorder,
+    ) -> Result<Option<Checkpoint<T>>, CheckpointError> {
+        let mut epochs = self.epochs()?;
+        epochs.reverse();
+        for epoch in epochs {
+            let path = self.path_for(epoch);
+            match self.load_file(&path) {
+                Ok(ck) => {
+                    rec.record(Event::Checkpoint(CheckpointEvent {
+                        stage: self.stage.to_string(),
+                        epoch,
+                        kind: "load".to_string(),
+                        bytes: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                        wall_ms: 0.0,
+                    }));
+                    return Ok(Some(ck));
+                }
+                Err(CheckpointError::Io(e)) => return Err(CheckpointError::Io(e)),
+                Err(_) => {
+                    rec.record(Event::Checkpoint(CheckpointEvent {
+                        stage: self.stage.to_string(),
+                        epoch,
+                        kind: "skip-corrupt".to_string(),
+                        bytes: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                        wall_ms: 0.0,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decodes one checkpoint file, verifying the envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when unreadable, [`CheckpointError::Codec`]
+    /// when the envelope is invalid, [`CheckpointError::Payload`] when the
+    /// inner JSON does not parse.
+    pub fn load_file<T: DeserializeOwned>(
+        &self,
+        path: &Path,
+    ) -> Result<Checkpoint<T>, CheckpointError> {
+        let raw = fs::read_to_string(path)?;
+        let payload = codec::decode_envelope(CHECKPOINT_KIND, &raw)?;
+        serde_json::from_str(&payload).map_err(|e| CheckpointError::Payload(e.to_string()))
+    }
+}
+
+/// Truncates a checkpoint file in place — the fault-injection harness's
+/// model of a torn write / bit-rot. The result still exists on disk but
+/// fails envelope verification.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn corrupt_file(path: &Path) -> io::Result<()> {
+    let raw = fs::read(path)?;
+    let keep = raw.len() / 2;
+    fs::write(path, &raw[..keep])
+}

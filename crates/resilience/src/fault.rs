@@ -1,0 +1,206 @@
+//! Deterministic fault injection for exercising the resilience runtime.
+//!
+//! A [`FaultPlan`] is an explicit, serializable schedule of faults pinned
+//! to (stage, epoch, step) coordinates, so a test that "kills training
+//! mid-epoch, corrupts one checkpoint, and plants one NaN gradient"
+//! replays identically on every run and every machine. Faults fire
+//! through the same [`TrainHooks`] seam the guard
+//! uses, which means the injection path *is* the production path — there
+//! is no test-only fork of the training loop.
+
+use crate::guard::TrainGuard;
+use cloudgen::{StepCtx, StepStats, TrainAbort, TrainHooks};
+use nn::Param;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Overwrite the computed gradients with NaN right before the given
+    /// optimizer step — models an overflowed backward pass.
+    NanGradient {
+        /// Training stage (`"flavor"` or `"lifetime"`).
+        stage: String,
+        /// Epoch index the fault arms at.
+        epoch: usize,
+        /// Minibatch step the fault fires on.
+        step: usize,
+    },
+    /// Abort the run fatally right after the given step — models the
+    /// process being killed mid-epoch (OOM, preemption, power loss).
+    Kill {
+        /// Training stage.
+        stage: String,
+        /// Epoch index.
+        epoch: usize,
+        /// Minibatch step.
+        step: usize,
+    },
+    /// Truncate the checkpoint file written at the given epoch — models a
+    /// torn write discovered at resume time.
+    CorruptCheckpoint {
+        /// Training stage.
+        stage: String,
+        /// Epoch whose checkpoint gets damaged (must be one the schedule
+        /// actually writes).
+        epoch: usize,
+    },
+}
+
+/// A deterministic schedule of faults. Each fault fires exactly once.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the production configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a NaN-gradient injection.
+    pub fn nan_gradient(mut self, stage: &str, epoch: usize, step: usize) -> Self {
+        self.faults.push(Fault::NanGradient {
+            stage: stage.to_string(),
+            epoch,
+            step,
+        });
+        self
+    }
+
+    /// Schedules a mid-epoch kill.
+    pub fn kill(mut self, stage: &str, epoch: usize, step: usize) -> Self {
+        self.faults.push(Fault::Kill {
+            stage: stage.to_string(),
+            epoch,
+            step,
+        });
+        self
+    }
+
+    /// Schedules a checkpoint corruption.
+    pub fn corrupt_checkpoint(mut self, stage: &str, epoch: usize) -> Self {
+        self.faults.push(Fault::CorruptCheckpoint {
+            stage: stage.to_string(),
+            epoch,
+        });
+        self
+    }
+
+    /// True when no faults remain unfired.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults still pending (unfired).
+    pub fn pending(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn take(&mut self, matches: impl Fn(&Fault) -> bool) -> bool {
+        match self.faults.iter().position(matches) {
+            Some(i) => {
+                self.faults.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn take_nan(&mut self, ctx: &StepCtx) -> bool {
+        self.take(|f| {
+            matches!(f, Fault::NanGradient { stage, epoch, step }
+                if stage == ctx.stage && *epoch == ctx.epoch && *step == ctx.step)
+        })
+    }
+
+    pub(crate) fn take_kill(&mut self, ctx: &StepCtx) -> bool {
+        self.take(|f| {
+            matches!(f, Fault::Kill { stage, epoch, step }
+                if stage == ctx.stage && *epoch == ctx.epoch && *step == ctx.step)
+        })
+    }
+
+    pub(crate) fn take_corrupt(&mut self, at_stage: &str, at_epoch: usize) -> bool {
+        self.take(|f| {
+            matches!(f, Fault::CorruptCheckpoint { stage, epoch }
+                if stage == at_stage && *epoch == at_epoch)
+        })
+    }
+}
+
+/// The hook stack the runtime installs per epoch attempt: faults fire
+/// first (they create the conditions), then the guard judges the step.
+pub(crate) struct HookStack<'p, 'g, 'r> {
+    pub plan: &'p mut FaultPlan,
+    pub guard: &'g mut TrainGuard<'r>,
+}
+
+impl TrainHooks for HookStack<'_, '_, '_> {
+    fn pre_step(&mut self, ctx: &StepCtx, params: &mut [&mut Param]) {
+        if self.plan.take_nan(ctx) {
+            for p in params.iter_mut() {
+                p.grad.map_inplace(|_| f64::NAN);
+            }
+        }
+    }
+
+    fn post_step(&mut self, ctx: &StepCtx, stats: &StepStats) -> Result<(), TrainAbort> {
+        if self.plan.take_kill(ctx) {
+            return Err(TrainAbort {
+                fatal: true,
+                reason: format!(
+                    "injected kill at {} epoch {} step {}",
+                    ctx.stage, ctx.epoch, ctx.step
+                ),
+            });
+        }
+        self.guard.post_step(ctx, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let mut plan = FaultPlan::none().nan_gradient("flavor", 2, 5);
+        let ctx = StepCtx {
+            stage: "flavor",
+            epoch: 2,
+            step: 5,
+        };
+        assert!(plan.take_nan(&ctx));
+        assert!(!plan.take_nan(&ctx), "fault must not re-fire");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn faults_only_match_their_coordinates() {
+        let mut plan = FaultPlan::none().kill("lifetime", 1, 3);
+        let wrong_stage = StepCtx {
+            stage: "flavor",
+            epoch: 1,
+            step: 3,
+        };
+        let wrong_step = StepCtx {
+            stage: "lifetime",
+            epoch: 1,
+            step: 4,
+        };
+        assert!(!plan.take_kill(&wrong_stage));
+        assert!(!plan.take_kill(&wrong_step));
+        assert_eq!(plan.pending().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_matches_stage_and_epoch() {
+        let mut plan = FaultPlan::none().corrupt_checkpoint("flavor", 4);
+        assert!(!plan.take_corrupt("lifetime", 4));
+        assert!(!plan.take_corrupt("flavor", 3));
+        assert!(plan.take_corrupt("flavor", 4));
+        assert!(plan.is_empty());
+    }
+}

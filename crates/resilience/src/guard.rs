@@ -1,0 +1,233 @@
+//! Divergence guardrails over the training loop.
+//!
+//! The guard watches every optimizer step through the
+//! [`TrainHooks`] protocol and turns three
+//! divergence signatures into retryable aborts: a non-finite minibatch
+//! loss, a step the optimizer skipped for a non-finite gradient, and a
+//! pre-clip gradient norm spiking far above its running average (gradient
+//! clipping hides such spikes from the *weights*, but a clipped step in a
+//! garbage direction is still a garbage step). The runtime responds by
+//! rolling back to the epoch's starting snapshot, halving the learning
+//! rate, and retrying — see [`crate::fit_resilient`].
+
+use cloudgen::{StepCtx, StepStats, TrainAbort, TrainHooks};
+use obsv::{Event, GuardEvent, Recorder};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for the divergence guard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// A step's pre-clip gradient norm must exceed `spike_factor` times
+    /// the EMA of previous norms to count as a spike.
+    pub spike_factor: f64,
+    /// EMA smoothing weight for the gradient-norm baseline.
+    pub ema_alpha: f64,
+    /// Steps before spike detection arms (the first minibatches of a fresh
+    /// network legitimately have wild norms).
+    pub warmup_steps: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            spike_factor: 25.0,
+            ema_alpha: 0.1,
+            warmup_steps: 20,
+        }
+    }
+}
+
+/// The per-epoch guard state. Construct a fresh one for every epoch
+/// attempt (the EMA baseline restarts with the rolled-back weights).
+pub struct TrainGuard<'a> {
+    cfg: GuardConfig,
+    rec: &'a dyn Recorder,
+    /// Which retry of the current epoch this is (0 = first attempt).
+    attempt: u32,
+    /// The learning-rate scale in force, echoed into guard telemetry.
+    lr_scale: f64,
+    ema: Option<f64>,
+    steps: usize,
+}
+
+impl<'a> TrainGuard<'a> {
+    /// A guard for one epoch attempt.
+    pub fn new(cfg: GuardConfig, rec: &'a dyn Recorder, attempt: u32, lr_scale: f64) -> Self {
+        Self {
+            cfg,
+            rec,
+            attempt,
+            lr_scale,
+            ema: None,
+            steps: 0,
+        }
+    }
+
+    fn emit(&self, ctx: &StepCtx, action: &str, detail: String, stats: &StepStats) {
+        self.rec.record(Event::Guard(GuardEvent {
+            stage: ctx.stage.to_string(),
+            epoch: ctx.epoch,
+            action: action.to_string(),
+            detail,
+            grad_norm: stats.grad_norm.is_finite().then_some(stats.grad_norm),
+            loss: stats.loss.is_finite().then_some(stats.loss),
+            attempt: self.attempt,
+            lr_scale: self.lr_scale,
+        }));
+    }
+}
+
+impl TrainHooks for TrainGuard<'_> {
+    fn post_step(&mut self, ctx: &StepCtx, stats: &StepStats) -> Result<(), TrainAbort> {
+        if stats.skipped {
+            self.emit(
+                ctx,
+                "step-skipped",
+                format!("optimizer skipped step {} on a non-finite gradient", ctx.step),
+                stats,
+            );
+            return Err(TrainAbort {
+                fatal: false,
+                reason: format!(
+                    "non-finite gradient at {} epoch {} step {}",
+                    ctx.stage, ctx.epoch, ctx.step
+                ),
+            });
+        }
+        if !stats.loss.is_finite() {
+            self.emit(
+                ctx,
+                "nan-loss",
+                format!("minibatch loss became non-finite at step {}", ctx.step),
+                stats,
+            );
+            return Err(TrainAbort {
+                fatal: false,
+                reason: format!(
+                    "non-finite loss at {} epoch {} step {}",
+                    ctx.stage, ctx.epoch, ctx.step
+                ),
+            });
+        }
+        self.steps += 1;
+        if let Some(ema) = self.ema {
+            if self.steps > self.cfg.warmup_steps
+                && stats.grad_norm > self.cfg.spike_factor * ema
+            {
+                self.emit(
+                    ctx,
+                    "grad-spike",
+                    format!(
+                        "pre-clip grad norm {:.3e} exceeds {}x its EMA {:.3e}",
+                        stats.grad_norm, self.cfg.spike_factor, ema
+                    ),
+                    stats,
+                );
+                return Err(TrainAbort {
+                    fatal: false,
+                    reason: format!(
+                        "gradient-norm spike at {} epoch {} step {}",
+                        ctx.stage, ctx.epoch, ctx.step
+                    ),
+                });
+            }
+            self.ema = Some(self.cfg.ema_alpha * stats.grad_norm + (1.0 - self.cfg.ema_alpha) * ema);
+        } else {
+            self.ema = Some(stats.grad_norm);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obsv::MemoryRecorder;
+
+    fn ctx(step: usize) -> StepCtx {
+        StepCtx {
+            stage: "flavor",
+            epoch: 3,
+            step,
+        }
+    }
+
+    fn healthy(loss: f64, norm: f64) -> StepStats {
+        StepStats {
+            loss,
+            grad_norm: norm,
+            skipped: false,
+        }
+    }
+
+    #[test]
+    fn healthy_steps_pass() {
+        let rec = MemoryRecorder::new();
+        let mut g = TrainGuard::new(GuardConfig::default(), &rec, 0, 1.0);
+        for i in 0..100 {
+            g.post_step(&ctx(i), &healthy(1.0, 2.0 + (i % 3) as f64 * 0.1))
+                .unwrap();
+        }
+        assert!(rec.guards().is_empty());
+    }
+
+    #[test]
+    fn nan_loss_aborts_nonfatally() {
+        let rec = MemoryRecorder::new();
+        let mut g = TrainGuard::new(GuardConfig::default(), &rec, 1, 0.5);
+        let err = g.post_step(&ctx(0), &healthy(f64::NAN, 1.0)).unwrap_err();
+        assert!(!err.fatal);
+        let guards = rec.guards();
+        assert_eq!(guards.len(), 1);
+        assert_eq!(guards[0].action, "nan-loss");
+        assert_eq!(guards[0].attempt, 1);
+        assert_eq!(guards[0].lr_scale, 0.5);
+        assert_eq!(guards[0].loss, None, "NaN must not leak into telemetry");
+    }
+
+    #[test]
+    fn skipped_step_aborts() {
+        let rec = MemoryRecorder::new();
+        let mut g = TrainGuard::new(GuardConfig::default(), &rec, 0, 1.0);
+        let stats = StepStats {
+            loss: 1.0,
+            grad_norm: f64::NAN,
+            skipped: true,
+        };
+        let err = g.post_step(&ctx(4), &stats).unwrap_err();
+        assert!(!err.fatal);
+        assert_eq!(rec.guards()[0].action, "step-skipped");
+    }
+
+    #[test]
+    fn spike_detected_after_warmup() {
+        let rec = MemoryRecorder::new();
+        let cfg = GuardConfig {
+            spike_factor: 10.0,
+            ema_alpha: 0.1,
+            warmup_steps: 5,
+        };
+        let mut g = TrainGuard::new(cfg, &rec, 0, 1.0);
+        for i in 0..10 {
+            g.post_step(&ctx(i), &healthy(1.0, 1.0)).unwrap();
+        }
+        let err = g.post_step(&ctx(10), &healthy(1.0, 50.0)).unwrap_err();
+        assert!(!err.fatal);
+        assert_eq!(rec.guards()[0].action, "grad-spike");
+    }
+
+    #[test]
+    fn spike_inside_warmup_is_tolerated() {
+        let rec = MemoryRecorder::new();
+        let cfg = GuardConfig {
+            spike_factor: 10.0,
+            ema_alpha: 0.1,
+            warmup_steps: 5,
+        };
+        let mut g = TrainGuard::new(cfg, &rec, 0, 1.0);
+        g.post_step(&ctx(0), &healthy(1.0, 1.0)).unwrap();
+        // Huge norm on step 2, but we are inside warmup.
+        g.post_step(&ctx(1), &healthy(1.0, 80.0)).unwrap();
+        assert!(rec.guards().is_empty());
+    }
+}

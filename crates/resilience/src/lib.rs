@@ -1,0 +1,48 @@
+//! `resilience` — the fault-tolerant training runtime.
+//!
+//! Training the paper's two LSTMs is the longest-running, most fragile
+//! part of the pipeline: a single NaN gradient, a preempted process, or a
+//! torn checkpoint write can silently waste hours. This crate wraps the
+//! epoch-granular trainers from `cloudgen` with three layers of defense:
+//!
+//! - [`Checkpoint`] / [`CheckpointStore`] — atomic, versioned,
+//!   checksummed persistence of the *complete* training state (network
+//!   weights, Adam moments, RNG stream position via [`CkptRng`], epoch
+//!   cursor, learning-rate scale). Write-to-temp-then-rename makes saves
+//!   atomic; the `nn::codec` envelope makes truncation and bit-rot
+//!   detectable, so resume falls back to the newest intact file.
+//! - [`TrainGuard`] — divergence guardrails watching per-step loss and
+//!   pre-clip gradient norms through the `TrainHooks` seam; on NaN/Inf or
+//!   a norm spike it aborts the epoch, and [`fit_resilient`] answers by
+//!   restoring the pre-epoch snapshot, halving the learning rate, and
+//!   retrying a bounded number of times.
+//! - [`FaultPlan`] — a deterministic fault-injection schedule (NaN
+//!   gradients, mid-epoch kills, checkpoint corruption) that drives the
+//!   *production* recovery paths in tests; there is no test-only fork of
+//!   the training loop.
+//!
+//! Graceful degradation on the *generation* side (per-batch fallback to
+//! independence baselines when an LSTM emits non-finite output) lives
+//! with the generator itself: see `cloudgen::GenFallback`.
+//!
+//! Everything reports through `obsv`: guard trips, rollbacks, LR halving,
+//! and checkpoint saves/loads/skips all land in the run's `RunReport`.
+
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod fault;
+pub mod guard;
+pub mod rng;
+pub mod runtime;
+
+pub use checkpoint::{
+    corrupt_file, Checkpoint, CheckpointError, CheckpointStore, CHECKPOINT_KIND,
+};
+pub use fault::{Fault, FaultPlan};
+pub use guard::{GuardConfig, TrainGuard};
+pub use rng::CkptRng;
+pub use runtime::{
+    fit_flavor_resilient, fit_lifetime_resilient, fit_resilient, FitOutcome, ResilienceConfig,
+    ResilienceError, ResumableTrainer,
+};

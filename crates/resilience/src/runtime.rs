@@ -1,0 +1,478 @@
+//! The resilient fit loop: snapshot → epoch → (checkpoint | rollback).
+//!
+//! Two recovery tiers compose here:
+//!
+//! 1. **In-memory epoch snapshots** handle divergence. Before every epoch
+//!    the runtime clones the trainer and RNG; when the
+//!    [`TrainGuard`] aborts the epoch (NaN loss, skipped step, gradient
+//!    spike), the clone is restored, the learning rate is halved, and the
+//!    epoch is retried — bounded by [`ResilienceConfig::max_retries`]
+//!    with optional exponential backoff.
+//! 2. **On-disk checkpoints** handle process death. Every
+//!    [`ResilienceConfig::checkpoint_every`] epochs the full training
+//!    state (weights, Adam moments, RNG position, epoch cursor, LR scale)
+//!    is persisted atomically; a re-invoked `fit_resilient` finds the
+//!    newest intact file and continues the run bit-for-bit — N epochs
+//!    straight and k epochs + kill + resume produce identical parameters.
+
+use crate::checkpoint::{corrupt_file, Checkpoint, CheckpointError, CheckpointStore};
+use crate::fault::{FaultPlan, HookStack};
+use crate::guard::{GuardConfig, TrainGuard};
+use crate::rng::CkptRng;
+use cloudgen::lifetimes::LifetimeHead;
+use cloudgen::{
+    EpochOutcome, FeatureSpace, FlavorModel, FlavorTrainer, LifetimeModel, LifetimeTrainer,
+    TokenStream, TrainAbort, TrainConfig, TrainHooks,
+};
+use obsv::{Event, GuardEvent, Recorder};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Knobs for the resilient runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Where checkpoints live; `None` disables disk checkpointing (the
+    /// divergence guard still works, but a killed run is unrecoverable).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Save a checkpoint every N completed epochs (the final epoch is
+    /// always saved). `0` disables periodic saves entirely.
+    pub checkpoint_every: usize,
+    /// How many times one epoch may be rolled back and retried before the
+    /// run fails with [`ResilienceError::RetryExhausted`].
+    pub max_retries: u32,
+    /// Base of the exponential backoff between retries, in milliseconds
+    /// (`0`, the default, disables sleeping — retries are in-process, so
+    /// backoff only matters when the divergence source is external).
+    pub backoff_base_ms: u64,
+    /// Divergence-guard thresholds.
+    pub guard: GuardConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            max_retries: 3,
+            backoff_base_ms: 0,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
+/// Why a resilient fit stopped without a model.
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// A fatal abort (in production: the process died; under fault
+    /// injection: a scheduled [`crate::Fault::Kill`]). With a checkpoint
+    /// directory configured, calling the fit again resumes the run.
+    Killed {
+        /// Stage that was training.
+        stage: &'static str,
+        /// Epoch that was interrupted.
+        epoch: usize,
+        /// Abort reason.
+        reason: String,
+    },
+    /// One epoch diverged more than `max_retries` times in a row.
+    RetryExhausted {
+        /// Stage that was training.
+        stage: &'static str,
+        /// Epoch that kept diverging.
+        epoch: usize,
+        /// Attempts consumed (retries + the original).
+        attempts: u32,
+    },
+    /// Checkpoint persistence failed (disk full, permissions, ...).
+    Checkpoint(CheckpointError),
+    /// The checkpoint on disk was trained with different hyperparameters
+    /// than this invocation asked for — resuming would silently change
+    /// the experiment.
+    ConfigMismatch {
+        /// Stage whose checkpoint mismatched.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Killed {
+                stage,
+                epoch,
+                reason,
+            } => write!(f, "{stage} training killed during epoch {epoch}: {reason}"),
+            ResilienceError::RetryExhausted {
+                stage,
+                epoch,
+                attempts,
+            } => write!(
+                f,
+                "{stage} epoch {epoch} still diverging after {attempts} attempts"
+            ),
+            ResilienceError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+            ResilienceError::ConfigMismatch { stage } => write!(
+                f,
+                "{stage} checkpoint was trained under a different TrainConfig"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<CheckpointError> for ResilienceError {
+    fn from(e: CheckpointError) -> Self {
+        ResilienceError::Checkpoint(e)
+    }
+}
+
+/// A finished resilient fit, with the recovery story attached.
+#[derive(Debug)]
+pub struct FitOutcome<M> {
+    /// The trained model.
+    pub model: M,
+    /// Mean loss per completed epoch (rolled-back attempts excluded).
+    pub losses: Vec<f64>,
+    /// Epoch the run resumed from (`None` for a fresh start).
+    pub resumed_from: Option<usize>,
+    /// Rollback-and-retry cycles performed.
+    pub rollbacks: u32,
+    /// Checkpoints written to disk.
+    pub checkpoints_saved: u32,
+}
+
+/// An epoch-granular trainer the resilient runtime can drive: cloneable
+/// (epoch snapshots), serializable (disk checkpoints), and resumable from
+/// its internal epoch cursor.
+pub trait ResumableTrainer: Clone + Serialize + DeserializeOwned {
+    /// Stage label used in checkpoints, telemetry, and fault coordinates.
+    const STAGE: &'static str;
+    /// The finished-model type.
+    type Model;
+
+    /// The stage's RNG seed derivation (matches the plain `fit` path).
+    fn derive_seed(cfg: &TrainConfig) -> u64;
+    /// A fresh trainer, consuming the RNG exactly like the plain path.
+    fn new_seeded(
+        stream: &TokenStream,
+        space: &FeatureSpace,
+        cfg: TrainConfig,
+        rng: &mut CkptRng,
+    ) -> Self;
+    /// Epochs completed — the resume cursor.
+    fn epochs_done(&self) -> usize;
+    /// The configuration the trainer was built with.
+    fn config(&self) -> &TrainConfig;
+    /// Runs the next epoch. See `FlavorTrainer::run_epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the hooks' [`TrainAbort`].
+    fn run_epoch(
+        &mut self,
+        stream: &TokenStream,
+        lr_scale: f64,
+        rng: &mut CkptRng,
+        rec: &dyn Recorder,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<EpochOutcome, TrainAbort>;
+    /// Mean loss per completed epoch.
+    fn losses(&self) -> &[f64];
+    /// Finalizes into the model.
+    fn into_model(self) -> Self::Model;
+}
+
+impl ResumableTrainer for FlavorTrainer {
+    const STAGE: &'static str = "flavor";
+    type Model = FlavorModel;
+
+    fn derive_seed(cfg: &TrainConfig) -> u64 {
+        cfg.seed
+    }
+
+    fn new_seeded(
+        stream: &TokenStream,
+        space: &FeatureSpace,
+        cfg: TrainConfig,
+        rng: &mut CkptRng,
+    ) -> Self {
+        FlavorTrainer::new(stream, space.clone(), cfg, rng)
+    }
+
+    fn epochs_done(&self) -> usize {
+        FlavorTrainer::epochs_done(self)
+    }
+
+    fn config(&self) -> &TrainConfig {
+        FlavorTrainer::config(self)
+    }
+
+    fn run_epoch(
+        &mut self,
+        stream: &TokenStream,
+        lr_scale: f64,
+        rng: &mut CkptRng,
+        rec: &dyn Recorder,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<EpochOutcome, TrainAbort> {
+        FlavorTrainer::run_epoch(self, stream, lr_scale, rng, rec, hooks)
+    }
+
+    fn losses(&self) -> &[f64] {
+        FlavorTrainer::losses(self)
+    }
+
+    fn into_model(self) -> FlavorModel {
+        FlavorTrainer::into_model(self)
+    }
+}
+
+impl ResumableTrainer for LifetimeTrainer {
+    const STAGE: &'static str = "lifetime";
+    type Model = LifetimeModel;
+
+    fn derive_seed(cfg: &TrainConfig) -> u64 {
+        // The plain fit decorrelates the lifetime stage from the flavor
+        // stage with this xor; resume must reproduce it.
+        cfg.seed ^ 0xA5A5
+    }
+
+    fn new_seeded(
+        stream: &TokenStream,
+        space: &FeatureSpace,
+        cfg: TrainConfig,
+        rng: &mut CkptRng,
+    ) -> Self {
+        LifetimeTrainer::new(stream, space.clone(), cfg, LifetimeHead::Hazard, rng)
+    }
+
+    fn epochs_done(&self) -> usize {
+        LifetimeTrainer::epochs_done(self)
+    }
+
+    fn config(&self) -> &TrainConfig {
+        LifetimeTrainer::config(self)
+    }
+
+    fn run_epoch(
+        &mut self,
+        stream: &TokenStream,
+        lr_scale: f64,
+        rng: &mut CkptRng,
+        rec: &dyn Recorder,
+        hooks: &mut dyn TrainHooks,
+    ) -> Result<EpochOutcome, TrainAbort> {
+        LifetimeTrainer::run_epoch(self, stream, lr_scale, rng, rec, hooks)
+    }
+
+    fn losses(&self) -> &[f64] {
+        LifetimeTrainer::losses(self)
+    }
+
+    fn into_model(self) -> LifetimeModel {
+        LifetimeTrainer::into_model(self)
+    }
+}
+
+fn guard_note(
+    rec: &dyn Recorder,
+    stage: &str,
+    epoch: usize,
+    action: &str,
+    detail: String,
+    attempt: u32,
+    lr_scale: f64,
+) {
+    rec.record(Event::Guard(GuardEvent {
+        stage: stage.to_string(),
+        epoch,
+        action: action.to_string(),
+        detail,
+        grad_norm: None,
+        loss: None,
+        attempt,
+        lr_scale,
+    }));
+}
+
+/// Trains `T` to completion under the resilience runtime: resumes from
+/// the newest intact checkpoint when one exists, checkpoints on the
+/// configured cadence, and answers divergence with
+/// rollback + LR-halving + retry.
+///
+/// # Errors
+///
+/// [`ResilienceError::Killed`] on a fatal abort (resume by calling
+/// again), [`ResilienceError::RetryExhausted`] when an epoch keeps
+/// diverging, [`ResilienceError::Checkpoint`] on persistence failures,
+/// and [`ResilienceError::ConfigMismatch`] when a found checkpoint
+/// disagrees with `cfg`.
+pub fn fit_resilient<T: ResumableTrainer>(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<T::Model>, ResilienceError> {
+    let store = match &rcfg.checkpoint_dir {
+        Some(dir) => Some(CheckpointStore::create(dir, T::STAGE)?),
+        None => None,
+    };
+
+    let (mut trainer, mut rng, mut lr_scale, resumed_from) = match &store {
+        Some(s) => match s.load_latest::<T>(rec)? {
+            Some(ck) => {
+                if ck.trainer.config() != &cfg {
+                    return Err(ResilienceError::ConfigMismatch { stage: T::STAGE });
+                }
+                let epoch = ck.epoch;
+                (ck.trainer, ck.rng, ck.lr_scale, Some(epoch))
+            }
+            None => fresh::<T>(stream, space, cfg),
+        },
+        None => fresh::<T>(stream, space, cfg),
+    };
+
+    let mut attempt = 0u32;
+    let mut rollbacks = 0u32;
+    let mut saved = 0u32;
+    while trainer.epochs_done() < cfg.epochs {
+        let epoch = trainer.epochs_done();
+        let snapshot = (trainer.clone(), rng.clone());
+        let mut guard = TrainGuard::new(rcfg.guard, rec, attempt, lr_scale);
+        let mut hooks = HookStack {
+            plan: &mut *plan,
+            guard: &mut guard,
+        };
+        match trainer.run_epoch(stream, lr_scale, &mut rng, rec, &mut hooks) {
+            Ok(_) => {
+                attempt = 0;
+                let done = trainer.epochs_done();
+                let cadence_hit = rcfg.checkpoint_every > 0 && done % rcfg.checkpoint_every == 0;
+                let is_final = done == cfg.epochs;
+                if let Some(s) = &store {
+                    if cadence_hit || is_final {
+                        let ck = Checkpoint {
+                            stage: T::STAGE.to_string(),
+                            epoch: done,
+                            lr_scale,
+                            trainer: trainer.clone(),
+                            rng: rng.clone(),
+                        };
+                        let path = s.save(&ck, rec)?;
+                        saved += 1;
+                        if hooks.plan.take_corrupt(T::STAGE, done) {
+                            corrupt_file(&path).map_err(CheckpointError::Io)?;
+                        }
+                    }
+                }
+            }
+            Err(abort) if abort.fatal => {
+                return Err(ResilienceError::Killed {
+                    stage: T::STAGE,
+                    epoch,
+                    reason: abort.reason,
+                });
+            }
+            Err(abort) => {
+                attempt += 1;
+                rollbacks += 1;
+                if attempt > rcfg.max_retries {
+                    guard_note(
+                        rec,
+                        T::STAGE,
+                        epoch,
+                        "retry-exhausted",
+                        abort.reason,
+                        attempt,
+                        lr_scale,
+                    );
+                    return Err(ResilienceError::RetryExhausted {
+                        stage: T::STAGE,
+                        epoch,
+                        attempts: attempt,
+                    });
+                }
+                (trainer, rng) = snapshot;
+                lr_scale *= 0.5;
+                guard_note(
+                    rec,
+                    T::STAGE,
+                    epoch,
+                    "rollback",
+                    format!("restored epoch-{epoch} snapshot: {}", abort.reason),
+                    attempt,
+                    lr_scale,
+                );
+                guard_note(
+                    rec,
+                    T::STAGE,
+                    epoch,
+                    "lr-halved",
+                    format!("retrying epoch {epoch} at lr_scale {lr_scale}"),
+                    attempt,
+                    lr_scale,
+                );
+                if rcfg.backoff_base_ms > 0 {
+                    let factor = 1u64 << (attempt - 1).min(10);
+                    std::thread::sleep(Duration::from_millis(rcfg.backoff_base_ms * factor));
+                }
+            }
+        }
+    }
+
+    Ok(FitOutcome {
+        losses: trainer.losses().to_vec(),
+        model: trainer.into_model(),
+        resumed_from,
+        rollbacks,
+        checkpoints_saved: saved,
+    })
+}
+
+fn fresh<T: ResumableTrainer>(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+) -> (T, CkptRng, f64, Option<usize>) {
+    let mut rng = CkptRng::seed_from_u64(T::derive_seed(&cfg));
+    let trainer = T::new_seeded(stream, space, cfg, &mut rng);
+    (trainer, rng, 1.0, None)
+}
+
+/// [`fit_resilient`] for the stage-2 flavor LSTM.
+///
+/// # Errors
+///
+/// See [`fit_resilient`].
+pub fn fit_flavor_resilient(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<FlavorModel>, ResilienceError> {
+    fit_resilient::<FlavorTrainer>(stream, space, cfg, rcfg, plan, rec)
+}
+
+/// [`fit_resilient`] for the stage-3 lifetime LSTM.
+///
+/// # Errors
+///
+/// See [`fit_resilient`].
+pub fn fit_lifetime_resilient(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<LifetimeModel>, ResilienceError> {
+    fit_resilient::<LifetimeTrainer>(stream, space, cfg, rcfg, plan, rec)
+}

@@ -1,0 +1,308 @@
+//! End-to-end resilience scenarios: resume determinism and the combined
+//! fault-injection acceptance test (kill + corrupt checkpoint + NaN
+//! gradient in one seeded run).
+
+use cloudgen::{FeatureSpace, TokenStream, TrainConfig};
+use obsv::{MemoryRecorder, NullRecorder, RunReport};
+use resilience::{
+    fit_flavor_resilient, fit_lifetime_resilient, FaultPlan, ResilienceConfig, ResilienceError,
+};
+use std::path::PathBuf;
+use survival::LifetimeBins;
+use trace::period::TemporalFeaturesSpec;
+use trace::{FlavorCatalog, FlavorId, Job, Trace, UserId};
+
+fn bins() -> LifetimeBins {
+    LifetimeBins::from_uppers(vec![600.0, 3600.0, 86_400.0])
+}
+
+fn training_data(periods: u64) -> (TokenStream, FeatureSpace) {
+    let mut jobs = Vec::new();
+    for p in 0..periods {
+        let flavor = FlavorId((p % 3) as u16);
+        let life = 300 + (p % 3) * 3000;
+        for u in 0..2 {
+            jobs.push(Job {
+                start: p * 300,
+                end: Some(p * 300 + life),
+                flavor,
+                user: UserId(u),
+            });
+        }
+    }
+    let train = Trace::new(jobs, FlavorCatalog::azure16());
+    let secs = periods * 300;
+    let temporal = TemporalFeaturesSpec::new(((secs / 86_400) + 1) as usize);
+    let space = FeatureSpace::new(16, bins(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins(), secs);
+    (stream, space)
+}
+
+fn cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        ..TrainConfig::tiny()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cloudgen-resilience-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn guard_rolls_back_injected_nan_and_completes() {
+    let (stream, space) = training_data(300);
+    let rec = MemoryRecorder::new();
+    let mut plan = FaultPlan::none().nan_gradient("flavor", 1, 0);
+    let out = fit_flavor_resilient(
+        &stream,
+        &space,
+        cfg(3),
+        &ResilienceConfig::default(),
+        &mut plan,
+        &rec,
+    )
+    .expect("guard should absorb the NaN");
+    assert!(plan.is_empty(), "fault never fired");
+    assert_eq!(out.losses.len(), 3, "all epochs must complete");
+    assert_eq!(out.rollbacks, 1);
+    assert!(out.losses.iter().all(|l| l.is_finite()));
+    let actions: Vec<String> = rec.guards().iter().map(|g| g.action.clone()).collect();
+    assert!(actions.contains(&"step-skipped".to_string()), "{actions:?}");
+    assert!(actions.contains(&"rollback".to_string()));
+    assert!(actions.contains(&"lr-halved".to_string()));
+}
+
+#[test]
+fn repeated_divergence_exhausts_retries() {
+    let (stream, space) = training_data(200);
+    // One injected NaN per attempt: initial + 2 retries, all diverge.
+    let mut plan = FaultPlan::none()
+        .nan_gradient("flavor", 0, 0)
+        .nan_gradient("flavor", 0, 0)
+        .nan_gradient("flavor", 0, 0);
+    let rcfg = ResilienceConfig {
+        max_retries: 2,
+        ..ResilienceConfig::default()
+    };
+    let err = fit_flavor_resilient(&stream, &space, cfg(2), &rcfg, &mut plan, &NullRecorder)
+        .expect_err("every attempt diverges");
+    match err {
+        ResilienceError::RetryExhausted {
+            stage,
+            epoch,
+            attempts,
+        } => {
+            assert_eq!(stage, "flavor");
+            assert_eq!(epoch, 0);
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn kill_then_resume_is_bit_for_bit_identical() {
+    let (stream, space) = training_data(300);
+    let c = cfg(5);
+
+    // Reference: 5 epochs straight through, checkpointing along the way.
+    let dir_a = tmp_dir("straight");
+    let rcfg_a = ResilienceConfig {
+        checkpoint_dir: Some(dir_a.clone()),
+        ..ResilienceConfig::default()
+    };
+    let straight = fit_flavor_resilient(
+        &stream,
+        &space,
+        c,
+        &rcfg_a,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+
+    // Interrupted: killed mid-epoch-2, then resumed from disk.
+    let dir_b = tmp_dir("resumed");
+    let rcfg_b = ResilienceConfig {
+        checkpoint_dir: Some(dir_b.clone()),
+        ..ResilienceConfig::default()
+    };
+    let mut plan = FaultPlan::none().kill("flavor", 2, 1);
+    let err = fit_flavor_resilient(&stream, &space, c, &rcfg_b, &mut plan, &NullRecorder)
+        .expect_err("the injected kill must stop the run");
+    assert!(matches!(err, ResilienceError::Killed { epoch: 2, .. }), "{err}");
+
+    let rec = MemoryRecorder::new();
+    let resumed = fit_flavor_resilient(&stream, &space, c, &rcfg_b, &mut plan, &rec).unwrap();
+    assert_eq!(resumed.resumed_from, Some(2));
+
+    // The loss curves and final parameters must match exactly — resume is
+    // a replay, not an approximation.
+    assert_eq!(straight.losses, resumed.losses);
+    assert_eq!(
+        serde_json::to_string(&straight.model).unwrap(),
+        serde_json::to_string(&resumed.model).unwrap(),
+        "resumed parameters must be bit-for-bit identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn lifetime_stage_resumes_identically_too() {
+    let (stream, space) = training_data(250);
+    let c = cfg(4);
+    let straight = fit_lifetime_resilient(
+        &stream,
+        &space,
+        c,
+        &ResilienceConfig::default(),
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+
+    let dir = tmp_dir("lifetime");
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+    let mut plan = FaultPlan::none().kill("lifetime", 3, 0);
+    fit_lifetime_resilient(&stream, &space, c, &rcfg, &mut plan, &NullRecorder)
+        .expect_err("killed");
+    let resumed =
+        fit_lifetime_resilient(&stream, &space, c, &rcfg, &mut plan, &NullRecorder).unwrap();
+
+    assert_eq!(straight.losses, resumed.losses);
+    assert_eq!(
+        serde_json::to_string(&straight.model).unwrap(),
+        serde_json::to_string(&resumed.model).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_mismatch_on_resume_is_rejected() {
+    let (stream, space) = training_data(200);
+    let dir = tmp_dir("mismatch");
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+    fit_flavor_resilient(
+        &stream,
+        &space,
+        cfg(2),
+        &rcfg,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+    // Same directory, different hyperparameters: must refuse to resume.
+    let different = TrainConfig {
+        hidden: 24,
+        ..cfg(2)
+    };
+    let err = fit_flavor_resilient(
+        &stream,
+        &space,
+        different,
+        &rcfg,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect_err("resuming under a different config must fail");
+    assert!(matches!(err, ResilienceError::ConfigMismatch { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ISSUE's acceptance scenario: one seeded run that (1) suffers an
+/// injected NaN gradient, (2) is killed mid-epoch, (3) finds its newest
+/// checkpoint corrupted at resume — and still completes, with final
+/// metrics close to the fault-free run and a RunReport that shows every
+/// recovery action.
+#[test]
+fn full_fault_storm_completes_with_comparable_metrics() {
+    let (stream, space) = training_data(300);
+    let c = cfg(6);
+
+    // Fault-free reference run (no disk involved).
+    let clean = fit_flavor_resilient(
+        &stream,
+        &space,
+        c,
+        &ResilienceConfig::default(),
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+
+    let dir = tmp_dir("storm");
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+    // Epoch 1 diverges (NaN gradient -> rollback + retry at halved LR);
+    // the checkpoint written after epoch 3 is torn; epoch 3's replacement
+    // run is then killed mid-epoch.
+    let mut plan = FaultPlan::none()
+        .nan_gradient("flavor", 1, 0)
+        .corrupt_checkpoint("flavor", 3)
+        .kill("flavor", 3, 1);
+
+    let rec = MemoryRecorder::new();
+    let err = fit_flavor_resilient(&stream, &space, c, &rcfg, &mut plan, &rec)
+        .expect_err("the injected kill must stop the first invocation");
+    assert!(matches!(err, ResilienceError::Killed { .. }));
+
+    // Resume: the epoch-3 checkpoint is corrupt, so the store must fall
+    // back to epoch 2 and the run must still finish all 6 epochs.
+    let storm = fit_flavor_resilient(&stream, &space, c, &rcfg, &mut plan, &rec).unwrap();
+    assert!(plan.is_empty(), "all scheduled faults must have fired");
+    assert_eq!(storm.resumed_from, Some(2), "corrupt ckpt must be skipped");
+    assert_eq!(storm.losses.len(), 6);
+    assert!(storm.losses.iter().all(|l| l.is_finite()));
+
+    // Final metrics within tolerance of the fault-free run: the LR
+    // halving after the NaN epoch changes the trajectory, but both runs
+    // must land near the same loss floor.
+    let clean_final = *clean.losses.last().unwrap();
+    let storm_final = *storm.losses.last().unwrap();
+    assert!(
+        (storm_final - clean_final).abs() < 0.5,
+        "clean {clean_final} vs faulted {storm_final}"
+    );
+
+    // The run report must surface the whole recovery story.
+    let report = RunReport::from_events(&rec.events());
+    let res = report.resilience.expect("resilience section missing");
+    assert!(res.guard_total >= 1, "guard events missing");
+    assert!(res.guard_actions.contains_key("rollback"), "{res:?}");
+    assert!(res.checkpoint_ops.get("save").copied().unwrap_or(0) >= 3);
+    assert!(res.checkpoint_ops.get("skip-corrupt").copied().unwrap_or(0) >= 1);
+    assert!(res.checkpoint_ops.get("load").copied().unwrap_or(0) >= 1);
+    assert!(res.checkpoint_bytes_saved > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_run_without_checkpoints_needs_no_directory() {
+    let (stream, space) = training_data(200);
+    let out = fit_flavor_resilient(
+        &stream,
+        &space,
+        cfg(2),
+        &ResilienceConfig::default(),
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+    assert_eq!(out.resumed_from, None);
+    assert_eq!(out.checkpoints_saved, 0);
+    assert_eq!(out.rollbacks, 0);
+}

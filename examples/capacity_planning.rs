@@ -8,8 +8,8 @@
 //! ```
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, TokenStream, TraceGenerator, TrainConfig,
 };
 use eval::{quantile, render_band_chart, PredictionBand};
 use glm::{DohStrategy, ElasticNet};
@@ -72,6 +72,7 @@ fn main() {
             DohStrategy::paper_default(),
         )
         .expect("arrival model"),
+        fallback: Some(GenFallback::fit(&stream, &space)),
         flavors: FlavorModel::fit(
             &stream,
             space.clone(),

@@ -6,8 +6,8 @@
 //! ```
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use obsv::{MemoryRecorder, RunReport};
@@ -51,10 +51,12 @@ fn main() {
         epochs: 6,
         ..TrainConfig::default()
     };
+    let fallback = GenFallback::fit(&stream, &space);
     let flavors = FlavorModel::fit_recorded(&stream, space.clone(), cfg, &telemetry);
     let lifetimes = LifetimeModel::fit_recorded(&stream, space, cfg, &telemetry);
     let generator = TraceGenerator {
         arrivals,
+        fallback: Some(fallback),
         flavors,
         lifetimes,
         config: GeneratorConfig::default(),

@@ -7,8 +7,8 @@
 //! ```
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use rand::rngs::StdRng;
@@ -46,6 +46,7 @@ fn main() {
             DohStrategy::paper_default(),
         )
         .expect("arrival model"),
+        fallback: Some(GenFallback::fit(&stream, &space)),
         flavors: FlavorModel::fit(&stream, space.clone(), cfg),
         lifetimes: LifetimeModel::fit(&stream, space, cfg),
         config: GeneratorConfig::default(),

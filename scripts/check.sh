@@ -15,4 +15,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> cloudgen-lint"
 cargo run --release -p cloudgen-lint
 
-echo "ok: build + tests + clippy + cloudgen-lint all green"
+echo "==> fault-injection suite (resilience)"
+cargo test --release -p resilience
+
+echo "ok: build + tests + clippy + cloudgen-lint + fault injection all green"

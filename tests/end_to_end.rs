@@ -3,8 +3,8 @@
 //! a downstream user would.
 
 use cloudgen::{
-    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
-    NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use rand::rngs::StdRng;
@@ -49,6 +49,7 @@ fn build_pipeline() -> Pipeline {
             DohStrategy::paper_default(),
         )
         .expect("arrivals"),
+        fallback: Some(GenFallback::fit(&stream, &space)),
         flavors: FlavorModel::fit(&stream, space.clone(), cfg),
         lifetimes: LifetimeModel::fit(&stream, space.clone(), cfg),
         config: GeneratorConfig::default(),
