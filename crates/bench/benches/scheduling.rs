@@ -53,5 +53,40 @@ fn bench_reuse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_packing, bench_reuse);
+fn bench_placement_cache(c: &mut Criterion) {
+    // Skewed synthetic request stream over a wide key universe so the
+    // cache actually churns: large capacities are where the old
+    // scan-the-Vec implementation collapsed to O(capacity) per access.
+    let requests: Vec<u16> = {
+        let mut state = 42u64;
+        (0..200_000usize)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as u16
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("placement_cache_access");
+    for capacity in [64usize, 1024, 4096, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |bench, &capacity| {
+                bench.iter(|| {
+                    let mut cache = sched::PlacementCache::new(capacity);
+                    for &f in &requests {
+                        std::hint::black_box(cache.access(f));
+                    }
+                    cache.hit_rate()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_reuse, bench_placement_cache);
 criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! PR 4 perf acceptance: single- vs multi-thread train/generate throughput
+//! for the deterministic data-parallel runtime, with the determinism
+//! contract asserted along the way (identical losses and traces across
+//! worker counts — a speedup that changes the numbers would not count).
+//!
+//! Writes `BENCH_pr4.json` at the repo root (override with `--out PATH`).
+//! Knobs: `CLOUDGEN_BENCH_THREADS` (default 4) picks the multi-thread
+//! worker count; `CLOUDGEN_REQUIRE_SPEEDUP` (e.g. `2.0`), when set, fails
+//! the run unless the end-to-end train+generate speedup reaches the bound
+//! — set it in CI on a runner that actually has the cores; leave it unset
+//! on shared/1-core machines where the bound is meaningless.
+
+use cloudgen::lifetimes::LifetimeHead;
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig, LifetimeModel,
+    Parallelism, TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use obsv::NullRecorder;
+use std::time::Instant;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::ObservationWindow;
+
+/// Fixed shard layout: the numeric contract shared by every worker count.
+const SHARD_SEQS: usize = 2;
+const TRAIN_DAYS: u64 = 3;
+const GEN_PERIODS: u64 = 5 * 288;
+
+struct Measure {
+    wall_ms: f64,
+    units_per_sec: f64,
+}
+
+fn measure<T>(units: f64, f: impl FnOnce() -> T) -> (T, Measure) {
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed().as_secs_f64();
+    (
+        out,
+        Measure {
+            wall_ms: wall * 1e3,
+            units_per_sec: units / wall.max(1e-9),
+        },
+    )
+}
+
+fn main() {
+    let threads: usize = std::env::var("CLOUDGEN_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_pr4.json".to_string())
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let world = CloudWorld::new(WorldConfig::azure_like(0.6), 17);
+    let history = world.generate(TRAIN_DAYS as u32 + 1);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let cfg = TrainConfig {
+        epochs: 4,
+        hidden: 32,
+        ..TrainConfig::tiny()
+    };
+    let tokens = (stream.len() * cfg.epochs) as f64;
+    let arrivals = BatchArrivalModel::fit(
+        &train,
+        window.end,
+        ArrivalTarget::Batches,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::paper_default(),
+    )
+    .expect("arrival fit");
+
+    eprintln!(
+        "bench_pr4_parallel: {} train tokens, {GEN_PERIODS}-period horizon, \
+         shard_seqs={SHARD_SEQS}, {cores} core(s) visible, comparing 1 vs {threads} worker(s)",
+        stream.len()
+    );
+
+    let mut train_ms = Vec::new();
+    let mut train_tps = Vec::new();
+    let mut gen_ms = Vec::new();
+    let mut gen_jps = Vec::new();
+    let mut losses = Vec::new();
+    let mut traces = Vec::new();
+    for t in [1, threads] {
+        let par = Parallelism::with_threads(t, SHARD_SEQS);
+        let (models, m_train) = measure(tokens, || {
+            let f = FlavorModel::fit_par_recorded(&stream, space.clone(), cfg, par, &NullRecorder);
+            let l = LifetimeModel::fit_par_recorded(
+                &stream,
+                space.clone(),
+                cfg,
+                LifetimeHead::Hazard,
+                par,
+                &NullRecorder,
+            );
+            (f, l)
+        });
+        let generator = TraceGenerator {
+            arrivals: arrivals.clone(),
+            fallback: None,
+            flavors: models.0,
+            lifetimes: models.1,
+            config: GeneratorConfig::default(),
+        };
+        // Wall-clock-first: generate once to size the workload, then time it.
+        let probe = generator.generate_par(TRAIN_DAYS * 288, GEN_PERIODS, world.catalog(), 7, t);
+        let (trace, m_gen) = measure(probe.len() as f64, || {
+            generator.generate_par(TRAIN_DAYS * 288, GEN_PERIODS, world.catalog(), 7, t)
+        });
+        assert_eq!(probe, trace, "generation must be repeatable");
+        eprintln!(
+            "  threads={t}: train {:.0} ms ({:.0} tokens/s), generate {:.0} ms ({:.0} jobs/s, {} jobs)",
+            m_train.wall_ms,
+            m_train.units_per_sec,
+            m_gen.wall_ms,
+            m_gen.units_per_sec,
+            trace.len()
+        );
+        train_ms.push(m_train.wall_ms);
+        train_tps.push(m_train.units_per_sec);
+        gen_ms.push(m_gen.wall_ms);
+        gen_jps.push(m_gen.units_per_sec);
+        losses.push((
+            generator.flavors.train_losses.clone(),
+            generator.lifetimes.train_losses.clone(),
+        ));
+        traces.push(trace);
+    }
+
+    assert_eq!(
+        losses[0], losses[1],
+        "determinism violated: training losses differ across worker counts"
+    );
+    assert_eq!(
+        traces[0], traces[1],
+        "determinism violated: generated traces differ across worker counts"
+    );
+
+    let train_speedup = train_ms[0] / train_ms[1].max(1e-9);
+    let gen_speedup = gen_ms[0] / gen_ms[1].max(1e-9);
+    let end_to_end = (train_ms[0] + gen_ms[0]) / (train_ms[1] + gen_ms[1]).max(1e-9);
+    eprintln!(
+        "  speedup at {threads} workers: train {train_speedup:.2}x, \
+         generate {gen_speedup:.2}x, end-to-end {end_to_end:.2}x"
+    );
+
+    if let Ok(bound) = std::env::var("CLOUDGEN_REQUIRE_SPEEDUP") {
+        let bound: f64 = bound.parse().expect("CLOUDGEN_REQUIRE_SPEEDUP must be a number");
+        assert!(
+            end_to_end >= bound,
+            "end-to-end speedup {end_to_end:.2}x at {threads} workers is below the \
+             required {bound}x ({cores} core(s) visible)"
+        );
+    }
+
+    let arm = |i: usize| {
+        format!(
+            "{{ \"train_wall_ms\": {:.1}, \"train_tokens_per_sec\": {:.1}, \
+             \"gen_wall_ms\": {:.1}, \"gen_jobs_per_sec\": {:.1} }}",
+            train_ms[i], train_tps[i], gen_ms[i], gen_jps[i]
+        )
+    };
+    let report = format!(
+        r#"{{
+  "bench": "pr4_parallel_runtime",
+  "workload": {{
+    "train_tokens": {train_tokens},
+    "epochs": {epochs},
+    "hidden": {hidden},
+    "shard_seqs": {SHARD_SEQS},
+    "gen_periods": {GEN_PERIODS},
+    "gen_jobs": {gen_jobs}
+  }},
+  "machine": {{ "visible_cores": {cores} }},
+  "threads_1": {arm1},
+  "threads_{threads}": {arm_n},
+  "speedup": {{
+    "threads": {threads},
+    "train": {train_speedup:.3},
+    "generate": {gen_speedup:.3},
+    "end_to_end": {end_to_end:.3}
+  }},
+  "deterministic": true
+}}
+"#,
+        train_tokens = stream.len(),
+        epochs = cfg.epochs,
+        hidden = cfg.hidden,
+        gen_jobs = traces[0].len(),
+        arm1 = arm(0),
+        arm_n = arm(1),
+    );
+    std::fs::write(&out_path, report).expect("write BENCH_pr4.json");
+    eprintln!("  wrote {out_path}");
+}

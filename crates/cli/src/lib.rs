@@ -15,15 +15,14 @@
 
 #![forbid(unsafe_code)]
 
+use cloudgen::lifetimes::LifetimeHead;
 use cloudgen::{
     ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
-    LifetimeModel, TokenStream, TraceGenerator, TrainConfig,
+    LifetimeModel, Parallelism, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
 use obsv::{Event, JsonlRecorder, MemoryRecorder, Recorder, RunReport, SpanTimer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use resilience::{fit_flavor_resilient, fit_lifetime_resilient, FaultPlan, ResilienceConfig};
+use resilience::{fit_flavor_resilient_par, fit_lifetime_resilient_par, FaultPlan, ResilienceConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -36,6 +35,20 @@ use trace::FlavorCatalog;
 
 /// Days per generated-feature history (derived from the trace horizon).
 const DAY: u64 = 86_400;
+
+/// Sequences per gradient shard when training through the CLI.
+///
+/// Fixed — deliberately NOT derived from `--threads` — so that any worker
+/// count produces byte-identical models and checkpoints: the shard layout
+/// determines the floating-point grouping of the gradient reduction, the
+/// thread count only parallelizes the map over shards.
+const CLI_SHARD_SEQS: usize = 2;
+
+/// Parses `--threads N` (default 1, clamped to at least 1).
+fn parse_parallelism(args: &Args) -> Result<Parallelism, CliError> {
+    let threads: usize = args.num("threads", 1)?;
+    Ok(Parallelism::with_threads(threads.max(1), CLI_SHARD_SEQS))
+}
 
 /// CLI error: message plus a hint about usage.
 #[derive(Debug)]
@@ -179,8 +192,13 @@ fn has_checkpoints(dir: &Path) -> bool {
 }
 
 /// `train --trace t.csv --catalog c.json --out model.json [--epochs N]
-/// [--hidden N] [--horizon secs] [--checkpoint-dir d] [--checkpoint-every N]
-/// [--max-retries N] [--resume] [--telemetry run.jsonl] [--report]`
+/// [--hidden N] [--horizon secs] [--threads N] [--checkpoint-dir d]
+/// [--checkpoint-every N] [--max-retries N] [--resume]
+/// [--telemetry run.jsonl] [--report]`
+///
+/// `--threads` sizes the worker pool for the LSTM epoch loops. The shard
+/// layout is fixed ([`CLI_SHARD_SEQS`]), so any thread count produces
+/// byte-identical models and checkpoints — only wall-clock time changes.
 ///
 /// With `--checkpoint-dir`, both LSTM stages run under the resilience
 /// runtime: training state is checkpointed atomically every
@@ -210,6 +228,7 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
         epochs: args.num("epochs", 24)?,
         ..TrainConfig::default()
     };
+    let par = parse_parallelism(args)?;
 
     let mem = MemoryRecorder::new();
     let jsonl = open_telemetry(args, false)?;
@@ -248,11 +267,11 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
                 max_retries: args.num("max-retries", 3)?,
                 ..ResilienceConfig::default()
             };
-            let fl = fit_flavor_resilient(&stream, &space, cfg, &rcfg, &mut FaultPlan::none(), &rec)
+            let fl = fit_flavor_resilient_par(&stream, &space, cfg, par, &rcfg, &mut FaultPlan::none(), &rec)
                 .map_err(|e| {
                     CliError(format!("flavor training failed: {e}; re-run with --resume to continue from the last checkpoint"))
                 })?;
-            let lt = fit_lifetime_resilient(&stream, &space, cfg, &rcfg, &mut FaultPlan::none(), &rec)
+            let lt = fit_lifetime_resilient_par(&stream, &space, cfg, par, &rcfg, &mut FaultPlan::none(), &rec)
                 .map_err(|e| {
                     CliError(format!("lifetime training failed: {e}; re-run with --resume to continue from the last checkpoint"))
                 })?;
@@ -271,8 +290,15 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
             (fl.model, lt.model)
         }
         None => (
-            FlavorModel::fit_recorded(&stream, space.clone(), cfg, &rec),
-            LifetimeModel::fit_recorded(&stream, space.clone(), cfg, &rec),
+            FlavorModel::fit_par_recorded(&stream, space.clone(), cfg, par, &rec),
+            LifetimeModel::fit_par_recorded(
+                &stream,
+                space.clone(),
+                cfg,
+                LifetimeHead::Hazard,
+                par,
+                &rec,
+            ),
         ),
     };
     let generator = TraceGenerator {
@@ -302,8 +328,12 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
 }
 
 /// `generate --model model.json --periods N --out trace.csv [--seed S]
-/// [--scale X] [--eob-scale X] [--max-fallback N] [--telemetry run.jsonl]
-/// [--report]`
+/// [--threads N] [--scale X] [--eob-scale X] [--max-fallback N]
+/// [--telemetry run.jsonl] [--report]`
+///
+/// Sampling is sharded by simulated day with per-shard seed streams
+/// derived from `--seed`, so the trace depends only on the seed — never
+/// on `--threads`.
 ///
 /// `--telemetry` appends, so pointing it at the file `train` wrote yields
 /// one JSONL covering the whole train-then-generate run. When an LSTM
@@ -331,10 +361,18 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     };
 
     let first_period = bundle.horizon.div_ceil(PERIOD_SECS);
-    let mut rng = StdRng::seed_from_u64(args.num("seed", 7u64)?);
+    let seed: u64 = args.num("seed", 7u64)?;
+    let threads: usize = args.num("threads", 1)?;
     let generated = bundle
         .generator
-        .try_generate_recorded(first_period, n_periods, &bundle.catalog, &mut rng, &rec)
+        .try_generate_par_recorded(
+            first_period,
+            n_periods,
+            &bundle.catalog,
+            seed,
+            threads.max(1),
+            &rec,
+        )
         .map_err(|e| CliError(format!("generation failed: {e}")))?;
     let mut file = std::fs::File::create(out)?;
     trace::io::write_csv(&generated, &mut file)
@@ -475,14 +513,20 @@ USAGE:
   cloudgen summarize  --trace t.csv [--catalog c.json] [--horizon secs]
   cloudgen train      --trace t.csv --out model.json [--catalog c.json]
                       [--epochs N] [--hidden N] [--horizon secs]
-                      [--checkpoint-dir d] [--checkpoint-every N]
-                      [--max-retries N] [--resume]
+                      [--threads N] [--checkpoint-dir d]
+                      [--checkpoint-every N] [--max-retries N] [--resume]
                       [--telemetry run.jsonl] [--report]
   cloudgen generate   --model model.json --out future.csv [--periods N]
-                      [--seed S] [--scale X] [--eob-scale X]
+                      [--seed S] [--threads N] [--scale X] [--eob-scale X]
                       [--max-fallback N]
                       [--telemetry run.jsonl] [--report]
   cloudgen report     run.jsonl [--json]
+
+`--threads N` (default 1) sizes the data-parallel worker pool for both
+training and generation. Results are byte-identical for every thread
+count: training shards each minibatch under a fixed layout and reduces
+gradients in fixed tree order, generation shards the horizon by simulated
+day with per-shard seed streams. Only wall-clock time changes.
 
 `--telemetry` streams per-epoch training events (loss, pre-clip gradient
 norms, wall time) and per-day generation throughput to a JSONL file;
@@ -695,6 +739,48 @@ mod tests {
         // --file spelling works too.
         let table2 = run(&argv(&["report", "--file", jl])).unwrap();
         assert_eq!(table, table2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_and_generate_are_thread_count_invariant() {
+        let dir = std::env::temp_dir().join(format!("cloudgen-cli-threads-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let tp = dir.join("t.csv");
+        let tp = tp.to_str().unwrap();
+        run(&argv(&["demo-trace", "--out", tp, "--days", "2", "--seed", "3"])).unwrap();
+
+        let m1 = dir.join("m1.json");
+        let m3 = dir.join("m3.json");
+        for (model, threads) in [(&m1, "1"), (&m3, "3")] {
+            run(&argv(&[
+                "train", "--trace", tp, "--out", model.to_str().unwrap(),
+                "--epochs", "1", "--hidden", "12", "--threads", threads,
+            ]))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&m1).unwrap(),
+            std::fs::read(&m3).unwrap(),
+            "saved model must not depend on --threads"
+        );
+
+        let f1 = dir.join("f1.csv");
+        let f4 = dir.join("f4.csv");
+        for (out, threads) in [(&f1, "1"), (&f4, "4")] {
+            run(&argv(&[
+                "generate", "--model", m1.to_str().unwrap(),
+                "--out", out.to_str().unwrap(), "--periods", "600",
+                "--seed", "11", "--threads", threads,
+            ]))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&f1).unwrap(),
+            std::fs::read(&f4).unwrap(),
+            "generated trace must not depend on --threads"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

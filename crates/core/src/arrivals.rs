@@ -61,7 +61,7 @@ impl BatchArrivalModel {
             temporal.encode_into(info, None, x.row_mut(p as usize));
         }
         let regression = PoissonRegression::fit(&x, &y, penalty, 30, 1e-7)?;
-        let last_train_day = TemporalInfo::of_period(n_periods.saturating_sub(1)).day_of_history;
+        let last_train_day = TemporalInfo::of_period(n_periods.saturating_sub(1)).day_of_history();
         Ok(Self {
             regression,
             temporal,

@@ -5,11 +5,15 @@
 //! `K + 1` next-token options. Training follows Graves-style teacher
 //! forcing: the observed previous token is the input for the next step.
 
+use crate::train::{
+    emit_parallel_telemetry, EpochOutcome, NoHooks, Parallelism, StepCtx, StepStats, TrainAbort,
+    TrainConfig, TrainHooks,
+};
 use crate::features::{FeatureSpace, TokenStream};
-use crate::train::{EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks};
 use glm::samplers::sample_categorical;
 use linalg::numeric::{log_softmax_at, softmax_inplace};
-use linalg::Mat;
+use linalg::{Mat, WorkerPool};
+use nn::accum::GradAccum;
 use nn::loss::softmax_cross_entropy;
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork, StepError};
@@ -80,8 +84,22 @@ impl FlavorModel {
         cfg: TrainConfig,
         rec: &dyn Recorder,
     ) -> Self {
+        Self::fit_par_recorded(stream, space, cfg, Parallelism::single(), rec)
+    }
+
+    /// [`FlavorModel::fit_recorded`] under an explicit data-parallel
+    /// policy. The shard layout (`par.shard_seqs`) is part of the numeric
+    /// result; the worker count is not.
+    pub fn fit_par_recorded(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut trainer = FlavorTrainer::new(stream, space, cfg, &mut rng);
+        trainer.set_parallelism(par);
         for _ in 0..cfg.epochs {
             // NoHooks never aborts, so the outcome is always Ok; losses and
             // telemetry accumulate inside the trainer either way.
@@ -245,6 +263,10 @@ pub struct FlavorTrainer {
     cfg: TrainConfig,
     chunk_starts: Vec<usize>,
     train_losses: Vec<f64>,
+    // Defaulted so checkpoints written before the parallel runtime load
+    // as serial (their actual layout).
+    #[serde(default)]
+    par: Parallelism,
 }
 
 impl FlavorTrainer {
@@ -281,6 +303,7 @@ impl FlavorTrainer {
             cfg,
             chunk_starts,
             train_losses: Vec::new(),
+            par: Parallelism::default(),
         }
     }
 
@@ -292,6 +315,18 @@ impl FlavorTrainer {
     /// The configuration this trainer was built with.
     pub fn config(&self) -> &TrainConfig {
         &self.cfg
+    }
+
+    /// The data-parallel policy in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the data-parallel policy. The shard layout (`shard_seqs`)
+    /// changes the floating-point grouping of the gradient reduction;
+    /// the thread count never does.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Mean loss per completed epoch.
@@ -331,6 +366,7 @@ impl FlavorTrainer {
         let order = self.chunk_starts.clone();
         let l = self.cfg.seq_len;
         let dim = self.space.flavor_input_dim();
+        let pool = WorkerPool::new(self.par.threads);
         let epoch_start = Instant::now();
         let mut epoch_loss = 0.0;
         let mut epoch_count = 0usize;
@@ -338,47 +374,77 @@ impl FlavorTrainer {
         let mut norm_max = 0.0f64;
         let mut opt_steps = 0usize;
         let mut skipped_steps = 0usize;
+        let mut shard_ms: Vec<f64> = Vec::new();
         for (step, mb) in order.chunks(self.cfg.minibatch).enumerate() {
             let b = mb.len();
-            // Build inputs and targets: step t of chunk c is token
-            // start_c + t, with the previous token as input.
-            let mut xs: Vec<Mat> = Vec::with_capacity(l);
-            let mut targets: Vec<Vec<usize>> = Vec::with_capacity(l);
-            for t in 0..l {
-                let mut x = Mat::zeros(b, dim);
-                let mut tgt = Vec::with_capacity(b);
-                for (row, &start) in mb.iter().enumerate() {
-                    let idx = start + t;
-                    let prev = if idx == 0 {
-                        self.space.n_flavors
-                    } else {
-                        stream.tokens[idx - 1].id
-                    };
-                    let period = stream.tokens[idx].period;
-                    self.space
-                        .encode_flavor_step(prev, period, None, x.row_mut(row));
-                    tgt.push(stream.tokens[idx].id);
-                }
-                xs.push(x);
-                targets.push(tgt);
-            }
-
-            self.net.zero_grad();
-            let (logits, cache) = self.net.forward(&xs);
+            // The loss normalizer is a function of the targets alone, so
+            // each shard can scale its own dlogits before backward — the
+            // single-shard layout is then bit-identical to the serial
+            // trainer.
             let scale = 1.0 / (l * b) as f64;
+            let shards = self.par.shards(b);
+            let net = &self.net;
+            let space = &self.space;
+            let results = pool.map(&shards, |_, range| {
+                let shard_start = Instant::now();
+                let rows = &mb[range.clone()];
+                let sb = rows.len();
+                // Build inputs and targets: step t of chunk c is token
+                // start_c + t, with the previous token as input.
+                let mut xs: Vec<Mat> = Vec::with_capacity(l);
+                let mut targets: Vec<Vec<usize>> = Vec::with_capacity(l);
+                for t in 0..l {
+                    let mut x = Mat::zeros(sb, dim);
+                    let mut tgt = Vec::with_capacity(sb);
+                    for (row, &start) in rows.iter().enumerate() {
+                        let idx = start + t;
+                        let prev = if idx == 0 {
+                            space.n_flavors
+                        } else {
+                            stream.tokens[idx - 1].id
+                        };
+                        let period = stream.tokens[idx].period;
+                        space.encode_flavor_step(prev, period, None, x.row_mut(row));
+                        tgt.push(stream.tokens[idx].id);
+                    }
+                    xs.push(x);
+                    targets.push(tgt);
+                }
+                let mut local = net.clone();
+                local.zero_grad();
+                let (logits, cache) = local.forward(&xs);
+                let mut sh_loss = 0.0;
+                let mut sh_count = 0usize;
+                let mut dlogits = Vec::with_capacity(l);
+                for (t, logit) in logits.iter().enumerate() {
+                    let (loss, count, mut d) = softmax_cross_entropy(logit, &targets[t]);
+                    sh_loss += loss;
+                    sh_count += count;
+                    d.scale(scale);
+                    dlogits.push(d);
+                }
+                local.backward(&cache, &dlogits);
+                let grads = GradAccum::take(&mut local);
+                let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+                (sh_loss, sh_count, grads, wall)
+            });
             let mut mb_loss = 0.0;
             let mut mb_count = 0usize;
-            let mut dlogits = Vec::with_capacity(l);
-            for (t, logit) in logits.iter().enumerate() {
-                let (loss, count, mut d) = softmax_cross_entropy(logit, &targets[t]);
-                mb_loss += loss;
-                mb_count += count;
-                d.scale(scale);
-                dlogits.push(d);
+            let mut accums = Vec::with_capacity(results.len());
+            for (slot, (sh_loss, sh_count, grads, wall)) in results.into_iter().enumerate() {
+                mb_loss += sh_loss;
+                mb_count += sh_count;
+                accums.push(grads);
+                if slot >= shard_ms.len() {
+                    shard_ms.push(0.0);
+                }
+                shard_ms[slot] += wall;
             }
             epoch_loss += mb_loss;
             epoch_count += mb_count;
-            self.net.backward(&cache, &dlogits);
+            if let Some(merged) = nn::accum::tree_reduce(accums) {
+                merged.install(&mut self.net);
+            }
 
             let ctx = StepCtx {
                 stage: "flavor",
@@ -410,6 +476,7 @@ impl FlavorTrainer {
         }
         let mean_loss = epoch_loss / epoch_count.max(1) as f64;
         self.train_losses.push(mean_loss);
+        let wall_ms = epoch_start.elapsed().as_secs_f64() * 1000.0;
         rec.record(Event::Epoch(EpochEvent {
             stage: "flavor".into(),
             epoch,
@@ -418,9 +485,10 @@ impl FlavorTrainer {
             grad_norm_pre_clip_max: norm_max,
             lr_factor,
             tokens: epoch_count,
-            wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            wall_ms,
             skipped_steps,
         }));
+        emit_parallel_telemetry("flavor", epoch_count, wall_ms, &shard_ms, rec);
         Ok(EpochOutcome {
             mean_loss,
             steps: opt_steps,
@@ -660,6 +728,38 @@ mod tests {
             assert!((l - e.mean_loss).abs() < 1e-12);
         }
         assert!(epochs.last().unwrap().mean_loss <= epochs.first().unwrap().mean_loss);
+    }
+
+    #[test]
+    fn sharded_training_bit_identical_across_thread_counts() {
+        let train = stream(120);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 2;
+        let fit_with = |par: Parallelism| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+            let mut tr = FlavorTrainer::new(&train, space(), cfg, &mut rng);
+            tr.set_parallelism(par);
+            for _ in 0..cfg.epochs {
+                tr.run_epoch(&train, 1.0, &mut rng, &NullRecorder, &mut NoHooks)
+                    .unwrap();
+            }
+            tr
+        };
+        // Same shard layout, different worker counts: weights and the
+        // loss trajectory must agree bit-for-bit.
+        let mut serial = fit_with(Parallelism::with_threads(1, 2));
+        let mut multi = fit_with(Parallelism::with_threads(4, 2));
+        assert_eq!(serial.train_losses, multi.train_losses);
+        for (a, b) in serial
+            .net
+            .params_mut()
+            .iter()
+            .zip(multi.net.params_mut().iter())
+        {
+            for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

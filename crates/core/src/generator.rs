@@ -11,7 +11,7 @@ use crate::lifetimes::LifetimeModel;
 use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
 use glm::samplers::sample_categorical;
 use obsv::{CounterEvent, Event, GenEvent, NullRecorder, Recorder};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -263,6 +263,157 @@ impl TraceGenerator {
         )
     }
 
+    /// Deterministic data-parallel generation; see
+    /// [`TraceGenerator::try_generate_par_recorded`] for the contract.
+    /// Degradation is unbounded, mirroring [`TraceGenerator::generate`].
+    pub fn generate_par(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        seed: u64,
+        threads: usize,
+    ) -> Trace {
+        match self.generate_par_impl(
+            first_period,
+            n_periods,
+            catalog,
+            seed,
+            threads,
+            &NullRecorder,
+            usize::MAX,
+        ) {
+            Ok(t) => t,
+            // lint:allow(no-panic): the only error is budget exhaustion, impossible at usize::MAX
+            Err(e) => unreachable!("unbounded generation cannot fail: {e}"),
+        }
+    }
+
+    /// Deterministic data-parallel generation with telemetry and the
+    /// degradation budget enforced per shard.
+    ///
+    /// The horizon is cut into fixed one-day shards ([`PERIODS_PER_DAY`]
+    /// periods); shard `i` is generated from its own RNG stream derived
+    /// as `splitmix64(seed, i)` with fresh LSTM state, and the shards are
+    /// stitched back in time order with batch user ids renumbered in
+    /// shard order. The shard layout and every shard's random stream are
+    /// pure functions of `(seed, first_period, n_periods)` — the thread
+    /// count only decides how many shards run concurrently — so the
+    /// output trace is byte-identical for any `threads`.
+    ///
+    /// Within one shard the LSTM state carries across periods exactly as
+    /// in the sequential path; it resets at day boundaries (where the
+    /// sequential path's state would carry over), which is the price of
+    /// embarrassing parallelism and is documented in DESIGN.md.
+    ///
+    /// When [`GeneratorConfig::doh_per_trace`] is set, one
+    /// day-of-history is drawn from a dedicated stream of `seed` and
+    /// shared by every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::FallbackBudgetExhausted`] if any shard exceeds
+    /// [`GeneratorConfig::max_fallback_batches`] fallback batches; shard
+    /// errors surface in shard order, so failures are as deterministic
+    /// as successes.
+    pub fn try_generate_par_recorded(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        seed: u64,
+        threads: usize,
+        rec: &dyn Recorder,
+    ) -> Result<Trace, GenerateError> {
+        self.generate_par_impl(
+            first_period,
+            n_periods,
+            catalog,
+            seed,
+            threads,
+            rec,
+            self.config.max_fallback_batches,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn generate_par_impl(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        seed: u64,
+        threads: usize,
+        rec: &dyn Recorder,
+        budget: usize,
+    ) -> Result<Trace, GenerateError> {
+        use obsv::MemoryRecorder;
+        let pool = linalg::WorkerPool::new(threads);
+        // One shard per simulated day. The layout is a function of the
+        // requested span only — never of the thread count.
+        let shards: Vec<(u64, u64)> = (0..n_periods)
+            .step_by(PERIODS_PER_DAY as usize)
+            .map(|off| {
+                let p0 = first_period + off;
+                (p0, (n_periods - off).min(PERIODS_PER_DAY))
+            })
+            .collect();
+        let doh_override = if self.config.doh_per_trace {
+            let mut doh_rng = rand::rngs::StdRng::seed_from_u64(splitmix64(seed, u64::MAX));
+            Some(self.arrivals.sample_doh_day(&mut doh_rng))
+        } else {
+            None
+        };
+        let started = Instant::now();
+        let results = pool.map(&shards, |i, &(p0, n)| {
+            let shard_start = Instant::now();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(seed, i as u64));
+            let local = MemoryRecorder::new();
+            let out = self.generate_span(p0, n, catalog, &mut rng, &local, budget, doh_override);
+            let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+            (out, local, wall)
+        });
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut user_offset = 0u32;
+        let mut first_err = None;
+        for (i, (out, local, wall)) in results.into_iter().enumerate() {
+            match out {
+                Ok((mut shard_jobs, users)) => {
+                    if first_err.is_none() {
+                        for j in &mut shard_jobs {
+                            j.user = UserId(j.user.0.wrapping_add(user_offset));
+                        }
+                        user_offset = user_offset.wrapping_add(users);
+                        jobs.extend(shard_jobs);
+                        // Replay shard telemetry in shard order so the
+                        // event stream is as deterministic as the trace.
+                        for e in local.events() {
+                            rec.record(e);
+                        }
+                        rec.record(Event::Span(obsv::SpanEvent {
+                            name: format!("gen.shard.{i}"),
+                            wall_ms: wall,
+                        }));
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        rec.record(Event::Gauge(obsv::GaugeEvent {
+            name: "gen.jobs_per_sec".to_string(),
+            value: jobs.len() as f64 / secs,
+        }));
+        Ok(Trace::new(jobs, catalog.clone()))
+    }
+
     fn generate_impl(
         &self,
         first_period: u64,
@@ -272,6 +423,31 @@ impl TraceGenerator {
         rec: &dyn Recorder,
         budget: usize,
     ) -> Result<Trace, GenerateError> {
+        let (jobs, _users) =
+            self.generate_span(first_period, n_periods, catalog, rng, rec, budget, None)?;
+        Ok(Trace::new(jobs, catalog.clone()))
+    }
+
+    /// One contiguous span of generation: the sequential sampling loop,
+    /// parameterized so the parallel runtime can run it per shard.
+    /// Returns the jobs plus the number of synthetic users consumed (for
+    /// deterministic renumbering when shards are stitched).
+    ///
+    /// `doh_override` forces the trace-level day-of-history instead of
+    /// drawing it from `rng` (shards must agree on it when
+    /// [`GeneratorConfig::doh_per_trace`] is set); `None` preserves the
+    /// sequential path's draw order exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_span(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+        budget: usize,
+        doh_override: Option<u32>,
+    ) -> Result<(Vec<Job>, u32), GenerateError> {
         let k = self.flavors.space().n_flavors;
         assert_eq!(k, catalog.len(), "catalog size mismatch");
         let bins = &self.lifetimes.space().bins;
@@ -288,7 +464,10 @@ impl TraceGenerator {
         let mut fallback_batches = 0usize;
         let mut fallback_jobs = 0u64;
 
-        let trace_doh = self.arrivals.sample_doh_day(rng);
+        let trace_doh = match doh_override {
+            Some(d) => d,
+            None => self.arrivals.sample_doh_day(rng),
+        };
         let mut flavor_state = self.flavors.begin();
         let mut lifetime_state = self.lifetimes.begin();
         let mut jobs: Vec<Job> = Vec::new();
@@ -461,7 +640,7 @@ impl TraceGenerator {
                 delta: fallback_jobs,
             }));
         }
-        Ok(Trace::new(jobs, catalog.clone()))
+        Ok((jobs, next_user))
     }
 
     /// Generates a trace and right-censors it at the end of the generated
@@ -487,6 +666,19 @@ impl TraceGenerator {
             .collect();
         Trace::new(jobs, t.catalog)
     }
+}
+
+/// Derives shard-independent RNG seeds: the splitmix64 finalizer over
+/// `seed ^ f(stream)`. Each `stream` value yields a decorrelated seed, so
+/// shard `i`'s random draws never depend on how many shards precede it or
+/// which thread runs it.
+fn splitmix64(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Per-simulated-day accounting behind [`GenEvent`] telemetry.
@@ -758,6 +950,54 @@ mod tests {
         let a = g.generate(150, 30, &catalog, &mut StdRng::seed_from_u64(9));
         let b = g.generate(150, 30, &catalog, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_par_identical_across_thread_counts() {
+        // 600 periods spanning multiple one-day shards; the merged trace
+        // must be bit-for-bit independent of the worker count.
+        let (mut g, catalog) = build_generator(300);
+        for doh_per_trace in [true, false] {
+            g.config.doh_per_trace = doh_per_trace;
+            let one = g.generate_par(300, 600, &catalog, 11, 1);
+            let four = g.generate_par(300, 600, &catalog, 11, 4);
+            assert_eq!(one, four, "doh_per_trace={doh_per_trace}");
+            assert!(!one.is_empty());
+        }
+    }
+
+    #[test]
+    fn generate_par_repeatable_and_seed_sensitive() {
+        let (g, catalog) = build_generator(300);
+        let a = g.generate_par(300, 400, &catalog, 21, 3);
+        let b = g.generate_par(300, 400, &catalog, 21, 3);
+        assert_eq!(a, b);
+        let c = g.generate_par(300, 400, &catalog, 22, 3);
+        assert_ne!(a, c, "different seeds should change the sample");
+    }
+
+    #[test]
+    fn generate_par_recorded_emits_shard_spans() {
+        let (g, catalog) = build_generator(300);
+        let rec = obsv::MemoryRecorder::new();
+        let t = g
+            .try_generate_par_recorded(300, 600, &catalog, 33, 2, &rec)
+            .unwrap();
+        assert!(!t.is_empty());
+        let spans: Vec<String> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                obsv::Event::Span(s) if s.name.starts_with("gen.shard.") => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        // 600 periods starting at a day boundary -> 3 one-day shards.
+        assert_eq!(spans.len(), 3, "{spans:?}");
+        let has_rate = rec.events().iter().any(
+            |e| matches!(e, obsv::Event::Gauge(g) if g.name == "gen.jobs_per_sec"),
+        );
+        assert!(has_rate);
     }
 
     fn fallback_counters(rec: &obsv::MemoryRecorder) -> (u64, u64) {

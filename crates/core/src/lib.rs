@@ -55,5 +55,5 @@ pub use lifetimes::{LifetimeBaseline, LifetimeEval, LifetimeModel, LifetimeTrain
 pub use resources::{MultiResourceModel, ResourceClasses};
 pub use single_lstm::SingleLstmModel;
 pub use train::{
-    EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks,
+    EpochOutcome, NoHooks, Parallelism, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks,
 };

@@ -11,9 +11,13 @@
 
 use crate::features::{FeatureSpace, JobStep, TokenStream};
 use crate::flavors::lr_factor;
-use crate::train::{EpochOutcome, NoHooks, StepCtx, StepStats, TrainAbort, TrainConfig, TrainHooks};
+use crate::train::{
+    emit_parallel_telemetry, EpochOutcome, NoHooks, Parallelism, StepCtx, StepStats, TrainAbort,
+    TrainConfig, TrainHooks,
+};
 use linalg::numeric::{clamp_prob, sigmoid, softmax_inplace};
-use linalg::Mat;
+use linalg::{Mat, WorkerPool};
+use nn::accum::GradAccum;
 use nn::loss::{masked_bce_with_logits, survival_softmax_loss};
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork, StepError};
@@ -109,8 +113,23 @@ impl LifetimeModel {
         head: LifetimeHead,
         rec: &dyn Recorder,
     ) -> Self {
+        Self::fit_par_recorded(stream, space, cfg, head, Parallelism::single(), rec)
+    }
+
+    /// [`LifetimeModel::fit_with_head_recorded`] under an explicit
+    /// data-parallel policy. The shard layout (`par.shard_seqs`) is part
+    /// of the numeric result; the worker count is not.
+    pub fn fit_par_recorded(
+        stream: &TokenStream,
+        space: FeatureSpace,
+        cfg: TrainConfig,
+        head: LifetimeHead,
+        par: Parallelism,
+        rec: &dyn Recorder,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
         let mut trainer = LifetimeTrainer::new(stream, space, cfg, head, &mut rng);
+        trainer.set_parallelism(par);
         for _ in 0..cfg.epochs {
             // NoHooks never aborts, so the outcome is always Ok; losses and
             // telemetry accumulate inside the trainer either way.
@@ -271,6 +290,10 @@ pub struct LifetimeTrainer {
     head: LifetimeHead,
     chunk_starts: Vec<usize>,
     train_losses: Vec<f64>,
+    // Defaulted so checkpoints written before the parallel runtime load
+    // as serial (their actual layout).
+    #[serde(default)]
+    par: Parallelism,
 }
 
 impl LifetimeTrainer {
@@ -305,6 +328,7 @@ impl LifetimeTrainer {
             head,
             chunk_starts,
             train_losses: Vec::new(),
+            par: Parallelism::default(),
         }
     }
 
@@ -316,6 +340,36 @@ impl LifetimeTrainer {
     /// The configuration this trainer was built with.
     pub fn config(&self) -> &TrainConfig {
         &self.cfg
+    }
+
+    /// The data-parallel policy in effect.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Sets the data-parallel policy. The shard layout (`shard_seqs`)
+    /// changes the floating-point grouping of the gradient reduction;
+    /// the thread count never does.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
+    /// Loss-normalizer contribution of the job at `idx`: how many loss
+    /// terms it produces under the current head. Knowing this *before*
+    /// the backward pass lets each shard scale its own gradients, which
+    /// keeps the single-shard layout bit-identical to the serial trainer.
+    fn loss_terms(&self, stream: &TokenStream, idx: usize) -> usize {
+        match self.head {
+            LifetimeHead::Hazard => {
+                let step = &stream.jobs[idx];
+                if step.censored {
+                    step.bin
+                } else {
+                    step.bin + 1
+                }
+            }
+            LifetimeHead::Pmf => 1,
+        }
     }
 
     /// Mean loss per completed epoch.
@@ -348,6 +402,7 @@ impl LifetimeTrainer {
         let l = self.cfg.seq_len;
         let j = self.space.n_bins();
         let dim = self.space.lifetime_input_dim();
+        let pool = WorkerPool::new(self.par.threads);
         let epoch_start = Instant::now();
         let mut epoch_loss = 0.0;
         let mut epoch_count = 0usize;
@@ -355,69 +410,101 @@ impl LifetimeTrainer {
         let mut norm_max = 0.0f64;
         let mut opt_steps = 0usize;
         let mut skipped_steps = 0usize;
+        let mut shard_ms: Vec<f64> = Vec::new();
         for (step_idx, mb) in order.chunks(self.cfg.minibatch).enumerate() {
-            let b = mb.len();
-            let mut xs = Vec::with_capacity(l);
-            let mut targets = Vec::with_capacity(l);
-            let mut masks = Vec::with_capacity(l);
-            let mut events: Vec<Vec<(usize, bool)>> = Vec::with_capacity(l);
-            for t in 0..l {
-                let mut x = Mat::zeros(b, dim);
-                let mut target = Mat::zeros(b, j);
-                let mut mask = Mat::zeros(b, j);
-                let mut ev = Vec::with_capacity(b);
-                for (row, &start) in mb.iter().enumerate() {
-                    let idx = start + t;
-                    let step = &stream.jobs[idx];
-                    let prev = idx
-                        .checked_sub(1)
-                        .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
-                    self.space.encode_lifetime_step(
-                        step.flavor,
-                        step.batch_size,
-                        step.pos_in_batch,
-                        prev,
-                        step.period,
-                        None,
-                        x.row_mut(row),
-                    );
-                    self.space.lifetime_target_mask(
-                        step.bin,
-                        step.censored,
-                        target.row_mut(row),
-                        mask.row_mut(row),
-                    );
-                    ev.push((step.bin, step.censored));
+            // The loss normalizer is a function of the targets alone
+            // (mask widths / row counts), so it is known before any
+            // forward pass and each shard can scale its own dlogits.
+            let mb_count: usize = mb
+                .iter()
+                .map(|&start| {
+                    (0..l)
+                        .map(|t| self.loss_terms(stream, start + t))
+                        .sum::<usize>()
+                })
+                .sum();
+            let scale = 1.0 / mb_count.max(1) as f64;
+            let shards = self.par.shards(mb.len());
+            let net = &self.net;
+            let space = &self.space;
+            let head = self.head;
+            let results = pool.map(&shards, |_, range| {
+                let shard_start = Instant::now();
+                let rows = &mb[range.clone()];
+                let sb = rows.len();
+                let mut xs = Vec::with_capacity(l);
+                let mut targets = Vec::with_capacity(l);
+                let mut masks = Vec::with_capacity(l);
+                let mut events: Vec<Vec<(usize, bool)>> = Vec::with_capacity(l);
+                for t in 0..l {
+                    let mut x = Mat::zeros(sb, dim);
+                    let mut target = Mat::zeros(sb, j);
+                    let mut mask = Mat::zeros(sb, j);
+                    let mut ev = Vec::with_capacity(sb);
+                    for (row, &start) in rows.iter().enumerate() {
+                        let idx = start + t;
+                        let step = &stream.jobs[idx];
+                        let prev = idx
+                            .checked_sub(1)
+                            .map(|p| (stream.jobs[p].bin, stream.jobs[p].censored));
+                        space.encode_lifetime_step(
+                            step.flavor,
+                            step.batch_size,
+                            step.pos_in_batch,
+                            prev,
+                            step.period,
+                            None,
+                            x.row_mut(row),
+                        );
+                        space.lifetime_target_mask(
+                            step.bin,
+                            step.censored,
+                            target.row_mut(row),
+                            mask.row_mut(row),
+                        );
+                        ev.push((step.bin, step.censored));
+                    }
+                    xs.push(x);
+                    targets.push(target);
+                    masks.push(mask);
+                    events.push(ev);
                 }
-                xs.push(x);
-                targets.push(target);
-                masks.push(mask);
-                events.push(ev);
-            }
-
-            self.net.zero_grad();
-            let (logits, cache) = self.net.forward(&xs);
-            let mut dlogits = Vec::with_capacity(l);
+                let mut local = net.clone();
+                local.zero_grad();
+                let (logits, cache) = local.forward(&xs);
+                let mut sh_loss = 0.0;
+                let mut dlogits = Vec::with_capacity(l);
+                for (t, logit) in logits.iter().enumerate() {
+                    let (loss, _count, mut d) = match head {
+                        LifetimeHead::Hazard => {
+                            masked_bce_with_logits(logit, &targets[t], &masks[t])
+                        }
+                        LifetimeHead::Pmf => survival_softmax_loss(logit, &events[t]),
+                    };
+                    sh_loss += loss;
+                    d.scale(scale);
+                    dlogits.push(d);
+                }
+                local.backward(&cache, &dlogits);
+                let grads = GradAccum::take(&mut local);
+                let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+                (sh_loss, grads, wall)
+            });
             let mut mb_loss = 0.0;
-            let mut mb_count = 0usize;
-            let mut raw = Vec::with_capacity(l);
-            for (t, logit) in logits.iter().enumerate() {
-                let (loss, count, d) = match self.head {
-                    LifetimeHead::Hazard => masked_bce_with_logits(logit, &targets[t], &masks[t]),
-                    LifetimeHead::Pmf => survival_softmax_loss(logit, &events[t]),
-                };
-                mb_loss += loss;
-                mb_count += count;
-                raw.push(d);
+            let mut accums = Vec::with_capacity(results.len());
+            for (slot, (sh_loss, grads, wall)) in results.into_iter().enumerate() {
+                mb_loss += sh_loss;
+                accums.push(grads);
+                if slot >= shard_ms.len() {
+                    shard_ms.push(0.0);
+                }
+                shard_ms[slot] += wall;
             }
             epoch_loss += mb_loss;
             epoch_count += mb_count;
-            let scale = 1.0 / mb_count.max(1) as f64;
-            for mut d in raw {
-                d.scale(scale);
-                dlogits.push(d);
+            if let Some(merged) = nn::accum::tree_reduce(accums) {
+                merged.install(&mut self.net);
             }
-            self.net.backward(&cache, &dlogits);
 
             let ctx = StepCtx {
                 stage: "lifetime",
@@ -449,6 +536,7 @@ impl LifetimeTrainer {
         }
         let mean_loss = epoch_loss / epoch_count.max(1) as f64;
         self.train_losses.push(mean_loss);
+        let wall_ms = epoch_start.elapsed().as_secs_f64() * 1000.0;
         rec.record(Event::Epoch(EpochEvent {
             stage: "lifetime".into(),
             epoch,
@@ -457,9 +545,10 @@ impl LifetimeTrainer {
             grad_norm_pre_clip_max: norm_max,
             lr_factor,
             tokens: epoch_count,
-            wall_ms: epoch_start.elapsed().as_secs_f64() * 1000.0,
+            wall_ms,
             skipped_steps,
         }));
+        emit_parallel_telemetry("lifetime", epoch_count, wall_ms, &shard_ms, rec);
         Ok(EpochOutcome {
             mean_loss,
             steps: opt_steps,
@@ -719,6 +808,38 @@ mod tests {
             &bins(),
             periods * 300 + 1_000_000,
         )
+    }
+
+    #[test]
+    fn sharded_training_bit_identical_across_thread_counts() {
+        let train = stream(120);
+        let mut cfg = TrainConfig::tiny();
+        cfg.epochs = 2;
+        let fit_with = |par: Parallelism, head: LifetimeHead| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
+            let mut tr = LifetimeTrainer::new(&train, space(), cfg, head, &mut rng);
+            tr.set_parallelism(par);
+            for _ in 0..cfg.epochs {
+                tr.run_epoch(&train, 1.0, &mut rng, &NullRecorder, &mut NoHooks)
+                    .unwrap();
+            }
+            tr
+        };
+        for head in [LifetimeHead::Hazard, LifetimeHead::Pmf] {
+            let mut serial = fit_with(Parallelism::with_threads(1, 2), head);
+            let mut multi = fit_with(Parallelism::with_threads(4, 2), head);
+            assert_eq!(serial.train_losses, multi.train_losses);
+            for (a, b) in serial
+                .net
+                .params_mut()
+                .iter()
+                .zip(multi.net.params_mut().iter())
+            {
+                for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

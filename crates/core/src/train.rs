@@ -11,6 +11,7 @@
 //! be resumed from a checkpoint).
 
 use nn::Param;
+use obsv::{Event, GaugeEvent, Recorder, SpanEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -88,6 +89,74 @@ impl TrainConfig {
             minibatch: 8,
             seed: 0x5eed,
         }
+    }
+}
+
+/// Data-parallel execution policy for the epoch loops.
+///
+/// Two independent knobs, deliberately separated:
+///
+/// - `shard_seqs` fixes the **shard layout** — how many sequences of each
+///   minibatch go into one gradient shard. The layout (not the thread
+///   count) determines the floating-point grouping of the gradient
+///   reduction, so it is part of the numeric result and is recorded in
+///   checkpoints.
+/// - `threads` fixes the **worker count** — how many OS threads execute
+///   the shards. Because shards are merged in fixed tree order, any
+///   thread count produces bit-for-bit the same weights.
+///
+/// The default (`threads: 1, shard_seqs: 0`, where `0` means "the whole
+/// minibatch is one shard") reproduces the pre-parallel trainer exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker threads for the shard map (1 = inline on the caller).
+    pub threads: usize,
+    /// Sequences per gradient shard; `0` puts the whole minibatch in one
+    /// shard (the exact single-pass accumulation order of the serial
+    /// trainer).
+    pub shard_seqs: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            shard_seqs: 0,
+        }
+    }
+}
+
+impl Parallelism {
+    /// The serial policy (identical to [`Parallelism::default`]).
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// A policy with `threads` workers and a fixed shard layout of
+    /// `shard_seqs` sequences per shard.
+    pub fn with_threads(threads: usize, shard_seqs: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            shard_seqs,
+        }
+    }
+
+    /// Splits a minibatch of `batch` sequences into contiguous shard
+    /// ranges. The split depends only on `shard_seqs` and `batch` — never
+    /// on the thread count — so the gradient grouping is reproducible.
+    pub fn shards(&self, batch: usize) -> Vec<std::ops::Range<usize>> {
+        if batch == 0 {
+            return Vec::new();
+        }
+        let size = if self.shard_seqs == 0 {
+            batch
+        } else {
+            self.shard_seqs.min(batch)
+        };
+        (0..batch)
+            .step_by(size)
+            .map(|s| s..(s + size).min(batch))
+            .collect()
     }
 }
 
@@ -173,6 +242,30 @@ pub struct NoHooks;
 
 impl TrainHooks for NoHooks {}
 
+/// Emits the per-epoch parallel-runtime telemetry shared by both
+/// trainers: a `<stage>.tokens_per_sec` gauge and one
+/// `<stage>.shard.<slot>` span per shard slot with that slot's
+/// accumulated worker wall-clock time over the epoch.
+pub(crate) fn emit_parallel_telemetry(
+    stage: &str,
+    tokens: usize,
+    wall_ms: f64,
+    shard_ms: &[f64],
+    rec: &dyn Recorder,
+) {
+    let secs = (wall_ms / 1000.0).max(1e-9);
+    rec.record(Event::Gauge(GaugeEvent {
+        name: format!("{stage}.tokens_per_sec"),
+        value: tokens as f64 / secs,
+    }));
+    for (slot, &ms) in shard_ms.iter().enumerate() {
+        rec.record(Event::Span(SpanEvent {
+            name: format!("{stage}.shard.{slot}"),
+            wall_ms: ms,
+        }));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +285,28 @@ mod tests {
         let p = TrainConfig::paper_scale();
         assert!(d.hidden < p.hidden);
         assert!(d.seq_len < p.seq_len);
+    }
+
+    #[test]
+    fn default_parallelism_is_one_whole_minibatch_shard() {
+        let par = Parallelism::default();
+        assert_eq!(par.threads, 1);
+        assert_eq!(par.shards(8), vec![0..8]);
+        assert!(par.shards(0).is_empty());
+    }
+
+    #[test]
+    fn shard_layout_ignores_thread_count() {
+        let a = Parallelism::with_threads(1, 3);
+        let b = Parallelism::with_threads(4, 3);
+        assert_eq!(a.shards(8), b.shards(8));
+        assert_eq!(a.shards(8), vec![0..3, 3..6, 6..8]);
+    }
+
+    #[test]
+    fn shard_size_clamps_to_batch() {
+        let par = Parallelism::with_threads(2, 100);
+        assert_eq!(par.shards(5), vec![0..5]);
+        assert_eq!(Parallelism::with_threads(0, 2).threads, 1);
     }
 }

@@ -23,6 +23,8 @@
 pub mod cholesky;
 pub mod matrix;
 pub mod numeric;
+pub mod pool;
 
 pub use cholesky::{solve_spd, Cholesky, CholeskyError};
 pub use matrix::Mat;
+pub use pool::WorkerPool;

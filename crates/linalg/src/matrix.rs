@@ -1,8 +1,28 @@
 //! Row-major dense matrix type and the kernels used by the NN/GLM crates.
+//!
+//! The GEMM-family kernels are cache-blocked but **order-preserving**: for
+//! every output element the `k` (inner-dimension) contributions are summed
+//! in ascending order, exactly as the textbook triple loop would, so the
+//! blocked kernels are bit-for-bit identical to their naive counterparts.
+//! That property is what lets the deterministic data-parallel trainers
+//! shard a batch by rows and still reproduce single-threaded results.
 
+use crate::pool::WorkerPool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Target working-set size for cache blocking, in `f64` entries (32 KiB of
+/// L1 data cache). Block heights are sized so one block of the streamed
+/// operand stays resident while the other operand sweeps past it.
+const L1_F64S: usize = 4096;
+
+/// Block height for an operand with `cols` columns: as many rows as fit the
+/// L1 budget, clamped to a sane range.
+#[inline]
+fn block_rows(cols: usize) -> usize {
+    (L1_F64S / cols.max(1)).clamp(8, 256)
+}
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -250,6 +270,11 @@ impl Mat {
 
     /// `self * other^T`.
     ///
+    /// Cache-blocked over the rows of `other`: a block of `other` rows
+    /// sized to L1 stays resident while every row of `self` sweeps past
+    /// it. Each output element is still one left-to-right [`dot`], so the
+    /// result is bit-identical to the unblocked kernel.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
@@ -260,13 +285,102 @@ impl Mat {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Mat::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let out_row = out.row_mut(r);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                *o = dot(a_row, b_row);
+        let jb = block_rows(self.cols);
+        for j0 in (0..other.rows).step_by(jb) {
+            let j1 = (j0 + jb).min(other.rows);
+            for r in 0..self.rows {
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let out_row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+                for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
+                    let b_row = other.row(j0 + j);
+                    *o = dot(a_row, b_row);
+                }
             }
+        }
+        out
+    }
+
+    /// Row-parallel `self * other`: the rows of `self` are partitioned
+    /// into contiguous chunks and multiplied on the pool's workers. Each
+    /// output row is computed by exactly the same instruction sequence as
+    /// in [`Mat::matmul`], so the result is bit-for-bit identical for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn par_matmul(&self, other: &Mat, pool: &WorkerPool) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        self.par_row_blocks(other.cols, pool, |rows, block| {
+            for (i, r) in rows.clone().enumerate() {
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let out_row = &mut block.data[i * block.cols..(i + 1) * block.cols];
+                for (k, &aik) in a_row.iter().enumerate() {
+                    // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Row-parallel `self * other^T`; same determinism contract as
+    /// [`Mat::par_matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn par_matmul_t(&self, other: &Mat, pool: &WorkerPool) -> Mat {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        self.par_row_blocks(other.rows, pool, |rows, block| {
+            for (i, r) in rows.clone().enumerate() {
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let out_row = &mut block.data[i * block.cols..(i + 1) * block.cols];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot(a_row, other.row(j));
+                }
+            }
+        })
+    }
+
+    /// Shared scaffolding for the `par_*` kernels: partitions `self`'s
+    /// rows into one contiguous chunk per worker, fills a zeroed output
+    /// block per chunk via `fill`, and stitches the blocks back together
+    /// in chunk order.
+    fn par_row_blocks(
+        &self,
+        out_cols: usize,
+        pool: &WorkerPool,
+        fill: impl Fn(&std::ops::Range<usize>, &mut Mat) + Sync,
+    ) -> Mat {
+        let chunk = self.rows.div_ceil(pool.threads().max(1)).max(1);
+        let ranges: Vec<std::ops::Range<usize>> = (0..self.rows)
+            .step_by(chunk)
+            .map(|r0| r0..(r0 + chunk).min(self.rows))
+            .collect();
+        let blocks = pool.map(&ranges, |_, rows| {
+            let mut block = Mat::zeros(rows.len(), out_cols);
+            fill(rows, &mut block);
+            block
+        });
+        let mut out = Mat::zeros(self.rows, out_cols);
+        let mut at = 0;
+        for block in blocks {
+            out.data[at..at + block.data.len()].copy_from_slice(&block.data);
+            at += block.data.len();
         }
         out
     }
@@ -390,6 +504,13 @@ impl IndexMut<(usize, usize)> for Mat {
 
 /// `out += alpha * a * b` (accumulating GEMM).
 ///
+/// Cache-blocked over the inner dimension `k`: a block of `b` rows sized
+/// to L1 stays resident while every row of `a` sweeps past it. Blocks are
+/// visited in ascending `k` order and the inner loop is ascending too, so
+/// for each output element the contributions are summed in exactly the
+/// naive i-k-j order — the blocked kernel is bit-identical to the naive
+/// one, which is what the deterministic trainers rely on.
+///
 /// # Panics
 ///
 /// Panics on any shape mismatch.
@@ -397,19 +518,22 @@ pub fn gemm_acc(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
     assert_eq!(a.cols, b.rows, "gemm inner dimension mismatch");
     assert_eq!(out.rows, a.rows, "gemm output rows mismatch");
     assert_eq!(out.cols, b.cols, "gemm output cols mismatch");
-    // i-k-j loop order: streams through `b` and `out` rows contiguously.
-    for i in 0..a.rows {
-        let a_row = a.row(i);
-        let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
-        for (k, &aik) in a_row.iter().enumerate() {
-            let f = alpha * aik;
-            // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
-            if f == 0.0 {
-                continue;
-            }
-            let b_row = b.row(k);
-            for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += f * bkj;
+    let kb = block_rows(b.cols);
+    for k0 in (0..a.cols).step_by(kb) {
+        let k1 = (k0 + kb).min(a.cols);
+        for i in 0..a.rows {
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
+            for (k, &aik) in a_row[k0..k1].iter().enumerate() {
+                let f = alpha * aik;
+                // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
+                if f == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k0 + k);
+                for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += f * bkj;
+                }
             }
         }
     }
@@ -565,5 +689,81 @@ mod tests {
         let mut out = Mat::filled(2, 2, 1.0);
         gemm_acc(&mut out, &a, &b, 2.0);
         assert_eq!(out.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    /// Reference naive i-k-j GEMM: the exact accumulation order the
+    /// blocked kernel must reproduce bit-for-bit.
+    fn gemm_naive(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let f = alpha * a[(i, k)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += f * b[(k, j)];
+                }
+            }
+        }
+    }
+
+    fn pseudo_random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed;
+        Mat::from_fn(rows, cols, |_, _| {
+            // splitmix64 step; maps to roughly [-1, 1).
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+        })
+    }
+
+    fn assert_bits_eq(a: &Mat, b: &Mat) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_bit_identical_to_naive() {
+        // Dimensions larger than one cache block in every direction.
+        let a = pseudo_random_mat(37, 300, 1);
+        let b = pseudo_random_mat(300, 95, 2);
+        let mut blocked = Mat::zeros(37, 95);
+        let mut naive = Mat::zeros(37, 95);
+        gemm_acc(&mut blocked, &a, &b, 0.7);
+        gemm_naive(&mut naive, &a, &b, 0.7);
+        assert_bits_eq(&blocked, &naive);
+    }
+
+    #[test]
+    fn blocked_matmul_t_bit_identical_to_per_row_dots() {
+        let a = pseudo_random_mat(41, 130, 3);
+        let b = pseudo_random_mat(270, 130, 4);
+        let blocked = a.matmul_t(&b);
+        let mut naive = Mat::zeros(41, 270);
+        for r in 0..41 {
+            for j in 0..270 {
+                naive[(r, j)] = dot(a.row(r), b.row(j));
+            }
+        }
+        assert_bits_eq(&blocked, &naive);
+    }
+
+    #[test]
+    fn par_kernels_bit_identical_across_thread_counts() {
+        let a = pseudo_random_mat(33, 64, 5);
+        let b = pseudo_random_mat(64, 29, 6);
+        let bt = pseudo_random_mat(29, 64, 7);
+        let serial_mm = a.matmul(&b);
+        let serial_mmt = a.matmul_t(&bt);
+        for threads in [1, 2, 4, 5] {
+            let pool = WorkerPool::new(threads);
+            assert_bits_eq(&a.par_matmul(&b, &pool), &serial_mm);
+            assert_bits_eq(&a.par_matmul_t(&bt, &pool), &serial_mmt);
+        }
     }
 }

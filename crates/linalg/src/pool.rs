@@ -1,0 +1,140 @@
+//! Deterministic fixed-size worker pool.
+//!
+//! The workspace's parallelism contract is *bit-for-bit determinism*: the
+//! numeric result of every parallel region must be independent of how many
+//! threads executed it. The pool therefore never lets scheduling order leak
+//! into results — workers pull item indices from a shared atomic cursor
+//! (dynamic load balancing), but every result is tagged with its item index
+//! and the final vector is reassembled in item order. Reduction order is the
+//! *caller's* job (see `nn::accum::tree_reduce`); the pool only guarantees
+//! that `map` returns exactly `f(0, &items[0]), f(1, &items[1]), …` in order.
+//!
+//! Built on `std::thread::scope` only — no dependencies, no unsafe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size worker pool that maps a function over a slice and returns
+/// the results in item order, regardless of thread count or scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` workers. Zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads this pool uses.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f(index, &items[index])` to every item and returns the
+    /// results **in item order**.
+    ///
+    /// With one thread the items are processed inline on the caller's
+    /// thread (no spawn overhead). With more, scoped workers pull indices
+    /// from a shared cursor; the result order is still index order, so the
+    /// output is bit-for-bit identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` on the calling thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => tagged.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        // Reassemble in item order: scheduling decided who computed what,
+        // but never the order of the output.
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), items.len());
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..64).map(|i| i as f64 * 0.37 - 3.0).collect();
+        let single = WorkerPool::new(1).map(&items, |_, &x| x.sin() * x.exp());
+        for threads in [2, 3, 4, 8] {
+            let multi = WorkerPool::new(threads).map(&items, |_, &x| x.sin() * x.exp());
+            // Bit-for-bit: same inputs, same ops, order-independent map.
+            assert!(single
+                .iter()
+                .zip(multi.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let pool = WorkerPool::new(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[42], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let pool = WorkerPool::new(16);
+        let out = pool.map(&[1, 2, 3], |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

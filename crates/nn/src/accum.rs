@@ -1,0 +1,192 @@
+//! Gradient accumulation with a deterministic merge order.
+//!
+//! Data-parallel training shards a minibatch across workers; each worker
+//! runs forward/backward on its shard and produces a [`GradAccum`] — a
+//! snapshot of the per-parameter gradient tensors in the network's stable
+//! parameter order. Because floating-point addition is not associative,
+//! the *order* in which shard gradients are combined is part of the
+//! numeric result: [`tree_reduce`] always combines them pairwise in shard
+//! order — `((g0+g1)+(g2+g3))…` — so the reduced gradient is a pure
+//! function of the shard layout, never of thread scheduling. That is the
+//! property that makes `--threads N` training bit-for-bit identical to
+//! `--threads 1`.
+
+use crate::network::LstmNetwork;
+use linalg::Mat;
+
+/// A snapshot of a network's accumulated gradients, one matrix per
+/// parameter, in [`LstmNetwork::params_mut`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradAccum {
+    grads: Vec<Mat>,
+}
+
+impl GradAccum {
+    /// Snapshots the gradients currently accumulated in `net`.
+    pub fn take(net: &mut LstmNetwork) -> Self {
+        Self {
+            grads: net.params_mut().into_iter().map(|p| p.grad.clone()).collect(),
+        }
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two accumulators came from differently-shaped
+    /// networks.
+    pub fn merge_from(&mut self, other: &GradAccum) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "grad accumulator parameter count mismatch"
+        );
+        for (a, b) in self.grads.iter_mut().zip(other.grads.iter()) {
+            a.axpy(1.0, b);
+        }
+    }
+
+    /// Scales every gradient by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for g in &mut self.grads {
+            g.scale(alpha);
+        }
+    }
+
+    /// Writes the snapshot back into `net`'s gradient accumulators,
+    /// replacing whatever was there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different parameter list than the snapshot.
+    pub fn install(&self, net: &mut LstmNetwork) {
+        let mut params = net.params_mut();
+        assert_eq!(
+            params.len(),
+            self.grads.len(),
+            "grad accumulator parameter count mismatch"
+        );
+        for (p, g) in params.iter_mut().zip(self.grads.iter()) {
+            if p.grad.shape() == g.shape() {
+                p.grad.as_mut_slice().copy_from_slice(g.as_slice());
+            } else {
+                p.grad = g.clone();
+            }
+        }
+    }
+
+    /// Number of parameter tensors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True if the snapshot holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
+
+/// Reduces per-shard gradient accumulators in **fixed tree order**:
+/// round one merges `(0,1), (2,3), …`, round two merges the survivors
+/// pairwise again, until one remains. An odd tail passes through a round
+/// unmerged. Returns `None` for an empty input.
+///
+/// The reduction order depends only on the number of shards — never on
+/// which thread produced which accumulator or when it finished — so the
+/// summed gradient is reproducible bit-for-bit across thread counts.
+pub fn tree_reduce(mut level: Vec<GradAccum>) -> Option<GradAccum> {
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge_from(&b);
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    level.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> LstmNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmNetwork::new(4, 6, 1, 3, &mut rng)
+    }
+
+    fn fill_grads(net: &mut LstmNetwork, base: f64) {
+        for (i, p) in net.params_mut().into_iter().enumerate() {
+            p.zero_grad();
+            let shape = p.value.shape();
+            p.grad = Mat::from_fn(shape.0, shape.1, |r, c| {
+                base + (i * 100 + r * 10 + c) as f64 * 0.01
+            });
+        }
+    }
+
+    #[test]
+    fn take_and_install_round_trip() {
+        let mut net = small_net(1);
+        fill_grads(&mut net, 0.5);
+        let snap = GradAccum::take(&mut net);
+        let mut other = small_net(1);
+        other.zero_grad();
+        snap.install(&mut other);
+        for (a, b) in net.params_mut().iter().zip(other.params_mut().iter()) {
+            assert_eq!(a.grad, b.grad);
+        }
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut net = small_net(2);
+        fill_grads(&mut net, 1.0);
+        let mut a = GradAccum::take(&mut net);
+        let b = a.clone();
+        a.merge_from(&b);
+        let mut doubled = b.clone();
+        doubled.scale(2.0);
+        assert_eq!(a, doubled);
+    }
+
+    #[test]
+    fn tree_reduce_matches_explicit_pairing() {
+        let mut net = small_net(3);
+        let accums: Vec<GradAccum> = (0..4)
+            .map(|i| {
+                fill_grads(&mut net, i as f64);
+                GradAccum::take(&mut net)
+            })
+            .collect();
+        let [g0, g1, g2, g3]: [GradAccum; 4] = accums.clone().try_into().ok().expect("4 accums");
+        let mut left = g0;
+        left.merge_from(&g1);
+        let mut right = g2;
+        right.merge_from(&g3);
+        left.merge_from(&right);
+        let reduced = tree_reduce(accums).expect("non-empty");
+        // Bit-for-bit: same pairing order, same additions.
+        assert_eq!(reduced, left);
+    }
+
+    #[test]
+    fn tree_reduce_handles_odd_and_trivial_counts() {
+        assert!(tree_reduce(Vec::new()).is_none());
+        let mut net = small_net(4);
+        fill_grads(&mut net, 2.0);
+        let single = GradAccum::take(&mut net);
+        assert_eq!(tree_reduce(vec![single.clone()]), Some(single.clone()));
+        // Odd count: ((0+1), 2) then ((0+1)+2).
+        let accums = vec![single.clone(), single.clone(), single.clone()];
+        let mut expect = single.clone();
+        expect.merge_from(&single);
+        expect.merge_from(&single);
+        assert_eq!(tree_reduce(accums), Some(expect));
+    }
+}

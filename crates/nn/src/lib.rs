@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod accum;
 pub mod adam;
 pub mod codec;
 pub mod gradcheck;
@@ -32,6 +33,7 @@ pub mod network;
 pub mod param;
 pub mod rnn;
 
+pub use accum::{tree_reduce, GradAccum};
 pub use adam::{Adam, AdamConfig, StepError};
 pub use codec::CodecError;
 pub use linear::Linear;

@@ -41,6 +41,17 @@ pub struct Checkpoint<T> {
     pub trainer: T,
     /// RNG stream position.
     pub rng: CkptRng,
+    /// Worker-pool size the run was using when the checkpoint was taken.
+    ///
+    /// Informational only: the numeric contract lives in the trainer's
+    /// shard layout (`Parallelism::shard_seqs`), which thread count never
+    /// affects. Checkpoints written before this field existed load as `1`.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 /// Why a checkpoint operation failed.

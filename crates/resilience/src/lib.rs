@@ -43,6 +43,7 @@ pub use fault::{Fault, FaultPlan};
 pub use guard::{GuardConfig, TrainGuard};
 pub use rng::CkptRng;
 pub use runtime::{
-    fit_flavor_resilient, fit_lifetime_resilient, fit_resilient, FitOutcome, ResilienceConfig,
+    fit_flavor_resilient, fit_flavor_resilient_par, fit_lifetime_resilient,
+    fit_lifetime_resilient_par, fit_resilient, fit_resilient_par, FitOutcome, ResilienceConfig,
     ResilienceError, ResumableTrainer,
 };

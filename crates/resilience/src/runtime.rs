@@ -22,7 +22,7 @@ use crate::rng::CkptRng;
 use cloudgen::lifetimes::LifetimeHead;
 use cloudgen::{
     EpochOutcome, FeatureSpace, FlavorModel, FlavorTrainer, LifetimeModel, LifetimeTrainer,
-    TokenStream, TrainAbort, TrainConfig, TrainHooks,
+    Parallelism, TokenStream, TrainAbort, TrainConfig, TrainHooks,
 };
 use obsv::{Event, GuardEvent, Recorder};
 use serde::de::DeserializeOwned;
@@ -95,6 +95,19 @@ pub enum ResilienceError {
         /// Stage whose checkpoint mismatched.
         stage: &'static str,
     },
+    /// The checkpoint on disk was trained under a different shard layout
+    /// than this invocation asked for. The shard layout fixes the
+    /// floating-point grouping of the gradient reduction, so resuming
+    /// under a different one would silently fork the numeric trajectory.
+    /// (Thread count is *not* part of the layout and may differ freely.)
+    ShardLayoutMismatch {
+        /// Stage whose checkpoint mismatched.
+        stage: &'static str,
+        /// `shard_seqs` recorded in the checkpointed trainer.
+        checkpoint: usize,
+        /// `shard_seqs` this invocation requested.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for ResilienceError {
@@ -117,6 +130,16 @@ impl fmt::Display for ResilienceError {
             ResilienceError::ConfigMismatch { stage } => write!(
                 f,
                 "{stage} checkpoint was trained under a different TrainConfig"
+            ),
+            ResilienceError::ShardLayoutMismatch {
+                stage,
+                checkpoint,
+                requested,
+            } => write!(
+                f,
+                "{stage} checkpoint was trained with shard_seqs={checkpoint} but this run \
+                 requested shard_seqs={requested}; resuming would change the gradient \
+                 reduction order"
             ),
         }
     }
@@ -167,6 +190,10 @@ pub trait ResumableTrainer: Clone + Serialize + DeserializeOwned {
     fn epochs_done(&self) -> usize;
     /// The configuration the trainer was built with.
     fn config(&self) -> &TrainConfig;
+    /// The trainer's data-parallel settings (shard layout + worker count).
+    fn parallelism(&self) -> Parallelism;
+    /// Replaces the trainer's data-parallel settings.
+    fn set_parallelism(&mut self, par: Parallelism);
     /// Runs the next epoch. See `FlavorTrainer::run_epoch`.
     ///
     /// # Errors
@@ -209,6 +236,14 @@ impl ResumableTrainer for FlavorTrainer {
 
     fn config(&self) -> &TrainConfig {
         FlavorTrainer::config(self)
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        FlavorTrainer::parallelism(self)
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        FlavorTrainer::set_parallelism(self, par);
     }
 
     fn run_epoch(
@@ -256,6 +291,14 @@ impl ResumableTrainer for LifetimeTrainer {
 
     fn config(&self) -> &TrainConfig {
         LifetimeTrainer::config(self)
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        LifetimeTrainer::parallelism(self)
+    }
+
+    fn set_parallelism(&mut self, par: Parallelism) {
+        LifetimeTrainer::set_parallelism(self, par);
     }
 
     fn run_epoch(
@@ -319,6 +362,32 @@ pub fn fit_resilient<T: ResumableTrainer>(
     plan: &mut FaultPlan,
     rec: &dyn Recorder,
 ) -> Result<FitOutcome<T::Model>, ResilienceError> {
+    fit_resilient_par::<T>(stream, space, cfg, Parallelism::single(), rcfg, plan, rec)
+}
+
+/// [`fit_resilient`] with an explicit data-parallel configuration.
+///
+/// The shard layout (`par.shard_seqs`) is part of the numeric result: it
+/// fixes the floating-point grouping of the gradient reduction. A resumed
+/// run must therefore use the same layout its checkpoint recorded —
+/// a mismatch is refused with [`ResilienceError::ShardLayoutMismatch`].
+/// Worker count (`par.threads`) only parallelizes the map and may change
+/// between save and resume without affecting the trajectory.
+///
+/// # Errors
+///
+/// Everything [`fit_resilient`] returns, plus
+/// [`ResilienceError::ShardLayoutMismatch`] when a found checkpoint's
+/// shard layout disagrees with `par`.
+pub fn fit_resilient_par<T: ResumableTrainer>(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    par: Parallelism,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<T::Model>, ResilienceError> {
     let store = match &rcfg.checkpoint_dir {
         Some(dir) => Some(CheckpointStore::create(dir, T::STAGE)?),
         None => None,
@@ -330,6 +399,14 @@ pub fn fit_resilient<T: ResumableTrainer>(
                 if ck.trainer.config() != &cfg {
                     return Err(ResilienceError::ConfigMismatch { stage: T::STAGE });
                 }
+                let recorded = ck.trainer.parallelism();
+                if recorded.shard_seqs != par.shard_seqs {
+                    return Err(ResilienceError::ShardLayoutMismatch {
+                        stage: T::STAGE,
+                        checkpoint: recorded.shard_seqs,
+                        requested: par.shard_seqs,
+                    });
+                }
                 let epoch = ck.epoch;
                 (ck.trainer, ck.rng, ck.lr_scale, Some(epoch))
             }
@@ -337,6 +414,9 @@ pub fn fit_resilient<T: ResumableTrainer>(
         },
         None => fresh::<T>(stream, space, cfg),
     };
+    // Safe after the layout check: only the worker count can differ here,
+    // and it is not part of the numeric contract.
+    trainer.set_parallelism(par);
 
     let mut attempt = 0u32;
     let mut rollbacks = 0u32;
@@ -363,6 +443,7 @@ pub fn fit_resilient<T: ResumableTrainer>(
                             lr_scale,
                             trainer: trainer.clone(),
                             rng: rng.clone(),
+                            threads: par.threads,
                         };
                         let path = s.save(&ck, rec)?;
                         saved += 1;
@@ -475,4 +556,38 @@ pub fn fit_lifetime_resilient(
     rec: &dyn Recorder,
 ) -> Result<FitOutcome<LifetimeModel>, ResilienceError> {
     fit_resilient::<LifetimeTrainer>(stream, space, cfg, rcfg, plan, rec)
+}
+
+/// [`fit_resilient_par`] for the stage-2 flavor LSTM.
+///
+/// # Errors
+///
+/// See [`fit_resilient_par`].
+pub fn fit_flavor_resilient_par(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    par: Parallelism,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<FlavorModel>, ResilienceError> {
+    fit_resilient_par::<FlavorTrainer>(stream, space, cfg, par, rcfg, plan, rec)
+}
+
+/// [`fit_resilient_par`] for the stage-3 lifetime LSTM.
+///
+/// # Errors
+///
+/// See [`fit_resilient_par`].
+pub fn fit_lifetime_resilient_par(
+    stream: &TokenStream,
+    space: &FeatureSpace,
+    cfg: TrainConfig,
+    par: Parallelism,
+    rcfg: &ResilienceConfig,
+    plan: &mut FaultPlan,
+    rec: &dyn Recorder,
+) -> Result<FitOutcome<LifetimeModel>, ResilienceError> {
+    fit_resilient_par::<LifetimeTrainer>(stream, space, cfg, par, rcfg, plan, rec)
 }

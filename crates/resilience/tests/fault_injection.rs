@@ -2,10 +2,11 @@
 //! fault-injection acceptance test (kill + corrupt checkpoint + NaN
 //! gradient in one seeded run).
 
-use cloudgen::{FeatureSpace, TokenStream, TrainConfig};
+use cloudgen::{FeatureSpace, FlavorTrainer, Parallelism, TokenStream, TrainConfig};
 use obsv::{MemoryRecorder, NullRecorder, RunReport};
 use resilience::{
-    fit_flavor_resilient, fit_lifetime_resilient, FaultPlan, ResilienceConfig, ResilienceError,
+    fit_flavor_resilient, fit_flavor_resilient_par, fit_lifetime_resilient, CheckpointStore,
+    FaultPlan, ResilienceConfig, ResilienceError,
 };
 use std::path::PathBuf;
 use survival::LifetimeBins;
@@ -305,4 +306,144 @@ fn fresh_run_without_checkpoints_needs_no_directory() {
     assert_eq!(out.resumed_from, None);
     assert_eq!(out.checkpoints_saved, 0);
     assert_eq!(out.rollbacks, 0);
+}
+
+#[test]
+fn resume_refuses_mismatched_shard_layout() {
+    let (stream, space) = training_data(250);
+    let c = cfg(4);
+    let dir = tmp_dir("shard-layout");
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+
+    // Train part-way under a 2-sequence shard layout, then die.
+    let mut plan = FaultPlan::none().kill("flavor", 2, 1);
+    let err = fit_flavor_resilient_par(
+        &stream,
+        &space,
+        c,
+        Parallelism::with_threads(2, 2),
+        &rcfg,
+        &mut plan,
+        &NullRecorder,
+    )
+    .expect_err("the injected kill must stop the run");
+    assert!(matches!(err, ResilienceError::Killed { .. }), "{err}");
+
+    // A different shard layout changes the gradient-reduction grouping and
+    // must be refused with the typed error, not silently resumed.
+    let err = fit_flavor_resilient_par(
+        &stream,
+        &space,
+        c,
+        Parallelism::with_threads(2, 3),
+        &rcfg,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect_err("mismatched shard layout must be refused");
+    match err {
+        ResilienceError::ShardLayoutMismatch {
+            stage,
+            checkpoint,
+            requested,
+        } => {
+            assert_eq!(stage, "flavor");
+            assert_eq!(checkpoint, 2);
+            assert_eq!(requested, 3);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+
+    // The serial entry point requests the whole-minibatch layout (0) and
+    // must be refused the same way.
+    let err = fit_flavor_resilient(
+        &stream,
+        &space,
+        c,
+        &rcfg,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect_err("serial resume of a sharded checkpoint must be refused");
+    assert!(
+        matches!(
+            err,
+            ResilienceError::ShardLayoutMismatch {
+                checkpoint: 2,
+                requested: 0,
+                ..
+            }
+        ),
+        "{err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_different_worker_count_is_identical() {
+    let (stream, space) = training_data(300);
+    let c = cfg(5);
+    let layout = 2; // shard layout is the contract; threads are not
+
+    // Reference: single worker, straight through.
+    let straight = fit_flavor_resilient_par(
+        &stream,
+        &space,
+        c,
+        Parallelism::with_threads(1, layout),
+        &ResilienceConfig::default(),
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .unwrap();
+
+    // Interrupted: 4 workers, killed mid-epoch-2, resumed with 2 workers.
+    let dir = tmp_dir("worker-count");
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ResilienceConfig::default()
+    };
+    let mut plan = FaultPlan::none().kill("flavor", 2, 1);
+    fit_flavor_resilient_par(
+        &stream,
+        &space,
+        c,
+        Parallelism::with_threads(4, layout),
+        &rcfg,
+        &mut plan,
+        &NullRecorder,
+    )
+    .expect_err("the injected kill must stop the run");
+    let resumed = fit_flavor_resilient_par(
+        &stream,
+        &space,
+        c,
+        Parallelism::with_threads(2, layout),
+        &rcfg,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect("same layout, different worker count must resume");
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_eq!(straight.losses, resumed.losses);
+    assert_eq!(
+        serde_json::to_string(&straight.model).unwrap(),
+        serde_json::to_string(&resumed.model).unwrap(),
+        "worker count must not affect the trained parameters"
+    );
+
+    // The final checkpoint records the worker count that produced it.
+    let store = CheckpointStore::create(&dir, "flavor").unwrap();
+    let ck = store
+        .load_latest::<FlavorTrainer>(&NullRecorder)
+        .unwrap()
+        .expect("final checkpoint must exist");
+    assert_eq!(ck.threads, 2);
+    assert_eq!(ck.trainer.parallelism().shard_seqs, layout);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

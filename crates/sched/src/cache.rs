@@ -9,14 +9,42 @@
 //! whether they predict the cache behaviour of real traces.
 
 use obsv::{Event, NullRecorder, Recorder, SchedEvent};
+use std::collections::HashMap;
 use trace::Trace;
 
+/// Sentinel "no slot" link in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One resident cache entry: its key plus its neighbours in recency order.
+#[derive(Debug, Clone)]
+struct Slot {
+    key: u16,
+    /// Towards the MRU end (`NIL` for the head).
+    prev: usize,
+    /// Towards the LRU end (`NIL` for the tail).
+    next: usize,
+}
+
 /// An LRU cache of placement rules keyed by flavor id.
+///
+/// Recency order lives in an intrusive doubly-linked list threaded through
+/// a slot arena, with a key → slot map on the side, so [`access`] is O(1)
+/// regardless of capacity (the original implementation scanned a
+/// recency-ordered `Vec`, making every access O(capacity) — ruinous for
+/// the multi-thousand-entry sweeps of §6.2).
+///
+/// [`access`]: PlacementCache::access
 #[derive(Debug, Clone)]
 pub struct PlacementCache {
     capacity: usize,
-    /// Most-recently-used first.
-    entries: Vec<u16>,
+    /// Slot arena; never shrinks, holds at most `capacity` slots.
+    slots: Vec<Slot>,
+    /// Which slot each resident key lives in.
+    index: HashMap<u16, usize>,
+    /// Most recently used slot (`NIL` when empty).
+    head: usize,
+    /// Least recently used slot (`NIL` when empty).
+    tail: usize,
     hits: u64,
     misses: u64,
 }
@@ -31,25 +59,65 @@ impl PlacementCache {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
         }
     }
 
+    /// Unlinks slot `i` from the recency list.
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links slot `i` in as the most recently used entry.
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
     /// Processes one request; returns true on a cache hit.
     pub fn access(&mut self, flavor: u16) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&f| f == flavor) {
+        if let Some(&i) = self.index.get(&flavor) {
             // Move to front (most recently used).
-            self.entries.remove(pos);
-            self.entries.insert(0, flavor);
+            self.detach(i);
+            self.push_front(i);
             self.hits += 1;
             true
         } else {
-            if self.entries.len() == self.capacity {
-                self.entries.pop();
-            }
-            self.entries.insert(0, flavor);
+            let i = if self.slots.len() == self.capacity {
+                // Evict the least recently used entry and reuse its slot.
+                let lru = self.tail;
+                self.detach(lru);
+                self.index.remove(&self.slots[lru].key);
+                self.slots[lru].key = flavor;
+                lru
+            } else {
+                self.slots.push(Slot {
+                    key: flavor,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            };
+            self.push_front(i);
+            self.index.insert(flavor, i);
             self.misses += 1;
             false
         }
@@ -194,6 +262,82 @@ mod tests {
                 assert_eq!(e.placements, 0);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The original O(capacity) implementation, kept verbatim as the
+    /// semantic reference for the linked-list rewrite.
+    struct VecLru {
+        capacity: usize,
+        entries: Vec<u16>,
+    }
+
+    impl VecLru {
+        fn new(capacity: usize) -> Self {
+            Self {
+                capacity,
+                entries: Vec::new(),
+            }
+        }
+
+        fn access(&mut self, flavor: u16) -> bool {
+            if let Some(pos) = self.entries.iter().position(|&f| f == flavor) {
+                self.entries.remove(pos);
+                self.entries.insert(0, flavor);
+                true
+            } else {
+                if self.entries.len() == self.capacity {
+                    self.entries.pop();
+                }
+                self.entries.insert(0, flavor);
+                false
+            }
+        }
+    }
+
+    /// Deterministic request stream with skewed reuse (mixes a hot set
+    /// with a long tail so hits, misses, and evictions all occur).
+    fn seeded_requests(n: usize, universe: u16, seed: u64) -> Vec<u16> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                // splitmix64 step
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                if z % 4 != 0 {
+                    (z % 8) as u16 // hot set
+                } else {
+                    (z % universe as u64) as u16 // long tail
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_implementation_access_for_access() {
+        for (capacity, universe, seed) in
+            [(1, 16, 1u64), (2, 16, 2), (7, 64, 3), (64, 512, 4), (100, 80, 5)]
+        {
+            let mut fast = PlacementCache::new(capacity);
+            let mut slow = VecLru::new(capacity);
+            for (i, &f) in seeded_requests(20_000, universe, seed).iter().enumerate() {
+                assert_eq!(
+                    fast.access(f),
+                    slow.access(f),
+                    "divergence at access {i} (flavor {f}, capacity {capacity})"
+                );
+            }
+            // The resident sets must agree too, in recency order.
+            let mut order = Vec::new();
+            let mut i = fast.head;
+            while i != NIL {
+                order.push(fast.slots[i].key);
+                i = fast.slots[i].next;
+            }
+            assert_eq!(order, slow.entries, "capacity {capacity}");
         }
     }
 

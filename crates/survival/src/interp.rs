@@ -65,10 +65,15 @@ impl ContinuousSurvival {
 
     /// Evaluates `S(t)`: the probability the lifetime exceeds `t` seconds.
     ///
-    /// `S(0) = 1`; beyond the tail horizon the function is 0 under CDI and
-    /// equal to the terminal survival under Stepped (a step function never
-    /// interpolates the open bin; any residual mass stays forever, matching
-    /// the "termination at boundary" convention which has no final boundary).
+    /// `S(0) = 1`; beyond the tail horizon the function is exactly 0 under
+    /// CDI and equal to the terminal survival under Stepped (a step function
+    /// never interpolates the open bin; any residual mass stays forever,
+    /// matching the "termination at boundary" convention which has no final
+    /// boundary).
+    ///
+    /// The result is always in `[0, 1]` and non-increasing in `t`: the open
+    /// bin's interpolation fraction is clamped so that float edge cases at
+    /// or beyond the tail horizon can never produce a negative survival.
     pub fn eval(&self, t: f64) -> f64 {
         if t < 0.0 {
             return 1.0;
@@ -78,18 +83,28 @@ impl ContinuousSurvival {
         let s_j = self.survival[j];
         match self.interp {
             Interpolation::Stepped => s_prev,
-            Interpolation::Cdi => {
+            Interpolation::Cdi if j == self.bins.final_bin() => {
+                // The open bin: CDI spreads *all* remaining mass uniformly
+                // over [lo, tail_horizon], draining to exactly 0 at the
+                // horizon and staying 0 beyond it. Clamping the fraction
+                // keeps S(t) within [0, s_prev] even when `t` lands on or
+                // past the horizon (or rounding nudges the ratio out of
+                // [0, 1]); the construction-time assert guarantees
+                // `tail_horizon > lo`, so the ratio is never NaN.
                 let lo = self.bins.lower(j);
-                let hi = self.bins.upper(j).unwrap_or(self.tail_horizon);
-                // In the open bin, CDI spreads *all* remaining mass to 0 by
-                // the horizon.
-                let s_end = if j == self.bins.final_bin() { 0.0 } else { s_j };
-                if t >= hi {
-                    // Only reachable in the open bin, past the tail horizon.
-                    return s_end;
-                }
+                let frac = ((t - lo) / (self.tail_horizon - lo)).clamp(0.0, 1.0);
+                s_prev * (1.0 - frac)
+            }
+            Interpolation::Cdi => {
+                // Closed bin: `bin_of` guarantees `lo <= t < hi`.
+                let lo = self.bins.lower(j);
+                // lint:allow(no-panic): closed bins always have an upper edge.
+                let hi = match self.bins.upper(j) {
+                    Some(hi) => hi,
+                    None => unreachable!("closed bin without upper edge"),
+                };
                 let frac = (t - lo) / (hi - lo);
-                s_prev + frac * (s_end - s_prev)
+                s_prev + frac * (s_j - s_prev)
             }
         }
     }
@@ -224,5 +239,99 @@ mod tests {
     fn mismatched_hazard_panics() {
         let bins = LifetimeBins::from_uppers(vec![10.0]);
         let _ = ContinuousSurvival::from_hazard(&bins, &[0.5, 0.5, 0.5], Interpolation::Cdi, 40.0);
+    }
+
+    #[test]
+    fn cdi_at_and_beyond_horizon_is_exactly_zero() {
+        let (bins, mut h) = simple();
+        h[2] = 0.1; // leave plenty of residual mass in the open bin
+        let s = ContinuousSurvival::from_hazard(&bins, &h, Interpolation::Cdi, 40.0);
+        assert_eq!(s.eval(40.0), 0.0, "at the horizon");
+        for t in [40.0 + f64::EPSILON * 40.0, 41.0, 1e6, f64::INFINITY] {
+            let v = s.eval(t);
+            assert_eq!(v, 0.0, "S({t}) = {v}");
+        }
+        // Just inside the horizon: tiny but still non-negative.
+        let v = s.eval(40.0 - 1e-9);
+        assert!((0.0..1.0).contains(&v), "S(40-eps) = {v}");
+    }
+
+    /// Exhaustive seeded version of the property below, so the invariant
+    /// is exercised even where proptest is unavailable.
+    #[test]
+    fn random_hazards_monotone_and_bounded_seeded() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let bins = LifetimeBins::from_uppers(vec![10.0, 25.0, 60.0, 300.0]);
+        let tail_horizon = 1000.0;
+        for _ in 0..200 {
+            let hazard: Vec<f64> = (0..bins.len()).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            for interp in [Interpolation::Cdi, Interpolation::Stepped] {
+                let s = ContinuousSurvival::from_hazard(&bins, &hazard, interp, tail_horizon);
+                let mut prev = 1.0;
+                for i in 0..=400 {
+                    let t = 2.0 * tail_horizon * (i as f64) / 400.0;
+                    let v = s.eval(t);
+                    assert!(
+                        (0.0..=1.0).contains(&v),
+                        "{interp:?}: S({t}) = {v} out of [0,1] for {hazard:?}"
+                    );
+                    assert!(
+                        v <= prev + 1e-12,
+                        "{interp:?}: S not monotone at {t}: {v} > {prev} for {hazard:?}"
+                    );
+                    prev = v;
+                }
+                if interp == Interpolation::Cdi {
+                    assert_eq!(s.eval(tail_horizon), 0.0);
+                    assert_eq!(s.eval(2.0 * tail_horizon), 0.0);
+                }
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// S is non-increasing and within [0, 1] on [0, 2·tail_horizon]
+            /// for arbitrary valid hazards, under both interpolations.
+            #[test]
+            fn survival_monotone_nonincreasing_on_doubled_horizon(
+                hazard in proptest::collection::vec(0.0f64..=1.0, 5),
+                interp_cdi in proptest::bool::ANY,
+                horizon_slack in 1.0f64..1000.0,
+            ) {
+                let bins = LifetimeBins::from_uppers(vec![10.0, 25.0, 60.0, 300.0]);
+                let tail_horizon = bins.lower(bins.final_bin()) + horizon_slack;
+                let interp = if interp_cdi {
+                    Interpolation::Cdi
+                } else {
+                    Interpolation::Stepped
+                };
+                let s = ContinuousSurvival::from_hazard(&bins, &hazard, interp, tail_horizon);
+                let mut prev = 1.0f64;
+                for i in 0..=500 {
+                    let t = 2.0 * tail_horizon * (i as f64) / 500.0;
+                    let v = s.eval(t);
+                    prop_assert!((0.0..=1.0).contains(&v), "S({}) = {}", t, v);
+                    prop_assert!(v <= prev + 1e-12, "not monotone at {}: {} > {}", t, v, prev);
+                    prev = v;
+                }
+            }
+
+            /// CDI drains to exactly zero at and beyond the tail horizon.
+            #[test]
+            fn cdi_is_zero_at_and_beyond_horizon(
+                hazard in proptest::collection::vec(0.0f64..=1.0, 3),
+                beyond in 0.0f64..1e9,
+            ) {
+                let bins = LifetimeBins::from_uppers(vec![10.0, 20.0]);
+                let s = ContinuousSurvival::from_hazard(&bins, &hazard, Interpolation::Cdi, 40.0);
+                prop_assert_eq!(s.eval(40.0), 0.0);
+                prop_assert_eq!(s.eval(40.0 + beyond), 0.0);
+            }
+        }
     }
 }

@@ -90,10 +90,10 @@ impl CloudWorld {
         for p in 0..n_periods {
             let info = TemporalInfo::of_period(p);
             let rate = self.config.base_batch_rate
-                * self.config.hod_factor(info.hour_of_day)
-                * self.config.dow_factor(info.day_of_week)
-                * self.config.trend.factor(info.day_of_history)
-                * day_factors[info.day_of_history as usize];
+                * self.config.hod_factor(info.hour_of_day())
+                * self.config.dow_factor(info.day_of_week())
+                * self.config.trend.factor(info.day_of_history())
+                * day_factors[info.day_of_history() as usize];
             let n_batches = sample_poisson(rate, &mut rng);
             let t = p * PERIOD_SECS;
             for _ in 0..n_batches {

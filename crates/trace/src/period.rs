@@ -6,6 +6,7 @@
 //! those features and packs them into feature vectors.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Seconds per generation period (5 minutes).
 pub const PERIOD_SECS: u64 = 300;
@@ -32,26 +33,113 @@ pub fn period_start(p: u64) -> u64 {
 /// day-of-history 0; the Azure trace does not publish its real-world
 /// offset, and the paper notes the mapping offset is arbitrary for modeling
 /// seasonality.
+///
+/// Invariant: `hour_of_day < 24` and `day_of_week < 7`, enforced at every
+/// construction path including deserialization — the fields are private so
+/// an out-of-range value cannot exist. (The feature encoder used to mask
+/// values with `% 24` / `% 7` instead, which silently relabelled corrupt
+/// inputs as a different hour or weekday.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "RawTemporalInfo")]
 pub struct TemporalInfo {
     /// Hour of day, `0..24`.
-    pub hour_of_day: u8,
+    hour_of_day: u8,
     /// Day of week, `0..7`.
-    pub day_of_week: u8,
+    day_of_week: u8,
     /// Day since the start of the trace history, `0..`.
-    pub day_of_history: u32,
+    day_of_history: u32,
+}
+
+/// An out-of-range [`TemporalInfo`] component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalInfoError {
+    /// Hour of day was not in `0..24`.
+    InvalidHourOfDay(u8),
+    /// Day of week was not in `0..7`.
+    InvalidDayOfWeek(u8),
+}
+
+impl fmt::Display for TemporalInfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalInfoError::InvalidHourOfDay(h) => {
+                write!(f, "hour_of_day {h} out of range 0..24")
+            }
+            TemporalInfoError::InvalidDayOfWeek(d) => {
+                write!(f, "day_of_week {d} out of range 0..7")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalInfoError {}
+
+/// Unvalidated wire form of [`TemporalInfo`]; deserialization funnels
+/// through `TryFrom` so corrupt files are rejected instead of masked.
+#[derive(Deserialize)]
+struct RawTemporalInfo {
+    hour_of_day: u8,
+    day_of_week: u8,
+    day_of_history: u32,
+}
+
+impl TryFrom<RawTemporalInfo> for TemporalInfo {
+    type Error = TemporalInfoError;
+
+    fn try_from(raw: RawTemporalInfo) -> Result<Self, Self::Error> {
+        TemporalInfo::new(raw.hour_of_day, raw.day_of_week, raw.day_of_history)
+    }
 }
 
 impl TemporalInfo {
+    /// Validated construction.
+    ///
+    /// # Errors
+    ///
+    /// [`TemporalInfoError`] when `hour_of_day >= 24` or `day_of_week >= 7`.
+    pub fn new(
+        hour_of_day: u8,
+        day_of_week: u8,
+        day_of_history: u32,
+    ) -> Result<Self, TemporalInfoError> {
+        if hour_of_day >= 24 {
+            return Err(TemporalInfoError::InvalidHourOfDay(hour_of_day));
+        }
+        if day_of_week >= 7 {
+            return Err(TemporalInfoError::InvalidDayOfWeek(day_of_week));
+        }
+        Ok(Self {
+            hour_of_day,
+            day_of_week,
+            day_of_history,
+        })
+    }
+
     /// Computes temporal info for period index `p`.
     pub fn of_period(p: u64) -> Self {
         let t = period_start(p);
         let day = t / DAY_SECS;
+        // In range by construction: % DAY_SECS / 3600 < 24, % 7 < 7.
         Self {
             hour_of_day: ((t % DAY_SECS) / 3600) as u8,
             day_of_week: (day % 7) as u8,
             day_of_history: day as u32,
         }
+    }
+
+    /// Hour of day, `0..24`.
+    pub fn hour_of_day(&self) -> u8 {
+        self.hour_of_day
+    }
+
+    /// Day of week, `0..7`.
+    pub fn day_of_week(&self) -> u8 {
+        self.day_of_week
+    }
+
+    /// Day since the start of the trace history.
+    pub fn day_of_history(&self) -> u32 {
+        self.day_of_history
     }
 }
 
@@ -108,8 +196,10 @@ impl TemporalFeaturesSpec {
             out.len()
         );
         out[..dim].iter_mut().for_each(|x| *x = 0.0);
-        out[info.hour_of_day as usize % 24] = 1.0;
-        out[24 + info.day_of_week as usize % 7] = 1.0;
+        // No masking needed: TemporalInfo's construction paths guarantee
+        // hour_of_day < 24 and day_of_week < 7.
+        out[info.hour_of_day as usize] = 1.0;
+        out[24 + info.day_of_week as usize] = 1.0;
         if self.use_doh && self.history_days > 0 {
             let day = doh_override.unwrap_or(info.day_of_history) as usize;
             let day = day.min(self.history_days - 1);
@@ -130,6 +220,45 @@ impl TemporalFeaturesSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn construction_rejects_out_of_range_components() {
+        assert_eq!(
+            TemporalInfo::new(24, 0, 0),
+            Err(TemporalInfoError::InvalidHourOfDay(24))
+        );
+        assert_eq!(
+            TemporalInfo::new(255, 0, 0),
+            Err(TemporalInfoError::InvalidHourOfDay(255))
+        );
+        assert_eq!(
+            TemporalInfo::new(0, 7, 0),
+            Err(TemporalInfoError::InvalidDayOfWeek(7))
+        );
+        // Hour is checked first when both are bad.
+        assert_eq!(
+            TemporalInfo::new(30, 9, 0),
+            Err(TemporalInfoError::InvalidHourOfDay(30))
+        );
+        // Boundary values are accepted; day_of_history is unbounded.
+        let info = TemporalInfo::new(23, 6, u32::MAX).unwrap();
+        assert_eq!(info.hour_of_day(), 23);
+        assert_eq!(info.day_of_week(), 6);
+        assert_eq!(info.day_of_history(), u32::MAX);
+    }
+
+    #[test]
+    fn deserialization_rejects_out_of_range_components() {
+        // Out-of-range hour/weekday in a serialized TemporalInfo must be
+        // rejected at parse time, not silently relabelled by the old
+        // `% 24` / `% 7` masking in the encoder.
+        for bad in [
+            r#"{"hour_of_day":24,"day_of_week":0,"day_of_history":0}"#,
+            r#"{"hour_of_day":0,"day_of_week":7,"day_of_history":0}"#,
+        ] {
+            assert!(serde_json::from_str::<TemporalInfo>(bad).is_err(), "{bad}");
+        }
+    }
 
     #[test]
     fn period_math() {
@@ -160,11 +289,7 @@ mod tests {
     fn encoding_layout() {
         let spec = TemporalFeaturesSpec::new(5);
         assert_eq!(spec.dim(), 24 + 7 + 5);
-        let info = TemporalInfo {
-            hour_of_day: 3,
-            day_of_week: 2,
-            day_of_history: 2,
-        };
+        let info = TemporalInfo::new(3, 2, 2).unwrap();
         let v = spec.encode(info, None);
         assert_eq!(v[3], 1.0);
         assert_eq!(v.iter().take(24).sum::<f64>(), 1.0);
@@ -177,11 +302,7 @@ mod tests {
     #[test]
     fn doh_override_and_clamp() {
         let spec = TemporalFeaturesSpec::new(3);
-        let info = TemporalInfo {
-            hour_of_day: 0,
-            day_of_week: 0,
-            day_of_history: 0,
-        };
+        let info = TemporalInfo::new(0, 0, 0).unwrap();
         let v = spec.encode(info, Some(1));
         assert_eq!(&v[31..34], &[1.0, 1.0, 0.0]);
         // Beyond history clamps to the last day.
@@ -193,11 +314,7 @@ mod tests {
     fn without_doh_has_no_history_block() {
         let spec = TemporalFeaturesSpec::without_doh();
         assert_eq!(spec.dim(), 31);
-        let info = TemporalInfo {
-            hour_of_day: 23,
-            day_of_week: 6,
-            day_of_history: 100,
-        };
+        let info = TemporalInfo::new(23, 6, 100).unwrap();
         let v = spec.encode(info, None);
         assert_eq!(v.len(), 31);
         assert_eq!(v[23], 1.0);
@@ -208,11 +325,7 @@ mod tests {
     fn encode_into_clears_previous_content() {
         let spec = TemporalFeaturesSpec::new(2);
         let mut buf = vec![9.0; spec.dim() + 3];
-        let info = TemporalInfo {
-            hour_of_day: 0,
-            day_of_week: 0,
-            day_of_history: 0,
-        };
+        let info = TemporalInfo::new(0, 0, 0).unwrap();
         spec.encode_into(info, None, &mut buf);
         assert_eq!(buf[1], 0.0); // cleared
         assert_eq!(buf[spec.dim()], 9.0); // beyond dim untouched

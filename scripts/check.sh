@@ -18,4 +18,13 @@ cargo run --release -p cloudgen-lint
 echo "==> fault-injection suite (resilience)"
 cargo test --release -p resilience
 
-echo "ok: build + tests + clippy + cloudgen-lint + fault injection all green"
+echo "==> determinism gate (multi-thread == single-thread, bit-for-bit)"
+cargo test --release --test determinism
+
+echo "==> parallel throughput bench (writes BENCH_pr4.json)"
+# No speedup bound here: local machines vary. CI sets
+# CLOUDGEN_REQUIRE_SPEEDUP=2.0 on a 4-core runner; the bench always
+# asserts byte-identical losses/traces across worker counts.
+cargo run --release -p bench --bin bench_pr4_parallel
+
+echo "ok: build + tests + clippy + cloudgen-lint + fault injection + determinism all green"

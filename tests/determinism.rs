@@ -1,0 +1,235 @@
+//! Cross-crate determinism acceptance tests for the data-parallel runtime:
+//! with a fixed seed and a fixed shard layout, every worker count must
+//! produce byte-identical training trajectories, checkpoints, and
+//! generated traces.
+
+use cloudgen::lifetimes::LifetimeHead;
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, Parallelism, TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use obsv::NullRecorder;
+use resilience::{
+    fit_flavor_resilient_par, fit_lifetime_resilient_par, FaultPlan, ResilienceConfig,
+    ResilienceError,
+};
+use std::path::PathBuf;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::{ObservationWindow, Trace};
+
+const TRAIN_DAYS: u64 = 3;
+
+struct World {
+    world: CloudWorld,
+    train: Trace,
+    stream: TokenStream,
+    space: FeatureSpace,
+    temporal: TemporalFeaturesSpec,
+    horizon: u64,
+}
+
+fn build_world() -> World {
+    let world = CloudWorld::new(WorldConfig::azure_like(0.4), 17);
+    let history = world.generate(TRAIN_DAYS as u32 + 1);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let horizon = window.end;
+    World {
+        world,
+        train,
+        stream,
+        space,
+        temporal,
+        horizon,
+    }
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        hidden: 16,
+        ..TrainConfig::tiny()
+    }
+}
+
+/// Builds a full generator with LSTMs trained under `par`.
+fn trained_generator(w: &World, par: Parallelism) -> TraceGenerator {
+    let cfg = tiny_cfg();
+    TraceGenerator {
+        arrivals: BatchArrivalModel::fit(
+            &w.train,
+            w.horizon,
+            ArrivalTarget::Batches,
+            w.temporal,
+            ElasticNet::ridge(1.0),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrivals"),
+        fallback: Some(GenFallback::fit(&w.stream, &w.space)),
+        flavors: FlavorModel::fit_par_recorded(
+            &w.stream,
+            w.space.clone(),
+            cfg,
+            par,
+            &NullRecorder,
+        ),
+        lifetimes: LifetimeModel::fit_par_recorded(
+            &w.stream,
+            w.space.clone(),
+            cfg,
+            LifetimeHead::Hazard,
+            par,
+            &NullRecorder,
+        ),
+        config: GeneratorConfig::default(),
+    }
+}
+
+#[test]
+fn training_is_thread_count_invariant() {
+    let w = build_world();
+    let layout = 2;
+    let cfg = tiny_cfg();
+
+    // Resilient fits (no disk) under 1 vs 4 workers: identical loss
+    // trajectories, exactly.
+    let mut outs = Vec::new();
+    for threads in [1, 4] {
+        let par = Parallelism::with_threads(threads, layout);
+        let fl = fit_flavor_resilient_par(
+            &w.stream,
+            &w.space,
+            cfg,
+            par,
+            &ResilienceConfig::default(),
+            &mut FaultPlan::none(),
+            &NullRecorder,
+        )
+        .expect("flavor fit");
+        let lt = fit_lifetime_resilient_par(
+            &w.stream,
+            &w.space,
+            cfg,
+            par,
+            &ResilienceConfig::default(),
+            &mut FaultPlan::none(),
+            &NullRecorder,
+        )
+        .expect("lifetime fit");
+        outs.push((fl.losses, lt.losses));
+    }
+    assert_eq!(
+        outs[0], outs[1],
+        "loss trajectories must be bit-identical across worker counts"
+    );
+
+    // And the trained weights must generate byte-identical traces.
+    let g1 = trained_generator(&w, Parallelism::with_threads(1, layout));
+    let g4 = trained_generator(&w, Parallelism::with_threads(4, layout));
+    let first = TRAIN_DAYS * 288;
+    let t1 = g1.generate_par(first, 2 * 288, w.world.catalog(), 5, 1);
+    let t4 = g4.generate_par(first, 2 * 288, w.world.catalog(), 5, 1);
+    assert_eq!(t1, t4, "models trained under different worker counts differ");
+    assert!(!t1.is_empty());
+}
+
+#[test]
+fn generation_is_thread_count_invariant() {
+    let w = build_world();
+    let g = trained_generator(&w, Parallelism::with_threads(2, 2));
+    let first = TRAIN_DAYS * 288;
+    // Multi-day horizon so several one-day shards exist; 1, 4, and 7
+    // workers must agree byte-for-byte, and so must repeated runs.
+    let reference = g.generate_par(first, 600, w.world.catalog(), 23, 1);
+    assert!(!reference.is_empty());
+    for threads in [4, 7] {
+        let t = g.generate_par(first, 600, w.world.catalog(), 23, threads);
+        assert_eq!(reference, t, "threads={threads} diverged");
+    }
+    let again = g.generate_par(first, 600, w.world.catalog(), 23, 4);
+    assert_eq!(reference, again, "repeat run diverged");
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "cloudgen-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn midrun_checkpoint_resume_matches_straight_run_across_thread_counts() {
+    let w = build_world();
+    let layout = 2;
+    let cfg = tiny_cfg();
+
+    // Reference: a straight single-worker run, checkpointing to disk.
+    let dir_a = tmp_dir("straight");
+    let rcfg_a = ResilienceConfig {
+        checkpoint_dir: Some(dir_a.clone()),
+        ..ResilienceConfig::default()
+    };
+    let straight = fit_flavor_resilient_par(
+        &w.stream,
+        &w.space,
+        cfg,
+        Parallelism::with_threads(1, layout),
+        &rcfg_a,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect("straight run");
+
+    // Interrupted: 4 workers, killed mid-epoch-2, resumed with 4 workers.
+    let dir_b = tmp_dir("resumed");
+    let rcfg_b = ResilienceConfig {
+        checkpoint_dir: Some(dir_b.clone()),
+        ..ResilienceConfig::default()
+    };
+    let par4 = Parallelism::with_threads(4, layout);
+    let mut plan = FaultPlan::none().kill("flavor", 2, 1);
+    let err = fit_flavor_resilient_par(
+        &w.stream,
+        &w.space,
+        cfg,
+        par4,
+        &rcfg_b,
+        &mut plan,
+        &NullRecorder,
+    )
+    .expect_err("the injected kill must stop the run");
+    assert!(matches!(err, ResilienceError::Killed { .. }), "{err}");
+
+    let resumed = fit_flavor_resilient_par(
+        &w.stream,
+        &w.space,
+        cfg,
+        par4,
+        &rcfg_b,
+        &mut FaultPlan::none(),
+        &NullRecorder,
+    )
+    .expect("resume");
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_eq!(
+        straight.losses, resumed.losses,
+        "kill/resume at a different worker count changed the trajectory"
+    );
+    assert_eq!(
+        serde_json::to_string(&straight.model).unwrap(),
+        serde_json::to_string(&resumed.model).unwrap(),
+        "final weights must be byte-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
