@@ -438,6 +438,7 @@ impl FlavorTrainer {
                 if slot >= shard_ms.len() {
                     shard_ms.push(0.0);
                 }
+                // lint:allow(unordered-reduce): per-slot wall-clock telemetry, accumulated in slot order; never feeds the numeric result
                 shard_ms[slot] += wall;
             }
             epoch_loss += mb_loss;

@@ -738,11 +738,11 @@ impl DayStats {
 /// uniform random offset.
 pub fn spread_intra_period(trace: &Trace, rng: &mut impl Rng) -> Trace {
     // Count arrivals per period to space them evenly.
-    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for j in &trace.jobs {
         *counts.entry(j.start / PERIOD_SECS).or_insert(0) += 1;
     }
-    let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut seen: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     let jobs: Vec<Job> = trace
         .jobs
         .iter()

@@ -372,6 +372,20 @@ impl LifetimeTrainer {
         }
     }
 
+    /// Loss-normalizer of one minibatch: the integer total of
+    /// [`Self::loss_terms`] over every sequence position of every chunk.
+    /// Computed on the main thread before any fan-out, so the shard count
+    /// cannot touch it.
+    fn minibatch_loss_terms(&self, stream: &TokenStream, mb: &[usize], l: usize) -> usize {
+        mb.iter()
+            .map(|&start| {
+                (0..l)
+                    .map(|t| self.loss_terms(stream, start + t))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
     /// Mean loss per completed epoch.
     pub fn losses(&self) -> &[f64] {
         &self.train_losses
@@ -415,14 +429,7 @@ impl LifetimeTrainer {
             // The loss normalizer is a function of the targets alone
             // (mask widths / row counts), so it is known before any
             // forward pass and each shard can scale its own dlogits.
-            let mb_count: usize = mb
-                .iter()
-                .map(|&start| {
-                    (0..l)
-                        .map(|t| self.loss_terms(stream, start + t))
-                        .sum::<usize>()
-                })
-                .sum();
+            let mb_count = self.minibatch_loss_terms(stream, mb, l);
             let scale = 1.0 / mb_count.max(1) as f64;
             let shards = self.par.shards(mb.len());
             let net = &self.net;
@@ -498,6 +505,7 @@ impl LifetimeTrainer {
                 if slot >= shard_ms.len() {
                     shard_ms.push(0.0);
                 }
+                // lint:allow(unordered-reduce): per-slot wall-clock telemetry, accumulated in slot order; never feeds the numeric result
                 shard_ms[slot] += wall;
             }
             epoch_loss += mb_loss;

@@ -45,7 +45,7 @@ pub fn period_token_stream(
 ) -> Vec<PeriodToken> {
     let k = trace.catalog.len();
     let periods = organize_periods(trace);
-    let mut by_period = std::collections::HashMap::new();
+    let mut by_period = std::collections::BTreeMap::new();
     for p in &periods {
         by_period.insert(p.period, p);
     }

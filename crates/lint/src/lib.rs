@@ -5,8 +5,10 @@
 //! seed, library code that degrades into typed errors instead of panics,
 //! numerics that survive NaN/rounding — are properties `cargo test` cannot
 //! enforce by itself. This crate enforces them at the source level with a
-//! hand-rolled, comment/string-aware Rust lexer ([`lexer`]) and a small set
-//! of token-pattern rules ([`rules`]); [`scan`] decides which rules apply
+//! hand-rolled, comment/string-aware Rust lexer ([`lexer`]), a brace-matched
+//! item/block tree built over the token stream ([`tree`]: function and impl
+//! boundaries, `#[cfg(test)]` scopes, flattened use-paths), and a set of
+//! syntax-aware rules ([`rules`]); [`scan`] decides which rules apply
 //! where, and [`report`] renders text or JSON for humans and CI.
 //!
 //! The linter is deliberately dependency-free (it links only `obsv`, for
@@ -15,8 +17,10 @@
 //! `scripts/check.sh`.
 //!
 //! Suppressions are inline and auditable: `// lint:allow(rule-id): reason`
-//! silences the named rules on its own line and the next, and an allow
-//! without a reason is itself a violation.
+//! silences the named rules on its own line and the next, an allow
+//! without a reason is itself a violation, and an allow that no longer
+//! suppresses anything is flagged as `stale-allow` so the annotation log
+//! cannot rot.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +28,7 @@ pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod tree;
 
 pub use report::{render_json, render_text, rule_counts};
 pub use rules::{Violation, RULES};

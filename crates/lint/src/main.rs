@@ -4,7 +4,9 @@
 //! cloudgen-lint [--root PATH] [--json] [--telemetry FILE]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+//! Exit codes: 0 = clean, 1 = violations found (including `stale-allow`
+//! audit findings — a rotted suppression fails the build like any other
+//! violation), 2 = usage/IO error.
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +25,9 @@ struct Args {
 
 const USAGE: &str = "usage: cloudgen-lint [--root PATH] [--json] [--telemetry FILE]\n\
 \n\
-Scans the workspace's .rs files for determinism, panic-freedom, and numeric\n\
-hygiene violations. Exits 0 when clean, 1 on violations, 2 on usage errors.\n\
+Scans the workspace's .rs files for determinism, concurrency, panic-freedom,\n\
+and numeric hygiene violations. Exits 0 when clean, 1 on violations (stale\n\
+lint:allow annotations included), 2 on usage errors.\n\
 \n\
   --root PATH        workspace root to scan (default: current directory)\n\
   --json             emit the report as JSON instead of text\n\

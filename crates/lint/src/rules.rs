@@ -1,24 +1,35 @@
 //! The lint rules.
 //!
 //! Every rule is a pattern over the token stream produced by
-//! [`crate::lexer`]; none of them parse Rust properly, and each one's
-//! documentation states the approximation it makes. The rules encode the
-//! reproduction's numerics policy:
+//! [`crate::lexer`] — R7–R11 additionally consult the item/block tree from
+//! [`crate::tree`] to reason about *where* a pattern occurs (enclosing
+//! function, impl block, `#[cfg(test)]` scope, `use` imports). None of them
+//! parse Rust properly, and each one's documentation states the
+//! approximation it makes. The rules encode the reproduction's numerics and
+//! determinism policy:
 //!
 //! | id | scope | requirement |
 //! |----|-------|-------------|
 //! | `ambient-rng` (R1) | library crates, non-test | no `thread_rng()`, `SystemTime::now()`, `rand::random()`, or `from_entropy()`; randomness and wall-clock time must flow in from explicit seeds/arguments |
-//! | `no-panic` (R2) | library crates, non-test | no `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!` |
+//! | `no-panic` (R2) | library crates, non-test | no `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!`, `unreachable!` |
 //! | `float-eq` (R3) | all crates, non-test | no `==`/`!=` with a float literal (or `NAN`/`INFINITY` constant) operand |
 //! | `lossy-cast` (R4) | library crates, non-test | no `<float literal> as <int>` and no `.floor()/.ceil()/.round()/.trunc() as <int>` without an annotation |
 //! | `forbid-unsafe` (R5) | every crate root | `#![forbid(unsafe_code)]` present |
 //! | `fallible-entry` (R6) | `nn`, `glm`, `survival`, `resilience`, non-test | `pub fn fit*/train*/solve*/factor*/checkpoint*/resume*` returns a `Result` |
+//! | `unordered-iter` (R7) | `core`, `nn`, `glm`, `survival`, `sched`, `synth`, non-test | no `HashMap`/`HashSet`: hash containers iterate in nondeterministic order, which forks the trajectory the moment anyone loops over one; use `BTreeMap`/`BTreeSet` or annotate why the container is never iterated |
+//! | `raw-spawn` (R8) | library crates except `linalg::pool`, non-test | no `std::thread::spawn` / `scope.spawn`: all parallelism goes through `linalg::WorkerPool`, whose item-index-ordered results are the determinism contract |
+//! | `unordered-reduce` (R9) | library crates, non-test, inside `WorkerPool`-using functions | no `+=` into indexed/field state and no `.sum()` when merging shard results; gradient merging goes through `GradAccum`/`tree_reduce`, other merges must annotate their fixed order |
+//! | `shared-mut-numeric` (R10) | numeric crates except `linalg::pool`, non-test | no `Mutex`/`RwLock`/`Condvar`/atomics: the numeric result path is single-writer by construction; shared mutable state reintroduces scheduling order |
+//! | `ambient-parallelism` (R11) | library crates, non-test | no `available_parallelism()`: thread counts are explicit configuration (throughput knob), never ambient machine state |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
-//! or the preceding line (see [`crate::scan`]).
+//! or the preceding line (see [`crate::scan`]); a suppression that no longer
+//! matches any violation is itself reported (`stale-allow`), so the
+//! allow-list stays an accurate invariant log.
 
 use crate::lexer::{Tok, TokKind};
 use crate::scan::{FileClass, FileCtx};
+use crate::tree::NodeKind;
 
 /// A single rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,8 +65,32 @@ pub const RULES: &[(&str, &str)] = &[
         "fallible numeric entry point does not return Result (R6)",
     ),
     (
+        "unordered-iter",
+        "hash-ordered container in a deterministic crate (R7)",
+    ),
+    (
+        "raw-spawn",
+        "thread spawn outside linalg::pool (R8)",
+    ),
+    (
+        "unordered-reduce",
+        "accumulation into shared state while merging shard results (R9)",
+    ),
+    (
+        "shared-mut-numeric",
+        "lock or atomic on the numeric result path (R10)",
+    ),
+    (
+        "ambient-parallelism",
+        "ambient thread-count query in library code (R11)",
+    ),
+    (
         "allow-missing-reason",
         "lint:allow suppression without a reason string",
+    ),
+    (
+        "stale-allow",
+        "lint:allow suppression that no longer matches any violation",
     ),
 ];
 
@@ -76,6 +111,25 @@ const RESULT_ENTRY_CRATES: &[&str] = &["nn", "glm", "survival", "resilience"];
 /// `checkpoint`/`resume` cover the fault-tolerance surface: both touch the
 /// filesystem and partially-written state, so they can always fail.
 const FALLIBLE_PREFIXES: &[&str] = &["fit", "train", "solve", "factor", "checkpoint", "resume"];
+
+/// Crates whose outputs are part of the bit-for-bit reproducibility
+/// contract (the shard layout is a numeric contract; any nondeterministic
+/// iteration order silently forks the trajectory). R7 bans hash-ordered
+/// containers here outright.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "nn", "glm", "survival", "sched", "synth"];
+
+/// Crates on the numeric result path for R10. Everything in
+/// [`DETERMINISTIC_CRATES`] plus the kernel and fault-tolerance layers;
+/// `obsv` is deliberately excluded (telemetry sinks are allowed to lock —
+/// they never feed numbers back into results).
+const NUMERIC_SYNC_CRATES: &[&str] = &[
+    "core", "nn", "glm", "survival", "sched", "synth", "linalg", "resilience",
+];
+
+/// The one file allowed to spawn threads and own synchronization
+/// primitives: the deterministic worker pool, whose item-index-ordered
+/// results are the workspace's entire concurrency surface.
+const POOL_PATH: &str = "crates/linalg/src/pool.rs";
 
 fn ident(t: &Tok, text: &str) -> bool {
     t.kind == TokKind::Ident && t.text == text
@@ -141,10 +195,12 @@ pub fn ambient_rng(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
-/// R2: `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` in
-/// non-test library code. Method matches require a preceding `.` so local
-/// functions named `unwrap` (there are none) would not be flagged, and a
-/// following `(` so fields/paths are ignored.
+/// R2: `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` /
+/// `unreachable!` in non-test library code. Method matches require a
+/// preceding `.` so local functions named `unwrap` (there are none) would
+/// not be flagged, and a following `(` so fields/paths are ignored.
+/// `unreachable!` is included because an "impossible" arm that panics is
+/// still a panic — the invariant making it impossible must be annotated.
 pub fn no_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
     if !matches!(ctx.class, FileClass::Lib { .. }) {
         return;
@@ -158,22 +214,29 @@ pub fn no_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
             && i > 0
             && punct(&toks[i - 1], ".")
             && matches!(toks.get(i + 1), Some(n) if punct(n, "("));
-        let macro_call = matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
-            && matches!(toks.get(i + 1), Some(n) if punct(n, "!"));
+        let macro_call = matches!(
+            t.text.as_str(),
+            "panic" | "todo" | "unimplemented" | "unreachable"
+        ) && matches!(toks.get(i + 1), Some(n) if punct(n, "!"));
         if method {
             out.push(violation(
                 "no-panic",
                 t,
                 format!(
-                    "`.{}()` panics; return a typed error or annotate the invariant",
-                    t.text
+                    "`.{}()`{} panics; return a typed error or annotate the invariant",
+                    t.text,
+                    in_fn(ctx, i)
                 ),
             ));
         } else if macro_call {
             out.push(violation(
                 "no-panic",
                 t,
-                format!("`{}!` in library code; return a typed error instead", t.text),
+                format!(
+                    "`{}!`{} in library code; return a typed error instead",
+                    t.text,
+                    in_fn(ctx, i)
+                ),
             ));
         }
     }
@@ -369,6 +432,233 @@ pub fn fallible_entry(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// Formats " in `fn name`" for a token, when the tree knows the enclosing
+/// function — so a violation message points at the item, not just a line.
+fn in_fn(ctx: &FileCtx, i: usize) -> String {
+    ctx.tree
+        .enclosing_fn(i)
+        .map(|f| format!(" in `fn {}`", f.name))
+        .unwrap_or_default()
+}
+
+/// R7: `HashMap` / `HashSet` anywhere in non-test code of the deterministic
+/// crates. Type-level approximation: the token stream cannot track what a
+/// binding's type is at an `.iter()`/`for` site, so the rule bans the
+/// container *mention* itself — declaration, import, or turbofish — which
+/// is exactly the set of places a hash container can enter the crate. A
+/// container that is provably never iterated keeps a `lint:allow` with the
+/// invariant; everything else moves to `BTreeMap`/`BTreeSet`.
+pub fn unordered_iter(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let FileClass::Lib { krate } = &ctx.class else {
+        return;
+    };
+    if !DETERMINISTIC_CRATES.contains(&krate.as_str()) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(violation(
+                "unordered-iter",
+                t,
+                format!(
+                    "`{}`{} iterates in nondeterministic hash order; use `BTree{}` or annotate \
+                     why it is never iterated",
+                    t.text,
+                    in_fn(ctx, i),
+                    &t.text[4..]
+                ),
+            ));
+        }
+    }
+}
+
+/// R8: thread spawns outside `linalg::pool`. Matches `spawn(` calls
+/// (`std::thread::spawn`, `scope.spawn`) and `use` imports whose path ends
+/// in `thread::spawn` (via the tree's use table, so an aliased import
+/// cannot hide the call site). Approximation: a local function named
+/// `spawn` would be flagged too — name it something else or annotate.
+pub fn raw_spawn(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) || ctx.path == POOL_PATH {
+        return;
+    }
+    for u in &ctx.tree.uses {
+        if !u.cfg_test && u.path.ends_with("thread::spawn") {
+            out.push(Violation {
+                rule: "raw-spawn",
+                line: u.line,
+                col: 1,
+                message: format!(
+                    "importing `{}`; all parallelism goes through `linalg::WorkerPool`",
+                    u.path
+                ),
+            });
+        }
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ident(t, "spawn") && matches!(toks.get(i + 1), Some(n) if punct(n, "(")) {
+            out.push(violation(
+                "raw-spawn",
+                t,
+                format!(
+                    "raw thread spawn{}; use `linalg::WorkerPool`, whose item-ordered results \
+                     keep the numeric result independent of scheduling",
+                    in_fn(ctx, i)
+                ),
+            ));
+        }
+    }
+}
+
+/// R9: inside a non-test function whose body uses `WorkerPool` (the only
+/// sanctioned fan-out), accumulating into *addressed* state — `x[i] += …`,
+/// `self.field += …` — or calling `.sum()` is flagged: those are the shapes
+/// by which shard results get merged, and merge order is part of the
+/// numeric result. Gradient merging is exempt where it is sanctioned
+/// (`impl GradAccum` methods and `fn tree_reduce`); plain-local `+=`
+/// (`acc += x` on a bare identifier) is allowed because the pool returns
+/// results in item order, so a local fold over them is already fixed-order.
+pub fn unordered_reduce(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) || ctx.path == POOL_PATH {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (_, node) in ctx.tree.fn_nodes() {
+        if node.cfg_test || node.name == "tree_reduce" {
+            continue;
+        }
+        let Some((open, close)) = node.body else {
+            continue;
+        };
+        if ctx
+            .tree
+            .enclosing_impl(open)
+            .is_some_and(|im| im.name == "GradAccum")
+        {
+            continue;
+        }
+        // Header included: `fn run(pool: &WorkerPool)` fans out even when
+        // the body only says `pool.map`.
+        let parallel = toks[node.start..=close].iter().any(|t| ident(t, "WorkerPool"))
+            || toks[open..close].iter().enumerate().any(|(k, t)| {
+                ident(t, "spawn") && matches!(toks.get(open + k + 1), Some(n) if punct(n, "("))
+            });
+        if !parallel {
+            continue;
+        }
+        for j in open..=close {
+            if ctx.in_test[j] {
+                continue;
+            }
+            // Tokens of a nested fn are that fn's own responsibility.
+            if ctx.tree.enclosing(j, NodeKind::Fn).map(|f| f.start) != Some(node.start) {
+                continue;
+            }
+            let t = &toks[j];
+            if punct(t, "+=") && j >= 1 {
+                let prev = &toks[j - 1];
+                let addressed = punct(prev, "]")
+                    || (prev.kind == TokKind::Ident
+                        && j >= 2
+                        && punct(&toks[j - 2], "."));
+                if addressed {
+                    out.push(violation(
+                        "unordered-reduce",
+                        t,
+                        format!(
+                            "`+=` into addressed state in parallel `fn {}`; merge through \
+                             `GradAccum`/`tree_reduce` or annotate the fixed merge order",
+                            node.name
+                        ),
+                    ));
+                }
+            } else if ident(t, "sum")
+                && j >= 1
+                && punct(&toks[j - 1], ".")
+                && matches!(toks.get(j + 1), Some(n) if punct(n, "(") || punct(n, "::"))
+            {
+                out.push(violation(
+                    "unordered-reduce",
+                    t,
+                    format!(
+                        "`.sum()` in parallel `fn {}`; float summation order is part of the \
+                         numeric result — reduce in fixed order or annotate why this sum is \
+                         order-free",
+                        node.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R10: `Mutex` / `RwLock` / `Condvar` / `Atomic*` mentions in non-test
+/// code of the numeric crates (outside `linalg::pool`). The data-parallel
+/// design is share-nothing: shards own their state, results are merged in
+/// fixed order, so a lock or atomic on the result path is either dead
+/// weight or a scheduling-order leak. Telemetry (`obsv`) is out of scope —
+/// its sinks may lock because they never feed numbers back.
+pub fn shared_mut_numeric(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let FileClass::Lib { krate } = &ctx.class else {
+        return;
+    };
+    if !NUMERIC_SYNC_CRATES.contains(&krate.as_str()) || ctx.path == POOL_PATH {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let sync_primitive = matches!(t.text.as_str(), "Mutex" | "RwLock" | "Condvar")
+            || (t.text.starts_with("Atomic") && t.text.len() > "Atomic".len());
+        if sync_primitive {
+            out.push(violation(
+                "shared-mut-numeric",
+                t,
+                format!(
+                    "`{}`{} on the numeric result path; shards are share-nothing and merged in \
+                     fixed order — move the shared state out or annotate why it cannot affect \
+                     results",
+                    t.text,
+                    in_fn(ctx, i)
+                ),
+            ));
+        }
+    }
+}
+
+/// R11: `available_parallelism` in non-test library code. The thread count
+/// is a throughput knob that callers pass in explicitly; reading it from
+/// the machine inside a library couples behaviour (and, if it ever leaks
+/// into a shard layout, results) to the host. Tool crates may query it.
+pub fn ambient_parallelism(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !matches!(ctx.class, FileClass::Lib { .. }) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ident(t, "available_parallelism") {
+            out.push(violation(
+                "ambient-parallelism",
+                t,
+                format!(
+                    "`available_parallelism()`{} reads ambient machine state; take the thread \
+                     count as an argument",
+                    in_fn(ctx, i)
+                ),
+            ));
+        }
+    }
+}
+
 /// Runs every rule against one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -378,5 +668,10 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     lossy_cast(ctx, &mut out);
     forbid_unsafe(ctx, &mut out);
     fallible_entry(ctx, &mut out);
+    unordered_iter(ctx, &mut out);
+    raw_spawn(ctx, &mut out);
+    unordered_reduce(ctx, &mut out);
+    shared_mut_numeric(ctx, &mut out);
+    ambient_parallelism(ctx, &mut out);
     out
 }

@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{self, Allow, Tok, TokKind};
 use crate::rules::{self, Violation};
+use crate::tree::{self, ItemTree};
 
 /// Crates under `crates/` that are command-line tools rather than library
 /// code: R1/R2/R4 do not apply to them (a CLI may panic on bad input and
@@ -61,6 +62,8 @@ pub struct FileCtx {
     /// Parallel to `toks`: true when the token sits inside a
     /// `#[cfg(test)]`-gated region or the whole file is test code.
     pub in_test: Vec<bool>,
+    /// Brace-matched item/block tree over `toks` (see [`crate::tree`]).
+    pub tree: ItemTree,
     /// Suppression comments.
     pub allows: Vec<Allow>,
 }
@@ -217,12 +220,14 @@ pub fn build_ctx(path: String, class: FileClass, src: &str) -> FileCtx {
         test_regions(&toks)
     };
     let is_root = is_crate_root(&path);
+    let tree = tree::build(&toks, &in_test);
     FileCtx {
         path,
         class,
         is_crate_root: is_root,
         toks,
         in_test,
+        tree,
         allows,
     }
 }
@@ -230,23 +235,32 @@ pub fn build_ctx(path: String, class: FileClass, src: &str) -> FileCtx {
 /// Applies `lint:allow` suppressions to raw violations. A suppression
 /// covers its own line and the following line for the rules it names; a
 /// suppression without a reason does not suppress anything and instead
-/// yields an `allow-missing-reason` violation.
+/// yields an `allow-missing-reason` violation. A suppression that names no
+/// violation at all — nothing fires on its two lines for the rules it
+/// lists — has rotted and yields a `stale-allow` violation, so the
+/// allow-list stays an accurate invariant log as the code moves under it.
 pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usize) {
     let mut out = Vec::new();
     let mut suppressed = 0usize;
+    let mut used = vec![false; ctx.allows.len()];
     for v in raw {
-        let covered = ctx.allows.iter().any(|a| {
-            !a.reason.is_empty()
+        let mut covered = false;
+        for (a, hit) in ctx.allows.iter().zip(used.iter_mut()) {
+            if !a.reason.is_empty()
                 && (a.line == v.line || a.line + 1 == v.line)
                 && a.rules.iter().any(|r| r == v.rule)
-        });
+            {
+                covered = true;
+                *hit = true;
+            }
+        }
         if covered {
             suppressed += 1;
         } else {
             out.push(v);
         }
     }
-    for a in &ctx.allows {
+    for (a, hit) in ctx.allows.iter().zip(used.iter()) {
         if a.reason.is_empty() {
             out.push(Violation {
                 rule: "allow-missing-reason",
@@ -254,6 +268,17 @@ pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usiz
                 col: 1,
                 message: "lint:allow must carry a reason: `// lint:allow(rule): why this is sound`"
                     .to_string(),
+            });
+        } else if !*hit {
+            out.push(Violation {
+                rule: "stale-allow",
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "lint:allow({}) suppresses nothing; the code it covered has moved or been \
+                     fixed — delete the annotation or re-anchor it to the violating line",
+                    a.rules.join(", ")
+                ),
             });
         }
     }
@@ -546,6 +571,158 @@ mod tests {
         // `resumed`/`checkpoints` (plain words sharing letters, not the
         // `prefix_` shape) are not entry points.
         let (v, _) = src("pub fn resumed_epochs(s: &State) -> usize { 0 }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn stale_allow_flagged_when_nothing_fires() {
+        let src = "fn f(x: Option<u8>) -> Option<u8> {\n    // lint:allow(no-panic): was an unwrap, since refactored away\n    x\n}\n";
+        let (v, suppressed) = lib(src);
+        assert_eq!(suppressed, 0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stale-allow");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic): invariant, len checked above\n    x.unwrap()\n}\n";
+        let (v, suppressed) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unreachable_flagged_as_no_panic() {
+        let (v, _) = lib("fn f(x: u8) -> u8 { match x { 0 => 1, _ => unreachable!() } }");
+        assert!(v.iter().any(|v| v.rule == "no-panic"), "{v:?}");
+    }
+
+    #[test]
+    fn unordered_iter_in_deterministic_crate() {
+        let (v, _) = lib("use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }");
+        assert!(v.iter().all(|v| v.rule == "unordered-iter"), "{v:?}");
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn unordered_iter_ok_in_test_mod_and_other_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::<u8, u8>::new(); }\n}\n";
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+        // `trace` is not a deterministic-output crate.
+        let (v, _) = scan_source(
+            "crates/trace/src/x.rs".to_string(),
+            FileClass::Lib {
+                krate: "trace".to_string(),
+            },
+            "use std::collections::HashMap;\nfn f() -> HashMap<u8, u8> { HashMap::new() }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_spawn_flagged_including_aliased_import() {
+        let (v, _) = lib("fn f() { std::thread::spawn(|| {}); }");
+        assert!(v.iter().any(|v| v.rule == "raw-spawn"), "{v:?}");
+        let (v, _) = lib("use std::thread::spawn as go;\nfn f() { go(|| {}); }");
+        assert!(v.iter().any(|v| v.rule == "raw-spawn"), "{v:?}");
+    }
+
+    #[test]
+    fn raw_spawn_exempt_in_pool() {
+        let (v, _) = scan_source(
+            "crates/linalg/src/pool.rs".to_string(),
+            FileClass::Lib {
+                krate: "linalg".to_string(),
+            },
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unordered_reduce_flags_indexed_accum_in_parallel_fn() {
+        let src = r#"
+            fn run(pool: &WorkerPool, out: &mut [f64]) {
+                let results = pool.map(&[1], |_, _| 1.0);
+                for (i, r) in results.into_iter().enumerate() {
+                    out[i] += r;
+                }
+            }
+        "#;
+        let (v, _) = lib(src);
+        assert!(v.iter().any(|v| v.rule == "unordered-reduce"), "{v:?}");
+    }
+
+    #[test]
+    fn unordered_reduce_ignores_sequential_fn_and_bare_local() {
+        // No WorkerPool/spawn in the body: indexed += and .sum() are fine.
+        let src = "fn f(xs: &[f64], out: &mut [f64]) { out[0] += xs.iter().sum::<f64>(); }";
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+        // Bare-local += in a parallel fn is fine (pool results are ordered).
+        let src = r#"
+            fn run(pool: &WorkerPool) -> f64 {
+                let results = pool.map(&[1], |_, _| 1.0);
+                let mut acc = 0.0;
+                for r in results { acc += r; }
+                acc
+            }
+        "#;
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unordered_reduce_exempts_grad_accum_and_tree_reduce() {
+        let src = r#"
+            impl GradAccum {
+                fn merge_from(&mut self, other: &GradAccum, pool: &WorkerPool) {
+                    self.count += other.count;
+                }
+            }
+            fn tree_reduce(mut accs: Vec<f64>, pool: &WorkerPool) -> f64 {
+                accs.iter().sum()
+            }
+        "#;
+        let (v, _) = scan_source(
+            "crates/nn/src/accum.rs".to_string(),
+            FileClass::Lib {
+                krate: "nn".to_string(),
+            },
+            src,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn shared_mut_numeric_flagged_outside_pool() {
+        let (v, _) = lib("use std::sync::Mutex;\nfn f() { let m = Mutex::new(0.0); }");
+        assert!(v.iter().any(|v| v.rule == "shared-mut-numeric"), "{v:?}");
+        let (v, _) = lib("use std::sync::atomic::AtomicU64;\nfn f() { let a = AtomicU64::new(0); }");
+        assert!(v.iter().any(|v| v.rule == "shared-mut-numeric"), "{v:?}");
+        let (v, _) = scan_source(
+            "crates/linalg/src/pool.rs".to_string(),
+            FileClass::Lib {
+                krate: "linalg".to_string(),
+            },
+            "use std::sync::atomic::AtomicUsize;\nfn f() { let c = AtomicUsize::new(0); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_parallelism_flagged_in_lib_only() {
+        let (v, _) = lib("fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }");
+        assert!(v.iter().any(|v| v.rule == "ambient-parallelism"), "{v:?}");
+        let (v, _) = scan_source(
+            "crates/bench/src/x.rs".to_string(),
+            FileClass::Bin {
+                krate: "bench".to_string(),
+            },
+            "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }",
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -1,0 +1,647 @@
+//! A brace-matched item/block tree over the lexer's token stream.
+//!
+//! The token-stream rules of PR 2 could ask "did this identifier appear?"
+//! but not "*where* did it appear?". The determinism and concurrency rules
+//! need the *where*: `+=` is fine in a sequential helper but suspect inside
+//! a function that fans work out to a `WorkerPool`; `spawn` is legal in
+//! `linalg::pool` and nowhere else; a `HashMap` in a `#[cfg(test)]` module
+//! is harmless. This module builds just enough structure to answer those
+//! questions without parsing Rust properly:
+//!
+//! * **Item nodes** for `fn`, `impl`, `mod`, and `trait` items, each with
+//!   its name, the token range of its body (found by brace matching), and
+//!   its parent — so a rule can ask for the enclosing function or impl of
+//!   any token.
+//! * **Use-path table**: every `use` declaration is flattened into
+//!   `(binding name, full path)` pairs (groups, globs, and `as` renames
+//!   handled), so rules can see that `spawn` means `std::thread::spawn`
+//!   even when the call site never mentions `thread`.
+//! * **`#[cfg(test)]` flags** on nodes, taken from the same test-region
+//!   mask the scanner uses, so tree queries and rule scoping agree.
+//!
+//! Approximations (deliberate, documented): the tree does not understand
+//! macros (tokens inside `macro_rules!` bodies are treated as ordinary
+//! code), generics are skipped only far enough to find an `impl`'s self
+//! type, and closures/blocks are anonymous — they belong to the innermost
+//! named item. Char literals containing braces, raw strings, and nested
+//! block comments are already opaque at the lexer level, so brace matching
+//! here is exact for well-formed source.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a [`Node`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A `fn` item (free, inherent, trait-provided, or trait-declared).
+    Fn,
+    /// An `impl` block; [`Node::name`] is the self type's head identifier.
+    Impl,
+    /// A `mod` with an inline body (`mod name;` declarations carry no
+    /// tokens worth scoping).
+    Mod,
+    /// A `trait` definition.
+    Trait,
+}
+
+/// One item in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Item kind.
+    pub kind: NodeKind,
+    /// Item name: function/mod/trait identifier, or the impl self type's
+    /// head identifier (`PlacementCache` for `impl PlacementCache`, `Mat`
+    /// for `impl Display for Mat`).
+    pub name: String,
+    /// Token index of the introducing keyword.
+    pub start: usize,
+    /// Token indices of the body's `{` and its matching `}`, when the item
+    /// has a body (`None` for `fn f();` trait declarations).
+    pub body: Option<(usize, usize)>,
+    /// One past the item's last token.
+    pub end: usize,
+    /// Index of the enclosing node, if any.
+    pub parent: Option<usize>,
+    /// True when the item sits inside `#[cfg(test)]`-gated code.
+    pub cfg_test: bool,
+}
+
+/// One name a `use` declaration brings into scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The binding name visible in this file (the leaf segment, the `as`
+    /// alias, or `*` for a glob).
+    pub name: String,
+    /// The full `::`-joined path (`std::collections::HashMap`).
+    pub path: String,
+    /// 1-based source line of the leaf segment.
+    pub line: u32,
+    /// True when the `use` sits inside `#[cfg(test)]`-gated code.
+    pub cfg_test: bool,
+}
+
+/// The item tree plus side tables for one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Items in source order (parents precede children).
+    pub nodes: Vec<Node>,
+    /// Flattened `use` table in source order.
+    pub uses: Vec<UseImport>,
+    /// Parallel to the token stream: the innermost enclosing node of each
+    /// token, if any.
+    owner: Vec<Option<usize>>,
+}
+
+impl ItemTree {
+    /// The innermost node containing token `tok`, if any.
+    pub fn owner_of(&self, tok: usize) -> Option<usize> {
+        self.owner.get(tok).copied().flatten()
+    }
+
+    /// The nearest enclosing node of the given kind, walking parents.
+    pub fn enclosing(&self, tok: usize, kind: NodeKind) -> Option<&Node> {
+        let mut cur = self.owner_of(tok);
+        while let Some(i) = cur {
+            let node = &self.nodes[i];
+            if node.kind == kind {
+                return Some(node);
+            }
+            cur = node.parent;
+        }
+        None
+    }
+
+    /// The function containing token `tok`, if any.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&Node> {
+        self.enclosing(tok, NodeKind::Fn)
+    }
+
+    /// The impl block containing token `tok`, if any.
+    pub fn enclosing_impl(&self, tok: usize) -> Option<&Node> {
+        self.enclosing(tok, NodeKind::Impl)
+    }
+
+    /// The full path a binding name resolves to via the file's `use`
+    /// table, if it was imported.
+    pub fn resolve_import(&self, name: &str) -> Option<&str> {
+        self.uses
+            .iter()
+            .find(|u| u.name == name)
+            .map(|u| u.path.as_str())
+    }
+
+    /// Token ranges `(start, end)` of every `Fn` node, innermost-last, for
+    /// rules that iterate function bodies directly.
+    pub fn fn_nodes(&self) -> impl Iterator<Item = (usize, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Fn)
+    }
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+/// True when a `use`/`impl` keyword at `i` sits at item position rather
+/// than inside a type or expression: preceded by nothing, a block/item
+/// boundary, or an attribute close.
+fn at_item_position(toks: &[Tok], i: usize) -> bool {
+    match i.checked_sub(1).map(|j| &toks[j]) {
+        None => true,
+        Some(p) => {
+            (p.kind == TokKind::Punct && matches!(p.text.as_str(), "{" | "}" | ";" | "]"))
+                || ident(p, "pub")
+                || punct(p, ")") // `pub(crate) use ...`
+        }
+    }
+}
+
+/// Finds the self-type head identifier of an `impl` whose keyword is at
+/// `i`: skip one balanced `<...>` generics group if present, then — if a
+/// top-level `for` appears before the body — the first identifier after it,
+/// else the first identifier after the generics.
+fn impl_name(toks: &[Tok], i: usize) -> String {
+    let mut j = i + 1;
+    // Skip `<...>` generic parameters directly after `impl`.
+    if toks.get(j).is_some_and(|t| punct(t, "<")) {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if punct(t, "<") {
+                depth += 1;
+            } else if punct(t, ">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect the header up to the body; remember the first ident overall
+    // and the first ident after a top-level `for`.
+    let mut first = None;
+    let mut after_for = None;
+    let mut saw_for = false;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if punct(t, "{") || punct(t, ";") {
+            break;
+        }
+        if punct(t, "<") {
+            angle += 1;
+        } else if punct(t, ">") {
+            angle -= 1;
+        } else if ident(t, "for") && angle == 0 {
+            saw_for = true;
+        } else if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "where") {
+            if saw_for && after_for.is_none() && angle == 0 {
+                after_for = Some(t.text.clone());
+            }
+            if first.is_none() {
+                first = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    after_for.or(first).unwrap_or_default()
+}
+
+/// Flattens one `use` declaration starting at the `use` keyword. Returns
+/// the imports and the index one past the terminating `;`.
+fn parse_use(toks: &[Tok], i: usize, out: &mut Vec<UseImport>) -> usize {
+    // Recursive-descent over `seg (:: seg)* (:: {group} | :: *)? (as x)?`.
+    fn tree(toks: &[Tok], mut j: usize, prefix: &str, out: &mut Vec<UseImport>) -> usize {
+        let mut segs: Vec<String> = Vec::new();
+        let mut leaf_line = 0u32;
+        loop {
+            match toks.get(j) {
+                Some(t) if t.kind == TokKind::Ident => {
+                    segs.push(t.text.clone());
+                    leaf_line = t.line;
+                    j += 1;
+                    if toks.get(j).is_some_and(|t| punct(t, "::")) {
+                        j += 1;
+                        continue;
+                    }
+                    break;
+                }
+                Some(t) if punct(t, "{") => {
+                    // Group: recurse per comma-separated subtree.
+                    let base = join(prefix, &segs);
+                    j += 1;
+                    loop {
+                        match toks.get(j) {
+                            Some(t) if punct(t, "}") => {
+                                j += 1;
+                                break;
+                            }
+                            Some(t) if punct(t, ",") => {
+                                j += 1;
+                            }
+                            Some(_) => {
+                                j = tree(toks, j, &base, out);
+                            }
+                            None => break,
+                        }
+                    }
+                    return j;
+                }
+                Some(t) if punct(t, "*") => {
+                    out.push(UseImport {
+                        name: "*".to_string(),
+                        path: format!("{}::*", join(prefix, &segs)),
+                        line: t.line,
+                        cfg_test: false, // patched by `build`
+                    });
+                    return j + 1;
+                }
+                _ => break,
+            }
+        }
+        if segs.is_empty() {
+            return j;
+        }
+        // `self` as a leaf imports the parent segment's name — which may
+        // live in the group prefix (`use crate::lexer::{self, Tok}`).
+        let mut name = segs.last().cloned().unwrap_or_default();
+        if name == "self" {
+            segs.pop();
+            name = match segs.last() {
+                Some(s) => s.clone(),
+                None => prefix.rsplit("::").next().unwrap_or("").to_string(),
+            };
+        }
+        // `as` rename.
+        if toks.get(j).is_some_and(|t| ident(t, "as")) {
+            if let Some(alias) = toks.get(j + 1) {
+                if alias.kind == TokKind::Ident {
+                    name = alias.text.clone();
+                    j += 2;
+                }
+            }
+        }
+        if !name.is_empty() {
+            out.push(UseImport {
+                name,
+                path: join(prefix, &segs),
+                line: leaf_line,
+                cfg_test: false, // patched by `build`
+            });
+        }
+        j
+    }
+
+    fn join(prefix: &str, segs: &[String]) -> String {
+        let tail = segs.join("::");
+        if prefix.is_empty() {
+            tail
+        } else if tail.is_empty() {
+            prefix.to_string()
+        } else {
+            format!("{prefix}::{tail}")
+        }
+    }
+
+    let mut j = tree(toks, i + 1, "", out);
+    // Consume through the terminating `;`.
+    while j < toks.len() {
+        let done = punct(&toks[j], ";");
+        j += 1;
+        if done {
+            break;
+        }
+    }
+    j
+}
+
+/// An item header recognized but not yet attached to a body.
+struct Pending {
+    kind: NodeKind,
+    name: String,
+    start: usize,
+}
+
+/// Builds the item tree for one token stream. `in_test` is the scanner's
+/// test-region mask (parallel to `toks`); nodes inherit their
+/// [`Node::cfg_test`] flag from it so tree queries agree with rule scoping.
+pub fn build(toks: &[Tok], in_test: &[bool]) -> ItemTree {
+    let mut tree = ItemTree {
+        nodes: Vec::new(),
+        uses: Vec::new(),
+        owner: vec![None; toks.len()],
+    };
+    // Stack of open braces: each entry is the node the brace opened, or
+    // `None` for anonymous blocks (closures, match arms, struct literals).
+    let mut stack: Vec<Option<usize>> = Vec::new();
+    let mut current: Option<usize> = None;
+    let mut pending: Option<Pending> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        tree.owner[i] = current;
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                // `fn` in type position (`fn(usize) -> f64`) is followed by
+                // `(`; a definition is followed by its name.
+                "fn" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                    pending = Some(Pending {
+                        kind: NodeKind::Fn,
+                        name: toks[i + 1].text.clone(),
+                        start: i,
+                    });
+                    tree.owner[i + 1] = current;
+                    i += 2;
+                    continue;
+                }
+                "mod" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                    pending = Some(Pending {
+                        kind: NodeKind::Mod,
+                        name: toks[i + 1].text.clone(),
+                        start: i,
+                    });
+                    tree.owner[i + 1] = current;
+                    i += 2;
+                    continue;
+                }
+                "trait" if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                    pending = Some(Pending {
+                        kind: NodeKind::Trait,
+                        name: toks[i + 1].text.clone(),
+                        start: i,
+                    });
+                    tree.owner[i + 1] = current;
+                    i += 2;
+                    continue;
+                }
+                // `impl` in type position (`-> impl Iterator`, `&impl Rng`)
+                // is preceded by an operator; an impl *block* sits at item
+                // position.
+                "impl" if at_item_position(toks, i) => {
+                    pending = Some(Pending {
+                        kind: NodeKind::Impl,
+                        name: impl_name(toks, i),
+                        start: i,
+                    });
+                    i += 1;
+                    continue;
+                }
+                "use" if at_item_position(toks, i) => {
+                    let before = tree.uses.len();
+                    let next = parse_use(toks, i, &mut tree.uses);
+                    let gated = in_test.get(i).copied().unwrap_or(false);
+                    for u in &mut tree.uses[before..] {
+                        u.cfg_test = gated;
+                    }
+                    for k in i..next.min(toks.len()) {
+                        tree.owner[k] = current;
+                    }
+                    i = next;
+                    continue;
+                }
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_str() {
+                "{" => {
+                    if let Some(p) = pending.take() {
+                        let idx = tree.nodes.len();
+                        tree.nodes.push(Node {
+                            kind: p.kind,
+                            name: p.name,
+                            start: p.start,
+                            body: Some((i, i)), // `}` patched on close
+                            end: i,             // patched on close
+                            parent: current,
+                            cfg_test: in_test.get(p.start).copied().unwrap_or(false),
+                        });
+                        // Header tokens belong to the new node too.
+                        for k in p.start..=i {
+                            tree.owner[k] = Some(idx);
+                        }
+                        stack.push(Some(idx));
+                        current = Some(idx);
+                    } else {
+                        stack.push(None);
+                    }
+                }
+                "}" => {
+                    if let Some(Some(idx)) = stack.pop() {
+                        tree.owner[i] = Some(idx);
+                        let node = &mut tree.nodes[idx];
+                        if let Some((open, _)) = node.body {
+                            node.body = Some((open, i));
+                        }
+                        node.end = i + 1;
+                        current = node.parent;
+                    }
+                }
+                ";" => {
+                    // Bodyless item: `fn f();` in a trait, `mod name;`.
+                    if let Some(p) = pending.take() {
+                        let idx = tree.nodes.len();
+                        tree.nodes.push(Node {
+                            kind: p.kind,
+                            name: p.name,
+                            start: p.start,
+                            body: None,
+                            end: i + 1,
+                            parent: current,
+                            cfg_test: in_test.get(p.start).copied().unwrap_or(false),
+                        });
+                        for k in p.start..=i {
+                            tree.owner[k] = Some(idx);
+                        }
+                        // A bodyless node encloses nothing further.
+                        let _ = idx;
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::test_regions;
+
+    fn tree_of(src: &str) -> (ItemTree, Vec<Tok>) {
+        let out = lex(src);
+        let mask = test_regions(&out.toks);
+        let tree = build(&out.toks, &mask);
+        (tree, out.toks)
+    }
+
+    fn node_names(tree: &ItemTree, kind: NodeKind) -> Vec<&str> {
+        tree.nodes
+            .iter()
+            .filter(|n| n.kind == kind)
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn fn_nodes_with_names_and_nesting() {
+        let src = r#"
+            fn outer() {
+                fn inner() { let x = 1; }
+                inner();
+            }
+            fn after() {}
+        "#;
+        let (tree, toks) = tree_of(src);
+        assert_eq!(node_names(&tree, NodeKind::Fn), vec!["outer", "inner", "after"]);
+        // The `let` token inside `inner` resolves to `inner`, whose parent
+        // is `outer`.
+        let let_idx = toks.iter().position(|t| t.text == "x").unwrap();
+        let f = tree.enclosing_fn(let_idx).unwrap();
+        assert_eq!(f.name, "inner");
+        assert_eq!(tree.nodes[tree.nodes[tree.owner_of(let_idx).unwrap()].parent.unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn impl_names_plain_generic_and_trait_for() {
+        let src = r#"
+            impl PlacementCache { fn a(&self) {} }
+            impl<T: Clone> Wrapper<T> { fn b(&self) {} }
+            impl std::fmt::Display for Mat { fn fmt(&self) {} }
+        "#;
+        let (tree, _) = tree_of(src);
+        assert_eq!(
+            node_names(&tree, NodeKind::Impl),
+            vec!["PlacementCache", "Wrapper", "Mat"]
+        );
+    }
+
+    #[test]
+    fn enclosing_impl_of_method_body_token() {
+        let src = "impl GradAccum { fn merge_from(&mut self) { let y = 2; } }";
+        let (tree, toks) = tree_of(src);
+        let y = toks.iter().position(|t| t.text == "y").unwrap();
+        assert_eq!(tree.enclosing_impl(y).unwrap().name, "GradAccum");
+        assert_eq!(tree.enclosing_fn(y).unwrap().name, "merge_from");
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_a_node() {
+        let src = "fn make(rng: &mut impl Rng) -> impl Iterator<Item = u8> { std::iter::empty() }";
+        let (tree, _) = tree_of(src);
+        assert!(node_names(&tree, NodeKind::Impl).is_empty());
+        assert_eq!(node_names(&tree, NodeKind::Fn), vec!["make"]);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_node() {
+        let src = "fn apply(f: fn(usize) -> f64) -> f64 { f(1) }";
+        let (tree, _) = tree_of(src);
+        assert_eq!(node_names(&tree, NodeKind::Fn), vec!["apply"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_detection() {
+        let src = r#"
+            fn lib_code() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+        "#;
+        let (tree, _) = tree_of(src);
+        let tests_mod = tree
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Mod && n.name == "tests")
+            .unwrap();
+        assert!(tests_mod.cfg_test);
+        let helper = tree.nodes.iter().find(|n| n.name == "helper").unwrap();
+        assert!(helper.cfg_test);
+        let lib = tree.nodes.iter().find(|n| n.name == "lib_code").unwrap();
+        assert!(!lib.cfg_test);
+    }
+
+    #[test]
+    fn use_paths_flatten_groups_globs_and_renames() {
+        let src = r#"
+            use std::collections::HashMap;
+            use std::{thread, sync::{Mutex, atomic::AtomicUsize}};
+            use std::collections::HashSet as Set;
+            use rand::prelude::*;
+            use crate::lexer::{self, Tok};
+        "#;
+        let (tree, _) = tree_of(src);
+        let find = |name: &str| tree.resolve_import(name).map(str::to_string);
+        assert_eq!(find("HashMap").as_deref(), Some("std::collections::HashMap"));
+        assert_eq!(find("thread").as_deref(), Some("std::thread"));
+        assert_eq!(find("Mutex").as_deref(), Some("std::sync::Mutex"));
+        assert_eq!(
+            find("AtomicUsize").as_deref(),
+            Some("std::sync::atomic::AtomicUsize")
+        );
+        assert_eq!(find("Set").as_deref(), Some("std::collections::HashSet"));
+        assert_eq!(find("lexer").as_deref(), Some("crate::lexer"));
+        assert_eq!(find("Tok").as_deref(), Some("crate::lexer::Tok"));
+        assert!(tree.uses.iter().any(|u| u.path == "rand::prelude::*"));
+    }
+
+    #[test]
+    fn braces_in_char_literals_do_not_break_matching() {
+        let src = "fn f() -> char { let open = '{'; let close = '}'; open }\nfn g() {}";
+        let (tree, _) = tree_of(src);
+        assert_eq!(node_names(&tree, NodeKind::Fn), vec!["f", "g"]);
+        for n in &tree.nodes {
+            let (open, close) = n.body.unwrap();
+            assert!(open < close, "balanced body for {}", n.name);
+        }
+    }
+
+    #[test]
+    fn braces_in_raw_strings_and_comments_are_opaque() {
+        let src = r##"
+            fn f() {
+                // a stray { in a comment
+                /* nested /* { */ } */
+                let s = r#"{{{"#;
+            }
+            fn g() {}
+        "##;
+        let (tree, _) = tree_of(src);
+        assert_eq!(node_names(&tree, NodeKind::Fn), vec!["f", "g"]);
+    }
+
+    #[test]
+    fn trait_with_bodyless_and_provided_methods() {
+        let src = r#"
+            trait Hooks {
+                fn pre_step(&mut self);
+                fn post_step(&mut self) { }
+            }
+        "#;
+        let (tree, _) = tree_of(src);
+        assert_eq!(node_names(&tree, NodeKind::Trait), vec!["Hooks"]);
+        let pre = tree.nodes.iter().find(|n| n.name == "pre_step").unwrap();
+        assert!(pre.body.is_none());
+        let post = tree.nodes.iter().find(|n| n.name == "post_step").unwrap();
+        assert!(post.body.is_some());
+    }
+
+    #[test]
+    fn mod_declaration_without_body() {
+        let (tree, _) = tree_of("pub mod lexer;\npub mod rules;\nfn f() {}");
+        assert_eq!(node_names(&tree, NodeKind::Mod), vec!["lexer", "rules"]);
+        assert!(tree.nodes.iter().filter(|n| n.kind == NodeKind::Mod).all(|n| n.body.is_none()));
+    }
+}

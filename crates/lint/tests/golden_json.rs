@@ -1,0 +1,78 @@
+//! Golden-file test pinning the lint JSON output schema.
+//!
+//! `obsv::LintEvent` consumers, `scripts/check.sh`, and the CI gate all
+//! parse `cloudgen-lint --json`; this test freezes the document shape
+//! (field names, violation record layout, counts object) and the rule-id
+//! vocabulary byte-for-byte. A deliberate schema change means regenerating
+//! `tests/golden/report.json` and updating every consumer in the same PR.
+
+use cloudgen_lint::{render_json, scan_source, FileClass, FileViolation, ScanReport, RULES};
+
+/// A fixture exercising one violation from each rule family: legacy
+/// (no-panic), determinism (unordered-iter), concurrency (raw-spawn), and
+/// the suppression audit (stale-allow), plus one live suppression.
+const FIXTURE: &str = r#"fn f(x: Option<u8>) -> u8 { x.unwrap() }
+fn g() { let m = std::collections::HashMap::<u8, u8>::new(); }
+fn h() { std::thread::spawn(|| {}); }
+fn i(y: Option<u8>) -> Option<u8> {
+    // lint:allow(no-panic): was an unwrap, refactored away in PR 5
+    y
+}
+fn j(z: Option<u8>) -> u8 {
+    // lint:allow(no-panic): fixture invariant, z is always Some
+    z.unwrap()
+}
+"#;
+
+#[test]
+fn json_report_matches_golden() {
+    let (violations, suppressed) = scan_source(
+        "crates/nn/src/fixture.rs".to_string(),
+        FileClass::Lib {
+            krate: "nn".to_string(),
+        },
+        FIXTURE,
+    );
+    let report = ScanReport {
+        files: 1,
+        violations: violations
+            .into_iter()
+            .map(|violation| FileViolation {
+                path: "crates/nn/src/fixture.rs".to_string(),
+                violation,
+            })
+            .collect(),
+        suppressed,
+    };
+    let rendered = render_json(&report);
+    let golden = include_str!("golden/report.json");
+    assert_eq!(
+        rendered, golden,
+        "lint JSON schema drifted from tests/golden/report.json; if the change is deliberate, \
+         regenerate the golden file and update every --json consumer"
+    );
+}
+
+#[test]
+fn rule_vocabulary_is_pinned() {
+    let ids: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        ids,
+        [
+            "ambient-rng",
+            "no-panic",
+            "float-eq",
+            "lossy-cast",
+            "forbid-unsafe",
+            "fallible-entry",
+            "unordered-iter",
+            "raw-spawn",
+            "unordered-reduce",
+            "shared-mut-numeric",
+            "ambient-parallelism",
+            "allow-missing-reason",
+            "stale-allow",
+        ],
+        "rule ids are part of the JSON schema; removing or renaming one breaks consumers"
+    );
+}

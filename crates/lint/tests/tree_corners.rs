@@ -1,0 +1,110 @@
+//! Regression tests for the lexer/tree corners the block tree's brace
+//! matching depends on: raw strings, nested block comments, char literals
+//! containing braces, and `#[cfg(test)]` module detection. Each fixture
+//! would desynchronize a naive brace counter; the assertions check that
+//! rule scoping (which runs on top of the tree) stays correct anyway.
+
+use cloudgen_lint::{scan_source, FileClass};
+
+fn lib(src: &str) -> Vec<cloudgen_lint::Violation> {
+    scan_source(
+        "crates/nn/src/x.rs".to_string(),
+        FileClass::Lib {
+            krate: "nn".to_string(),
+        },
+        src,
+    )
+    .0
+}
+
+#[test]
+fn raw_string_with_braces_does_not_shift_fn_boundaries() {
+    // If the `{` inside the raw string counted, `g`'s unwrap would appear
+    // to be inside `f`'s body — either way it must still be flagged, and
+    // exactly once, attributed to `g`.
+    let src = r###"
+        fn f() -> &'static str { r#"{ not a block { nor this"# }
+        fn g(x: Option<u8>) -> u8 { x.unwrap() }
+    "###;
+    let v = lib(src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "no-panic");
+    assert!(v[0].message.contains("fn g"), "{}", v[0].message);
+}
+
+#[test]
+fn nested_block_comments_stay_opaque() {
+    let src = r#"
+        /* outer /* inner { */ still a comment } unwrap() */
+        fn f(x: Option<u8>) -> u8 { x.unwrap() }
+    "#;
+    let v = lib(src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("fn f"), "{}", v[0].message);
+}
+
+#[test]
+fn char_literals_with_braces_do_not_break_matching() {
+    // `'{'` and `'}'` must not open or close blocks; the HashMap after
+    // them must still be seen as library code (not swallowed by a
+    // phantom unclosed block).
+    let src = r#"
+        fn delims() -> (char, char) { ('{', '}') }
+        fn f() { let m = std::collections::HashMap::<u8, u8>::new(); }
+    "#;
+    let v = lib(src);
+    assert!(
+        v.iter().any(|v| v.rule == "unordered-iter" && v.message.contains("fn f")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn lifetime_ticks_are_not_char_literals() {
+    // `'a` must lex as a lifetime, not open a char literal that would
+    // swallow the rest of the line (including the brace).
+    let src = r#"
+        fn first<'a>(xs: &'a [u8]) -> Option<&'a u8> { xs.first() }
+        fn g(x: Option<u8>) -> u8 { x.unwrap() }
+    "#;
+    let v = lib(src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("fn g"), "{}", v[0].message);
+}
+
+#[test]
+fn cfg_test_module_shields_all_new_rules() {
+    let src = r#"
+        fn lib_code() -> u8 { 1 }
+        #[cfg(test)]
+        mod tests {
+            use std::collections::HashMap;
+            use std::sync::Mutex;
+            #[test]
+            fn t() {
+                let m: HashMap<u8, u8> = HashMap::new();
+                let l = Mutex::new(0.0);
+                std::thread::spawn(|| {});
+                let n = std::thread::available_parallelism();
+            }
+        }
+    "#;
+    let v = lib(src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn code_after_cfg_test_module_is_library_again() {
+    let src = r#"
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { let m = std::collections::HashMap::<u8, u8>::new(); }
+        }
+        fn f() { let m = std::collections::HashMap::<u8, u8>::new(); }
+    "#;
+    let v = lib(src);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "unordered-iter");
+    assert!(v[0].message.contains("fn f"), "{}", v[0].message);
+}

@@ -9,7 +9,7 @@
 //! whether they predict the cache behaviour of real traces.
 
 use obsv::{Event, NullRecorder, Recorder, SchedEvent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trace::Trace;
 
 /// Sentinel "no slot" link in the intrusive LRU list.
@@ -40,7 +40,7 @@ pub struct PlacementCache {
     /// Slot arena; never shrinks, holds at most `capacity` slots.
     slots: Vec<Slot>,
     /// Which slot each resident key lives in.
-    index: HashMap<u16, usize>,
+    index: BTreeMap<u16, usize>,
     /// Most recently used slot (`NIL` when empty).
     head: usize,
     /// Least recently used slot (`NIL` when empty).
@@ -60,7 +60,7 @@ impl PlacementCache {
         Self {
             capacity,
             slots: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             head: NIL,
             tail: NIL,
             hits: 0,

@@ -98,9 +98,9 @@ impl ContinuousSurvival {
             Interpolation::Cdi => {
                 // Closed bin: `bin_of` guarantees `lo <= t < hi`.
                 let lo = self.bins.lower(j);
-                // lint:allow(no-panic): closed bins always have an upper edge.
                 let hi = match self.bins.upper(j) {
                     Some(hi) => hi,
+                    // lint:allow(no-panic): closed bins always have an upper edge.
                     None => unreachable!("closed bin without upper edge"),
                 };
                 let frac = (t - lo) / (hi - lo);

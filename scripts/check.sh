@@ -12,7 +12,10 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> cloudgen-lint"
+echo "==> cloudgen-lint (incl. determinism/concurrency pack + stale-allow audit)"
+# Exits nonzero on any violation, including the six syntax-aware rules
+# added in PR 5 (unordered-iter, raw-spawn, unordered-reduce,
+# shared-mut-numeric, ambient-parallelism, stale-allow).
 cargo run --release -p cloudgen-lint
 
 echo "==> fault-injection suite (resilience)"
