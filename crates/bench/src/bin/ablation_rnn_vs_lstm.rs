@@ -44,7 +44,7 @@ fn main() {
     let l = cfg.seq_len;
     let dim = space.flavor_input_dim();
     let mut chunk_starts: Vec<usize> = (0..n.saturating_sub(l - 1)).step_by(l).collect();
-    let start = std::time::Instant::now();
+    let start = obsv::Stopwatch::new();
     for epoch in 0..cfg.epochs {
         let lr_factor = if epoch * 4 >= cfg.epochs * 3 {
             0.1
@@ -89,7 +89,7 @@ fn main() {
                 .expect("finite gradients in ablation benchmark");
         }
     }
-    eprintln!("[train] vanilla RNN fitted in {:.1?}", start.elapsed());
+    eprintln!("[train] vanilla RNN fitted in {:.1}s", start.elapsed_s());
 
     // Teacher-forced evaluation on the test stream.
     let test = &setup.test_stream;

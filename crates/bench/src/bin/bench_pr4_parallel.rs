@@ -16,8 +16,7 @@ use cloudgen::{
     Parallelism, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
-use obsv::NullRecorder;
-use std::time::Instant;
+use obsv::{NullRecorder, Stopwatch};
 use survival::LifetimeBins;
 use synth::{CloudWorld, WorldConfig};
 use trace::period::TemporalFeaturesSpec;
@@ -34,9 +33,9 @@ struct Measure {
 }
 
 fn measure<T>(units: f64, f: impl FnOnce() -> T) -> (T, Measure) {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::new();
     let out = f();
-    let wall = t0.elapsed().as_secs_f64();
+    let wall = t0.elapsed_s();
     (
         out,
         Measure {
@@ -161,11 +160,21 @@ fn main() {
 
     if let Ok(bound) = std::env::var("CLOUDGEN_REQUIRE_SPEEDUP") {
         let bound: f64 = bound.parse().expect("CLOUDGEN_REQUIRE_SPEEDUP must be a number");
-        assert!(
-            end_to_end >= bound,
-            "end-to-end speedup {end_to_end:.2}x at {threads} workers is below the \
-             required {bound}x ({cores} core(s) visible)"
-        );
+        if cores < threads {
+            // A speedup bound is meaningless when the workers outnumber the
+            // cores (CI runners get oversubscribed); skip loudly rather
+            // than fail on machine shape.
+            eprintln!(
+                "  CLOUDGEN_REQUIRE_SPEEDUP={bound} SKIPPED: only {cores} core(s) \
+                 visible for {threads} workers"
+            );
+        } else {
+            assert!(
+                end_to_end >= bound,
+                "end-to-end speedup {end_to_end:.2}x at {threads} workers is below the \
+                 required {bound}x ({cores} core(s) visible)"
+            );
+        }
     }
 
     let arm = |i: usize| {
@@ -186,7 +195,7 @@ fn main() {
     "gen_periods": {GEN_PERIODS},
     "gen_jobs": {gen_jobs}
   }},
-  "machine": {{ "visible_cores": {cores} }},
+  "machine": {{ "visible_cores": {cores}, "threads_used": {threads} }},
   "threads_1": {arm1},
   "threads_{threads}": {arm_n},
   "speedup": {{

@@ -1,0 +1,201 @@
+//! `cloudgen-bench` — the continuous benchmark harness.
+//!
+//! ```text
+//! cloudgen-bench run  [--out report.json] [--quick] [--threads N]
+//!                     [--profile-trace prof.json]
+//! cloudgen-bench compare BASELINE.json CANDIDATE.json [--threshold 0.3]
+//! cloudgen-bench list
+//! ```
+//!
+//! `run` executes the kernel benches (gemm, lstm-fwd, lstm-bwd, adam-step,
+//! with GFLOP/s from the profiling layer's work accounting) and the stage
+//! benches (train, generate, pack, with domain throughput), then writes a
+//! schema-versioned JSON report. `--quick` cuts iteration counts for CI
+//! smoke runs. `--profile-trace` additionally records a hierarchical
+//! Chrome trace of one profiled pass over the suite.
+//!
+//! `compare` diffs two reports and exits nonzero (code 1) if any benchmark
+//! slowed past `--threshold` (default 0.30 = 30%) beyond trial noise —
+//! the regression gate CI runs against a stored baseline.
+
+#![forbid(unsafe_code)]
+
+use bench::continuous::{
+    bench_names, compare, run_benches, validate_report, BenchOpts, BenchReport,
+};
+use std::process::ExitCode;
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let opts = BenchOpts {
+        quick: flag(args, "--quick"),
+        threads: opt_value(args, "--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+    };
+    let out_path = opt_value(args, "--out").unwrap_or_else(|| "BENCH_continuous.json".to_string());
+    let trace_path = opt_value(args, "--profile-trace");
+
+    eprintln!(
+        "cloudgen-bench run: quick={}, threads={}",
+        opts.quick, opts.threads
+    );
+    let report = if let Some(tp) = &trace_path {
+        // Profiled pass: the whole suite runs inside one trace session, so
+        // the Chrome trace shows every bench's span tree and worker lanes.
+        let profiler = obsv::Profiler::new();
+        let report = {
+            let _act = profiler.activate("bench-main");
+            run_benches(opts, |m| eprintln!("  [bench] {m}"))
+        };
+        if let Err(e) = profiler.write_chrome_trace(tp) {
+            eprintln!("cloudgen-bench: cannot write {tp}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("  profile trace: {tp}");
+        report
+    } else {
+        run_benches(opts, |m| eprintln!("  [bench] {m}"))
+    };
+
+    for e in &report.results {
+        let extra = match (e.gflops, e.throughput) {
+            (Some(g), Some(t)) => format!(
+                ", {g:.2} GFLOP/s, {t:.0} {}",
+                e.throughput_unit.as_deref().unwrap_or("units/sec")
+            ),
+            (Some(g), None) => format!(", {g:.2} GFLOP/s"),
+            (None, Some(t)) => format!(
+                ", {t:.0} {}",
+                e.throughput_unit.as_deref().unwrap_or("units/sec")
+            ),
+            (None, None) => String::new(),
+        };
+        eprintln!(
+            "  {:<10} {:>10.3} ms ±{:.3}{extra}",
+            e.name, e.wall_ms_median, e.wall_ms_mad
+        );
+    }
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cloudgen-bench: serialize failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Self-check: the report we write must pass our own validator.
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("own JSON parses");
+    if let Err(e) = validate_report(&doc) {
+        eprintln!("cloudgen-bench: generated report fails validation: {e}");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cloudgen-bench: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("  wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    validate_report(&doc).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_value(doc).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let positional: Vec<&String> = args
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    let [baseline_path, candidate_path] = positional[..] else {
+        eprintln!("usage: cloudgen-bench compare BASELINE.json CANDIDATE.json [--threshold 0.3]");
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = match opt_value(args, "--threshold") {
+        None => 0.30,
+        Some(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("cloudgen-bench: --threshold {v:?} is not a number");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let (baseline, candidate) = match (load_report(baseline_path), load_report(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("cloudgen-bench: {r}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    match compare(&baseline, &candidate, threshold) {
+        Err(e) => {
+            eprintln!("cloudgen-bench: {e}");
+            ExitCode::from(2)
+        }
+        Ok(regs) if regs.is_empty() => {
+            eprintln!(
+                "cloudgen-bench: no regressions past {:.0}% across {} benchmarks",
+                threshold * 100.0,
+                baseline.results.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(regs) => {
+            for r in &regs {
+                if r.new_ms.is_nan() {
+                    eprintln!("REGRESSION {}: missing from candidate report", r.name);
+                } else {
+                    eprintln!(
+                        "REGRESSION {}: {:.3} ms -> {:.3} ms (allowed {:.3} ms at {:.0}%)",
+                        r.name,
+                        r.old_ms,
+                        r.new_ms,
+                        r.allowed_ms,
+                        threshold * 100.0
+                    );
+                }
+            }
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for (name, kind) in bench_names() {
+        println!("{name:<10} {kind}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => cmd_run(rest),
+        Some((cmd, rest)) if cmd == "compare" => cmd_compare(rest),
+        Some((cmd, _)) if cmd == "list" => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage:\n  cloudgen-bench run [--out report.json] [--quick] [--threads N] \
+                 [--profile-trace prof.json]\n  cloudgen-bench compare BASELINE.json \
+                 CANDIDATE.json [--threshold 0.3]\n  cloudgen-bench list"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

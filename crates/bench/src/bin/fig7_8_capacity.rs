@@ -30,7 +30,7 @@ fn run(setup: &CloudSetup) {
 
     let mut results: Vec<(&str, f64, PredictionBand)> = Vec::new();
     for (label, gen) in [("Naive", 0usize), ("SimpleBatch", 1), ("LSTM", 2)] {
-        let start = std::time::Instant::now();
+        let start = obsv::Stopwatch::new();
         let traces = sample_traces(samples, 0x700 + gen as u64, |rng| match gen {
             0 => naive.generate(first, n, catalog, rng),
             1 => simple.generate(first, n, catalog, rng),
@@ -43,8 +43,8 @@ fn run(setup: &CloudSetup) {
         let band = PredictionBand::from_samples(&series, 0.05, 0.95);
         let cov = coverage(&band, &actual);
         eprintln!(
-            "[{label}] {samples} traces sampled in {:.1?}",
-            start.elapsed()
+            "[{label}] {samples} traces sampled in {:.1}s",
+            start.elapsed_s()
         );
         row(label, &[format!("coverage {}", pct(cov))]);
         results.push((label, cov, band));

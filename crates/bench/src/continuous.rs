@@ -1,0 +1,664 @@
+//! Continuous benchmark harness behind the `cloudgen-bench` binary.
+//!
+//! Two families of benchmarks share one report format:
+//!
+//! - **kernel** benches time the numeric primitives in isolation (GEMM,
+//!   LSTM forward/backward, one Adam step) and report GFLOP/s using the
+//!   exact flop counts the profiling layer (`obsv::profile`) attributes to
+//!   each kernel — the same accounting a `--profile-trace` run sees;
+//! - **stage** benches time the paper pipeline end to end at toy scale
+//!   (train, generate, pack) and report domain throughput (tokens/sec,
+//!   jobs/sec, placements/sec).
+//!
+//! Every benchmark runs `warmup` discarded iterations then `trials` timed
+//! ones; the report keeps the median and the MAD (median absolute
+//! deviation) so a comparison can separate drift from noise. Reports are
+//! schema-versioned JSON with a machine fingerprint; [`compare`] gates two
+//! reports against a regression threshold, the backbone of the CI
+//! `bench-smoke` job.
+
+use linalg::Mat;
+use nn::{Adam, AdamConfig, Lstm};
+use obsv::{profile, Profiler, Stopwatch};
+use serde::{Deserialize, Serialize};
+
+/// Bump when the report layout changes incompatibly; `compare` refuses to
+/// diff reports across schema versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Name of the benchmark suite recorded in every report.
+pub const SUITE: &str = "cloudgen_continuous";
+
+/// Where the benchmark ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineFingerprint {
+    /// Cores visible to the process (`available_parallelism`).
+    pub visible_cores: usize,
+    /// Worker threads the stage benches were configured with.
+    pub threads_used: usize,
+}
+
+impl MachineFingerprint {
+    /// Fingerprints the current machine.
+    pub fn current(threads_used: usize) -> Self {
+        Self {
+            visible_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads_used,
+        }
+    }
+}
+
+/// One benchmark's aggregated timings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Benchmark name (`gemm`, `lstm-fwd`, `train`, ...).
+    pub name: String,
+    /// `"kernel"` or `"stage"`.
+    pub kind: String,
+    /// Timed iterations that went into the statistics.
+    pub trials: usize,
+    /// Median wall time per iteration, milliseconds.
+    pub wall_ms_median: f64,
+    /// Median absolute deviation of the per-iteration wall times, ms.
+    pub wall_ms_mad: f64,
+    /// Kernel arithmetic throughput (flops from the profiling layer's
+    /// work accounting over the median time). Kernel benches only.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gflops: Option<f64>,
+    /// Domain throughput at the median (tokens/sec, jobs/sec, ...).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub throughput: Option<f64>,
+    /// Unit for `throughput`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub throughput_unit: Option<String>,
+}
+
+/// A full benchmark report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout version; see [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Suite name; see [`SUITE`].
+    pub bench: String,
+    /// True when the run used the reduced `--quick` iteration counts.
+    pub quick: bool,
+    /// Machine fingerprint for the run.
+    pub machine: MachineFingerprint,
+    /// One entry per benchmark, in execution order.
+    pub results: Vec<BenchEntry>,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Reduced iteration counts for CI smoke runs.
+    pub quick: bool,
+    /// Worker threads for the stage benches.
+    pub threads: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Median of a non-empty sample (interpolated for even sizes).
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&devs)
+}
+
+/// Runs `warmup` discarded then `trials` timed iterations; returns the
+/// per-iteration wall times in milliseconds.
+fn time_trials(warmup: usize, trials: usize, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..warmup {
+        f();
+    }
+    (0..trials)
+        .map(|_| {
+            let t = Stopwatch::new();
+            f();
+            t.elapsed_ms()
+        })
+        .collect()
+}
+
+/// Runs `f` once under a fresh profiler and returns the flops the work
+/// accounting attributed to it (inclusive, single-threaded).
+fn harvest_flops(f: impl FnOnce()) -> u64 {
+    let p = Profiler::new();
+    {
+        let _act = p.activate("harvest");
+        let _span = profile::span("harvest-root");
+        f();
+    }
+    p.spans()
+        .iter()
+        .find(|s| s.name == "harvest-root")
+        .map_or(0, |s| s.flops)
+}
+
+fn entry_from_trials(
+    name: &str,
+    kind: &str,
+    times_ms: Vec<f64>,
+    flops: Option<u64>,
+    throughput_units: Option<(f64, &str)>,
+) -> BenchEntry {
+    let med = median(&times_ms);
+    let gflops = flops.map(|fl| fl as f64 / (med / 1e3).max(1e-12) / 1e9);
+    let (throughput, throughput_unit) = match throughput_units {
+        Some((units, unit)) => (
+            Some(units / (med / 1e3).max(1e-12)),
+            Some(unit.to_string()),
+        ),
+        None => (None, None),
+    };
+    BenchEntry {
+        name: name.to_string(),
+        kind: kind.to_string(),
+        trials: times_ms.len(),
+        wall_ms_median: med,
+        wall_ms_mad: mad(&times_ms),
+        gflops,
+        throughput,
+        throughput_unit,
+    }
+}
+
+/// Names of all benchmarks [`run_benches`] executes, in order.
+pub fn bench_names() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("gemm", "kernel"),
+        ("lstm-fwd", "kernel"),
+        ("lstm-bwd", "kernel"),
+        ("adam-step", "kernel"),
+        ("train", "stage"),
+        ("generate", "stage"),
+        ("pack", "stage"),
+    ]
+}
+
+fn kernel_benches(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> Vec<BenchEntry> {
+    let (warmup, trials) = if opts.quick { (1, 3) } else { (3, 9) };
+    let mut out = Vec::new();
+
+    // GEMM: one square matmul at a size big enough to exercise the blocked
+    // kernel, small enough to stay cache-resident.
+    const DIM: usize = 96;
+    let a = Mat::from_fn(DIM, DIM, |r, c| ((r * 31 + c) % 17) as f64 * 0.03 - 0.2);
+    let b = Mat::from_fn(DIM, DIM, |r, c| ((r + c * 13) % 23) as f64 * 0.02 - 0.1);
+    let flops = harvest_flops(|| {
+        let _ = a.matmul(&b);
+    });
+    let times = time_trials(warmup, trials, || {
+        let c = a.matmul(&b);
+        assert!(c.as_slice()[0].is_finite());
+    });
+    log("gemm done");
+    out.push(entry_from_trials("gemm", "kernel", times, Some(flops), None));
+
+    // LSTM forward/backward: 2 layers, the shapes the flavor model uses.
+    const BATCH: usize = 8;
+    const STEPS: usize = 16;
+    const IN: usize = 16;
+    const HID: usize = 32;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xbe7c);
+    let mut lstm = Lstm::new(IN, HID, 2, &mut rng);
+    let xs: Vec<Mat> = (0..STEPS)
+        .map(|t| Mat::from_fn(BATCH, IN, |r, c| ((t + r * 3 + c) as f64 * 0.13).sin() * 0.4))
+        .collect();
+    let fwd_flops = harvest_flops(|| {
+        let _ = lstm.forward(&xs);
+    });
+    let times = time_trials(warmup, trials, || {
+        let (h, _) = lstm.forward(&xs);
+        assert!(h[STEPS - 1].as_slice()[0].is_finite());
+    });
+    log("lstm-fwd done");
+    out.push(entry_from_trials(
+        "lstm-fwd",
+        "kernel",
+        times,
+        Some(fwd_flops),
+        Some(((BATCH * STEPS) as f64, "tokens/sec")),
+    ));
+
+    let (out_seq, cache) = lstm.forward(&xs);
+    let d_out: Vec<Mat> = out_seq
+        .iter()
+        .map(|h| Mat::filled(h.rows(), h.cols(), 0.5))
+        .collect();
+    let bwd_flops = harvest_flops(|| {
+        lstm.zero_grad();
+        let _ = lstm.backward(&cache, &d_out);
+    });
+    let times = time_trials(warmup, trials, || {
+        lstm.zero_grad();
+        let dxs = lstm.backward(&cache, &d_out);
+        assert!(dxs[0].as_slice()[0].is_finite());
+    });
+    log("lstm-bwd done");
+    out.push(entry_from_trials(
+        "lstm-bwd",
+        "kernel",
+        times,
+        Some(bwd_flops),
+        Some(((BATCH * STEPS) as f64, "tokens/sec")),
+    ));
+
+    // Adam: one optimizer step over the LSTM's parameters with the
+    // gradients the backward pass above accumulated.
+    lstm.zero_grad();
+    let _ = lstm.backward(&cache, &d_out);
+    let mut opt = Adam::new(AdamConfig::default());
+    let step_flops = harvest_flops(|| {
+        opt.step(&mut lstm.params_mut()).expect("finite gradients");
+    });
+    let times = time_trials(warmup, trials, || {
+        opt.step(&mut lstm.params_mut()).expect("finite gradients");
+    });
+    log("adam-step done");
+    out.push(entry_from_trials(
+        "adam-step",
+        "kernel",
+        times,
+        Some(step_flops),
+        None,
+    ));
+    out
+}
+
+fn stage_benches(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> Vec<BenchEntry> {
+    use cloudgen::lifetimes::LifetimeHead;
+    use cloudgen::{
+        ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GeneratorConfig,
+        LifetimeModel, Parallelism, TokenStream, TraceGenerator, TrainConfig,
+    };
+    use glm::{DohStrategy, ElasticNet};
+    use obsv::NullRecorder;
+    use survival::LifetimeBins;
+    use synth::{CloudWorld, WorldConfig};
+    use trace::period::TemporalFeaturesSpec;
+    use trace::ObservationWindow;
+
+    let (warmup, trials) = if opts.quick { (0, 1) } else { (1, 3) };
+    const TRAIN_DAYS: u64 = 2;
+    const GEN_PERIODS: u64 = 2 * 288;
+
+    let world = CloudWorld::new(WorldConfig::azure_like(0.6), 23);
+    let history = world.generate(TRAIN_DAYS as u32 + 1);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let cfg = TrainConfig {
+        epochs: if opts.quick { 1 } else { 2 },
+        hidden: 24,
+        ..TrainConfig::tiny()
+    };
+    let par = Parallelism::with_threads(opts.threads.max(1), 2);
+    let tokens = (stream.len() * cfg.epochs) as f64;
+
+    let mut out = Vec::new();
+
+    let mut last_models = None;
+    let times = time_trials(warmup, trials, || {
+        let f = FlavorModel::fit_par_recorded(&stream, space.clone(), cfg, par, &NullRecorder);
+        let l = LifetimeModel::fit_par_recorded(
+            &stream,
+            space.clone(),
+            cfg,
+            LifetimeHead::Hazard,
+            par,
+            &NullRecorder,
+        );
+        last_models = Some((f, l));
+    });
+    log("train done");
+    out.push(entry_from_trials(
+        "train",
+        "stage",
+        times,
+        None,
+        Some((tokens, "tokens/sec")),
+    ));
+
+    let (flavors, lifetimes) = last_models.expect("at least one timed trial");
+    let arrivals = BatchArrivalModel::fit(
+        &train,
+        window.end,
+        ArrivalTarget::Batches,
+        temporal,
+        ElasticNet::ridge(1.0),
+        DohStrategy::paper_default(),
+    )
+    .expect("arrival fit");
+    let generator = TraceGenerator {
+        arrivals,
+        fallback: None,
+        flavors,
+        lifetimes,
+        config: GeneratorConfig::default(),
+    };
+    let first = TRAIN_DAYS * 288;
+    let probe = generator.generate_par(first, GEN_PERIODS, world.catalog(), 7, opts.threads);
+    let mut generated = probe.clone();
+    let times = time_trials(warmup, trials, || {
+        generated = generator.generate_par(first, GEN_PERIODS, world.catalog(), 7, opts.threads);
+    });
+    log("generate done");
+    out.push(entry_from_trials(
+        "generate",
+        "stage",
+        times,
+        None,
+        Some((probe.len() as f64, "jobs/sec")),
+    ));
+
+    // Pack the generated trace under one fixed scheduling tuple. The trace
+    // can be small at this scale; fall back to the training trace so the
+    // pack bench always has arrivals to place.
+    let to_pack = if generated.len() >= 64 { &generated } else { &train };
+    let tuple = sched::SchedulingTuple {
+        start_point: 0,
+        n_servers: 24,
+        cpu_cap: 64.0,
+        mem_cap: 256.0,
+        algorithm: sched::PlacementAlgorithm::BusiestFit,
+    };
+    let mut placed = 0usize;
+    let times = time_trials(warmup, trials, || {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
+        let r = sched::pack_trace(to_pack, tuple, sched::PackingConfig::default(), &mut rng);
+        placed = r.placed.max(1);
+    });
+    log("pack done");
+    out.push(entry_from_trials(
+        "pack",
+        "stage",
+        times,
+        None,
+        Some((placed as f64, "placements/sec")),
+    ));
+    out
+}
+
+/// Runs the full suite and assembles the report.
+pub fn run_benches(opts: BenchOpts, mut log: impl FnMut(&str)) -> BenchReport {
+    let mut results = kernel_benches(&opts, &mut log);
+    results.extend(stage_benches(&opts, &mut log));
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench: SUITE.to_string(),
+        quick: opts.quick,
+        machine: MachineFingerprint::current(opts.threads.max(1)),
+        results,
+    }
+}
+
+/// Structural validation of a report as parsed JSON — the shape the CI
+/// smoke job asserts on, independent of serde's own deserialization.
+pub fn validate_report(doc: &serde_json::Value) -> Result<(), String> {
+    let schema = doc["schema_version"]
+        .as_u64()
+        .ok_or("schema_version missing or not an integer")?;
+    if schema != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {schema} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    if doc["bench"].as_str() != Some(SUITE) {
+        return Err(format!("bench is not {SUITE:?}"));
+    }
+    let machine = &doc["machine"];
+    if machine["visible_cores"].as_u64().is_none_or(|c| c == 0) {
+        return Err("machine.visible_cores missing or zero".into());
+    }
+    if machine["threads_used"].as_u64().is_none_or(|t| t == 0) {
+        return Err("machine.threads_used missing or zero".into());
+    }
+    let results = doc["results"]
+        .as_array()
+        .ok_or("results missing or not an array")?;
+    if results.is_empty() {
+        return Err("results is empty".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let name = r["name"]
+            .as_str()
+            .ok_or_else(|| format!("results[{i}].name missing"))?;
+        match r["kind"].as_str() {
+            Some("kernel") | Some("stage") => {}
+            other => return Err(format!("results[{i}] ({name}): bad kind {other:?}")),
+        }
+        let med = r["wall_ms_median"]
+            .as_f64()
+            .ok_or_else(|| format!("results[{i}] ({name}): wall_ms_median missing"))?;
+        if !med.is_finite() || med < 0.0 {
+            return Err(format!("results[{i}] ({name}): wall_ms_median {med} invalid"));
+        }
+        let dev = r["wall_ms_mad"]
+            .as_f64()
+            .ok_or_else(|| format!("results[{i}] ({name}): wall_ms_mad missing"))?;
+        if !dev.is_finite() || dev < 0.0 {
+            return Err(format!("results[{i}] ({name}): wall_ms_mad {dev} invalid"));
+        }
+        if r["trials"].as_u64().is_none_or(|t| t == 0) {
+            return Err(format!("results[{i}] ({name}): trials missing or zero"));
+        }
+        if r["kind"] == "kernel" && r["gflops"].as_f64().is_none_or(|g| !(g > 0.0)) {
+            return Err(format!("results[{i}] ({name}): kernel without positive gflops"));
+        }
+    }
+    Ok(())
+}
+
+/// One benchmark that slowed past the allowed envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, ms.
+    pub old_ms: f64,
+    /// Candidate median, ms.
+    pub new_ms: f64,
+    /// The envelope the candidate had to stay under, ms.
+    pub allowed_ms: f64,
+}
+
+/// Compares a candidate report against a baseline.
+///
+/// A benchmark regresses when its new median exceeds
+/// `old_median * (1 + threshold) + 3 * max(old_mad, new_mad)` — the MAD
+/// term absorbs trial noise so a jittery benchmark doesn't trip the gate
+/// at small thresholds. A benchmark present in the baseline but missing
+/// from the candidate is reported as a regression with `new_ms = NaN`
+/// (a vanished benchmark must be an explicit baseline update, not a
+/// silent pass).
+///
+/// # Errors
+///
+/// If the reports' schema versions differ (from each other or from this
+/// binary's supported version).
+pub fn compare(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    threshold: f64,
+) -> Result<Vec<Regression>, String> {
+    if baseline.schema_version != SCHEMA_VERSION || candidate.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema mismatch: baseline v{}, candidate v{}, supported v{SCHEMA_VERSION}",
+            baseline.schema_version, candidate.schema_version
+        ));
+    }
+    let mut regressions = Vec::new();
+    for old in &baseline.results {
+        match candidate.results.iter().find(|r| r.name == old.name) {
+            None => regressions.push(Regression {
+                name: old.name.clone(),
+                old_ms: old.wall_ms_median,
+                new_ms: f64::NAN,
+                allowed_ms: f64::NAN,
+            }),
+            Some(new) => {
+                let noise = 3.0 * old.wall_ms_mad.max(new.wall_ms_mad).max(0.05);
+                let allowed = old.wall_ms_median * (1.0 + threshold) + noise;
+                if new.wall_ms_median > allowed {
+                    regressions.push(Regression {
+                        name: old.name.clone(),
+                        old_ms: old.wall_ms_median,
+                        new_ms: new.wall_ms_median,
+                        allowed_ms: allowed,
+                    });
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, med: f64, dev: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            kind: "kernel".into(),
+            trials: 5,
+            wall_ms_median: med,
+            wall_ms_mad: dev,
+            gflops: Some(1.0),
+            throughput: None,
+            throughput_unit: None,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: SUITE.into(),
+            quick: true,
+            machine: MachineFingerprint {
+                visible_cores: 4,
+                threads_used: 1,
+            },
+            results: entries,
+        }
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(mad(&[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let r = report(vec![entry("gemm", 2.0, 0.1), entry("train", 40.0, 2.0)]);
+        assert!(compare(&r, &r, 0.3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slowdown_past_threshold_is_flagged() {
+        let old = report(vec![entry("gemm", 2.0, 0.01)]);
+        let new = report(vec![entry("gemm", 3.5, 0.01)]);
+        let regs = compare(&old, &new, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "gemm");
+        // Within threshold + noise passes.
+        let ok = report(vec![entry("gemm", 2.5, 0.01)]);
+        assert!(compare(&old, &ok, 0.3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn noisy_benchmarks_get_mad_slack() {
+        let old = report(vec![entry("train", 10.0, 2.0)]);
+        // 14 > 10 * 1.1 but within 3*MAD of the jitter.
+        let new = report(vec![entry("train", 14.0, 2.0)]);
+        assert!(compare(&old, &new, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vanished_benchmark_is_a_regression() {
+        let old = report(vec![entry("gemm", 2.0, 0.1), entry("pack", 1.0, 0.1)]);
+        let new = report(vec![entry("gemm", 2.0, 0.1)]);
+        let regs = compare(&old, &new, 0.3).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "pack");
+        assert!(regs[0].new_ms.is_nan());
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let old = report(vec![entry("gemm", 2.0, 0.1)]);
+        let mut new = old.clone();
+        new.schema_version = SCHEMA_VERSION + 1;
+        assert!(compare(&old, &new, 0.3).is_err());
+    }
+
+    #[test]
+    fn validator_accepts_serialized_report_and_rejects_mutations() {
+        let r = report(vec![entry("gemm", 2.0, 0.1)]);
+        let doc: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        validate_report(&doc).unwrap();
+
+        let mut bad = doc.clone();
+        bad["schema_version"] = serde_json::json!(99);
+        assert!(validate_report(&bad).is_err());
+        let mut bad = doc.clone();
+        bad["machine"]["visible_cores"] = serde_json::json!(0);
+        assert!(validate_report(&bad).is_err());
+        let mut bad = doc.clone();
+        bad["results"][0]["kind"] = serde_json::json!("mystery");
+        assert!(validate_report(&bad).is_err());
+        let mut bad = doc.clone();
+        bad["results"][0]["gflops"] = serde_json::json!(null);
+        assert!(validate_report(&bad).is_err(), "kernel needs gflops");
+        let mut bad = doc;
+        bad["results"] = serde_json::json!([]);
+        assert!(validate_report(&bad).is_err());
+    }
+
+    #[test]
+    fn kernel_benches_report_positive_gflops() {
+        let opts = BenchOpts {
+            quick: true,
+            threads: 1,
+        };
+        let entries = kernel_benches(&opts, &mut |_| {});
+        assert_eq!(entries.len(), 4);
+        for e in &entries {
+            assert_eq!(e.kind, "kernel");
+            let g = e.gflops.expect("kernel gflops");
+            assert!(g > 0.0, "{}: gflops {g}", e.name);
+            assert!(e.wall_ms_median >= 0.0);
+        }
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["gemm", "lstm-fwd", "lstm-bwd", "adam-step"]);
+    }
+}

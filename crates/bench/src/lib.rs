@@ -21,6 +21,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod continuous;
+
 use cloudgen::{
     ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
     LifetimeModel, NaiveGenerator, SimpleBatchGenerator, TokenStream, TraceGenerator, TrainConfig,
@@ -400,11 +402,11 @@ impl CloudSetup {
                 return g;
             }
         }
-        let start = std::time::Instant::now();
+        let start = obsv::Stopwatch::new();
         let g = self.fit_generator();
         eprintln!(
-            "[train] three-stage generator fitted in {:.1?}",
-            start.elapsed()
+            "[train] three-stage generator fitted in {:.1}s",
+            start.elapsed_s()
         );
         let _ = std::fs::create_dir_all(dir);
         if let Ok(s) = serde_json::to_string(&g) {

@@ -21,13 +21,14 @@ use cloudgen::{
     LifetimeModel, Parallelism, TokenStream, TraceGenerator, TrainConfig,
 };
 use glm::{DohStrategy, ElasticNet};
-use obsv::{Event, JsonlRecorder, MemoryRecorder, Recorder, RunReport, SpanTimer};
+use obsv::{
+    Event, JsonlRecorder, MemoryRecorder, Profiler, Recorder, RunReport, SpanTimer, Stopwatch,
+};
 use resilience::{fit_flavor_resilient_par, fit_lifetime_resilient_par, FaultPlan, ResilienceConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 use survival::LifetimeBins;
 use synth::{CloudWorld, WorldConfig};
 use trace::period::{TemporalFeaturesSpec, PERIOD_SECS};
@@ -159,6 +160,44 @@ fn open_telemetry(args: &Args, append: bool) -> Result<Option<JsonlRecorder>, Cl
     }
 }
 
+/// Hierarchical profiling session behind `--profile-trace out.json`.
+///
+/// While alive, `obsv::profile` spans opened on this thread (and on worker
+/// threads via pool handoff) are collected; [`ProfileSession::finish`]
+/// writes the Chrome `trace_event` file and flushes span/counter events
+/// into the telemetry stream so `--report` gains its profile section.
+struct ProfileSession {
+    profiler: Profiler,
+    guard: Option<obsv::profile::ActivationGuard>,
+    out: PathBuf,
+}
+
+impl ProfileSession {
+    /// Starts profiling if `--profile-trace` was given.
+    fn start(args: &Args) -> Option<Self> {
+        args.opt("profile-trace").map(|path| {
+            let profiler = Profiler::new();
+            let guard = profiler.activate("main");
+            Self {
+                profiler,
+                guard: Some(guard),
+                out: PathBuf::from(path),
+            }
+        })
+    }
+
+    /// Deactivates, writes the trace file, and flushes profile telemetry.
+    /// Returns a line for the command's output message.
+    fn finish(mut self, rec: &dyn Recorder) -> Result<String, CliError> {
+        drop(self.guard.take());
+        self.profiler
+            .write_chrome_trace(&self.out)
+            .map_err(|e| CliError(format!("writing {}: {e}", self.out.display())))?;
+        self.profiler.flush_events(rec);
+        Ok(format!("\nprofile trace: {}", self.out.display()))
+    }
+}
+
 /// Appends the `--report` table to a command's output when requested.
 fn maybe_report(args: &Args, mem: &MemoryRecorder, mut msg: String) -> String {
     if args.flag("report") {
@@ -206,7 +245,7 @@ fn has_checkpoints(dir: &Path) -> bool {
 /// retried at a halved learning rate (up to `--max-retries` times), and a
 /// killed run can be continued bit-for-bit with `--resume`.
 pub fn cmd_train(args: &Args) -> Result<String, CliError> {
-    let started = Instant::now();
+    let started = Stopwatch::new();
     let trace_path = args.req("trace")?;
     let out = args.req("out")?;
     let catalog = load_catalog(args)?;
@@ -236,6 +275,7 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
         mem: &mem,
         jsonl: jsonl.as_ref(),
     };
+    let prof = ProfileSession::start(args);
 
     let arrivals_span = SpanTimer::start("arrivals_fit");
     let arrivals = BatchArrivalModel::fit(
@@ -319,10 +359,13 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
         "trained on {} jobs ({} days) in {} ms; model saved to {out}{resilience_note}",
         train.len(),
         days,
-        started.elapsed().as_millis()
+        started.elapsed_ms() as u64
     );
     if let Some(j) = &jsonl {
         msg.push_str(&format!("\ntelemetry: {}", j.path().display()));
+    }
+    if let Some(p) = prof {
+        msg.push_str(&p.finish(&rec)?);
     }
     Ok(maybe_report(args, &mem, msg))
 }
@@ -341,7 +384,7 @@ pub fn cmd_train(args: &Args) -> Result<String, CliError> {
 /// independence baselines; `--max-fallback` bounds how many batches may
 /// degrade that way before the run fails outright.
 pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
-    let started = Instant::now();
+    let started = Stopwatch::new();
     let model_path = args.req("model")?;
     let out = args.req("out")?;
     let n_periods: u64 = args.num("periods", 288)?;
@@ -359,6 +402,7 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         mem: &mem,
         jsonl: jsonl.as_ref(),
     };
+    let prof = ProfileSession::start(args);
 
     let first_period = bundle.horizon.div_ceil(PERIOD_SECS);
     let seed: u64 = args.num("seed", 7u64)?;
@@ -382,10 +426,13 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
         generated.len(),
         n_periods,
         first_period,
-        started.elapsed().as_millis()
+        started.elapsed_ms() as u64
     );
     if let Some(j) = &jsonl {
         msg.push_str(&format!("\ntelemetry: {}", j.path().display()));
+    }
+    if let Some(p) = prof {
+        msg.push_str(&p.finish(&rec)?);
     }
     Ok(maybe_report(args, &mem, msg))
 }
@@ -516,10 +563,12 @@ USAGE:
                       [--threads N] [--checkpoint-dir d]
                       [--checkpoint-every N] [--max-retries N] [--resume]
                       [--telemetry run.jsonl] [--report]
+                      [--profile-trace prof.json]
   cloudgen generate   --model model.json --out future.csv [--periods N]
                       [--seed S] [--threads N] [--scale X] [--eob-scale X]
                       [--max-fallback N]
                       [--telemetry run.jsonl] [--report]
+                      [--profile-trace prof.json]
   cloudgen report     run.jsonl [--json]
 
 `--threads N` (default 1) sizes the data-parallel worker pool for both
@@ -533,6 +582,13 @@ norms, wall time) and per-day generation throughput to a JSONL file;
 train truncates the file, generate appends, so pointing both at one path
 yields a single run log. `--report` prints an aggregated run report after
 the command; `report` rebuilds that report from a saved JSONL file.
+
+`--profile-trace prof.json` records a hierarchical kernel-level profile
+(train → epoch → minibatch → gemm/lstm spans, worker lanes, flop and byte
+counts) and writes it as a Chrome `trace_event` file — open it at
+chrome://tracing or https://ui.perfetto.dev. Combined with `--report`,
+the run report gains a per-span self-time/GFLOP-s section. Profiling
+never changes numeric results; expect a modest wall-clock overhead.
 
 `--checkpoint-dir` turns on the fault-tolerant training runtime: LSTM
 training state (weights, Adam moments, RNG position, epoch cursor) is
@@ -739,6 +795,76 @@ mod tests {
         // --file spelling works too.
         let table2 = run(&argv(&["report", "--file", jl])).unwrap();
         assert_eq!(table, table2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_trace_captures_nested_training_spans() {
+        let dir = std::env::temp_dir().join(format!("cloudgen-cli-prof-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let tp = dir.join("t.csv");
+        let tp = tp.to_str().unwrap();
+        let mp = dir.join("m.json");
+        let trace_out = dir.join("prof.json");
+
+        run(&argv(&["demo-trace", "--out", tp, "--days", "2", "--seed", "3"])).unwrap();
+        let msg = run(&argv(&[
+            "train", "--trace", tp, "--out", mp.to_str().unwrap(),
+            "--epochs", "1", "--hidden", "12", "--threads", "2",
+            "--profile-trace", trace_out.to_str().unwrap(), "--report",
+        ]))
+        .unwrap();
+        assert!(msg.contains("profile trace:"), "{msg}");
+        assert!(msg.contains("profile (by self-time)"), "{msg}");
+
+        // The trace file is valid Chrome trace JSON with the nested
+        // train -> epoch -> minibatch -> kernel hierarchy intact.
+        let raw = std::fs::read_to_string(&trace_out).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&raw).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let name_of = |e: &serde_json::Value| e["name"].as_str().unwrap().to_string();
+        let complete: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"] == "X").collect();
+        let by_id: BTreeMap<i64, &serde_json::Value> = complete
+            .iter()
+            .map(|e| (e["args"]["id"].as_i64().unwrap(), *e))
+            .collect();
+        let parent_name = |e: &serde_json::Value| {
+            e["args"]["parent"]
+                .as_i64()
+                .map(|p| name_of(by_id[&p]))
+        };
+        for expected in ["train", "epoch", "minibatch", "gemm", "lstm-fwd", "lstm-bwd", "adam-step"] {
+            assert!(
+                complete.iter().any(|e| name_of(e) == expected),
+                "missing span {expected}"
+            );
+        }
+        // Spot-check the chain: every epoch sits under a train span, every
+        // minibatch under an epoch, every adam-step under a minibatch.
+        for (child, parent) in [("epoch", "train"), ("minibatch", "epoch"), ("adam-step", "minibatch")] {
+            assert!(
+                complete
+                    .iter()
+                    .filter(|e| name_of(e) == child)
+                    .all(|e| parent_name(e).as_deref() == Some(parent)),
+                "{child} spans not parented under {parent}"
+            );
+        }
+        // Worker lanes exist: with --threads 2 some span ran off lane 0.
+        assert!(
+            complete.iter().any(|e| e["tid"].as_i64().unwrap() != 0),
+            "no worker-lane spans recorded"
+        );
+        // Kernel spans carry work accounting.
+        assert!(
+            complete
+                .iter()
+                .filter(|e| name_of(e) == "gemm")
+                .all(|e| e["args"]["flops"].as_i64().unwrap() > 0),
+            "gemm spans missing flop counts"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,12 +17,11 @@ use nn::accum::GradAccum;
 use nn::loss::softmax_cross_entropy;
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork, StepError};
-use obsv::{EpochEvent, Event, NullRecorder, Recorder};
+use obsv::{profile, EpochEvent, Event, NullRecorder, Recorder, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Step-decay learning-rate factor: 1.0 for the first half of training,
 /// 0.3 until 3/4, then 0.1, so the softmax/hazard argmax sharpens late.
@@ -97,6 +96,7 @@ impl FlavorModel {
         par: Parallelism,
         rec: &dyn Recorder,
     ) -> Self {
+        let _prof = profile::span("train");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut trainer = FlavorTrainer::new(stream, space, cfg, &mut rng);
         trainer.set_parallelism(par);
@@ -359,6 +359,7 @@ impl FlavorTrainer {
         rec: &dyn Recorder,
         hooks: &mut dyn TrainHooks,
     ) -> Result<EpochOutcome, TrainAbort> {
+        let _prof = profile::span("epoch");
         let epoch = self.train_losses.len();
         let lr_factor = lr_factor(epoch, self.cfg.epochs);
         self.opt.config_mut().lr = self.cfg.lr * lr_factor * lr_scale;
@@ -367,7 +368,7 @@ impl FlavorTrainer {
         let l = self.cfg.seq_len;
         let dim = self.space.flavor_input_dim();
         let pool = WorkerPool::new(self.par.threads);
-        let epoch_start = Instant::now();
+        let epoch_start = Stopwatch::new();
         let mut epoch_loss = 0.0;
         let mut epoch_count = 0usize;
         let mut norm_sum = 0.0;
@@ -376,6 +377,7 @@ impl FlavorTrainer {
         let mut skipped_steps = 0usize;
         let mut shard_ms: Vec<f64> = Vec::new();
         for (step, mb) in order.chunks(self.cfg.minibatch).enumerate() {
+            let _prof = profile::span("minibatch");
             let b = mb.len();
             // The loss normalizer is a function of the targets alone, so
             // each shard can scale its own dlogits before backward — the
@@ -386,7 +388,7 @@ impl FlavorTrainer {
             let net = &self.net;
             let space = &self.space;
             let results = pool.map(&shards, |_, range| {
-                let shard_start = Instant::now();
+                let shard_start = Stopwatch::new();
                 let rows = &mb[range.clone()];
                 let sb = rows.len();
                 // Build inputs and targets: step t of chunk c is token
@@ -425,7 +427,7 @@ impl FlavorTrainer {
                 }
                 local.backward(&cache, &dlogits);
                 let grads = GradAccum::take(&mut local);
-                let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+                let wall = shard_start.elapsed_ms();
                 (sh_loss, sh_count, grads, wall)
             });
             let mut mb_loss = 0.0;
@@ -477,7 +479,7 @@ impl FlavorTrainer {
         }
         let mean_loss = epoch_loss / epoch_count.max(1) as f64;
         self.train_losses.push(mean_loss);
-        let wall_ms = epoch_start.elapsed().as_secs_f64() * 1000.0;
+        let wall_ms = epoch_start.elapsed_ms();
         rec.record(Event::Epoch(EpochEvent {
             stage: "flavor".into(),
             epoch,

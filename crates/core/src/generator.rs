@@ -10,11 +10,10 @@ use crate::flavors::{FlavorBaseline, FlavorModel};
 use crate::lifetimes::LifetimeModel;
 use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
 use glm::samplers::sample_categorical;
-use obsv::{CounterEvent, Event, GenEvent, NullRecorder, Recorder};
+use obsv::{profile, CounterEvent, Event, GenEvent, NullRecorder, Recorder, Stopwatch};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Instant;
 use survival::funcs::sample_hazard_chain;
 use survival::{CensoringPolicy, Interpolation, KaplanMeier, Observation};
 use trace::period::{period_start, PERIODS_PER_DAY, PERIOD_SECS};
@@ -364,13 +363,14 @@ impl TraceGenerator {
         } else {
             None
         };
-        let started = Instant::now();
+        let _prof = profile::span("generate");
+        let started = Stopwatch::new();
         let results = pool.map(&shards, |i, &(p0, n)| {
-            let shard_start = Instant::now();
+            let shard_start = Stopwatch::new();
             let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(seed, i as u64));
             let local = MemoryRecorder::new();
             let out = self.generate_span(p0, n, catalog, &mut rng, &local, budget, doh_override);
-            let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+            let wall = shard_start.elapsed_ms();
             (out, local, wall)
         });
         let mut jobs: Vec<Job> = Vec::new();
@@ -406,7 +406,7 @@ impl TraceGenerator {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        let secs = (started.elapsed_ms() / 1000.0).max(1e-9);
         rec.record(Event::Gauge(obsv::GaugeEvent {
             name: "gen.jobs_per_sec".to_string(),
             value: jobs.len() as f64 / secs,
@@ -423,6 +423,7 @@ impl TraceGenerator {
         rec: &dyn Recorder,
         budget: usize,
     ) -> Result<Trace, GenerateError> {
+        let _prof = profile::span("generate");
         let (jobs, _users) =
             self.generate_span(first_period, n_periods, catalog, rng, rec, budget, None)?;
         Ok(Trace::new(jobs, catalog.clone()))
@@ -684,7 +685,7 @@ fn splitmix64(seed: u64, stream: u64) -> u64 {
 /// Per-simulated-day accounting behind [`GenEvent`] telemetry.
 struct DayStats {
     day: u64,
-    started: Instant,
+    started: Stopwatch,
     periods: u64,
     batches: u64,
     jobs: u64,
@@ -695,7 +696,7 @@ impl DayStats {
     fn new(day: u64) -> Self {
         Self {
             day,
-            started: Instant::now(),
+            started: Stopwatch::new(),
             periods: 0,
             batches: 0,
             jobs: 0,
@@ -708,7 +709,7 @@ impl DayStats {
         if self.periods == 0 {
             return;
         }
-        let wall_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        let wall_ms = self.started.elapsed_ms();
         let secs = wall_ms / 1000.0;
         rec.record(Event::Gen(GenEvent {
             day: self.day,

@@ -21,12 +21,11 @@ use nn::accum::GradAccum;
 use nn::loss::{masked_bce_with_logits, survival_softmax_loss};
 use nn::lstm::LstmState;
 use nn::{Adam, AdamConfig, LstmNetwork, StepError};
-use obsv::{EpochEvent, Event, NullRecorder, Recorder};
+use obsv::{profile, EpochEvent, Event, NullRecorder, Recorder, Stopwatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 use survival::funcs::{hazard_to_pmf, pmf_argmax, pmf_to_hazard, sample_hazard_chain};
 use survival::{CensoringPolicy, KaplanMeier, Observation};
 
@@ -127,6 +126,7 @@ impl LifetimeModel {
         par: Parallelism,
         rec: &dyn Recorder,
     ) -> Self {
+        let _prof = profile::span("train");
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
         let mut trainer = LifetimeTrainer::new(stream, space, cfg, head, &mut rng);
         trainer.set_parallelism(par);
@@ -408,6 +408,7 @@ impl LifetimeTrainer {
         rec: &dyn Recorder,
         hooks: &mut dyn TrainHooks,
     ) -> Result<EpochOutcome, TrainAbort> {
+        let _prof = profile::span("epoch");
         let epoch = self.train_losses.len();
         let lr_factor = lr_factor(epoch, self.cfg.epochs);
         self.opt.config_mut().lr = self.cfg.lr * lr_factor * lr_scale;
@@ -417,7 +418,7 @@ impl LifetimeTrainer {
         let j = self.space.n_bins();
         let dim = self.space.lifetime_input_dim();
         let pool = WorkerPool::new(self.par.threads);
-        let epoch_start = Instant::now();
+        let epoch_start = Stopwatch::new();
         let mut epoch_loss = 0.0;
         let mut epoch_count = 0usize;
         let mut norm_sum = 0.0;
@@ -426,6 +427,7 @@ impl LifetimeTrainer {
         let mut skipped_steps = 0usize;
         let mut shard_ms: Vec<f64> = Vec::new();
         for (step_idx, mb) in order.chunks(self.cfg.minibatch).enumerate() {
+            let _prof = profile::span("minibatch");
             // The loss normalizer is a function of the targets alone
             // (mask widths / row counts), so it is known before any
             // forward pass and each shard can scale its own dlogits.
@@ -436,7 +438,7 @@ impl LifetimeTrainer {
             let space = &self.space;
             let head = self.head;
             let results = pool.map(&shards, |_, range| {
-                let shard_start = Instant::now();
+                let shard_start = Stopwatch::new();
                 let rows = &mb[range.clone()];
                 let sb = rows.len();
                 let mut xs = Vec::with_capacity(l);
@@ -494,7 +496,7 @@ impl LifetimeTrainer {
                 }
                 local.backward(&cache, &dlogits);
                 let grads = GradAccum::take(&mut local);
-                let wall = shard_start.elapsed().as_secs_f64() * 1000.0;
+                let wall = shard_start.elapsed_ms();
                 (sh_loss, grads, wall)
             });
             let mut mb_loss = 0.0;
@@ -544,7 +546,7 @@ impl LifetimeTrainer {
         }
         let mean_loss = epoch_loss / epoch_count.max(1) as f64;
         self.train_losses.push(mean_loss);
-        let wall_ms = epoch_start.elapsed().as_secs_f64() * 1000.0;
+        let wall_ms = epoch_start.elapsed_ms();
         rec.record(Event::Epoch(EpochEvent {
             stage: "lifetime".into(),
             epoch,

@@ -8,9 +8,20 @@
 //! shard a batch by rows and still reproduce single-threaded results.
 
 use crate::pool::WorkerPool;
+use obsv::profile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Analytic work accounting for one `m x k · k x n` GEMM-family call:
+/// `2·m·n·k` flops and the operand + read/write-output traffic in bytes.
+/// One call per kernel invocation; with profiling off this is two
+/// thread-local adds.
+#[inline]
+fn account_gemm(m: usize, n: usize, k: usize) {
+    profile::add_flops(2 * (m as u64) * (n as u64) * (k as u64));
+    profile::add_bytes(8 * ((m * k) as u64 + (k * n) as u64 + 2 * (m * n) as u64));
+}
 
 /// Target working-set size for cache blocking, in `f64` entries (32 KiB of
 /// L1 data cache). Block heights are sized so one block of the streamed
@@ -249,6 +260,8 @@ impl Mat {
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _prof = profile::span("gemm");
+        account_gemm(self.cols, other.cols, self.rows);
         let mut out = Mat::zeros(self.cols, other.cols);
         // out[i][j] += self[k][i] * other[k][j]: iterate k outer for locality.
         for k in 0..self.rows {
@@ -284,6 +297,8 @@ impl Mat {
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
+        let _prof = profile::span("gemm");
+        account_gemm(self.rows, other.rows, self.cols);
         let mut out = Mat::zeros(self.rows, other.rows);
         let jb = block_rows(self.cols);
         for j0 in (0..other.rows).step_by(jb) {
@@ -371,7 +386,13 @@ impl Mat {
             .step_by(chunk)
             .map(|r0| r0..(r0 + chunk).min(self.rows))
             .collect();
+        let inner = self.cols;
         let blocks = pool.map(&ranges, |_, rows| {
+            // Each worker's share of the product is its own GEMM kernel
+            // call for accounting (the inner dimension is self.cols for
+            // both par_* kernels).
+            let _prof = profile::span("gemm");
+            account_gemm(rows.len(), out_cols, inner);
             let mut block = Mat::zeros(rows.len(), out_cols);
             fill(rows, &mut block);
             block
@@ -518,6 +539,8 @@ pub fn gemm_acc(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
     assert_eq!(a.cols, b.rows, "gemm inner dimension mismatch");
     assert_eq!(out.rows, a.rows, "gemm output rows mismatch");
     assert_eq!(out.cols, b.cols, "gemm output cols mismatch");
+    let _prof = profile::span("gemm");
+    account_gemm(a.rows, b.cols, a.cols);
     let kb = block_rows(b.cols);
     for k0 in (0..a.cols).step_by(kb) {
         let k1 = (k0 + kb).min(a.cols);

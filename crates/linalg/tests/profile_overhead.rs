@@ -1,0 +1,68 @@
+//! Overhead guard: with no profiler active, the instrumentation on the
+//! GEMM hot path (one disabled span + two work-counter adds per kernel
+//! call) must be negligible against the kernel itself.
+//!
+//! The disabled path is measured directly (a tight loop of span +
+//! counter calls) and compared against the measured cost of one small
+//! GEMM; the bound is deliberately loose so the test never flakes on a
+//! noisy CI box while still catching an accidental allocation or lock on
+//! the disabled path (those cost microseconds, not nanoseconds).
+
+use linalg::Mat;
+use obsv::profile;
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+#[test]
+fn disabled_profiling_is_negligible_against_gemm() {
+    assert!(
+        profile::current().is_none(),
+        "test requires profiling off"
+    );
+
+    // Cost of the disabled instrumentation sequence, per kernel call.
+    const REPS: u32 = 200_000;
+    let span_trials: Vec<f64> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            for i in 0..REPS {
+                let _g = profile::span("gemm");
+                profile::add_flops(u64::from(i));
+                profile::add_bytes(u64::from(i));
+            }
+            t.elapsed().as_secs_f64() / f64::from(REPS)
+        })
+        .collect();
+    let per_call = median(span_trials);
+
+    // Cost of one 64x64x64 GEMM (the smallest kernel the benches use).
+    let a = Mat::from_fn(64, 64, |r, c| (r as f64 - c as f64) * 0.01);
+    let b = Mat::from_fn(64, 64, |r, c| (r + c) as f64 * 0.01);
+    let gemm_trials: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            let out = a.matmul(&b);
+            let dt = t.elapsed().as_secs_f64();
+            assert!(out.as_slice()[0].is_finite());
+            dt
+        })
+        .collect();
+    let per_gemm = median(gemm_trials);
+
+    // The disabled path must stay under 2% of even this small kernel and
+    // under 2 µs absolute (a real regression — an allocation, a mutex, a
+    // syscall — blows through both).
+    assert!(
+        per_call < 2e-6,
+        "disabled span+counters cost {per_call:.3e}s per call"
+    );
+    assert!(
+        per_call < per_gemm * 0.02,
+        "disabled instrumentation is {:.2}% of a 64x64 GEMM ({per_call:.3e}s vs {per_gemm:.3e}s)",
+        per_call / per_gemm * 100.0
+    );
+}

@@ -12,10 +12,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use cloudgen_lint::{render_json, render_text, rule_counts, scan_workspace};
-use obsv::{Event, JsonlRecorder, LintEvent, Recorder};
+use obsv::{Event, JsonlRecorder, LintEvent, Recorder, Stopwatch};
 
 struct Args {
     root: PathBuf,
@@ -79,9 +78,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let start = Instant::now();
+    let start = Stopwatch::new();
     let report = scan_workspace(&args.root);
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = start.elapsed_ms();
 
     if let Some(path) = &args.telemetry {
         match JsonlRecorder::append(path) {

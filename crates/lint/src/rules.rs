@@ -1,7 +1,7 @@
 //! The lint rules.
 //!
 //! Every rule is a pattern over the token stream produced by
-//! [`crate::lexer`] — R7–R11 additionally consult the item/block tree from
+//! [`crate::lexer`] — R7–R12 additionally consult the item/block tree from
 //! [`crate::tree`] to reason about *where* a pattern occurs (enclosing
 //! function, impl block, `#[cfg(test)]` scope, `use` imports). None of them
 //! parse Rust properly, and each one's documentation states the
@@ -10,7 +10,7 @@
 //!
 //! | id | scope | requirement |
 //! |----|-------|-------------|
-//! | `ambient-rng` (R1) | library crates, non-test | no `thread_rng()`, `SystemTime::now()`, `rand::random()`, or `from_entropy()`; randomness and wall-clock time must flow in from explicit seeds/arguments |
+//! | `ambient-rng` (R1) | library crates, non-test | no `thread_rng()`, `rand::random()`, or `from_entropy()`; randomness must flow in from explicit seeds |
 //! | `no-panic` (R2) | library crates, non-test | no `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!`, `unreachable!` |
 //! | `float-eq` (R3) | all crates, non-test | no `==`/`!=` with a float literal (or `NAN`/`INFINITY` constant) operand |
 //! | `lossy-cast` (R4) | library crates, non-test | no `<float literal> as <int>` and no `.floor()/.ceil()/.round()/.trunc() as <int>` without an annotation |
@@ -21,6 +21,7 @@
 //! | `unordered-reduce` (R9) | library crates, non-test, inside `WorkerPool`-using functions | no `+=` into indexed/field state and no `.sum()` when merging shard results; gradient merging goes through `GradAccum`/`tree_reduce`, other merges must annotate their fixed order |
 //! | `shared-mut-numeric` (R10) | numeric crates except `linalg::pool`, non-test | no `Mutex`/`RwLock`/`Condvar`/atomics: the numeric result path is single-writer by construction; shared mutable state reintroduces scheduling order |
 //! | `ambient-parallelism` (R11) | library crates, non-test | no `available_parallelism()`: thread counts are explicit configuration (throughput knob), never ambient machine state |
+//! | `ambient-time` (R12) | all crates except `obsv`, non-test | no `Instant::now()` / `SystemTime::now()`: wall-clock reads live in `obsv` (`Stopwatch`, profiling spans), so timing stays in one audited crate and can never leak into numerics |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
 //! or the preceding line (see [`crate::scan`]); a suppression that no longer
@@ -48,7 +49,7 @@ pub struct Violation {
 pub const RULES: &[(&str, &str)] = &[
     (
         "ambient-rng",
-        "ambient randomness or wall-clock time in library code (R1)",
+        "ambient randomness in library code (R1)",
     ),
     (
         "no-panic",
@@ -83,6 +84,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "ambient-parallelism",
         "ambient thread-count query in library code (R11)",
+    ),
+    (
+        "ambient-time",
+        "ambient wall-clock read outside obsv (R12)",
     ),
     (
         "allow-missing-reason",
@@ -131,6 +136,11 @@ const NUMERIC_SYNC_CRATES: &[&str] = &[
 /// results are the workspace's entire concurrency surface.
 const POOL_PATH: &str = "crates/linalg/src/pool.rs";
 
+/// The one crate allowed to read the ambient clock (R12): observability
+/// owns `Stopwatch`, `SpanTimer`, and the profiler's span clock, and its
+/// outputs never feed back into numeric results.
+const OBSV_PATH_PREFIX: &str = "crates/obsv/";
+
 fn ident(t: &Tok, text: &str) -> bool {
     t.kind == TokKind::Ident && t.text == text
 }
@@ -148,10 +158,11 @@ fn violation(rule: &'static str, t: &Tok, message: String) -> Violation {
     }
 }
 
-/// R1: `thread_rng` / `SystemTime::now` / `rand::random` / `from_entropy`
-/// in non-test library code. Token-level: flags the identifiers wherever
-/// they appear outside strings/comments, so even a re-export would be
-/// caught.
+/// R1: `thread_rng` / `rand::random` / `from_entropy` in non-test library
+/// code. Token-level: flags the identifiers wherever they appear outside
+/// strings/comments, so even a re-export would be caught. Wall-clock reads
+/// (`SystemTime::now`, `Instant::now`) used to live here too; they are now
+/// R12's whole job ([`ambient_time`]), which also covers tool crates.
 pub fn ambient_rng(ctx: &FileCtx, out: &mut Vec<Violation>) {
     if !matches!(ctx.class, FileClass::Lib { .. }) {
         return;
@@ -169,17 +180,6 @@ pub fn ambient_rng(ctx: &FileCtx, out: &mut Vec<Violation>) {
                     "`{}` seeds from the environment; thread an explicit seeded RNG instead",
                     t.text
                 ),
-            ));
-        } else if ident(t, "SystemTime")
-            && matches!(toks.get(i + 1), Some(n) if punct(n, "::"))
-            && matches!(toks.get(i + 2), Some(n) if ident(n, "now"))
-        {
-            out.push(violation(
-                "ambient-rng",
-                t,
-                "`SystemTime::now()` makes output depend on wall-clock time; take the timestamp \
-                 as an argument"
-                    .to_string(),
             ));
         } else if ident(t, "rand")
             && matches!(toks.get(i + 1), Some(n) if punct(n, "::"))
@@ -659,6 +659,41 @@ pub fn ambient_parallelism(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// R12: `Instant::now()` / `SystemTime::now()` anywhere outside
+/// `crates/obsv` — library *and* tool crates, non-test. The observability
+/// crate is the one audited home for wall-clock access (`Stopwatch`,
+/// `SpanTimer`, the profiler's span clock); everything else times itself
+/// through those wrappers, so a grep of `obsv` answers "where does time
+/// come from" for the whole workspace and no clock read can sneak onto a
+/// numeric path. Matched as the `Ident :: now` token sequence, so aliased
+/// re-export paths (`time::Instant::now`) are caught at the call site.
+pub fn ambient_time(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if matches!(ctx.class, FileClass::TestOrExample) || ctx.path.starts_with(OBSV_PATH_PREFIX) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if (ident(t, "Instant") || ident(t, "SystemTime"))
+            && matches!(toks.get(i + 1), Some(n) if punct(n, "::"))
+            && matches!(toks.get(i + 2), Some(n) if ident(n, "now"))
+        {
+            out.push(violation(
+                "ambient-time",
+                t,
+                format!(
+                    "`{}::now()`{} reads the ambient clock; wall-clock access lives in `obsv` — \
+                     time with `obsv::Stopwatch` or a profiling span",
+                    t.text,
+                    in_fn(ctx, i)
+                ),
+            ));
+        }
+    }
+}
+
 /// Runs every rule against one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -673,5 +708,6 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     unordered_reduce(ctx, &mut out);
     shared_mut_numeric(ctx, &mut out);
     ambient_parallelism(ctx, &mut out);
+    ambient_time(ctx, &mut out);
     out
 }

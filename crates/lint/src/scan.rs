@@ -26,8 +26,9 @@ use crate::rules::{self, Violation};
 use crate::tree::{self, ItemTree};
 
 /// Crates under `crates/` that are command-line tools rather than library
-/// code: R1/R2/R4 do not apply to them (a CLI may panic on bad input and
-/// read the clock), though R3/R5 still do.
+/// code: R1/R2/R4 do not apply to them (a CLI may panic on bad input),
+/// though R3/R5/R12 still do — even a tool times itself through
+/// `obsv::Stopwatch`, never a raw `Instant::now()`.
 const TOOL_CRATES: &[&str] = &["cli", "bench", "lint"];
 
 /// How a file participates in the rule set.
@@ -39,7 +40,8 @@ pub enum FileClass {
         /// `src/`).
         krate: String,
     },
-    /// Binary/tool code; only `float-eq` and `forbid-unsafe` apply.
+    /// Binary/tool code; only `float-eq`, `forbid-unsafe`, and
+    /// `ambient-time` apply.
     Bin {
         /// Crate directory name.
         krate: String,
@@ -482,8 +484,55 @@ mod tests {
             FileClass::Bin {
                 krate: "cli".to_string(),
             },
+            "#![forbid(unsafe_code)]\nfn main() { let mut rng = thread_rng(); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_time_flagged_in_lib_and_bin() {
+        let (v, _) = lib("fn f() { let t0 = std::time::Instant::now(); }");
+        assert!(v.iter().any(|v| v.rule == "ambient-time"), "{v:?}");
+        // Tool crates are NOT exempt: the clock is obsv's alone.
+        let (v, _) = scan_source(
+            "crates/cli/src/main.rs".to_string(),
+            FileClass::Bin {
+                krate: "cli".to_string(),
+            },
             "#![forbid(unsafe_code)]\nfn main() { let t = SystemTime::now(); }",
         );
+        assert!(v.iter().any(|v| v.rule == "ambient-time"), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_time_exempt_in_obsv_and_tests() {
+        // obsv is the sanctioned home for wall-clock access.
+        let (v, _) = scan_source(
+            "crates/obsv/src/metrics.rs".to_string(),
+            FileClass::Lib {
+                krate: "obsv".to_string(),
+            },
+            "fn f() { let t0 = std::time::Instant::now(); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // #[cfg(test)] regions may time things directly.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let t0 = std::time::Instant::now(); }\n}\n";
+        let (v, _) = lib(src);
+        assert!(v.is_empty(), "{v:?}");
+        // Integration tests and benches are out of scope entirely.
+        let (v, _) = scan_source(
+            "crates/linalg/tests/t.rs".to_string(),
+            FileClass::TestOrExample,
+            "fn t() { let t0 = std::time::Instant::now(); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ambient_time_instant_without_now_not_flagged() {
+        // Only the clock *read* is ambient; passing an Instant around or
+        // naming the type is fine (obsv's Stopwatch hands them out).
+        let (v, _) = lib("fn f(t: std::time::Instant) -> std::time::Instant { t }");
         assert!(v.is_empty(), "{v:?}");
     }
 

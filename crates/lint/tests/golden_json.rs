@@ -9,8 +9,9 @@
 use cloudgen_lint::{render_json, scan_source, FileClass, FileViolation, ScanReport, RULES};
 
 /// A fixture exercising one violation from each rule family: legacy
-/// (no-panic), determinism (unordered-iter), concurrency (raw-spawn), and
-/// the suppression audit (stale-allow), plus one live suppression.
+/// (no-panic), determinism (unordered-iter), concurrency (raw-spawn),
+/// observability (ambient-time), and the suppression audit (stale-allow),
+/// plus one live suppression.
 const FIXTURE: &str = r#"fn f(x: Option<u8>) -> u8 { x.unwrap() }
 fn g() { let m = std::collections::HashMap::<u8, u8>::new(); }
 fn h() { std::thread::spawn(|| {}); }
@@ -22,6 +23,7 @@ fn j(z: Option<u8>) -> u8 {
     // lint:allow(no-panic): fixture invariant, z is always Some
     z.unwrap()
 }
+fn k() { let t0 = std::time::Instant::now(); }
 "#;
 
 #[test]
@@ -70,6 +72,7 @@ fn rule_vocabulary_is_pinned() {
             "unordered-reduce",
             "shared-mut-numeric",
             "ambient-parallelism",
+            "ambient-time",
             "allow-missing-reason",
             "stale-allow",
         ],

@@ -67,6 +67,7 @@ fn dangerous_snippet() -> impl Strategy<Value = String> {
         "unimplemented!()".to_string(),
         "thread_rng()".to_string(),
         "SystemTime::now()".to_string(),
+        "Instant::now()".to_string(),
         "a == 0.0".to_string(),
         "b != 1.5".to_string(),
         "2.5 as u64".to_string(),

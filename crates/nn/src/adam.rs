@@ -2,6 +2,7 @@
 
 use crate::param::Param;
 use linalg::Mat;
+use obsv::profile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -135,6 +136,12 @@ impl Adam {
     ///
     /// Panics if the parameter list length or shapes change between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) -> Result<f64, StepError> {
+        let _prof = profile::span("adam-step");
+        let elems: u64 = params.iter().map(|p| p.grad.as_slice().len() as u64).sum();
+        // Norm pass (2 flops/elem) + moment/update arithmetic (~14 flops/elem);
+        // reads g/m/v/w and writes m/v/w, all f64.
+        profile::add_flops(elems * 16);
+        profile::add_bytes(elems * 7 * 8);
         // Lazily initialize moments.
         if self.m.is_empty() {
             for p in params.iter() {

@@ -9,8 +9,17 @@ use crate::init::{lstm_bias, xavier_uniform};
 use crate::param::Param;
 use linalg::numeric::{dsigmoid_from_output, dtanh_from_output, sigmoid};
 use linalg::Mat;
+use obsv::profile;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Approximate flops per hidden unit per batch row for the elementwise gate
+/// work in one forward step: four nonlinearities (~10 flops each as evaluated
+/// here) plus the cell update `c = f*c_prev + i*g`, `tanh(c)`, `h = o*tc`.
+const GATE_FWD_FLOPS_PER_UNIT: u64 = 56;
+/// Same for one backward step: derivative-from-output forms are cheap (a
+/// multiply or two each) but there are eight of them plus the chain sums.
+const GATE_BWD_FLOPS_PER_UNIT: u64 = 30;
 
 /// One LSTM layer's parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,6 +113,10 @@ impl LstmLayer {
                 h[(r, j)] = o * t;
             }
         }
+        // The two GEMMs above account for themselves inside linalg; this
+        // covers the elementwise gate work.
+        profile::add_flops((batch * hidden) as u64 * GATE_FWD_FLOPS_PER_UNIT);
+        profile::add_bytes(((batch * hidden) * 7 * 8) as u64);
         let cache = StepCache {
             x: x.clone(),
             h_prev: h_prev.clone(),
@@ -153,6 +166,9 @@ impl LstmLayer {
                 dz[(r, 3 * hidden + j)] = d_o * dsigmoid_from_output(o);
             }
         }
+
+        profile::add_flops((batch * hidden) as u64 * GATE_BWD_FLOPS_PER_UNIT);
+        profile::add_bytes(((batch * hidden) * 8 * 8) as u64);
 
         // Parameter gradients.
         self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(&dz));
@@ -239,6 +255,7 @@ impl Lstm {
     ///
     /// Panics if any step's input has the wrong width or inconsistent batch.
     pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, LstmCache) {
+        let _prof = profile::span("lstm-fwd");
         let batch = xs.first().map_or(0, Mat::rows);
         let mut caches: Vec<Vec<StepCache>> = self.layers.iter().map(|_| Vec::new()).collect();
         let mut state = self.zero_state(batch);
@@ -289,6 +306,7 @@ impl Lstm {
     ///
     /// Panics if `d_outputs.len()` does not match the cached sequence length.
     pub fn backward(&mut self, cache: &LstmCache, d_outputs: &[Mat]) -> Vec<Mat> {
+        let _prof = profile::span("lstm-bwd");
         let steps = cache.caches.first().map_or(0, Vec::len);
         assert_eq!(d_outputs.len(), steps, "gradient/sequence length mismatch");
         let batch = cache.batch;

@@ -156,6 +156,29 @@ pub struct CheckpointEvent {
     pub wall_ms: f64,
 }
 
+/// One completed profiling span from the hierarchical profiler
+/// ([`crate::profile`]): a named interval with parent/thread linkage and
+/// the flops/bytes accounted on its thread while it was open.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfSpanEvent {
+    /// Span name (`"gemm"`, `"epoch"`, …).
+    pub name: String,
+    /// Unique id within the run.
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Thread lane the span ran on.
+    pub tid: u64,
+    /// Start, microseconds since the profiler's origin.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Floating-point operations accounted while open (inclusive).
+    pub flops: u64,
+    /// Bytes moved accounted while open (inclusive).
+    pub bytes: u64,
+}
+
 /// The closed set of telemetry events a [`crate::Recorder`] accepts.
 ///
 /// Serialized internally tagged so each JSONL line carries its own `type`.
@@ -180,6 +203,8 @@ pub enum Event {
     Guard(GuardEvent),
     /// Checkpoint store operation.
     Checkpoint(CheckpointEvent),
+    /// Completed hierarchical-profiler span.
+    Prof(ProfSpanEvent),
 }
 
 #[cfg(test)]
@@ -265,6 +290,25 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"type\":\"Guard\""), "{json}");
         assert!(json.contains("\"action\":\"rollback\""), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn prof_span_event_round_trips() {
+        let e = Event::Prof(ProfSpanEvent {
+            name: "gemm".into(),
+            id: 7,
+            parent: Some(3),
+            tid: 1,
+            start_us: 120,
+            dur_us: 48,
+            flops: 524_288,
+            bytes: 98_304,
+        });
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"type\":\"Prof\""), "{json}");
+        assert!(json.contains("\"flops\":524288"), "{json}");
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

@@ -18,7 +18,10 @@
 //!   primitives (monotonic `Instant`-based timing, fixed-bucket quantiles);
 //! - [`RunReport`] — aggregates an event stream into per-stage loss
 //!   trajectories, epoch wall-time quantiles, generation throughput, and
-//!   scheduler counters, rendered as JSON or an aligned table.
+//!   scheduler counters, rendered as JSON or an aligned table;
+//! - [`profile`] — hierarchical nested spans with parent/thread ids, flop
+//!   and byte work accounting, a Chrome `trace_event` exporter, and a
+//!   RunReport "profile" section ranked by self-time.
 //!
 //! Hot paths take `&dyn Recorder`; passing `&NullRecorder` keeps the cost
 //! to one virtual call per *epoch* (not per step), so telemetry-off runs
@@ -28,15 +31,18 @@
 
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 
 pub use event::{
     CheckpointEvent, CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, GuardEvent, LintEvent,
-    SchedEvent, SpanEvent,
+    ProfSpanEvent, SchedEvent, SpanEvent,
 };
-pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer};
+pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer, Stopwatch};
+pub use profile::{ProfSpanRecord, Profiler, SpanHandoff};
 pub use recorder::{read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use report::{
-    GenSummary, ResilienceSummary, RunReport, SchedSummary, SpanSummary, StageSummary,
+    GenSummary, ProfileEntry, ProfileSummary, ResilienceSummary, RunReport, SchedSummary,
+    SpanSummary, StageSummary,
 };

@@ -88,6 +88,35 @@ impl Gauge {
     }
 }
 
+/// A plain monotonic stopwatch: [`SpanTimer`] without the name or the
+/// event. This is the sanctioned way to measure wall time outside this
+/// crate — the `ambient-time` lint rule flags direct `Instant::now()`
+/// calls so all clock reads funnel through here.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed so far (monotonic: never decreases).
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_s() * 1000.0
+    }
+}
+
 /// A wall-clock span backed by a monotonic [`Instant`].
 #[derive(Debug, Clone)]
 pub struct SpanTimer {
@@ -189,6 +218,13 @@ impl Histogram {
         self.total
     }
 
+    /// Per-bucket observation counts: one slot per configured upper edge
+    /// (bucket `i` covers `(uppers[i-1], uppers[i]]`) plus the trailing
+    /// open overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Mean of the recorded observations (0 if none).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -209,6 +245,15 @@ impl Histogram {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.total == 0 {
             return 0.0;
+        }
+        // The extreme quantiles are known exactly: clamp to the observed
+        // min/max rather than interpolating inside the owning bucket
+        // (interpolation would report min + width/count for q = 0).
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
         }
         // Rank in 1..=total of the order statistic we want.
         // lint:allow(lossy-cast): q is validated in [0, 1], so the product is finite and non-negative

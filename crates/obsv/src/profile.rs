@@ -1,0 +1,574 @@
+//! Hierarchical profiling: nested spans with parent/thread ids, flop and
+//! byte work accounting, and a Chrome `trace_event` exporter.
+//!
+//! # Model
+//!
+//! A [`Profiler`] is a shared sink of completed [`ProfSpanRecord`]s. It is
+//! *activated* on a thread with [`Profiler::activate`]; while active, every
+//! [`span`] call on that thread opens a nested span whose parent is the
+//! innermost span still open on the same thread. Worker threads join the
+//! same trace through a [`SpanHandoff`] captured on the submitting thread:
+//! the worker's spans get a fresh thread lane (`tid`) and are parented
+//! under the span that was open at capture time, so fan-out work nests
+//! correctly in the trace.
+//!
+//! # Work accounting
+//!
+//! Kernels report arithmetic work with [`add_flops`] / [`add_bytes`] —
+//! unconditional thread-local adds, cheap enough to leave on always. A
+//! span's `flops`/`bytes` are the *inclusive* deltas of these counters
+//! between open and close on its own thread: exact for leaf kernel spans
+//! (GEMM, LSTM gates, Adam), inclusive-of-children for enclosing spans.
+//! Work done by other threads (e.g. pool workers) is attributed to the
+//! worker's own spans, not the submitting span.
+//!
+//! # Overhead when off
+//!
+//! With no profiler active on the thread, [`span`] is one thread-local
+//! flag read plus a branch and returns an inert guard — no allocation, no
+//! lock, no clock read. The counters are plain thread-local `Cell` adds.
+
+use crate::event::{Event, ProfSpanEvent};
+use crate::recorder::Recorder;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+thread_local! {
+    /// Fast-path flag: true iff a profiler is active on this thread.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static ACTIVE: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+    static FLOPS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ThreadCtx {
+    profiler: Profiler,
+    tid: u64,
+    /// Innermost open span on this thread (the parent for the next one).
+    open: Option<u64>,
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adds floating-point operations to this thread's work counter.
+///
+/// Call once per kernel invocation with the kernel's analytic flop count
+/// (e.g. `2·m·n·k` for GEMM); never per element.
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Adds bytes moved (reads + writes, analytic) to this thread's counter.
+#[inline]
+pub fn add_bytes(n: u64) {
+    BYTES.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfSpanRecord {
+    /// Unique id within the profiler.
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Static span name (`"gemm"`, `"epoch"`, …).
+    pub name: &'static str,
+    /// Thread lane the span ran on (0 = first activation).
+    pub tid: u64,
+    /// Microseconds since the profiler's origin.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Flops accounted on this thread while the span was open (inclusive).
+    pub flops: u64,
+    /// Bytes accounted on this thread while the span was open (inclusive).
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Sink {
+    spans: Vec<ProfSpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    lanes: BTreeMap<u64, String>,
+}
+
+/// A shared profiling sink. Cloning is cheap (`Arc` handle).
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    origin: Instant,
+    sink: Mutex<Sink>,
+    next_id: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// Creates an empty profiler; its clock origin is now.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                origin: Instant::now(),
+                sink: Mutex::new(Sink::default()),
+                next_id: AtomicU64::new(1),
+                next_tid: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Microseconds since this profiler was created.
+    fn us_since_origin(&self) -> u64 {
+        u64::try_from(self.inner.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Activates this profiler on the current thread under `lane_name`
+    /// (e.g. `"main"`). Spans opened while the guard lives are recorded;
+    /// dropping the guard restores whatever was active before.
+    pub fn activate(&self, lane_name: &str) -> ActivationGuard {
+        self.activate_with_parent(lane_name, None)
+    }
+
+    fn activate_with_parent(&self, lane_name: &str, parent: Option<u64>) -> ActivationGuard {
+        let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
+        unpoison(self.inner.sink.lock())
+            .lanes
+            .insert(tid, lane_name.to_string());
+        let prev_enabled = ENABLED.with(Cell::get);
+        let prev = ACTIVE.with(|a| {
+            a.borrow_mut().replace(ThreadCtx {
+                profiler: self.clone(),
+                tid,
+                open: parent,
+            })
+        });
+        ENABLED.with(|e| e.set(true));
+        ActivationGuard {
+            prev,
+            prev_enabled,
+            tid,
+            _not_send: PhantomData,
+        }
+    }
+
+    fn push(&self, rec: ProfSpanRecord) {
+        unpoison(self.inner.sink.lock()).spans.push(rec);
+    }
+
+    /// Accumulates `delta` into a named counter (summed across calls).
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        *unpoison(self.inner.sink.lock())
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a named gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        unpoison(self.inner.sink.lock())
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    /// Snapshot of every completed span, in completion order.
+    pub fn spans(&self) -> Vec<ProfSpanRecord> {
+        unpoison(self.inner.sink.lock()).spans.clone()
+    }
+
+    /// The Chrome `trace_event` JSON for everything recorded so far.
+    pub fn chrome_trace_json(&self) -> String {
+        let sink = unpoison(self.inner.sink.lock());
+        chrome_trace(&sink.spans, &sink.lanes)
+    }
+
+    /// Writes the Chrome trace to `path` (open in `chrome://tracing` or
+    /// Perfetto).
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = self.chrome_trace_json();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())
+    }
+
+    /// Drains everything recorded so far into `rec`: one [`Event::Prof`]
+    /// per span plus the accumulated counters and gauges. After this the
+    /// profiler is empty (lane names are kept so a later flush still
+    /// labels threads).
+    pub fn flush_events(&self, rec: &dyn Recorder) {
+        let (spans, counters, gauges) = {
+            let mut sink = unpoison(self.inner.sink.lock());
+            (
+                std::mem::take(&mut sink.spans),
+                std::mem::take(&mut sink.counters),
+                std::mem::take(&mut sink.gauges),
+            )
+        };
+        for s in spans {
+            rec.record(Event::Prof(ProfSpanEvent {
+                name: s.name.to_string(),
+                id: s.id,
+                parent: s.parent,
+                tid: s.tid,
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+                flops: s.flops,
+                bytes: s.bytes,
+            }));
+        }
+        for (name, delta) in counters {
+            rec.record(Event::Counter(crate::event::CounterEvent { name, delta }));
+        }
+        for (name, value) in gauges {
+            rec.record(Event::Gauge(crate::event::GaugeEvent { name, value }));
+        }
+    }
+}
+
+/// Restores the thread's previous profiling state on drop.
+///
+/// Not `Send`: it must be dropped on the thread that created it. Spans
+/// opened under this activation must close before the guard drops.
+pub struct ActivationGuard {
+    prev: Option<ThreadCtx>,
+    prev_enabled: bool,
+    tid: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ActivationGuard {
+    /// The thread lane id this activation was assigned.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+}
+
+impl Drop for ActivationGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ACTIVE.with(|a| *a.borrow_mut() = prev);
+        ENABLED.with(|e| e.set(self.prev_enabled));
+    }
+}
+
+/// Opens a span named `name` on the current thread.
+///
+/// With no active profiler this is one flag read and returns an inert
+/// guard. The span closes (and is recorded) when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ENABLED.with(Cell::get) {
+        return SpanGuard { live: None };
+    }
+    open_span(name)
+}
+
+fn open_span(name: &'static str) -> SpanGuard {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(ctx) = slot.as_mut() else {
+            return SpanGuard { live: None };
+        };
+        let id = ctx.profiler.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = ctx.open.replace(id);
+        SpanGuard {
+            live: Some(LiveSpan {
+                name,
+                id,
+                parent,
+                start_us: ctx.profiler.us_since_origin(),
+                flops0: FLOPS.with(Cell::get),
+                bytes0: BYTES.with(Cell::get),
+            }),
+        }
+    })
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_us: u64,
+    flops0: u64,
+    bytes0: u64,
+}
+
+/// Closes its span on drop. Inert (and free) when profiling is off.
+#[must_use = "a span closes when its guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let Some(ctx) = slot.as_mut() else {
+                // Activation ended before the span closed; drop it.
+                return;
+            };
+            ctx.open = live.parent;
+            let end_us = ctx.profiler.us_since_origin();
+            let rec = ProfSpanRecord {
+                id: live.id,
+                parent: live.parent,
+                name: live.name,
+                tid: ctx.tid,
+                start_us: live.start_us,
+                dur_us: end_us.saturating_sub(live.start_us),
+                flops: FLOPS.with(Cell::get).wrapping_sub(live.flops0),
+                bytes: BYTES.with(Cell::get).wrapping_sub(live.bytes0),
+            };
+            let profiler = ctx.profiler.clone();
+            drop(slot);
+            profiler.push(rec);
+        });
+    }
+}
+
+/// Microseconds since the active profiler's origin, or `None` when
+/// profiling is off. The sanctioned clock for non-`obsv` code that needs
+/// raw timestamps (e.g. pool utilization arithmetic).
+pub fn now_us() -> Option<u64> {
+    if !ENABLED.with(Cell::get) {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow().as_ref().map(|ctx| ctx.profiler.us_since_origin()))
+}
+
+/// The active profiler on this thread, if any.
+pub fn current() -> Option<Profiler> {
+    if !ENABLED.with(Cell::get) {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow().as_ref().map(|ctx| ctx.profiler.clone()))
+}
+
+/// A capture of "the profiler and span that submitted this work", for
+/// carrying a trace across a thread boundary.
+#[derive(Debug, Clone)]
+pub struct SpanHandoff {
+    profiler: Profiler,
+    parent: Option<u64>,
+}
+
+/// Captures the current profiler and innermost open span, or `None` when
+/// profiling is off. Send the result to a worker thread and call
+/// [`SpanHandoff::enter`] there.
+pub fn handoff() -> Option<SpanHandoff> {
+    if !ENABLED.with(Cell::get) {
+        return None;
+    }
+    ACTIVE.with(|a| {
+        a.borrow().as_ref().map(|ctx| SpanHandoff {
+            profiler: ctx.profiler.clone(),
+            parent: ctx.open,
+        })
+    })
+}
+
+impl SpanHandoff {
+    /// Activates the captured profiler on the current (worker) thread under
+    /// a fresh lane named `lane_name`; spans opened here are parented under
+    /// the span that was open at capture time.
+    pub fn enter(&self, lane_name: &str) -> ActivationGuard {
+        self.profiler.activate_with_parent(lane_name, self.parent)
+    }
+
+    /// The owning profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the "JSON Array Format"
+/// wrapped in an object), deterministically ordered by `(tid, start, id)`.
+///
+/// `lanes` maps thread ids to display names; missing ids get `thread-N`.
+pub fn chrome_trace(spans: &[ProfSpanRecord], lanes: &BTreeMap<u64, String>) -> String {
+    let mut events: Vec<serde_json::Value> = Vec::new();
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        let name = lanes
+            .get(tid)
+            .cloned()
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        events.push(serde_json::json!({
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": name},
+        }));
+    }
+    let mut ordered: Vec<&ProfSpanRecord> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.tid, s.start_us, s.id));
+    for s in ordered {
+        events.push(serde_json::json!({
+            "ph": "X",
+            "pid": 1,
+            "tid": s.tid,
+            "name": s.name,
+            "ts": s.start_us,
+            "dur": s.dur_us,
+            "args": {
+                "id": s.id,
+                "parent": s.parent,
+                "flops": s.flops,
+                "bytes": s.bytes,
+            },
+        }));
+    }
+    let doc = serde_json::json!({ "traceEvents": events });
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn span_without_profiler_is_inert() {
+        let g = span("nothing");
+        assert!(g.live.is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let p = Profiler::new();
+        {
+            let _act = p.activate("main");
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+        }
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[0].tid, spans[1].tid);
+        assert!(spans[0].start_us >= spans[1].start_us);
+    }
+
+    #[test]
+    fn work_counters_attribute_inclusively() {
+        let p = Profiler::new();
+        {
+            let _act = p.activate("main");
+            let _outer = span("outer");
+            add_flops(10);
+            {
+                let _inner = span("inner");
+                add_flops(5);
+                add_bytes(64);
+            }
+            add_flops(1);
+        }
+        let spans = p.spans();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.flops, 5);
+        assert_eq!(inner.bytes, 64);
+        assert_eq!(outer.flops, 16);
+        assert_eq!(outer.bytes, 64);
+    }
+
+    #[test]
+    fn handoff_parents_worker_spans_and_assigns_lanes() {
+        let p = Profiler::new();
+        let submit_id;
+        {
+            let _act = p.activate("main");
+            let submit = span("submit");
+            let h = handoff().expect("profiling active");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _worker = h.enter("worker-0");
+                    let _s = span("work-item");
+                });
+            });
+            drop(submit);
+            submit_id = p.spans().iter().find(|s| s.name == "submit").map(|s| s.id);
+        }
+        let spans = p.spans();
+        let item = spans.iter().find(|s| s.name == "work-item").unwrap();
+        let submit = spans.iter().find(|s| s.name == "submit").unwrap();
+        assert_eq!(item.parent, Some(submit.id));
+        assert_eq!(submit_id, Some(submit.id));
+        assert_ne!(item.tid, submit.tid);
+    }
+
+    #[test]
+    fn activation_restores_previous_state() {
+        assert!(now_us().is_none());
+        let p = Profiler::new();
+        {
+            let _a = p.activate("main");
+            assert!(now_us().is_some());
+            assert!(current().is_some());
+        }
+        assert!(now_us().is_none());
+        assert!(current().is_none());
+        assert!(handoff().is_none());
+    }
+
+    #[test]
+    fn flush_emits_prof_counter_and_gauge_events() {
+        let p = Profiler::new();
+        {
+            let _a = p.activate("main");
+            let _s = span("unit");
+        }
+        p.add_counter("pool.items", 3);
+        p.add_counter("pool.items", 2);
+        p.set_gauge("pool.w0.util", 0.75);
+        let rec = MemoryRecorder::new();
+        p.flush_events(&rec);
+        let events = rec.events();
+        assert!(events.iter().any(|e| matches!(e, Event::Prof(s) if s.name == "unit")));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Counter(c) if c.name == "pool.items" && c.delta == 5))
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Gauge(g) if g.name == "pool.w0.util"
+                    && (g.value - 0.75).abs() < 1e-12))
+        );
+        // Flush drains.
+        assert!(p.spans().is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //! summaries, generation throughput, and scheduler counters, rendered as
 //! JSON or an aligned text table.
 
-use crate::event::{Event, GuardEvent, LintEvent};
+use crate::event::{Event, GuardEvent, LintEvent, ProfSpanEvent};
 use crate::metrics::exact_quantile;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -84,6 +84,91 @@ pub struct SpanSummary {
     pub max_ms: f64,
 }
 
+/// Aggregate of one profiler span name across its occurrences, with
+/// work-derived rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Total inclusive time, milliseconds.
+    pub total_ms: f64,
+    /// Total self time (inclusive minus same-thread children), milliseconds.
+    pub self_ms: f64,
+    /// Total flops accounted (inclusive).
+    pub flops: u64,
+    /// Total bytes moved accounted (inclusive).
+    pub bytes: u64,
+    /// Achieved GFLOP/s over the span's inclusive time (0 when no flops).
+    pub gflops: f64,
+    /// Arithmetic intensity, flops per byte (0 when no bytes).
+    pub intensity: f64,
+}
+
+/// Profiler summary: span aggregates ranked by self-time, hottest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProfileSummary {
+    /// Per-name aggregates, descending self-time.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl ProfileSummary {
+    fn from_prof_events(profs: &[&ProfSpanEvent]) -> Self {
+        // Self time = inclusive duration minus the durations of direct
+        // children, resolved through the parent links.
+        let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+        for p in profs {
+            if let Some(parent) = p.parent {
+                *child_us.entry(parent).or_insert(0) += p.dur_us;
+            }
+        }
+        #[derive(Default)]
+        struct Acc {
+            count: u64,
+            total_us: u64,
+            self_us: u64,
+            flops: u64,
+            bytes: u64,
+        }
+        let mut by_name: BTreeMap<&str, Acc> = BTreeMap::new();
+        for p in profs {
+            let a = by_name.entry(p.name.as_str()).or_default();
+            a.count += 1;
+            a.total_us += p.dur_us;
+            a.self_us += p.dur_us.saturating_sub(child_us.get(&p.id).copied().unwrap_or(0));
+            a.flops += p.flops;
+            a.bytes += p.bytes;
+        }
+        let mut entries: Vec<ProfileEntry> = by_name
+            .into_iter()
+            .map(|(name, a)| {
+                let total_s = a.total_us as f64 / 1e6;
+                ProfileEntry {
+                    name: name.to_string(),
+                    count: a.count,
+                    total_ms: a.total_us as f64 / 1e3,
+                    self_ms: a.self_us as f64 / 1e3,
+                    flops: a.flops,
+                    bytes: a.bytes,
+                    gflops: if a.flops > 0 && total_s > 0.0 {
+                        a.flops as f64 / total_s / 1e9
+                    } else {
+                        0.0
+                    },
+                    intensity: if a.bytes > 0 {
+                        a.flops as f64 / a.bytes as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| b.self_ms.total_cmp(&a.self_ms).then(a.name.cmp(&b.name)));
+        Self { entries }
+    }
+}
+
 /// Resilience summary: guard interventions and checkpoint operations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct ResilienceSummary {
@@ -128,6 +213,10 @@ pub struct RunReport {
     /// Defaults so reports serialized before this field existed still load.
     #[serde(default)]
     pub resilience: Option<ResilienceSummary>,
+    /// Hierarchical-profiler span aggregates, if the run was profiled.
+    /// Defaults so reports serialized before this field existed still load.
+    #[serde(default)]
+    pub profile: Option<ProfileSummary>,
 }
 
 impl RunReport {
@@ -142,6 +231,7 @@ impl RunReport {
         let mut spans: BTreeMap<String, SpanSummary> = BTreeMap::new();
         let mut lint: Option<LintEvent> = None;
         let mut resilience: Option<ResilienceSummary> = None;
+        let mut profs: Vec<&ProfSpanEvent> = Vec::new();
         /// Verbatim guard events kept in `recent_guards`.
         const RECENT_GUARDS_CAP: usize = 16;
 
@@ -212,8 +302,15 @@ impl RunReport {
                         r.checkpoint_bytes_saved += e.bytes;
                     }
                 }
+                Event::Prof(e) => profs.push(e),
             }
         }
+
+        let profile = if profs.is_empty() {
+            None
+        } else {
+            Some(ProfileSummary::from_prof_events(&profs))
+        };
 
         if let Some(g) = gen.as_mut() {
             g.days = gen_days.len() as u64;
@@ -265,6 +362,7 @@ impl RunReport {
             spans,
             lint,
             resilience,
+            profile,
         }
     }
 
@@ -278,6 +376,7 @@ impl RunReport {
             && self.spans.is_empty()
             && self.lint.is_none()
             && self.resilience.is_none()
+            && self.profile.is_none()
     }
 
     /// The report as pretty-printed JSON.
@@ -382,6 +481,22 @@ impl RunReport {
                     out,
                     "  {:<24} {:>6} {:>12.1} {:>12.1}",
                     name, s.count, s.total_ms, s.max_ms
+                );
+            }
+        }
+
+        if let Some(p) = &self.profile {
+            let _ = writeln!(out, "\nprofile (by self-time)");
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>7} {:>11} {:>11} {:>9} {:>9}",
+                "span", "count", "total-ms", "self-ms", "gflop/s", "flop/B"
+            );
+            for e in &p.entries {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} {:>7} {:>11.2} {:>11.2} {:>9.2} {:>9.2}",
+                    e.name, e.count, e.total_ms, e.self_ms, e.gflops, e.intensity
                 );
             }
         }
@@ -673,6 +788,57 @@ mod tests {
         assert_eq!(res.recent_guards.len(), 16);
         // Most recent kept: the last event's epoch survives.
         assert_eq!(res.recent_guards.last().unwrap().epoch, 39);
+    }
+
+    fn prof(name: &str, id: u64, parent: Option<u64>, dur_us: u64, flops: u64, bytes: u64) -> Event {
+        Event::Prof(crate::event::ProfSpanEvent {
+            name: name.into(),
+            id,
+            parent,
+            tid: 0,
+            start_us: 0,
+            dur_us,
+            flops,
+            bytes,
+        })
+    }
+
+    #[test]
+    fn profile_section_ranks_by_self_time() {
+        // epoch(10ms) ⊃ minibatch(8ms) ⊃ gemm(6ms): self times 2/2/6 ms.
+        let events = vec![
+            prof("epoch", 1, None, 10_000, 0, 0),
+            prof("minibatch", 2, Some(1), 8_000, 0, 0),
+            prof("gemm", 3, Some(2), 6_000, 12_000_000, 1_000_000),
+        ];
+        let r = RunReport::from_events(&events);
+        let p = r.profile.as_ref().expect("profile section");
+        assert_eq!(p.entries.len(), 3);
+        // gemm has the largest self time and leads the ranking.
+        assert_eq!(p.entries[0].name, "gemm");
+        assert!((p.entries[0].self_ms - 6.0).abs() < 1e-9);
+        assert!((p.entries[0].total_ms - 6.0).abs() < 1e-9);
+        // 12 Mflop over 6 ms = 2 GFLOP/s; 12 flops per byte.
+        assert!((p.entries[0].gflops - 2.0).abs() < 1e-9, "{}", p.entries[0].gflops);
+        assert!((p.entries[0].intensity - 12.0).abs() < 1e-9);
+        let epoch = p.entries.iter().find(|e| e.name == "epoch").unwrap();
+        assert!((epoch.total_ms - 10.0).abs() < 1e-9);
+        assert!((epoch.self_ms - 2.0).abs() < 1e-9);
+        let table = r.render_table();
+        assert!(table.contains("profile (by self-time)"), "{table}");
+        assert!(table.contains("gemm"), "{table}");
+        let back: RunReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reports_without_profile_field_still_load() {
+        let r = RunReport::from_events(&[epoch("flavor", 0, 1.0, 5.0)]);
+        let mut json: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+        json.as_object_mut().unwrap().remove("profile");
+        let back: RunReport = serde_json::from_value(json).unwrap();
+        assert!(back.profile.is_none());
+        assert_eq!(back.stages, r.stages);
     }
 
     #[test]

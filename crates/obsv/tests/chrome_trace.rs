@@ -1,0 +1,152 @@
+//! Chrome `trace_event` exporter tests: a byte-exact golden file for a
+//! fixed span set, plus structural checks (nesting containment, thread
+//! ids, monotone timestamps) on both the fixture and a live profiler.
+//!
+//! Regenerate the golden file after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test -p obsv --test chrome_trace`
+
+use obsv::profile::{chrome_trace, span, ProfSpanRecord, Profiler};
+use std::collections::BTreeMap;
+
+const GOLDEN_PATH: &str = "tests/golden/chrome_trace.json";
+
+fn fixture_spans() -> Vec<ProfSpanRecord> {
+    vec![
+        ProfSpanRecord {
+            id: 1,
+            parent: None,
+            name: "train",
+            tid: 0,
+            start_us: 0,
+            dur_us: 10_000,
+            flops: 524_288,
+            bytes: 98_304,
+        },
+        ProfSpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "epoch",
+            tid: 0,
+            start_us: 100,
+            dur_us: 9_000,
+            flops: 524_288,
+            bytes: 98_304,
+        },
+        ProfSpanRecord {
+            id: 3,
+            parent: Some(2),
+            name: "minibatch",
+            tid: 0,
+            start_us: 200,
+            dur_us: 4_000,
+            flops: 524_288,
+            bytes: 98_304,
+        },
+        ProfSpanRecord {
+            id: 4,
+            parent: Some(3),
+            name: "gemm",
+            tid: 0,
+            start_us: 300,
+            dur_us: 1_000,
+            flops: 524_288,
+            bytes: 98_304,
+        },
+        ProfSpanRecord {
+            id: 5,
+            parent: Some(3),
+            name: "pool-item",
+            tid: 1,
+            start_us: 250,
+            dur_us: 3_000,
+            flops: 0,
+            bytes: 0,
+        },
+    ]
+}
+
+fn fixture_lanes() -> BTreeMap<u64, String> {
+    BTreeMap::from([(0, "main".to_string()), (1, "worker-0".to_string())])
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let rendered = chrome_trace(&fixture_spans(), &fixture_lanes());
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    // Content-exact comparison (whitespace-insensitive): the golden pins
+    // event order, nesting links, lane names, and every field value.
+    let rendered_v: serde_json::Value = serde_json::from_str(&rendered).unwrap();
+    let golden_v: serde_json::Value = serde_json::from_str(&golden).unwrap();
+    assert_eq!(rendered_v, golden_v, "chrome trace drifted from golden file");
+}
+
+/// Structural invariants any emitted trace must satisfy.
+fn assert_trace_invariants(json: &str) {
+    let doc: serde_json::Value = serde_json::from_str(json).expect("trace parses");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let complete: Vec<&serde_json::Value> =
+        events.iter().filter(|e| e["ph"] == "X").collect();
+    assert!(!complete.is_empty(), "no complete events");
+    // Every X event carries a tid that has a thread_name metadata event.
+    let named_tids: Vec<i64> = events
+        .iter()
+        .filter(|e| e["ph"] == "M" && e["name"] == "thread_name")
+        .map(|e| e["tid"].as_i64().unwrap())
+        .collect();
+    for e in &complete {
+        assert!(
+            named_tids.contains(&e["tid"].as_i64().unwrap()),
+            "tid {} has no thread_name event",
+            e["tid"]
+        );
+    }
+    // Parent links resolve and children are contained in their parents'
+    // intervals (same-lane children also nest in time).
+    let by_id: BTreeMap<i64, &serde_json::Value> = complete
+        .iter()
+        .map(|e| (e["args"]["id"].as_i64().unwrap(), *e))
+        .collect();
+    for e in &complete {
+        if let Some(pid) = e["args"]["parent"].as_i64() {
+            let parent = by_id.get(&pid).expect("parent id resolves");
+            let (ts, dur) = (e["ts"].as_i64().unwrap(), e["dur"].as_i64().unwrap());
+            let (pts, pdur) = (parent["ts"].as_i64().unwrap(), parent["dur"].as_i64().unwrap());
+            assert!(ts >= pts, "child starts before parent: {e}");
+            assert!(ts + dur <= pts + pdur, "child outlives parent: {e}");
+        }
+    }
+    // Within a lane, events are emitted in monotone start order.
+    let mut last_start: BTreeMap<i64, i64> = BTreeMap::new();
+    for e in &complete {
+        let tid = e["tid"].as_i64().unwrap();
+        let ts = e["ts"].as_i64().unwrap();
+        let prev = last_start.insert(tid, ts).unwrap_or(i64::MIN);
+        assert!(ts >= prev, "timestamps not monotone within lane {tid}");
+    }
+}
+
+#[test]
+fn fixture_trace_satisfies_invariants() {
+    assert_trace_invariants(&chrome_trace(&fixture_spans(), &fixture_lanes()));
+}
+
+#[test]
+fn live_profiler_trace_satisfies_invariants() {
+    let p = Profiler::new();
+    {
+        let _act = p.activate("main");
+        let _train = span("train");
+        for _ in 0..2 {
+            let _epoch = span("epoch");
+            let _mb = span("minibatch");
+            let _k = span("gemm");
+        }
+    }
+    assert_trace_invariants(&p.chrome_trace_json());
+}

@@ -1,0 +1,96 @@
+//! Property tests for `Histogram` edge behavior: values exactly on bucket
+//! upper edges must land deterministically in the bucket that edge closes
+//! (`(prev, upper]` semantics), and the extreme quantiles must clamp to
+//! the observed min/max.
+
+use obsv::Histogram;
+use proptest::prelude::*;
+
+/// Strictly increasing finite bucket edges built from positive gaps.
+fn edges() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.125f64..16.0, 1..8).prop_map(|gaps| {
+        let mut edges = Vec::with_capacity(gaps.len());
+        let mut acc = 0.0;
+        for g in gaps {
+            acc += g;
+            edges.push(acc);
+        }
+        edges
+    })
+}
+
+proptest! {
+    /// A value exactly equal to an upper edge lands in the bucket that
+    /// edge closes — never the one above — and repeated records of the
+    /// same edge all land in that same bucket.
+    #[test]
+    fn upper_edge_lands_in_closing_bucket(edges in edges(), idx in 0usize..8, reps in 1u64..5) {
+        let idx = idx % edges.len();
+        let v = edges[idx];
+        let mut h = Histogram::new(edges.clone());
+        for _ in 0..reps {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.len(), edges.len() + 1);
+        prop_assert_eq!(counts[idx], reps);
+        let elsewhere: u64 = counts
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| *b != idx)
+            .map(|(_, c)| *c)
+            .sum();
+        prop_assert_eq!(elsewhere, 0);
+    }
+
+    /// A value just above an upper edge spills into the next bucket.
+    #[test]
+    fn value_above_edge_spills_to_next_bucket(edges in edges(), idx in 0usize..8) {
+        let idx = idx % edges.len();
+        let v = edges[idx] + 1e-9;
+        let mut h = Histogram::new(edges.clone());
+        h.record(v);
+        prop_assert_eq!(h.bucket_counts()[idx + 1], 1);
+    }
+
+    /// `quantile(0.0)` is the observed minimum and `quantile(1.0)` the
+    /// observed maximum, exactly, regardless of bucket layout.
+    #[test]
+    fn extreme_quantiles_clamp_to_observed_min_max(
+        edges in edges(),
+        values in prop::collection::vec(-4.0f64..128.0, 1..64),
+    ) {
+        let mut h = Histogram::new(edges);
+        for &v in &values {
+            h.record(v);
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.quantile(0.0), min);
+        prop_assert_eq!(h.quantile(1.0), max);
+    }
+
+    /// Quantiles are monotone in `q` and bounded by the observed range.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        edges in edges(),
+        values in prop::collection::vec(-4.0f64..128.0, 1..64),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let mut h = Histogram::new(edges);
+        for &v in &values {
+            h.record(v);
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev - 1e-12, "quantile({q}) = {v} < {prev}");
+            prop_assert!(v >= min - 1e-12 && v <= max + 1e-12, "quantile({q}) = {v} outside [{min}, {max}]");
+            prev = v;
+        }
+    }
+}

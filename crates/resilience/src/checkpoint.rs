@@ -13,14 +13,13 @@
 
 use crate::rng::CkptRng;
 use nn::codec::{self, CodecError};
-use obsv::{CheckpointEvent, Event, Recorder};
+use obsv::{CheckpointEvent, Event, Recorder, Stopwatch};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Envelope kind tag for checkpoint files.
 pub const CHECKPOINT_KIND: &str = "train-checkpoint";
@@ -132,7 +131,7 @@ impl CheckpointStore {
         ck: &Checkpoint<T>,
         rec: &dyn Recorder,
     ) -> Result<PathBuf, CheckpointError> {
-        let started = Instant::now();
+        let started = Stopwatch::new();
         let payload =
             serde_json::to_string(ck).map_err(|e| CheckpointError::Payload(e.to_string()))?;
         let enveloped = codec::encode_envelope(CHECKPOINT_KIND, &payload);
@@ -149,7 +148,7 @@ impl CheckpointStore {
             epoch: ck.epoch,
             kind: "save".to_string(),
             bytes: enveloped.len() as u64,
-            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+            wall_ms: started.elapsed_ms(),
         }));
         Ok(final_path)
     }

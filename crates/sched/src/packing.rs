@@ -7,7 +7,7 @@
 
 use crate::algorithms::PlacementAlgorithm;
 use crate::server::Server;
-use obsv::{Event, NullRecorder, Recorder, SchedEvent};
+use obsv::{profile, Event, NullRecorder, Recorder, SchedEvent};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use trace::Trace;
@@ -137,6 +137,7 @@ pub fn pack_trace_recorded(
     rng: &mut impl Rng,
     rec: &dyn Recorder,
 ) -> FfarResult {
+    let _prof = profile::span("pack");
     let mut servers: Vec<Server> = (0..tuple.n_servers)
         .map(|_| Server::new(tuple.cpu_cap, tuple.mem_cap))
         .collect();

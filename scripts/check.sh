@@ -15,7 +15,8 @@ cargo clippy --workspace -- -D warnings
 echo "==> cloudgen-lint (incl. determinism/concurrency pack + stale-allow audit)"
 # Exits nonzero on any violation, including the six syntax-aware rules
 # added in PR 5 (unordered-iter, raw-spawn, unordered-reduce,
-# shared-mut-numeric, ambient-parallelism, stale-allow).
+# shared-mut-numeric, ambient-parallelism, stale-allow) and PR 6's
+# ambient-time (Instant/SystemTime reads outside obsv).
 cargo run --release -p cloudgen-lint
 
 echo "==> fault-injection suite (resilience)"
@@ -30,4 +31,11 @@ echo "==> parallel throughput bench (writes BENCH_pr4.json)"
 # asserts byte-identical losses/traces across worker counts.
 cargo run --release -p bench --bin bench_pr4_parallel
 
-echo "ok: build + tests + clippy + cloudgen-lint + fault injection + determinism all green"
+echo "==> continuous bench harness smoke (writes BENCH_pr6.json + compare gate)"
+# Quick-mode kernel + stage benches with schema self-validation, then the
+# regression gate diffing the fresh report against itself (must exit 0).
+# Against a stored baseline: cloudgen-bench compare BASELINE.json BENCH_pr6.json
+cargo run --release -p bench --bin cloudgen-bench -- run --quick --out BENCH_pr6.json
+cargo run --release -p bench --bin cloudgen-bench -- compare BENCH_pr6.json BENCH_pr6.json
+
+echo "ok: build + tests + clippy + cloudgen-lint + fault injection + determinism + bench smoke all green"
