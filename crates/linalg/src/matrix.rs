@@ -458,6 +458,23 @@ impl Mat {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Copies `src` into `self` without allocating (reuses storage).
+    ///
+    /// The allocation-free counterpart of `*self = src.clone()` for hot
+    /// paths that recycle a same-shaped destination buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Mat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Adds `row` to every row of `self` (broadcast add).
     ///
     /// # Panics

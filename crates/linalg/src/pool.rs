@@ -78,11 +78,14 @@ impl WorkerPool {
             let handoff = handoff.as_ref();
             let mut handles = Vec::with_capacity(workers);
             for wi in 0..workers {
+                // lint:allow(hot-loop-alloc): one spawn handle per worker — O(threads), not O(items)
                 handles.push(scope.spawn(move || {
+                    // lint:allow(hot-loop-alloc): lane label is formatted once per worker at startup
                     let _lane = handoff.map(|h| h.enter(&format!("worker-{wi}")));
                     let t0 = profile::now_us();
                     let mut busy_us = 0u64;
                     let mut pulled = 0u64;
+                    // lint:allow(hot-loop-alloc): per-worker result buffer, allocated once per worker
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -91,6 +94,7 @@ impl WorkerPool {
                         }
                         let item_span = profile::span("pool-item");
                         let s0 = profile::now_us();
+                        // lint:allow(hot-loop-alloc): collecting results is map's output; amortized O(1) growth
                         local.push((i, f(i, &items[i])));
                         drop(item_span);
                         if let (Some(a), Some(b)) = (s0, profile::now_us()) {
@@ -103,10 +107,14 @@ impl WorkerPool {
                             let total = t1.saturating_sub(t0).max(1);
                             let idle = total.saturating_sub(busy_us);
                             let p = h.profiler();
+                            // lint:allow(hot-loop-alloc): once-per-worker telemetry epilogue, O(threads)
                             p.add_counter(&format!("pool.w{wi}.items"), pulled);
+                            // lint:allow(hot-loop-alloc): once-per-worker telemetry epilogue, O(threads)
                             p.add_counter(&format!("pool.w{wi}.busy_us"), busy_us);
+                            // lint:allow(hot-loop-alloc): once-per-worker telemetry epilogue, O(threads)
                             p.add_counter(&format!("pool.w{wi}.idle_us"), idle);
                             p.set_gauge(
+                                // lint:allow(hot-loop-alloc): once-per-worker telemetry epilogue, O(threads)
                                 &format!("pool.w{wi}.util"),
                                 busy_us as f64 / total as f64,
                             );

@@ -1,0 +1,374 @@
+//! Declared effect contracts (`lint-contracts.toml`).
+//!
+//! The contract file names the workspace's effect policy so the analyzer
+//! can enforce it transitively. Two table kinds, parsed from a deliberately
+//! small TOML subset (`[[contract]]` / `[[barrier]]` array-of-table
+//! headers; `key = "string"` and `key = ["array", "of", "strings"]` values;
+//! `#` comments) — the linter stays dependency-free, and the subset is
+//! validated strictly (unknown keys, unknown effect names, and malformed
+//! lines are hard errors so a typo cannot silently weaken the policy):
+//!
+//! ```toml
+//! # Calls into obsv do not propagate time/io to callers.
+//! [[barrier]]
+//! scope = ["obsv::*"]
+//! absorbs = ["time", "io"]
+//! reason = "obsv owns the audited wall clock and telemetry sinks"
+//!
+//! [[contract]]
+//! name = "kernels-pure"
+//! scope = ["linalg::*", "nn::*"]
+//! forbid = ["rng", "time", "io"]
+//! except = ["nn::codec::*"]
+//! ```
+//!
+//! **Scope patterns** match full fn paths (`nn::lstm::Lstm::forward`):
+//! `*` matches everything, `prefix::*` matches `prefix` and anything under
+//! it, and a bare path matches exactly. Nothing more — the matcher is
+//! simple enough to reason about in a review.
+//!
+//! A *contract* fails for every in-scope, non-excepted fn whose transitive
+//! effect set intersects `forbid`; each failure is an `effect-contract`
+//! violation anchored at the fn definition line, suppressible (and
+//! auditable) like any other rule via `// lint:allow(effect-contract):
+//! reason` on the line above the `fn`.
+//!
+//! A *barrier* declares a sanctioned absorber: calls *into* a matching fn
+//! do not propagate the absorbed effects to the caller (see
+//! [`crate::effects`] for the masking semantics). Barriers are the reason
+//! "only `obsv` may reach `time`" can hold while every crate still times
+//! itself through `obsv::Stopwatch`.
+
+use crate::effects::{parse_effect, EffectSet, PANICS_ANNOTATED};
+
+/// One `[[contract]]` entry.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Contract name shown in reports.
+    pub name: String,
+    /// Scope patterns; a fn is in scope when any matches.
+    pub scope: Vec<String>,
+    /// Forbidden effect bits.
+    pub forbid: EffectSet,
+    /// Exception patterns; an in-scope fn matching any is skipped.
+    pub except: Vec<String>,
+}
+
+/// One `[[barrier]]` entry.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    /// Scope patterns for the absorber fns.
+    pub scope: Vec<String>,
+    /// Effect bits absorbed at call edges into the scope.
+    pub absorbs: EffectSet,
+    /// Why the absorber is sanctioned (required: barriers are audit points).
+    pub reason: String,
+}
+
+/// The parsed contract file.
+#[derive(Debug, Clone, Default)]
+pub struct ContractsFile {
+    /// Contracts in file order.
+    pub contracts: Vec<Contract>,
+    /// Barriers in file order.
+    pub barriers: Vec<Barrier>,
+}
+
+impl ContractsFile {
+    /// Union of effects absorbed when a fn with this path is called.
+    pub fn absorbed_at(&self, path: &str) -> EffectSet {
+        self.barriers
+            .iter()
+            .filter(|b| b.scope.iter().any(|p| scope_matches(p, path)))
+            .fold(0, |acc, b| acc | b.absorbs)
+    }
+}
+
+/// Matches one scope pattern against a full fn path.
+pub fn scope_matches(pattern: &str, path: &str) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    if let Some(prefix) = pattern.strip_suffix("::*") {
+        return path == prefix || path.starts_with(&format!("{prefix}::"));
+    }
+    pattern == path
+}
+
+/// Parses effect names into a set, rejecting unknown names.
+fn parse_effects(names: &[String], line: usize) -> Result<EffectSet, String> {
+    let mut set = 0;
+    for n in names {
+        let bit = parse_effect(n)
+            .ok_or_else(|| format!("line {line}: unknown effect `{n}` (see DESIGN.md)"))?;
+        debug_assert_eq!(bit & PANICS_ANNOTATED, 0);
+        set |= bit;
+    }
+    Ok(set)
+}
+
+/// A `key = value` line's parsed value.
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+/// Parses a double-quoted string starting at `s[0] == '"'`; returns the
+/// content and the rest. No escapes — paths and effect names never need
+/// them, and rejecting `\` keeps the grammar honest.
+fn parse_str(s: &str, line: usize) -> Result<(String, &str), String> {
+    let inner = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("line {line}: expected a double-quoted string"))?;
+    let end = inner
+        .find('"')
+        .ok_or_else(|| format!("line {line}: unterminated string"))?;
+    let content = &inner[..end];
+    if content.contains('\\') {
+        return Err(format!("line {line}: escapes are not supported in strings"));
+    }
+    Ok((content.to_string(), &inner[end + 1..]))
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(list) = s.strip_prefix('[') {
+        let list = list
+            .trim_end()
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {line}: unterminated array (arrays are single-line)"))?;
+        let mut items = Vec::new();
+        let mut rest = list.trim();
+        while !rest.is_empty() {
+            let (item, after) = parse_str(rest, line)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("line {line}: expected `,` between array items"));
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    let (content, after) = parse_str(s, line)?;
+    if !after.trim().is_empty() {
+        return Err(format!("line {line}: trailing content after string value"));
+    }
+    Ok(Value::Str(content))
+}
+
+/// Which table a parsed block belongs to.
+enum Section {
+    Contract {
+        name: Option<String>,
+        scope: Vec<String>,
+        forbid: Vec<String>,
+        except: Vec<String>,
+        line: usize,
+    },
+    Barrier {
+        scope: Vec<String>,
+        absorbs: Vec<String>,
+        reason: Option<String>,
+        line: usize,
+    },
+}
+
+fn finish(section: Section, out: &mut ContractsFile) -> Result<(), String> {
+    match section {
+        Section::Contract {
+            name,
+            scope,
+            forbid,
+            except,
+            line,
+        } => {
+            let name = name.ok_or_else(|| format!("line {line}: contract is missing `name`"))?;
+            if scope.is_empty() {
+                return Err(format!("line {line}: contract `{name}` is missing `scope`"));
+            }
+            if forbid.is_empty() {
+                return Err(format!("line {line}: contract `{name}` is missing `forbid`"));
+            }
+            let forbid = parse_effects(&forbid, line)?;
+            out.contracts.push(Contract {
+                name,
+                scope,
+                forbid,
+                except,
+            });
+        }
+        Section::Barrier {
+            scope,
+            absorbs,
+            reason,
+            line,
+        } => {
+            if scope.is_empty() {
+                return Err(format!("line {line}: barrier is missing `scope`"));
+            }
+            if absorbs.is_empty() {
+                return Err(format!("line {line}: barrier is missing `absorbs`"));
+            }
+            let reason =
+                reason.ok_or_else(|| format!("line {line}: barrier is missing `reason`"))?;
+            let absorbs = parse_effects(&absorbs, line)?;
+            out.barriers.push(Barrier {
+                scope,
+                absorbs,
+                reason,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses a contract file. Errors carry 1-based line numbers.
+pub fn parse(text: &str) -> Result<ContractsFile, String> {
+    let mut out = ContractsFile::default();
+    let mut section: Option<Section> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.find('#') {
+            Some(p) if !raw[..p].contains('"') => &raw[..p],
+            _ => raw,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[contract]]" {
+            if let Some(s) = section.take() {
+                finish(s, &mut out)?;
+            }
+            section = Some(Section::Contract {
+                name: None,
+                scope: Vec::new(),
+                forbid: Vec::new(),
+                except: Vec::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line == "[[barrier]]" {
+            if let Some(s) = section.take() {
+                finish(s, &mut out)?;
+            }
+            section = Some(Section::Barrier {
+                scope: Vec::new(),
+                absorbs: Vec::new(),
+                reason: None,
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {lineno}: only [[contract]] and [[barrier]] tables are supported"
+            ));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        let value = parse_value(value, lineno)?;
+        let current = section
+            .as_mut()
+            .ok_or_else(|| format!("line {lineno}: `{key}` outside any [[table]]"))?;
+        match (current, key, value) {
+            (Section::Contract { name, .. }, "name", Value::Str(s)) => *name = Some(s),
+            (Section::Contract { scope, .. }, "scope", Value::List(l)) => *scope = l,
+            (Section::Contract { forbid, .. }, "forbid", Value::List(l)) => *forbid = l,
+            (Section::Contract { except, .. }, "except", Value::List(l)) => *except = l,
+            (Section::Barrier { scope, .. }, "scope", Value::List(l)) => *scope = l,
+            (Section::Barrier { absorbs, .. }, "absorbs", Value::List(l)) => *absorbs = l,
+            (Section::Barrier { reason, .. }, "reason", Value::Str(s)) => *reason = Some(s),
+            _ => {
+                return Err(format!(
+                    "line {lineno}: unknown or mistyped key `{key}` for this table"
+                ))
+            }
+        }
+    }
+    if let Some(s) = section.take() {
+        finish(s, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::{IO, RNG, SPAWN, TIME};
+
+    const SAMPLE: &str = r#"
+# policy file
+[[barrier]]
+scope = ["obsv::*"]
+absorbs = ["time", "io"]
+reason = "audited clock"
+
+[[contract]]
+name = "kernels-pure"
+scope = ["linalg::*", "nn::*"]
+forbid = ["rng", "time", "io"]
+except = ["nn::codec::*"]
+
+[[contract]]
+name = "spawn-stays-in-pool"
+scope = ["*"]
+forbid = ["spawn"]
+"#;
+
+    #[test]
+    fn parses_contracts_and_barriers() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.barriers.len(), 1);
+        assert_eq!(f.barriers[0].absorbs, TIME | IO);
+        assert_eq!(f.contracts.len(), 2);
+        assert_eq!(f.contracts[0].name, "kernels-pure");
+        assert_eq!(f.contracts[0].forbid, RNG | TIME | IO);
+        assert_eq!(f.contracts[0].except, vec!["nn::codec::*"]);
+        assert_eq!(f.contracts[1].forbid, SPAWN);
+    }
+
+    #[test]
+    fn scope_matching() {
+        assert!(scope_matches("*", "nn::lstm::Lstm::forward"));
+        assert!(scope_matches("nn::*", "nn::lstm::Lstm::forward"));
+        assert!(scope_matches("nn::lstm::*", "nn::lstm::Lstm::forward"));
+        assert!(!scope_matches("nn::lst::*", "nn::lstm::Lstm::forward"));
+        assert!(!scope_matches("nn::lstm", "nn::lstm::Lstm::forward"));
+        assert!(scope_matches("nn::lstm::Lstm::forward", "nn::lstm::Lstm::forward"));
+    }
+
+    #[test]
+    fn absorbed_at_unions_matching_barriers() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.absorbed_at("obsv::metrics::Stopwatch::new"), TIME | IO);
+        assert_eq!(f.absorbed_at("nn::lstm::Lstm::forward"), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_effect_and_keys() {
+        assert!(parse("[[contract]]\nname = \"x\"\nscope = [\"*\"]\nforbid = [\"determinism\"]\n")
+            .unwrap_err()
+            .contains("unknown effect"));
+        assert!(parse("[[contract]]\nnom = \"x\"\n").unwrap_err().contains("unknown"));
+        assert!(parse("[[barrier]]\nscope = [\"obsv::*\"]\nabsorbs = [\"time\"]\n")
+            .unwrap_err()
+            .contains("reason"));
+        assert!(parse("stray = \"x\"\n").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_missing_required_fields() {
+        assert!(parse("[[contract]]\nscope = [\"*\"]\nforbid = [\"rng\"]\n")
+            .unwrap_err()
+            .contains("missing `name`"));
+        assert!(parse("[[contract]]\nname = \"x\"\nforbid = [\"rng\"]\n")
+            .unwrap_err()
+            .contains("missing `scope`"));
+    }
+}

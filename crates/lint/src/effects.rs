@@ -1,0 +1,504 @@
+//! The effect lattice and its fixpoint over the call graph.
+//!
+//! Every function gets an *intrinsic* effect set from token patterns in its
+//! own body, then a *transitive* set by propagating callee effects over
+//! [`crate::graph`]'s edges to a fixpoint over strongly connected
+//! components. The lattice is a bitset — union is join, so the fixpoint is
+//! one pass over the SCC condensation in reverse topological order (Tarjan
+//! emits components sinks-first, so each SCC is finalized before any of its
+//! callers is processed; members of a cycle share the union of the whole
+//! component).
+//!
+//! ## Effects
+//!
+//! | bit | sources (token patterns) |
+//! |-----|--------------------------|
+//! | `panics` | `.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!`, `unreachable!` — exactly R2's set; `assert!` family is *not* counted (shape invariants would make every entry point panic-reachable and drown the signal) |
+//! | `rng` | `thread_rng`, `from_entropy`, `rand::random` — ambient randomness only; taking `&mut impl Rng` is not an effect |
+//! | `time` | `Instant::now`, `SystemTime::now` |
+//! | `spawn` | `spawn(` calls and imports ending in `::spawn` |
+//! | `unsafe` | the `unsafe` keyword |
+//! | `alloc` | allocation constructors: `Vec::new`/`with_capacity`, `vec!`, `format!`, `String::new`/`from`, `Box::new`, `.to_vec(`, `.to_string(`, `.collect(` |
+//! | `io` | `fs::`/`File::`/`OpenOptions` paths, `print!`-family macros, `stdin`/`stdout`/`stderr`, `read_to_string`/`read_dir`/`write_all`/`create_dir_all`/`remove_file` |
+//!
+//! ## Discharged panics
+//!
+//! A panic site covered by a live, reasoned `lint:allow(no-panic)` is an
+//! *audited invariant*: the annotation argues the panic cannot fire, so it
+//! does not taint callers with `panics` — deleting the annotation
+//! immediately re-taints every transitive caller (which is what makes the
+//! contract gate fail closed). Discharged sites still propagate on the
+//! separate report-only [`PANICS_ANNOTATED`] bit, so the panic-reachability
+//! report can show which entry points depend on which audited invariants.
+//!
+//! ## Barriers
+//!
+//! Contracts may declare *barriers* ([`crate::contracts`]): sanctioned
+//! absorber scopes whose listed effects do not propagate to callers. The
+//! canonical examples are `obsv::*` absorbing `time`/`io` (every crate
+//! times itself through `obsv::Stopwatch` — the audit boundary is the
+//! wrapper, not the clock) and `linalg::pool::*` absorbing `spawn` (the
+//! deterministic `WorkerPool` is the one sanctioned parallelism surface).
+//! A barrier masks the *edge into* the absorber; the absorber's own
+//! transitive set stays truthful.
+
+use std::collections::VecDeque;
+
+use crate::contracts::ContractsFile;
+use crate::graph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::scan::FileCtx;
+use crate::tree::NodeKind;
+
+/// A set of effects (bit union = lattice join).
+pub type EffectSet = u16;
+
+/// Reaches one of R2's panicking calls.
+pub const PANICS: EffectSet = 1 << 0;
+/// Reaches ambient randomness.
+pub const RNG: EffectSet = 1 << 1;
+/// Reaches an ambient wall-clock read.
+pub const TIME: EffectSet = 1 << 2;
+/// Reaches a raw thread spawn.
+pub const SPAWN: EffectSet = 1 << 3;
+/// Reaches an `unsafe` block.
+pub const UNSAFE: EffectSet = 1 << 4;
+/// Reaches a heap allocation constructor.
+pub const ALLOC: EffectSet = 1 << 5;
+/// Reaches filesystem or standard-stream I/O.
+pub const IO: EffectSet = 1 << 6;
+/// Report-only: reaches a panic site discharged by an annotated invariant.
+/// Never forbiddable by a contract.
+pub const PANICS_ANNOTATED: EffectSet = 1 << 7;
+
+/// Nameable (contract-forbiddable) effects with their names.
+pub const EFFECT_NAMES: &[(EffectSet, &str)] = &[
+    (PANICS, "panics"),
+    (RNG, "rng"),
+    (TIME, "time"),
+    (SPAWN, "spawn"),
+    (UNSAFE, "unsafe"),
+    (ALLOC, "alloc"),
+    (IO, "io"),
+];
+
+/// Parses one effect name (`"time"`) into its bit.
+pub fn parse_effect(name: &str) -> Option<EffectSet> {
+    EFFECT_NAMES
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(bit, _)| *bit)
+}
+
+/// Renders a set as `"rng+time"` (named bits only, `"-"` when empty).
+pub fn effect_names(set: EffectSet) -> String {
+    let names: Vec<&str> = EFFECT_NAMES
+        .iter()
+        .filter(|(bit, _)| set & bit != 0)
+        .map(|(_, n)| *n)
+        .collect();
+    if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join("+")
+    }
+}
+
+/// One panic-capable token in a fn body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based line of the call.
+    pub line: u32,
+    /// What panics: `unwrap`, `expect`, `panic!`, ...
+    pub what: String,
+    /// True when a reasoned `lint:allow(no-panic)` covers the line.
+    pub discharged: bool,
+}
+
+/// Intrinsic (own-body) effect information for one fn.
+#[derive(Debug, Clone, Default)]
+pub struct Intrinsics {
+    /// Effect bits sourced directly in the body.
+    pub effects: EffectSet,
+    /// First source line per effect bit (indexed by bit position).
+    pub first_line: [u32; 8],
+    /// Every panic-capable call, discharged or not.
+    pub panic_sites: Vec<PanicSite>,
+}
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// True when a reasoned `lint:allow` naming `rule` covers `line`.
+pub(crate) fn allowed(ctx: &FileCtx, rule: &str, line: u32) -> bool {
+    ctx.allows.iter().any(|a| {
+        !a.reason.is_empty()
+            && (a.line == line || a.line + 1 == line)
+            && a.rules.iter().any(|r| r == rule)
+    })
+}
+
+/// Extracts intrinsic effects for every fn in the graph, in fn-id order.
+pub fn intrinsic_effects(g: &CallGraph, files: &[FileCtx]) -> Vec<Intrinsics> {
+    g.fns
+        .iter()
+        .map(|meta| {
+            let ctx = &files[meta.file_idx];
+            let node = &ctx.tree.nodes[meta.node_idx];
+            let Some((open, close)) = node.body else {
+                return Intrinsics::default();
+            };
+            let mut out = Intrinsics::default();
+            let add = |bit: EffectSet, line: u32, out: &mut Intrinsics| {
+                out.effects |= bit;
+                let slot = bit.trailing_zeros() as usize;
+                if out.first_line[slot] == 0 {
+                    out.first_line[slot] = line;
+                }
+            };
+            for j in open + 1..close {
+                if ctx.tree.enclosing(j, NodeKind::Fn).map(|f| f.start) != Some(node.start) {
+                    continue;
+                }
+                let t = &ctx.toks[j];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let next = ctx.toks.get(j + 1);
+                let next_is = |p: &str| matches!(next, Some(n) if punct(n, p));
+                let prev_dot = j >= 1 && punct(&ctx.toks[j - 1], ".");
+                let name = t.text.as_str();
+
+                // panics (R2's exact set)
+                let panic_method = matches!(name, "unwrap" | "expect") && prev_dot && next_is("(");
+                let panic_macro = matches!(name, "panic" | "todo" | "unimplemented" | "unreachable")
+                    && next_is("!");
+                if panic_method || panic_macro {
+                    let discharged = allowed(ctx, "no-panic", t.line);
+                    let what = if panic_macro {
+                        format!("{name}!")
+                    } else {
+                        format!(".{name}()")
+                    };
+                    out.panic_sites.push(PanicSite {
+                        line: t.line,
+                        what,
+                        discharged,
+                    });
+                    if discharged {
+                        add(PANICS_ANNOTATED, t.line, &mut out);
+                    } else {
+                        add(PANICS, t.line, &mut out);
+                    }
+                    continue;
+                }
+                // rng
+                if name == "thread_rng"
+                    || name == "from_entropy"
+                    || (name == "rand"
+                        && next_is("::")
+                        && matches!(ctx.toks.get(j + 2), Some(n) if ident(n, "random")))
+                {
+                    add(RNG, t.line, &mut out);
+                    continue;
+                }
+                // time
+                if matches!(name, "Instant" | "SystemTime")
+                    && next_is("::")
+                    && matches!(ctx.toks.get(j + 2), Some(n) if ident(n, "now"))
+                {
+                    add(TIME, t.line, &mut out);
+                    continue;
+                }
+                // spawn: direct calls plus `use std::thread::spawn as go; go(..)`.
+                if next_is("(") {
+                    let spawns = name == "spawn"
+                        || ctx
+                            .tree
+                            .resolve_import(name)
+                            .is_some_and(|p| p.ends_with("::spawn"));
+                    if spawns {
+                        add(SPAWN, t.line, &mut out);
+                        continue;
+                    }
+                }
+                // unsafe
+                if name == "unsafe" {
+                    add(UNSAFE, t.line, &mut out);
+                    continue;
+                }
+                // alloc: explicit allocation constructors.
+                let alloc_path = matches!(name, "Vec" | "String" | "Box")
+                    && next_is("::")
+                    && matches!(ctx.toks.get(j + 2), Some(n) if n.kind == TokKind::Ident
+                        && matches!(n.text.as_str(), "new" | "with_capacity" | "from"));
+                let alloc_macro = matches!(name, "vec" | "format") && next_is("!");
+                let alloc_method =
+                    matches!(name, "to_vec" | "to_string" | "collect") && prev_dot && next_is("(");
+                if alloc_path || alloc_macro || alloc_method {
+                    add(ALLOC, t.line, &mut out);
+                    continue;
+                }
+                // io
+                let io_macro = matches!(name, "println" | "print" | "eprintln" | "eprint")
+                    && next_is("!");
+                let io_path = matches!(name, "fs" | "File" | "OpenOptions") && next_is("::");
+                let io_call = matches!(name, "stdin" | "stdout" | "stderr") && next_is("(");
+                let io_method = matches!(
+                    name,
+                    "read_to_string" | "read_dir" | "write_all" | "create_dir_all" | "remove_file"
+                );
+                if io_macro || io_path || io_call || io_method {
+                    add(IO, t.line, &mut out);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Per-fn barrier masks: bits absorbed when this fn is *called*.
+pub fn barrier_masks(g: &CallGraph, contracts: &ContractsFile) -> Vec<EffectSet> {
+    g.fns
+        .iter()
+        .map(|f| contracts.absorbed_at(&f.path))
+        .collect()
+}
+
+/// Propagates intrinsic effects to a transitive fixpoint over SCCs.
+/// Returns the transitive effect set per fn, plus `(scc_count,
+/// largest_scc)` for the report. The Tarjan walk is iterative, so deep or
+/// adversarial graphs cannot overflow the stack.
+pub fn propagate(
+    g: &CallGraph,
+    intrinsics: &[Intrinsics],
+    masks: &[EffectSet],
+) -> (Vec<EffectSet>, usize, usize) {
+    let n = g.fns.len();
+    let mut result: Vec<EffectSet> = intrinsics.iter().map(|i| i.effects).collect();
+
+    // Iterative Tarjan.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    // (node, next-callee-position)
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let callees = &g.callees[v as usize];
+            if *pos < callees.len() {
+                let w = callees[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits SCCs sinks-first: every callee component is already
+    // final when its caller component is processed, so one pass suffices.
+    let largest = sccs.iter().map(Vec::len).max().unwrap_or(0);
+    for comp in &sccs {
+        let mut eff: EffectSet = 0;
+        for &m in comp {
+            eff |= intrinsics[m as usize].effects;
+            for &c in &g.callees[m as usize] {
+                eff |= result[c as usize] & !masks[c as usize];
+            }
+        }
+        for &m in comp {
+            result[m as usize] = eff;
+        }
+    }
+    (result, sccs.len(), largest)
+}
+
+/// Shortest call path (BFS over the masked graph) from `from` to a fn with
+/// an intrinsic source of `effect`. Returns fn ids, `from` first. `None`
+/// when the effect is not actually reachable (e.g. it was intrinsic to a
+/// barrier-masked callee).
+pub fn witness_path(
+    g: &CallGraph,
+    intrinsics: &[Intrinsics],
+    masks: &[EffectSet],
+    from: u32,
+    effect: EffectSet,
+) -> Option<Vec<u32>> {
+    let n = g.fns.len();
+    let mut prev: Vec<u32> = vec![u32::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    seen[from as usize] = true;
+    while let Some(v) = queue.pop_front() {
+        if intrinsics[v as usize].effects & effect != 0 {
+            let mut path = vec![v];
+            let mut cur = v;
+            while prev[cur as usize] != u32::MAX {
+                cur = prev[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in &g.callees[v as usize] {
+            if !seen[w as usize] && masks[w as usize] & effect == 0 {
+                seen[w as usize] = true;
+                prev[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contracts;
+    use crate::graph::build_graph;
+    use crate::scan::{build_ctx, classify};
+
+    fn analyze(files: &[(&str, &str)]) -> (CallGraph, Vec<Intrinsics>, Vec<EffectSet>) {
+        let ctxs: Vec<_> = files
+            .iter()
+            .map(|(p, s)| build_ctx((*p).to_string(), classify(p).unwrap(), s))
+            .collect();
+        let g = build_graph(&ctxs);
+        let intr = intrinsic_effects(&g, &ctxs);
+        let masks = vec![0; g.fns.len()];
+        let (trans, _, _) = propagate(&g, &intr, &masks);
+        (g, intr, trans)
+    }
+
+    fn effects_of(g: &CallGraph, trans: &[EffectSet], path: &str) -> EffectSet {
+        trans[g.id_of(path).unwrap() as usize]
+    }
+
+    #[test]
+    fn transitive_time_two_calls_deep() {
+        let src = "fn low() { let t = std::time::Instant::now(); }\n\
+                   fn mid() { low(); }\n\
+                   pub fn kernel() { mid(); }\n";
+        let (g, _, trans) = analyze(&[("crates/linalg/src/a.rs", src)]);
+        assert_eq!(effects_of(&g, &trans, "linalg::a::kernel") & TIME, TIME);
+    }
+
+    #[test]
+    fn recursive_scc_reaches_fixpoint() {
+        let src = "fn a(x: u8) { if x > 0 { b(x - 1); } }\n\
+                   fn b(x: u8) { let v: Vec<u8> = Vec::new(); a(x); }\n";
+        let (g, _, trans) = analyze(&[("crates/nn/src/a.rs", src)]);
+        assert_eq!(effects_of(&g, &trans, "nn::a::a") & ALLOC, ALLOC);
+        assert_eq!(effects_of(&g, &trans, "nn::a::b") & ALLOC, ALLOC);
+    }
+
+    #[test]
+    fn discharged_panic_is_annotated_not_tainting() {
+        let src = "fn inner(x: Option<u8>) -> u8 {\n\
+                   \x20   // lint:allow(no-panic): checked by caller\n\
+                   \x20   x.unwrap()\n\
+                   }\n\
+                   pub fn outer(x: Option<u8>) -> u8 { inner(x) }\n";
+        let (g, intr, trans) = analyze(&[("crates/core/src/a.rs", src)]);
+        let outer = effects_of(&g, &trans, "core::a::outer");
+        assert_eq!(outer & PANICS, 0, "discharged panic must not taint");
+        assert_eq!(outer & PANICS_ANNOTATED, PANICS_ANNOTATED);
+        let inner_id = g.id_of("core::a::inner").unwrap() as usize;
+        assert!(intr[inner_id].panic_sites[0].discharged);
+    }
+
+    #[test]
+    fn undischarged_panic_taints_transitively() {
+        let src = "fn inner(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   pub fn outer(x: Option<u8>) -> u8 { inner(x) }\n";
+        let (g, intr, trans) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(effects_of(&g, &trans, "core::a::outer") & PANICS, PANICS);
+        let masks = vec![0; g.fns.len()];
+        let outer = g.id_of("core::a::outer").unwrap();
+        let path = witness_path(&g, &intr, &masks, outer, PANICS).unwrap();
+        let names: Vec<&str> = path.iter().map(|&i| g.fns[i as usize].name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn barrier_absorbs_effect_at_the_edge() {
+        let toml = "[[barrier]]\nscope = [\"obsv::*\"]\nabsorbs = [\"time\"]\n\
+                    reason = \"obsv owns the audited clock\"\n";
+        let cf = contracts::parse(toml).unwrap();
+        let files = [
+            (
+                "crates/obsv/src/metrics.rs",
+                "pub fn start() { let t = std::time::Instant::now(); }",
+            ),
+            (
+                "crates/nn/src/a.rs",
+                "use obsv::metrics::start;\npub fn kernel() { start(); }",
+            ),
+        ];
+        let ctxs: Vec<_> = files
+            .iter()
+            .map(|(p, s)| build_ctx((*p).to_string(), classify(p).unwrap(), s))
+            .collect();
+        let g = build_graph(&ctxs);
+        let intr = intrinsic_effects(&g, &ctxs);
+        let masks = barrier_masks(&g, &cf);
+        let (trans, _, _) = propagate(&g, &intr, &masks);
+        // obsv keeps its own truthful TIME; the caller is clean.
+        assert_eq!(effects_of(&g, &trans, "obsv::metrics::start") & TIME, TIME);
+        assert_eq!(effects_of(&g, &trans, "nn::a::kernel") & TIME, 0);
+    }
+
+    #[test]
+    fn effect_name_roundtrip() {
+        for (bit, name) in EFFECT_NAMES {
+            assert_eq!(parse_effect(name), Some(*bit));
+        }
+        assert_eq!(effect_names(RNG | TIME), "rng+time");
+        assert_eq!(effect_names(0), "-");
+    }
+}

@@ -1,0 +1,647 @@
+//! Workspace call graph over the per-file item trees.
+//!
+//! The file-local rules of PRs 2/5 answer "does this token appear here?";
+//! the effect system ([`crate::effects`]) needs "what does this function
+//! *reach*?". This module builds the reachability substrate: every `fn` in
+//! the workspace is indexed by its crate/module path, and every call site
+//! inside a function body is resolved to candidate callees, producing an
+//! edge list the effect lattice is propagated over.
+//!
+//! ## Function paths
+//!
+//! A function's path is `<crate>::<modules>::[<Impl>::]<name>`, where
+//! `<crate>` is the *directory* name under `crates/` (`core`, not the
+//! package name `cloudgen`; the umbrella `src/` is `suite`), `<modules>`
+//! come from the file's location under `src/` plus any inline `mod` nesting
+//! from the item tree, and `<Impl>` is the enclosing impl/trait self-type
+//! head when the fn is a method. `crates/nn/src/lstm.rs` therefore yields
+//! paths like `nn::lstm::Lstm::forward`.
+//!
+//! ## Call resolution (documented approximations)
+//!
+//! * **Path calls** (`a::b::f(...)`): the head segment is normalized
+//!   through `crate`/`self`/`super`/`Self`, the file's `use` table (so
+//!   `use obsv::profile; profile::span(..)` resolves into `obsv`), and the
+//!   package-name aliases (`cloudgen::generate` → crate dir `core`). The
+//!   remaining segments are matched as a *suffix* of indexed fn paths
+//!   within the named crate, so re-exports (`linalg::Mat::zeros` for
+//!   `linalg::matrix::Mat::zeros`) still resolve.
+//! * **Plain calls** (`f(...)`): resolved through the `use` table first,
+//!   then against fns defined in the same file. Unqualified cross-file
+//!   calls are impossible in Rust without an import, so nothing is missed
+//!   by not guessing globally — and `std` names never produce false edges.
+//! * **Method calls** (`recv.m(...)`): resolved by name against every
+//!   indexed impl/trait method, narrowed by a receiver heuristic — a
+//!   `self.m()` prefers the enclosing impl's own method, and an identifier
+//!   receiver must loosely match the impl type name (`pool` ↔
+//!   `WorkerPool`). Method names that collide with ubiquitous `std`
+//!   methods ([`STD_METHODS`]) *require* a receiver match, so an iterator
+//!   `.map(..)` never grows an edge to `WorkerPool::map`.
+//! * Calls into `std` and external crates produce no edges; their effects
+//!   are captured as *intrinsic* effects of the caller by
+//!   [`crate::effects`] token patterns instead.
+//!
+//! The graph over-approximates (a method call may edge to several
+//! same-named candidates) and under-approximates (macro-generated calls,
+//! function pointers, and trait objects are invisible); both directions are
+//! deliberate and documented here, and the effect contracts are written
+//! against this resolution, not against rustc's.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::{FileClass, FileCtx};
+use crate::tree::NodeKind;
+
+/// Extern-crate package names (underscored, as they appear in `use`
+/// paths) mapped to crate directory names used in fn paths.
+const CRATE_ALIASES: &[(&str, &str)] = &[
+    ("cloudgen", "core"),
+    ("cloudgen_cli", "cli"),
+    ("cloudgen_lint", "lint"),
+    ("cloudgen_bench", "bench"),
+    ("cloudgen_suite", "suite"),
+];
+
+/// Method names so common on `std` types that a bare-name match would be
+/// noise: these only resolve when the receiver identifier matches the
+/// candidate impl type. Everything else resolves by name (with receiver
+/// narrowing when a receiver identifier is present).
+const STD_METHODS: &[&str] = &[
+    "abs", "all", "and_then", "any", "as_mut", "as_mut_slice", "as_ref", "as_slice", "as_str",
+    "borrow", "borrow_mut", "bytes", "ceil", "chain", "chars", "checked_add", "checked_sub",
+    "chunks", "clamp", "clear", "clone", "cloned", "cmp", "collect", "contains", "contains_key",
+    "copied", "copy_from_slice", "count", "display", "drain", "elapsed", "ends_with", "entry",
+    "enumerate", "eq", "err", "exists", "exp", "extend", "fill", "filter", "filter_map", "find",
+    "first", "flat_map", "flatten", "floor", "flush", "fmt", "fold", "get", "get_mut", "hash",
+    "insert", "into", "into_iter", "is_dir", "is_empty", "is_file", "is_finite", "is_nan",
+    "iter", "iter_mut", "join", "keys", "last", "len", "lines", "ln", "lock", "map", "map_err",
+    "max", "max_by", "max_by_key", "min", "min_by", "min_by_key", "ne", "next", "ok", "or_else",
+    "parse", "partial_cmp", "pop", "position", "powf", "powi", "product", "push", "push_str",
+    "read", "read_to_string", "recv", "reduce", "remove", "replace", "resize", "retain", "rev",
+    "rotate_left", "round", "rsplit", "saturating_add", "saturating_sub", "send", "skip",
+    "skip_while", "sort", "sort_by", "sort_by_key", "split", "split_at", "split_at_mut",
+    "splitn", "sqrt", "starts_with", "step_by", "sum", "swap", "take", "take_while", "then",
+    "then_some", "to_owned", "to_string", "to_vec", "trim", "truncate", "unwrap", "unwrap_or",
+    "unwrap_or_default", "unwrap_or_else", "values", "windows", "write", "write_all", "zip",
+];
+
+/// One indexed function.
+#[derive(Debug, Clone)]
+pub struct FnMeta {
+    /// Full path, `::`-joined: `nn::lstm::Lstm::forward`.
+    pub path: String,
+    /// Crate directory name (`nn`, `core`, `suite`, ...).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Bare fn name.
+    pub name: String,
+    /// Enclosing impl/trait self-type head, when the fn is a method.
+    pub impl_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when declared `pub` (exactly; `pub(crate)` is not public).
+    pub is_pub: bool,
+    /// True for library-crate code (vs tool binaries).
+    pub is_lib: bool,
+    /// Index of the owning [`FileCtx`] in the slice passed to [`build_graph`].
+    pub file_idx: usize,
+    /// Index of the fn's node in that file's item tree.
+    pub node_idx: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Indexed functions; edge endpoints index into this.
+    pub fns: Vec<FnMeta>,
+    /// `callees[f]`: sorted, deduped callee ids of `f`.
+    pub callees: Vec<Vec<u32>>,
+    /// Fn ids by full path (first definition wins on the rare duplicate).
+    by_path: BTreeMap<String, u32>,
+    /// Fn ids by bare name.
+    by_name: BTreeMap<String, Vec<u32>>,
+    /// Method fn ids (those with an `impl_name`) by bare name.
+    methods: BTreeMap<String, Vec<u32>>,
+}
+
+impl CallGraph {
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.callees.iter().map(Vec::len).sum()
+    }
+
+    /// Looks up a fn id by its full path.
+    pub fn id_of(&self, path: &str) -> Option<u32> {
+        self.by_path.get(path).copied()
+    }
+}
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Module path segments derived from a workspace-relative file path:
+/// `crates/nn/src/lstm.rs` → `["nn", "lstm"]`; crate roots and `mod.rs`
+/// files contribute no leaf segment; the umbrella `src/` is crate `suite`.
+fn file_mod_segs(rel: &str) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (krate, tail): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", krate, "src", tail @ ..] => (krate, tail),
+        ["src", tail @ ..] => ("suite", tail),
+        _ => return Vec::new(),
+    };
+    let mut segs = vec![krate.to_string()];
+    for (i, part) in tail.iter().enumerate() {
+        let last = i + 1 == tail.len();
+        if last {
+            let stem = part.strip_suffix(".rs").unwrap_or(part);
+            if !matches!(stem, "lib" | "main" | "mod") {
+                segs.push(stem.to_string());
+            }
+        } else if *part != "bin" {
+            segs.push((*part).to_string());
+        }
+    }
+    segs
+}
+
+/// Normalizes a path head through the package-name aliases.
+fn normalize_crate(head: &str) -> &str {
+    CRATE_ALIASES
+        .iter()
+        .find(|(pkg, _)| *pkg == head)
+        .map(|(_, dir)| *dir)
+        .unwrap_or(head)
+}
+
+/// Loose receiver-name ↔ type-name match: `pool` ↔ `WorkerPool`,
+/// `cache` ↔ `PlacementCache`, `m` ↔ `Mat` only via exact match. Both
+/// sides lowercased, receiver underscores dropped.
+fn receiver_matches(receiver: &str, type_name: &str) -> bool {
+    let r = receiver.to_lowercase().replace('_', "");
+    let t = type_name.to_lowercase();
+    if r.is_empty() {
+        return false;
+    }
+    r == t || (r.len() >= 3 && (t.ends_with(&r) || r.ends_with(&t) || t.contains(&r)))
+}
+
+/// Builds the call graph for a set of scanned files. Only non-test code is
+/// indexed (`#[cfg(test)]` fns neither appear as nodes nor as callees);
+/// files classified [`FileClass::TestOrExample`] are skipped entirely.
+pub fn build_graph(files: &[FileCtx]) -> CallGraph {
+    let mut g = CallGraph::default();
+
+    // Pass 1: index every fn definition.
+    for (file_idx, ctx) in files.iter().enumerate() {
+        let (krate, is_lib) = match &ctx.class {
+            FileClass::Lib { krate } => (krate.clone(), true),
+            FileClass::Bin { krate } => (krate.clone(), false),
+            FileClass::TestOrExample => continue,
+        };
+        let mod_segs = file_mod_segs(&ctx.path);
+        for (node_idx, node) in ctx.tree.fn_nodes() {
+            if node.cfg_test || node.body.is_none() {
+                continue;
+            }
+            // Inline `mod` chain and enclosing impl/trait from the tree.
+            let mut inline_mods = Vec::new();
+            let mut impl_name = None;
+            let mut cur = node.parent;
+            while let Some(p) = cur {
+                let pn = &ctx.tree.nodes[p];
+                match pn.kind {
+                    NodeKind::Mod => inline_mods.push(pn.name.clone()),
+                    NodeKind::Impl | NodeKind::Trait if impl_name.is_none() => {
+                        impl_name = Some(pn.name.clone());
+                    }
+                    _ => {}
+                }
+                cur = pn.parent;
+            }
+            inline_mods.reverse();
+            let mut segs = mod_segs.clone();
+            segs.extend(inline_mods);
+            if let Some(im) = &impl_name {
+                segs.push(im.clone());
+            }
+            segs.push(node.name.clone());
+            let path = segs.join("::");
+            let is_pub = node
+                .start
+                .checked_sub(1)
+                .and_then(|j| ctx.toks.get(j))
+                .is_some_and(|t| ident(t, "pub"));
+            let line = ctx.toks.get(node.start).map(|t| t.line).unwrap_or(1);
+            let id = g.fns.len() as u32;
+            g.fns.push(FnMeta {
+                path: path.clone(),
+                krate: krate.clone(),
+                file: ctx.path.clone(),
+                name: node.name.clone(),
+                impl_name: impl_name.clone(),
+                line,
+                is_pub,
+                is_lib,
+                file_idx,
+                node_idx,
+            });
+            g.by_path.entry(path).or_insert(id);
+            g.by_name.entry(node.name.clone()).or_default().push(id);
+            if impl_name.is_some() {
+                g.methods.entry(node.name.clone()).or_default().push(id);
+            }
+        }
+    }
+
+    // Pass 2: resolve call sites.
+    g.callees = vec![Vec::new(); g.fns.len()];
+    for caller in 0..g.fns.len() {
+        let meta = g.fns[caller].clone();
+        let ctx = &files[meta.file_idx];
+        let node = &ctx.tree.nodes[meta.node_idx];
+        let Some((open, close)) = node.body else {
+            continue;
+        };
+        let mut edges = Vec::new();
+        for j in open + 1..close {
+            // Tokens of a nested fn belong to the nested fn.
+            if ctx.tree.enclosing(j, NodeKind::Fn).map(|f| f.start) != Some(node.start) {
+                continue;
+            }
+            let t = &ctx.toks[j];
+            if t.kind != TokKind::Ident || !is_called(&ctx.toks, j) {
+                continue;
+            }
+            // Skip definition sites (`fn name(`) — `is_called` sees the `(`.
+            if j >= 1 && ident(&ctx.toks[j - 1], "fn") {
+                continue;
+            }
+            if j >= 1 && punct(&ctx.toks[j - 1], ".") {
+                resolve_method(&g, ctx, &meta, j, &mut edges);
+            } else if !matches!(ctx.toks.get(j + 1), Some(n) if punct(n, "::")) {
+                // Last segment of a path (or a plain call): collect the
+                // whole `a :: b :: f` chain backwards.
+                let segs = path_chain(&ctx.toks, j);
+                resolve_path_call(&g, ctx, &meta, &segs, &mut edges);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges.retain(|&c| c as usize != caller);
+        g.callees[caller] = edges;
+    }
+    g
+}
+
+/// True when the ident at `j` is directly applied: followed by `(`,
+/// optionally after a balanced `::<...>` turbofish.
+fn is_called(toks: &[Tok], j: usize) -> bool {
+    let mut k = j + 1;
+    if matches!(toks.get(k), Some(n) if punct(n, "::"))
+        && matches!(toks.get(k + 1), Some(n) if punct(n, "<"))
+    {
+        // Skip the turbofish group.
+        let mut depth = 0i32;
+        k += 1;
+        while let Some(t) = toks.get(k) {
+            if punct(t, "<") {
+                depth += 1;
+            } else if punct(t, ">") {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            } else if punct(t, "->") || punct(t, ";") || punct(t, "{") {
+                return false;
+            }
+            k += 1;
+        }
+    }
+    matches!(toks.get(k), Some(n) if punct(n, "("))
+}
+
+/// Collects the `::`-joined chain ending at the ident `j`, in source order.
+fn path_chain(toks: &[Tok], j: usize) -> Vec<String> {
+    let mut segs = vec![toks[j].text.clone()];
+    let mut k = j;
+    while k >= 2 && punct(&toks[k - 1], "::") && toks[k - 2].kind == TokKind::Ident {
+        segs.push(toks[k - 2].text.clone());
+        k -= 2;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Resolves `recv.m(...)` at ident index `j` (the method name).
+fn resolve_method(g: &CallGraph, ctx: &FileCtx, caller: &FnMeta, j: usize, edges: &mut Vec<u32>) {
+    let name = ctx.toks[j].text.as_str();
+    let Some(candidates) = g.methods.get(name) else {
+        return;
+    };
+    let receiver = j
+        .checked_sub(2)
+        .and_then(|k| ctx.toks.get(k))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str());
+    // `self.m(...)`: prefer the enclosing impl's own method.
+    if receiver == Some("self") {
+        if let Some(enclosing) = ctx
+            .tree
+            .nodes
+            .get(caller.node_idx)
+            .and_then(|n| ctx.tree.enclosing_impl(n.start + 1))
+        {
+            let own: Vec<u32> = candidates
+                .iter()
+                .copied()
+                .filter(|&c| g.fns[c as usize].impl_name.as_deref() == Some(&enclosing.name))
+                .collect();
+            if !own.is_empty() {
+                edges.extend(own);
+                return;
+            }
+        }
+    }
+    // Identifier receiver: narrow candidates to loosely matching types.
+    if let Some(recv) = receiver.filter(|r| *r != "self") {
+        let matching: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                g.fns[c as usize]
+                    .impl_name
+                    .as_deref()
+                    .is_some_and(|t| receiver_matches(recv, t))
+            })
+            .collect();
+        if !matching.is_empty() {
+            edges.extend(matching);
+            return;
+        }
+    }
+    // No receiver evidence: ubiquitous std names stay edge-free; rarer
+    // names over-approximate to every same-named method.
+    if !STD_METHODS.contains(&name) {
+        edges.extend(candidates.iter().copied());
+    }
+}
+
+/// Resolves a plain or path call with source-order segments `segs`.
+fn resolve_path_call(
+    g: &CallGraph,
+    ctx: &FileCtx,
+    caller: &FnMeta,
+    segs: &[String],
+    edges: &mut Vec<u32>,
+) {
+    if segs.is_empty() {
+        return;
+    }
+    if segs.len() == 1 {
+        let name = segs[0].as_str();
+        // `use`-imported (possibly `as`-renamed) free fn.
+        if let Some(path) = ctx.tree.resolve_import(name) {
+            let full: Vec<String> = path.split("::").map(str::to_string).collect();
+            resolve_path_call(g, ctx, caller, &full, edges);
+            return;
+        }
+        // Same-file definition (unqualified cross-file calls need imports).
+        if let Some(ids) = g.by_name.get(name) {
+            edges.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&c| g.fns[c as usize].file_idx == caller.file_idx),
+            );
+        }
+        return;
+    }
+    let head = segs[0].as_str();
+    let rest = &segs[1..];
+    // `Self::new(...)` → method of the enclosing impl type.
+    if head == "Self" {
+        if let Some(enclosing) = ctx
+            .tree
+            .nodes
+            .get(caller.node_idx)
+            .and_then(|n| ctx.tree.enclosing_impl(n.start + 1))
+        {
+            let full: Vec<String> = std::iter::once(enclosing.name.clone())
+                .chain(rest.iter().cloned())
+                .collect();
+            resolve_type_method(g, &full, edges);
+        }
+        return;
+    }
+    // `crate::` / `self::` / `super::` prefixes.
+    let crate_scoped: Option<Vec<String>> = match head {
+        "crate" => Some(
+            std::iter::once(caller.krate.clone())
+                .chain(rest.iter().cloned())
+                .collect(),
+        ),
+        "self" | "super" => {
+            let mut base = file_mod_segs(&caller.file);
+            if head == "super" {
+                base.pop();
+            }
+            base.extend(rest.iter().cloned());
+            Some(base)
+        }
+        _ => None,
+    };
+    if let Some(full) = crate_scoped {
+        suffix_resolve(g, &full, edges);
+        return;
+    }
+    // `use`-imported head (`use obsv::profile; profile::span(..)`).
+    if let Some(path) = ctx.tree.resolve_import(head) {
+        let full: Vec<String> = path
+            .split("::")
+            .map(str::to_string)
+            .chain(rest.iter().cloned())
+            .collect();
+        // The import expansion changed the head; re-resolve once.
+        if full.first().map(String::as_str) != Some(head) {
+            resolve_path_call(g, ctx, caller, &full, edges);
+            return;
+        }
+        suffix_resolve(g, &full, edges);
+        return;
+    }
+    // Workspace crate head (after package-name normalization).
+    let norm = normalize_crate(head);
+    if g.fns.iter().any(|f| f.krate == norm) {
+        let full: Vec<String> = std::iter::once(norm.to_string())
+            .chain(rest.iter().cloned())
+            .collect();
+        suffix_resolve(g, &full, edges);
+        return;
+    }
+    // `Type::method(...)` with no module qualifier.
+    if head.chars().next().is_some_and(char::is_uppercase) {
+        resolve_type_method(g, segs, edges);
+    }
+    // Anything else (`std::...`, external crates) has no workspace target.
+}
+
+/// Resolves `[.., Type, method]` via the method index.
+fn resolve_type_method(g: &CallGraph, segs: &[String], edges: &mut Vec<u32>) {
+    let [.., type_name, method] = segs else {
+        return;
+    };
+    if let Some(ids) = g.methods.get(method.as_str()) {
+        edges.extend(
+            ids.iter()
+                .copied()
+                .filter(|&c| g.fns[c as usize].impl_name.as_deref() == Some(type_name)),
+        );
+    }
+}
+
+/// Matches `full` (crate head + trailing segments) against indexed fn
+/// paths within that crate: the trailing segments must be a suffix of the
+/// fn's path segments, so re-exports and partially-qualified module paths
+/// still land on the definition.
+fn suffix_resolve(g: &CallGraph, full: &[String], edges: &mut Vec<u32>) {
+    let [krate, rest @ ..] = full else {
+        return;
+    };
+    if rest.is_empty() {
+        return;
+    }
+    let krate = normalize_crate(krate);
+    // Cheap pre-filter through the name index.
+    let Some(ids) = g.by_name.get(rest[rest.len() - 1].as_str()) else {
+        return;
+    };
+    for &id in ids {
+        let f = &g.fns[id as usize];
+        if f.krate != krate {
+            continue;
+        }
+        let fsegs: Vec<&str> = f.path.split("::").collect();
+        if fsegs.len() < rest.len() + 1 {
+            continue;
+        }
+        let tail = &fsegs[fsegs.len() - rest.len()..];
+        if tail.iter().zip(rest.iter()).all(|(a, b)| *a == b.as_str()) {
+            edges.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::build_ctx;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        let class = crate::scan::classify(path).expect("classifiable path");
+        build_ctx(path.to_string(), class, src)
+    }
+
+    fn edges_of<'g>(g: &'g CallGraph, path: &str) -> Vec<&'g str> {
+        let id = g.id_of(path).unwrap_or_else(|| panic!("no fn {path}"));
+        g.callees[id as usize]
+            .iter()
+            .map(|&c| g.fns[c as usize].path.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn mod_segs_from_paths() {
+        assert_eq!(file_mod_segs("crates/nn/src/lstm.rs"), vec!["nn", "lstm"]);
+        assert_eq!(file_mod_segs("crates/nn/src/lib.rs"), vec!["nn"]);
+        assert_eq!(file_mod_segs("src/quickstart.rs"), vec!["suite", "quickstart"]);
+        assert_eq!(
+            file_mod_segs("crates/bench/src/bin/tool.rs"),
+            vec!["bench", "tool"]
+        );
+    }
+
+    #[test]
+    fn plain_same_file_call() {
+        let files = vec![ctx(
+            "crates/nn/src/a.rs",
+            "fn helper() {}\npub fn entry() { helper(); }\n",
+        )];
+        let g = build_graph(&files);
+        assert_eq!(edges_of(&g, "nn::a::entry"), vec!["nn::a::helper"]);
+    }
+
+    #[test]
+    fn cross_crate_path_call_and_reexport_suffix() {
+        let files = vec![
+            ctx(
+                "crates/linalg/src/matrix.rs",
+                "impl Mat { pub fn zeros() {} }\npub fn axpy() {}\n",
+            ),
+            ctx(
+                "crates/nn/src/a.rs",
+                "use linalg::matrix::axpy;\nfn f() { axpy(); linalg::Mat::zeros(); }\n",
+            ),
+        ];
+        let g = build_graph(&files);
+        let e = edges_of(&g, "nn::a::f");
+        assert!(e.contains(&"linalg::matrix::axpy"), "{e:?}");
+        assert!(e.contains(&"linalg::matrix::Mat::zeros"), "{e:?}");
+    }
+
+    #[test]
+    fn self_method_prefers_enclosing_impl() {
+        let src = "impl A { fn m(&self) {} fn run(&self) { self.m(); } }\nimpl B { fn m(&self) {} }\n";
+        let files = vec![ctx("crates/nn/src/a.rs", src)];
+        let g = build_graph(&files);
+        assert_eq!(edges_of(&g, "nn::a::A::run"), vec!["nn::a::A::m"]);
+    }
+
+    #[test]
+    fn receiver_heuristic_narrows_method_candidates() {
+        let src = "impl WorkerPool { pub fn map(&self) {} }\n\
+                   pub fn go(pool: &WorkerPool, xs: &[u8]) { pool.map(); let _ = xs.iter().map(|x| x); }\n";
+        let files = vec![ctx("crates/linalg/src/pool.rs", src)];
+        let g = build_graph(&files);
+        // `pool.map()` edges to WorkerPool::map; the iterator `.map` does not.
+        assert_eq!(
+            edges_of(&g, "linalg::pool::go"),
+            vec!["linalg::pool::WorkerPool::map"]
+        );
+    }
+
+    #[test]
+    fn std_method_without_receiver_evidence_is_edge_free() {
+        let src = "impl WorkerPool { pub fn map(&self) {} }\n\
+                   pub fn go(xs: &[u8]) { let _ = xs.iter().rev().map(|x| x); }\n";
+        let files = vec![ctx("crates/linalg/src/pool.rs", src)];
+        let g = build_graph(&files);
+        assert!(edges_of(&g, "linalg::pool::go").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_indexed() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests { fn t() { super::f(); } }\n";
+        let files = vec![ctx("crates/nn/src/a.rs", src)];
+        let g = build_graph(&files);
+        assert!(g.id_of("nn::a::tests::t").is_none());
+        assert!(g.id_of("nn::a::f").is_some());
+    }
+
+    #[test]
+    fn pub_detection() {
+        let src = "pub fn yes() {}\npub(crate) fn scoped() {}\nfn no() {}\n";
+        let files = vec![ctx("crates/nn/src/a.rs", src)];
+        let g = build_graph(&files);
+        let by = |p: &str| g.fns[g.id_of(p).unwrap() as usize].is_pub;
+        assert!(by("nn::a::yes"));
+        assert!(!by("nn::a::scoped"));
+        assert!(!by("nn::a::no"));
+    }
+}

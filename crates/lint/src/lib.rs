@@ -11,6 +11,14 @@
 //! syntax-aware rules ([`rules`]); [`scan`] decides which rules apply
 //! where, and [`report`] renders text or JSON for humans and CI.
 //!
+//! On top of the per-file pass sits an *interprocedural* analysis: a
+//! workspace call graph ([`graph`]) built from the item trees and use
+//! tables, an effect lattice propagated to a fixpoint over its SCCs
+//! ([`effects`]), and declared effect contracts with sanctioned absorber
+//! barriers ([`contracts`], `lint-contracts.toml`) — run via the
+//! `cloudgen-lint effects` subcommand, which also emits the
+//! panic-reachability report for every public library entry point.
+//!
 //! The linter is deliberately dependency-free (it links only `obsv`, for
 //! telemetry emission from the binary): it must keep working in offline
 //! build environments and must never be the slowest step of
@@ -24,12 +32,21 @@
 
 #![forbid(unsafe_code)]
 
+pub mod contracts;
+pub mod effects;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod tree;
 
-pub use report::{render_json, render_text, rule_counts};
-pub use rules::{Violation, RULES};
-pub use scan::{classify, scan_source, scan_workspace, FileClass, FileViolation, ScanReport};
+pub use contracts::{parse as parse_contracts, ContractsFile};
+pub use report::{
+    render_effects_json, render_effects_text, render_json, render_text, rule_counts,
+};
+pub use rules::{checked_rules, Violation, RULES};
+pub use scan::{
+    analyze_workspace, classify, scan_source, scan_workspace, ContractStat, EffectsOutcome,
+    FileClass, FileViolation, PanicEntry, ScanReport,
+};

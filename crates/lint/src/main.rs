@@ -1,44 +1,87 @@
 //! Command-line entry point for the workspace linter.
 //!
 //! ```text
-//! cloudgen-lint [--root PATH] [--json] [--telemetry FILE]
+//! cloudgen-lint [--root PATH] [--json] [--telemetry FILE|-]
+//! cloudgen-lint effects --contracts PATH [--root PATH] [--json]
+//!                       [--report FILE] [--budget-ms N] [--telemetry FILE|-]
 //! ```
 //!
+//! The bare invocation runs the per-file rules; `effects` additionally
+//! builds the workspace call graph, propagates the effect lattice to a
+//! fixpoint, enforces the contracts declared in `lint-contracts.toml`, and
+//! emits the panic-reachability report.
+//!
 //! Exit codes: 0 = clean, 1 = violations found (including `stale-allow`
-//! audit findings — a rotted suppression fails the build like any other
-//! violation), 2 = usage/IO error.
+//! audit findings and unpaid `effect-contract` violations) or the
+//! `--budget-ms` wall-clock budget exceeded, 2 = usage/IO error.
+//!
+//! Telemetry goes to a JSONL file, or to *stderr* with `--telemetry -`:
+//! stdout carries only the report, so `cloudgen-lint --json | jq` always
+//! parses.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cloudgen_lint::{render_json, render_text, rule_counts, scan_workspace};
-use obsv::{Event, JsonlRecorder, LintEvent, Recorder, Stopwatch};
+use cloudgen_lint::{
+    analyze_workspace, parse_contracts, render_effects_json, render_effects_text, render_json,
+    render_text, rule_counts, scan_workspace, ScanReport,
+};
+use obsv::{Event, JsonlRecorder, LintEvent, Recorder, StderrJsonlRecorder, Stopwatch};
+
+enum Mode {
+    Scan,
+    Effects {
+        contracts: PathBuf,
+        report_file: Option<PathBuf>,
+        budget_ms: Option<f64>,
+    },
+}
 
 struct Args {
     root: PathBuf,
     json: bool,
-    telemetry: Option<PathBuf>,
+    telemetry: Option<String>,
+    mode: Mode,
 }
 
-const USAGE: &str = "usage: cloudgen-lint [--root PATH] [--json] [--telemetry FILE]\n\
+const USAGE: &str = "usage: cloudgen-lint [--root PATH] [--json] [--telemetry FILE|-]\n\
+\x20      cloudgen-lint effects --contracts PATH [--root PATH] [--json]\n\
+\x20                            [--report FILE] [--budget-ms N] [--telemetry FILE|-]\n\
 \n\
 Scans the workspace's .rs files for determinism, concurrency, panic-freedom,\n\
-and numeric hygiene violations. Exits 0 when clean, 1 on violations (stale\n\
-lint:allow annotations included), 2 on usage errors.\n\
+and numeric hygiene violations. The `effects` subcommand additionally builds\n\
+the workspace call graph, propagates the effect lattice to a fixpoint over\n\
+SCCs, enforces the declared effect contracts, and reports panic reachability\n\
+for every public library entry point. Exits 0 when clean, 1 on violations\n\
+(stale lint:allow annotations and unpaid effect contracts included) or a\n\
+blown --budget-ms, 2 on usage errors.\n\
 \n\
   --root PATH        workspace root to scan (default: current directory)\n\
   --json             emit the report as JSON instead of text\n\
-  --telemetry FILE   append a Lint event to a JSONL telemetry file\n";
+  --telemetry FILE   append a Lint event to a JSONL telemetry file;\n\
+\x20                    `-` writes the event to stderr, keeping stdout clean\n\
+  --contracts PATH   effect contract file (effects mode, required)\n\
+  --report FILE      also write the effects report as JSON to FILE\n\
+  --budget-ms N      fail (exit 1) if the analysis takes longer than N ms\n";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: false,
         telemetry: None,
+        mode: Mode::Scan,
     };
-    let mut it = std::env::args().skip(1);
+    let mut contracts: Option<PathBuf> = None;
+    let mut report_file: Option<PathBuf> = None;
+    let mut budget_ms: Option<f64> = None;
+    let mut effects = false;
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("effects") {
+        it.next();
+        effects = true;
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
@@ -48,16 +91,71 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--telemetry" => {
-                args.telemetry = Some(PathBuf::from(
+                args.telemetry = Some(
                     it.next()
-                        .ok_or_else(|| "--telemetry requires a file path".to_string())?,
+                        .ok_or_else(|| "--telemetry requires a file path or `-`".to_string())?,
+                );
+            }
+            "--contracts" if effects => {
+                contracts = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--contracts requires a path".to_string())?,
                 ));
+            }
+            "--report" if effects => {
+                report_file = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--report requires a path".to_string())?,
+                ));
+            }
+            "--budget-ms" if effects => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--budget-ms requires a number".to_string())?;
+                budget_ms = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("--budget-ms: `{raw}` is not a number"))?,
+                );
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if effects {
+        let contracts =
+            contracts.ok_or_else(|| "effects mode requires --contracts PATH".to_string())?;
+        args.mode = Mode::Effects {
+            contracts,
+            report_file,
+            budget_ms,
+        };
+    }
     Ok(args)
+}
+
+/// Emits the Lint telemetry event to the configured sink: a JSONL file, or
+/// stderr for `-` so a `--json` stdout stays a single clean document.
+fn emit_telemetry(target: &str, report: &ScanReport, wall_ms: f64) {
+    let event = Event::Lint(LintEvent {
+        files: report.files as u64,
+        violations: report.violations.len() as u64,
+        suppressed: report.suppressed as u64,
+        rules_hit: rule_counts(report).len() as u64,
+        wall_ms,
+    });
+    if target == "-" {
+        StderrJsonlRecorder::new().record(event);
+        return;
+    }
+    match JsonlRecorder::append(target) {
+        Ok(recorder) => {
+            recorder.record(event);
+            if let Err(e) = recorder.flush() {
+                eprintln!("cloudgen-lint: telemetry flush failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("cloudgen-lint: cannot open telemetry file `{target}`: {e}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -78,40 +176,82 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let start = Stopwatch::new();
-    let report = scan_workspace(&args.root);
-    let wall_ms = start.elapsed_ms();
-
-    if let Some(path) = &args.telemetry {
-        match JsonlRecorder::append(path) {
-            Ok(recorder) => {
-                recorder.record(Event::Lint(LintEvent {
-                    files: report.files as u64,
-                    violations: report.violations.len() as u64,
-                    suppressed: report.suppressed as u64,
-                    rules_hit: rule_counts(&report).len() as u64,
-                    wall_ms,
-                }));
-                if let Err(e) = recorder.flush() {
-                    eprintln!("cloudgen-lint: telemetry flush failed: {e}");
+    match args.mode {
+        Mode::Scan => {
+            let start = Stopwatch::new();
+            let report = scan_workspace(&args.root);
+            let wall_ms = start.elapsed_ms();
+            if let Some(target) = &args.telemetry {
+                emit_telemetry(target, &report, wall_ms);
+            }
+            if args.json {
+                print!("{}", render_json(&report));
+            } else {
+                print!("{}", render_text(&report));
+            }
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Mode::Effects {
+            contracts,
+            report_file,
+            budget_ms,
+        } => {
+            let text = match std::fs::read_to_string(&contracts) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "cloudgen-lint: cannot read contracts file `{}`: {e}",
+                        contracts.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let contracts = match parse_contracts(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cloudgen-lint: invalid contracts file: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let start = Stopwatch::new();
+            let outcome = analyze_workspace(&args.root, &contracts);
+            let wall_ms = start.elapsed_ms();
+            if let Some(target) = &args.telemetry {
+                emit_telemetry(target, &outcome.report, wall_ms);
+            }
+            if let Some(path) = &report_file {
+                if let Err(e) = std::fs::write(path, render_effects_json(&outcome)) {
+                    eprintln!(
+                        "cloudgen-lint: cannot write report `{}`: {e}",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
                 }
             }
-            Err(e) => eprintln!(
-                "cloudgen-lint: cannot open telemetry file `{}`: {e}",
-                path.display()
-            ),
+            if args.json {
+                print!("{}", render_effects_json(&outcome));
+            } else {
+                print!("{}", render_effects_text(&outcome));
+            }
+            let mut failed = !outcome.report.violations.is_empty();
+            if let Some(budget) = budget_ms {
+                if wall_ms > budget {
+                    eprintln!(
+                        "cloudgen-lint: effects analysis took {wall_ms:.1} ms, over the \
+                         {budget:.1} ms budget"
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
-    }
-
-    if args.json {
-        print!("{}", render_json(&report));
-    } else {
-        print!("{}", render_text(&report));
-    }
-
-    if report.violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
     }
 }

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::rules::RULES;
-use crate::scan::ScanReport;
+use crate::scan::{EffectsOutcome, ScanReport};
 
 /// Per-rule violation counts in [`RULES`] order, skipping zero rules.
 pub fn rule_counts(report: &ScanReport) -> Vec<(&'static str, usize)> {
@@ -114,6 +114,122 @@ pub fn render_json(report: &ScanReport) -> String {
         let _ = write!(out, "\"{}\": {}", json_escape(rule), n);
     }
     out.push_str("}\n}\n");
+    out
+}
+
+/// Renders the interprocedural analysis as text: the base violation
+/// listing, call-graph statistics, per-contract results, and the
+/// panic-reachability section (every public library entry point with a
+/// shortest witness path to a panic site).
+pub fn render_effects_text(outcome: &EffectsOutcome) -> String {
+    let mut out = render_text(&outcome.report);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "call graph: {} fn(s), {} edge(s), {} SCC(s) (largest {})",
+        outcome.functions, outcome.edges, outcome.sccs, outcome.largest_scc
+    );
+    out.push_str("contracts:\n");
+    for c in &outcome.contracts {
+        let verdict = if c.violations == 0 { "ok" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "  {}: {} — {} fn(s) checked, {} unpaid violation(s)",
+            c.name, verdict, c.checked, c.violations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "panic-reachability: {} public entry point(s) can reach a panic",
+        outcome.reachability.len()
+    );
+    for e in &outcome.reachability {
+        let kind = if e.annotated {
+            "annotated-only"
+        } else {
+            "raw panic"
+        };
+        let _ = writeln!(
+            out,
+            "  {} ({}:{}) [{kind}]\n    via {}\n    {} at {}:{}",
+            e.entry,
+            e.file,
+            e.line,
+            e.call_path.join(" → "),
+            e.site_what,
+            e.site_file,
+            e.site_line
+        );
+    }
+    out
+}
+
+/// Renders the interprocedural analysis as JSON: the base report schema
+/// plus `graph`, `contracts`, and `panic_reachability` sections. The
+/// document carries no timings, so it is byte-stable across runs and
+/// diffable as a CI artifact.
+pub fn render_effects_json(outcome: &EffectsOutcome) -> String {
+    let base = render_json(&outcome.report);
+    // Splice the extra sections before the closing `}`: the base renderer
+    // ends with "}\n}\n" (counts object then document).
+    let mut out = base
+        .strip_suffix("}\n")
+        .expect("render_json ends with its closing brace")
+        .to_string();
+    out.pop(); // trailing newline after the counts object
+    out.push_str(",\n");
+    let _ = writeln!(
+        out,
+        "  \"graph\": {{\"functions\": {}, \"edges\": {}, \"sccs\": {}, \"largest_scc\": {}}},",
+        outcome.functions, outcome.edges, outcome.sccs, outcome.largest_scc
+    );
+    out.push_str("  \"contracts\": [");
+    for (i, c) in outcome.contracts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"checked\": {}, \"violations\": {}}}",
+            json_escape(&c.name),
+            c.checked,
+            c.violations
+        );
+    }
+    if outcome.contracts.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"panic_reachability\": [");
+    for (i, e) in outcome.reachability.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let path: Vec<String> = e
+            .call_path
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(p)))
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"entry\": \"{}\", \"file\": \"{}\", \"line\": {}, \"annotated\": {}, \
+             \"call_path\": [{}], \"site\": {{\"file\": \"{}\", \"line\": {}, \"what\": \"{}\"}}}}",
+            json_escape(&e.entry),
+            json_escape(&e.file),
+            e.line,
+            e.annotated,
+            path.join(", "),
+            json_escape(&e.site_file),
+            e.site_line,
+            json_escape(&e.site_what)
+        );
+    }
+    if outcome.reachability.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
     out
 }
 

@@ -22,6 +22,8 @@
 //! | `shared-mut-numeric` (R10) | numeric crates except `linalg::pool`, non-test | no `Mutex`/`RwLock`/`Condvar`/atomics: the numeric result path is single-writer by construction; shared mutable state reintroduces scheduling order |
 //! | `ambient-parallelism` (R11) | library crates, non-test | no `available_parallelism()`: thread counts are explicit configuration (throughput knob), never ambient machine state |
 //! | `ambient-time` (R12) | all crates except `obsv`, non-test | no `Instant::now()` / `SystemTime::now()`: wall-clock reads live in `obsv` (`Stopwatch`, profiling spans), so timing stays in one audited crate and can never leak into numerics |
+//! | `hot-loop-alloc` (R13) | `linalg`/`nn` profiled kernel fns, non-test | no `Vec::new`/`.push()`/`.clone()`/`.to_vec()`/`format!` inside loop bodies of a fn that opens a `profile::span` — the profiler marks it hot, so per-iteration allocation is a measured cost; hoist buffers or annotate |
+//! | `effect-contract` (R14) | whole workspace (`effects` subcommand only) | transitive effect sets ([`crate::effects`]) must satisfy every contract declared in `lint-contracts.toml` ([`crate::contracts`]) |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
 //! or the preceding line (see [`crate::scan`]); a suppression that no longer
@@ -90,6 +92,14 @@ pub const RULES: &[(&str, &str)] = &[
         "ambient wall-clock read outside obsv (R12)",
     ),
     (
+        "hot-loop-alloc",
+        "allocation in a hot loop of a profiled kernel (R13)",
+    ),
+    (
+        "effect-contract",
+        "declared effect contract violated transitively (R14)",
+    ),
+    (
         "allow-missing-reason",
         "lint:allow suppression without a reason string",
     ),
@@ -98,6 +108,24 @@ pub const RULES: &[(&str, &str)] = &[
         "lint:allow suppression that no longer matches any violation",
     ),
 ];
+
+/// Rule ids only the interprocedural `effects` mode can produce; the plain
+/// per-file scan never fires them, so it must not judge their suppressions
+/// stale either.
+pub const EFFECT_RULES: &[&str] = &["effect-contract"];
+
+/// The rule ids a mode actually checks — the staleness domain for
+/// `lint:allow` auditing (see [`crate::scan::apply_allows_checked`]).
+pub fn checked_rules(include_effects: bool) -> Vec<&'static str> {
+    RULES
+        .iter()
+        .map(|(id, _)| *id)
+        .filter(|id| include_effects || !EFFECT_RULES.contains(id))
+        .collect()
+}
+
+/// Crates whose profiled fns are hot kernels for R13.
+const KERNEL_CRATES: &[&str] = &["linalg", "nn"];
 
 const INT_TYPES: &[&str] = &[
     "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
@@ -694,6 +722,130 @@ pub fn ambient_time(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// R13: allocation inside a loop of a *profiled kernel* — a non-test fn in
+/// `linalg`/`nn` whose own body opens a `profile::span`. The span marks the
+/// fn as a measured hot path, so per-iteration `Vec::new`, `.push()`,
+/// `.clone()`, `.to_vec()`, or `format!` is a cost the profiler is already
+/// charging; hoist the buffer out of the loop, reuse scratch, or annotate
+/// the invariant (e.g. "pushes into a pre-reserved Vec, no realloc").
+/// Loop *headers* are excluded — `for r in rows.clone()` clones once per
+/// call, not per iteration — and nested fns audit their own loops.
+pub fn hot_loop_alloc(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let FileClass::Lib { krate } = &ctx.class else {
+        return;
+    };
+    if !KERNEL_CRATES.contains(&krate.as_str()) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (_, node) in ctx.tree.fn_nodes() {
+        if node.cfg_test {
+            continue;
+        }
+        let Some((open, close)) = node.body else {
+            continue;
+        };
+        let own =
+            |j: usize| ctx.tree.enclosing(j, NodeKind::Fn).map(|f| f.start) == Some(node.start);
+        let profiled = (open..close).any(|j| {
+            own(j)
+                && ident(&toks[j], "profile")
+                && matches!(toks.get(j + 1), Some(n) if punct(n, "::"))
+                && matches!(toks.get(j + 2), Some(n) if ident(n, "span"))
+        });
+        if !profiled {
+            continue;
+        }
+        // Mark loop-body token ranges: keyword → the `{` at paren/bracket
+        // depth 0 → its matching `}`.
+        let mut in_loop = vec![false; close + 1];
+        for j in open..close {
+            if !own(j)
+                || !(ident(&toks[j], "for") || ident(&toks[j], "while") || ident(&toks[j], "loop"))
+            {
+                continue;
+            }
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            let mut body_open = None;
+            while k < close {
+                let t = &toks[k];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            body_open = Some(k);
+                            break;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            let Some(bo) = body_open else {
+                continue;
+            };
+            let mut brace_depth = 0i32;
+            let mut k = bo;
+            while k < toks.len() {
+                let t = &toks[k];
+                if punct(t, "{") {
+                    brace_depth += 1;
+                } else if punct(t, "}") {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let body_close = k.min(close);
+            for flag in in_loop.iter_mut().take(body_close).skip(bo + 1) {
+                *flag = true;
+            }
+        }
+        for j in open..close {
+            if !in_loop.get(j).copied().unwrap_or(false) || !own(j) || ctx.in_test[j] {
+                continue;
+            }
+            let t = &toks[j];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_is = |p: &str| matches!(toks.get(j + 1), Some(n) if punct(n, p));
+            let prev_dot = j >= 1 && punct(&toks[j - 1], ".");
+            let what = if ident(t, "Vec")
+                && next_is("::")
+                && matches!(toks.get(j + 2), Some(n) if ident(n, "new"))
+            {
+                Some("Vec::new()".to_string())
+            } else if prev_dot
+                && next_is("(")
+                && matches!(t.text.as_str(), "push" | "clone" | "to_vec")
+            {
+                Some(format!(".{}()", t.text))
+            } else if ident(t, "format") && next_is("!") {
+                Some("format!".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(violation(
+                    "hot-loop-alloc",
+                    t,
+                    format!(
+                        "`{what}` allocates inside a loop of profiled kernel `fn {}`; hoist the \
+                         buffer out of the loop or reuse scratch, or annotate the invariant",
+                        node.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Runs every rule against one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -709,5 +861,6 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     shared_mut_numeric(ctx, &mut out);
     ambient_parallelism(ctx, &mut out);
     ambient_time(ctx, &mut out);
+    hot_loop_alloc(ctx, &mut out);
     out
 }

@@ -21,8 +21,13 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::contracts::{scope_matches, ContractsFile};
+use crate::effects::{
+    self, effect_names, EffectSet, Intrinsics, PANICS, PANICS_ANNOTATED,
+};
+use crate::graph::{build_graph, CallGraph};
 use crate::lexer::{self, Allow, Tok, TokKind};
-use crate::rules::{self, Violation};
+use crate::rules::{self, checked_rules, Violation, RULES};
 use crate::tree::{self, ItemTree};
 
 /// Crates under `crates/` that are command-line tools rather than library
@@ -234,6 +239,12 @@ pub fn build_ctx(path: String, class: FileClass, src: &str) -> FileCtx {
     }
 }
 
+/// Applies `lint:allow` suppressions to raw violations with the default
+/// (per-file scan) checked-rule set. See [`apply_allows_checked`].
+pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usize) {
+    apply_allows_checked(ctx, raw, &checked_rules(false))
+}
+
 /// Applies `lint:allow` suppressions to raw violations. A suppression
 /// covers its own line and the following line for the rules it names; a
 /// suppression without a reason does not suppress anything and instead
@@ -241,7 +252,18 @@ pub fn build_ctx(path: String, class: FileClass, src: &str) -> FileCtx {
 /// violation at all — nothing fires on its two lines for the rules it
 /// lists — has rotted and yields a `stale-allow` violation, so the
 /// allow-list stays an accurate invariant log as the code moves under it.
-pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usize) {
+///
+/// `checked` is the set of rule ids the current mode actually ran:
+/// staleness is only decided for allows whose named rules were all
+/// checkable here. A `lint:allow(effect-contract)` must not read as stale
+/// in a plain per-file scan (only `cloudgen-lint effects` produces those
+/// violations) — but an allow naming a rule id that does not exist at all
+/// is always stale, so typos cannot hide.
+pub fn apply_allows_checked(
+    ctx: &FileCtx,
+    raw: Vec<Violation>,
+    checked: &[&str],
+) -> (Vec<Violation>, usize) {
     let mut out = Vec::new();
     let mut suppressed = 0usize;
     let mut used = vec![false; ctx.allows.len()];
@@ -263,6 +285,11 @@ pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usiz
         }
     }
     for (a, hit) in ctx.allows.iter().zip(used.iter()) {
+        // Deferred: names a real rule this mode did not check, so its
+        // liveness cannot be judged here.
+        let deferred = a.rules.iter().any(|r| {
+            RULES.iter().any(|(id, _)| id == r) && !checked.iter().any(|c| c == r)
+        });
         if a.reason.is_empty() {
             out.push(Violation {
                 rule: "allow-missing-reason",
@@ -271,7 +298,7 @@ pub fn apply_allows(ctx: &FileCtx, raw: Vec<Violation>) -> (Vec<Violation>, usiz
                 message: "lint:allow must carry a reason: `// lint:allow(rule): why this is sound`"
                     .to_string(),
             });
-        } else if !*hit {
+        } else if !*hit && !deferred {
             out.push(Violation {
                 rule: "stale-allow",
                 line: a.line,
@@ -316,12 +343,13 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Walks the workspace rooted at `root` and runs every rule on every
-/// classified `.rs` file.
-pub fn scan_workspace(root: &Path) -> ScanReport {
+/// Loads and contextualizes every classified `.rs` file under `root`, in
+/// sorted path order. Shared by the per-file scan and the interprocedural
+/// analysis so both see the identical file set.
+pub fn collect_ctxs(root: &Path) -> Vec<FileCtx> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files);
-    let mut report = ScanReport::default();
+    let mut ctxs = Vec::new();
     for file in files {
         let rel: String = match file.strip_prefix(root) {
             Ok(p) => p
@@ -337,13 +365,28 @@ pub fn scan_workspace(root: &Path) -> ScanReport {
         let Ok(src) = fs::read_to_string(&file) else {
             continue;
         };
-        report.files += 1;
-        let (violations, suppressed) = scan_source(rel.clone(), class, &src);
+        ctxs.push(build_ctx(rel, class, &src));
+    }
+    ctxs
+}
+
+/// Runs every per-file rule over `ctxs`, merges in `extra` pre-computed raw
+/// violations per file (the interprocedural `effect-contract` findings),
+/// and applies suppressions against the given checked-rule set.
+fn build_report(ctxs: &[FileCtx], mut extra: Vec<Vec<Violation>>, checked: &[&str]) -> ScanReport {
+    let mut report = ScanReport {
+        files: ctxs.len(),
+        ..Default::default()
+    };
+    for (i, ctx) in ctxs.iter().enumerate() {
+        let mut raw = rules::run_all(ctx);
+        raw.append(&mut extra[i]);
+        let (violations, suppressed) = apply_allows_checked(ctx, raw, checked);
         report.suppressed += suppressed;
         report
             .violations
             .extend(violations.into_iter().map(|violation| FileViolation {
-                path: rel.clone(),
+                path: ctx.path.clone(),
                 violation,
             }));
     }
@@ -352,6 +395,190 @@ pub fn scan_workspace(root: &Path) -> ScanReport {
         .sort_by(|a, b| (&a.path, a.violation.line, a.violation.col)
             .cmp(&(&b.path, b.violation.line, b.violation.col)));
     report
+}
+
+/// Walks the workspace rooted at `root` and runs every rule on every
+/// classified `.rs` file.
+pub fn scan_workspace(root: &Path) -> ScanReport {
+    let ctxs = collect_ctxs(root);
+    let extra = vec![Vec::new(); ctxs.len()];
+    build_report(&ctxs, extra, &checked_rules(false))
+}
+
+/// Per-contract enforcement statistics for the effects report.
+#[derive(Debug, Clone)]
+pub struct ContractStat {
+    /// Contract name from `lint-contracts.toml`.
+    pub name: String,
+    /// Fns in scope after exceptions.
+    pub checked: usize,
+    /// Unpaid violations — in-scope fns reaching a forbidden effect with no
+    /// reasoned `lint:allow(effect-contract)` on the definition.
+    pub violations: usize,
+}
+
+/// One public entry point that can transitively reach a panic site.
+#[derive(Debug, Clone)]
+pub struct PanicEntry {
+    /// Entry-point fn path (`core::generate::Generator::run`).
+    pub entry: String,
+    /// File declaring the entry point.
+    pub file: String,
+    /// 1-based line of the entry point's `fn`.
+    pub line: u32,
+    /// True when every reachable panic site is discharged by an annotated
+    /// invariant (reasoned `lint:allow(no-panic)`); false means a raw
+    /// panic is reachable.
+    pub annotated: bool,
+    /// Shortest witness call path, entry first, panicking fn last.
+    pub call_path: Vec<String>,
+    /// File of the witness panic site.
+    pub site_file: String,
+    /// 1-based line of the witness panic site.
+    pub site_line: u32,
+    /// The panicking call itself (`.unwrap()`, `panic!`, ...).
+    pub site_what: String,
+}
+
+/// Result of the interprocedural effects analysis.
+#[derive(Debug)]
+pub struct EffectsOutcome {
+    /// Per-file violations — every per-file rule *plus* `effect-contract` —
+    /// with suppression applied against the full rule vocabulary.
+    pub report: ScanReport,
+    /// Indexed workspace fns.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Strongly connected components in the call graph.
+    pub sccs: usize,
+    /// Largest SCC size (fixpoint sanity: recursion clusters stay small).
+    pub largest_scc: usize,
+    /// Per-contract stats, contract-file order.
+    pub contracts: Vec<ContractStat>,
+    /// Panic-reachability entries for public library fns, path order.
+    pub reachability: Vec<PanicEntry>,
+}
+
+/// Runs the full interprocedural pipeline on the workspace rooted at
+/// `root`: call graph → intrinsic effects → barrier masks → SCC fixpoint →
+/// contract enforcement → panic-reachability report.
+pub fn analyze_workspace(root: &Path, contracts: &ContractsFile) -> EffectsOutcome {
+    let ctxs = collect_ctxs(root);
+    analyze_ctxs(&ctxs, contracts)
+}
+
+/// The pipeline on pre-built file contexts (exposed for tests).
+pub fn analyze_ctxs(ctxs: &[FileCtx], contracts: &ContractsFile) -> EffectsOutcome {
+    let g: CallGraph = build_graph(ctxs);
+    let intr: Vec<Intrinsics> = effects::intrinsic_effects(&g, ctxs);
+    let masks: Vec<EffectSet> = effects::barrier_masks(&g, contracts);
+    let (trans, sccs, largest_scc) = effects::propagate(&g, &intr, &masks);
+
+    let mut extra: Vec<Vec<Violation>> = vec![Vec::new(); ctxs.len()];
+    let mut stats = Vec::new();
+    for c in &contracts.contracts {
+        let mut checked = 0usize;
+        let mut unpaid = 0usize;
+        for (id, f) in g.fns.iter().enumerate() {
+            if !c.scope.iter().any(|p| scope_matches(p, &f.path))
+                || c.except.iter().any(|p| scope_matches(p, &f.path))
+            {
+                continue;
+            }
+            checked += 1;
+            let bad = trans[id] & c.forbid;
+            if bad == 0 {
+                continue;
+            }
+            // One witness per offending fn, for the lowest offending bit.
+            let bit = bad & bad.wrapping_neg();
+            let via = effects::witness_path(&g, &intr, &masks, id as u32, bit)
+                .unwrap_or_else(|| vec![id as u32]);
+            let sink_id = *via.last().expect("witness path is non-empty") as usize;
+            let hops: Vec<&str> = via
+                .iter()
+                .map(|&i| g.fns[i as usize].name.as_str())
+                .collect();
+            let sink_line = intr[sink_id].first_line[bit.trailing_zeros() as usize];
+            let message = format!(
+                "contract `{}`: `{}` transitively reaches {} via {} ({} at {}:{})",
+                c.name,
+                f.path,
+                effect_names(bad),
+                hops.join(" → "),
+                effect_names(bit),
+                g.fns[sink_id].file,
+                sink_line,
+            );
+            if !effects::allowed(&ctxs[f.file_idx], "effect-contract", f.line) {
+                unpaid += 1;
+            }
+            extra[f.file_idx].push(Violation {
+                rule: "effect-contract",
+                line: f.line,
+                col: 1,
+                message,
+            });
+        }
+        stats.push(ContractStat {
+            name: c.name.clone(),
+            checked,
+            violations: unpaid,
+        });
+    }
+
+    // Panic-reachability: every public library fn that can transitively
+    // reach a panic site, raw or discharged.
+    let mut reachability = Vec::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        if !f.is_pub || !f.is_lib {
+            continue;
+        }
+        let t = trans[id];
+        if t & (PANICS | PANICS_ANNOTATED) == 0 {
+            continue;
+        }
+        let annotated = t & PANICS == 0;
+        let bit = if annotated { PANICS_ANNOTATED } else { PANICS };
+        let Some(via) = effects::witness_path(&g, &intr, &masks, id as u32, bit) else {
+            continue;
+        };
+        let sink_id = *via.last().expect("witness path is non-empty") as usize;
+        let site = intr[sink_id]
+            .panic_sites
+            .iter()
+            .find(|s| s.discharged == annotated)
+            .or_else(|| intr[sink_id].panic_sites.first());
+        let (site_line, site_what) = site
+            .map(|s| (s.line, s.what.clone()))
+            .unwrap_or((g.fns[sink_id].line, "?".to_string()));
+        reachability.push(PanicEntry {
+            entry: f.path.clone(),
+            file: f.file.clone(),
+            line: f.line,
+            annotated,
+            call_path: via
+                .iter()
+                .map(|&i| g.fns[i as usize].path.clone())
+                .collect(),
+            site_file: g.fns[sink_id].file.clone(),
+            site_line,
+            site_what,
+        });
+    }
+    reachability.sort_by(|a, b| a.entry.cmp(&b.entry));
+
+    let report = build_report(ctxs, extra, &checked_rules(true));
+    EffectsOutcome {
+        report,
+        functions: g.fns.len(),
+        edges: g.edge_count(),
+        sccs,
+        largest_scc,
+        contracts: stats,
+        reachability,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,333 @@
+//! End-to-end tests for the interprocedural effects gate.
+//!
+//! Two layers are covered here:
+//!
+//! * **Graph corners** through the library API (`build_graph` /
+//!   `analyze_ctxs`): aliased imports, trait-impl method resolution,
+//!   same-name functions in different crates, and fixpoint termination on
+//!   recursion — the resolution cases the per-file rules never see.
+//! * **The CI gate contract** through the real binary
+//!   (`CARGO_BIN_EXE_cloudgen-lint`) on throwaway workspaces: an ambient
+//!   clock two calls below a kernel must fail `effects` while the plain
+//!   per-file scan stays green, deleting a `lint:allow` must re-arm the
+//!   gate, and `--json --telemetry -` must keep stdout a single clean JSON
+//!   document.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cloudgen_lint::contracts::parse;
+use cloudgen_lint::graph::build_graph;
+use cloudgen_lint::scan::{analyze_ctxs, build_ctx, classify, FileCtx};
+
+fn ctx(rel: &str, src: &str) -> FileCtx {
+    let class = classify(rel).unwrap_or_else(|| panic!("`{rel}` must classify"));
+    build_ctx(rel.to_string(), class, src)
+}
+
+fn callees<'g>(
+    g: &'g cloudgen_lint::graph::CallGraph,
+    path: &str,
+) -> Vec<&'g str> {
+    let id = g.id_of(path).unwrap_or_else(|| panic!("`{path}` not indexed"));
+    let mut out: Vec<&str> = g.callees[id as usize]
+        .iter()
+        .map(|&c| g.fns[c as usize].path.as_str())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Graph corners (library API)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn aliased_import_call_resolves_to_target() {
+    let files = vec![
+        ctx(
+            "crates/linalg/src/kern.rs",
+            "pub fn gemm(n: usize) -> usize { n }\n",
+        ),
+        ctx(
+            "crates/nn/src/net.rs",
+            "use linalg::kern::gemm as mm;\npub fn forward(n: usize) -> usize { mm(n) }\n",
+        ),
+    ];
+    let g = build_graph(&files);
+    assert_eq!(callees(&g, "nn::net::forward"), ["linalg::kern::gemm"]);
+}
+
+#[test]
+fn trait_impl_method_resolves_to_the_impl_fn() {
+    let files = vec![ctx(
+        "crates/core/src/model.rs",
+        "pub trait Model { fn emit(&self) -> u64; }\n\
+         pub struct Lstm { n: u64 }\n\
+         impl Model for Lstm { fn emit(&self) -> u64 { self.n } }\n\
+         pub fn drive(m: &Lstm) -> u64 { m.emit() }\n",
+    )];
+    let g = build_graph(&files);
+    assert_eq!(callees(&g, "core::model::drive"), ["core::model::Lstm::emit"]);
+}
+
+#[test]
+fn same_name_fns_in_different_modules_stay_distinct() {
+    let files = vec![
+        ctx(
+            "crates/glm/src/pois.rs",
+            "pub fn density(x: f64) -> f64 { x }\n",
+        ),
+        ctx(
+            "crates/survival/src/km.rs",
+            "pub fn density(x: f64) -> f64 { x + 1.0 }\n\
+             pub fn curve(x: f64) -> f64 { density(x) }\n",
+        ),
+    ];
+    let g = build_graph(&files);
+    // The plain call binds to the same-module `density`, never the one in
+    // the other crate.
+    assert_eq!(callees(&g, "survival::km::curve"), ["survival::km::density"]);
+    assert!(g.id_of("glm::pois::density").is_some());
+}
+
+#[test]
+fn recursive_workspace_reaches_fixpoint_and_flags_contract() {
+    // Mutual recursion between two fns, one of which reads the clock: the
+    // SCC fixpoint must terminate and taint both members.
+    let files = vec![ctx(
+        "crates/linalg/src/iter.rs",
+        "pub fn refine(n: u64) -> u64 { if n == 0 { 0 } else { polish(n - 1) } }\n\
+         // lint:allow(ambient-time): fixture clock read\n\
+         pub fn polish(n: u64) -> u64 { let _t = std::time::Instant::now(); refine(n) }\n",
+    )];
+    let contracts = parse(
+        "[[contract]]\nname = \"kernels-pure\"\nscope = [\"linalg::*\"]\nforbid = [\"time\"]\n",
+    )
+    .expect("contracts parse");
+    let outcome = analyze_ctxs(&files, &contracts);
+    assert_eq!(outcome.functions, 2);
+    // Both SCC members carry the taint, so the contract anchors twice.
+    let hits: Vec<_> = outcome
+        .report
+        .violations
+        .iter()
+        .filter(|v| v.violation.rule == "effect-contract")
+        .collect();
+    assert_eq!(hits.len(), 2, "{:?}", outcome.report.violations);
+    let stat = &outcome.contracts[0];
+    assert_eq!(stat.name, "kernels-pure");
+    assert_eq!(stat.violations, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Binary-level gate tests (throwaway workspaces)
+// ---------------------------------------------------------------------------
+
+static WS_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `files` (rel path, contents) under a fresh temp workspace root.
+fn write_workspace(files: &[(&str, &str)]) -> PathBuf {
+    let seq = WS_SEQ.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!(
+        "cloudgen-lint-gate-{}-{seq}",
+        std::process::id()
+    ));
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(path, contents).expect("write fixture");
+    }
+    root
+}
+
+fn run_lint(root: &Path, args: &[&str]) -> Output {
+    // `effects` must be the leading argument, so `--root` goes last.
+    Command::new(env!("CARGO_BIN_EXE_cloudgen-lint"))
+        .args(args)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn cloudgen-lint")
+}
+
+const GATE_CONTRACTS: &str = "\
+[[contract]]
+name = \"kernels-pure\"
+scope = [\"linalg::*\", \"nn::*\"]
+forbid = [\"rng\", \"time\", \"io\"]
+
+[[contract]]
+name = \"numeric-panic-free\"
+scope = [\"core::*\"]
+forbid = [\"panics\"]
+";
+
+/// A clock read two calls below a `linalg` kernel: invisible to every
+/// per-file rule (the read itself is annotated, in another crate), caught
+/// only by transitive effect propagation.
+const KERNEL_WS: &[(&str, &str)] = &[
+    (
+        "crates/linalg/src/lib.rs",
+        "//! Fixture kernel crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn kernel(x: f64) -> f64 { helper(x) }\n\
+         fn helper(x: f64) -> f64 { let _t = trace::clock::now(); x }\n",
+    ),
+    (
+        "crates/trace/src/clock.rs",
+        "//! Fixture clock module.\n\
+         // lint:allow(ambient-time): fixture sanctioned clock read\n\
+         pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    ),
+    ("lint-contracts.toml", GATE_CONTRACTS),
+];
+
+#[test]
+fn instant_now_two_calls_below_kernel_fails_effects_but_not_plain_scan() {
+    let root = write_workspace(KERNEL_WS);
+    let contracts = root.join("lint-contracts.toml");
+
+    // Plain per-file scan: green. The clock read is annotated at its site.
+    let plain = run_lint(&root, &[]);
+    assert_eq!(
+        plain.status.code(),
+        Some(0),
+        "plain scan should pass: {}",
+        String::from_utf8_lossy(&plain.stdout)
+    );
+
+    // Effects gate: red, with the witness path in the diagnostic.
+    let gated = run_lint(&root, &["effects", "--contracts", contracts.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert_eq!(gated.status.code(), Some(1), "gate should fail:\n{stdout}");
+    assert!(stdout.contains("effect-contract"), "{stdout}");
+    assert!(stdout.contains("kernels-pure"), "{stdout}");
+    assert!(
+        stdout.contains("kernel") && stdout.contains("helper") && stdout.contains("now"),
+        "witness path should name the full call chain:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_panic_allow_rearms_the_gate() {
+    let discharged = "//! Fixture numeric crate.\n\
+                      #![forbid(unsafe_code)]\n\
+                      pub fn predict(x: Option<f64>) -> f64 {\n\
+                      \x20   // lint:allow(no-panic): fixture invariant, x is always Some\n\
+                      \x20   x.unwrap()\n\
+                      }\n";
+    let root = write_workspace(&[
+        ("crates/core/src/lib.rs", discharged),
+        ("lint-contracts.toml", GATE_CONTRACTS),
+    ]);
+    let contracts_arg = root.join("lint-contracts.toml");
+    let ok = run_lint(
+        &root,
+        &["effects", "--contracts", contracts_arg.to_str().unwrap()],
+    );
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "discharged panic must pass: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // Delete the allow: the panic re-taints transitively and the contract
+    // (plus the per-file rule) must fail the build.
+    let raw = discharged.replace(
+        "    // lint:allow(no-panic): fixture invariant, x is always Some\n",
+        "",
+    );
+    std::fs::write(root.join("crates/core/src/lib.rs"), raw).expect("rewrite");
+    let rearmed = run_lint(
+        &root,
+        &["effects", "--contracts", contracts_arg.to_str().unwrap()],
+    );
+    let stdout = String::from_utf8_lossy(&rearmed.stdout);
+    assert_eq!(rearmed.status.code(), Some(1), "gate should re-arm:\n{stdout}");
+    assert!(stdout.contains("numeric-panic-free"), "{stdout}");
+    assert!(stdout.contains("effect-contract"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
+// stdout hygiene: `--json --telemetry -` must leave stdout parseable
+// ---------------------------------------------------------------------------
+
+/// Structural JSON check without a parser dependency: the document must be
+/// exactly one `{...}` with braces balanced outside string literals —
+/// any interleaved telemetry line would break this.
+fn is_single_json_object(s: &str) -> bool {
+    let t = s.trim_end();
+    if !t.starts_with('{') {
+        return false;
+    }
+    let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+    for (i, c) in t.char_indices() {
+        if in_str {
+            match (escape, c) {
+                (true, _) => escape = false,
+                (false, '\\') => escape = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    // Must be the final character: nothing trails the doc.
+                    return i == t.len() - 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[test]
+fn json_stdout_stays_clean_with_stderr_telemetry() {
+    let root = write_workspace(KERNEL_WS);
+    let contracts = root.join("lint-contracts.toml");
+    for args in [
+        vec!["--json", "--telemetry", "-"],
+        vec![
+            "effects",
+            "--contracts",
+            contracts.to_str().unwrap(),
+            "--json",
+            "--telemetry",
+            "-",
+        ],
+    ] {
+        let out = run_lint(&root, &args);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            is_single_json_object(&stdout),
+            "stdout must be one clean JSON document for {args:?}:\n{stdout}"
+        );
+        // `wall_ms` only exists in the telemetry event, never in the report
+        // document, so its absence proves no event leaked onto stdout.
+        assert!(
+            !stdout.contains("wall_ms"),
+            "telemetry leaked onto stdout for {args:?}:\n{stdout}"
+        );
+        // When the recorder emits anything (it is a no-op under the offline
+        // serde stubs), the event must land on stderr, tagged and timed.
+        if !stderr.trim().is_empty() {
+            assert!(
+                stderr.contains("wall_ms"),
+                "stderr output is not the telemetry event for {args:?}:\n{stderr}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -10,8 +10,9 @@ use cloudgen_lint::{render_json, scan_source, FileClass, FileViolation, ScanRepo
 
 /// A fixture exercising one violation from each rule family: legacy
 /// (no-panic), determinism (unordered-iter), concurrency (raw-spawn),
-/// observability (ambient-time), and the suppression audit (stale-allow),
-/// plus one live suppression.
+/// observability (ambient-time), the hot-path allocation rule
+/// (hot-loop-alloc), and the suppression audit (stale-allow), plus one
+/// live suppression.
 const FIXTURE: &str = r#"fn f(x: Option<u8>) -> u8 { x.unwrap() }
 fn g() { let m = std::collections::HashMap::<u8, u8>::new(); }
 fn h() { std::thread::spawn(|| {}); }
@@ -24,6 +25,13 @@ fn j(z: Option<u8>) -> u8 {
     z.unwrap()
 }
 fn k() { let t0 = std::time::Instant::now(); }
+fn l() {
+    let _prof = profile::span("fixture-kernel");
+    for _q in 0..4 {
+        let v: Vec<u8> = Vec::new();
+        drop(v);
+    }
+}
 "#;
 
 #[test]
@@ -73,6 +81,8 @@ fn rule_vocabulary_is_pinned() {
             "shared-mut-numeric",
             "ambient-parallelism",
             "ambient-time",
+            "hot-loop-alloc",
+            "effect-contract",
             "allow-missing-reason",
             "stale-allow",
         ],

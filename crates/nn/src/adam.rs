@@ -142,12 +142,16 @@ impl Adam {
         // reads g/m/v/w and writes m/v/w, all f64.
         profile::add_flops(elems * 16);
         profile::add_bytes(elems * 7 * 8);
-        // Lazily initialize moments.
+        // Lazily initialize moments (sized collects, no per-step growth).
         if self.m.is_empty() {
-            for p in params.iter() {
-                self.m.push(Mat::zeros(p.value.rows(), p.value.cols()));
-                self.v.push(Mat::zeros(p.value.rows(), p.value.cols()));
-            }
+            self.m = params
+                .iter()
+                .map(|p| Mat::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Mat::zeros(p.value.rows(), p.value.cols()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter list changed size");
 

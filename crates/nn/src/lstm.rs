@@ -257,22 +257,36 @@ impl Lstm {
     pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, LstmCache) {
         let _prof = profile::span("lstm-fwd");
         let batch = xs.first().map_or(0, Mat::rows);
-        let mut caches: Vec<Vec<StepCache>> = self.layers.iter().map(|_| Vec::new()).collect();
+        let mut caches: Vec<Vec<StepCache>> = self
+            .layers
+            .iter()
+            .map(|_| Vec::with_capacity(xs.len()))
+            .collect();
         let mut state = self.zero_state(batch);
         let mut outputs = Vec::with_capacity(xs.len());
         for x in xs {
             assert_eq!(x.cols(), self.input_dim, "input width mismatch");
             assert_eq!(x.rows(), batch, "inconsistent batch size");
-            let mut layer_in = x.clone();
+            // Layer 0 reads the borrowed input directly; layers above read the
+            // hidden output handed down by the layer below. No per-step clone
+            // of `x`, and the recurrent state buffers are recycled in place.
+            let mut below: Option<Mat> = None;
             for (l, layer) in self.layers.iter().enumerate() {
-                let (h, cache) = layer.step(&layer_in, &state.h[l], &state.c[l]);
-                state.c[l] = cache.c.clone();
-                state.h[l] = h.clone();
+                let layer_in = below.as_ref().unwrap_or(x);
+                let (h, cache) = layer.step(layer_in, &state.h[l], &state.c[l]);
+                state.c[l].copy_from(&cache.c);
+                state.h[l].copy_from(&h);
+                // lint:allow(hot-loop-alloc): cache vec is pre-reserved to the sequence length
                 caches[l].push(cache);
-                layer_in = h;
+                below = Some(h);
             }
-            linalg::debug_assert_finite!(layer_in.as_slice(), "lstm forward hidden output");
-            outputs.push(layer_in);
+            // The constructor guarantees at least one layer, so `below` is the
+            // top layer's hidden output here.
+            // lint:allow(hot-loop-alloc): zero-layer fallback clone is unreachable (num_layers > 0)
+            let top = below.unwrap_or_else(|| x.clone());
+            linalg::debug_assert_finite!(top.as_slice(), "lstm forward hidden output");
+            // lint:allow(hot-loop-alloc): outputs vec is pre-reserved to the sequence length
+            outputs.push(top);
         }
         (outputs, LstmCache { caches, batch })
     }
@@ -320,7 +334,10 @@ impl Lstm {
             let mut dc_next = Mat::zeros(batch, layer.hidden);
             let mut dx_seq: Vec<Mat> = vec![Mat::zeros(0, 0); steps];
             for t in (0..steps).rev() {
-                let mut dh = dh_above[t].clone();
+                // `dh_above[t]` is consumed exactly once per layer sweep, so
+                // steal the buffer instead of cloning it; the whole vec is
+                // replaced by `dx_seq` after the sweep.
+                let mut dh = std::mem::replace(&mut dh_above[t], Mat::zeros(0, 0));
                 dh.axpy(1.0, &dh_next);
                 let (dx, dh_prev, dc_prev) =
                     layer.step_backward(&cache.caches[l][t], &dh, &dc_next);

@@ -41,7 +41,9 @@ pub use event::{
 };
 pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer, Stopwatch};
 pub use profile::{ProfSpanRecord, Profiler, SpanHandoff};
-pub use recorder::{read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use recorder::{
+    read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, StderrJsonlRecorder,
+};
 pub use report::{
     GenSummary, ProfileEntry, ProfileSummary, ResilienceSummary, RunReport, SchedSummary,
     SpanSummary, StageSummary,

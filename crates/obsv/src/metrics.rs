@@ -249,9 +249,11 @@ impl Histogram {
         // The extreme quantiles are known exactly: clamp to the observed
         // min/max rather than interpolating inside the owning bucket
         // (interpolation would report min + width/count for q = 0).
+        // lint:allow(float-eq): only the exact literal q = 0.0 means "the minimum"; near-zero quantiles must interpolate
         if q == 0.0 {
             return self.min;
         }
+        // lint:allow(float-eq): only the exact literal q = 1.0 means "the maximum"; near-one quantiles must interpolate
         if q == 1.0 {
             return self.max;
         }

@@ -190,6 +190,32 @@ impl Drop for JsonlRecorder {
     }
 }
 
+/// Writes one JSON object per line to standard error.
+///
+/// This sink exists for tools whose *stdout* is a machine-readable
+/// document (`cloudgen-lint --json --telemetry -`): telemetry must never
+/// interleave with the report stream, so it goes to the diagnostic stream
+/// instead, where `lint --json | jq` cannot see it. Per the recorder
+/// contract, serialization failures degrade to a silent no-op for that
+/// event rather than panicking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrJsonlRecorder;
+
+impl StderrJsonlRecorder {
+    /// Creates the sink (stateless; provided for constructor symmetry).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Recorder for StderrJsonlRecorder {
+    fn record(&self, event: Event) {
+        if let Ok(line) = serde_json::to_string(&event) {
+            eprintln!("{line}");
+        }
+    }
+}
+
 /// Parses a JSONL telemetry file back into events.
 ///
 /// Blank and unparseable lines are skipped (a crashed run may leave a torn

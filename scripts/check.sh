@@ -19,6 +19,14 @@ echo "==> cloudgen-lint (incl. determinism/concurrency pack + stale-allow audit)
 # ambient-time (Instant/SystemTime reads outside obsv).
 cargo run --release -p cloudgen-lint
 
+echo "==> cloudgen-lint effects (interprocedural contract gate + panic reachability)"
+# PR 7: workspace call graph + effect-lattice fixpoint. Enforces the
+# contracts in lint-contracts.toml (kernel purity, transitive panic-freedom
+# on numeric paths, clock/spawn confinement) and the hot-loop-alloc rule
+# for profiled kernels; writes the panic-reachability report for auditing.
+cargo run --release -p cloudgen-lint -- effects \
+  --contracts lint-contracts.toml --report lint-effects-report.json
+
 echo "==> fault-injection suite (resilience)"
 cargo test --release -p resilience
 
