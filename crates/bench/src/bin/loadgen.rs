@@ -1,0 +1,351 @@
+//! Fault-storm load test for `cloudgen-serve`.
+//!
+//! Trains a tiny in-process model, starts the server on an ephemeral
+//! port, and storms it with concurrent clients while a deterministic
+//! chaos schedule injects poisoned requests, stalled shards, mid-flight
+//! kills, and transient worker faults. Asserts the server's robustness
+//! contract — the process stays alive, the admission queue stays bounded,
+//! and every rejection is a *typed* response — then writes latency and
+//! shed-rate statistics to `BENCH_serve.json`.
+//!
+//! ```text
+//! loadgen [--quick] [--out BENCH_serve.json]
+//! ```
+
+use bench::row;
+use cloudgen::lifetimes::LifetimeHead;
+use cloudgen::{
+    ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,
+    LifetimeModel, Parallelism, TokenStream, TraceGenerator, TrainConfig,
+};
+use glm::{DohStrategy, ElasticNet};
+use obsv::{NullRecorder, Stopwatch};
+use resilience::{RequestFault, RequestFaultPlan};
+use serve::{fetch, Fetched, ServeConfig, ServeModel, Server};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use survival::LifetimeBins;
+use synth::{CloudWorld, WorldConfig};
+use trace::period::TemporalFeaturesSpec;
+use trace::ObservationWindow;
+
+/// Client-side fetch timeout — generous: the server's own deadline fires
+/// first for every well-formed request.
+const CLIENT_TIMEOUT_MS: u64 = 30_000;
+
+/// Response kinds the server is allowed to emit. Anything else fails the
+/// storm: an untyped failure is a robustness bug.
+const KNOWN_KINDS: &[&str] = &[
+    "Overloaded",
+    "Draining",
+    "DeadlineExceeded",
+    "BudgetExhausted",
+    "Cancelled",
+    "TransientFault",
+    "BadRequest",
+    "NotFound",
+];
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag `{other}`; usage: loadgen [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Trains the tiny serving model (same shape as the determinism suite's).
+fn build_model() -> ServeModel {
+    const TRAIN_DAYS: u64 = 3;
+    let world = CloudWorld::new(WorldConfig::azure_like(0.4), 17);
+    let history = world.generate(TRAIN_DAYS as u32 + 1);
+    let window = ObservationWindow::new(0, TRAIN_DAYS * 86_400);
+    let train = window.apply_unshifted(&history);
+    let bins = LifetimeBins::paper_47();
+    let temporal = TemporalFeaturesSpec::new(TRAIN_DAYS as usize);
+    let space = FeatureSpace::new(train.catalog.len(), bins.clone(), temporal);
+    let stream = TokenStream::from_trace(&train, &bins, window.censor_at);
+    let cfg = TrainConfig {
+        epochs: 2,
+        hidden: 16,
+        ..TrainConfig::tiny()
+    };
+    let par = Parallelism::with_threads(2, 2);
+    let generator = TraceGenerator {
+        arrivals: BatchArrivalModel::fit(
+            &train,
+            window.end,
+            ArrivalTarget::Batches,
+            temporal,
+            ElasticNet::ridge(1.0),
+            DohStrategy::paper_default(),
+        )
+        .expect("arrivals"),
+        fallback: Some(GenFallback::fit(&stream, &space)),
+        flavors: FlavorModel::fit_par_recorded(&stream, space.clone(), cfg, par, &NullRecorder),
+        lifetimes: LifetimeModel::fit_par_recorded(
+            &stream,
+            space.clone(),
+            cfg,
+            LifetimeHead::Hazard,
+            par,
+            &NullRecorder,
+        ),
+        config: GeneratorConfig::default(),
+    };
+    ServeModel {
+        generator,
+        catalog: world.catalog().clone(),
+        horizon: window.end,
+    }
+}
+
+/// One client-observed outcome.
+struct Sample {
+    status: u16,
+    kind: Option<String>,
+    latency_ms: f64,
+}
+
+/// The query each client sends for its `i`-th request: mostly clean
+/// generations, with every chaos mode sprinkled in deterministically.
+fn request_query(client: usize, i: usize) -> String {
+    let k = (client * 31 + i * 7) % 16;
+    match k {
+        0 => "/generate?periods=288&seed=3&fault=poison&max_fallback=100000".to_string(),
+        1 => "/generate?periods=288&seed=4&fault=stall:8000".to_string(),
+        2 => "/generate?periods=288&seed=5&fault=kill:20".to_string(),
+        3 => "/generate?periods=288&seed=6&fault=transient:1".to_string(),
+        4 => "/generate?periods=288&seed=7&fault=transient:9".to_string(),
+        5 => "/generate?periods=288&seed=8&deadline_ms=1".to_string(),
+        6 => "/generate?periods=banana".to_string(),
+        7 => "/nope".to_string(),
+        _ => format!("/generate?periods=288&seed={}", 100 + k),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (clients, per_client) = if opts.quick { (16, 3) } else { (24, 6) };
+
+    eprintln!("[loadgen] training tiny model...");
+    let sw = Stopwatch::new();
+    let model = build_model();
+    eprintln!("[loadgen] model ready in {:.1}s", sw.elapsed_s());
+
+    // Aggressive limits so the storm actually exercises shedding and the
+    // watchdog: a small queue, one-second stall threshold, short retries.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_cap: 6,
+        default_deadline_ms: 15_000.0,
+        max_deadline_ms: 20_000.0,
+        max_retries: 2,
+        retry_base_ms: 5,
+        watchdog_stall_ms: 400.0,
+        watchdog_tick_ms: 5,
+        gen_threads: 1,
+        io_timeout_ms: CLIENT_TIMEOUT_MS,
+    };
+    // Server-side chaos on top of the per-request `?fault=` storm: these
+    // hit whichever requests land on the scheduled admission sequence
+    // numbers.
+    let plan = RequestFaultPlan::none()
+        .on(4, RequestFault::Poisoned)
+        .on(9, RequestFault::StallShard { millis: 6_000 })
+        .on(13, RequestFault::KillInFlight { after_ms: 15 })
+        .on(17, RequestFault::Transient { failures: 1 });
+    let handle = Server::start(cfg, model, plan).expect("server start");
+    let addr = handle.addr().to_string();
+    eprintln!("[loadgen] storming {addr} with {clients} clients x {per_client} requests");
+
+    let storm = Stopwatch::new();
+    let mut workers = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            let mut io_errors = 0u64;
+            for i in 0..per_client {
+                let q = request_query(c, i);
+                let sw = Stopwatch::new();
+                match fetch(&addr, &q, CLIENT_TIMEOUT_MS) {
+                    Ok(resp) => samples.push(Sample {
+                        status: resp.status,
+                        kind: resp.error_kind(),
+                        latency_ms: sw.elapsed_ms(),
+                    }),
+                    Err(_) => io_errors += 1,
+                }
+            }
+            (samples, io_errors)
+        }));
+    }
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut io_errors = 0u64;
+    for w in workers {
+        let (s, e) = w.join().expect("client thread");
+        samples.extend(s);
+        io_errors += e;
+    }
+    let storm_ms = storm.elapsed_ms();
+
+    // Drain under a trickle of late arrivals: they must get a typed
+    // `Draining` rejection (or a shed), never hang or crash.
+    handle.drain();
+    let mut drain_kinds = Vec::new();
+    for _ in 0..4 {
+        if let Ok(resp) = fetch(&addr, "/generate?periods=288&seed=1", CLIENT_TIMEOUT_MS) {
+            drain_kinds.push(resp.error_kind().unwrap_or_default());
+        }
+    }
+    let health: Option<Fetched> = fetch(&addr, "/healthz", CLIENT_TIMEOUT_MS).ok();
+    let snap = handle.join();
+
+    // ---- Assertions: the fault-storm robustness contract. ----
+    let mut failures: Vec<String> = Vec::new();
+    let mut kind_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut oks = 0u64;
+    for s in &samples {
+        match s.status {
+            200 => oks += 1,
+            400 | 404 | 429 | 503 | 504 => {
+                let kind = s.kind.clone().unwrap_or_default();
+                if !KNOWN_KINDS.contains(&kind.as_str()) {
+                    failures.push(format!(
+                        "status {} carried unknown error kind `{kind}`",
+                        s.status
+                    ));
+                }
+                *kind_counts.entry(kind).or_default() += 1;
+            }
+            other => failures.push(format!("unexpected status {other}")),
+        }
+    }
+    if oks == 0 {
+        failures.push("no request succeeded".to_string());
+    }
+    if io_errors > 0 {
+        // A handful of client-side timeouts is tolerable noise, but a
+        // connection that dies without a typed response is the exact
+        // failure mode the server exists to prevent — so more than 5%
+        // fails the storm.
+        eprintln!("[loadgen] note: {io_errors} client-side io errors");
+        if io_errors * 20 > (samples.len() as u64 + io_errors) {
+            failures.push(format!(
+                "{io_errors} connections got no typed response (>5%)"
+            ));
+        }
+    }
+    for k in &drain_kinds {
+        if k != "Draining" && k != "Overloaded" {
+            failures.push(format!("post-drain request got `{k}`, not Draining"));
+        }
+    }
+    if health.is_some_and(|h| h.status != 200) {
+        failures.push("healthz failed during drain".to_string());
+    }
+    if snap.latency_count == 0 {
+        failures.push("server recorded no request latencies".to_string());
+    }
+    let accepted = snap.counter("serve.accepted").max(1);
+    let shed_rate = snap.counter("serve.shed") as f64 / accepted as f64;
+
+    // ---- Client-side latency quantiles. ----
+    let mut lat: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    lat.sort_by(f64::total_cmp);
+    let (c50, c95, c99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+    );
+
+    row("requests", &[format!("{}", samples.len())]);
+    row("ok", &[format!("{oks}")]);
+    row("shed-rate", &[format!("{:.3}", shed_rate)]);
+    row("client p50/p95/p99", &[format!("{c50:.0}/{c95:.0}/{c99:.0} ms")]);
+    row(
+        "server p50/p95/p99",
+        &[format!(
+            "{:.0}/{:.0}/{:.0} ms",
+            snap.latency_p50_ms, snap.latency_p95_ms, snap.latency_p99_ms
+        )],
+    );
+    for (k, n) in &kind_counts {
+        row(&format!("typed {k}"), &[format!("{n}")]);
+    }
+
+    // ---- BENCH_serve.json (hand-rolled: stable, dependency-free). ----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"cloudgen_serve_loadgen\",");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests\": {},", samples.len());
+    let _ = writeln!(json, "  \"storm_wall_ms\": {storm_ms:.1},");
+    let _ = writeln!(json, "  \"ok\": {oks},");
+    let _ = writeln!(json, "  \"client_io_errors\": {io_errors},");
+    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(json, "  \"client_latency_ms\": {{");
+    let _ = writeln!(json, "    \"p50\": {c50:.2}, \"p95\": {c95:.2}, \"p99\": {c99:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"server_latency_ms\": {{");
+    let _ = writeln!(
+        json,
+        "    \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}",
+        snap.latency_p50_ms, snap.latency_p95_ms, snap.latency_p99_ms
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"typed_responses\": {{");
+    let kinds: Vec<String> = kind_counts
+        .iter()
+        .map(|(k, n)| format!("    \"{k}\": {n}"))
+        .collect();
+    let _ = writeln!(json, "{}", kinds.join(",\n"));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"server_counters\": {{");
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let _ = writeln!(json, "{}", counters.join(",\n"));
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&opts.out, json).expect("write report");
+    eprintln!("[loadgen] report: {}", opts.out);
+
+    if !failures.is_empty() {
+        eprintln!("[loadgen] FAULT-STORM CONTRACT VIOLATIONS:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[loadgen] ok: server survived the storm with typed responses only");
+}

@@ -491,6 +491,41 @@ pub fn cmd_demo_trace(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `serve --model model.json [--addr HOST:PORT] [--workers N]
+/// [--queue-cap N] [--deadline-ms MS] [--threads N]`
+///
+/// Loads the bundle once and serves `GET /generate` until an operator
+/// hits `GET /drain`; queued and in-flight requests finish, then the
+/// command returns the final serving stats. Trace responses are
+/// byte-identical to `cloudgen generate` for the same model, seed, and
+/// parameters.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let model_path = args.req("model")?;
+    let json = std::fs::read_to_string(model_path)?;
+    let bundle: ModelBundle =
+        serde_json::from_str(&json).map_err(|e| CliError(format!("loading model: {e}")))?;
+    let mut cfg = serve::ServeConfig::default();
+    cfg.addr = args.opt("addr").unwrap_or(&cfg.addr).to_string();
+    cfg.workers = args.num("workers", cfg.workers)?;
+    cfg.queue_cap = args.num("queue-cap", cfg.queue_cap)?;
+    cfg.default_deadline_ms = args.num("deadline-ms", cfg.default_deadline_ms)?;
+    cfg.gen_threads = args.num("threads", cfg.gen_threads)?;
+    let model = serve::ServeModel {
+        generator: bundle.generator,
+        catalog: bundle.catalog,
+        horizon: bundle.horizon,
+    };
+    let handle = serve::Server::start(cfg, model, resilience::RequestFaultPlan::none())
+        .map_err(|e| CliError(format!("starting server: {e}")))?;
+    println!("cloudgen-serve listening on {}", handle.addr());
+    println!("drain with: curl http://{}/drain", handle.addr());
+    while !(handle.is_draining() && handle.pending() == 0) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = handle.join();
+    Ok(format!("drained; final stats:\n{}", stats.to_json()))
+}
+
 /// `report run.jsonl [--json]` — aggregate a telemetry file into a run
 /// report (text table, or JSON with `--json`).
 pub fn cmd_report(path: &str, as_json: bool) -> Result<String, CliError> {
@@ -546,6 +581,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&args),
         "summarize" => cmd_summarize(&args),
         "demo-trace" => cmd_demo_trace(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => Ok(usage().into()),
         other => Err(CliError(format!("unknown command {other:?}\n{}", usage()))),
     }
@@ -569,6 +605,8 @@ USAGE:
                       [--max-fallback N]
                       [--telemetry run.jsonl] [--report]
                       [--profile-trace prof.json]
+  cloudgen serve      --model model.json [--addr HOST:PORT] [--workers N]
+                      [--queue-cap N] [--deadline-ms MS] [--threads N]
   cloudgen report     run.jsonl [--json]
 
 `--threads N` (default 1) sizes the data-parallel worker pool for both
@@ -598,6 +636,13 @@ divergent epochs roll back and retry at a halved learning rate (up to
 bit-for-bit with `--resume`. `--max-fallback` bounds how many generated
 batches may degrade to the independence baselines when an LSTM emits
 non-finite output (default 1000).
+
+`serve` turns a trained bundle into a fault-tolerant HTTP service
+(`cloudgen-serve` is the standalone binary): bounded admission with typed
+`429 Overloaded` shedding, per-request deadlines and degradation budgets,
+watchdog-cancelled stalls, and graceful drain via `GET /drain`. Trace
+responses are byte-identical to `cloudgen generate` for the same model
+and parameters.
 
 Trace CSV format: header `start,end,flavor,user`; seconds since epoch,
 empty end = still running (censored)."

@@ -10,7 +10,8 @@ use crate::flavors::{FlavorBaseline, FlavorModel};
 use crate::lifetimes::LifetimeModel;
 use crate::sampling::{sample_quantized_duration, DEFAULT_TAIL_HORIZON};
 use glm::samplers::sample_categorical;
-use obsv::{profile, CounterEvent, Event, GenEvent, NullRecorder, Recorder, Stopwatch};
+use linalg::CancelToken;
+use obsv::{profile, CounterEvent, Deadline, Event, GenEvent, NullRecorder, Recorder, Stopwatch};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -75,6 +76,18 @@ pub enum GenerateError {
         /// The exhausted budget.
         budget: usize,
     },
+    /// The wall-clock deadline in [`GenBounds`] expired before generation
+    /// finished. Distinct from [`GenerateError::FallbackBudgetExhausted`]:
+    /// a timeout says nothing about model health, so callers can retry a
+    /// deadline with a fresh allowance but must not retry an exhausted
+    /// degradation budget.
+    DeadlineExceeded {
+        /// The allowance that expired, whole milliseconds.
+        budget_ms: u64,
+    },
+    /// The [`CancelToken`] in [`GenBounds`] fired; the owner no longer
+    /// wants the result (client hung up, server draining, watchdog trip).
+    Cancelled,
 }
 
 impl fmt::Display for GenerateError {
@@ -85,11 +98,65 @@ impl fmt::Display for GenerateError {
                 "baseline fallback exceeded its budget of {budget} batches; \
                  the sequence models are emitting non-finite output"
             ),
+            GenerateError::DeadlineExceeded { budget_ms } => write!(
+                f,
+                "generation deadline of {budget_ms} ms expired before the trace completed"
+            ),
+            GenerateError::Cancelled => write!(f, "generation was cancelled by its owner"),
         }
     }
 }
 
 impl std::error::Error for GenerateError {}
+
+/// Wall-clock and cancellation bounds on a generation run.
+///
+/// Both limits are *abort-only*: a run that trips either bound returns an
+/// error and discards its partial output, it never truncates the trace. A
+/// run that finishes inside its bounds is byte-identical to an unbounded
+/// run with the same seed, because checking the clock or the flag consumes
+/// no randomness.
+#[derive(Debug, Clone, Default)]
+pub struct GenBounds {
+    /// Abort with [`GenerateError::DeadlineExceeded`] once expired.
+    pub deadline: Option<Deadline>,
+    /// Abort with [`GenerateError::Cancelled`] once fired.
+    pub cancel: Option<CancelToken>,
+}
+
+impl GenBounds {
+    /// No limits: bounded APIs behave exactly like their unbounded twins.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Bounds with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        Self {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// Cheap poll, called once per generated period and once per shard.
+    /// Cancellation wins over expiry when both have tripped (the owner's
+    /// explicit signal is the more specific diagnosis).
+    fn check(&self) -> Result<(), GenerateError> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Err(GenerateError::Cancelled);
+            }
+        }
+        if let Some(d) = &self.deadline {
+            if d.expired() {
+                return Err(GenerateError::DeadlineExceeded {
+                    budget_ms: d.budget_ms() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Independence-baseline samplers (§6 style) the generator degrades to,
 /// per batch, when an LSTM emits non-finite output: an empirical
@@ -228,9 +295,10 @@ impl TraceGenerator {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Trace {
-        match self.generate_impl(first_period, n_periods, catalog, rng, rec, usize::MAX) {
+        let bounds = GenBounds::none();
+        match self.generate_impl(first_period, n_periods, catalog, rng, rec, usize::MAX, &bounds) {
             Ok(t) => t,
-            // lint:allow(no-panic): the only error is budget exhaustion, impossible at usize::MAX
+            // lint:allow(no-panic): the only errors are budget/deadline/cancel trips, impossible with no bounds
             Err(e) => unreachable!("unbounded generation cannot fail: {e}"),
         }
     }
@@ -252,6 +320,35 @@ impl TraceGenerator {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
     ) -> Result<Trace, GenerateError> {
+        self.try_generate_bounded(
+            first_period,
+            n_periods,
+            catalog,
+            rng,
+            rec,
+            &GenBounds::none(),
+        )
+    }
+
+    /// [`TraceGenerator::try_generate_recorded`] with wall-clock and
+    /// cancellation bounds: the run additionally aborts with
+    /// [`GenerateError::DeadlineExceeded`] or [`GenerateError::Cancelled`]
+    /// when the corresponding limit in `bounds` trips (checked once per
+    /// generated period).
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::FallbackBudgetExhausted`],
+    /// [`GenerateError::DeadlineExceeded`], or [`GenerateError::Cancelled`].
+    pub fn try_generate_bounded(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        rng: &mut impl Rng,
+        rec: &dyn Recorder,
+        bounds: &GenBounds,
+    ) -> Result<Trace, GenerateError> {
         self.generate_impl(
             first_period,
             n_periods,
@@ -259,6 +356,7 @@ impl TraceGenerator {
             rng,
             rec,
             self.config.max_fallback_batches,
+            bounds,
         )
     }
 
@@ -273,6 +371,7 @@ impl TraceGenerator {
         seed: u64,
         threads: usize,
     ) -> Trace {
+        let bounds = GenBounds::none();
         match self.generate_par_impl(
             first_period,
             n_periods,
@@ -281,9 +380,10 @@ impl TraceGenerator {
             threads,
             &NullRecorder,
             usize::MAX,
+            &bounds,
         ) {
             Ok(t) => t,
-            // lint:allow(no-panic): the only error is budget exhaustion, impossible at usize::MAX
+            // lint:allow(no-panic): the only errors are budget/deadline/cancel trips, impossible with no bounds
             Err(e) => unreachable!("unbounded generation cannot fail: {e}"),
         }
     }
@@ -324,6 +424,40 @@ impl TraceGenerator {
         threads: usize,
         rec: &dyn Recorder,
     ) -> Result<Trace, GenerateError> {
+        self.try_generate_par_bounded(
+            first_period,
+            n_periods,
+            catalog,
+            seed,
+            threads,
+            rec,
+            &GenBounds::none(),
+        )
+    }
+
+    /// [`TraceGenerator::try_generate_par_recorded`] with wall-clock and
+    /// cancellation bounds, checked at every shard start and once per
+    /// generated period inside each shard. A run that trips a bound
+    /// discards all partial output; a run that finishes inside its bounds
+    /// is byte-identical to the unbounded run for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::FallbackBudgetExhausted`],
+    /// [`GenerateError::DeadlineExceeded`], or [`GenerateError::Cancelled`];
+    /// when shards fail differently, the winner is resolved in shard order
+    /// so failures are as deterministic as the timing allows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_generate_par_bounded(
+        &self,
+        first_period: u64,
+        n_periods: u64,
+        catalog: &FlavorCatalog,
+        seed: u64,
+        threads: usize,
+        rec: &dyn Recorder,
+        bounds: &GenBounds,
+    ) -> Result<Trace, GenerateError> {
         self.generate_par_impl(
             first_period,
             n_periods,
@@ -332,6 +466,7 @@ impl TraceGenerator {
             threads,
             rec,
             self.config.max_fallback_batches,
+            bounds,
         )
     }
 
@@ -345,6 +480,7 @@ impl TraceGenerator {
         threads: usize,
         rec: &dyn Recorder,
         budget: usize,
+        bounds: &GenBounds,
     ) -> Result<Trace, GenerateError> {
         use obsv::MemoryRecorder;
         let pool = linalg::WorkerPool::new(threads);
@@ -369,7 +505,20 @@ impl TraceGenerator {
             let shard_start = Stopwatch::new();
             let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(seed, i as u64));
             let local = MemoryRecorder::new();
-            let out = self.generate_span(p0, n, catalog, &mut rng, &local, budget, doh_override);
+            // Bound check at shard start so a tripped bound skips whole
+            // shards instead of generating work nobody will collect.
+            let out = bounds.check().and_then(|()| {
+                self.generate_span(
+                    p0,
+                    n,
+                    catalog,
+                    &mut rng,
+                    &local,
+                    budget,
+                    doh_override,
+                    bounds,
+                )
+            });
             let wall = shard_start.elapsed_ms();
             (out, local, wall)
         });
@@ -414,6 +563,7 @@ impl TraceGenerator {
         Ok(Trace::new(jobs, catalog.clone()))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_impl(
         &self,
         first_period: u64,
@@ -422,10 +572,11 @@ impl TraceGenerator {
         rng: &mut impl Rng,
         rec: &dyn Recorder,
         budget: usize,
+        bounds: &GenBounds,
     ) -> Result<Trace, GenerateError> {
         let _prof = profile::span("generate");
         let (jobs, _users) =
-            self.generate_span(first_period, n_periods, catalog, rng, rec, budget, None)?;
+            self.generate_span(first_period, n_periods, catalog, rng, rec, budget, None, bounds)?;
         Ok(Trace::new(jobs, catalog.clone()))
     }
 
@@ -448,6 +599,7 @@ impl TraceGenerator {
         rec: &dyn Recorder,
         budget: usize,
         doh_override: Option<u32>,
+        bounds: &GenBounds,
     ) -> Result<(Vec<Job>, u32), GenerateError> {
         let k = self.flavors.space().n_flavors;
         assert_eq!(k, catalog.len(), "catalog size mismatch");
@@ -476,6 +628,9 @@ impl TraceGenerator {
         let mut day = DayStats::new(first_period / PERIODS_PER_DAY);
 
         for p in first_period..first_period + n_periods {
+            // Once per period: cheap enough to be invisible, frequent
+            // enough that a deadline or cancel trips within milliseconds.
+            bounds.check()?;
             let d = p / PERIODS_PER_DAY;
             if d != day.day {
                 day.roll(rec, d);
@@ -1067,6 +1222,100 @@ mod tests {
             .try_generate_recorded(200, 30, &catalog, &mut rng, &NullRecorder)
             .unwrap_err();
         assert_eq!(err, GenerateError::FallbackBudgetExhausted { budget: 1 });
+    }
+
+    #[test]
+    fn expired_deadline_is_deadline_exceeded_not_budget_exhausted() {
+        // A healthy model with an already-expired deadline: the error must
+        // name the timeout, not the degradation budget — callers route the
+        // two differently (retry vs give up).
+        let (g, catalog) = build_generator(150);
+        let bounds = GenBounds::with_deadline(Deadline::after_ms(0.0));
+        let mut rng = StdRng::seed_from_u64(30);
+        let err = g
+            .try_generate_bounded(150, 20, &catalog, &mut rng, &NullRecorder, &bounds)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::DeadlineExceeded { budget_ms: 0 });
+    }
+
+    #[test]
+    fn exhausted_budget_is_budget_exhausted_not_deadline() {
+        // A sick model with a generous deadline: the error must name the
+        // budget even though a deadline was armed.
+        let (mut g, catalog) = build_generator(150);
+        poison(g.flavors.net_mut());
+        g.config.max_fallback_batches = 1;
+        let bounds = GenBounds::with_deadline(Deadline::after_ms(1e9));
+        let mut rng = StdRng::seed_from_u64(31);
+        let err = g
+            .try_generate_bounded(150, 20, &catalog, &mut rng, &NullRecorder, &bounds)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::FallbackBudgetExhausted { budget: 1 });
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_cancelled() {
+        let (g, catalog) = build_generator(150);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let bounds = GenBounds {
+            deadline: None,
+            cancel: Some(cancel),
+        };
+        let mut rng = StdRng::seed_from_u64(32);
+        let err = g
+            .try_generate_bounded(150, 20, &catalog, &mut rng, &NullRecorder, &bounds)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::Cancelled);
+    }
+
+    #[test]
+    fn bounded_run_inside_bounds_matches_unbounded() {
+        // A run that never trips its bounds must be byte-identical to the
+        // unbounded run — bound checks consume no randomness.
+        let (g, catalog) = build_generator(150);
+        let a = g.generate(150, 20, &catalog, &mut StdRng::seed_from_u64(33));
+        let bounds = GenBounds {
+            deadline: Some(Deadline::after_ms(1e9)),
+            cancel: Some(CancelToken::new()),
+        };
+        let b = g
+            .try_generate_bounded(
+                150,
+                20,
+                &catalog,
+                &mut StdRng::seed_from_u64(33),
+                &NullRecorder,
+                &bounds,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_bounded_deadline_and_cancel_surface_typed_errors() {
+        let (g, catalog) = build_generator(300);
+        let expired = GenBounds::with_deadline(Deadline::after_ms(0.0));
+        let err = g
+            .try_generate_par_bounded(300, 600, &catalog, 11, 2, &NullRecorder, &expired)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::DeadlineExceeded { budget_ms: 0 });
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cancelled = GenBounds {
+            deadline: None,
+            cancel: Some(cancel),
+        };
+        let err = g
+            .try_generate_par_bounded(300, 600, &catalog, 11, 2, &NullRecorder, &cancelled)
+            .unwrap_err();
+        assert_eq!(err, GenerateError::Cancelled);
+        // Inside its bounds, the parallel run matches the unbounded one.
+        let roomy = GenBounds::with_deadline(Deadline::after_ms(1e9));
+        let bounded = g
+            .try_generate_par_bounded(300, 600, &catalog, 11, 2, &NullRecorder, &roomy)
+            .unwrap();
+        assert_eq!(bounded, g.generate_par(300, 600, &catalog, 11, 2));
     }
 
     #[test]

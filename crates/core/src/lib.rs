@@ -50,7 +50,7 @@ pub use arrivals::{ArrivalTarget, BatchArrivalModel};
 pub use baselines::{NaiveGenerator, SimpleBatchGenerator};
 pub use features::{FeatureSpace, TokenStream};
 pub use flavors::{FlavorBaseline, FlavorEval, FlavorModel, FlavorTrainer};
-pub use generator::{GenFallback, GenerateError, GeneratorConfig, TraceGenerator};
+pub use generator::{GenBounds, GenFallback, GenerateError, GeneratorConfig, TraceGenerator};
 pub use lifetimes::{LifetimeBaseline, LifetimeEval, LifetimeModel, LifetimeTrainer};
 pub use resources::{MultiResourceModel, ResourceClasses};
 pub use single_lstm::SingleLstmModel;

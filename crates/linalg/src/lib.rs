@@ -27,4 +27,4 @@ pub mod pool;
 
 pub use cholesky::{solve_spd, Cholesky, CholeskyError};
 pub use matrix::Mat;
-pub use pool::WorkerPool;
+pub use pool::{CancelToken, WorkerPool};

@@ -20,7 +20,41 @@
 //! flag reads.
 
 use obsv::profile;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a request owner and the
+/// workers computing on its behalf.
+///
+/// Cancellation never alters numeric results: checkpoints that observe the
+/// flag abort with an error, they never produce a partial answer, so the
+/// determinism contract ("bit-for-bit identical output for any thread
+/// count") is preserved — a cancelled computation has *no* output.
+///
+/// Lives in this file because the pool is the workspace's only sanctioned
+/// home for atomics on the parallel path (`shared-mut-numeric`); everything
+/// else holds a clone and calls the methods.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// A fixed-size worker pool that maps a function over a slice and returns
 /// the results in item order, regardless of thread count or scheduling.
@@ -141,6 +175,17 @@ impl WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        c.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
 
     #[test]
     fn zero_threads_clamped_to_one() {

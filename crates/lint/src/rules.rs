@@ -24,6 +24,7 @@
 //! | `ambient-time` (R12) | all crates except `obsv`, non-test | no `Instant::now()` / `SystemTime::now()`: wall-clock reads live in `obsv` (`Stopwatch`, profiling spans), so timing stays in one audited crate and can never leak into numerics |
 //! | `hot-loop-alloc` (R13) | `linalg`/`nn` profiled kernel fns, non-test | no `Vec::new`/`.push()`/`.clone()`/`.to_vec()`/`format!` inside loop bodies of a fn that opens a `profile::span` — the profiler marks it hot, so per-iteration allocation is a measured cost; hoist buffers or annotate |
 //! | `effect-contract` (R14) | whole workspace (`effects` subcommand only) | transitive effect sets ([`crate::effects`]) must satisfy every contract declared in `lint-contracts.toml` ([`crate::contracts`]) |
+//! | `unbounded-blocking` (R15) | `crates/serve`, non-test | no `accept()`/`recv()`/`channel()`/`read*()` without an annotated bound: the serving layer's robustness contract is "bounded everything", so every blocking primitive must carry a timeout, byte cap, or nonblocking mode and say so |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
 //! or the preceding line (see [`crate::scan`]); a suppression that no longer
@@ -100,6 +101,10 @@ pub const RULES: &[(&str, &str)] = &[
         "declared effect contract violated transitively (R14)",
     ),
     (
+        "unbounded-blocking",
+        "blocking primitive without an annotated bound in the serving layer (R15)",
+    ),
+    (
         "allow-missing-reason",
         "lint:allow suppression without a reason string",
     ),
@@ -168,6 +173,26 @@ const POOL_PATH: &str = "crates/linalg/src/pool.rs";
 /// owns `Stopwatch`, `SpanTimer`, and the profiler's span clock, and its
 /// outputs never feed back into numeric results.
 const OBSV_PATH_PREFIX: &str = "crates/obsv/";
+
+/// The serving layer for R15 — the one crate doing socket I/O, where an
+/// unbounded blocking call lets a single slow peer wedge a worker thread.
+const SERVE_PATH_PREFIX: &str = "crates/serve/";
+
+/// Call names R15 treats as blocking primitives: socket accepts,
+/// channel construction and receives, and the `Read` family.
+/// `read_to_string` also catches filesystem loads — startup-time reads
+/// annotate why they are off the request path.
+const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "recv",
+    "channel",
+    "read",
+    "read_line",
+    "read_until",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+];
 
 fn ident(t: &Tok, text: &str) -> bool {
     t.kind == TokKind::Ident && t.text == text
@@ -846,6 +871,48 @@ pub fn hot_loop_alloc(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// R15: potentially-unbounded blocking primitive in the serving layer.
+/// `crates/serve` is the one crate doing socket I/O, and its robustness
+/// contract is "bounded everything": every `accept`, `recv`, `channel`,
+/// or `read*` must be tamed by a timeout, a byte cap, or nonblocking
+/// mode, or one slow peer wedges a worker thread for good. The rule
+/// cannot see the bound itself — it matches any call whose name is a
+/// blocking primitive — so bounded sites annotate what bounds them
+/// (`lint:allow(unbounded-blocking): bounded by ...`), turning the allow
+/// list into an audit of every blocking point and its bound. Matched as
+/// `name (` call sites; `fn name(` definitions are skipped.
+pub fn unbounded_blocking(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.path.starts_with(SERVE_PATH_PREFIX) || matches!(ctx.class, FileClass::TestOrExample) {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if t.kind != TokKind::Ident || !BLOCKING_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !matches!(toks.get(i + 1), Some(n) if punct(n, "(")) {
+            continue;
+        }
+        if i > 0 && ident(&toks[i - 1], "fn") {
+            continue;
+        }
+        out.push(violation(
+            "unbounded-blocking",
+            t,
+            format!(
+                "blocking `{}()`{} has no visible bound; give it a timeout, byte cap, or \
+                 nonblocking mode and annotate the bound, or one slow peer can wedge the \
+                 serving layer",
+                t.text,
+                in_fn(ctx, i)
+            ),
+        ));
+    }
+}
+
 /// Runs every rule against one file.
 pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -862,5 +929,6 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Violation> {
     ambient_parallelism(ctx, &mut out);
     ambient_time(ctx, &mut out);
     hot_loop_alloc(ctx, &mut out);
+    unbounded_blocking(ctx, &mut out);
     out
 }

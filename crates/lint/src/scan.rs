@@ -33,8 +33,12 @@ use crate::tree::{self, ItemTree};
 /// Crates under `crates/` that are command-line tools rather than library
 /// code: R1/R2/R4 do not apply to them (a CLI may panic on bad input),
 /// though R3/R5/R12 still do — even a tool times itself through
-/// `obsv::Stopwatch`, never a raw `Instant::now()`.
-const TOOL_CRATES: &[&str] = &["cli", "bench", "lint"];
+/// `obsv::Stopwatch`, never a raw `Instant::now()`. `serve` is here
+/// because it is an operational binary (the trace-generation server), not
+/// a numeric library; its own discipline is R15 (`unbounded-blocking`),
+/// which is path-scoped to `crates/serve/` and applies regardless of
+/// class.
+const TOOL_CRATES: &[&str] = &["cli", "bench", "lint", "serve"];
 
 /// How a file participates in the rule set.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -83,9 +83,52 @@ fn rule_vocabulary_is_pinned() {
             "ambient-time",
             "hot-loop-alloc",
             "effect-contract",
+            "unbounded-blocking",
             "allow-missing-reason",
             "stale-allow",
         ],
         "rule ids are part of the JSON schema; removing or renaming one breaks consumers"
+    );
+}
+
+/// R15 fires only under `crates/serve/`, flags bare blocking calls, skips
+/// `fn` definitions, and is paid down by a reasoned allow — the allow list
+/// is the audit of every blocking point and its bound.
+#[test]
+fn unbounded_blocking_is_serve_scoped_and_paid_down() {
+    const SERVE_FIXTURE: &str = r#"fn a(l: &std::net::TcpListener) { let _ = l.accept(); }
+fn b(r: &mut impl std::io::BufRead, s: &mut String) {
+    // lint:allow(unbounded-blocking): bounded by the caller's socket read timeout
+    let _ = r.read_line(s);
+}
+fn read(x: u8) -> u8 { x }
+"#;
+    let (violations, suppressed) = scan_source(
+        "crates/serve/src/fixture.rs".to_string(),
+        FileClass::Bin {
+            krate: "serve".to_string(),
+        },
+        SERVE_FIXTURE,
+    );
+    let ids: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    assert_eq!(
+        ids,
+        ["unbounded-blocking"],
+        "expected exactly the bare accept() to fire: {violations:?}"
+    );
+    assert_eq!(violations[0].line, 1);
+    assert_eq!(suppressed, 1, "the reasoned allow must pay down read_line");
+
+    // Identical source outside the serving layer is silent.
+    let (elsewhere, _) = scan_source(
+        "crates/cli/src/fixture.rs".to_string(),
+        FileClass::Bin {
+            krate: "cli".to_string(),
+        },
+        SERVE_FIXTURE,
+    );
+    assert!(
+        !elsewhere.iter().any(|v| v.rule == "unbounded-blocking"),
+        "R15 must be scoped to crates/serve/: {elsewhere:?}"
     );
 }

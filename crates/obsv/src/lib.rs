@@ -39,7 +39,7 @@ pub use event::{
     CheckpointEvent, CounterEvent, EpochEvent, Event, GaugeEvent, GenEvent, GuardEvent, LintEvent,
     ProfSpanEvent, SchedEvent, SpanEvent,
 };
-pub use metrics::{exact_quantile, Counter, Gauge, Histogram, SpanTimer, Stopwatch};
+pub use metrics::{exact_quantile, Counter, Deadline, Gauge, Histogram, SpanTimer, Stopwatch};
 pub use profile::{ProfSpanRecord, Profiler, SpanHandoff};
 pub use recorder::{
     read_jsonl, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, StderrJsonlRecorder,

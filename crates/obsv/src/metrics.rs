@@ -117,6 +117,47 @@ impl Stopwatch {
     }
 }
 
+/// A wall-clock budget: a [`Stopwatch`] plus a millisecond allowance.
+///
+/// Like [`Stopwatch`], this is the sanctioned way for the rest of the
+/// workspace to ask "has my time budget run out?" without reading the
+/// ambient clock directly (`ambient-time` / `clock-stays-in-obsv`).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Stopwatch,
+    budget_ms: f64,
+}
+
+impl Deadline {
+    /// Starts a deadline `budget_ms` milliseconds from now.
+    pub fn after_ms(budget_ms: f64) -> Self {
+        Self {
+            start: Stopwatch::new(),
+            budget_ms,
+        }
+    }
+
+    /// The configured allowance, milliseconds.
+    pub fn budget_ms(&self) -> f64 {
+        self.budget_ms
+    }
+
+    /// Milliseconds spent since the deadline was armed.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed_ms()
+    }
+
+    /// Milliseconds left before expiry (0 once expired).
+    pub fn remaining_ms(&self) -> f64 {
+        (self.budget_ms - self.start.elapsed_ms()).max(0.0)
+    }
+
+    /// Whether the allowance has been spent.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed_ms() >= self.budget_ms
+    }
+}
+
 /// A wall-clock span backed by a monotonic [`Instant`].
 #[derive(Debug, Clone)]
 pub struct SpanTimer {
@@ -382,6 +423,17 @@ mod tests {
             Event::Span(ev) => assert!((ev.wall_ms - total).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::after_ms(1e9);
+        assert!(!d.expired());
+        assert!(d.remaining_ms() > 0.0);
+        assert!((d.budget_ms() - 1e9).abs() < 1e-9);
+        let expired = Deadline::after_ms(0.0);
+        assert!(expired.expired());
+        assert_eq!(expired.remaining_ms(), 0.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 pub mod checkpoint;
 pub mod fault;
 pub mod guard;
+pub mod request;
 pub mod rng;
 pub mod runtime;
 
@@ -40,6 +41,7 @@ pub use checkpoint::{
     corrupt_file, Checkpoint, CheckpointError, CheckpointStore, CHECKPOINT_KIND,
 };
 pub use fault::{Fault, FaultPlan};
+pub use request::{RequestFault, RequestFaultPlan};
 pub use guard::{GuardConfig, TrainGuard};
 pub use rng::CkptRng;
 pub use runtime::{

@@ -1,0 +1,133 @@
+//! Deterministic request-level fault injection for the serving layer.
+//!
+//! [`FaultPlan`](crate::FaultPlan) pins faults to *training* coordinates
+//! (stage, epoch, step); a [`RequestFaultPlan`] pins them to *request*
+//! sequence numbers, so a load test that says "request 3 is poisoned,
+//! request 7's shard stalls, request 11 is killed mid-flight" replays
+//! identically on every run. The plan itself is a plain `&mut self` data
+//! structure with no interior mutability — the server owns whatever
+//! locking its worker threads need, keeping this crate free of sync
+//! primitives on the numeric path.
+//!
+//! Faults fire exactly once: a retried request re-queries the plan per
+//! attempt, which is how [`RequestFault::Transient`] counts down its
+//! remaining failures.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled request-level fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestFault {
+    /// Serve the request from a NaN-poisoned copy of the model — every
+    /// batch degrades through the `GenFallback` ladder, so the request
+    /// either completes degraded (fallback within budget) or fails typed
+    /// with `FallbackBudgetExhausted`.
+    Poisoned,
+    /// Stall the request's execution for the given wall-clock time before
+    /// generation starts — models one slow shard holding a request
+    /// hostage, and is what the slow-shard watchdog exists to catch.
+    StallShard {
+        /// How long the stall lasts if nothing intervenes.
+        millis: u64,
+    },
+    /// Fire the request's cancel token after the given delay — models an
+    /// operator or client killing the request mid-flight.
+    KillInFlight {
+        /// Delay before the kill, milliseconds (0 = kill on admission).
+        after_ms: u64,
+    },
+    /// Fail the request's first `failures` execution attempts with a
+    /// transient worker error — exercises request-scoped retry with
+    /// backoff. The attempt after the last scheduled failure succeeds.
+    Transient {
+        /// Number of attempts that fail before one succeeds.
+        failures: u32,
+    },
+}
+
+/// A deterministic schedule of request faults, keyed by the request
+/// sequence number the server assigns at admission (in accept order,
+/// starting at 1). Each entry fires exactly once per [`RequestFaultPlan::take`];
+/// [`RequestFault::Transient`] decrements instead, firing once per
+/// attempt until its failure count is spent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestFaultPlan {
+    faults: Vec<(u64, RequestFault)>,
+}
+
+impl RequestFaultPlan {
+    /// An empty plan (the production configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` against request `request_id`.
+    pub fn on(mut self, request_id: u64, fault: RequestFault) -> Self {
+        self.faults.push((request_id, fault));
+        self
+    }
+
+    /// True when no faults remain unfired.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Faults still pending (unfired).
+    pub fn pending(&self) -> &[(u64, RequestFault)] {
+        &self.faults
+    }
+
+    /// Fires the fault scheduled for `request_id`, if any.
+    ///
+    /// Non-transient faults are removed (fire-once). A
+    /// [`RequestFault::Transient`] is returned once per call with its
+    /// remaining failure count and removed when the count is spent, so
+    /// callers can simply re-`take` on every retry attempt.
+    pub fn take(&mut self, request_id: u64) -> Option<RequestFault> {
+        let i = self.faults.iter().position(|(id, _)| *id == request_id)?;
+        if let (_, RequestFault::Transient { failures }) = &mut self.faults[i] {
+            if *failures > 1 {
+                *failures -= 1;
+                return Some(RequestFault::Transient {
+                    failures: *failures + 1,
+                });
+            }
+        }
+        Some(self.faults.remove(i).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_faults_fire_exactly_once() {
+        let mut plan = RequestFaultPlan::none()
+            .on(3, RequestFault::Poisoned)
+            .on(7, RequestFault::StallShard { millis: 500 });
+        assert_eq!(plan.take(3), Some(RequestFault::Poisoned));
+        assert_eq!(plan.take(3), None, "fault must not re-fire");
+        assert_eq!(plan.take(5), None, "unscheduled request is clean");
+        assert_eq!(plan.take(7), Some(RequestFault::StallShard { millis: 500 }));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn transient_fault_counts_down_per_attempt() {
+        let mut plan = RequestFaultPlan::none().on(1, RequestFault::Transient { failures: 2 });
+        assert_eq!(plan.take(1), Some(RequestFault::Transient { failures: 2 }));
+        assert_eq!(plan.take(1), Some(RequestFault::Transient { failures: 1 }));
+        assert_eq!(plan.take(1), None, "failures spent; attempt succeeds");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn kill_in_flight_carries_its_delay() {
+        let mut plan = RequestFaultPlan::none().on(0, RequestFault::KillInFlight { after_ms: 25 });
+        assert_eq!(
+            plan.take(0),
+            Some(RequestFault::KillInFlight { after_ms: 25 })
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Serving configuration knobs.
+
+/// Tunables for [`Server::start`](crate::Server::start). Every limit is
+/// explicit and finite: the admission queue, the per-request deadline, the
+/// retry budget, and the watchdog thresholds together guarantee the server
+/// holds bounded memory and sheds load instead of dying under pressure.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port — tests and
+    /// loadgen read the real port back from the handle).
+    pub addr: String,
+    /// Request worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission queue capacity: connections beyond this are shed with a
+    /// typed `429 Overloaded` response instead of queueing unboundedly.
+    pub queue_cap: usize,
+    /// Deadline applied when a request does not name one, milliseconds.
+    pub default_deadline_ms: f64,
+    /// Hard ceiling on client-requested deadlines, milliseconds.
+    pub max_deadline_ms: f64,
+    /// Retry attempts for transient worker faults (not counting the first
+    /// attempt). Deadline, cancellation, and budget failures never retry.
+    pub max_retries: u32,
+    /// Base backoff before a retry, milliseconds; attempt `n` waits
+    /// `base · 2ⁿ` plus deterministic jitter derived from the request id.
+    pub retry_base_ms: u64,
+    /// Watchdog: a request showing no progress for this long while not
+    /// inside generation (queued faults, stalled shards) is cancelled.
+    pub watchdog_stall_ms: f64,
+    /// Watchdog scan interval, milliseconds.
+    pub watchdog_tick_ms: u64,
+    /// Worker-pool threads each generation request runs with unless the
+    /// request overrides (`threads=` query parameter).
+    pub gen_threads: usize,
+    /// Socket read/write timeout, milliseconds — no network peer can hold
+    /// a worker thread hostage.
+    pub io_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 4,
+            queue_cap: 32,
+            default_deadline_ms: 10_000.0,
+            max_deadline_ms: 60_000.0,
+            max_retries: 2,
+            retry_base_ms: 20,
+            watchdog_stall_ms: 2_000.0,
+            watchdog_tick_ms: 10,
+            gen_threads: 2,
+            io_timeout_ms: 5_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let c = ServeConfig::default();
+        assert!(c.queue_cap > 0);
+        assert!(c.workers > 0);
+        assert!(c.default_deadline_ms <= c.max_deadline_ms);
+        assert!(c.io_timeout_ms > 0);
+    }
+}

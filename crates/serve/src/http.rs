@@ -1,0 +1,383 @@
+//! Minimal hand-rolled HTTP/1.1: just enough to parse one `GET` request
+//! and write one `Connection: close` response. No external dependencies,
+//! no unbounded reads — the caller sets a socket read timeout before
+//! parsing, header count and line length are capped, and request bodies
+//! are not accepted (every endpoint is a GET).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on header lines per request.
+const MAX_HEADER_LINES: usize = 64;
+/// Upper bound on any single request line, bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, and decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string (`/generate`).
+    pub path: String,
+    /// Query parameters in order-independent form.
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Parses a `key` parameter with a default, erring on malformed input
+    /// (a typo must be a `400`, never a silently-defaulted request).
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("parameter `{key}` is not a valid number: `{raw}`")),
+        }
+    }
+}
+
+/// Why a request failed to parse.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed or oversized request — answer `400` and close.
+    BadRequest(String),
+    /// Socket error (timeout, reset) — close without answering.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+/// Reads one CRLF-terminated line with a hard byte cap.
+fn read_line_capped(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = String::new();
+    // The socket carries a read timeout set at admission, and `take`
+    // bounds the bytes one line may consume, so this read is doubly
+    // bounded: in time by the timeout, in space by the cap.
+    // lint:allow(unbounded-blocking): bounded by the admission-time socket read timeout and the MAX_LINE_BYTES take() cap
+    let n = r.by_ref().take(MAX_LINE_BYTES as u64).read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::BadRequest("connection closed mid-request".into()));
+    }
+    if !line.ends_with('\n') {
+        return Err(HttpError::BadRequest(format!(
+            "request line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Parses one request: request line plus headers (discarded) up to the
+/// blank line. Bodies are rejected — every served endpoint is a GET.
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let start = read_line_capped(r)?;
+    let mut parts = start.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let mut has_body = false;
+    for _ in 0..MAX_HEADER_LINES {
+        let line = read_line_capped(r)?;
+        if line.is_empty() {
+            let (path, params) = split_target(&target);
+            if has_body {
+                return Err(HttpError::BadRequest(
+                    "request bodies are not accepted".into(),
+                ));
+            }
+            return Ok(Request {
+                method,
+                path,
+                params,
+            });
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
+            if v.trim() != "0" {
+                has_body = true;
+            }
+        }
+    }
+    Err(HttpError::BadRequest(format!(
+        "more than {MAX_HEADER_LINES} header lines"
+    )))
+}
+
+/// Splits `/path?k=v&k2=v2` into the path and its parameter map.
+fn split_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let mut params = BTreeMap::new();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        params.insert(k.to_string(), v.to_string());
+    }
+    (path.to_string(), params)
+}
+
+/// An HTTP response ready to serialize. Always `Connection: close`: one
+/// request per connection keeps the parser trivial and means a slow or
+/// dead client can never wedge keep-alive state.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `429`, …).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (`X-Request-Id`, degradation markers, …).
+    pub extra: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, reason: &'static str, body: String) -> Self {
+        Self {
+            status,
+            reason,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A typed error response: `{"error": KIND, "detail": DETAIL}`. The
+    /// `error` field is the machine-readable contract loadgen asserts on.
+    pub fn error(status: u16, reason: &'static str, kind: &str, detail: &str) -> Self {
+        Self::json(
+            status,
+            reason,
+            format!(
+                "{{\"error\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(kind),
+                json_escape(detail)
+            ),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra.push((name.to_string(), value));
+        self
+    }
+
+    /// The machine-readable error kind, if this is an error response.
+    pub fn error_kind(&self) -> Option<String> {
+        let text = String::from_utf8_lossy(&self.body);
+        let rest = text.split("\"error\": \"").nth(1)?;
+        Some(rest.split('"').next().unwrap_or("").to_string())
+    }
+
+    /// Serializes status line, headers, and body. The body is written in
+    /// bounded chunks so a large trace streams out without a single
+    /// oversized write.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut head = String::new();
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        let _ = write!(head, "content-type: {}\r\n", self.content_type);
+        let _ = write!(head, "content-length: {}\r\n", self.body.len());
+        for (k, v) in &self.extra {
+            let _ = write!(head, "{k}: {v}\r\n");
+        }
+        head.push_str("connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        for chunk in self.body.chunks(64 * 1024) {
+            w.write_all(chunk)?;
+        }
+        w.flush()
+    }
+}
+
+/// One fetched response: status code, selected headers, body bytes.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Fetched {
+    /// A header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The machine-readable `{"error": KIND}` field, if present.
+    pub fn error_kind(&self) -> Option<String> {
+        let text = String::from_utf8_lossy(&self.body);
+        let rest = text.split("\"error\": \"").nth(1)?;
+        Some(rest.split('"').next().unwrap_or("").to_string())
+    }
+}
+
+/// Minimal blocking client for tests, loadgen, and smoke checks: one GET
+/// per connection, mirroring the server's `Connection: close` contract.
+pub fn fetch(addr: &str, path_and_query: &str, timeout_ms: u64) -> std::io::Result<Fetched> {
+    use std::net::TcpStream;
+    let timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    stream.write_all(
+        format!("GET {path_and_query} HTTP/1.1\r\nhost: {addr}\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    // lint:allow(unbounded-blocking): the socket read timeout set above bounds this read; the server closes after one response
+    std::io::Read::read_to_end(&mut stream, &mut raw)?;
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(Fetched {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let req = parse("GET /generate?periods=10&seed=3 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/generate");
+        assert_eq!(req.params["periods"], "10");
+        assert_eq!(req.params["seed"], "3");
+        assert_eq!(req.num("periods", 0u64).unwrap(), 10);
+        assert_eq!(req.num("missing", 42u64).unwrap(), 42);
+        assert!(req.num::<u64>("seed", 0).is_ok());
+    }
+
+    #[test]
+    fn malformed_number_is_an_error_not_a_default() {
+        let req = parse("GET /g?periods=ten HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.num::<u64>("periods", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bodies_and_header_floods() {
+        let err = parse("POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+        let mut flood = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            flood.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        flood.push_str("\r\n");
+        assert!(matches!(
+            parse(&flood).unwrap_err(),
+            HttpError::BadRequest(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_lines_and_truncation() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(
+            parse(&long).unwrap_err(),
+            HttpError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\n").unwrap_err(),
+            HttpError::BadRequest(_)
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips_with_typed_error_kind() {
+        let resp = Response::error(429, "Too Many Requests", "Overloaded", "queue full (32)");
+        assert_eq!(resp.error_kind().as_deref(), Some("Overloaded"));
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("connection: close"));
+        assert!(text.contains("\"error\": \"Overloaded\""));
+    }
+
+    #[test]
+    fn ok_response_has_no_error_kind() {
+        let resp = Response::json(200, "OK", "{\"ok\": true}".to_string());
+        assert_eq!(resp.error_kind(), None);
+    }
+}

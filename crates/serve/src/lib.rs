@@ -1,0 +1,52 @@
+//! `cloudgen-serve` — a fault-tolerant trace-generation service.
+//!
+//! The training pipeline produces a model bundle; this crate turns that
+//! bundle into a long-running HTTP service that generates scenario-
+//! parameterized traces on demand — and, unlike a batch CLI run, must
+//! survive concurrent load, slow shards, poisoned models, and operator
+//! restarts without dying or growing without bound. The design rules:
+//!
+//! - **Bounded everything.** One fixed-capacity admission queue sits
+//!   between the network and the workers ([`ServeConfig::queue_cap`]);
+//!   when it fills, requests are *shed* with a typed `429 Overloaded`
+//!   response instead of queued into an OOM. Sockets carry read/write
+//!   timeouts, header parsing is size-capped, and every internal wait has
+//!   a timeout.
+//! - **Deadlines, then degradation, then shedding.** Each request runs
+//!   under a wall-clock [`obsv::Deadline`] and a fallback budget wired
+//!   into the generator via `cloudgen::GenBounds`: a sick model degrades
+//!   batch-by-batch through `cloudgen::GenFallback` before the request
+//!   fails typed (`503 BudgetExhausted`), and a slow one fails typed
+//!   (`504 DeadlineExceeded`) instead of holding a worker forever.
+//! - **Retry only what retry can fix.** Transient worker faults retry
+//!   with deterministic jittered exponential backoff; deadline, budget,
+//!   and cancellation failures never retry.
+//! - **Watchdogs over hope.** A scan thread cancels requests that stop
+//!   making progress outside generation (the slow-shard case) via the
+//!   request's `linalg::CancelToken`.
+//! - **Graceful drain.** `drain()` (or `GET /drain`) rejects new work
+//!   with `503 Draining` while queued and in-flight requests run to
+//!   completion — and the traces they return stay byte-identical to an
+//!   unloaded run, because cancellation and deadline checks consume no
+//!   randomness.
+//! - **Deterministic chaos.** `resilience::RequestFaultPlan` (server-
+//!   side, keyed by admission sequence) and the `?fault=` query parameter
+//!   (client-side) drive the *production* failure paths in tests; there
+//!   is no test-only fork of the serving loop.
+//!
+//! Endpoints: `GET /generate?periods=&seed=&threads=&deadline_ms=&scale=`
+//! `&max_fallback=` (CSV trace, byte-identical to `cloudgen generate` for
+//! the same model and parameters), `GET /healthz`, `GET /stats`,
+//! `GET /drain`.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod http;
+pub mod server;
+pub mod stats;
+
+pub use config::ServeConfig;
+pub use http::{fetch, Fetched, Request, Response};
+pub use server::{Server, ServerHandle, ServeModel};
+pub use stats::{ServeStats, StatsSnapshot};

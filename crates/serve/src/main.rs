@@ -1,0 +1,92 @@
+//! `cloudgen-serve` binary: load a model bundle once, serve traces until
+//! drained.
+//!
+//! ```text
+//! cloudgen-serve --model model.json [--addr 127.0.0.1:7070]
+//!     [--workers N] [--queue-cap N] [--deadline-ms MS] [--threads N]
+//! ```
+//!
+//! Shutdown contract: `GET /drain` starts a graceful drain — new requests
+//! get `503 Draining`, queued and in-flight requests finish, then the
+//! process exits 0 and prints final stats. (A SIGTERM handler would need
+//! `unsafe` signal plumbing, which this workspace forbids; process
+//! managers should hit `/drain` and wait for exit, falling back to
+//! SIGKILL after their grace period.)
+
+#![forbid(unsafe_code)]
+
+use serve::{ServeConfig, ServeModel, Server};
+use std::time::Duration;
+
+fn usage() -> String {
+    "usage: cloudgen-serve --model model.json [--addr HOST:PORT] \
+     [--workers N] [--queue-cap N] [--deadline-ms MS] [--threads N]"
+        .to_string()
+}
+
+/// Hand-rolled `--key value` parsing (same idiom as the cloudgen CLI).
+fn parse_args(argv: &[String]) -> Result<ServeConfigWithModel, String> {
+    let mut cfg = ServeConfig::default();
+    let mut model_path = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--model" => model_path = Some(val("--model")?),
+            "--addr" => cfg.addr = val("--addr")?,
+            "--workers" => cfg.workers = parse_num(&val("--workers")?, "--workers")?,
+            "--queue-cap" => cfg.queue_cap = parse_num(&val("--queue-cap")?, "--queue-cap")?,
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&val("--deadline-ms")?, "--deadline-ms")?;
+                cfg.default_deadline_ms = ms as f64;
+            }
+            "--threads" => cfg.gen_threads = parse_num(&val("--threads")?, "--threads")?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    let model_path = model_path.ok_or_else(|| format!("--model is required\n{}", usage()))?;
+    Ok(ServeConfigWithModel { cfg, model_path })
+}
+
+struct ServeConfigWithModel {
+    cfg: ServeConfig,
+    model_path: String,
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} is not a valid number: `{raw}`"))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&argv)?;
+    // lint:allow(unbounded-blocking): startup-time model load from the local filesystem, not on the request path
+    let json = std::fs::read_to_string(&parsed.model_path)
+        .map_err(|e| format!("reading {}: {e}", parsed.model_path))?;
+    let model: ServeModel =
+        serde_json::from_str(&json).map_err(|e| format!("loading model bundle: {e}"))?;
+    let handle = Server::start(parsed.cfg, model, resilience::RequestFaultPlan::none())
+        .map_err(|e| format!("starting server: {e}"))?;
+    println!("cloudgen-serve listening on {}", handle.addr());
+    println!("drain with: curl http://{}/drain", handle.addr());
+    // Serve until an operator drains us, then let in-flight work finish.
+    while !(handle.is_draining() && handle.pending() == 0) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = handle.join();
+    println!("drained; final stats:\n{}", stats.to_json());
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,950 @@
+//! The serving runtime: bounded admission, worker pool, per-request
+//! bounds, deterministic chaos, watchdog, and graceful drain.
+//!
+//! Life of a request:
+//!
+//! ```text
+//! accept ──▶ admit ──▶ queue ──▶ execute ──▶ degrade ──▶ respond
+//!    │          │                   │            │
+//!    │          ├─ draining ─▶ 503 Draining      └─ ladder spent ─▶ 503
+//!    │          └─ queue full ▶ 429 Overloaded
+//!    │                              ├─ deadline ─▶ 504 DeadlineExceeded
+//!    └─ SIGTERM/drain               ├─ watchdog ─▶ 503 Cancelled
+//!       (new work rejected,         └─ transient ─▶ retry w/ backoff
+//!        in-flight finishes)
+//! ```
+//!
+//! Every rejection is a *typed* response (`{"error": KIND}`), every queue
+//! is bounded, and every wait carries a timeout — the server sheds load
+//! instead of dying, and it degrades (via `cloudgen::GenFallback`) before
+//! it sheds.
+
+use crate::config::ServeConfig;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::stats::{lock_or_poison, ServeStats, StatsSnapshot};
+use cloudgen::{GenBounds, GenerateError, TraceGenerator};
+use linalg::CancelToken;
+use obsv::{Deadline, Event, MemoryRecorder, Stopwatch};
+use resilience::{RequestFault, RequestFaultPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use trace::period::PERIOD_SECS;
+use trace::FlavorCatalog;
+
+/// Ceiling on `periods=` per request: 70 simulated days. Bounds the
+/// memory any single admitted request can pin.
+const MAX_PERIODS: u64 = 20_160;
+/// Granularity of interruptible sleeps (backoff, stalls), milliseconds.
+const SLEEP_TICK_MS: u64 = 5;
+/// How long an idle worker waits on the queue before re-checking the
+/// shutdown flag, milliseconds.
+const POP_TICK_MS: u64 = 25;
+/// Accept-loop poll interval when the listener has nothing, milliseconds.
+const ACCEPT_TICK_MS: u64 = 2;
+
+/// The checkpointed model a server loads once and serves from memory.
+/// Field-compatible with the JSON bundle `cloudgen train --out` writes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeModel {
+    /// The trained three-stage generator.
+    pub generator: TraceGenerator,
+    /// The flavor catalog the model was trained against.
+    pub catalog: FlavorCatalog,
+    /// End of the training history, seconds (generation starts here).
+    pub horizon: u64,
+}
+
+/// Why [`BoundedQueue::try_push`] refused an item.
+enum PushError<T> {
+    /// Queue at capacity — shed the work.
+    Full(T),
+    /// Queue closed (shutdown) — reject the work.
+    Closed(T),
+}
+
+/// A fixed-capacity MPMC queue: `try_push` never blocks and never grows
+/// the queue past its cap, `pop_timeout` waits boundedly. This is the
+/// *only* buffer between the network and the workers, so its capacity is
+/// the server's total admission memory bound.
+struct BoundedQueue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new((VecDeque::with_capacity(cap), false)),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues unless full or closed; wakes one waiting worker.
+    fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = lock_or_poison(&self.state);
+        if st.1 {
+            return Err(PushError::Closed(item));
+        }
+        if st.0.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        st.0.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for an item. `None` means timeout or a
+    /// closed-and-empty queue — callers re-check their own run flag.
+    fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut st = lock_or_poison(&self.state);
+        loop {
+            if let Some(item) = st.0.pop_front() {
+                return Some(item);
+            }
+            if st.1 {
+                return None;
+            }
+            let (next, res) = self
+                .cv
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            st = next;
+            if res.timed_out() {
+                return st.0.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: pushes fail, poppers drain what remains.
+    fn close(&self) {
+        lock_or_poison(&self.state).1 = true;
+        self.cv.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        lock_or_poison(&self.state).0.len()
+    }
+}
+
+/// An admitted connection waiting for a worker.
+struct QueuedConn {
+    id: u64,
+    stream: TcpStream,
+}
+
+/// Watchdog reason codes (stored in [`ReqWatch::kill_reason`]).
+const KILL_NONE: u64 = 0;
+const KILL_STALL: u64 = 1;
+const KILL_SCHEDULED: u64 = 2;
+
+/// Per-request liveness record the watchdog scans. All fields the worker
+/// updates are atomics; the watchdog never blocks a request.
+struct ReqWatch {
+    id: u64,
+    cancel: CancelToken,
+    started: Stopwatch,
+    /// Elapsed-ms at the last sign of progress (whole milliseconds).
+    last_progress_ms: AtomicU64,
+    /// Inside `try_generate_par_bounded` (deadline governs; the stall
+    /// detector stands down so long shards aren't misread as hangs).
+    generating: AtomicBool,
+    /// Elapsed-ms at which a scheduled `KillInFlight` fault fires
+    /// (`0` = none armed).
+    kill_at_ms: AtomicU64,
+    done: AtomicBool,
+    kill_reason: AtomicU64,
+}
+
+impl ReqWatch {
+    fn new(id: u64, cancel: CancelToken) -> Self {
+        Self {
+            id,
+            cancel,
+            started: Stopwatch::new(),
+            last_progress_ms: AtomicU64::new(0),
+            generating: AtomicBool::new(false),
+            kill_at_ms: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            kill_reason: AtomicU64::new(KILL_NONE),
+        }
+    }
+
+    /// Marks progress now (resets the stall clock).
+    fn tick(&self) {
+        self.last_progress_ms
+            .store(self.started.elapsed_ms() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Everything the accept thread, workers, and watchdog share.
+struct Shared {
+    cfg: ServeConfig,
+    model: ServeModel,
+    /// NaN-poisoned twin of the generator, built on first poisoned
+    /// request; exercises the production degradation ladder.
+    poisoned: Mutex<Option<TraceGenerator>>,
+    stats: ServeStats,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    queue: BoundedQueue<QueuedConn>,
+    faults: Mutex<RequestFaultPlan>,
+    watch: Mutex<Vec<Arc<ReqWatch>>>,
+    rec: MemoryRecorder,
+    next_id: AtomicU64,
+}
+
+/// How a request attempt failed before or during generation.
+enum ReqError {
+    Gen(GenerateError),
+    /// A transient fault outlived the retry budget.
+    TransientExhausted(u32),
+}
+
+impl From<GenerateError> for ReqError {
+    fn from(e: GenerateError) -> Self {
+        ReqError::Gen(e)
+    }
+}
+
+/// splitmix64 finalizer — deterministic retry jitter from (id, attempt),
+/// so backoff spreads without consuming any generation randomness.
+fn jitter(id: u64, attempt: u32) -> u64 {
+    let mut z = id
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A running server. Dropping the handle shuts the server down; prefer
+/// [`ServerHandle::join`] for a graceful drain.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// The trace-generation service.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept/worker/watchdog threads, and returns a
+    /// handle. `faults` is the deterministic chaos schedule (empty in
+    /// production); request ids are assigned at admission, starting at 1.
+    pub fn start(
+        cfg: ServeConfig,
+        model: ServeModel,
+        faults: RequestFaultPlan,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_cap.max(1)),
+            cfg,
+            model,
+            poisoned: Mutex::new(None),
+            stats: ServeStats::new(),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            faults: Mutex::new(faults),
+            watch: Mutex::new(Vec::new()),
+            rec: MemoryRecorder::new(),
+            next_id: AtomicU64::new(1),
+        });
+        let mut threads = Vec::with_capacity(workers + 2);
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&s, &listener)));
+        }
+        for _ in 0..workers {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&s)));
+        }
+        {
+            let s = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || watchdog_loop(&s)));
+        }
+        Ok(ServerHandle {
+            shared,
+            addr,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (read the real port back when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Starts draining: new connections get `503 Draining`, queued and
+    /// in-flight requests run to completion. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// True once [`ServerHandle::drain`] (or `GET /drain`) has fired.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Queued plus executing requests right now.
+    pub fn pending(&self) -> u64 {
+        self.shared.queue.len() as u64 + self.shared.stats.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: drain, wait for the queue and all in-flight
+    /// requests to finish, stop the threads, and return the final stats.
+    /// In-flight work is never cut off — this is the SIGTERM path.
+    pub fn join(mut self) -> StatsSnapshot {
+        self.drain();
+        while self.pending() > 0 {
+            std::thread::sleep(Duration::from_millis(SLEEP_TICK_MS));
+        }
+        self.stop_threads();
+        let snap = self.shared.stats.snapshot();
+        self.shared.stats.flush(&self.shared.rec);
+        snap
+    }
+
+    /// Server-side telemetry events (counters, gauges, request spans) for
+    /// folding into an `obsv::RunReport`.
+    pub fn events(&self) -> Vec<Event> {
+        self.shared.rec.events()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    /// Safety net for handles dropped without [`ServerHandle::join`]:
+    /// immediate (non-draining) stop so tests can't leak threads.
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Polls the non-blocking listener, admitting or shedding each
+/// connection inline. Admission work is O(1): stamp an id, set socket
+/// timeouts, push — or write the typed rejection and close.
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        // lint:allow(unbounded-blocking): listener is set_nonblocking(true) — accept returns WouldBlock instead of waiting
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(ACCEPT_TICK_MS));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(ACCEPT_TICK_MS)),
+        }
+    }
+}
+
+fn admit(shared: &Shared, stream: TcpStream) {
+    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let io_timeout = Duration::from_millis(shared.cfg.io_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    match shared.queue.try_push(QueuedConn { id, stream }) {
+        Ok(()) => {
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .queue_depth
+                .store(shared.queue.len() as u64, Ordering::Relaxed);
+        }
+        Err(PushError::Full(conn)) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            reject_inline(
+                conn.stream,
+                id,
+                Response::error(
+                    429,
+                    "Too Many Requests",
+                    "Overloaded",
+                    &format!(
+                        "admission queue full ({} queued); retry with backoff",
+                        shared.cfg.queue_cap
+                    ),
+                ),
+            );
+        }
+        Err(PushError::Closed(conn)) => {
+            shared.stats.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_inline(
+                conn.stream,
+                id,
+                Response::error(503, "Service Unavailable", "Draining", "server stopping"),
+            );
+        }
+    }
+}
+
+/// Writes a response and closes; errors are ignored (the peer is gone).
+fn respond_inline(stream: TcpStream, id: u64, resp: Response) {
+    let mut w = BufWriter::new(stream);
+    let _ = resp
+        .with_header("x-request-id", id.to_string())
+        .write_to(&mut w);
+}
+
+/// How long an admission rejection will wait for the client's request
+/// bytes before answering anyway, milliseconds.
+const REJECT_DRAIN_MS: u64 = 250;
+
+/// Rejects a connection the accept thread never handed to a worker.
+///
+/// The request must be *drained* before the response is written: closing
+/// a socket with unread input resets the connection, and the peer would
+/// see a reset instead of the typed rejection. The drain is bounded by a
+/// short read timeout and a small byte cap, so a slow client can delay
+/// admission by at most [`REJECT_DRAIN_MS`].
+fn reject_inline(stream: TcpStream, id: u64, resp: Response) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(REJECT_DRAIN_MS)));
+    let mut drained = 0usize;
+    let mut buf = [0u8; 1024];
+    let mut s = &stream;
+    while drained < 16 * 1024 {
+        // lint:allow(unbounded-blocking): bounded by the 250ms reject-drain read timeout and the 16KB cap
+        match std::io::Read::read(&mut s, &mut buf) {
+            Ok(n) if n > 0 => {
+                drained += n;
+                // A blank line ends a GET request — nothing more is coming.
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    respond_inline(stream, id, resp);
+}
+
+/// Pops admitted connections and serves them until shutdown.
+fn worker_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let Some(conn) = shared.queue.pop_timeout(Duration::from_millis(POP_TICK_MS)) else {
+            continue;
+        };
+        shared
+            .stats
+            .queue_depth
+            .store(shared.queue.len() as u64, Ordering::Relaxed);
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        serve_conn(shared, conn);
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn serve_conn(shared: &Shared, conn: QueuedConn) {
+    let QueuedConn { id, stream } = conn;
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let resp = match read_request(&mut reader) {
+        Ok(req) => route(shared, id, &req),
+        Err(HttpError::BadRequest(msg)) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::error(400, "Bad Request", "BadRequest", &msg)
+        }
+        // Socket-level failure (timeout, reset): nobody is listening.
+        Err(HttpError::Io(_)) => return,
+    };
+    respond_inline(stream, id, resp);
+}
+
+fn route(shared: &Shared, id: u64, req: &Request) -> Response {
+    if req.method != "GET" {
+        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            405,
+            "Method Not Allowed",
+            "BadRequest",
+            "only GET is supported",
+        );
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::json(
+            200,
+            "OK",
+            format!(
+                "{{\"ok\": true, \"draining\": {}}}",
+                shared.draining.load(Ordering::Acquire)
+            ),
+        ),
+        "/stats" => Response::json(200, "OK", shared.stats.snapshot().to_json()),
+        "/drain" => {
+            shared.draining.store(true, Ordering::Release);
+            Response::json(200, "OK", "{\"draining\": true}".to_string())
+        }
+        // Draining rejects new *work* at routing, not at admission:
+        // health checks and stats stay live so orchestrators can watch
+        // the drain converge.
+        "/generate" if shared.draining.load(Ordering::Acquire) => {
+            shared.stats.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                503,
+                "Service Unavailable",
+                "Draining",
+                "server is draining; retry against another instance",
+            )
+        }
+        "/generate" => handle_generate(shared, id, req),
+        _ => Response::error(
+            404,
+            "Not Found",
+            "NotFound",
+            &format!("no such endpoint: {}", req.path),
+        ),
+    }
+}
+
+/// Parses `?fault=` — the client-side chaos interface (`poison`,
+/// `stall:MS`, `kill:MS`, `transient:N`). Production clients omit it;
+/// loadgen uses it to target faults at specific requests.
+fn parse_query_fault(req: &Request) -> Result<Option<RequestFault>, String> {
+    let Some(raw) = req.params.get("fault") else {
+        return Ok(None);
+    };
+    let (kind, arg) = raw.split_once(':').unwrap_or((raw.as_str(), ""));
+    let num = |what: &str| {
+        arg.parse::<u64>()
+            .map_err(|_| format!("fault `{kind}` needs a numeric {what}: `{raw}`"))
+    };
+    match kind {
+        "poison" => Ok(Some(RequestFault::Poisoned)),
+        "stall" => Ok(Some(RequestFault::StallShard { millis: num("ms")? })),
+        "kill" => Ok(Some(RequestFault::KillInFlight {
+            after_ms: num("ms")?,
+        })),
+        "transient" => Ok(Some(RequestFault::Transient {
+            failures: num("count")? as u32,
+        })),
+        other => Err(format!("unknown fault kind `{other}`")),
+    }
+}
+
+/// Parameters of one `/generate` request.
+struct GenParams {
+    periods: u64,
+    seed: u64,
+    threads: usize,
+    deadline_ms: f64,
+    scale: f64,
+    max_fallback: usize,
+    query_fault: Option<RequestFault>,
+}
+
+fn parse_gen_params(shared: &Shared, req: &Request) -> Result<GenParams, String> {
+    let periods: u64 = req.num("periods", 288)?;
+    if periods == 0 || periods > MAX_PERIODS {
+        return Err(format!("periods must be in 1..={MAX_PERIODS}, got {periods}"));
+    }
+    let deadline_ms: f64 = req.num("deadline_ms", shared.cfg.default_deadline_ms)?;
+    if !deadline_ms.is_finite() || deadline_ms <= 0.0 {
+        return Err(format!("deadline_ms must be positive, got {deadline_ms}"));
+    }
+    let threads: usize = req.num("threads", shared.cfg.gen_threads)?;
+    Ok(GenParams {
+        periods,
+        seed: req.num("seed", 7)?,
+        threads: threads.clamp(1, 16),
+        deadline_ms: deadline_ms.min(shared.cfg.max_deadline_ms),
+        scale: req.num("scale", shared.cfg_scale())?,
+        max_fallback: req.num(
+            "max_fallback",
+            shared.model.generator.config.max_fallback_batches,
+        )?,
+        query_fault: parse_query_fault(req)?,
+    })
+}
+
+impl Shared {
+    fn cfg_scale(&self) -> f64 {
+        self.model.generator.config.scale
+    }
+
+    /// The NaN-poisoned generator twin, built on first use.
+    fn poisoned_generator(&self) -> TraceGenerator {
+        let mut slot = lock_or_poison(&self.poisoned);
+        if slot.is_none() {
+            let mut g = self.model.generator.clone();
+            for p in g.flavors.net_mut().params_mut() {
+                p.value.map_inplace(|_| f64::NAN);
+            }
+            *slot = Some(g);
+        }
+        slot.clone().expect("just populated")
+    }
+}
+
+fn handle_generate(shared: &Shared, id: u64, req: &Request) -> Response {
+    let started = Stopwatch::new();
+    let params = match parse_gen_params(shared, req) {
+        Ok(p) => p,
+        Err(msg) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, "Bad Request", "BadRequest", &msg);
+        }
+    };
+    let cancel = CancelToken::new();
+    let watch = Arc::new(ReqWatch::new(id, cancel.clone()));
+    watch.tick();
+    lock_or_poison(&shared.watch).push(Arc::clone(&watch));
+    let deadline = Deadline::after_ms(params.deadline_ms);
+    let outcome = run_request(shared, &watch, &deadline, &params);
+    watch.done.store(true, Ordering::Release);
+    let wall_ms = started.elapsed_ms();
+    shared.stats.record_request_span(&shared.rec, wall_ms);
+    finish_generate(shared, id, &watch, outcome, wall_ms)
+}
+
+/// Maps an execution outcome onto the typed response vocabulary and the
+/// matching stats counter.
+fn finish_generate(
+    shared: &Shared,
+    id: u64,
+    watch: &ReqWatch,
+    outcome: Result<(Vec<u8>, u64), ReqError>,
+    wall_ms: f64,
+) -> Response {
+    let s = &shared.stats;
+    match outcome {
+        Ok((body, fallback_batches)) => {
+            s.completed.fetch_add(1, Ordering::Relaxed);
+            if fallback_batches > 0 {
+                s.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Response {
+                status: 200,
+                reason: "OK",
+                content_type: "text/csv",
+                extra: Vec::new(),
+                body,
+            }
+            .with_header("x-fallback-batches", fallback_batches.to_string())
+            .with_header("x-wall-ms", (wall_ms as u64).to_string())
+        }
+        Err(ReqError::Gen(GenerateError::DeadlineExceeded { budget_ms })) => {
+            s.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                504,
+                "Gateway Timeout",
+                "DeadlineExceeded",
+                &format!("request {id} exceeded its {budget_ms} ms deadline"),
+            )
+        }
+        Err(ReqError::Gen(GenerateError::FallbackBudgetExhausted { budget })) => {
+            s.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                503,
+                "Service Unavailable",
+                "BudgetExhausted",
+                &format!("degradation ladder spent its budget of {budget} fallback batches"),
+            )
+        }
+        Err(ReqError::Gen(GenerateError::Cancelled)) => {
+            s.cancelled.fetch_add(1, Ordering::Relaxed);
+            let why = match watch.kill_reason.load(Ordering::Acquire) {
+                KILL_STALL => "watchdog cancelled a stalled request",
+                KILL_SCHEDULED => "cancelled by a scheduled mid-flight kill",
+                _ => "request was cancelled",
+            };
+            Response::error(503, "Service Unavailable", "Cancelled", why)
+        }
+        Err(ReqError::TransientExhausted(attempts)) => {
+            Response::error(
+                503,
+                "Service Unavailable",
+                "TransientFault",
+                &format!("transient fault persisted through {attempts} retries"),
+            )
+        }
+    }
+}
+
+/// Runs one request: per-attempt fault intake, bounded retry with
+/// deterministic jittered backoff, then bounded generation.
+fn run_request(
+    shared: &Shared,
+    watch: &ReqWatch,
+    deadline: &Deadline,
+    params: &GenParams,
+) -> Result<(Vec<u8>, u64), ReqError> {
+    let mut query_fault = params.query_fault.clone();
+    let mut attempt = 0u32;
+    loop {
+        // Server-side chaos plan first, then the request's own fault.
+        // `Transient` faults re-fire per attempt from the plan; a query
+        // transient carries its own countdown.
+        let fault = lock_or_poison(&shared.faults)
+            .take(watch.id)
+            .or_else(|| take_query_fault(&mut query_fault));
+        let mut use_poisoned = false;
+        match fault {
+            Some(RequestFault::Transient { .. }) => {
+                if attempt >= shared.cfg.max_retries {
+                    return Err(ReqError::TransientExhausted(attempt));
+                }
+                shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                backoff(shared, watch, deadline, attempt)?;
+                attempt += 1;
+                continue;
+            }
+            Some(RequestFault::Poisoned) => use_poisoned = true,
+            Some(RequestFault::StallShard { millis }) => {
+                stall(watch, deadline, millis)?;
+            }
+            Some(RequestFault::KillInFlight { after_ms }) => {
+                watch.kill_at_ms.store(
+                    (watch.started.elapsed_ms() as u64).saturating_add(after_ms).max(1),
+                    Ordering::Release,
+                );
+            }
+            None => {}
+        }
+        return generate_once(shared, watch, deadline, params, use_poisoned);
+    }
+}
+
+/// Consumes one firing of the query-supplied fault. A `transient:N`
+/// counts down across attempts like the plan's `Transient` does.
+fn take_query_fault(slot: &mut Option<RequestFault>) -> Option<RequestFault> {
+    match slot.take() {
+        Some(RequestFault::Transient { failures }) if failures > 1 => {
+            *slot = Some(RequestFault::Transient {
+                failures: failures - 1,
+            });
+            Some(RequestFault::Transient { failures })
+        }
+        other => other,
+    }
+}
+
+/// Interruptible backoff before retry `attempt`: `base · 2^attempt` plus
+/// deterministic jitter, in short ticks so cancellation and the deadline
+/// stay live. Ticks progress — a backing-off request is not a stalled one.
+fn backoff(
+    shared: &Shared,
+    watch: &ReqWatch,
+    deadline: &Deadline,
+    attempt: u32,
+) -> Result<(), ReqError> {
+    let base = shared.cfg.retry_base_ms.max(1);
+    let total = (base << attempt.min(10)) + jitter(watch.id, attempt) % base;
+    let sw = Stopwatch::new();
+    while sw.elapsed_ms() < total as f64 {
+        watch.tick();
+        check_bounds(watch, deadline)?;
+        std::thread::sleep(Duration::from_millis(SLEEP_TICK_MS));
+    }
+    watch.tick();
+    Ok(())
+}
+
+/// Simulates a shard that stops making progress: sleeps WITHOUT ticking
+/// the watchdog, so a stall longer than `watchdog_stall_ms` is cancelled
+/// by the watchdog exactly as a real wedged shard would be.
+fn stall(watch: &ReqWatch, deadline: &Deadline, millis: u64) -> Result<(), ReqError> {
+    let sw = Stopwatch::new();
+    while sw.elapsed_ms() < millis as f64 {
+        check_bounds(watch, deadline)?;
+        std::thread::sleep(Duration::from_millis(SLEEP_TICK_MS));
+    }
+    watch.tick();
+    Ok(())
+}
+
+fn check_bounds(watch: &ReqWatch, deadline: &Deadline) -> Result<(), ReqError> {
+    if watch.cancel.is_cancelled() {
+        return Err(GenerateError::Cancelled.into());
+    }
+    if deadline.expired() {
+        return Err(GenerateError::DeadlineExceeded {
+            budget_ms: deadline.budget_ms() as u64,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// One bounded generation attempt, byte-identical to the CLI path for the
+/// same model/seed/threads: same `first_period` derivation, same
+/// `write_csv` serialization, and bounds that consume no randomness.
+fn generate_once(
+    shared: &Shared,
+    watch: &ReqWatch,
+    deadline: &Deadline,
+    params: &GenParams,
+    use_poisoned: bool,
+) -> Result<(Vec<u8>, u64), ReqError> {
+    let mut gen = if use_poisoned {
+        shared.poisoned_generator()
+    } else {
+        shared.model.generator.clone()
+    };
+    gen.config.scale = params.scale;
+    gen.config.max_fallback_batches = params.max_fallback;
+    let bounds = GenBounds {
+        deadline: Some(*deadline),
+        cancel: Some(watch.cancel.clone()),
+    };
+    let first_period = shared.model.horizon.div_ceil(PERIOD_SECS);
+    let local = MemoryRecorder::new();
+    watch.tick();
+    watch.generating.store(true, Ordering::Release);
+    let result = gen.try_generate_par_bounded(
+        first_period,
+        params.periods,
+        &shared.model.catalog,
+        params.seed,
+        params.threads,
+        &local,
+        &bounds,
+    );
+    watch.generating.store(false, Ordering::Release);
+    watch.tick();
+    let trace = result?;
+    let fallback_batches: u64 = local
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter(c) if c.name == "gen.fallback_batches" => Some(c.delta),
+            _ => None,
+        })
+        .sum();
+    let mut body = Vec::new();
+    trace::io::write_csv(&trace, &mut body)
+        .map_err(|_| ReqError::Gen(GenerateError::Cancelled))?;
+    Ok((body, fallback_batches))
+}
+
+/// Scans the watch registry every tick: fires scheduled kills, cancels
+/// requests that show no progress outside generation, and drops finished
+/// entries. Cancellation is abort-only — the watchdog never mutates
+/// request state beyond the request's own [`CancelToken`].
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(shared.cfg.watchdog_tick_ms.max(1)));
+        let mut reg = lock_or_poison(&shared.watch);
+        reg.retain(|w| !w.done.load(Ordering::Acquire));
+        for w in reg.iter() {
+            if w.cancel.is_cancelled() {
+                continue;
+            }
+            let elapsed = w.started.elapsed_ms();
+            let kill_at = w.kill_at_ms.load(Ordering::Acquire);
+            if kill_at > 0 && elapsed >= kill_at as f64 {
+                w.kill_reason.store(KILL_SCHEDULED, Ordering::Release);
+                w.cancel.cancel();
+                shared.stats.scheduled_kills.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let last = w.last_progress_ms.load(Ordering::Relaxed) as f64;
+            if !w.generating.load(Ordering::Acquire)
+                && elapsed - last >= shared.cfg.watchdog_stall_ms
+            {
+                w.kill_reason.store(KILL_STALL, Ordering::Release);
+                w.cancel.cancel();
+                shared.stats.watchdog_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_sheds_at_cap_and_drains_after_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushError::Closed(4))));
+        // Closed queues still drain what was admitted.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_on_empty_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let sw = Stopwatch::new();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+        assert!(sw.elapsed_ms() >= 5.0, "should have waited for the timeout");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_spread() {
+        assert_eq!(jitter(7, 0), jitter(7, 0));
+        assert_ne!(jitter(7, 0), jitter(7, 1));
+        assert_ne!(jitter(7, 0), jitter(8, 0));
+    }
+
+    #[test]
+    fn query_fault_parsing_covers_the_vocabulary() {
+        let req = |q: &str| Request {
+            method: "GET".into(),
+            path: "/generate".into(),
+            params: [("fault".to_string(), q.to_string())].into_iter().collect(),
+        };
+        assert_eq!(
+            parse_query_fault(&req("poison")).unwrap(),
+            Some(RequestFault::Poisoned)
+        );
+        assert_eq!(
+            parse_query_fault(&req("stall:250")).unwrap(),
+            Some(RequestFault::StallShard { millis: 250 })
+        );
+        assert_eq!(
+            parse_query_fault(&req("kill:40")).unwrap(),
+            Some(RequestFault::KillInFlight { after_ms: 40 })
+        );
+        assert_eq!(
+            parse_query_fault(&req("transient:2")).unwrap(),
+            Some(RequestFault::Transient { failures: 2 })
+        );
+        assert!(parse_query_fault(&req("meteor")).is_err());
+        assert!(parse_query_fault(&req("stall:soon")).is_err());
+    }
+
+    #[test]
+    fn query_transient_counts_down_across_attempts() {
+        let mut slot = Some(RequestFault::Transient { failures: 2 });
+        assert!(take_query_fault(&mut slot).is_some());
+        assert!(take_query_fault(&mut slot).is_some());
+        assert!(take_query_fault(&mut slot).is_none());
+    }
+}

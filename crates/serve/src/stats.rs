@@ -1,0 +1,224 @@
+//! Server-side telemetry: lock-free counters for every admission and
+//! completion outcome, a queue-depth gauge, and a latency histogram whose
+//! quantiles feed `/stats`, `BENCH_serve.json`, and the obsv `RunReport`.
+
+use crate::http::json_escape;
+use obsv::{CounterEvent, Event, GaugeEvent, Histogram, Recorder, SpanEvent};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks tolerating a poisoned peer: telemetry must keep counting even if
+/// a worker panicked mid-update.
+pub(crate) fn lock_or_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Latency bucket edges, milliseconds: roughly logarithmic from 1 ms to
+/// one minute, so quick health checks and heavyweight generations land in
+/// distinguishable buckets.
+fn latency_edges() -> Vec<f64> {
+    vec![
+        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+        10_000.0, 30_000.0, 60_000.0,
+    ]
+}
+
+/// Shared serving counters. All atomics: incremented from the accept
+/// thread, every worker, and the watchdog without coordination.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted from the listener.
+    pub accepted: AtomicU64,
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Requests shed with `429 Overloaded` (queue full).
+    pub shed: AtomicU64,
+    /// Requests rejected with `503 Draining`.
+    pub drain_rejected: AtomicU64,
+    /// Requests answered `200`.
+    pub completed: AtomicU64,
+    /// `200`s that used at least one fallback batch (degraded ladder).
+    pub degraded: AtomicU64,
+    /// Requests failed with `FallbackBudgetExhausted`.
+    pub budget_exhausted: AtomicU64,
+    /// Requests failed with `DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests failed with `Cancelled`.
+    pub cancelled: AtomicU64,
+    /// Transient-fault retry attempts performed.
+    pub retries: AtomicU64,
+    /// Requests the watchdog cancelled for showing no progress.
+    pub watchdog_stalls: AtomicU64,
+    /// Requests killed by a scheduled mid-flight fault.
+    pub scheduled_kills: AtomicU64,
+    /// Malformed requests answered `400`.
+    pub bad_requests: AtomicU64,
+    /// Requests currently queued (admission-queue depth).
+    pub queue_depth: AtomicU64,
+    /// Requests currently executing on a worker.
+    pub in_flight: AtomicU64,
+    latency: Mutex<Option<Histogram>>,
+}
+
+/// A point-in-time copy of the counters plus latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// `(name, value)` counter pairs, stable order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Latency observations recorded.
+    pub latency_count: u64,
+    /// Median request latency, milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub latency_p99_ms: f64,
+}
+
+impl StatsSnapshot {
+    /// Looks up one counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Hand-rolled JSON document (the serving path must not depend on a
+    /// JSON library being available at runtime).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  \"{}\": {},", json_escape(name), v);
+        }
+        let _ = writeln!(out, "  \"latency_count\": {},", self.latency_count);
+        let _ = writeln!(out, "  \"latency_p50_ms\": {:.3},", self.latency_p50_ms);
+        let _ = writeln!(out, "  \"latency_p95_ms\": {:.3},", self.latency_p95_ms);
+        let _ = writeln!(out, "  \"latency_p99_ms\": {:.3}", self.latency_p99_ms);
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        let s = Self::default();
+        *lock_or_poison(&s.latency) = Some(Histogram::new(latency_edges()));
+        s
+    }
+
+    /// Records one completed request's wall time.
+    pub fn observe_latency(&self, ms: f64) {
+        if let Some(h) = lock_or_poison(&self.latency).as_mut() {
+            h.record(ms);
+        }
+    }
+
+    /// Counter pairs in a stable order.
+    fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            ("serve.accepted", g(&self.accepted)),
+            ("serve.admitted", g(&self.admitted)),
+            ("serve.shed", g(&self.shed)),
+            ("serve.drain_rejected", g(&self.drain_rejected)),
+            ("serve.completed", g(&self.completed)),
+            ("serve.degraded", g(&self.degraded)),
+            ("serve.budget_exhausted", g(&self.budget_exhausted)),
+            ("serve.deadline_exceeded", g(&self.deadline_exceeded)),
+            ("serve.cancelled", g(&self.cancelled)),
+            ("serve.retries", g(&self.retries)),
+            ("serve.watchdog_stalls", g(&self.watchdog_stalls)),
+            ("serve.scheduled_kills", g(&self.scheduled_kills)),
+            ("serve.bad_requests", g(&self.bad_requests)),
+            ("serve.queue_depth", g(&self.queue_depth)),
+            ("serve.in_flight", g(&self.in_flight)),
+        ]
+    }
+
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (count, p50, p95, p99) = match lock_or_poison(&self.latency).as_ref() {
+            Some(h) => (h.count(), h.p50(), h.p95(), h.p99()),
+            None => (0, 0.0, 0.0, 0.0),
+        };
+        StatsSnapshot {
+            counters: self.counter_pairs(),
+            latency_count: count,
+            latency_p50_ms: p50,
+            latency_p95_ms: p95,
+            latency_p99_ms: p99,
+        }
+    }
+
+    /// Emits every non-zero counter as a [`CounterEvent`] plus the live
+    /// queue-depth gauge, so `RunReport::from_events` folds serving
+    /// telemetry in next to training and generation.
+    pub fn flush(&self, rec: &dyn Recorder) {
+        for (name, v) in self.counter_pairs() {
+            if v > 0 && !matches!(name, "serve.queue_depth" | "serve.in_flight") {
+                rec.record(Event::Counter(CounterEvent {
+                    name: name.to_string(),
+                    delta: v,
+                }));
+            }
+        }
+        rec.record(Event::Gauge(GaugeEvent {
+            name: "serve.queue_depth".to_string(),
+            value: self.queue_depth.load(Ordering::Relaxed) as f64,
+        }));
+    }
+
+    /// Emits one per-request span (`serve.request`, wall milliseconds) —
+    /// the raw material for the RunReport's latency quantiles.
+    pub fn record_request_span(&self, rec: &dyn Recorder, wall_ms: f64) {
+        self.observe_latency(wall_ms);
+        rec.record(Event::Span(SpanEvent {
+            name: "serve.request".to_string(),
+            wall_ms,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obsv::MemoryRecorder;
+
+    #[test]
+    fn snapshot_reports_counters_and_quantiles() {
+        let s = ServeStats::new();
+        s.accepted.fetch_add(5, Ordering::Relaxed);
+        s.shed.fetch_add(2, Ordering::Relaxed);
+        for ms in [10.0, 20.0, 30.0, 40.0, 400.0] {
+            s.observe_latency(ms);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("serve.accepted"), 5);
+        assert_eq!(snap.counter("serve.shed"), 2);
+        assert_eq!(snap.counter("serve.unknown"), 0);
+        assert_eq!(snap.latency_count, 5);
+        assert!(snap.latency_p50_ms >= 10.0 && snap.latency_p50_ms <= 50.0);
+        assert!(snap.latency_p99_ms > snap.latency_p50_ms);
+        let json = snap.to_json();
+        assert!(json.contains("\"serve.shed\": 2"));
+        assert!(json.contains("latency_p99_ms"));
+    }
+
+    #[test]
+    fn flush_emits_counters_gauge_and_spans() {
+        let s = ServeStats::new();
+        let rec = MemoryRecorder::new();
+        s.completed.fetch_add(3, Ordering::Relaxed);
+        s.record_request_span(&rec, 12.5);
+        s.flush(&rec);
+        let report = obsv::RunReport::from_events(&rec.events());
+        assert_eq!(report.counters["serve.completed"], 3);
+        assert!(report.gauges.contains_key("serve.queue_depth"));
+        let span = &report.spans["serve.request"];
+        assert_eq!(span.count, 1);
+    }
+}

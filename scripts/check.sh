@@ -46,4 +46,13 @@ echo "==> continuous bench harness smoke (writes BENCH_pr6.json + compare gate)"
 cargo run --release -p bench --bin cloudgen-bench -- run --quick --out BENCH_pr6.json
 cargo run --release -p bench --bin cloudgen-bench -- compare BENCH_pr6.json BENCH_pr6.json
 
-echo "ok: build + tests + clippy + cloudgen-lint + fault injection + determinism + bench smoke all green"
+echo "==> serving layer fault storm (writes BENCH_serve.json)"
+# PR 8: loadgen storms a live cloudgen-serve with 16 concurrent clients
+# mixing clean requests with every fault class, then drains under load.
+# Exits nonzero on any client-visible I/O error, untyped non-200, or
+# missing latency percentile; bounded queue memory is asserted by the
+# shed path itself (429 Overloaded, never growth).
+cargo run --release -p bench --bin loadgen -- --quick --out BENCH_serve.json
+grep -q '"p99"' BENCH_serve.json
+
+echo "ok: build + tests + clippy + cloudgen-lint + fault injection + determinism + bench smoke + serve storm all green"

@@ -157,6 +157,97 @@ fn generation_is_thread_count_invariant() {
     assert_eq!(reference, again, "repeat run diverged");
 }
 
+/// A server draining under concurrent load must return traces that are
+/// byte-identical to the CLI generation path for the same checkpoint,
+/// seed, and parameters: admission control, deadlines, and cancellation
+/// checks consume no randomness, so load and drain cannot perturb output.
+#[test]
+fn server_drain_under_load_is_byte_identical_to_cli_path() {
+    use serve::{fetch, ServeConfig, ServeModel, Server};
+
+    let w = build_world();
+    let g = trained_generator(&w, Parallelism::with_threads(2, 2));
+
+    // Reference bytes exactly as `cloudgen generate` produces them: same
+    // first_period derivation, same CSV serialization.
+    let first = w.horizon.div_ceil(trace::period::PERIOD_SECS);
+    let (periods, seed, threads) = (288u64, 5u64, 2usize);
+    let reference = {
+        let t = g
+            .try_generate_par_recorded(
+                first,
+                periods,
+                w.world.catalog(),
+                seed,
+                threads,
+                &NullRecorder,
+            )
+            .expect("reference generation");
+        let mut bytes = Vec::new();
+        trace::io::write_csv(&t, &mut bytes).expect("csv");
+        bytes
+    };
+
+    let model = ServeModel {
+        generator: g,
+        catalog: w.world.catalog().clone(),
+        horizon: w.horizon,
+    };
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 3,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    };
+    let handle =
+        Server::start(cfg, model, resilience::RequestFaultPlan::none()).expect("server start");
+    let addr = handle.addr().to_string();
+    let path = format!("/generate?periods={periods}&seed={seed}&threads={threads}");
+
+    // Concurrent clients; drain fires while they are still in flight.
+    let mut clients = Vec::new();
+    for i in 0..6 {
+        let addr = addr.clone();
+        let path = path.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                if let Ok(resp) = fetch(&addr, &path, 30_000) {
+                    got.push((resp.status, resp.error_kind(), resp.body));
+                }
+            }
+            let _ = i;
+            got
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    handle.drain();
+    let mut completed = 0;
+    for c in clients {
+        for (status, kind, body) in c.join().expect("client") {
+            match status {
+                200 => {
+                    completed += 1;
+                    assert_eq!(
+                        body, reference,
+                        "a trace served under drain/load diverged from the CLI bytes"
+                    );
+                }
+                503 => assert_eq!(kind.as_deref(), Some("Draining"), "untyped rejection"),
+                429 => assert_eq!(kind.as_deref(), Some("Overloaded"), "untyped shed"),
+                other => panic!("unexpected status {other}"),
+            }
+        }
+    }
+    assert!(completed > 0, "no request completed before the drain");
+    let snap = handle.join();
+    assert_eq!(
+        snap.counter("serve.completed"),
+        completed,
+        "server counted different completions than clients observed"
+    );
+}
+
 fn tmp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!(
         "cloudgen-determinism-{}-{tag}",
