@@ -20,9 +20,7 @@
 
 #![forbid(unsafe_code)]
 
-use bench::continuous::{
-    bench_names, compare, run_benches, validate_report, BenchOpts, BenchReport,
-};
+use bench::continuous::{bench_names, compare, run_benches, BenchOpts, BenchReport};
 use std::process::ExitCode;
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -86,20 +84,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
         );
     }
 
-    let json = match serde_json::to_string_pretty(&report) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("cloudgen-bench: serialize failed: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    // Self-check: the report we write must pass our own validator.
-    let doc: serde_json::Value = serde_json::from_str(&json).expect("own JSON parses");
-    if let Err(e) = validate_report(&doc) {
+    let json = report.to_json_string();
+    // Self-check: the report we write must parse and validate under the
+    // same loader `compare` uses.
+    if let Err(e) = BenchReport::from_json_str(&json) {
         eprintln!("cloudgen-bench: generated report fails validation: {e}");
         return ExitCode::from(2);
     }
-    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+    if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cloudgen-bench: cannot write {out_path}: {e}");
         return ExitCode::from(2);
     }
@@ -109,10 +101,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 fn load_report(path: &str) -> Result<BenchReport, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let doc: serde_json::Value =
-        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
-    validate_report(&doc).map_err(|e| format!("{path}: {e}"))?;
-    serde_json::from_value(doc).map_err(|e| format!("loading {path}: {e}"))
+    BenchReport::from_json_str(&raw).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {

@@ -191,21 +191,84 @@ pub fn bench_names() -> Vec<(&'static str, &'static str)> {
         ("lstm-fwd", "kernel"),
         ("lstm-bwd", "kernel"),
         ("adam-step", "kernel"),
+        ("epoch-2x200", "stage"),
         ("train", "stage"),
         ("generate", "stage"),
         ("pack", "stage"),
     ]
 }
 
+/// End-to-end training epoch on the paper-scale network: a 2-layer,
+/// 200-unit [`nn::LstmNetwork`] with skip connection, two minibatches of
+/// batch 32 × 8 steps, full forward + BPTT + one Adam step per minibatch.
+/// This is the number ROADMAP item 1 exists to shrink; kernel-level wins
+/// that do not move it are not real.
+fn epoch_bench(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> BenchEntry {
+    use nn::loss::softmax_cross_entropy;
+    use nn::LstmNetwork;
+
+    let (warmup, trials) = if opts.quick { (0, 1) } else { (1, 3) };
+    const BATCH: usize = 32;
+    const STEPS: usize = 8;
+    const IN: usize = 16;
+    const HID: usize = 200;
+    const MINIBATCHES: usize = 2;
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0x2b7a);
+    let mut net = LstmNetwork::with_skip(IN, HID, 2, IN, &mut rng);
+    let mut opt = Adam::new(AdamConfig::default());
+    let xs: Vec<Vec<Mat>> = (0..MINIBATCHES)
+        .map(|m| {
+            (0..STEPS)
+                .map(|t| {
+                    Mat::from_fn(BATCH, IN, |r, c| {
+                        ((m * 131 + t * 17 + r * 3 + c) as f64 * 0.13).sin() * 0.4
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let targets: Vec<usize> = (0..BATCH).map(|r| r % IN).collect();
+
+    let times = time_trials(warmup, trials, || {
+        for mb in &xs {
+            net.zero_grad();
+            let (logits, cache) = net.forward(mb);
+            let d: Vec<Mat> = logits
+                .iter()
+                .map(|l| {
+                    let (_, _, mut g) = softmax_cross_entropy(l, &targets);
+                    g.scale(1.0 / STEPS as f64);
+                    g
+                })
+                .collect();
+            let _ = net.backward(&cache, &d);
+            opt.step(&mut net.params_mut()).expect("finite gradients");
+        }
+    });
+    log("epoch-2x200 done");
+    entry_from_trials(
+        "epoch-2x200",
+        "stage",
+        times,
+        None,
+        Some(((MINIBATCHES * BATCH * STEPS) as f64, "tokens/sec")),
+    )
+}
+
 fn kernel_benches(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> Vec<BenchEntry> {
     let (warmup, trials) = if opts.quick { (1, 3) } else { (3, 9) };
     let mut out = Vec::new();
 
-    // GEMM: one square matmul at a size big enough to exercise the blocked
-    // kernel, small enough to stay cache-resident.
-    const DIM: usize = 96;
-    let a = Mat::from_fn(DIM, DIM, |r, c| ((r * 31 + c) % 17) as f64 * 0.03 - 0.2);
-    let b = Mat::from_fn(DIM, DIM, |r, c| ((r + c * 13) % 23) as f64 * 0.02 - 0.1);
+    // GEMM: the fused LSTM pre-activation shape at paper scale — a
+    // `(batch, in+hidden) x (in+hidden, 4*hidden)` product for a 200-unit
+    // layer reading a 200-wide layer below. This is the exact product the
+    // recurrent hot path runs once per layer per timestep.
+    const GEMM_M: usize = 32;
+    const GEMM_K: usize = 400;
+    const GEMM_N: usize = 800;
+    let a = Mat::from_fn(GEMM_M, GEMM_K, |r, c| ((r * 31 + c) % 17) as f64 * 0.03 - 0.2);
+    let b = Mat::from_fn(GEMM_K, GEMM_N, |r, c| ((r + c * 13) % 23) as f64 * 0.02 - 0.1);
     let flops = harvest_flops(|| {
         let _ = a.matmul(&b);
     });
@@ -216,11 +279,12 @@ fn kernel_benches(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> Vec<BenchEntry
     log("gemm done");
     out.push(entry_from_trials("gemm", "kernel", times, Some(flops), None));
 
-    // LSTM forward/backward: 2 layers, the shapes the flavor model uses.
-    const BATCH: usize = 8;
-    const STEPS: usize = 16;
+    // LSTM forward/backward at the paper's network scale: 2 layers of 200
+    // hidden units, minibatch 32 (the shapes ROADMAP item 1 targets).
+    const BATCH: usize = 32;
+    const STEPS: usize = 8;
     const IN: usize = 16;
-    const HID: usize = 32;
+    const HID: usize = 200;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0xbe7c);
     let mut lstm = Lstm::new(IN, HID, 2, &mut rng);
     let xs: Vec<Mat> = (0..STEPS)
@@ -407,6 +471,7 @@ fn stage_benches(opts: &BenchOpts, log: &mut dyn FnMut(&str)) -> Vec<BenchEntry>
 /// Runs the full suite and assembles the report.
 pub fn run_benches(opts: BenchOpts, mut log: impl FnMut(&str)) -> BenchReport {
     let mut results = kernel_benches(&opts, &mut log);
+    results.push(epoch_bench(&opts, &mut log));
     results.extend(stage_benches(&opts, &mut log));
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -416,6 +481,7 @@ pub fn run_benches(opts: BenchOpts, mut log: impl FnMut(&str)) -> BenchReport {
         results,
     }
 }
+
 
 /// Structural validation of a report as parsed JSON — the shape the CI
 /// smoke job asserts on, independent of serde's own deserialization.

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod continuous;
+pub mod report_io;
 
 use cloudgen::{
     ArrivalTarget, BatchArrivalModel, FeatureSpace, FlavorModel, GenFallback, GeneratorConfig,

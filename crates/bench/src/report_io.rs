@@ -1,0 +1,582 @@
+//! Hand-rolled JSON reader/writer for [`BenchReport`].
+//!
+//! The report format is shallow, stable, and written/read on the CI gate
+//! path (`cloudgen-bench run` / `compare`), so it gets a dependency-free
+//! serializer and a strict recursive-descent parser instead of going
+//! through a JSON backend. The writer emits fields in the same order as
+//! the serde derives on [`BenchReport`]; the parser tolerates unknown
+//! keys so a baseline file can carry extra context (e.g. a `"before"`
+//! section recorded alongside `BENCH_pr9.json`).
+
+use crate::continuous::{BenchEntry, BenchReport, MachineFingerprint};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. `f64`'s `Display` is the shortest
+/// round-trippable decimal, which is valid JSON for finite values; bench
+/// numbers are wall times and throughputs, so non-finite is a bug.
+fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "bench report numbers must be finite");
+    format!("{x}")
+}
+
+impl BenchReport {
+    /// Serializes the report to pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str("  \"machine\": {\n");
+        s.push_str(&format!(
+            "    \"visible_cores\": {},\n",
+            self.machine.visible_cores
+        ));
+        s.push_str(&format!(
+            "    \"threads_used\": {}\n",
+            self.machine.threads_used
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+            s.push_str(&format!("      \"kind\": \"{}\",\n", json_escape(&r.kind)));
+            s.push_str(&format!("      \"trials\": {},\n", r.trials));
+            s.push_str(&format!(
+                "      \"wall_ms_median\": {},\n",
+                json_f64(r.wall_ms_median)
+            ));
+            s.push_str(&format!(
+                "      \"wall_ms_mad\": {}",
+                json_f64(r.wall_ms_mad)
+            ));
+            if let Some(g) = r.gflops {
+                s.push_str(&format!(",\n      \"gflops\": {}", json_f64(g)));
+            }
+            if let Some(t) = r.throughput {
+                s.push_str(&format!(",\n      \"throughput\": {}", json_f64(t)));
+            }
+            if let Some(u) = &r.throughput_unit {
+                s.push_str(&format!(
+                    ",\n      \"throughput_unit\": \"{}\"",
+                    json_escape(u)
+                ));
+            }
+            s.push('\n');
+            s.push_str("    }");
+            if i + 1 < self.results.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a report from JSON and applies the same structural checks
+    /// as [`crate::continuous::validate_report`].
+    ///
+    /// # Errors
+    ///
+    /// On malformed JSON, missing/ill-typed required fields, or a report
+    /// that fails structural validation.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v = parse_value(&mut Cursor::new(s))?;
+        let report = report_from_value(&v)?;
+        report.validate_structure()?;
+        Ok(report)
+    }
+
+    /// The structural invariants `cloudgen-bench` enforces on every report
+    /// it writes or loads (mirrors `validate_report` on parsed JSON).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        if self.schema_version != crate::continuous::SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {}",
+                self.schema_version,
+                crate::continuous::SCHEMA_VERSION
+            ));
+        }
+        if self.bench != crate::continuous::SUITE {
+            return Err(format!("bench is not {:?}", crate::continuous::SUITE));
+        }
+        if self.machine.visible_cores == 0 {
+            return Err("machine.visible_cores is zero".into());
+        }
+        if self.machine.threads_used == 0 {
+            return Err("machine.threads_used is zero".into());
+        }
+        if self.results.is_empty() {
+            return Err("results is empty".into());
+        }
+        for (i, r) in self.results.iter().enumerate() {
+            if r.kind != "kernel" && r.kind != "stage" {
+                return Err(format!("results[{i}] ({}): bad kind {:?}", r.name, r.kind));
+            }
+            if !r.wall_ms_median.is_finite() || r.wall_ms_median < 0.0 {
+                return Err(format!(
+                    "results[{i}] ({}): wall_ms_median {} invalid",
+                    r.name, r.wall_ms_median
+                ));
+            }
+            if !r.wall_ms_mad.is_finite() || r.wall_ms_mad < 0.0 {
+                return Err(format!(
+                    "results[{i}] ({}): wall_ms_mad {} invalid",
+                    r.name, r.wall_ms_mad
+                ));
+            }
+            if r.trials == 0 {
+                return Err(format!("results[{i}] ({}): trials is zero", r.name));
+            }
+            if r.kind == "kernel" && !r.gflops.is_some_and(|g| g > 0.0) {
+                return Err(format!(
+                    "results[{i}] ({}): kernel without positive gflops",
+                    r.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed JSON value, private to this module — just enough structure to
+/// map onto [`BenchReport`] and skip unknown keys.
+enum Jv {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Jv>),
+    Obj(Vec<(String, Jv)>),
+}
+
+impl Jv {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Jv> {
+        match self {
+            Jv::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(Jv::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("field {key:?} missing or not a string")),
+        }
+    }
+
+    fn num_field(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Jv::Num(n)) => Ok(*n),
+            _ => Err(format!("field {key:?} missing or not a number")),
+        }
+    }
+
+    fn usize_field(&self, key: &str) -> Result<usize, String> {
+        let n = self.num_field(key)?;
+        // lint:allow(float-eq): fract() == 0.0 is the exact integrality test
+        if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 {
+            Ok(n as usize)
+        } else {
+            Err(format!("field {key:?} is not a small non-negative integer"))
+        }
+    }
+
+    fn opt_num_field(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None | Some(Jv::Null) => Ok(None),
+            Some(Jv::Num(n)) => Ok(Some(*n)),
+            Some(_) => Err(format!("field {key:?} present but not a number")),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "byte {}: expected {:?}, found {:?}",
+                self.pos,
+                want as char,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("byte {}: expected literal {lit:?}", self.pos))
+        }
+    }
+}
+
+fn parse_string(c: &mut Cursor) -> Result<String, String> {
+    c.expect(b'"')?;
+    let mut out = String::new();
+    loop {
+        match c.bump() {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => return Ok(out),
+            Some(b'\\') => match c.bump() {
+                Some(b'"') => out.push('"'),
+                Some(b'\\') => out.push('\\'),
+                Some(b'/') => out.push('/'),
+                Some(b'n') => out.push('\n'),
+                Some(b'r') => out.push('\r'),
+                Some(b't') => out.push('\t'),
+                Some(b'b') => out.push('\u{8}'),
+                Some(b'f') => out.push('\u{c}'),
+                Some(b'u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = c.bump().ok_or("truncated \\u escape")?;
+                        code = code * 16
+                            + (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                    }
+                    // Surrogate pairs are not produced by our writer; map
+                    // lone surrogates to the replacement character.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(b) if b < 0x80 => out.push(b as char),
+            Some(b) => {
+                // Multi-byte UTF-8: the input came from a &str, so the
+                // sequence is valid; re-decode it.
+                let start = c.pos - 1;
+                let width = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let end = (start + width).min(c.bytes.len());
+                let chunk =
+                    std::str::from_utf8(&c.bytes[start..end]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
+                c.pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(c: &mut Cursor) -> Result<f64, String> {
+    let start = c.pos;
+    while let Some(&b) = c.bytes.get(c.pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            c.pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&c.bytes[start..c.pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map_err(|e| format!("byte {start}: bad number {text:?}: {e}"))
+}
+
+fn parse_value(c: &mut Cursor) -> Result<Jv, String> {
+    match c.peek() {
+        None => Err("unexpected end of input".into()),
+        Some(b'"') => Ok(Jv::Str(parse_string(c)?)),
+        Some(b'{') => {
+            c.expect(b'{')?;
+            let mut pairs = Vec::new();
+            if c.peek() == Some(b'}') {
+                c.pos += 1;
+                return Ok(Jv::Obj(pairs));
+            }
+            loop {
+                c.skip_ws();
+                let key = parse_string(c)?;
+                c.expect(b':')?;
+                let val = parse_value(c)?;
+                pairs.push((key, val));
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b'}') => {
+                        c.pos += 1;
+                        return Ok(Jv::Obj(pairs));
+                    }
+                    other => return Err(format!("in object: unexpected {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            c.expect(b'[')?;
+            let mut items = Vec::new();
+            if c.peek() == Some(b']') {
+                c.pos += 1;
+                return Ok(Jv::Arr(items));
+            }
+            loop {
+                items.push(parse_value(c)?);
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b']') => {
+                        c.pos += 1;
+                        return Ok(Jv::Arr(items));
+                    }
+                    other => return Err(format!("in array: unexpected {other:?}")),
+                }
+            }
+        }
+        Some(b't') => {
+            c.expect_literal("true")?;
+            Ok(Jv::Bool(true))
+        }
+        Some(b'f') => {
+            c.expect_literal("false")?;
+            Ok(Jv::Bool(false))
+        }
+        Some(b'n') => {
+            c.expect_literal("null")?;
+            Ok(Jv::Null)
+        }
+        Some(_) => Ok(Jv::Num(parse_number(c)?)),
+    }
+}
+
+fn report_from_value(v: &Jv) -> Result<BenchReport, String> {
+    let schema_version = v.usize_field("schema_version")? as u32;
+    let bench = v.str_field("bench")?;
+    let quick = match v.get("quick") {
+        Some(Jv::Bool(b)) => *b,
+        _ => return Err("field \"quick\" missing or not a bool".into()),
+    };
+    let machine = v.get("machine").ok_or("field \"machine\" missing")?;
+    let machine = MachineFingerprint {
+        visible_cores: machine.usize_field("visible_cores")?,
+        threads_used: machine.usize_field("threads_used")?,
+    };
+    let results = match v.get("results") {
+        Some(Jv::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                entry_from_value(r).map_err(|e| format!("results[{i}]: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("field \"results\" missing or not an array".into()),
+    };
+    Ok(BenchReport {
+        schema_version,
+        bench,
+        quick,
+        machine,
+        results,
+    })
+}
+
+fn entry_from_value(v: &Jv) -> Result<BenchEntry, String> {
+    Ok(BenchEntry {
+        name: v.str_field("name")?,
+        kind: v.str_field("kind")?,
+        trials: v.usize_field("trials")?,
+        wall_ms_median: v.num_field("wall_ms_median")?,
+        wall_ms_mad: v.num_field("wall_ms_mad")?,
+        gflops: v.opt_num_field("gflops")?,
+        throughput: v.opt_num_field("throughput")?,
+        throughput_unit: match v.get("throughput_unit") {
+            None | Some(Jv::Null) => None,
+            Some(Jv::Str(s)) => Some(s.clone()),
+            Some(_) => return Err("throughput_unit present but not a string".into()),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::continuous::{BenchEntry, BenchReport, MachineFingerprint, SCHEMA_VERSION, SUITE};
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: SUITE.into(),
+            quick: false,
+            machine: MachineFingerprint {
+                visible_cores: 8,
+                threads_used: 1,
+            },
+            results: vec![
+                BenchEntry {
+                    name: "gemm".into(),
+                    kind: "kernel".into(),
+                    trials: 9,
+                    wall_ms_median: 1.25,
+                    wall_ms_mad: 0.03125,
+                    gflops: Some(16.384),
+                    throughput: None,
+                    throughput_unit: None,
+                },
+                BenchEntry {
+                    name: "train".into(),
+                    kind: "stage".into(),
+                    trials: 3,
+                    wall_ms_median: 250.5,
+                    wall_ms_mad: 1.5,
+                    gflops: None,
+                    throughput: Some(1000.0),
+                    throughput_unit: Some("tokens/sec".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn writer_then_parser_roundtrips() {
+        let r = sample();
+        let json = r.to_json_string();
+        let back = BenchReport::from_json_str(&json).unwrap();
+        assert_eq!(back.schema_version, r.schema_version);
+        assert_eq!(back.bench, r.bench);
+        assert_eq!(back.quick, r.quick);
+        assert_eq!(back.machine, r.machine);
+        assert_eq!(back.results.len(), r.results.len());
+        for (a, b) in back.results.iter().zip(&r.results) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.trials, b.trials);
+            // Exact bit equality: Display prints the shortest decimal that
+            // round-trips, and the parser goes through f64::from_str.
+            assert_eq!(a.wall_ms_median.to_bits(), b.wall_ms_median.to_bits());
+            assert_eq!(a.wall_ms_mad.to_bits(), b.wall_ms_mad.to_bits());
+            assert_eq!(a.gflops, b.gflops);
+            assert_eq!(a.throughput, b.throughput);
+            assert_eq!(a.throughput_unit, b.throughput_unit);
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_keys_and_whitespace() {
+        let json = r#"{
+            "schema_version": 1,
+            "bench": "cloudgen_continuous",
+            "quick": true,
+            "note": "extra context the schema does not know about",
+            "before": {"lstm-fwd": {"wall_ms_median": 99.0}},
+            "machine": {"visible_cores": 4, "threads_used": 1, "cpu": "???"},
+            "results": [
+                {"name": "gemm", "kind": "kernel", "trials": 3,
+                 "wall_ms_median": 2.0, "wall_ms_mad": 0.1, "gflops": 5.0,
+                 "comment": "ignored"}
+            ]
+        }"#;
+        let r = BenchReport::from_json_str(json).unwrap();
+        assert!(r.quick);
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[0].gflops, Some(5.0));
+    }
+
+    #[test]
+    fn parser_rejects_structural_violations() {
+        // Kernel entry without gflops.
+        let json = r#"{"schema_version": 1, "bench": "cloudgen_continuous",
+            "quick": false, "machine": {"visible_cores": 4, "threads_used": 1},
+            "results": [{"name": "gemm", "kind": "kernel", "trials": 3,
+                         "wall_ms_median": 2.0, "wall_ms_mad": 0.1}]}"#;
+        assert!(BenchReport::from_json_str(json)
+            .unwrap_err()
+            .contains("gflops"));
+        // Wrong schema version.
+        let json = r#"{"schema_version": 9, "bench": "cloudgen_continuous",
+            "quick": false, "machine": {"visible_cores": 4, "threads_used": 1},
+            "results": [{"name": "t", "kind": "stage", "trials": 1,
+                         "wall_ms_median": 2.0, "wall_ms_mad": 0.1}]}"#;
+        assert!(BenchReport::from_json_str(json)
+            .unwrap_err()
+            .contains("schema_version"));
+        // Malformed JSON.
+        assert!(BenchReport::from_json_str("{\"schema_version\": ").is_err());
+        // String escapes round-trip.
+        let mut r = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: SUITE.into(),
+            quick: false,
+            machine: MachineFingerprint {
+                visible_cores: 1,
+                threads_used: 1,
+            },
+            results: vec![BenchEntry {
+                name: "we\"ird\\name\n".into(),
+                kind: "stage".into(),
+                trials: 1,
+                wall_ms_median: 1.0,
+                wall_ms_mad: 0.0,
+                gflops: None,
+                throughput: None,
+                throughput_unit: None,
+            }],
+        };
+        r.results[0].throughput_unit = Some("tabs\tand\rreturns".into());
+        let back = BenchReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.results[0].name, "we\"ird\\name\n");
+        assert_eq!(
+            back.results[0].throughput_unit.as_deref(),
+            Some("tabs\tand\rreturns")
+        );
+    }
+}

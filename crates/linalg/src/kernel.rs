@@ -1,0 +1,650 @@
+//! Slice-level GEMM-family inner kernels, in two bit-identical flavors.
+//!
+//! [`scalar`] is the textbook implementation and the bit-exactness oracle;
+//! [`lanes`] unrolls the same loops into wide independent accumulator
+//! lanes so the autovectorizer can keep several f64 vector operations in
+//! flight. The crate's `simd` feature (on by default) selects which one
+//! [`active`] re-exports; [`crate::Mat`]'s public kernels call through
+//! `active`, so the whole workspace switches with the feature.
+//!
+//! **The determinism contract both flavors obey:** for every output
+//! element, the `k` (inner-dimension) contributions are added in ascending
+//! `k` order, one rounding per `+=`, exactly as the naive triple loop
+//! would. The lane kernels only unroll *across* independent output
+//! elements (columns of the output) or fuse consecutive `k` steps as
+//! *sequential* adds — they never reassociate a single element's sum. That
+//! is why `simd` on/off, blocked/naive, and fused/unfused paths are all
+//! bit-for-bit interchangeable (asserted in this module's tests).
+//!
+//! **Zero-skip semantics:** the axpy-style kernels take a `skip_zeros`
+//! flag allowing them to skip `k` steps whose `a` coefficient is exactly
+//! `0.0` — a large win for the one-hot token encodings the LSTMs consume.
+//! Skipping is only exact when the streamed operand `b` is finite
+//! (`0.0 * NaN` is `NaN`, and dropping it would hide a poisoned
+//! activation from the NaN tripwires), so callers must gate the flag on a
+//! `has_non_finite` scan of `b`. See `Mat::matmul` for the gating.
+
+/// Target working-set size for cache blocking, in `f64` entries (32 KiB of
+/// L1 data cache). Block heights are sized so one block of the streamed
+/// operand stays resident while the other operand sweeps past it.
+pub(crate) const L1_F64S: usize = 4096;
+
+/// Block height for an operand with `cols` columns: as many rows as fit
+/// the L1 budget, clamped to a sane range.
+#[inline]
+pub(crate) fn block_rows(cols: usize) -> usize {
+    (L1_F64S / cols.max(1)).clamp(8, 256)
+}
+
+/// `k` steps fused per pass in the axpy-style lane kernels. Each fused
+/// step is a *sequential* add into the output row, so fusing changes
+/// instruction scheduling (one output load/store per `KU` steps instead
+/// of per step) but not accumulation order.
+const KU: usize = 4;
+
+/// Independent output lanes in the dot-style lane kernel: 8 parallel
+/// accumulator chains hide the floating-point add latency that serializes
+/// a single dot product.
+const NL: usize = 8;
+
+macro_rules! check_gemm_shapes {
+    ($out:ident, $a:ident, $b:ident, $m:ident, $n:ident, $k:ident) => {
+        debug_assert_eq!($out.len(), $m * $n, "output buffer shape");
+        debug_assert_eq!($a.len(), $m * $k, "a buffer shape");
+        debug_assert_eq!($b.len(), $k * $n, "b buffer shape");
+    };
+}
+
+/// The scalar oracle kernels: cache-blocked but otherwise textbook loops.
+pub mod scalar {
+    use super::block_rows;
+
+    /// `out[m x n] += alpha * a[m x k] * b[k x n]`, all row-major.
+    ///
+    /// Cache-blocked over `k`; ascending-`k` accumulation per element.
+    /// With `skip_zeros`, `k` steps whose coefficient is exactly zero are
+    /// skipped (caller guarantees `b` is finite).
+    pub fn gemm_acc(
+        out: &mut [f64],
+        m: usize,
+        n: usize,
+        kdim: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        skip_zeros: bool,
+    ) {
+        check_gemm_shapes!(out, a, b, m, n, kdim);
+        let kb = block_rows(n);
+        for k0 in (0..kdim).step_by(kb) {
+            let k1 = (k0 + kb).min(kdim);
+            for i in 0..m {
+                let a_row = &a[i * kdim..(i + 1) * kdim];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (k, &aik) in a_row[k0..k1].iter().enumerate() {
+                    let f = alpha * aik;
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    if skip_zeros && f == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[(k0 + k) * n..(k0 + k + 1) * n];
+                    for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += f * bkj;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `out[m x n] = a[m x k] * b[n x k]^T`: every output element is one
+    /// left-to-right dot product. Cache-blocked over the rows of `b`.
+    pub fn matmul_t(out: &mut [f64], m: usize, n: usize, kdim: usize, a: &[f64], b: &[f64]) {
+        debug_assert_eq!(out.len(), m * n, "output buffer shape");
+        debug_assert_eq!(a.len(), m * kdim, "a buffer shape");
+        debug_assert_eq!(b.len(), n * kdim, "b buffer shape");
+        let jb = block_rows(kdim);
+        for j0 in (0..n).step_by(jb) {
+            let j1 = (j0 + jb).min(n);
+            for i in 0..m {
+                let a_row = &a[i * kdim..(i + 1) * kdim];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
+                    let b_row = &b[(j0 + j) * kdim..(j0 + j + 1) * kdim];
+                    *o = crate::matrix::dot(a_row, b_row);
+                }
+            }
+        }
+    }
+
+    /// `out[m x n] += a[k x m]^T * b[k x n]`, all row-major (`a` is stored
+    /// untransposed; this is the gradient-accumulation product
+    /// `x^T · dz`). `k` is iterated outermost, ascending per element.
+    pub fn t_matmul_acc(
+        out: &mut [f64],
+        m: usize,
+        n: usize,
+        kdim: usize,
+        a: &[f64],
+        b: &[f64],
+        skip_zeros: bool,
+    ) {
+        debug_assert_eq!(out.len(), m * n, "output buffer shape");
+        debug_assert_eq!(a.len(), kdim * m, "a buffer shape");
+        debug_assert_eq!(b.len(), kdim * n, "b buffer shape");
+        for k in 0..kdim {
+            let a_row = &a[k * m..(k + 1) * m];
+            let b_row = &b[k * n..(k + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                if skip_zeros && aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aki * bkj;
+                }
+            }
+        }
+    }
+}
+
+/// The lane-unrolled kernels: same loops as [`scalar`], restructured so
+/// the autovectorizer sees wide independent work. Bit-identical to
+/// [`scalar`] by construction (and by test).
+pub mod lanes {
+    use super::{block_rows, KU, NL};
+
+    /// One fused pass: `out[j] += f0*b0[j]; out[j] += f1*b1[j]; ...` as
+    /// sequential adds — ascending-`k` order per element, one output
+    /// load/store per `KU` steps.
+    #[inline]
+    fn axpy4(out: &mut [f64], f: [f64; KU], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+        let n = out.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        for j in 0..n {
+            let mut o = out[j];
+            o += f[0] * b0[j];
+            o += f[1] * b1[j];
+            o += f[2] * b2[j];
+            o += f[3] * b3[j];
+            out[j] = o;
+        }
+    }
+
+    /// Single-step axpy, used for remainders and sparse fallbacks.
+    #[inline]
+    fn axpy1(out: &mut [f64], f: f64, b: &[f64]) {
+        let n = out.len();
+        let b = &b[..n];
+        for j in 0..n {
+            out[j] += f * b[j];
+        }
+    }
+
+    /// Two output rows per pass: the four `b` rows are loaded once per
+    /// `j` and feed both rows' fused updates, halving streamed-operand
+    /// traffic per flop. Each row's element still receives its `KU`
+    /// contributions as sequential ascending-`k` adds — identical order
+    /// to two [`axpy4`] calls.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn axpy4x2(
+        out0: &mut [f64],
+        out1: &mut [f64],
+        f0: [f64; KU],
+        f1: [f64; KU],
+        b0: &[f64],
+        b1: &[f64],
+        b2: &[f64],
+        b3: &[f64],
+    ) {
+        let n = out0.len();
+        let out1 = &mut out1[..n];
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        // Fixed-width chunks with array accumulators: each `for l` loop
+        // is an independent vector FMA, giving the scheduler 2·JW/lane
+        // dependency chains instead of two. Per element the contribution
+        // order is still k, k+1, k+2, k+3 — one rounding per add, same
+        // bits as the rolled loop; only the residency (register vs
+        // memory) of the accumulator changes.
+        const JW: usize = 16;
+        let mut jc = 0;
+        while jc + JW <= n {
+            let (c0, c1, c2, c3) = (
+                &b0[jc..jc + JW],
+                &b1[jc..jc + JW],
+                &b2[jc..jc + JW],
+                &b3[jc..jc + JW],
+            );
+            let mut o0 = [0.0; JW];
+            o0.copy_from_slice(&out0[jc..jc + JW]);
+            let mut o1 = [0.0; JW];
+            o1.copy_from_slice(&out1[jc..jc + JW]);
+            for l in 0..JW {
+                o0[l] += f0[0] * c0[l];
+            }
+            for l in 0..JW {
+                o1[l] += f1[0] * c0[l];
+            }
+            for l in 0..JW {
+                o0[l] += f0[1] * c1[l];
+            }
+            for l in 0..JW {
+                o1[l] += f1[1] * c1[l];
+            }
+            for l in 0..JW {
+                o0[l] += f0[2] * c2[l];
+            }
+            for l in 0..JW {
+                o1[l] += f1[2] * c2[l];
+            }
+            for l in 0..JW {
+                o0[l] += f0[3] * c3[l];
+            }
+            for l in 0..JW {
+                o1[l] += f1[3] * c3[l];
+            }
+            out0[jc..jc + JW].copy_from_slice(&o0);
+            out1[jc..jc + JW].copy_from_slice(&o1);
+            jc += JW;
+        }
+        for j in jc..n {
+            let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+            let mut o0 = out0[j];
+            o0 += f0[0] * v0;
+            o0 += f0[1] * v1;
+            o0 += f0[2] * v2;
+            o0 += f0[3] * v3;
+            out0[j] = o0;
+            let mut o1 = out1[j];
+            o1 += f1[0] * v0;
+            o1 += f1[1] * v1;
+            o1 += f1[2] * v2;
+            o1 += f1[3] * v3;
+            out1[j] = o1;
+        }
+    }
+
+    /// One row's `KU`-group update with the dense/sparse choice: the
+    /// shared tail of the single-row and paired-row drivers.
+    #[inline]
+    fn row_group(out_row: &mut [f64], f: [f64; KU], b: &[f64], k: usize, n: usize, sparse: bool) {
+        if sparse {
+            // Sparse group: fall back to per-step skips. Order per
+            // element is unchanged; only zero terms drop.
+            for (t, &ft) in f.iter().enumerate() {
+                // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                if ft == 0.0 {
+                    continue;
+                }
+                axpy1(out_row, ft, &b[(k + t) * n..(k + t + 1) * n]);
+            }
+        } else {
+            axpy4(
+                out_row,
+                f,
+                &b[k * n..(k + 1) * n],
+                &b[(k + 1) * n..(k + 2) * n],
+                &b[(k + 2) * n..(k + 3) * n],
+                &b[(k + 3) * n..(k + 4) * n],
+            );
+        }
+    }
+
+    /// See [`super::scalar::gemm_acc`]; bit-identical, `KU`-fused.
+    pub fn gemm_acc(
+        out: &mut [f64],
+        m: usize,
+        n: usize,
+        kdim: usize,
+        a: &[f64],
+        b: &[f64],
+        alpha: f64,
+        skip_zeros: bool,
+    ) {
+        check_gemm_shapes!(out, a, b, m, n, kdim);
+        let kb = block_rows(n);
+        for k0 in (0..kdim).step_by(kb) {
+            let k1 = (k0 + kb).min(kdim);
+            // Output rows in pairs: each streamed `b` row group is loaded
+            // once and feeds both rows (register blocking over `m`). Per
+            // element the accumulation stays ascending-`k`, one add per
+            // term, so pairing is invisible to the result bits.
+            let mut i = 0;
+            while i + 2 <= m {
+                let (head, tail) = out.split_at_mut((i + 1) * n);
+                let out0 = &mut head[i * n..];
+                let out1 = &mut tail[..n];
+                let a0 = &a[i * kdim..(i + 1) * kdim];
+                let a1 = &a[(i + 1) * kdim..(i + 2) * kdim];
+                let mut k = k0;
+                while k + KU <= k1 {
+                    let f0 = [
+                        alpha * a0[k],
+                        alpha * a0[k + 1],
+                        alpha * a0[k + 2],
+                        alpha * a0[k + 3],
+                    ];
+                    let f1 = [
+                        alpha * a1[k],
+                        alpha * a1[k + 1],
+                        alpha * a1[k + 2],
+                        alpha * a1[k + 3],
+                    ];
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    let s0 = skip_zeros && f0.iter().any(|&x| x == 0.0);
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    let s1 = skip_zeros && f1.iter().any(|&x| x == 0.0);
+                    if s0 || s1 {
+                        row_group(out0, f0, b, k, n, s0);
+                        row_group(out1, f1, b, k, n, s1);
+                    } else {
+                        axpy4x2(
+                            out0,
+                            out1,
+                            f0,
+                            f1,
+                            &b[k * n..(k + 1) * n],
+                            &b[(k + 1) * n..(k + 2) * n],
+                            &b[(k + 2) * n..(k + 3) * n],
+                            &b[(k + 3) * n..(k + 4) * n],
+                        );
+                    }
+                    k += KU;
+                }
+                while k < k1 {
+                    let f0 = alpha * a0[k];
+                    let f1 = alpha * a1[k];
+                    let b_row = &b[k * n..(k + 1) * n];
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    if !(skip_zeros && f0 == 0.0) {
+                        axpy1(out0, f0, b_row);
+                    }
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    if !(skip_zeros && f1 == 0.0) {
+                        axpy1(out1, f1, b_row);
+                    }
+                    k += 1;
+                }
+                i += 2;
+            }
+            // Odd trailing row: single-row path.
+            if i < m {
+                let a_row = &a[i * kdim..(i + 1) * kdim];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut k = k0;
+                while k + KU <= k1 {
+                    let f = [
+                        alpha * a_row[k],
+                        alpha * a_row[k + 1],
+                        alpha * a_row[k + 2],
+                        alpha * a_row[k + 3],
+                    ];
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    let sparse = skip_zeros && f.iter().any(|&x| x == 0.0);
+                    row_group(out_row, f, b, k, n, sparse);
+                    k += KU;
+                }
+                while k < k1 {
+                    let f = alpha * a_row[k];
+                    // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                    if !(skip_zeros && f == 0.0) {
+                        axpy1(out_row, f, &b[k * n..(k + 1) * n]);
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// `NL` output elements at once: independent accumulator chains, each
+    /// the exact left-to-right order of a single [`crate::matrix::dot`].
+    #[inline]
+    fn dot_lanes(out: &mut [f64], a_row: &[f64], b: &[f64], j: usize, kdim: usize) {
+        let kk = a_row.len();
+        let r0 = &b[j * kdim..][..kk];
+        let r1 = &b[(j + 1) * kdim..][..kk];
+        let r2 = &b[(j + 2) * kdim..][..kk];
+        let r3 = &b[(j + 3) * kdim..][..kk];
+        let r4 = &b[(j + 4) * kdim..][..kk];
+        let r5 = &b[(j + 5) * kdim..][..kk];
+        let r6 = &b[(j + 6) * kdim..][..kk];
+        let r7 = &b[(j + 7) * kdim..][..kk];
+        let mut s = [0.0f64; NL];
+        for (k, &x) in a_row.iter().enumerate() {
+            s[0] += x * r0[k];
+            s[1] += x * r1[k];
+            s[2] += x * r2[k];
+            s[3] += x * r3[k];
+            s[4] += x * r4[k];
+            s[5] += x * r5[k];
+            s[6] += x * r6[k];
+            s[7] += x * r7[k];
+        }
+        out[..NL].copy_from_slice(&s);
+    }
+
+    /// See [`super::scalar::matmul_t`]; bit-identical, `NL`-lane.
+    pub fn matmul_t(out: &mut [f64], m: usize, n: usize, kdim: usize, a: &[f64], b: &[f64]) {
+        debug_assert_eq!(out.len(), m * n, "output buffer shape");
+        debug_assert_eq!(a.len(), m * kdim, "a buffer shape");
+        debug_assert_eq!(b.len(), n * kdim, "b buffer shape");
+        let jb = block_rows(kdim);
+        for j0 in (0..n).step_by(jb) {
+            let j1 = (j0 + jb).min(n);
+            for i in 0..m {
+                let a_row = &a[i * kdim..(i + 1) * kdim];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut j = j0;
+                while j + NL <= j1 {
+                    dot_lanes(&mut out_row[j..], a_row, b, j, kdim);
+                    j += NL;
+                }
+                while j < j1 {
+                    out_row[j] = crate::matrix::dot(a_row, &b[j * kdim..(j + 1) * kdim]);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// See [`super::scalar::t_matmul_acc`]; bit-identical, `KU`-fused
+    /// over the outer (reduction) dimension.
+    pub fn t_matmul_acc(
+        out: &mut [f64],
+        m: usize,
+        n: usize,
+        kdim: usize,
+        a: &[f64],
+        b: &[f64],
+        skip_zeros: bool,
+    ) {
+        debug_assert_eq!(out.len(), m * n, "output buffer shape");
+        debug_assert_eq!(a.len(), kdim * m, "a buffer shape");
+        debug_assert_eq!(b.len(), kdim * n, "b buffer shape");
+        let mut k = 0;
+        while k + KU <= kdim {
+            for i in 0..m {
+                let f = [
+                    a[k * m + i],
+                    a[(k + 1) * m + i],
+                    a[(k + 2) * m + i],
+                    a[(k + 3) * m + i],
+                ];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                if skip_zeros && f.iter().any(|&x| x == 0.0) {
+                    for (t, &ft) in f.iter().enumerate() {
+                        // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                        if ft == 0.0 {
+                            continue;
+                        }
+                        axpy1(out_row, ft, &b[(k + t) * n..(k + t + 1) * n]);
+                    }
+                } else {
+                    axpy4(
+                        out_row,
+                        f,
+                        &b[k * n..(k + 1) * n],
+                        &b[(k + 1) * n..(k + 2) * n],
+                        &b[(k + 2) * n..(k + 3) * n],
+                        &b[(k + 3) * n..(k + 4) * n],
+                    );
+                }
+            }
+            k += KU;
+        }
+        while k < kdim {
+            let a_row = &a[k * m..(k + 1) * m];
+            let b_row = &b[k * n..(k + 1) * n];
+            for (i, &aki) in a_row.iter().enumerate() {
+                // lint:allow(float-eq): exact-zero sparsity skip, gated on a finite b
+                if skip_zeros && aki == 0.0 {
+                    continue;
+                }
+                axpy1(&mut out[i * n..(i + 1) * n], aki, b_row);
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(feature = "simd")]
+pub use lanes as active;
+#[cfg(not(feature = "simd"))]
+pub use scalar as active;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                // splitmix64 step; maps to roughly [-1, 1).
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Plants exact zeros so the sparse fallback paths execute.
+    fn with_planted_zeros(mut v: Vec<f64>, every: usize) -> Vec<f64> {
+        for (i, x) in v.iter_mut().enumerate() {
+            if i % every == 0 {
+                *x = 0.0;
+            }
+        }
+        v
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Shapes that exercise full lanes, remainders, and cache-block edges.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (7, 13, 33),
+        (32, 800, 400),
+        (37, 95, 300),
+        (5, 8, 4),
+    ];
+
+    #[test]
+    fn lanes_gemm_acc_bit_identical_to_scalar() {
+        for &(m, n, k) in SHAPES {
+            for (skip, plant) in [(false, 1000000), (true, 3), (true, 1000000)] {
+                let a = with_planted_zeros(pseudo_random(m * k, 1), plant);
+                let b = pseudo_random(k * n, 2);
+                let mut out_s = pseudo_random(m * n, 3);
+                let mut out_l = out_s.clone();
+                scalar::gemm_acc(&mut out_s, m, n, k, &a, &b, 0.7, skip);
+                lanes::gemm_acc(&mut out_l, m, n, k, &a, &b, 0.7, skip);
+                assert_bits_eq(&out_s, &out_l);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_matmul_t_bit_identical_to_scalar() {
+        for &(m, n, k) in SHAPES {
+            let a = pseudo_random(m * k, 4);
+            let b = pseudo_random(n * k, 5);
+            let mut out_s = vec![0.0; m * n];
+            let mut out_l = vec![0.0; m * n];
+            scalar::matmul_t(&mut out_s, m, n, k, &a, &b);
+            lanes::matmul_t(&mut out_l, m, n, k, &a, &b);
+            assert_bits_eq(&out_s, &out_l);
+        }
+    }
+
+    #[test]
+    fn lanes_t_matmul_acc_bit_identical_to_scalar() {
+        for &(m, n, k) in SHAPES {
+            for (skip, plant) in [(false, 1000000), (true, 5), (true, 1000000)] {
+                let a = with_planted_zeros(pseudo_random(k * m, 6), plant);
+                let b = pseudo_random(k * n, 7);
+                let mut out_s = pseudo_random(m * n, 8);
+                let mut out_l = out_s.clone();
+                scalar::t_matmul_acc(&mut out_s, m, n, k, &a, &b, skip);
+                lanes::t_matmul_acc(&mut out_l, m, n, k, &a, &b, skip);
+                assert_bits_eq(&out_s, &out_l);
+            }
+        }
+    }
+
+    /// The zero-skip is exact for finite data: skipping and not skipping
+    /// produce bit-identical outputs when the accumulator never holds
+    /// `-0.0` (outputs here start from `+0.0`, and round-to-nearest
+    /// addition cannot produce `-0.0` from a `+0.0` accumulator).
+    #[test]
+    fn zero_skip_is_exact_on_finite_data() {
+        let (m, n, k) = (9, 21, 40);
+        let a = with_planted_zeros(pseudo_random(m * k, 9), 2);
+        let b = pseudo_random(k * n, 10);
+        for kernel in [scalar::gemm_acc, lanes::gemm_acc] {
+            let mut skipped = vec![0.0; m * n];
+            let mut dense = vec![0.0; m * n];
+            kernel(&mut skipped, m, n, k, &a, &b, 1.0, true);
+            kernel(&mut dense, m, n, k, &a, &b, 1.0, false);
+            assert_bits_eq(&skipped, &dense);
+        }
+        let a_t = with_planted_zeros(pseudo_random(k * m, 11), 2);
+        for kernel in [scalar::t_matmul_acc, lanes::t_matmul_acc] {
+            let mut skipped = vec![0.0; m * n];
+            let mut dense = vec![0.0; m * n];
+            kernel(&mut skipped, m, n, k, &a_t, &b, true);
+            kernel(&mut dense, m, n, k, &a_t, &b, false);
+            assert_bits_eq(&skipped, &dense);
+        }
+    }
+
+    /// With `skip_zeros` off, a NaN in `b` must propagate through a zero
+    /// coefficient in `a` (`0.0 * NaN = NaN`) — the IEEE behavior the
+    /// dense path exists to preserve.
+    #[test]
+    fn dense_path_propagates_nan_through_zero_coefficients() {
+        let (m, n, k) = (2, 6, 5);
+        let a = vec![0.0; m * k]; // all-zero coefficients
+        let mut b = pseudo_random(k * n, 12);
+        b[7] = f64::NAN;
+        for kernel in [scalar::gemm_acc, lanes::gemm_acc] {
+            let mut out = vec![0.0; m * n];
+            kernel(&mut out, m, n, k, &a, &b, 1.0, false);
+            assert!(
+                out.iter().any(|x| x.is_nan()),
+                "NaN vanished through the dense path"
+            );
+        }
+    }
+}

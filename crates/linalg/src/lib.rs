@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cholesky;
+pub mod kernel;
 pub mod matrix;
 pub mod numeric;
 pub mod pool;

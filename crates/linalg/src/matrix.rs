@@ -7,6 +7,7 @@
 //! That property is what lets the deterministic data-parallel trainers
 //! shard a batch by rows and still reproduce single-threaded results.
 
+use crate::kernel;
 use crate::pool::WorkerPool;
 use obsv::profile;
 use serde::{Deserialize, Serialize};
@@ -23,16 +24,18 @@ fn account_gemm(m: usize, n: usize, k: usize) {
     profile::add_bytes(8 * ((m * k) as u64 + (k * n) as u64 + 2 * (m * n) as u64));
 }
 
-/// Target working-set size for cache blocking, in `f64` entries (32 KiB of
-/// L1 data cache). Block heights are sized so one block of the streamed
-/// operand stays resident while the other operand sweeps past it.
-const L1_F64S: usize = 4096;
-
-/// Block height for an operand with `cols` columns: as many rows as fit the
-/// L1 budget, clamped to a sane range.
+/// Whether the zero-skip fast path is exact for a GEMM: skipping
+/// `0.0 * b` terms is only bit-exact when every entry of `b` is finite
+/// (`0.0 * NaN = NaN` must reach the output so poisoned activations trip
+/// the NaN tripwires instead of silently vanishing). The coefficient
+/// operand `a` is scanned first: if it holds no exact zero the skip can
+/// never fire, and the (larger) `b` finiteness scan is not paid at all —
+/// this keeps small-batch generation GEMMs from spending more time
+/// scanning weights than multiplying by them. Both scans are `O(len)`
+/// with early exit, amortized against the `O(m·n·k)` product.
 #[inline]
-fn block_rows(cols: usize) -> usize {
-    (L1_F64S / cols.max(1)).clamp(8, 256)
+fn skip_ok(a: &Mat, b: &Mat) -> bool {
+    a.has_zero() && !b.has_non_finite()
 }
 
 /// A dense, row-major `f64` matrix.
@@ -255,30 +258,41 @@ impl Mat {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += self^T * other`, reusing the caller's output buffer — the
+    /// allocation-free accumulating form of [`Mat::t_matmul`] for hot
+    /// backward passes (gradient products `x^T · dz`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows` or `out` is not
+    /// `self.cols x other.cols`.
+    pub fn t_matmul_acc(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "t_matmul output shape mismatch"
+        );
         let _prof = profile::span("gemm");
         account_gemm(self.cols, other.cols, self.rows);
-        let mut out = Mat::zeros(self.cols, other.cols);
-        // out[i][j] += self[k][i] * other[k][j]: iterate k outer for locality.
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        kernel::active::t_matmul_acc(
+            &mut out.data,
+            self.cols,
+            other.cols,
+            self.rows,
+            &self.data,
+            &other.data,
+            skip_ok(self, other),
+        );
     }
 
     /// `self * other^T`.
@@ -292,27 +306,39 @@ impl Mat {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `out = self * other^T`, reusing the caller's output buffer — the
+    /// allocation-free form of [`Mat::matmul_t`] for hot backward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or `out` is not
+    /// `self.rows x other.rows`.
+    pub fn matmul_t_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_t output shape mismatch"
+        );
         let _prof = profile::span("gemm");
         account_gemm(self.rows, other.rows, self.cols);
-        let mut out = Mat::zeros(self.rows, other.rows);
-        let jb = block_rows(self.cols);
-        for j0 in (0..other.rows).step_by(jb) {
-            let j1 = (j0 + jb).min(other.rows);
-            for r in 0..self.rows {
-                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                let out_row = &mut out.data[r * out.cols..(r + 1) * out.cols];
-                for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
-                    let b_row = other.row(j0 + j);
-                    *o = dot(a_row, b_row);
-                }
-            }
-        }
-        out
+        kernel::active::matmul_t(
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            &other.data,
+        );
     }
 
     /// Row-parallel `self * other`: the rows of `self` are partitioned
@@ -330,21 +356,19 @@ impl Mat {
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let skip = skip_ok(self, other);
         self.par_row_blocks(other.cols, pool, |rows, block| {
-            for (i, r) in rows.clone().enumerate() {
-                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                let out_row = &mut block.data[i * block.cols..(i + 1) * block.cols];
-                for (k, &aik) in a_row.iter().enumerate() {
-                    // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(k);
-                    for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += aik * bkj;
-                    }
-                }
-            }
+            let a_rows = &self.data[rows.start * self.cols..rows.end * self.cols];
+            kernel::active::gemm_acc(
+                &mut block.data,
+                rows.len(),
+                other.cols,
+                self.cols,
+                a_rows,
+                &other.data,
+                1.0,
+                skip,
+            );
         })
     }
 
@@ -361,13 +385,15 @@ impl Mat {
             self.rows, self.cols, other.rows, other.cols
         );
         self.par_row_blocks(other.rows, pool, |rows, block| {
-            for (i, r) in rows.clone().enumerate() {
-                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                let out_row = &mut block.data[i * block.cols..(i + 1) * block.cols];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = dot(a_row, other.row(j));
-                }
-            }
+            let a_rows = &self.data[rows.start * self.cols..rows.end * self.cols];
+            kernel::active::matmul_t(
+                &mut block.data,
+                rows.len(),
+                other.rows,
+                self.cols,
+                a_rows,
+                &other.data,
+            );
         })
     }
 
@@ -520,6 +546,13 @@ impl Mat {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// Returns true if any entry is exactly zero (either sign). Used to
+    /// decide whether a GEMM's zero-skip path can fire at all.
+    pub fn has_zero(&self) -> bool {
+        // lint:allow(float-eq): exact-zero test mirrors the kernel's skip condition
+        self.data.iter().any(|&x| x == 0.0)
+    }
 }
 
 impl Index<(usize, usize)> for Mat {
@@ -558,25 +591,16 @@ pub fn gemm_acc(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
     assert_eq!(out.cols, b.cols, "gemm output cols mismatch");
     let _prof = profile::span("gemm");
     account_gemm(a.rows, b.cols, a.cols);
-    let kb = block_rows(b.cols);
-    for k0 in (0..a.cols).step_by(kb) {
-        let k1 = (k0 + kb).min(a.cols);
-        for i in 0..a.rows {
-            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
-            let out_row = &mut out.data[i * out.cols..(i + 1) * out.cols];
-            for (k, &aik) in a_row[k0..k1].iter().enumerate() {
-                let f = alpha * aik;
-                // lint:allow(float-eq): exact-zero sparsity skip; skipping zero terms is exact
-                if f == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k0 + k);
-                for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += f * bkj;
-                }
-            }
-        }
-    }
+    kernel::active::gemm_acc(
+        &mut out.data,
+        a.rows,
+        b.cols,
+        a.cols,
+        &a.data,
+        &b.data,
+        alpha,
+        skip_ok(a, b),
+    );
 }
 
 /// Dot product of two equal-length slices.
@@ -731,15 +755,13 @@ mod tests {
         assert_eq!(out.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
     }
 
-    /// Reference naive i-k-j GEMM: the exact accumulation order the
-    /// blocked kernel must reproduce bit-for-bit.
+    /// Reference naive i-k-j GEMM with no skips of any kind: the exact
+    /// accumulation order the blocked kernels must reproduce bit-for-bit
+    /// (including through their zero-skip fast paths).
     fn gemm_naive(out: &mut Mat, a: &Mat, b: &Mat, alpha: f64) {
         for i in 0..a.rows() {
             for k in 0..a.cols() {
                 let f = alpha * a[(i, k)];
-                if f == 0.0 {
-                    continue;
-                }
                 for j in 0..b.cols() {
                     out[(i, j)] += f * b[(k, j)];
                 }
@@ -804,6 +826,91 @@ mod tests {
             let pool = WorkerPool::new(threads);
             assert_bits_eq(&a.par_matmul(&b, &pool), &serial_mm);
             assert_bits_eq(&a.par_matmul_t(&bt, &pool), &serial_mmt);
+        }
+    }
+
+    /// Plants exact zeros into a matrix so the sparsity fast paths engage.
+    fn with_zero_rows(mut m: Mat, every: usize) -> Mat {
+        for r in (0..m.rows()).step_by(every) {
+            m.row_mut(r).fill(0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn zero_skip_matches_naive_reference_bit_for_bit() {
+        // The skip path must be exact, not just close: compare against the
+        // skipless naive loop on data with whole zero rows planted.
+        let a = with_zero_rows(pseudo_random_mat(19, 48, 8), 3);
+        let b = pseudo_random_mat(48, 23, 9);
+        let mut blocked = Mat::zeros(19, 23);
+        let mut naive = Mat::zeros(19, 23);
+        gemm_acc(&mut blocked, &a, &b, 1.0);
+        gemm_naive(&mut naive, &a, &b, 1.0);
+        assert_bits_eq(&blocked, &naive);
+
+        // t_matmul against its explicit-transpose equivalent.
+        let at = with_zero_rows(pseudo_random_mat(48, 19, 10), 4);
+        let fast = at.t_matmul(&b);
+        let mut slow = Mat::zeros(19, 23);
+        gemm_naive(&mut slow, &at.transpose(), &b, 1.0);
+        assert_bits_eq(&fast, &slow);
+    }
+
+    /// Regression for the NaN-masking sparsity-skip bug: a NaN planted in
+    /// `other` must reach the output even through an exactly-zero row of
+    /// `self` (`0.0 * NaN = NaN`). The pre-fix kernels skipped zero
+    /// coefficients unconditionally, so the NaN silently vanished and a
+    /// poisoned activation could sail past `debug_assert_finite!` and the
+    /// TrainGuard divergence checks.
+    #[test]
+    fn nan_in_other_propagates_through_zero_rows() {
+        let mut a = pseudo_random_mat(4, 6, 11);
+        a.row_mut(2).fill(0.0);
+        let mut b = pseudo_random_mat(6, 5, 12);
+        b[(3, 1)] = f64::NAN;
+
+        // matmul / gemm_acc: row 2 of the output is 0-weights · b, which
+        // includes 0.0 * NaN.
+        let out = a.matmul(&b);
+        assert!(out[(2, 1)].is_nan(), "matmul dropped 0*NaN");
+
+        // t_matmul: column 2 of a^T is the zero row.
+        let mut at = pseudo_random_mat(6, 4, 13);
+        for r in 0..6 {
+            at[(r, 2)] = 0.0;
+        }
+        let out = at.t_matmul(&b);
+        assert!(out[(2, 1)].is_nan(), "t_matmul dropped 0*NaN");
+
+        // par_matmul at several thread counts.
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            let out = a.par_matmul(&b, &pool);
+            assert!(out[(2, 1)].is_nan(), "par_matmul dropped 0*NaN");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = pseudo_random_mat(9, 31, 14);
+        let b = pseudo_random_mat(17, 31, 15);
+        let mut out = Mat::filled(9, 17, 7.5); // stale garbage to overwrite
+        a.matmul_t_into(&b, &mut out);
+        assert_bits_eq(&out, &a.matmul_t(&b));
+
+        let c = pseudo_random_mat(9, 13, 16);
+        let mut acc = Mat::zeros(31, 13);
+        let at = pseudo_random_mat(9, 31, 17);
+        at.t_matmul_acc(&c, &mut acc);
+        assert_bits_eq(&acc, &at.t_matmul(&c));
+        // Accumulating form really accumulates (approximately 2x — the
+        // second pass adds term-by-term, so exact bit equality with a
+        // single post-hoc add is not expected).
+        let once = at.t_matmul(&c);
+        at.t_matmul_acc(&c, &mut acc);
+        for (x, y) in acc.as_slice().iter().zip(once.as_slice()) {
+            assert!((x - 2.0 * y).abs() <= 1e-12 * y.abs().max(1.0));
         }
     }
 }

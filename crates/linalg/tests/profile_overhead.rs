@@ -12,6 +12,33 @@ use linalg::Mat;
 use obsv::profile;
 use std::time::Instant;
 
+/// Every GEMM entry point must account exactly `2·m·n·k` flops on its
+/// span — the kernel benches and the roofline numbers in the bench
+/// reports divide by this, so drift here silently corrupts GFLOP/s.
+#[test]
+fn gemm_spans_account_exactly_2mnk() {
+    let prof = profile::Profiler::new();
+    let a = Mat::from_fn(5, 7, |r, c| (r as f64 - c as f64) * 0.01);
+    let b = Mat::from_fn(7, 3, |r, c| (r + c) as f64 * 0.01);
+    {
+        let _lane = prof.activate("test");
+        let _ = a.matmul(&b); // (5x7)·(7x3): m=5, n=3, k=7
+        let _ = a.t_matmul(&a); // (5x7)^T·(5x7): m=7, n=7, k=5
+        let _ = a.matmul_t(&a); // (5x7)·(5x7)^T: m=5, n=5, k=7
+    }
+    let flops: Vec<u64> = prof
+        .spans()
+        .iter()
+        .filter(|s| s.name == "gemm")
+        .map(|s| s.flops)
+        .collect();
+    assert_eq!(
+        flops,
+        vec![2 * 5 * 3 * 7, 2 * 7 * 7 * 5, 2 * 5 * 5 * 7],
+        "gemm flop accounting drifted from 2mnk"
+    );
+}
+
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]

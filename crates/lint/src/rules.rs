@@ -22,7 +22,7 @@
 //! | `shared-mut-numeric` (R10) | numeric crates except `linalg::pool`, non-test | no `Mutex`/`RwLock`/`Condvar`/atomics: the numeric result path is single-writer by construction; shared mutable state reintroduces scheduling order |
 //! | `ambient-parallelism` (R11) | library crates, non-test | no `available_parallelism()`: thread counts are explicit configuration (throughput knob), never ambient machine state |
 //! | `ambient-time` (R12) | all crates except `obsv`, non-test | no `Instant::now()` / `SystemTime::now()`: wall-clock reads live in `obsv` (`Stopwatch`, profiling spans), so timing stays in one audited crate and can never leak into numerics |
-//! | `hot-loop-alloc` (R13) | `linalg`/`nn` profiled kernel fns, non-test | no `Vec::new`/`.push()`/`.clone()`/`.to_vec()`/`format!` inside loop bodies of a fn that opens a `profile::span` — the profiler marks it hot, so per-iteration allocation is a measured cost; hoist buffers or annotate |
+//! | `hot-loop-alloc` (R13) | `linalg`/`nn` profiled kernel fns, non-test | no `Vec::new`/`Mat::zeros`/`Mat::filled`/`Mat::from_fn`/`.push()`/`.clone()`/`.to_vec()`/`format!` inside loop bodies of a fn that opens a `profile::span` — the profiler marks it hot, so per-iteration allocation is a measured cost; hoist buffers or annotate |
 //! | `effect-contract` (R14) | whole workspace (`effects` subcommand only) | transitive effect sets ([`crate::effects`]) must satisfy every contract declared in `lint-contracts.toml` ([`crate::contracts`]) |
 //! | `unbounded-blocking` (R15) | `crates/serve`, non-test | no `accept()`/`recv()`/`channel()`/`read*()` without an annotated bound: the serving layer's robustness contract is "bounded everything", so every blocking primitive must carry a timeout, byte cap, or nonblocking mode and say so |
 //!
@@ -846,6 +846,15 @@ pub fn hot_loop_alloc(ctx: &FileCtx, out: &mut Vec<Violation>) {
                 && matches!(toks.get(j + 2), Some(n) if ident(n, "new"))
             {
                 Some("Vec::new()".to_string())
+            } else if ident(t, "Mat")
+                && next_is("::")
+                && matches!(toks.get(j + 2),
+                    Some(n) if matches!(n.text.as_str(), "zeros" | "filled" | "from_fn"))
+            {
+                // The pre-fusion LSTM step allocated three fresh matrices
+                // per timestep this way; constructor calls are as much an
+                // allocation as Vec::new().
+                Some(format!("Mat::{}()", toks[j + 2].text))
             } else if prev_dot
                 && next_is("(")
                 && matches!(t.text.as_str(), "push" | "clone" | "to_vec")

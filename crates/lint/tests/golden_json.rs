@@ -32,6 +32,15 @@ fn l() {
         drop(v);
     }
 }
+fn m(steps: usize, batch: usize, hidden: usize) {
+    // The pre-fusion LSTM step: a fresh matrix per timestep inside a
+    // profiled sequence loop.
+    let _prof = profile::span("fixture-seq");
+    for _t in 0..steps {
+        let c = Mat::zeros(batch, hidden);
+        drop(c);
+    }
+}
 "#;
 
 #[test]

@@ -1,0 +1,141 @@
+//! Fused single-pass LSTM gate kernels.
+//!
+//! One sweep per batch row applies the gate nonlinearities (sigmoid on
+//! i/f/o, tanh on g), the cell update `c = f∘c_prev + i∘g`, `tanh(c)`,
+//! and `h = o∘tanh(c)` — replacing the unfused path's separate
+//! nonlinearity pass, per-element `column / hidden` block arithmetic, and
+//! three extra matrix allocations per timestep. The backward kernel fuses
+//! the eight derivative-from-output products the same way.
+//!
+//! Both kernels are purely elementwise: every output element depends only
+//! on same-index inputs, evaluated with exactly the scalar expressions
+//! the unfused reference used. Fusion therefore changes instruction
+//! scheduling but not a single rounding — fused and reference paths are
+//! byte-for-byte identical (pinned by `tests/bit_identity.rs`).
+//!
+//! Gate layout in all `4H`-wide buffers is `[i, f, g, o]`, matching the
+//! weight layout in [`crate::lstm::LstmLayer`].
+
+use linalg::numeric::{dsigmoid_from_output, dtanh_from_output, sigmoid};
+
+/// Fused forward gate sweep for one timestep.
+///
+/// `gates` holds the pre-activations `z = [x|h_prev]·W + b` on entry and
+/// the post-nonlinearity activations on exit (the backward pass needs
+/// them). `c_prev` is read; `c`, `tc`, and `h` are fully overwritten.
+///
+/// All buffers are row-major with `batch` rows: `gates` is
+/// `batch x 4*hidden`, the rest `batch x hidden`.
+///
+/// # Panics
+///
+/// Panics (debug) on buffer length mismatches.
+pub fn gate_forward(
+    gates: &mut [f64],
+    c_prev: &[f64],
+    c: &mut [f64],
+    tc: &mut [f64],
+    h: &mut [f64],
+    hidden: usize,
+) {
+    debug_assert_eq!(gates.len() % (4 * hidden), 0, "gates buffer shape");
+    debug_assert_eq!(c_prev.len() * 4, gates.len(), "c_prev buffer shape");
+    debug_assert_eq!(c.len(), c_prev.len(), "c buffer shape");
+    debug_assert_eq!(tc.len(), c_prev.len(), "tc buffer shape");
+    debug_assert_eq!(h.len(), c_prev.len(), "h buffer shape");
+    for (r, g_row) in gates.chunks_exact_mut(4 * hidden).enumerate() {
+        let at = r * hidden;
+        let cp_row = &c_prev[at..at + hidden];
+        let c_row = &mut c[at..at + hidden];
+        let tc_row = &mut tc[at..at + hidden];
+        let h_row = &mut h[at..at + hidden];
+        let (ifg, o_blk) = g_row.split_at_mut(3 * hidden);
+        let (i_blk, fg) = ifg.split_at_mut(hidden);
+        let (f_blk, g_blk) = fg.split_at_mut(hidden);
+        for j in 0..hidden {
+            let i = sigmoid(i_blk[j]);
+            let f = sigmoid(f_blk[j]);
+            let g = g_blk[j].tanh();
+            let o = sigmoid(o_blk[j]);
+            i_blk[j] = i;
+            f_blk[j] = f;
+            g_blk[j] = g;
+            o_blk[j] = o;
+            let cv = f * cp_row[j] + i * g;
+            let t = cv.tanh();
+            c_row[j] = cv;
+            tc_row[j] = t;
+            h_row[j] = o * t;
+        }
+    }
+}
+
+/// Fused backward gate sweep for one timestep.
+///
+/// Inputs are the cached forward activations (`gates` post-nonlinearity,
+/// `tc`, `c_prev`), the hidden gradient `dh` arriving at this step, and
+/// the running cell gradient `dc_in` from the step after. `dz` (the
+/// pre-activation gradient, `batch x 4*hidden`) and `dc_prev` are fully
+/// overwritten — callers reuse both buffers across timesteps.
+///
+/// # Panics
+///
+/// Panics (debug) on buffer length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gate_backward(
+    gates: &[f64],
+    tc: &[f64],
+    c_prev: &[f64],
+    dh: &[f64],
+    dc_in: &[f64],
+    dz: &mut [f64],
+    dc_prev: &mut [f64],
+    hidden: usize,
+) {
+    debug_assert_eq!(gates.len() % (4 * hidden), 0, "gates buffer shape");
+    debug_assert_eq!(tc.len() * 4, gates.len(), "tc buffer shape");
+    debug_assert_eq!(c_prev.len(), tc.len(), "c_prev buffer shape");
+    debug_assert_eq!(dh.len(), tc.len(), "dh buffer shape");
+    debug_assert_eq!(dc_in.len(), tc.len(), "dc_in buffer shape");
+    debug_assert_eq!(dz.len(), gates.len(), "dz buffer shape");
+    debug_assert_eq!(dc_prev.len(), tc.len(), "dc_prev buffer shape");
+    for (r, (g_row, dz_row)) in gates
+        .chunks_exact(4 * hidden)
+        .zip(dz.chunks_exact_mut(4 * hidden))
+        .enumerate()
+    {
+        let at = r * hidden;
+        let tc_row = &tc[at..at + hidden];
+        let cp_row = &c_prev[at..at + hidden];
+        let dh_row = &dh[at..at + hidden];
+        let dci_row = &dc_in[at..at + hidden];
+        let dcp_row = &mut dc_prev[at..at + hidden];
+        let (dz_ifg, dz_o) = dz_row.split_at_mut(3 * hidden);
+        let (dz_i, dz_fg) = dz_ifg.split_at_mut(hidden);
+        let (dz_f, dz_g) = dz_fg.split_at_mut(hidden);
+        for j in 0..hidden {
+            let i = g_row[j];
+            let f = g_row[hidden + j];
+            let g = g_row[2 * hidden + j];
+            let o = g_row[3 * hidden + j];
+            let t = tc_row[j];
+            let dhv = dh_row[j];
+
+            // h = o * tanh(c).
+            let d_o = dhv * t;
+            let mut dc = dci_row[j] + dhv * o * dtanh_from_output(t);
+
+            // c = f * c_prev + i * g.
+            let d_f = dc * cp_row[j];
+            let d_i = dc * g;
+            let d_g = dc * i;
+            dc *= f;
+            dcp_row[j] = dc;
+
+            dz_i[j] = d_i * dsigmoid_from_output(i);
+            dz_f[j] = d_f * dsigmoid_from_output(f);
+            dz_g[j] = d_g * dtanh_from_output(g);
+            dz_o[j] = d_o * dsigmoid_from_output(o);
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod adam;
 pub mod codec;
 pub mod gradcheck;
 pub mod init;
+pub mod kernel;
 pub mod linear;
 pub mod loss;
 pub mod lstm;

@@ -4,22 +4,51 @@
 //! The forward pass over a sequence caches every intermediate activation so
 //! [`Lstm::backward`] can run full BPTT; the stateful [`LstmState`] path
 //! supports one-job-at-a-time sampling during trace generation.
+//!
+//! # Kernel structure
+//!
+//! The training path runs on a packed, fused hot loop:
+//!
+//! - **Packed pre-activation GEMM.** Per layer, `w_ih` and `w_hh` are
+//!   stacked once per forward/backward call into `w_pack`
+//!   (`(in+hidden, 4*hidden)`), and each step's input and previous hidden
+//!   state are packed side by side into `xh = [x | h_prev]`. The two
+//!   pre-activation products collapse into one GEMM `xh · w_pack`, which
+//!   sums exactly the same terms in exactly the same ascending-`k` order
+//!   as `x·W_ih` followed by `+= h_prev·W_hh` — bit-identical output,
+//!   half the kernel launches, and one contiguous streaming operand.
+//! - **Fused gate kernel.** The gate nonlinearities, cell update,
+//!   `tanh(c)`, and `h = o∘tanh(c)` run in a single sweep
+//!   ([`crate::kernel::gate_forward`] / [`crate::kernel::gate_backward`])
+//!   instead of a nonlinearity pass plus three separately-allocated
+//!   elementwise passes per timestep.
+//! - **Scratch reuse in BPTT.** The backward sweep reuses one `dz`, one
+//!   `dxh`, one packed-gradient buffer, and two ping-ponged cell-gradient
+//!   buffers across all timesteps of a layer; the cached `c` of step
+//!   `t-1` serves as step `t`'s `c_prev` instead of a per-step clone.
+//!
+//! All of this is arithmetic-order-preserving: fused and unfused paths
+//! are byte-for-byte identical (pinned by the bit-identity tests below
+//! and by `cloudgen-sim`'s determinism suite).
 
 use crate::init::{lstm_bias, xavier_uniform};
+use crate::kernel::{gate_backward, gate_forward};
 use crate::param::Param;
-use linalg::numeric::{dsigmoid_from_output, dtanh_from_output, sigmoid};
 use linalg::Mat;
 use obsv::profile;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Approximate flops per hidden unit per batch row for the elementwise gate
-/// work in one forward step: four nonlinearities (~10 flops each as evaluated
-/// here) plus the cell update `c = f*c_prev + i*g`, `tanh(c)`, `h = o*tc`.
-const GATE_FWD_FLOPS_PER_UNIT: u64 = 56;
-/// Same for one backward step: derivative-from-output forms are cheap (a
-/// multiply or two each) but there are eight of them plus the chain sums.
-const GATE_BWD_FLOPS_PER_UNIT: u64 = 30;
+/// Flops per hidden unit per batch row for the fused forward gate sweep:
+/// five transcendental evaluations (sigmoid on i/f/o, tanh on g and on c,
+/// ~10 flops each as evaluated here), the cell update `c = f*c_prev + i*g`
+/// (3), and `h = o*tc` (1).
+const GATE_FWD_FLOPS_PER_UNIT: u64 = 54;
+/// Same for one backward step: `d_o = dh*tc` (1), `dtanh(tc)` (2),
+/// `dc = dc_in + dh*o*dtanh` (3), the three cell-rule products plus
+/// `dc *= f` (4), and four derivative-from-output chain products at 3
+/// flops each (12).
+const GATE_BWD_FLOPS_PER_UNIT: u64 = 22;
 
 /// One LSTM layer's parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,14 +63,14 @@ pub struct LstmLayer {
 }
 
 /// Cached activations for one layer at one time step.
+///
+/// The packed input `xh` doubles as the cache of both `x` and `h_prev`;
+/// the previous cell state is read from the *prior* step's cache (or a
+/// shared zero matrix at `t = 0`) rather than cloned per step.
 #[derive(Debug, Clone)]
 struct StepCache {
-    /// Layer input at this step, `(batch, in_dim)`.
-    x: Mat,
-    /// Previous hidden state, `(batch, hidden)`.
-    h_prev: Mat,
-    /// Previous cell state, `(batch, hidden)`.
-    c_prev: Mat,
+    /// Packed step input `[x | h_prev]`, `(batch, in_dim + hidden)`.
+    xh: Mat,
     /// Gate activations `[i, f, g, o]` packed as `(batch, 4*hidden)`.
     gates: Mat,
     /// New cell state, `(batch, hidden)`.
@@ -77,109 +106,85 @@ impl LstmLayer {
         }
     }
 
-    /// One forward step; returns `(h, cache)`.
-    fn step(&self, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, StepCache) {
+    fn in_dim(&self) -> usize {
+        self.w_ih.value.shape().0
+    }
+
+    /// Stacks `w_ih` over `w_hh` into one `(in_dim + hidden, 4*hidden)`
+    /// matrix so the step pre-activation becomes a single GEMM over the
+    /// packed input `[x | h_prev]`. Rebuilt once per forward/backward
+    /// call (the weights move every optimizer step) and amortized over
+    /// every timestep of the sequence.
+    fn packed_weights(&self) -> Mat {
+        let split = self.in_dim() * 4 * self.hidden;
+        let mut w = Mat::zeros(self.in_dim() + self.hidden, 4 * self.hidden);
+        w.as_mut_slice()[..split].copy_from_slice(self.w_ih.value.as_slice());
+        w.as_mut_slice()[split..].copy_from_slice(self.w_hh.value.as_slice());
+        w
+    }
+
+    /// One forward step on the packed path; returns `(h, cache)`.
+    fn step_fused(&self, w_pack: &Mat, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, StepCache) {
         let hidden = self.hidden;
         let batch = x.rows();
-        // Pre-activations: x·W_ih + h_prev·W_hh + b.
-        let mut z = x.matmul(&self.w_ih.value);
-        linalg::matrix::gemm_acc(&mut z, h_prev, &self.w_hh.value, 1.0);
-        z.add_row_broadcast(self.b.value.row(0));
+        let in_dim = x.cols();
 
-        // Apply gate nonlinearities in place: sigmoid on i/f/o, tanh on g.
-        let mut gates = z;
+        // Pack [x | h_prev]; the buffer is owned by the step cache, so
+        // the pack replaces the x/h_prev clones the cache used to make.
+        let mut xh = Mat::zeros(batch, in_dim + hidden);
         for r in 0..batch {
-            let row = gates.row_mut(r);
-            for (c, v) in row.iter_mut().enumerate() {
-                let block = c / hidden;
-                *v = if block == 2 { v.tanh() } else { sigmoid(*v) };
-            }
+            let row = xh.row_mut(r);
+            row[..in_dim].copy_from_slice(x.row(r));
+            row[in_dim..].copy_from_slice(h_prev.row(r));
         }
+
+        // Pre-activations: one fused GEMM in place of x·W_ih + h_prev·W_hh.
+        let mut gates = Mat::zeros(batch, 4 * hidden);
+        linalg::matrix::gemm_acc(&mut gates, &xh, w_pack, 1.0);
+        gates.add_row_broadcast(self.b.value.row(0));
 
         let mut c = Mat::zeros(batch, hidden);
         let mut tc = Mat::zeros(batch, hidden);
         let mut h = Mat::zeros(batch, hidden);
-        for r in 0..batch {
-            let g_row = gates.row(r);
-            for j in 0..hidden {
-                let i = g_row[j];
-                let f = g_row[hidden + j];
-                let g = g_row[2 * hidden + j];
-                let o = g_row[3 * hidden + j];
-                let cv = f * c_prev[(r, j)] + i * g;
-                let t = cv.tanh();
-                c[(r, j)] = cv;
-                tc[(r, j)] = t;
-                h[(r, j)] = o * t;
-            }
-        }
-        // The two GEMMs above account for themselves inside linalg; this
-        // covers the elementwise gate work.
+        gate_forward(
+            gates.as_mut_slice(),
+            c_prev.as_slice(),
+            c.as_mut_slice(),
+            tc.as_mut_slice(),
+            h.as_mut_slice(),
+            hidden,
+        );
+        // The GEMM accounts for itself inside linalg; this covers the
+        // fused elementwise gate sweep (5 reads + 7 writes per unit).
         profile::add_flops((batch * hidden) as u64 * GATE_FWD_FLOPS_PER_UNIT);
-        profile::add_bytes(((batch * hidden) * 7 * 8) as u64);
-        let cache = StepCache {
-            x: x.clone(),
-            h_prev: h_prev.clone(),
-            c_prev: c_prev.clone(),
-            gates,
-            c: c.clone(),
-            tc,
-        };
-        (h, cache)
+        profile::add_bytes(((batch * hidden) * 12 * 8) as u64);
+        (h, StepCache { xh, gates, c, tc })
     }
 
-    /// One backward step.
-    ///
-    /// `dh` is the gradient arriving at this step's hidden output (from the
-    /// layer above and/or the next time step); `dc` is the running cell-state
-    /// gradient from the next time step. Returns `(dx, dh_prev, dc_prev)` and
-    /// accumulates parameter gradients.
-    fn step_backward(&mut self, cache: &StepCache, dh: &Mat, dc_in: &Mat) -> (Mat, Mat, Mat) {
+    /// One forward step on the two-GEMM path (generation: tiny batches,
+    /// no cache, packing not amortized); returns `(h, c)`. Bit-identical
+    /// to [`LstmLayer::step_fused`] — the packed GEMM sums the same terms
+    /// in the same order.
+    fn step_unpacked(&self, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, Mat) {
         let hidden = self.hidden;
-        let batch = dh.rows();
-        let mut dz = Mat::zeros(batch, 4 * hidden);
-        let mut dc_prev = Mat::zeros(batch, hidden);
-        for r in 0..batch {
-            let g_row = cache.gates.row(r);
-            for j in 0..hidden {
-                let i = g_row[j];
-                let f = g_row[hidden + j];
-                let g = g_row[2 * hidden + j];
-                let o = g_row[3 * hidden + j];
-                let tc = cache.tc[(r, j)];
-                let dhv = dh[(r, j)];
-
-                // h = o * tanh(c).
-                let d_o = dhv * tc;
-                let mut dc = dc_in[(r, j)] + dhv * o * dtanh_from_output(tc);
-
-                // c = f * c_prev + i * g.
-                let d_f = dc * cache.c_prev[(r, j)];
-                let d_i = dc * g;
-                let d_g = dc * i;
-                dc *= f;
-                dc_prev[(r, j)] = dc;
-
-                dz[(r, j)] = d_i * dsigmoid_from_output(i);
-                dz[(r, hidden + j)] = d_f * dsigmoid_from_output(f);
-                dz[(r, 2 * hidden + j)] = d_g * dtanh_from_output(g);
-                dz[(r, 3 * hidden + j)] = d_o * dsigmoid_from_output(o);
-            }
-        }
-
-        profile::add_flops((batch * hidden) as u64 * GATE_BWD_FLOPS_PER_UNIT);
-        profile::add_bytes(((batch * hidden) * 8 * 8) as u64);
-
-        // Parameter gradients.
-        self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(&dz));
-        self.w_hh.grad.axpy(1.0, &cache.h_prev.t_matmul(&dz));
-        let db = dz.col_sums();
-        linalg::matrix::axpy_slice(self.b.grad.row_mut(0), 1.0, &db);
-
-        // Input gradients.
-        let dx = dz.matmul_t(&self.w_ih.value);
-        let dh_prev = dz.matmul_t(&self.w_hh.value);
-        (dx, dh_prev, dc_prev)
+        let batch = x.rows();
+        let mut gates = x.matmul(&self.w_ih.value);
+        linalg::matrix::gemm_acc(&mut gates, h_prev, &self.w_hh.value, 1.0);
+        gates.add_row_broadcast(self.b.value.row(0));
+        let mut c = Mat::zeros(batch, hidden);
+        let mut tc = Mat::zeros(batch, hidden);
+        let mut h = Mat::zeros(batch, hidden);
+        gate_forward(
+            gates.as_mut_slice(),
+            c_prev.as_slice(),
+            c.as_mut_slice(),
+            tc.as_mut_slice(),
+            h.as_mut_slice(),
+            hidden,
+        );
+        profile::add_flops((batch * hidden) as u64 * GATE_FWD_FLOPS_PER_UNIT);
+        profile::add_bytes(((batch * hidden) * 12 * 8) as u64);
+        (h, c)
     }
 }
 
@@ -257,6 +262,8 @@ impl Lstm {
     pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, LstmCache) {
         let _prof = profile::span("lstm-fwd");
         let batch = xs.first().map_or(0, Mat::rows);
+        // Packed weights built once per call, reused across all timesteps.
+        let w_packs: Vec<Mat> = self.layers.iter().map(LstmLayer::packed_weights).collect();
         let mut caches: Vec<Vec<StepCache>> = self
             .layers
             .iter()
@@ -268,12 +275,13 @@ impl Lstm {
             assert_eq!(x.cols(), self.input_dim, "input width mismatch");
             assert_eq!(x.rows(), batch, "inconsistent batch size");
             // Layer 0 reads the borrowed input directly; layers above read the
-            // hidden output handed down by the layer below. No per-step clone
-            // of `x`, and the recurrent state buffers are recycled in place.
+            // hidden output handed down by the layer below. The recurrent
+            // state buffers are recycled in place; the only per-step
+            // allocations left are the buffers the BPTT cache must own.
             let mut below: Option<Mat> = None;
             for (l, layer) in self.layers.iter().enumerate() {
                 let layer_in = below.as_ref().unwrap_or(x);
-                let (h, cache) = layer.step(layer_in, &state.h[l], &state.c[l]);
+                let (h, cache) = layer.step_fused(&w_packs[l], layer_in, &state.h[l], &state.c[l]);
                 state.c[l].copy_from(&cache.c);
                 state.h[l].copy_from(&h);
                 // lint:allow(hot-loop-alloc): cache vec is pre-reserved to the sequence length
@@ -302,8 +310,8 @@ impl Lstm {
         assert_eq!(x.cols(), self.input_dim, "input width mismatch");
         let mut layer_in = x.clone();
         for (l, layer) in self.layers.iter().enumerate() {
-            let (h, cache) = layer.step(&layer_in, &state.h[l], &state.c[l]);
-            state.c[l] = cache.c;
+            let (h, c) = layer.step_unpacked(&layer_in, &state.h[l], &state.c[l]);
+            state.c[l] = c;
             state.h[l] = h.clone();
             layer_in = h;
         }
@@ -328,21 +336,87 @@ impl Lstm {
         // dh arriving at each step of the current layer from the layer above.
         let mut dh_above: Vec<Mat> = d_outputs.to_vec();
 
-        // Process layers top-down; within a layer, steps in reverse.
+        // Process layers top-down; within a layer, steps in reverse. All
+        // per-layer buffers below are scratch reused across every timestep
+        // of the sweep — the only per-step allocation is the returned dx.
         for (l, layer) in self.layers.iter_mut().enumerate().rev() {
-            let mut dh_next = Mat::zeros(batch, layer.hidden);
-            let mut dc_next = Mat::zeros(batch, layer.hidden);
+            let hidden = layer.hidden;
+            let in_dim = layer.in_dim();
+            let w_pack = layer.packed_weights();
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut dz = Mat::zeros(batch, 4 * hidden);
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut dxh = Mat::zeros(batch, in_dim + hidden);
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut g_pack = Mat::zeros(in_dim + hidden, 4 * hidden);
+            let mut db = vec![0.0; 4 * hidden];
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut dh_next = Mat::zeros(batch, hidden);
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut dc_next = Mat::zeros(batch, hidden);
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let mut dc_prev = Mat::zeros(batch, hidden);
+            // c_prev at t = 0 (the zero initial state).
+            // lint:allow(hot-loop-alloc): per-layer scratch, reused across all timesteps
+            let c0 = Mat::zeros(batch, hidden);
+            // lint:allow(hot-loop-alloc): zero-size placeholders, no heap allocation
             let mut dx_seq: Vec<Mat> = vec![Mat::zeros(0, 0); steps];
             for t in (0..steps).rev() {
+                let sc = &cache.caches[l][t];
                 // `dh_above[t]` is consumed exactly once per layer sweep, so
                 // steal the buffer instead of cloning it; the whole vec is
                 // replaced by `dx_seq` after the sweep.
+                // lint:allow(hot-loop-alloc): zero-size placeholder, no heap allocation
                 let mut dh = std::mem::replace(&mut dh_above[t], Mat::zeros(0, 0));
                 dh.axpy(1.0, &dh_next);
-                let (dx, dh_prev, dc_prev) =
-                    layer.step_backward(&cache.caches[l][t], &dh, &dc_next);
-                dh_next = dh_prev;
-                dc_next = dc_prev;
+                let c_prev = if t == 0 { &c0 } else { &cache.caches[l][t - 1].c };
+                gate_backward(
+                    sc.gates.as_slice(),
+                    sc.tc.as_slice(),
+                    c_prev.as_slice(),
+                    dh.as_slice(),
+                    dc_next.as_slice(),
+                    dz.as_mut_slice(),
+                    dc_prev.as_mut_slice(),
+                    hidden,
+                );
+                // dc_prev becomes the next (earlier) step's incoming dc.
+                std::mem::swap(&mut dc_next, &mut dc_prev);
+                profile::add_flops((batch * hidden) as u64 * GATE_BWD_FLOPS_PER_UNIT);
+                profile::add_bytes(((batch * hidden) * 12 * 8) as u64);
+
+                // Parameter gradients: one packed product xh^T·dz covers
+                // both weight matrices; rows [0, in_dim) land in w_ih.grad,
+                // the rest in w_hh.grad.
+                g_pack.fill_zero();
+                sc.xh.t_matmul_acc(&dz, &mut g_pack);
+                let split = in_dim * 4 * hidden;
+                linalg::matrix::axpy_slice(
+                    layer.w_ih.grad.as_mut_slice(),
+                    1.0,
+                    &g_pack.as_slice()[..split],
+                );
+                linalg::matrix::axpy_slice(
+                    layer.w_hh.grad.as_mut_slice(),
+                    1.0,
+                    &g_pack.as_slice()[split..],
+                );
+                db.fill(0.0);
+                for r in 0..batch {
+                    linalg::matrix::axpy_slice(&mut db, 1.0, dz.row(r));
+                }
+                linalg::matrix::axpy_slice(layer.b.grad.row_mut(0), 1.0, &db);
+
+                // Input gradients: [dx | dh_prev] from one packed GEMM
+                // against w_pack^T, then split.
+                dz.matmul_t_into(&w_pack, &mut dxh);
+                // lint:allow(hot-loop-alloc): dx is returned per step via dx_seq
+                let mut dx = Mat::zeros(batch, in_dim);
+                for r in 0..batch {
+                    let src = dxh.row(r);
+                    dx.row_mut(r).copy_from_slice(&src[..in_dim]);
+                    dh_next.row_mut(r).copy_from_slice(&src[in_dim..]);
+                }
                 dx_seq[t] = dx;
             }
             dh_above = dx_seq;
@@ -374,6 +448,7 @@ impl Lstm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use linalg::numeric::sigmoid;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -404,6 +479,137 @@ mod tests {
                 assert!((a - b).abs() < 1e-12, "step {t} diverges");
             }
         }
+    }
+
+    /// The pre-fusion forward pass, kept verbatim as the bit-exactness
+    /// oracle: separate `x·W_ih` and `h_prev·W_hh` GEMMs, an in-place
+    /// nonlinearity pass, then three elementwise passes for `c`, `tanh(c)`,
+    /// and `h`.
+    fn reference_forward(lstm: &Lstm, xs: &[Mat]) -> Vec<Mat> {
+        let batch = xs.first().map_or(0, Mat::rows);
+        let mut state = lstm.zero_state(batch);
+        let mut outputs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut layer_in = x.clone();
+            for (l, layer) in lstm.layers.iter().enumerate() {
+                let hidden = layer.hidden;
+                let mut gates = layer_in.matmul(&layer.w_ih.value);
+                linalg::matrix::gemm_acc(&mut gates, &state.h[l], &layer.w_hh.value, 1.0);
+                gates.add_row_broadcast(layer.b.value.row(0));
+                for r in 0..batch {
+                    for (col, v) in gates.row_mut(r).iter_mut().enumerate() {
+                        let block = col / hidden;
+                        *v = if block == 2 { v.tanh() } else { sigmoid(*v) };
+                    }
+                }
+                let mut c = Mat::zeros(batch, hidden);
+                let mut h = Mat::zeros(batch, hidden);
+                for r in 0..batch {
+                    for j in 0..hidden {
+                        let g_row = gates.row(r);
+                        let i = g_row[j];
+                        let f = g_row[hidden + j];
+                        let g = g_row[2 * hidden + j];
+                        let o = g_row[3 * hidden + j];
+                        let cv = f * state.c[l][(r, j)] + i * g;
+                        c[(r, j)] = cv;
+                        h[(r, j)] = o * cv.tanh();
+                    }
+                }
+                state.c[l] = c;
+                state.h[l] = h.clone();
+                layer_in = h;
+            }
+            outputs.push(layer_in);
+        }
+        outputs
+    }
+
+    #[test]
+    fn fused_forward_is_bit_identical_to_unfused_reference() {
+        for &batch in &[1usize, 7, 32] {
+            let lstm = Lstm::new(5, 6, 2, &mut rng(31));
+            let xs: Vec<Mat> = (0..4)
+                .map(|t| {
+                    Mat::from_fn(batch, 5, |r, c| {
+                        // Plant exact zeros so the GEMM zero-skip path runs.
+                        if (t + r + c) % 3 == 0 {
+                            0.0
+                        } else {
+                            ((t * 31 + r * 7 + c) as f64 * 0.23).sin()
+                        }
+                    })
+                })
+                .collect();
+            let (fused, _) = lstm.forward(&xs);
+            let reference = reference_forward(&lstm, &xs);
+            for (t, (a, b)) in fused.iter().zip(&reference).enumerate() {
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "batch {batch}, step {t}: fused {x} != reference {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_flop_accounting_is_exact() {
+        // One step, two layers: per layer the packed GEMM accounts
+        // 2·b·4h·(in+h) and the gate sweep b·h·GATE_FWD_FLOPS_PER_UNIT.
+        let (b, h, ind) = (2u64, 4u64, 3u64);
+        let lstm = Lstm::new(ind as usize, h as usize, 2, &mut rng(32));
+        let xs = [Mat::filled(b as usize, ind as usize, 0.1)];
+        let prof = profile::Profiler::new();
+        {
+            let _lane = prof.activate("test");
+            let _ = lstm.forward(&xs);
+        }
+        let spans = prof.spans();
+        let fwd = spans
+            .iter()
+            .find(|s| s.name == "lstm-fwd")
+            .expect("lstm-fwd span recorded");
+        let expected: u64 = [ind, h]
+            .iter()
+            .map(|&l_in| 2 * b * (4 * h) * (l_in + h) + b * h * GATE_FWD_FLOPS_PER_UNIT)
+            .sum();
+        assert_eq!(fwd.flops, expected, "forward flop accounting drifted");
+    }
+
+    #[test]
+    fn backward_flop_accounting_is_exact() {
+        let (b, h, ind, steps) = (2u64, 4u64, 3u64, 2usize);
+        let mut lstm = Lstm::new(ind as usize, h as usize, 1, &mut rng(33));
+        let xs: Vec<Mat> = (0..steps)
+            .map(|_| Mat::filled(b as usize, ind as usize, 0.1))
+            .collect();
+        let (out, cache) = lstm.forward(&xs);
+        let d_out: Vec<Mat> = out
+            .iter()
+            .map(|o| Mat::filled(o.rows(), o.cols(), 1.0))
+            .collect();
+        let prof = profile::Profiler::new();
+        {
+            let _lane = prof.activate("test");
+            let _ = lstm.backward(&cache, &d_out);
+        }
+        let spans = prof.spans();
+        let bwd = spans
+            .iter()
+            .find(|s| s.name == "lstm-bwd")
+            .expect("lstm-bwd span recorded");
+        // Per step: gate sweep b·h·GATE_BWD, packed grad GEMM
+        // 2·(in+h)·4h·b, packed input-grad GEMM 2·b·(in+h)·4h.
+        let per_step =
+            b * h * GATE_BWD_FLOPS_PER_UNIT + 2 * 2 * b * (ind + h) * (4 * h);
+        assert_eq!(
+            bwd.flops,
+            per_step * steps as u64,
+            "backward flop accounting drifted"
+        );
     }
 
     #[test]

@@ -68,19 +68,22 @@ impl RnnLayer {
         (z, cache)
     }
 
-    fn step_backward(&mut self, cache: &StepCache, dh: &Mat) -> (Mat, Mat) {
+    /// One backward step. `dz` and `dh_prev` are caller-owned scratch
+    /// buffers reused across the whole layer sweep; both are fully
+    /// overwritten. Returns `dx` (the only per-step allocation).
+    fn step_backward(&mut self, cache: &StepCache, dh: &Mat, dz: &mut Mat, dh_prev: &mut Mat) -> Mat {
         // dz = dh ⊙ (1 - h^2).
-        let mut dz = dh.clone();
+        dz.copy_from(dh);
         for (d, &h) in dz.as_mut_slice().iter_mut().zip(cache.h.as_slice()) {
             *d *= dtanh_from_output(h);
         }
-        self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(&dz));
-        self.w_hh.grad.axpy(1.0, &cache.h_prev.t_matmul(&dz));
+        self.w_ih.grad.axpy(1.0, &cache.x.t_matmul(dz));
+        self.w_hh.grad.axpy(1.0, &cache.h_prev.t_matmul(dz));
         let db = dz.col_sums();
         linalg::matrix::axpy_slice(self.b.grad.row_mut(0), 1.0, &db);
         let dx = dz.matmul_t(&self.w_ih.value);
-        let dh_prev = dz.matmul_t(&self.w_hh.value);
-        (dx, dh_prev)
+        dz.matmul_t_into(&self.w_hh.value, dh_prev);
+        dx
     }
 }
 
@@ -171,12 +174,16 @@ impl Rnn {
         let mut dh_above: Vec<Mat> = d_outputs.to_vec();
         for (l, layer) in self.layers.iter_mut().enumerate().rev() {
             let mut dh_next = Mat::zeros(batch, layer.hidden);
+            let mut dh_prev = Mat::zeros(batch, layer.hidden);
+            let mut dz = Mat::zeros(batch, layer.hidden);
             let mut dx_seq: Vec<Mat> = vec![Mat::zeros(0, 0); steps];
             for t in (0..steps).rev() {
-                let mut dh = dh_above[t].clone();
+                // Steal the buffer: each dh_above[t] is consumed exactly
+                // once per layer sweep, and the vec is replaced below.
+                let mut dh = std::mem::replace(&mut dh_above[t], Mat::zeros(0, 0));
                 dh.axpy(1.0, &dh_next);
-                let (dx, dh_prev) = layer.step_backward(&cache.caches[l][t], &dh);
-                dh_next = dh_prev;
+                let dx = layer.step_backward(&cache.caches[l][t], &dh, &mut dz, &mut dh_prev);
+                std::mem::swap(&mut dh_next, &mut dh_prev);
                 dx_seq[t] = dx;
             }
             dh_above = dx_seq;

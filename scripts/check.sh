@@ -9,6 +9,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -p linalg --no-default-features (scalar kernel oracle)"
+# The simd feature (on by default) selects the lane-unrolled kernels in
+# crates/linalg/src/kernel.rs; this leg runs the whole linalg suite on
+# the scalar reference kernels so both sides of the bit-identity
+# contract stay green on their own.
+cargo test -q -p linalg --no-default-features
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -45,6 +52,15 @@ echo "==> continuous bench harness smoke (writes BENCH_pr6.json + compare gate)"
 # Against a stored baseline: cloudgen-bench compare BASELINE.json BENCH_pr6.json
 cargo run --release -p bench --bin cloudgen-bench -- run --quick --out BENCH_pr6.json
 cargo run --release -p bench --bin cloudgen-bench -- compare BENCH_pr6.json BENCH_pr6.json
+
+echo "==> kernel regression gate (quick run vs BENCH_pr9.json baseline)"
+# PR 9: the fused-kernel before/after baseline pins single-thread medians
+# for gemm / lstm-fwd / lstm-bwd. A fresh quick run may not regress any of
+# them by more than 10% plus the 3x-MAD noise slack. Machines differ; if a
+# slower host trips this legitimately, re-record the baseline with
+# `cloudgen-bench run` and commit the new BENCH_pr9.json alongside the
+# change that explains it.
+cargo run --release -p bench --bin cloudgen-bench -- compare BENCH_pr9.json BENCH_pr6.json --threshold 0.10
 
 echo "==> serving layer fault storm (writes BENCH_serve.json)"
 # PR 8: loadgen storms a live cloudgen-serve with 16 concurrent clients
