@@ -270,6 +270,7 @@ impl TraceGenerator {
     /// does not generate real user ids, §2). LSTM state persists across
     /// periods within one call, letting momentum carry over period
     /// boundaries.
+    // lint:allow(memory-contract): returns one in-memory Trace by design, bounded by n_periods x max_jobs_per_period jobs for the window the caller picks; streaming shard output is ROADMAP item 2
     pub fn generate(
         &self,
         first_period: u64,
@@ -287,6 +288,7 @@ impl TraceGenerator {
     /// Degradation is unbounded here (the budget is effectively infinite);
     /// use [`TraceGenerator::try_generate_recorded`] to enforce
     /// [`GeneratorConfig::max_fallback_batches`].
+    // lint:allow(memory-contract): returns one in-memory Trace by design, bounded by n_periods x max_jobs_per_period jobs for the window the caller picks; streaming shard output is ROADMAP item 2
     pub fn generate_recorded(
         &self,
         first_period: u64,
@@ -312,6 +314,7 @@ impl TraceGenerator {
     /// [`GenerateError::FallbackBudgetExhausted`] when the LSTMs emit
     /// non-finite output so often that the budget runs out — the trace so
     /// far is discarded because it would no longer be a model sample.
+    // lint:allow(memory-contract): returns one in-memory Trace by design, bounded by n_periods x max_jobs_per_period jobs for the window the caller picks; streaming shard output is ROADMAP item 2
     pub fn try_generate_recorded(
         &self,
         first_period: u64,
@@ -340,6 +343,7 @@ impl TraceGenerator {
     ///
     /// [`GenerateError::FallbackBudgetExhausted`],
     /// [`GenerateError::DeadlineExceeded`], or [`GenerateError::Cancelled`].
+    // lint:allow(memory-contract): returns one in-memory Trace by design, bounded by n_periods x max_jobs_per_period jobs for the window the caller picks; streaming shard output is ROADMAP item 2
     pub fn try_generate_bounded(
         &self,
         first_period: u64,
@@ -363,6 +367,7 @@ impl TraceGenerator {
     /// Deterministic data-parallel generation; see
     /// [`TraceGenerator::try_generate_par_recorded`] for the contract.
     /// Degradation is unbounded, mirroring [`TraceGenerator::generate`].
+    // lint:allow(memory-contract): concatenates per-shard job vectors into one in-memory Trace, bounded by n_periods x max_jobs_per_period jobs total across shards; streaming shard output is ROADMAP item 2
     pub fn generate_par(
         &self,
         first_period: u64,
@@ -415,6 +420,7 @@ impl TraceGenerator {
     /// [`GeneratorConfig::max_fallback_batches`] fallback batches; shard
     /// errors surface in shard order, so failures are as deterministic
     /// as successes.
+    // lint:allow(memory-contract): concatenates per-shard job vectors into one in-memory Trace, bounded by n_periods x max_jobs_per_period jobs total across shards; streaming shard output is ROADMAP item 2
     pub fn try_generate_par_recorded(
         &self,
         first_period: u64,
@@ -448,6 +454,7 @@ impl TraceGenerator {
     /// when shards fail differently, the winner is resolved in shard order
     /// so failures are as deterministic as the timing allows.
     #[allow(clippy::too_many_arguments)]
+    // lint:allow(memory-contract): concatenates per-shard job vectors into one in-memory Trace, bounded by n_periods x max_jobs_per_period jobs total across shards; streaming shard output is ROADMAP item 2
     pub fn try_generate_par_bounded(
         &self,
         first_period: u64,
@@ -471,6 +478,7 @@ impl TraceGenerator {
     }
 
     #[allow(clippy::too_many_arguments)]
+    // lint:allow(memory-contract): the shard-join point: extends one jobs Vec with each shard's output, bounded by n_periods x max_jobs_per_period jobs total; streaming shard output is ROADMAP item 2
     fn generate_par_impl(
         &self,
         first_period: u64,
@@ -564,6 +572,7 @@ impl TraceGenerator {
     }
 
     #[allow(clippy::too_many_arguments)]
+    // lint:allow(memory-contract): accumulates the window's jobs before Trace assembly, bounded by n_periods x max_jobs_per_period jobs; streaming shard output is ROADMAP item 2
     fn generate_impl(
         &self,
         first_period: u64,
@@ -590,6 +599,7 @@ impl TraceGenerator {
     /// [`GeneratorConfig::doh_per_trace`] is set); `None` preserves the
     /// sequential path's draw order exactly.
     #[allow(clippy::too_many_arguments)]
+    // lint:allow(memory-contract): the allocation site itself: pushes one Job per emission into the span's jobs Vec, capped at max_jobs_per_period per period x n_periods periods; streaming shard output is ROADMAP item 2
     fn generate_span(
         &self,
         first_period: u64,
@@ -801,6 +811,7 @@ impl TraceGenerator {
 
     /// Generates a trace and right-censors it at the end of the generated
     /// window (so generated and real test traces are comparable).
+    // lint:allow(memory-contract): returns one in-memory Trace by design, bounded by n_periods x max_jobs_per_period jobs for the window the caller picks; streaming shard output is ROADMAP item 2
     pub fn generate_censored(
         &self,
         first_period: u64,

@@ -1,0 +1,946 @@
+//! Interprocedural allocation-flow analysis (`cloudgen-lint memory`).
+//!
+//! ROADMAP item 2 commits the workspace to generating and packing a
+//! 2M-VM, 30-day `azure_like` world **in bounded memory** — but nothing in
+//! the effect lattice distinguishes a 64-byte scratch `Vec` from a
+//! `.collect()` that materializes a month of trace events. This module
+//! adds the missing axis: every function gets an *allocation summary* —
+//! its worst **growth class** plus the sites that produce it — and the
+//! summaries are propagated to a fixpoint over the call-graph SCCs exactly
+//! like effects, so "this path streams, it never materializes" becomes a
+//! checkable contract (`[[memory]]` tables in `lint-contracts.toml`)
+//! instead of a comment.
+//!
+//! ## The growth-class lattice
+//!
+//! Ordered, join = max; each class names how a function's retained
+//! allocation scales:
+//!
+//! | class | meaning |
+//! |-------|---------|
+//! | `const` | fixed size, independent of input (empty `Vec::new`, `format!`, literal `vec!`) |
+//! | `capacity-bounded` | growth into a reservation named at construction (`with_capacity`, `.reserve`) or discharged by a reasoned `lint:allow(hot-loop-alloc)` naming the bound |
+//! | `param-bounded` | proportional to one input's size (`.collect()`, `.to_vec()`, `Mat::zeros(r, c)`) — one batch, one shard, one matrix |
+//! | `loop-linear` | grows per loop iteration with no visible reservation (`.push()` in a `for` body), or slurps a whole input (`read_to_string`/`read_to_end`) |
+//! | `unbounded-escape` | loop-linear growth that *escapes* the function — returned, pushed into a `&mut` out-param, or stored in `self` — i.e. accumulation the caller inherits |
+//!
+//! ## Approximations (deliberate, like the call graph's)
+//!
+//! The analysis is token-level: it does not track types or aliases.
+//! Receivers resolve through field/index chains to a base identifier
+//! (`out.rows[i].push(..)` → `out`); a constructor's owner is the `let`
+//! binding opening its statement; escape is decided by a small intra-
+//! function heuristic (`&mut` parameters, `self.` receivers, identifiers
+//! in `return`/`Ok`/`Some`/`Err` payloads or the body's tail expression).
+//! A site with loop growth and *no* identifiable owner is conservatively
+//! treated as escaping. Propagation is context-insensitive: a callee's
+//! class is joined into the caller as-is, so calling a `loop-linear`
+//! helper from inside another loop does not escalate further — contracts
+//! pick thresholds with that in mind. All of this over-approximates in
+//! the strict direction: the gate can demand an annotation for code that
+//! is actually fine, never the reverse silently.
+//!
+//! ## Absorbers
+//!
+//! An `[[absorber]]` scope in the contract file is a sanctioned
+//! materialization point: calls *into* it contribute nothing to the
+//! caller's class (the caller opted into materializing by calling it),
+//! while the absorber's own summary stays truthful — the same masking
+//! semantics as effect barriers.
+
+use std::collections::VecDeque;
+
+use crate::contracts::ContractsFile;
+use crate::effects::allowed;
+use crate::graph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::scan::FileCtx;
+use crate::tree::NodeKind;
+
+/// A retained-allocation growth class. Ordered: join is `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Growth {
+    /// Fixed size, independent of input.
+    Const = 0,
+    /// Bounded by a reservation named at construction (or an audited
+    /// `lint:allow(hot-loop-alloc)` naming the bound).
+    CapacityBounded = 1,
+    /// Proportional to one input's size (one batch / shard / matrix).
+    ParamBounded = 2,
+    /// Grows per loop iteration, or slurps a whole input, without escaping.
+    LoopLinear = 3,
+    /// Loop-linear growth that escapes the function.
+    UnboundedEscape = 4,
+}
+
+/// Growth classes with their contract-file names, lattice order.
+pub const GROWTH_NAMES: &[(Growth, &str)] = &[
+    (Growth::Const, "const"),
+    (Growth::CapacityBounded, "capacity-bounded"),
+    (Growth::ParamBounded, "param-bounded"),
+    (Growth::LoopLinear, "loop-linear"),
+    (Growth::UnboundedEscape, "unbounded-escape"),
+];
+
+/// Parses one growth-class name (`"loop-linear"`).
+pub fn parse_growth(name: &str) -> Option<Growth> {
+    GROWTH_NAMES.iter().find(|(_, n)| *n == name).map(|(g, _)| *g)
+}
+
+/// Renders a growth class as its contract-file name.
+pub fn growth_name(g: Growth) -> &'static str {
+    GROWTH_NAMES
+        .iter()
+        .find(|(c, _)| *c == g)
+        .map(|(_, n)| *n)
+        .expect("every Growth variant is named")
+}
+
+/// One allocation or growth site in a fn body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// 1-based line.
+    pub line: u32,
+    /// What allocates: `.push()`, `.collect()`, `Mat::zeros()`, ...
+    pub what: String,
+    /// The site's growth class after loop/escape/discharge adjustment.
+    pub growth: Growth,
+    /// True when the site sits inside a loop body of its own fn.
+    pub in_loop: bool,
+    /// True when the grown value escapes the fn (heuristic).
+    pub escapes: bool,
+}
+
+/// Intrinsic (own-body) allocation summary for one fn.
+#[derive(Debug, Clone, Default)]
+pub struct AllocSummary {
+    /// Worst site class; `None` growth fields default to `Const`.
+    pub growth: Growth,
+    /// Every recorded site, token order.
+    pub sites: Vec<AllocSite>,
+}
+
+impl Default for Growth {
+    fn default() -> Self {
+        Growth::Const
+    }
+}
+
+impl AllocSummary {
+    /// The first site achieving the summary's growth class.
+    pub fn worst_site(&self) -> Option<&AllocSite> {
+        self.sites.iter().find(|s| s.growth == self.growth)
+    }
+}
+
+fn ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Marks loop-body token ranges inside `open..close`, exactly as R13 does:
+/// `for`/`while`/`loop` keyword → the `{` at paren/bracket depth 0 → its
+/// matching `}`. Loop *headers* (the iterator expression) stay unmarked.
+fn loop_body_mask(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    own: &dyn Fn(usize) -> bool,
+) -> Vec<bool> {
+    let mut in_loop = vec![false; close + 1];
+    for j in open..close {
+        if !own(j) || !(ident(&toks[j], "for") || ident(&toks[j], "while") || ident(&toks[j], "loop"))
+        {
+            continue;
+        }
+        let mut k = j + 1;
+        let mut depth = 0i32;
+        let mut body_open = None;
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(bo) = body_open else {
+            continue;
+        };
+        let mut brace_depth = 0i32;
+        let mut k = bo;
+        while k < toks.len() {
+            let t = &toks[k];
+            if punct(t, "{") {
+                brace_depth += 1;
+            } else if punct(t, "}") {
+                brace_depth -= 1;
+                if brace_depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let body_close = k.min(close);
+        for flag in in_loop.iter_mut().take(body_close).skip(bo + 1) {
+            *flag = true;
+        }
+    }
+    in_loop
+}
+
+/// Walks a method receiver backwards from the `.` before the method name,
+/// through field chains and index groups (`out.rows[i].push` → `out`),
+/// returning the base identifier. `None` when the receiver is not an
+/// identifier chain (a temporary: `make().push(..)`).
+fn receiver_base(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut m = dot.checked_sub(1)?;
+    loop {
+        let t = &toks[m];
+        if punct(t, "]") {
+            // Skip the index group to its matching `[`.
+            let mut depth = 0i32;
+            loop {
+                let t = &toks[m];
+                if punct(t, "]") {
+                    depth += 1;
+                } else if punct(t, "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m = m.checked_sub(1)?;
+            }
+            m = m.checked_sub(1)?;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if m >= 1 && punct(&toks[m - 1], ".") {
+                m = m.checked_sub(2)?;
+                continue;
+            }
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+}
+
+/// Finds the `let [mut] <ident>` opening the statement containing token
+/// `site`: scans back to the nearest `;`/`{`/`}` and reads forward.
+fn let_owner(toks: &[Tok], site: usize, open: usize) -> Option<String> {
+    let mut m = site;
+    while m > open {
+        let t = &toks[m - 1];
+        if punct(t, ";") || punct(t, "{") || punct(t, "}") {
+            break;
+        }
+        m -= 1;
+    }
+    if !ident(&toks[m], "let") {
+        return None;
+    }
+    let mut k = m + 1;
+    if ident(&toks[k], "mut") {
+        k += 1;
+    }
+    (toks[k].kind == TokKind::Ident).then(|| toks[k].text.clone())
+}
+
+/// True when the paren/bracket group opening at `start` (the `(`/`[`/`{`
+/// token) contains any identifier before its matching close — i.e. the
+/// size is an expression, not a literal.
+fn group_has_ident(toks: &[Tok], start: usize) -> bool {
+    let open = toks[start].text.as_str();
+    let close = match open {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        _ => return false,
+    };
+    let mut depth = 0i32;
+    let mut k = start;
+    while k < toks.len() {
+        let t = &toks[k];
+        if punct(t, open) {
+            depth += 1;
+        } else if punct(t, close) {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.kind == TokKind::Ident {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Collects the identifiers the escape heuristic treats as leaving the fn:
+/// `&mut` parameters from the signature, payload identifiers of
+/// `return`/`Ok(..)`/`Some(..)`/`Err(..)`, and the body's tail expression.
+/// Field names (after `.`), call names (before `(`), and path heads
+/// (before `::`) are skipped.
+fn escape_idents(
+    toks: &[Tok],
+    sig_start: usize,
+    open: usize,
+    close: usize,
+    own: &dyn Fn(usize) -> bool,
+) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+
+    // &mut parameters: `name : & ['a] mut` in the signature.
+    for k in sig_start..open {
+        if toks[k].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(colon) = toks.get(k + 1) else { continue };
+        if !punct(colon, ":") {
+            continue;
+        }
+        let mut m = k + 2;
+        if matches!(toks.get(m), Some(t) if punct(t, "&")) {
+            m += 1;
+            if matches!(toks.get(m), Some(t) if t.kind == TokKind::Lifetime) {
+                m += 1;
+            }
+            if matches!(toks.get(m), Some(t) if ident(t, "mut")) {
+                out.push(toks[k].text.clone());
+            }
+        }
+    }
+
+    let mut push = |toks: &[Tok], k: usize| {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            return;
+        }
+        if k >= 1 && punct(&toks[k - 1], ".") {
+            return; // field access: the base escapes, not the field name
+        }
+        if matches!(toks.get(k + 1), Some(n) if punct(n, "(") || punct(n, "::")) {
+            return; // call or path, not a binding
+        }
+        out.push(t.text.clone());
+    };
+
+    for k in open + 1..close {
+        if !own(k) {
+            continue;
+        }
+        let t = &toks[k];
+        // `return <expr...>` up to `;`: every plain ident in the expression.
+        if ident(t, "return") {
+            let mut m = k + 1;
+            while m < close && !punct(&toks[m], ";") {
+                push(toks, m);
+                m += 1;
+            }
+        }
+        // `Ok(..)` / `Some(..)` / `Err(..)` payloads.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "Ok" | "Some" | "Err")
+            && matches!(toks.get(k + 1), Some(n) if punct(n, "("))
+        {
+            let mut depth = 0i32;
+            let mut m = k + 1;
+            while m < close {
+                if punct(&toks[m], "(") {
+                    depth += 1;
+                } else if punct(&toks[m], ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push(toks, m);
+                }
+                m += 1;
+            }
+        }
+    }
+
+    // Tail expression: an ident (or parenthesized group) just before the
+    // closing brace.
+    if close > open + 1 {
+        let last = close - 1;
+        if toks[last].kind == TokKind::Ident {
+            push(toks, last);
+        } else if punct(&toks[last], ")") {
+            let mut depth = 0i32;
+            let mut m = last;
+            loop {
+                if punct(&toks[m], ")") {
+                    depth += 1;
+                } else if punct(&toks[m], "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push(toks, m);
+                }
+                if m == open {
+                    break;
+                }
+                m -= 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the allocation summary for every fn in the graph, fn-id order.
+/// Sites covered by a live, reasoned `lint:allow(hot-loop-alloc)` are
+/// *discharged* to `capacity-bounded`: the annotation names the bound
+/// (R13's audit), so the interprocedural pass trusts it instead of
+/// re-reporting the site.
+pub fn intrinsic_allocs(g: &CallGraph, files: &[FileCtx]) -> Vec<AllocSummary> {
+    g.fns
+        .iter()
+        .map(|meta| {
+            let ctx = &files[meta.file_idx];
+            let node = &ctx.tree.nodes[meta.node_idx];
+            let Some((open, close)) = node.body else {
+                return AllocSummary::default();
+            };
+            summarize_fn(ctx, node.start, open, close)
+        })
+        .collect()
+}
+
+/// Summarizes one fn body (token range semantics as in [`crate::effects`]).
+fn summarize_fn(ctx: &FileCtx, fn_start: usize, open: usize, close: usize) -> AllocSummary {
+    let toks = &ctx.toks;
+    let own = |j: usize| ctx.tree.enclosing(j, NodeKind::Fn).map(|f| f.start) == Some(fn_start);
+    let in_loop = loop_body_mask(toks, open, close, &own);
+    let escapes = escape_idents(toks, fn_start, open, close, &own);
+    let escapes_ident = |id: &Option<String>| match id {
+        Some(name) => name == "self" || escapes.iter().any(|e| e == name),
+        // Loop growth with no identifiable owner (a temporary in return
+        // position, a chained call) is conservatively treated as escaping.
+        None => true,
+    };
+
+    // Pass 1: receivers with a visible reservation (`with_capacity` let
+    // binding or a `.reserve()` call) — growth into them is
+    // capacity-bounded, the idiom R13's paydowns annotate.
+    let mut reserved: Vec<String> = Vec::new();
+    for j in open + 1..close {
+        if !own(j) || ctx.in_test[j] || toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[j].text.as_str();
+        if name == "with_capacity" && matches!(toks.get(j + 1), Some(n) if punct(n, "(")) {
+            if let Some(owner) = let_owner(toks, j, open) {
+                reserved.push(owner);
+            }
+        }
+        if matches!(name, "reserve" | "reserve_exact")
+            && j >= 1
+            && punct(&toks[j - 1], ".")
+            && matches!(toks.get(j + 1), Some(n) if punct(n, "("))
+        {
+            if let Some(base) = receiver_base(toks, j - 1) {
+                reserved.push(base);
+            }
+        }
+    }
+
+    // Pass 2: allocation and growth sites.
+    let mut out = AllocSummary::default();
+    for j in open + 1..close {
+        if !own(j) || ctx.in_test[j] || toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[j];
+        let name = t.text.as_str();
+        let next_is = |p: &str| matches!(toks.get(j + 1), Some(n) if punct(n, p));
+        let prev_dot = j >= 1 && punct(&toks[j - 1], ".");
+        let looped = in_loop.get(j).copied().unwrap_or(false);
+
+        // (what, base class, owner ident, is growth-or-slurp)
+        let site: Option<(String, Growth, Option<String>, bool)> = if matches!(name, "Vec" | "String")
+            && next_is("::")
+            && matches!(toks.get(j + 2), Some(n) if n.kind == TokKind::Ident)
+        {
+            let ctor = toks[j + 2].text.as_str();
+            match ctor {
+                "new" => Some((
+                    format!("{name}::new()"),
+                    Growth::Const,
+                    let_owner(toks, j, open),
+                    false,
+                )),
+                "with_capacity" => {
+                    // Literal capacity is const; an expression names a bound.
+                    let lit = matches!(toks.get(j + 4), Some(n) if n.kind == TokKind::Int)
+                        && matches!(toks.get(j + 5), Some(n) if punct(n, ")"));
+                    Some((
+                        format!("{name}::with_capacity()"),
+                        if lit { Growth::Const } else { Growth::CapacityBounded },
+                        let_owner(toks, j, open),
+                        false,
+                    ))
+                }
+                _ => None,
+            }
+        } else if name == "Mat"
+            && next_is("::")
+            && matches!(toks.get(j + 2),
+                Some(n) if matches!(n.text.as_str(), "zeros" | "filled" | "from_fn"))
+        {
+            let g = if matches!(toks.get(j + 3), Some(n) if punct(n, "("))
+                && group_has_ident(toks, j + 3)
+            {
+                Growth::ParamBounded
+            } else {
+                Growth::Const
+            };
+            Some((
+                format!("Mat::{}()", toks[j + 2].text),
+                g,
+                let_owner(toks, j, open),
+                false,
+            ))
+        } else if name == "vec" && next_is("!") {
+            let g = if matches!(toks.get(j + 2), Some(n) if punct(n, "[") || punct(n, "("))
+                && group_has_ident(toks, j + 2)
+            {
+                Growth::ParamBounded
+            } else {
+                Growth::Const
+            };
+            Some(("vec![]".to_string(), g, let_owner(toks, j, open), false))
+        } else if name == "format" && next_is("!") {
+            Some(("format!".to_string(), Growth::Const, None, false))
+        } else if prev_dot && name == "collect" && (next_is("(") || next_is("::")) {
+            Some((
+                ".collect()".to_string(),
+                Growth::ParamBounded,
+                let_owner(toks, j, open),
+                false,
+            ))
+        } else if prev_dot && name == "to_vec" && next_is("(") {
+            Some((
+                ".to_vec()".to_string(),
+                Growth::ParamBounded,
+                let_owner(toks, j, open),
+                false,
+            ))
+        } else if prev_dot
+            && matches!(name, "push" | "extend" | "push_str" | "append")
+            && next_is("(")
+        {
+            Some((
+                format!(".{name}()"),
+                Growth::Const,
+                receiver_base(toks, j - 1),
+                true,
+            ))
+        } else if matches!(name, "read_to_string" | "read_to_end") && next_is("(") {
+            // Whole-input slurp: grows with the input, no declared cap. The
+            // buffer is the `&mut` argument (method form) or the let
+            // binding (fs:: form).
+            let mut owner = None;
+            if matches!(toks.get(j + 2), Some(n) if punct(n, "&"))
+                && matches!(toks.get(j + 3), Some(n) if ident(n, "mut"))
+                && matches!(toks.get(j + 4), Some(n) if n.kind == TokKind::Ident)
+            {
+                owner = Some(toks[j + 4].text.clone());
+            }
+            if owner.is_none() {
+                owner = let_owner(toks, j, open);
+            }
+            Some((format!("{name}()"), Growth::LoopLinear, owner, true))
+        } else {
+            None
+        };
+
+        let Some((what, base, owner, growth_op)) = site else {
+            continue;
+        };
+
+        let mut cls = base;
+        // Growth ops and slurps accumulate per iteration; constructors in a
+        // loop make transient per-iteration values whose retention shows up
+        // as a separate growth site.
+        if looped && growth_op {
+            cls = cls.max(Growth::LoopLinear);
+        }
+        if growth_op && cls >= Growth::LoopLinear {
+            if let Some(o) = &owner {
+                if reserved.iter().any(|r| r == o) {
+                    cls = Growth::CapacityBounded;
+                }
+            }
+        }
+        if cls >= Growth::LoopLinear && escapes_ident(&owner) {
+            cls = Growth::UnboundedEscape;
+        }
+        // R13 discharge: a live reasoned allow at the site names the bound.
+        if cls >= Growth::LoopLinear && allowed(ctx, "hot-loop-alloc", t.line) {
+            cls = Growth::CapacityBounded;
+        }
+        let escapes_flag = cls == Growth::UnboundedEscape;
+        out.growth = out.growth.max(cls);
+        out.sites.push(AllocSite {
+            line: t.line,
+            what,
+            growth: cls,
+            in_loop: looped,
+            escapes: escapes_flag,
+        });
+    }
+    out
+}
+
+/// Per-fn absorber flags: true when calls *into* this fn contribute
+/// nothing to the caller's growth class.
+pub fn absorber_masks(g: &CallGraph, contracts: &ContractsFile) -> Vec<bool> {
+    g.fns
+        .iter()
+        .map(|f| contracts.memory_absorbed_at(&f.path))
+        .collect()
+}
+
+/// Propagates growth classes to a transitive fixpoint over SCCs (join =
+/// max, sinks first — the same iterative Tarjan shape as
+/// [`crate::effects::propagate`]). Returns the transitive class per fn
+/// plus `(scc_count, largest_scc)`.
+pub fn propagate_growth(
+    g: &CallGraph,
+    intr: &[AllocSummary],
+    absorb: &[bool],
+) -> (Vec<Growth>, usize, usize) {
+    let n = g.fns.len();
+    let mut result: Vec<Growth> = intr.iter().map(|s| s.growth).collect();
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<u32>> = Vec::new();
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let callees = &g.callees[v as usize];
+            if *pos < callees.len() {
+                let w = callees[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    let largest = sccs.iter().map(Vec::len).max().unwrap_or(0);
+    for comp in &sccs {
+        let mut cls = Growth::Const;
+        for &m in comp {
+            cls = cls.max(intr[m as usize].growth);
+            for &c in &g.callees[m as usize] {
+                if !absorb[c as usize] {
+                    cls = cls.max(result[c as usize]);
+                }
+            }
+        }
+        for &m in comp {
+            result[m as usize] = cls;
+        }
+    }
+    (result, sccs.len(), largest)
+}
+
+/// Shortest call path (BFS over the absorber-masked graph) from `from` to
+/// a fn whose *intrinsic* growth reaches `target`. Returns fn ids, `from`
+/// first. The violating class is always achieved at some reachable fn's
+/// own body, so a path exists whenever `trans[from] >= target`.
+pub fn witness_growth(
+    g: &CallGraph,
+    intr: &[AllocSummary],
+    absorb: &[bool],
+    from: u32,
+    target: Growth,
+) -> Option<Vec<u32>> {
+    let n = g.fns.len();
+    let mut prev: Vec<u32> = vec![u32::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    seen[from as usize] = true;
+    while let Some(v) = queue.pop_front() {
+        if intr[v as usize].growth >= target {
+            let mut path = vec![v];
+            let mut cur = v;
+            while prev[cur as usize] != u32::MAX {
+                cur = prev[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in &g.callees[v as usize] {
+            if !seen[w as usize] && !absorb[w as usize] {
+                seen[w as usize] = true;
+                prev[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use crate::scan::{build_ctx, classify};
+
+    fn analyze(files: &[(&str, &str)]) -> (CallGraph, Vec<AllocSummary>, Vec<Growth>) {
+        let ctxs: Vec<_> = files
+            .iter()
+            .map(|(p, s)| build_ctx((*p).to_string(), classify(p).unwrap(), s))
+            .collect();
+        let g = build_graph(&ctxs);
+        let intr = intrinsic_allocs(&g, &ctxs);
+        let absorb = vec![false; g.fns.len()];
+        let (trans, _, _) = propagate_growth(&g, &intr, &absorb);
+        (g, intr, trans)
+    }
+
+    fn summary<'a>(
+        g: &CallGraph,
+        intr: &'a [AllocSummary],
+        path: &str,
+    ) -> &'a AllocSummary {
+        &intr[g.id_of(path).unwrap_or_else(|| panic!("`{path}` not indexed")) as usize]
+    }
+
+    fn class_of(g: &CallGraph, trans: &[Growth], path: &str) -> Growth {
+        trans[g.id_of(path).unwrap_or_else(|| panic!("`{path}` not indexed")) as usize]
+    }
+
+    #[test]
+    fn push_in_loop_returned_is_unbounded_escape() {
+        let src = "pub fn all(n: usize) -> Vec<u64> {\n\
+                   \x20   let mut out = Vec::new();\n\
+                   \x20   for i in 0..n { out.push(i as u64); }\n\
+                   \x20   out\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        let s = summary(&g, &intr, "core::a::all");
+        assert_eq!(s.growth, Growth::UnboundedEscape, "{s:?}");
+        let site = s.worst_site().unwrap();
+        assert_eq!(site.what, ".push()");
+        assert!(site.in_loop && site.escapes);
+    }
+
+    #[test]
+    fn push_in_loop_local_only_is_loop_linear() {
+        let src = "pub fn total(n: usize) -> u64 {\n\
+                   \x20   let mut tmp = Vec::new();\n\
+                   \x20   for i in 0..n { tmp.push(i as u64); }\n\
+                   \x20   tmp.len() as u64\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::total").growth, Growth::LoopLinear);
+    }
+
+    #[test]
+    fn push_into_mut_out_param_escapes() {
+        let src = "pub fn fill(n: usize, out: &mut Vec<u64>) {\n\
+                   \x20   for i in 0..n { out.push(i as u64); }\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::fill").growth, Growth::UnboundedEscape);
+    }
+
+    #[test]
+    fn push_into_self_field_escapes() {
+        let src = "pub struct Acc { xs: Vec<u64> }\n\
+                   impl Acc {\n\
+                   \x20   pub fn eat(&mut self, n: usize) {\n\
+                   \x20       for i in 0..n { self.xs.push(i as u64); }\n\
+                   \x20   }\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::Acc::eat").growth, Growth::UnboundedEscape);
+    }
+
+    #[test]
+    fn reserved_receiver_is_capacity_bounded() {
+        let src = "pub fn sized(n: usize) -> Vec<u64> {\n\
+                   \x20   let mut out = Vec::with_capacity(n);\n\
+                   \x20   for i in 0..n { out.push(i as u64); }\n\
+                   \x20   out\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::sized").growth, Growth::CapacityBounded);
+    }
+
+    #[test]
+    fn push_outside_loop_is_const() {
+        let src = "pub fn one() -> Vec<u64> { let mut v = Vec::new(); v.push(1); v }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::one").growth, Growth::Const);
+    }
+
+    #[test]
+    fn collect_is_param_bounded() {
+        let src = "pub fn copy(xs: &[u64]) -> Vec<u64> { xs.iter().copied().collect() }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(summary(&g, &intr, "core::a::copy").growth, Growth::ParamBounded);
+    }
+
+    #[test]
+    fn read_to_string_is_a_slurp() {
+        let src = "pub fn load(p: &str) -> std::io::Result<String> {\n\
+                   \x20   let s = std::fs::read_to_string(p)?;\n\
+                   \x20   Ok(s)\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/core/src/a.rs", src)]);
+        // The slurped buffer escapes via Ok(s).
+        assert_eq!(summary(&g, &intr, "core::a::load").growth, Growth::UnboundedEscape);
+    }
+
+    #[test]
+    fn growth_propagates_to_callers_and_absorbers_mask_it() {
+        let files = [
+            (
+                "crates/trace/src/io.rs",
+                "pub fn read_all(n: usize) -> Vec<u64> {\n\
+                 \x20   let mut out = Vec::new();\n\
+                 \x20   for i in 0..n { out.push(i as u64); }\n\
+                 \x20   out\n\
+                 }\n",
+            ),
+            (
+                "crates/core/src/gen.rs",
+                "use trace::io::read_all;\npub fn drive(n: usize) -> usize { read_all(n).len() }\n",
+            ),
+        ];
+        let (g, intr, trans) = analyze(&files);
+        assert_eq!(class_of(&g, &trans, "core::gen::drive"), Growth::UnboundedEscape);
+
+        // With trace::io::* declared an absorber, the caller is clean while
+        // the absorber's own summary stays truthful.
+        let toml = "[[absorber]]\nscope = [\"trace::io::*\"]\n\
+                    reason = \"sanctioned materialization point\"\n";
+        let cf = crate::contracts::parse(toml).unwrap();
+        let absorb = absorber_masks(&g, &cf);
+        let (trans, _, _) = propagate_growth(&g, &intr, &absorb);
+        assert_eq!(class_of(&g, &trans, "core::gen::drive"), Growth::Const);
+        assert_eq!(class_of(&g, &trans, "trace::io::read_all"), Growth::UnboundedEscape);
+    }
+
+    #[test]
+    fn witness_names_the_sink() {
+        let files = [(
+            "crates/core/src/a.rs",
+            "fn sink(n: usize) -> Vec<u64> {\n\
+             \x20   let mut out = Vec::new();\n\
+             \x20   for i in 0..n { out.push(i as u64); }\n\
+             \x20   out\n\
+             }\n\
+             fn mid(n: usize) -> usize { sink(n).len() }\n\
+             pub fn top(n: usize) -> usize { mid(n) }\n",
+        )];
+        let (g, intr, trans) = analyze(&files);
+        let top = g.id_of("core::a::top").unwrap();
+        assert_eq!(trans[top as usize], Growth::UnboundedEscape);
+        let absorb = vec![false; g.fns.len()];
+        let path = witness_growth(&g, &intr, &absorb, top, Growth::UnboundedEscape).unwrap();
+        let names: Vec<&str> = path.iter().map(|&i| g.fns[i as usize].name.as_str()).collect();
+        assert_eq!(names, vec!["top", "mid", "sink"]);
+    }
+
+    #[test]
+    fn hot_loop_alloc_allow_discharges_the_site() {
+        let src = "pub fn bookkeep(n: usize) -> Vec<u64> {\n\
+                   \x20   let mut out = Vec::new();\n\
+                   \x20   for i in 0..n {\n\
+                   \x20       // lint:allow(hot-loop-alloc): bounded by n <= threads\n\
+                   \x20       out.push(i as u64);\n\
+                   \x20   }\n\
+                   \x20   out\n\
+                   }\n";
+        let (g, intr, _) = analyze(&[("crates/linalg/src/a.rs", src)]);
+        assert_eq!(
+            summary(&g, &intr, "linalg::a::bookkeep").growth,
+            Growth::CapacityBounded
+        );
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let src = "fn a(n: usize, out: &mut Vec<u64>) { if n > 0 { b(n - 1, out); } }\n\
+                   fn b(n: usize, out: &mut Vec<u64>) {\n\
+                   \x20   for i in 0..n { out.push(i as u64); }\n\
+                   \x20   a(n, out);\n\
+                   }\n";
+        let (g, _, trans) = analyze(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(class_of(&g, &trans, "core::a::a"), Growth::UnboundedEscape);
+        assert_eq!(class_of(&g, &trans, "core::a::b"), Growth::UnboundedEscape);
+    }
+
+    #[test]
+    fn growth_name_roundtrip() {
+        for (g, name) in GROWTH_NAMES {
+            assert_eq!(parse_growth(name), Some(*g));
+            assert_eq!(growth_name(*g), *name);
+        }
+        assert_eq!(parse_growth("bounded"), None);
+        assert!(Growth::Const < Growth::UnboundedEscape);
+    }
+}

@@ -1,12 +1,13 @@
-//! Declared effect contracts (`lint-contracts.toml`).
+//! Declared effect and memory contracts (`lint-contracts.toml`).
 //!
 //! The contract file names the workspace's effect policy so the analyzer
-//! can enforce it transitively. Two table kinds, parsed from a deliberately
-//! small TOML subset (`[[contract]]` / `[[barrier]]` array-of-table
-//! headers; `key = "string"` and `key = ["array", "of", "strings"]` values;
-//! `#` comments) — the linter stays dependency-free, and the subset is
-//! validated strictly (unknown keys, unknown effect names, and malformed
-//! lines are hard errors so a typo cannot silently weaken the policy):
+//! can enforce it transitively. Four table kinds, parsed from a deliberately
+//! small TOML subset (`[[contract]]` / `[[barrier]]` / `[[memory]]` /
+//! `[[absorber]]` array-of-table headers; `key = "string"` and
+//! `key = ["array", "of", "strings"]` values; `#` comments) — the linter
+//! stays dependency-free, and the subset is validated strictly (unknown
+//! keys, unknown effect or growth-class names, and malformed lines are
+//! hard errors so a typo cannot silently weaken the policy):
 //!
 //! ```toml
 //! # Calls into obsv do not propagate time/io to callers.
@@ -38,7 +39,31 @@
 //! [`crate::effects`] for the masking semantics). Barriers are the reason
 //! "only `obsv` may reach `time`" can hold while every crate still times
 //! itself through `obsv::Stopwatch`.
+//!
+//! The memory-boundedness analogues (`cloudgen-lint memory`, see
+//! [`crate::alloc_flow`]):
+//!
+//! ```toml
+//! # read_csv materializes a whole trace on purpose; callers opted in.
+//! [[absorber]]
+//! scope = ["trace::io::read_csv"]
+//! reason = "batch loader for evaluation; streaming reader is ROADMAP 2"
+//!
+//! [[memory]]
+//! name = "streaming-bounded"
+//! scope = ["core::generator::*", "trace::io::*"]
+//! max = "loop-linear"
+//! ```
+//!
+//! A *memory* contract fails for every in-scope, non-excepted fn whose
+//! transitive growth class exceeds `max` (one of `const`,
+//! `capacity-bounded`, `param-bounded`, `loop-linear`,
+//! `unbounded-escape`); each failure is a `memory-contract` violation
+//! anchored at the fn definition line. An *absorber* is the memory-side
+//! barrier: calls into a matching fn contribute nothing to the caller's
+//! growth class, while the absorber's own summary stays truthful.
 
+use crate::alloc_flow::{parse_growth, Growth, GROWTH_NAMES};
 use crate::effects::{parse_effect, EffectSet, PANICS_ANNOTATED};
 
 /// One `[[contract]]` entry.
@@ -65,6 +90,28 @@ pub struct Barrier {
     pub reason: String,
 }
 
+/// One `[[memory]]` entry: a declared bound on transitive growth class.
+#[derive(Debug, Clone)]
+pub struct MemoryContract {
+    /// Contract name shown in reports.
+    pub name: String,
+    /// Scope patterns; a fn is in scope when any matches.
+    pub scope: Vec<String>,
+    /// Maximum permitted transitive growth class.
+    pub max: Growth,
+    /// Exception patterns; an in-scope fn matching any is skipped.
+    pub except: Vec<String>,
+}
+
+/// One `[[absorber]]` entry: a sanctioned materialization point.
+#[derive(Debug, Clone)]
+pub struct Absorber {
+    /// Scope patterns for the absorber fns.
+    pub scope: Vec<String>,
+    /// Why materializing here is sanctioned (required: audit point).
+    pub reason: String,
+}
+
 /// The parsed contract file.
 #[derive(Debug, Clone, Default)]
 pub struct ContractsFile {
@@ -72,6 +119,10 @@ pub struct ContractsFile {
     pub contracts: Vec<Contract>,
     /// Barriers in file order.
     pub barriers: Vec<Barrier>,
+    /// Memory contracts in file order.
+    pub memory: Vec<MemoryContract>,
+    /// Memory absorbers in file order.
+    pub absorbers: Vec<Absorber>,
 }
 
 impl ContractsFile {
@@ -81,6 +132,14 @@ impl ContractsFile {
             .iter()
             .filter(|b| b.scope.iter().any(|p| scope_matches(p, path)))
             .fold(0, |acc, b| acc | b.absorbs)
+    }
+
+    /// True when calls into a fn with this path contribute nothing to the
+    /// caller's growth class.
+    pub fn memory_absorbed_at(&self, path: &str) -> bool {
+        self.absorbers
+            .iter()
+            .any(|a| a.scope.iter().any(|p| scope_matches(p, path)))
     }
 }
 
@@ -173,6 +232,18 @@ enum Section {
         reason: Option<String>,
         line: usize,
     },
+    Memory {
+        name: Option<String>,
+        scope: Vec<String>,
+        max: Option<String>,
+        except: Vec<String>,
+        line: usize,
+    },
+    Absorber {
+        scope: Vec<String>,
+        reason: Option<String>,
+        line: usize,
+    },
 }
 
 fn finish(section: Section, out: &mut ContractsFile) -> Result<(), String> {
@@ -220,6 +291,48 @@ fn finish(section: Section, out: &mut ContractsFile) -> Result<(), String> {
                 reason,
             });
         }
+        Section::Memory {
+            name,
+            scope,
+            max,
+            except,
+            line,
+        } => {
+            let name =
+                name.ok_or_else(|| format!("line {line}: memory contract is missing `name`"))?;
+            if scope.is_empty() {
+                return Err(format!(
+                    "line {line}: memory contract `{name}` is missing `scope`"
+                ));
+            }
+            let max = max
+                .ok_or_else(|| format!("line {line}: memory contract `{name}` is missing `max`"))?;
+            let max = parse_growth(&max).ok_or_else(|| {
+                let known: Vec<&str> = GROWTH_NAMES.iter().map(|(_, n)| *n).collect();
+                format!(
+                    "line {line}: unknown growth class `{max}` (known: {})",
+                    known.join(", ")
+                )
+            })?;
+            out.memory.push(MemoryContract {
+                name,
+                scope,
+                max,
+                except,
+            });
+        }
+        Section::Absorber {
+            scope,
+            reason,
+            line,
+        } => {
+            if scope.is_empty() {
+                return Err(format!("line {line}: absorber is missing `scope`"));
+            }
+            let reason =
+                reason.ok_or_else(|| format!("line {line}: absorber is missing `reason`"))?;
+            out.absorbers.push(Absorber { scope, reason });
+        }
     }
     Ok(())
 }
@@ -263,9 +376,34 @@ pub fn parse(text: &str) -> Result<ContractsFile, String> {
             });
             continue;
         }
+        if line == "[[memory]]" {
+            if let Some(s) = section.take() {
+                finish(s, &mut out)?;
+            }
+            section = Some(Section::Memory {
+                name: None,
+                scope: Vec::new(),
+                max: None,
+                except: Vec::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line == "[[absorber]]" {
+            if let Some(s) = section.take() {
+                finish(s, &mut out)?;
+            }
+            section = Some(Section::Absorber {
+                scope: Vec::new(),
+                reason: None,
+                line: lineno,
+            });
+            continue;
+        }
         if line.starts_with('[') {
             return Err(format!(
-                "line {lineno}: only [[contract]] and [[barrier]] tables are supported"
+                "line {lineno}: only [[contract]], [[barrier]], [[memory]], and \
+                 [[absorber]] tables are supported"
             ));
         }
         let (key, value) = line
@@ -284,6 +422,12 @@ pub fn parse(text: &str) -> Result<ContractsFile, String> {
             (Section::Barrier { scope, .. }, "scope", Value::List(l)) => *scope = l,
             (Section::Barrier { absorbs, .. }, "absorbs", Value::List(l)) => *absorbs = l,
             (Section::Barrier { reason, .. }, "reason", Value::Str(s)) => *reason = Some(s),
+            (Section::Memory { name, .. }, "name", Value::Str(s)) => *name = Some(s),
+            (Section::Memory { scope, .. }, "scope", Value::List(l)) => *scope = l,
+            (Section::Memory { max, .. }, "max", Value::Str(s)) => *max = Some(s),
+            (Section::Memory { except, .. }, "except", Value::List(l)) => *except = l,
+            (Section::Absorber { scope, .. }, "scope", Value::List(l)) => *scope = l,
+            (Section::Absorber { reason, .. }, "reason", Value::Str(s)) => *reason = Some(s),
             _ => {
                 return Err(format!(
                     "line {lineno}: unknown or mistyped key `{key}` for this table"
@@ -360,6 +504,59 @@ forbid = ["spawn"]
             .unwrap_err()
             .contains("reason"));
         assert!(parse("stray = \"x\"\n").unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn parses_memory_contracts_and_absorbers() {
+        let toml = r#"
+[[absorber]]
+scope = ["trace::io::read_csv"]
+reason = "batch loader; callers opted in"
+
+[[memory]]
+name = "streaming-bounded"
+scope = ["core::generator::*", "trace::io::*"]
+max = "loop-linear"
+except = ["core::generator::materialize"]
+
+[[memory]]
+name = "scratch-bounded"
+scope = ["linalg::*"]
+max = "param-bounded"
+"#;
+        let f = parse(toml).unwrap();
+        assert_eq!(f.absorbers.len(), 1);
+        assert!(f.memory_absorbed_at("trace::io::read_csv"));
+        assert!(!f.memory_absorbed_at("trace::io::write_csv"));
+        assert_eq!(f.memory.len(), 2);
+        assert_eq!(f.memory[0].name, "streaming-bounded");
+        assert_eq!(f.memory[0].max, Growth::LoopLinear);
+        assert_eq!(f.memory[0].except, vec!["core::generator::materialize"]);
+        assert_eq!(f.memory[1].max, Growth::ParamBounded);
+    }
+
+    #[test]
+    fn rejects_bad_memory_tables() {
+        assert!(
+            parse("[[memory]]\nname = \"x\"\nscope = [\"*\"]\nmax = \"bounded\"\n")
+                .unwrap_err()
+                .contains("unknown growth class")
+        );
+        assert!(parse("[[memory]]\nname = \"x\"\nscope = [\"*\"]\n")
+            .unwrap_err()
+            .contains("missing `max`"));
+        assert!(parse("[[memory]]\nscope = [\"*\"]\nmax = \"const\"\n")
+            .unwrap_err()
+            .contains("missing `name`"));
+        assert!(parse("[[absorber]]\nscope = [\"trace::io::*\"]\n")
+            .unwrap_err()
+            .contains("missing `reason`"));
+        assert!(parse("[[absorber]]\nreason = \"why\"\n")
+            .unwrap_err()
+            .contains("missing `scope`"));
+        assert!(parse("[[memory]]\nname = \"x\"\nscope = [\"*\"]\nmax = \"const\"\nforbid = [\"io\"]\n")
+            .unwrap_err()
+            .contains("unknown or mistyped key"));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! `cloudgen-lint effects` subcommand, which also emits the
 //! panic-reachability report for every public library entry point.
 //!
+//! The same machinery carries a second lattice: per-function *allocation
+//! summaries* classified on a growth-class scale ([`alloc_flow`]),
+//! propagated over the same SCC fixpoint and checked against declared
+//! `[[memory]]` contracts with `[[absorber]]` materialization points —
+//! run via `cloudgen-lint memory`, which emits a growth report with a
+//! witness call path from each public entry to its worst allocation site.
+//!
 //! The linter is deliberately dependency-free (it links only `obsv`, for
 //! telemetry emission from the binary): it must keep working in offline
 //! build environments and must never be the slowest step of
@@ -32,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alloc_flow;
 pub mod contracts;
 pub mod effects;
 pub mod graph;
@@ -41,12 +49,14 @@ pub mod rules;
 pub mod scan;
 pub mod tree;
 
+pub use alloc_flow::{growth_name, parse_growth, Growth};
 pub use contracts::{parse as parse_contracts, ContractsFile};
 pub use report::{
-    render_effects_json, render_effects_text, render_json, render_text, rule_counts,
+    render_effects_json, render_effects_text, render_json, render_memory_json,
+    render_memory_text, render_text, rule_counts,
 };
-pub use rules::{checked_rules, Violation, RULES};
+pub use rules::{checked_rules, checked_rules_for, Violation, RULES};
 pub use scan::{
-    analyze_workspace, classify, scan_source, scan_workspace, ContractStat, EffectsOutcome,
-    FileClass, FileViolation, PanicEntry, ScanReport,
+    analyze_memory, analyze_workspace, classify, scan_source, scan_workspace, ContractStat,
+    EffectsOutcome, FileClass, FileViolation, MemoryEntry, MemoryOutcome, PanicEntry, ScanReport,
 };

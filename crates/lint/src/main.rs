@@ -4,16 +4,21 @@
 //! cloudgen-lint [--root PATH] [--json] [--telemetry FILE|-]
 //! cloudgen-lint effects --contracts PATH [--root PATH] [--json]
 //!                       [--report FILE] [--budget-ms N] [--telemetry FILE|-]
+//! cloudgen-lint memory  --contracts PATH [--root PATH] [--json]
+//!                       [--report FILE] [--budget-ms N] [--telemetry FILE|-]
 //! ```
 //!
 //! The bare invocation runs the per-file rules; `effects` additionally
 //! builds the workspace call graph, propagates the effect lattice to a
 //! fixpoint, enforces the contracts declared in `lint-contracts.toml`, and
-//! emits the panic-reachability report.
+//! emits the panic-reachability report. `memory` runs the allocation-flow
+//! analysis over the same call graph: growth classes to a fixpoint,
+//! `[[memory]]` contract enforcement, and the growth report.
 //!
 //! Exit codes: 0 = clean, 1 = violations found (including `stale-allow`
-//! audit findings and unpaid `effect-contract` violations) or the
-//! `--budget-ms` wall-clock budget exceeded, 2 = usage/IO error.
+//! audit findings and unpaid `effect-contract` / `memory-contract`
+//! violations) or the `--budget-ms` wall-clock budget exceeded,
+//! 2 = usage/IO error.
 //!
 //! Telemetry goes to a JSONL file, or to *stderr* with `--telemetry -`:
 //! stdout carries only the report, so `cloudgen-lint --json | jq` always
@@ -25,14 +30,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cloudgen_lint::{
-    analyze_workspace, parse_contracts, render_effects_json, render_effects_text, render_json,
-    render_text, rule_counts, scan_workspace, ScanReport,
+    analyze_memory, analyze_workspace, parse_contracts, render_effects_json, render_effects_text,
+    render_json, render_memory_json, render_memory_text, render_text, rule_counts, scan_workspace,
+    ScanReport,
 };
 use obsv::{Event, JsonlRecorder, LintEvent, Recorder, StderrJsonlRecorder, Stopwatch};
 
 enum Mode {
     Scan,
     Effects {
+        contracts: PathBuf,
+        report_file: Option<PathBuf>,
+        budget_ms: Option<f64>,
+    },
+    Memory {
         contracts: PathBuf,
         report_file: Option<PathBuf>,
         budget_ms: Option<f64>,
@@ -49,21 +60,26 @@ struct Args {
 const USAGE: &str = "usage: cloudgen-lint [--root PATH] [--json] [--telemetry FILE|-]\n\
 \x20      cloudgen-lint effects --contracts PATH [--root PATH] [--json]\n\
 \x20                            [--report FILE] [--budget-ms N] [--telemetry FILE|-]\n\
+\x20      cloudgen-lint memory  --contracts PATH [--root PATH] [--json]\n\
+\x20                            [--report FILE] [--budget-ms N] [--telemetry FILE|-]\n\
 \n\
 Scans the workspace's .rs files for determinism, concurrency, panic-freedom,\n\
 and numeric hygiene violations. The `effects` subcommand additionally builds\n\
 the workspace call graph, propagates the effect lattice to a fixpoint over\n\
 SCCs, enforces the declared effect contracts, and reports panic reachability\n\
-for every public library entry point. Exits 0 when clean, 1 on violations\n\
-(stale lint:allow annotations and unpaid effect contracts included) or a\n\
-blown --budget-ms, 2 on usage errors.\n\
+for every public library entry point. The `memory` subcommand runs the\n\
+allocation-flow analysis over the same graph: per-fn growth classes to a\n\
+fixpoint, [[memory]] contract enforcement, and a growth report with witness\n\
+call paths to the worst allocation sites. Exits 0 when clean, 1 on\n\
+violations (stale lint:allow annotations and unpaid effect or memory\n\
+contracts included) or a blown --budget-ms, 2 on usage errors.\n\
 \n\
   --root PATH        workspace root to scan (default: current directory)\n\
   --json             emit the report as JSON instead of text\n\
   --telemetry FILE   append a Lint event to a JSONL telemetry file;\n\
 \x20                    `-` writes the event to stderr, keeping stdout clean\n\
-  --contracts PATH   effect contract file (effects mode, required)\n\
-  --report FILE      also write the effects report as JSON to FILE\n\
+  --contracts PATH   contract file (effects/memory modes, required)\n\
+  --report FILE      also write the effects/memory report as JSON to FILE\n\
   --budget-ms N      fail (exit 1) if the analysis takes longer than N ms\n";
 
 fn parse_args() -> Result<Args, String> {
@@ -76,12 +92,20 @@ fn parse_args() -> Result<Args, String> {
     let mut contracts: Option<PathBuf> = None;
     let mut report_file: Option<PathBuf> = None;
     let mut budget_ms: Option<f64> = None;
-    let mut effects = false;
+    let mut subcommand: Option<&'static str> = None;
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("effects") {
-        it.next();
-        effects = true;
+    match it.peek().map(String::as_str) {
+        Some("effects") => {
+            it.next();
+            subcommand = Some("effects");
+        }
+        Some("memory") => {
+            it.next();
+            subcommand = Some("memory");
+        }
+        _ => {}
     }
+    let interprocedural = subcommand.is_some();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
@@ -96,19 +120,19 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--telemetry requires a file path or `-`".to_string())?,
                 );
             }
-            "--contracts" if effects => {
+            "--contracts" if interprocedural => {
                 contracts = Some(PathBuf::from(
                     it.next()
                         .ok_or_else(|| "--contracts requires a path".to_string())?,
                 ));
             }
-            "--report" if effects => {
+            "--report" if interprocedural => {
                 report_file = Some(PathBuf::from(
                     it.next()
                         .ok_or_else(|| "--report requires a path".to_string())?,
                 ));
             }
-            "--budget-ms" if effects => {
+            "--budget-ms" if interprocedural => {
                 let raw = it
                     .next()
                     .ok_or_else(|| "--budget-ms requires a number".to_string())?;
@@ -121,13 +145,21 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if effects {
+    if let Some(sub) = subcommand {
         let contracts =
-            contracts.ok_or_else(|| "effects mode requires --contracts PATH".to_string())?;
-        args.mode = Mode::Effects {
-            contracts,
-            report_file,
-            budget_ms,
+            contracts.ok_or_else(|| format!("{sub} mode requires --contracts PATH"))?;
+        args.mode = if sub == "effects" {
+            Mode::Effects {
+                contracts,
+                report_file,
+                budget_ms,
+            }
+        } else {
+            Mode::Memory {
+                contracts,
+                report_file,
+                budget_ms,
+            }
         };
     }
     Ok(args)
@@ -242,6 +274,64 @@ fn main() -> ExitCode {
                 if wall_ms > budget {
                     eprintln!(
                         "cloudgen-lint: effects analysis took {wall_ms:.1} ms, over the \
+                         {budget:.1} ms budget"
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Mode::Memory {
+            contracts,
+            report_file,
+            budget_ms,
+        } => {
+            let text = match std::fs::read_to_string(&contracts) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "cloudgen-lint: cannot read contracts file `{}`: {e}",
+                        contracts.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let contracts = match parse_contracts(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cloudgen-lint: invalid contracts file: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let start = Stopwatch::new();
+            let outcome = analyze_memory(&args.root, &contracts);
+            let wall_ms = start.elapsed_ms();
+            if let Some(target) = &args.telemetry {
+                emit_telemetry(target, &outcome.report, wall_ms);
+            }
+            if let Some(path) = &report_file {
+                if let Err(e) = std::fs::write(path, render_memory_json(&outcome)) {
+                    eprintln!(
+                        "cloudgen-lint: cannot write report `{}`: {e}",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            if args.json {
+                print!("{}", render_memory_json(&outcome));
+            } else {
+                print!("{}", render_memory_text(&outcome));
+            }
+            let mut failed = !outcome.report.violations.is_empty();
+            if let Some(budget) = budget_ms {
+                if wall_ms > budget {
+                    eprintln!(
+                        "cloudgen-lint: memory analysis took {wall_ms:.1} ms, over the \
                          {budget:.1} ms budget"
                     );
                     failed = true;

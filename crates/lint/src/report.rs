@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::rules::RULES;
-use crate::scan::{EffectsOutcome, ScanReport};
+use crate::scan::{EffectsOutcome, MemoryOutcome, ScanReport};
 
 /// Per-rule violation counts in [`RULES`] order, skipping zero rules.
 pub fn rule_counts(report: &ScanReport) -> Vec<(&'static str, usize)> {
@@ -226,6 +226,132 @@ pub fn render_effects_json(outcome: &EffectsOutcome) -> String {
         );
     }
     if outcome.reachability.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Renders the allocation-flow analysis as text: the base violation
+/// listing, call-graph statistics, per-memory-contract results, and the
+/// growth section (every public library entry point whose transitive
+/// growth class is `loop-linear` or worse, with a shortest witness path
+/// to the allocating site).
+pub fn render_memory_text(outcome: &MemoryOutcome) -> String {
+    let mut out = render_text(&outcome.report);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "call graph: {} fn(s), {} edge(s), {} SCC(s) (largest {})",
+        outcome.functions, outcome.edges, outcome.sccs, outcome.largest_scc
+    );
+    out.push_str("memory contracts:\n");
+    for c in &outcome.contracts {
+        let verdict = if c.violations == 0 { "ok" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "  {}: {} — {} fn(s) checked, {} unpaid violation(s)",
+            c.name, verdict, c.checked, c.violations
+        );
+    }
+    let _ = writeln!(
+        out,
+        "growth: {} public entry point(s) reach loop-linear or worse",
+        outcome.growth.len()
+    );
+    for e in &outcome.growth {
+        let mut quals = Vec::new();
+        if e.site_in_loop {
+            quals.push("in loop");
+        }
+        if e.site_escapes {
+            quals.push("escapes");
+        }
+        let quals = if quals.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", quals.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "  {} ({}:{}) [{}]\n    via {}\n    {}{} at {}:{}",
+            e.entry,
+            e.file,
+            e.line,
+            e.class,
+            e.call_path.join(" → "),
+            e.site_what,
+            quals,
+            e.site_file,
+            e.site_line
+        );
+    }
+    out
+}
+
+/// Renders the allocation-flow analysis as JSON: the base report schema
+/// plus `graph`, `memory_contracts`, and `growth` sections. Like the
+/// effects document, it carries no timings and is byte-stable across runs.
+pub fn render_memory_json(outcome: &MemoryOutcome) -> String {
+    let base = render_json(&outcome.report);
+    let mut out = base
+        .strip_suffix("}\n")
+        .expect("render_json ends with its closing brace")
+        .to_string();
+    out.pop(); // trailing newline after the counts object
+    out.push_str(",\n");
+    let _ = writeln!(
+        out,
+        "  \"graph\": {{\"functions\": {}, \"edges\": {}, \"sccs\": {}, \"largest_scc\": {}}},",
+        outcome.functions, outcome.edges, outcome.sccs, outcome.largest_scc
+    );
+    out.push_str("  \"memory_contracts\": [");
+    for (i, c) in outcome.contracts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"checked\": {}, \"violations\": {}}}",
+            json_escape(&c.name),
+            c.checked,
+            c.violations
+        );
+    }
+    if outcome.contracts.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"growth\": [");
+    for (i, e) in outcome.growth.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let path: Vec<String> = e
+            .call_path
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(p)))
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"entry\": \"{}\", \"file\": \"{}\", \"line\": {}, \"class\": \"{}\", \
+             \"call_path\": [{}], \"site\": {{\"file\": \"{}\", \"line\": {}, \"what\": \"{}\", \
+             \"in_loop\": {}, \"escapes\": {}}}}}",
+            json_escape(&e.entry),
+            json_escape(&e.file),
+            e.line,
+            json_escape(e.class),
+            path.join(", "),
+            json_escape(&e.site_file),
+            e.site_line,
+            json_escape(&e.site_what),
+            e.site_in_loop,
+            e.site_escapes
+        );
+    }
+    if outcome.growth.is_empty() {
         out.push_str("]\n}\n");
     } else {
         out.push_str("\n  ]\n}\n");

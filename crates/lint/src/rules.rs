@@ -25,6 +25,7 @@
 //! | `hot-loop-alloc` (R13) | `linalg`/`nn` profiled kernel fns, non-test | no `Vec::new`/`Mat::zeros`/`Mat::filled`/`Mat::from_fn`/`.push()`/`.clone()`/`.to_vec()`/`format!` inside loop bodies of a fn that opens a `profile::span` — the profiler marks it hot, so per-iteration allocation is a measured cost; hoist buffers or annotate |
 //! | `effect-contract` (R14) | whole workspace (`effects` subcommand only) | transitive effect sets ([`crate::effects`]) must satisfy every contract declared in `lint-contracts.toml` ([`crate::contracts`]) |
 //! | `unbounded-blocking` (R15) | `crates/serve`, non-test | no `accept()`/`recv()`/`channel()`/`read*()` without an annotated bound: the serving layer's robustness contract is "bounded everything", so every blocking primitive must carry a timeout, byte cap, or nonblocking mode and say so |
+//! | `memory-contract` (R16) | whole workspace (`memory` subcommand only) | transitive allocation growth classes ([`crate::alloc_flow`]) must satisfy every `[[memory]]` contract in `lint-contracts.toml`; diagnostics carry a witness call path to the worst allocation site |
 //!
 //! Violations are suppressed by `// lint:allow(rule-id): reason` on the same
 //! or the preceding line (see [`crate::scan`]); a suppression that no longer
@@ -105,6 +106,10 @@ pub const RULES: &[(&str, &str)] = &[
         "blocking primitive without an annotated bound in the serving layer (R15)",
     ),
     (
+        "memory-contract",
+        "declared memory contract violated transitively (R16)",
+    ),
+    (
         "allow-missing-reason",
         "lint:allow suppression without a reason string",
     ),
@@ -119,13 +124,26 @@ pub const RULES: &[(&str, &str)] = &[
 /// stale either.
 pub const EFFECT_RULES: &[&str] = &["effect-contract"];
 
+/// Rule ids only the allocation-flow `memory` mode can produce; same
+/// staleness-deferral treatment as [`EFFECT_RULES`].
+pub const MEMORY_RULES: &[&str] = &["memory-contract"];
+
 /// The rule ids a mode actually checks — the staleness domain for
 /// `lint:allow` auditing (see [`crate::scan::apply_allows_checked`]).
 pub fn checked_rules(include_effects: bool) -> Vec<&'static str> {
+    checked_rules_for(include_effects, false)
+}
+
+/// Like [`checked_rules`], with the memory-mode rules also toggled —
+/// only `cloudgen-lint memory` checks those.
+pub fn checked_rules_for(include_effects: bool, include_memory: bool) -> Vec<&'static str> {
     RULES
         .iter()
         .map(|(id, _)| *id)
-        .filter(|id| include_effects || !EFFECT_RULES.contains(id))
+        .filter(|id| {
+            (include_effects || !EFFECT_RULES.contains(id))
+                && (include_memory || !MEMORY_RULES.contains(id))
+        })
         .collect()
 }
 

@@ -18,16 +18,18 @@
 //! with a token-level attribute scan plus brace matching, and rules treat
 //! tokens inside them as test code.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::alloc_flow::{self, growth_name, Growth};
 use crate::contracts::{scope_matches, ContractsFile};
 use crate::effects::{
     self, effect_names, EffectSet, Intrinsics, PANICS, PANICS_ANNOTATED,
 };
 use crate::graph::{build_graph, CallGraph};
 use crate::lexer::{self, Allow, Tok, TokKind};
-use crate::rules::{self, checked_rules, Violation, RULES};
+use crate::rules::{self, checked_rules, checked_rules_for, Violation, RULES};
 use crate::tree::{self, ItemTree};
 
 /// Crates under `crates/` that are command-line tools rather than library
@@ -377,13 +379,30 @@ pub fn collect_ctxs(root: &Path) -> Vec<FileCtx> {
 /// Runs every per-file rule over `ctxs`, merges in `extra` pre-computed raw
 /// violations per file (the interprocedural `effect-contract` findings),
 /// and applies suppressions against the given checked-rule set.
-fn build_report(ctxs: &[FileCtx], mut extra: Vec<Vec<Violation>>, checked: &[&str]) -> ScanReport {
+fn build_report(ctxs: &[FileCtx], extra: Vec<Vec<Violation>>, checked: &[&str]) -> ScanReport {
+    build_report_dropping(ctxs, extra, checked, &BTreeSet::new())
+}
+
+/// [`build_report`], minus raw `hot-loop-alloc` findings at the given
+/// `(file index, line)` sites. The memory mode passes its witness sinks
+/// here so an interprocedurally confirmed allocation site is reported once
+/// — as a `memory-contract` violation with the full call-path witness —
+/// instead of twice (R13 still reports it in the plain scan). Discharged
+/// sites (live reasoned R13 allows) never become witness sinks, so their
+/// allows stay matched and non-stale.
+fn build_report_dropping(
+    ctxs: &[FileCtx],
+    mut extra: Vec<Vec<Violation>>,
+    checked: &[&str],
+    drop_hot_loop: &BTreeSet<(usize, u32)>,
+) -> ScanReport {
     let mut report = ScanReport {
         files: ctxs.len(),
         ..Default::default()
     };
     for (i, ctx) in ctxs.iter().enumerate() {
         let mut raw = rules::run_all(ctx);
+        raw.retain(|v| !(v.rule == "hot-loop-alloc" && drop_hot_loop.contains(&(i, v.line))));
         raw.append(&mut extra[i]);
         let (violations, suppressed) = apply_allows_checked(ctx, raw, checked);
         report.suppressed += suppressed;
@@ -582,6 +601,196 @@ pub fn analyze_ctxs(ctxs: &[FileCtx], contracts: &ContractsFile) -> EffectsOutco
         largest_scc,
         contracts: stats,
         reachability,
+    }
+}
+
+/// One public library fn whose transitive allocation growth reaches
+/// `loop-linear` or worse — the memory report's analogue of [`PanicEntry`].
+#[derive(Debug, Clone)]
+pub struct MemoryEntry {
+    /// Entry-point fn path (`trace::io::read_csv`).
+    pub entry: String,
+    /// File declaring the entry point.
+    pub file: String,
+    /// 1-based line of the entry point's `fn`.
+    pub line: u32,
+    /// Transitive growth-class name (`loop-linear` / `unbounded-escape`).
+    pub class: &'static str,
+    /// Shortest witness call path, entry first, allocating fn last.
+    pub call_path: Vec<String>,
+    /// File of the witness allocation site.
+    pub site_file: String,
+    /// 1-based line of the witness allocation site.
+    pub site_line: u32,
+    /// The allocating construct itself (`.push()`, `read_to_string()`, ...).
+    pub site_what: String,
+    /// True when the witness site sits inside a loop body.
+    pub site_in_loop: bool,
+    /// True when the grown value escapes the sink fn.
+    pub site_escapes: bool,
+}
+
+/// Result of the interprocedural allocation-flow analysis.
+#[derive(Debug)]
+pub struct MemoryOutcome {
+    /// Per-file violations — every per-file rule *plus* `memory-contract`,
+    /// minus R13 findings subsumed by a memory witness — with suppression
+    /// applied against the memory-mode rule vocabulary.
+    pub report: ScanReport,
+    /// Indexed workspace fns.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Strongly connected components in the call graph.
+    pub sccs: usize,
+    /// Largest SCC size.
+    pub largest_scc: usize,
+    /// Per-memory-contract stats, contract-file order.
+    pub contracts: Vec<ContractStat>,
+    /// Growth entries for public library fns reaching `loop-linear` or
+    /// worse, path order.
+    pub growth: Vec<MemoryEntry>,
+}
+
+/// Runs the full allocation-flow pipeline on the workspace rooted at
+/// `root`: call graph → allocation summaries → absorber masks → SCC
+/// fixpoint → memory-contract enforcement → growth report.
+pub fn analyze_memory(root: &Path, contracts: &ContractsFile) -> MemoryOutcome {
+    let ctxs = collect_ctxs(root);
+    analyze_memory_ctxs(&ctxs, contracts)
+}
+
+/// Renders the `(in loop, escapes)` qualifier of a witness site.
+fn site_quals(in_loop: bool, escapes: bool) -> String {
+    let mut quals = Vec::new();
+    if in_loop {
+        quals.push("in loop");
+    }
+    if escapes {
+        quals.push("escapes");
+    }
+    if quals.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", quals.join(", "))
+    }
+}
+
+/// The allocation-flow pipeline on pre-built file contexts (exposed for
+/// tests).
+pub fn analyze_memory_ctxs(ctxs: &[FileCtx], contracts: &ContractsFile) -> MemoryOutcome {
+    let g: CallGraph = build_graph(ctxs);
+    let intr = alloc_flow::intrinsic_allocs(&g, ctxs);
+    let absorb = alloc_flow::absorber_masks(&g, contracts);
+    let (trans, sccs, largest_scc) = alloc_flow::propagate_growth(&g, &intr, &absorb);
+
+    let mut extra: Vec<Vec<Violation>> = vec![Vec::new(); ctxs.len()];
+    let mut stats = Vec::new();
+    // Witness sinks: allocation sites an emitted memory-contract witness
+    // ends at. Their raw R13 findings are dropped (reported once, with the
+    // richer interprocedural diagnostic).
+    let mut witness_sites: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for c in &contracts.memory {
+        let mut checked = 0usize;
+        let mut unpaid = 0usize;
+        for (id, f) in g.fns.iter().enumerate() {
+            if !c.scope.iter().any(|p| scope_matches(p, &f.path))
+                || c.except.iter().any(|p| scope_matches(p, &f.path))
+            {
+                continue;
+            }
+            checked += 1;
+            if trans[id] <= c.max {
+                continue;
+            }
+            // The violating class is achieved at some reachable fn's own
+            // body; BFS finds the shortest path to it.
+            let via = alloc_flow::witness_growth(&g, &intr, &absorb, id as u32, trans[id])
+                .unwrap_or_else(|| vec![id as u32]);
+            let sink_id = *via.last().expect("witness path is non-empty") as usize;
+            let hops: Vec<&str> = via
+                .iter()
+                .map(|&i| g.fns[i as usize].name.as_str())
+                .collect();
+            let site = intr[sink_id].worst_site();
+            let (site_line, site_what, in_loop, escapes) = site
+                .map(|s| (s.line, s.what.clone(), s.in_loop, s.escapes))
+                .unwrap_or((g.fns[sink_id].line, "?".to_string(), false, false));
+            witness_sites.insert((g.fns[sink_id].file_idx, site_line));
+            let message = format!(
+                "memory contract `{}`: `{}` has transitive growth `{}` (max `{}`) via {} \
+                 (`{}`{} at {}:{})",
+                c.name,
+                f.path,
+                growth_name(trans[id]),
+                growth_name(c.max),
+                hops.join(" → "),
+                site_what,
+                site_quals(in_loop, escapes),
+                g.fns[sink_id].file,
+                site_line,
+            );
+            if !effects::allowed(&ctxs[f.file_idx], "memory-contract", f.line) {
+                unpaid += 1;
+            }
+            extra[f.file_idx].push(Violation {
+                rule: "memory-contract",
+                line: f.line,
+                col: 1,
+                message,
+            });
+        }
+        stats.push(ContractStat {
+            name: c.name.clone(),
+            checked,
+            violations: unpaid,
+        });
+    }
+
+    // Growth report: every public library fn whose transitive class is
+    // loop-linear or worse, with a witness path to the allocating site —
+    // the audit surface for ROADMAP item 2's streaming refactor.
+    let mut growth = Vec::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        if !f.is_pub || !f.is_lib || trans[id] < Growth::LoopLinear {
+            continue;
+        }
+        let Some(via) = alloc_flow::witness_growth(&g, &intr, &absorb, id as u32, trans[id])
+        else {
+            continue;
+        };
+        let sink_id = *via.last().expect("witness path is non-empty") as usize;
+        let site = intr[sink_id].worst_site();
+        let (site_line, site_what, in_loop, escapes) = site
+            .map(|s| (s.line, s.what.clone(), s.in_loop, s.escapes))
+            .unwrap_or((g.fns[sink_id].line, "?".to_string(), false, false));
+        growth.push(MemoryEntry {
+            entry: f.path.clone(),
+            file: f.file.clone(),
+            line: f.line,
+            class: growth_name(trans[id]),
+            call_path: via
+                .iter()
+                .map(|&i| g.fns[i as usize].path.clone())
+                .collect(),
+            site_file: g.fns[sink_id].file.clone(),
+            site_line,
+            site_what,
+            site_in_loop: in_loop,
+            site_escapes: escapes,
+        });
+    }
+    growth.sort_by(|a, b| a.entry.cmp(&b.entry));
+
+    let report = build_report_dropping(ctxs, extra, &checked_rules_for(false, true), &witness_sites);
+    MemoryOutcome {
+        report,
+        functions: g.fns.len(),
+        edges: g.edge_count(),
+        sccs,
+        largest_scc,
+        contracts: stats,
+        growth,
     }
 }
 

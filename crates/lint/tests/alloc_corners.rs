@@ -1,0 +1,196 @@
+//! Pinned regressions for the allocation-flow pass on tricky syntax.
+//!
+//! `tree_corners.rs` pins the item tree on adversarial *structure*; this
+//! file pins `alloc_flow` site extraction on the syntax most likely to
+//! confuse a token-level analysis: closures nested inside loop bodies,
+//! match guards, turbofish `.collect::<...>()`, raw strings that *contain*
+//! allocation-looking text, and `#[cfg(test)]` modules whose allocations
+//! must never taint product summaries.
+
+use cloudgen_lint::alloc_flow::{intrinsic_allocs, AllocSummary, Growth};
+use cloudgen_lint::graph::build_graph;
+use cloudgen_lint::scan::{build_ctx, classify, FileCtx};
+
+fn ctx(rel: &str, src: &str) -> FileCtx {
+    let class = classify(rel).unwrap_or_else(|| panic!("`{rel}` must classify"));
+    build_ctx(rel.to_string(), class, src)
+}
+
+/// Intrinsic summaries for a one-file fixture, plus the graph for lookups.
+fn summaries(rel: &str, src: &str) -> (cloudgen_lint::graph::CallGraph, Vec<AllocSummary>) {
+    let ctxs = vec![ctx(rel, src)];
+    let g = build_graph(&ctxs);
+    let intr = intrinsic_allocs(&g, &ctxs);
+    (g, intr)
+}
+
+fn class_of(rel: &str, src: &str, path: &str) -> Growth {
+    let (g, intr) = summaries(rel, src);
+    let id = g.id_of(path).unwrap_or_else(|| panic!("`{path}` not indexed"));
+    intr[id as usize].growth
+}
+
+#[test]
+fn push_through_nested_closures_in_a_loop_is_unbounded_escape() {
+    // Two nested closures inside the loop body: their brace/pipe tokens
+    // must not derail the loop-body mask or the receiver walk.
+    let src = "pub fn deltas(xs: &[u64]) -> Vec<u64> {\n\
+               \x20   let mut out = Vec::new();\n\
+               \x20   for &x in xs {\n\
+               \x20       let add = |v: u64| v + 1;\n\
+               \x20       let go = |v: u64| add(v) * 2;\n\
+               \x20       out.push(go(x));\n\
+               \x20   }\n\
+               \x20   out\n\
+               }\n";
+    assert_eq!(
+        class_of("crates/core/src/a.rs", src, "core::a::deltas"),
+        Growth::UnboundedEscape
+    );
+}
+
+#[test]
+fn closure_capturing_the_vec_inside_a_loop_still_counts() {
+    // The growth op itself sits inside a closure body inside the loop.
+    let src = "pub fn squares(xs: &[u64]) -> Vec<u64> {\n\
+               \x20   let mut out = Vec::new();\n\
+               \x20   for &x in xs {\n\
+               \x20       let mut put = |v: u64| out.push(v * v);\n\
+               \x20       put(x);\n\
+               \x20   }\n\
+               \x20   out\n\
+               }\n";
+    assert_eq!(
+        class_of("crates/core/src/a.rs", src, "core::a::squares"),
+        Growth::UnboundedEscape
+    );
+}
+
+#[test]
+fn match_guard_in_loop_body_keeps_the_site_in_loop() {
+    // The guard's `if` must not be mistaken for a statement boundary that
+    // ends the loop body early.
+    let src = "pub fn evens(xs: &[u64]) -> Vec<u64> {\n\
+               \x20   let mut out = Vec::new();\n\
+               \x20   for &x in xs {\n\
+               \x20       match x {\n\
+               \x20           v if v % 2 == 0 => out.push(v),\n\
+               \x20           _ => {}\n\
+               \x20       }\n\
+               \x20   }\n\
+               \x20   out\n\
+               }\n";
+    assert_eq!(
+        class_of("crates/core/src/a.rs", src, "core::a::evens"),
+        Growth::UnboundedEscape
+    );
+}
+
+#[test]
+fn match_guard_accumulation_that_stays_local_is_loop_linear() {
+    let src = "pub fn count_evens(xs: &[u64]) -> u64 {\n\
+               \x20   let mut tmp = Vec::new();\n\
+               \x20   for &x in xs {\n\
+               \x20       match x {\n\
+               \x20           v if v % 2 == 0 => tmp.push(v),\n\
+               \x20           _ => {}\n\
+               \x20       }\n\
+               \x20   }\n\
+               \x20   let n = tmp.len();\n\
+               \x20   n as u64\n\
+               }\n";
+    assert_eq!(
+        class_of("crates/core/src/a.rs", src, "core::a::count_evens"),
+        Growth::LoopLinear
+    );
+}
+
+#[test]
+fn turbofish_collect_is_param_bounded() {
+    // `.collect::<Vec<u64>>()` — the turbofish separates `collect` from its
+    // call parens; the site must still register.
+    let src = "pub fn doubled(xs: &[u64]) -> Vec<u64> {\n\
+               \x20   xs.iter().map(|x| x * 2).collect::<Vec<u64>>()\n\
+               }\n";
+    let (g, intr) = summaries("crates/core/src/a.rs", src);
+    let id = g.id_of("core::a::doubled").expect("indexed");
+    let s = &intr[id as usize];
+    assert_eq!(s.growth, Growth::ParamBounded, "{s:?}");
+    assert_eq!(s.sites.len(), 1);
+    assert_eq!(s.sites[0].what, ".collect()");
+}
+
+#[test]
+fn raw_string_alloc_text_is_inert() {
+    // A raw string spelling out a whole accumulation loop must produce no
+    // sites: literal contents are invisible to the rules.
+    let src = "pub fn banner() -> &'static str {\n\
+               \x20   r#\"for i in 0..n { let mut v = Vec::new(); v.push(i); v.extend(w); }\"#\n\
+               }\n";
+    let (g, intr) = summaries("crates/core/src/a.rs", src);
+    let id = g.id_of("core::a::banner").expect("indexed");
+    let s = &intr[id as usize];
+    assert_eq!(s.growth, Growth::Const, "{s:?}");
+    assert!(s.sites.is_empty(), "{s:?}");
+}
+
+#[test]
+fn cfg_test_allocations_never_taint_summaries() {
+    // Accumulation inside `#[cfg(test)]` is test scaffolding: no fn in the
+    // file may pick up growth from it.
+    let src = "pub fn id(x: u64) -> u64 { x }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   pub fn accumulate(n: u64) -> Vec<u64> {\n\
+               \x20       let mut v = Vec::new();\n\
+               \x20       for i in 0..n {\n\
+               \x20           v.push(i);\n\
+               \x20       }\n\
+               \x20       v\n\
+               \x20   }\n\
+               }\n";
+    let (g, intr) = summaries("crates/core/src/a.rs", src);
+    for (meta, s) in g.fns.iter().zip(&intr) {
+        assert_eq!(
+            s.growth,
+            Growth::Const,
+            "`{}` picked up growth from test code: {s:?}",
+            meta.path
+        );
+    }
+}
+
+#[test]
+fn nested_loops_with_mixed_corners_compose() {
+    // Everything at once: nested loops, a closure, a guard, a turbofish
+    // inside the inner body, and a reservation that bounds the outer push.
+    let src = "pub fn shards(xs: &[u64], n: usize) -> Vec<Vec<u64>> {\n\
+               \x20   let mut out = Vec::with_capacity(n);\n\
+               \x20   for chunk in xs.chunks(n) {\n\
+               \x20       let mut shard = Vec::new();\n\
+               \x20       for &x in chunk {\n\
+               \x20           match x {\n\
+               \x20               v if v > 0 => shard.push(v),\n\
+               \x20               _ => shard.extend(chunk.iter().map(|c| c + 1).collect::<Vec<u64>>()),\n\
+               \x20           }\n\
+               \x20       }\n\
+               \x20       out.push(shard);\n\
+               \x20   }\n\
+               \x20   out\n\
+               }\n";
+    let (g, intr) = summaries("crates/core/src/a.rs", src);
+    let id = g.id_of("core::a::shards").expect("indexed");
+    let s = &intr[id as usize];
+    // `shard` grows per inner iteration; the local-to-local handoff into
+    // the *reserved* `out` is not escape-tracked (the heuristic follows
+    // returns, `&mut` params, and `self` only), so the worst class is
+    // loop-linear, while `out`'s own push stays capacity-bounded.
+    assert_eq!(s.growth, Growth::LoopLinear, "{s:?}");
+    let pushes: Vec<_> = s.sites.iter().filter(|site| site.what == ".push()").collect();
+    assert_eq!(pushes.len(), 2, "{s:?}");
+    assert!(
+        pushes.iter().any(|site| site.growth == Growth::CapacityBounded)
+            && pushes.iter().any(|site| site.growth == Growth::LoopLinear),
+        "{s:?}"
+    );
+}

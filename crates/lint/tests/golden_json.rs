@@ -93,6 +93,7 @@ fn rule_vocabulary_is_pinned() {
             "hot-loop-alloc",
             "effect-contract",
             "unbounded-blocking",
+            "memory-contract",
             "allow-missing-reason",
             "stale-allow",
         ],

@@ -1,0 +1,302 @@
+//! End-to-end tests for the interprocedural memory gate.
+//!
+//! Runs the real binary (`CARGO_BIN_EXE_cloudgen-lint`) on throwaway
+//! workspaces, mirroring `effects_gate.rs` for the allocation-flow lattice:
+//! a seeded unbounded accumulation two calls below a public entry must fail
+//! `memory` while the plain per-file scan stays green, deleting a
+//! `lint:allow(memory-contract)` must re-arm the gate (fails closed), an
+//! `[[absorber]]` must mask callers without excusing the absorber itself,
+//! and `--json --telemetry -` must keep stdout a single clean JSON document.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static WS_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `files` (rel path, contents) under a fresh temp workspace root.
+fn write_workspace(files: &[(&str, &str)]) -> PathBuf {
+    let seq = WS_SEQ.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!(
+        "cloudgen-lint-memgate-{}-{seq}",
+        std::process::id()
+    ));
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(path, contents).expect("write fixture");
+    }
+    root
+}
+
+fn run_lint(root: &Path, args: &[&str]) -> Output {
+    // `memory` must be the leading argument, so `--root` goes last.
+    Command::new(env!("CARGO_BIN_EXE_cloudgen-lint"))
+        .args(args)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn cloudgen-lint")
+}
+
+const MEM_CONTRACTS: &str = "\
+[[memory]]
+name = \"streaming-bounded\"
+scope = [\"core::*\", \"serve::*\"]
+max = \"loop-linear\"
+";
+
+/// An unbounded accumulation one call below a public entry: `collect_all`
+/// pushes in a loop and returns the Vec, so both it and its caller carry
+/// `unbounded-escape` transitively. Invisible to every per-file rule
+/// (`core` is not a profiled-kernel crate), caught only by the
+/// allocation-flow fixpoint.
+const ACCUM_WS: &[(&str, &str)] = &[
+    (
+        "crates/core/src/lib.rs",
+        "//! Fixture accumulation crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn drive(n: u64) -> Vec<u64> { collect_all(n) }\n\
+         fn collect_all(n: u64) -> Vec<u64> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for i in 0..n {\n\
+         \x20       out.push(i);\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    ),
+    ("lint-contracts.toml", MEM_CONTRACTS),
+];
+
+#[test]
+fn seeded_accumulation_fails_memory_but_not_plain_scan() {
+    let root = write_workspace(ACCUM_WS);
+    let contracts = root.join("lint-contracts.toml");
+
+    // Plain per-file scan: green. The accumulation is not in a profiled
+    // kernel, so no per-file rule sees it.
+    let plain = run_lint(&root, &[]);
+    assert_eq!(
+        plain.status.code(),
+        Some(0),
+        "plain scan should pass: {}",
+        String::from_utf8_lossy(&plain.stdout)
+    );
+
+    // Memory gate: red, with the witness call path and site in the
+    // diagnostic.
+    let gated = run_lint(&root, &["memory", "--contracts", contracts.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert_eq!(gated.status.code(), Some(1), "gate should fail:\n{stdout}");
+    assert!(stdout.contains("memory-contract"), "{stdout}");
+    assert!(stdout.contains("streaming-bounded"), "{stdout}");
+    assert!(stdout.contains("unbounded-escape"), "{stdout}");
+    assert!(
+        stdout.contains("drive → collect_all"),
+        "witness path should name the call chain to the sink:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("`.push()` in loop, escapes"),
+        "diagnostic should carry the allocation site:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deleting_a_memory_allow_rearms_the_gate() {
+    let discharged = "//! Fixture accumulation crate.\n\
+                      #![forbid(unsafe_code)]\n\
+                      // lint:allow(memory-contract): fixture, bounded by n\n\
+                      pub fn drive(n: u64) -> Vec<u64> { collect_all(n) }\n\
+                      // lint:allow(memory-contract): fixture, bounded by n\n\
+                      fn collect_all(n: u64) -> Vec<u64> {\n\
+                      \x20   let mut out = Vec::new();\n\
+                      \x20   for i in 0..n {\n\
+                      \x20       out.push(i);\n\
+                      \x20   }\n\
+                      \x20   out\n\
+                      }\n";
+    let root = write_workspace(&[
+        ("crates/core/src/lib.rs", discharged),
+        ("lint-contracts.toml", MEM_CONTRACTS),
+    ]);
+    let contracts_arg = root.join("lint-contracts.toml");
+
+    // Memory-contract allows are deferred by the plain scan (the rule only
+    // fires interprocedurally), so they must not read as stale there.
+    let plain = run_lint(&root, &[]);
+    assert_eq!(
+        plain.status.code(),
+        Some(0),
+        "plain scan must not flag deferred memory allows as stale: {}",
+        String::from_utf8_lossy(&plain.stdout)
+    );
+
+    let ok = run_lint(
+        &root,
+        &["memory", "--contracts", contracts_arg.to_str().unwrap()],
+    );
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "discharged accumulation must pass: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // Delete one allow: the gate fails closed on the re-armed fn even
+    // though the other allow is still live.
+    let raw = discharged.replace(
+        "// lint:allow(memory-contract): fixture, bounded by n\n\
+         fn collect_all",
+        "fn collect_all",
+    );
+    assert_ne!(raw, discharged, "replacement must hit");
+    std::fs::write(root.join("crates/core/src/lib.rs"), raw).expect("rewrite");
+    let rearmed = run_lint(
+        &root,
+        &["memory", "--contracts", contracts_arg.to_str().unwrap()],
+    );
+    let stdout = String::from_utf8_lossy(&rearmed.stdout);
+    assert_eq!(rearmed.status.code(), Some(1), "gate should re-arm:\n{stdout}");
+    assert!(stdout.contains("collect_all"), "{stdout}");
+    assert!(stdout.contains("memory-contract"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A sanctioned materialization point: with the `[[absorber]]` the caller
+/// in another crate passes, but the absorber itself still needs its allow —
+/// absorbing masks propagation, never the absorber's own summary.
+const ABSORB_WS: &[(&str, &str)] = &[
+    (
+        "crates/core/src/sink.rs",
+        "//! Fixture sink module.\n\
+         // lint:allow(memory-contract): fixture materialization, bounded by n\n\
+         pub fn materialize(n: u64) -> Vec<u64> {\n\
+         \x20   let mut v = Vec::new();\n\
+         \x20   for i in 0..n {\n\
+         \x20       v.push(i);\n\
+         \x20   }\n\
+         \x20   v\n\
+         }\n",
+    ),
+    (
+        "crates/serve/src/lib.rs",
+        "//! Fixture caller crate.\n\
+         #![forbid(unsafe_code)]\n\
+         pub fn caller(n: u64) -> u64 { core::sink::materialize(n).len() as u64 }\n",
+    ),
+    (
+        "lint-contracts.toml",
+        "[[absorber]]\n\
+         scope = [\"core::sink::materialize\"]\n\
+         reason = \"fixture sanctioned materialization point\"\n\
+         \n\
+         [[memory]]\n\
+         name = \"streaming-bounded\"\n\
+         scope = [\"core::*\", \"serve::*\"]\n\
+         max = \"loop-linear\"\n",
+    ),
+];
+
+#[test]
+fn absorber_masks_callers_but_not_the_absorber_itself() {
+    let root = write_workspace(ABSORB_WS);
+    let contracts = root.join("lint-contracts.toml");
+
+    // Absorber + allow on the sink: clean.
+    let ok = run_lint(&root, &["memory", "--contracts", contracts.to_str().unwrap()]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "absorbed caller must pass: {}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    // Drop the absorber table: the caller now inherits the sink's
+    // unbounded-escape class and fails, anchored at `caller`.
+    std::fs::write(
+        root.join("lint-contracts.toml"),
+        MEM_CONTRACTS,
+    )
+    .expect("rewrite contracts");
+    let unmasked = run_lint(&root, &["memory", "--contracts", contracts.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&unmasked.stdout);
+    assert_eq!(
+        unmasked.status.code(),
+        Some(1),
+        "unmasked caller should fail:\n{stdout}"
+    );
+    assert!(stdout.contains("`serve::caller`"), "{stdout}");
+    assert!(stdout.contains("caller → materialize"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Structural JSON check without a parser dependency: the document must be
+/// exactly one `{...}` with braces balanced outside string literals.
+fn is_single_json_object(s: &str) -> bool {
+    let t = s.trim_end();
+    if !t.starts_with('{') {
+        return false;
+    }
+    let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+    for (i, c) in t.char_indices() {
+        if in_str {
+            match (escape, c) {
+                (true, _) => escape = false,
+                (false, '\\') => escape = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i == t.len() - 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[test]
+fn memory_json_stdout_stays_clean_and_report_file_matches() {
+    let root = write_workspace(ACCUM_WS);
+    let contracts = root.join("lint-contracts.toml");
+    let report = root.join("memory-report.json");
+    let out = run_lint(
+        &root,
+        &[
+            "memory",
+            "--contracts",
+            contracts.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+            "--json",
+            "--telemetry",
+            "-",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        is_single_json_object(&stdout),
+        "stdout must be one clean JSON document:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("wall_ms"),
+        "telemetry leaked onto stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"memory_contracts\"") && stdout.contains("\"growth\""),
+        "memory report sections missing:\n{stdout}"
+    );
+    // `--report` writes the same document the `--json` stdout carries.
+    let written = std::fs::read_to_string(&report).expect("report file");
+    assert_eq!(written, stdout, "--report must match --json stdout");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -244,6 +244,89 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-flow layer: the memory pass must be total over the same byte
+// soup, and allocation-looking text inside literals must stay invisible to
+// site extraction.
+// ---------------------------------------------------------------------------
+
+/// Runs the allocation-flow pipeline over one arbitrary source; panics only
+/// on an analyzer defect. Returns the count of memory-contract violations,
+/// which must be zero under a `max = "unbounded-escape"` ceiling (nothing
+/// exceeds the lattice top).
+fn memory_analyze_arbitrary(a: &str) -> usize {
+    use cloudgen_lint::scan::{analyze_memory_ctxs, build_ctx, classify};
+
+    let files = vec![build_ctx(
+        "crates/core/src/a.rs".to_string(),
+        classify("crates/core/src/a.rs").unwrap(),
+        a,
+    )];
+    let contracts = cloudgen_lint::parse_contracts(
+        "[[absorber]]\nscope = [\"core::sink::*\"]\nreason = \"fixture\"\n\n\
+         [[memory]]\nname = \"top\"\nscope = [\"core::*\"]\nmax = \"unbounded-escape\"\n",
+    )
+    .expect("fixture contracts parse");
+    let outcome = analyze_memory_ctxs(&files, &contracts);
+    outcome
+        .report
+        .violations
+        .iter()
+        .filter(|v| v.violation.rule == "memory-contract")
+        .count()
+}
+
+/// Allocation-looking snippets that must be inert inside literals.
+fn alloc_snippet() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "Vec::new()".to_string(),
+        "Vec::with_capacity(n)".to_string(),
+        "v.push(i)".to_string(),
+        "v.extend(w)".to_string(),
+        "xs.iter().collect::<Vec<u64>>()".to_string(),
+        "std::fs::read_to_string(p)".to_string(),
+        "for i in 0..n { out.push(i); }".to_string(),
+        "Mat::zeros(r, c)".to_string(),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn memory_pass_never_panics_on_arbitrary_sources(
+        a in "[a-zA-Z0-9_:;(){}.,<>&\\[\\]=!*+ \n-]{0,200}",
+    ) {
+        prop_assert_eq!(memory_analyze_arbitrary(&a), 0);
+    }
+
+    #[test]
+    fn alloc_text_in_literals_is_invisible_to_site_extraction(
+        content in proptest::collection::vec(alloc_snippet(), 1..4),
+    ) {
+        use cloudgen_lint::alloc_flow::intrinsic_allocs;
+        use cloudgen_lint::graph::build_graph;
+        use cloudgen_lint::scan::{build_ctx, classify};
+
+        let body = escape_str(&content.join("; "));
+        let src = format!(
+            "//! Fixture.\n#![forbid(unsafe_code)]\npub fn f() -> usize {{\n    let s = \"{body}\";\n    s.len()\n}}\n"
+        );
+        let files = vec![build_ctx(
+            "crates/core/src/a.rs".to_string(),
+            classify("crates/core/src/a.rs").unwrap(),
+            &src,
+        )];
+        let g = build_graph(&files);
+        let intr = intrinsic_allocs(&g, &files);
+        for (meta, s) in g.fns.iter().zip(&intr) {
+            prop_assert!(
+                s.sites.is_empty(),
+                "literal text produced sites in `{}`: {s:?}",
+                meta.path
+            );
+        }
+    }
+}
+
 /// Deterministic pins of the two properties above: adversarial-looking
 /// fragments through the full pipeline, and a dense 7-ring both clean and
 /// clock-seeded.
@@ -255,4 +338,39 @@ fn interprocedural_pipeline_smoke() {
     let chords = [3usize, 5, 1, 6, 0, 2, 4];
     assert_eq!(analyze_ring(7, &chords, false), 0);
     assert_eq!(analyze_ring(7, &chords, true), 7);
+}
+
+/// Deterministic pins of the memory properties above: byte soup through the
+/// allocation-flow pipeline, and alloc-looking text trapped in a literal.
+#[test]
+fn memory_pipeline_smoke() {
+    use cloudgen_lint::alloc_flow::intrinsic_allocs;
+    use cloudgen_lint::graph::build_graph;
+    use cloudgen_lint::scan::{build_ctx, classify};
+
+    assert_eq!(
+        memory_analyze_arbitrary("fn f( { :: . push ] } ; Vec :: with_capacity for"),
+        0
+    );
+    assert_eq!(
+        memory_analyze_arbitrary(
+            "pub fn g(n: usize) -> Vec<u64> { let mut v = Vec::new(); \
+             for i in 0..n { v.push(i as u64); } v }"
+        ),
+        0
+    );
+
+    let src = "//! Fixture.\n#![forbid(unsafe_code)]\npub fn f() -> usize {\n    \
+               let s = \"Vec::new(); v.push(i); for i in 0..n { out.extend(w); }\";\n    \
+               s.len()\n}\n";
+    let files = vec![build_ctx(
+        "crates/core/src/a.rs".to_string(),
+        classify("crates/core/src/a.rs").unwrap(),
+        src,
+    )];
+    let g = build_graph(&files);
+    let intr = intrinsic_allocs(&g, &files);
+    for (meta, s) in g.fns.iter().zip(&intr) {
+        assert!(s.sites.is_empty(), "literal text produced sites in `{}`: {s:?}", meta.path);
+    }
 }

@@ -30,6 +30,7 @@ pub struct GradMismatch {
 ///
 /// Returns all entries whose relative error exceeds `tol`, using
 /// `|a - n| / max(1, |a| + |n|)` so near-zero gradients don't create noise.
+// lint:allow(memory-contract): one GradMismatch per out-of-tolerance parameter entry, bounded by the model's total parameter count; gradcheck is a diagnostic for tiny models, never on the generation path
 pub fn check_model_gradients<M>(
     model: &mut M,
     mut params_of: impl FnMut(&mut M) -> Vec<&mut Param>,

@@ -134,7 +134,10 @@ impl Rnn {
     /// Panics on input-width mismatch.
     pub fn forward(&self, xs: &[Mat]) -> (Vec<Mat>, RnnCache) {
         let batch = xs.first().map_or(0, Mat::rows);
-        let mut caches: Vec<Vec<StepCache>> = self.layers.iter().map(|_| Vec::new()).collect();
+        // One StepCache per timestep per layer: reserve the exact BPTT
+        // footprint up front so the sequence loop never reallocates.
+        let mut caches: Vec<Vec<StepCache>> =
+            self.layers.iter().map(|_| Vec::with_capacity(xs.len())).collect();
         let mut state = self.zero_state(batch);
         let mut outputs = Vec::with_capacity(xs.len());
         for x in xs {

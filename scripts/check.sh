@@ -34,6 +34,15 @@ echo "==> cloudgen-lint effects (interprocedural contract gate + panic reachabil
 cargo run --release -p cloudgen-lint -- effects \
   --contracts lint-contracts.toml --report lint-effects-report.json
 
+echo "==> cloudgen-lint memory (allocation-flow growth contracts + witness report)"
+# PR 10: growth-class fixpoint over the same call graph. Enforces the
+# [[memory]] streaming contracts in lint-contracts.toml (generation,
+# trace I/O, and the serve response path stay loop-linear at worst;
+# kernels stay param-bounded) and writes the growth report listing every
+# public entry that reaches loop-linear or worse with its witness chain.
+cargo run --release -p cloudgen-lint -- memory \
+  --contracts lint-contracts.toml --report lint-memory-report.json
+
 echo "==> fault-injection suite (resilience)"
 cargo test --release -p resilience
 
